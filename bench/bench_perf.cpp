@@ -1,0 +1,129 @@
+// EX2 — google-benchmark microbenchmarks of the library itself: emulation
+// throughput (simulated seconds per wall second), sequential vs parallel
+// engines, XML parsing, and placement search. Not a paper figure — this
+// characterizes the reproduction's own performance.
+#include <benchmark/benchmark.h>
+
+#include "apps/mp3.hpp"
+#include "core/segbus.hpp"
+
+namespace segbus {
+namespace {
+
+void BM_EmulateMp3ThreeSegments(benchmark::State& state) {
+  auto package = static_cast<std::uint32_t>(state.range(0));
+  psdf::PsdfModel app = *apps::mp3_decoder_psdf(package);
+  platform::PlatformModel platform =
+      *apps::mp3_platform(app, apps::mp3_allocation(3), 3, package);
+  std::int64_t simulated_ps = 0;
+  for (auto _ : state) {
+    auto engine = emu::Engine::create(app, platform);
+    auto result = engine->run();
+    simulated_ps += result->total_execution_time.count();
+    benchmark::DoNotOptimize(result->ca.tct);
+  }
+  state.counters["simulated_us_per_s"] = benchmark::Counter(
+      static_cast<double>(simulated_ps) / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EmulateMp3ThreeSegments)->Arg(36)->Arg(18);
+
+void BM_EmulateMp3OneSegment(benchmark::State& state) {
+  psdf::PsdfModel app = *apps::mp3_decoder_psdf();
+  platform::PlatformModel platform =
+      *apps::mp3_platform_one_segment(app);
+  for (auto _ : state) {
+    auto engine = emu::Engine::create(app, platform);
+    auto result = engine->run();
+    benchmark::DoNotOptimize(result->ca.tct);
+  }
+}
+BENCHMARK(BM_EmulateMp3OneSegment);
+
+void BM_ParallelEngineMp3(benchmark::State& state) {
+  auto threads = static_cast<unsigned>(state.range(0));
+  psdf::PsdfModel app = *apps::mp3_decoder_psdf();
+  platform::PlatformModel platform =
+      *apps::mp3_platform_three_segments(app);
+  for (auto _ : state) {
+    auto engine = emu::ParallelEngine::create(
+        app, platform, emu::TimingModel::emulator(), {}, threads);
+    auto result = (*engine)->run();
+    benchmark::DoNotOptimize(result->ca.tct);
+  }
+}
+BENCHMARK(BM_ParallelEngineMp3)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_EngineCreate(benchmark::State& state) {
+  psdf::PsdfModel app = *apps::mp3_decoder_psdf();
+  platform::PlatformModel platform =
+      *apps::mp3_platform_three_segments(app);
+  for (auto _ : state) {
+    auto engine = emu::Engine::create(app, platform);
+    benchmark::DoNotOptimize(engine.is_ok());
+  }
+}
+BENCHMARK(BM_EngineCreate);
+
+void BM_XmlParsePsdfScheme(benchmark::State& state) {
+  psdf::PsdfModel app = *apps::mp3_decoder_psdf();
+  std::string text = xml::write_document(psdf::to_xml(app));
+  for (auto _ : state) {
+    auto doc = xml::parse_document(text);
+    benchmark::DoNotOptimize(doc.is_ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_XmlParsePsdfScheme);
+
+void BM_XmlRoundTripPsm(benchmark::State& state) {
+  psdf::PsdfModel app = *apps::mp3_decoder_psdf();
+  platform::PlatformModel platform =
+      *apps::mp3_platform_three_segments(app);
+  for (auto _ : state) {
+    std::string text = xml::write_document(platform::to_xml(platform));
+    auto back = platform::from_xml(*xml::parse_document(text));
+    benchmark::DoNotOptimize(back.is_ok());
+  }
+}
+BENCHMARK(BM_XmlRoundTripPsm);
+
+void BM_GreedyPlacement(benchmark::State& state) {
+  psdf::CommMatrix matrix =
+      psdf::CommMatrix::from_model(*apps::mp3_decoder_psdf());
+  place::CostModel cost;
+  for (auto _ : state) {
+    auto result = place::greedy_place(matrix, 3, cost);
+    benchmark::DoNotOptimize(result.is_ok());
+  }
+}
+BENCHMARK(BM_GreedyPlacement);
+
+void BM_AnnealPlacement(benchmark::State& state) {
+  psdf::CommMatrix matrix =
+      psdf::CommMatrix::from_model(*apps::mp3_decoder_psdf());
+  place::CostModel cost;
+  place::AnnealOptions options;
+  options.iterations = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = place::anneal_place(matrix, 3, cost, options);
+    benchmark::DoNotOptimize(result.is_ok());
+  }
+}
+BENCHMARK(BM_AnnealPlacement)->Arg(1000)->Arg(10000);
+
+void BM_AccuracyComparison(benchmark::State& state) {
+  psdf::PsdfModel app = *apps::mp3_decoder_psdf();
+  platform::PlatformModel platform =
+      *apps::mp3_platform_three_segments(app);
+  for (auto _ : state) {
+    auto report = core::compare_accuracy(app, platform);
+    benchmark::DoNotOptimize(report.is_ok());
+  }
+}
+BENCHMARK(BM_AccuracyComparison);
+
+}  // namespace
+}  // namespace segbus
+
+BENCHMARK_MAIN();

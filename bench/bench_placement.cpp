@@ -1,0 +1,93 @@
+// E3/EX3 — regenerates Figure 9 (the allocations of the MP3 processes on
+// the one/two/three-segment platforms) and compares the paper's allocation
+// against the PlaceTool-substitute searches (greedy, annealing, and
+// exhaustive where tractable).
+#include "bench/common.hpp"
+
+using namespace segbus;
+
+namespace {
+
+void report_strategy(const psdf::PsdfModel& app,
+                     const psdf::CommMatrix& matrix,
+                     const place::PlacementResult& result,
+                     std::uint32_t segments) {
+  std::printf("  %-11s cost=%-8.0f evaluations=%-10llu  %s\n",
+              result.strategy.c_str(), result.cost,
+              static_cast<unsigned long long>(result.evaluations),
+              result.render(app).c_str());
+  std::printf("              inter-segment packages: %llu, package-hops: "
+              "%llu\n",
+              static_cast<unsigned long long>(place::inter_segment_packages(
+                  matrix, result.allocation, 36)),
+              static_cast<unsigned long long>(
+                  place::package_hops(matrix, result.allocation, 36)));
+  (void)segments;
+}
+
+}  // namespace
+
+int main() {
+  psdf::PsdfModel app = bench::unwrap(apps::mp3_decoder_psdf());
+  psdf::CommMatrix matrix = psdf::CommMatrix::from_model(app);
+
+  bench::banner("E3 / Figure 9 — allocation of processes per configuration");
+  for (std::uint32_t segments : {1u, 2u, 3u}) {
+    place::PlacementResult paper;
+    paper.allocation = apps::mp3_allocation(segments);
+    paper.strategy = "paper";
+    paper.cost = place::allocation_cost(matrix, paper.allocation, segments,
+                                        place::CostModel{});
+    std::printf("\n%u segment(s):\n", segments);
+    std::printf("  paper       cost=%-8.0f %s\n", paper.cost,
+                paper.render(app).c_str());
+  }
+
+  bench::banner("EX3 — PlaceTool-substitute searches vs the paper's "
+                "allocation (cost = package-hops at s=36)");
+  for (std::uint32_t segments : {2u, 3u}) {
+    std::printf("\n%u segment(s):\n", segments);
+    place::CostModel cost;
+    report_strategy(app, matrix,
+                    bench::unwrap(place::greedy_place(matrix, segments,
+                                                      cost)),
+                    segments);
+    place::AnnealOptions anneal;
+    anneal.iterations = 100000;
+    report_strategy(app, matrix,
+                    bench::unwrap(place::anneal_place(matrix, segments,
+                                                      cost, anneal)),
+                    segments);
+    if (segments == 2) {
+      // 2^15 = 32768 states: exhaustively optimal.
+      report_strategy(app, matrix,
+                      bench::unwrap(place::exhaustive_place(matrix, segments,
+                                                            cost)),
+                      segments);
+    }
+    place::PlacementResult paper;
+    paper.allocation = apps::mp3_allocation(segments);
+    std::printf("  (paper allocation costs %.0f)\n",
+                place::allocation_cost(matrix, paper.allocation, segments,
+                                       cost));
+  }
+
+  bench::banner("EX3 — does a better placement cost translate to a better "
+                "emulated execution time?");
+  {
+    place::CostModel cost;
+    place::AnnealOptions anneal;
+    anneal.iterations = 100000;
+    auto annealed = bench::unwrap(place::anneal_place(matrix, 3, cost,
+                                                      anneal));
+    auto paper_time = bench::run_mp3(36, apps::mp3_allocation(3), 3)
+                          .total_execution_time;
+    auto annealed_time =
+        bench::run_mp3(36, annealed.allocation, 3).total_execution_time;
+    std::printf("  paper allocation   : %s\n",
+                format_us(paper_time).c_str());
+    std::printf("  annealed allocation: %s\n",
+                format_us(annealed_time).c_str());
+  }
+  return 0;
+}

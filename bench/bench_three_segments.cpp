@@ -1,0 +1,70 @@
+// E4/E10 — regenerates the paper's §4 "Three Segments configuration"
+// results block (the long listing of per-process times, CA TCT, BU package
+// counts and TCTs, per-segment traffic, and SA statistics) plus the BU
+// useful-period / waiting-period analysis.
+#include "bench/common.hpp"
+
+using namespace segbus;
+
+int main() {
+  psdf::PsdfModel app = bench::unwrap(apps::mp3_decoder_psdf());
+  platform::PlatformModel platform =
+      bench::unwrap(apps::mp3_platform_three_segments(app));
+  emu::EmulationResult result =
+      bench::run_mp3(36, apps::mp3_allocation(3), 3);
+
+  bench::banner(
+      "E4 / §4 — Three Segments configuration, package size 36 "
+      "(clocks 91/98/89 MHz, CA 111 MHz)");
+  std::printf("%s", core::render_paper_report(result, platform).c_str());
+
+  bench::banner("E5-adjacent — schedule stage spans");
+  std::printf("%s", core::render_stage_table(result).c_str());
+
+  bench::banner("E10 / §4 — BU useful period (UP) vs waiting period (WP)");
+  std::printf("%s", core::render_bu_analysis(result, platform).c_str());
+  std::printf(
+      "paper: UP12 = 2304, TCT12 = 2336, mean WP12 = 1; "
+      "UP23 = 144, TCT23 = 146, mean WP23 = 1\n");
+
+  bench::banner("E4 — paper-vs-reproduction summary");
+  std::printf("%-34s %14s %14s\n", "figure", "paper", "ours");
+  auto row = [](const char* name, const std::string& paper,
+                const std::string& ours) {
+    std::printf("%-34s %14s %14s\n", name, paper.c_str(), ours.c_str());
+  };
+  row("BU12 packages (in/out)", "32/32",
+      str_format("%llu/%llu",
+                 static_cast<unsigned long long>(result.bus[0].total_input()),
+                 static_cast<unsigned long long>(
+                     result.bus[0].total_output())));
+  row("BU12 TCT", "2336",
+      str_format("%llu", static_cast<unsigned long long>(result.bus[0].tct)));
+  row("BU23 packages (in/out)", "2/2",
+      str_format("%llu/%llu",
+                 static_cast<unsigned long long>(result.bus[1].total_input()),
+                 static_cast<unsigned long long>(
+                     result.bus[1].total_output())));
+  row("BU23 TCT", "146",
+      str_format("%llu", static_cast<unsigned long long>(result.bus[1].tct)));
+  row("Segment 1 packets right", "32",
+      str_format("%llu", static_cast<unsigned long long>(
+                             result.segments[0].packets_to_right)));
+  row("Segment 3 packets left", "1",
+      str_format("%llu", static_cast<unsigned long long>(
+                             result.segments[2].packets_to_left)));
+  row("SA1 inter-segment requests", "32",
+      str_format("%llu", static_cast<unsigned long long>(
+                             result.sas[0].inter_requests)));
+  row("SA3 intra/inter requests", "0/1",
+      str_format("%llu/%llu",
+                 static_cast<unsigned long long>(
+                     result.sas[2].intra_requests),
+                 static_cast<unsigned long long>(
+                     result.sas[2].inter_requests)));
+  row("CA TCT", "54367",
+      str_format("%llu", static_cast<unsigned long long>(result.ca.tct)));
+  row("Total execution time", "489.79us",
+      format_us(result.total_execution_time));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared helpers for the experiment harnesses: every bench regenerates one
+// table or figure of the paper's evaluation (see DESIGN.md's experiment
+// index) and prints it alongside the paper's reported values.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/mp3.hpp"
+#include "core/segbus.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::bench {
+
+/// Prints a section banner.
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Aborts the harness with a diagnostic (experiment inputs are static, so
+/// any failure is a build problem, not an input problem).
+[[noreturn]] inline void die(const Status& status) {
+  std::fprintf(stderr, "experiment failed: %s\n",
+               status.to_string().c_str());
+  std::exit(1);
+}
+
+template <typename T>
+T unwrap(Result<T> result) {
+  if (!result.is_ok()) die(result.status());
+  return std::move(result).value();
+}
+
+inline void unwrap_status(const Status& status) {
+  if (!status.is_ok()) die(status);
+}
+
+/// Runs one MP3 configuration and returns the result.
+inline emu::EmulationResult run_mp3(std::uint32_t package_size,
+                                    const std::vector<std::uint32_t>& alloc,
+                                    std::uint32_t segments,
+                                    const emu::TimingModel& timing =
+                                        emu::TimingModel::emulator(),
+                                    bool record_activity = false) {
+  psdf::PsdfModel app = unwrap(apps::mp3_decoder_psdf(package_size));
+  platform::PlatformModel platform =
+      unwrap(apps::mp3_platform(app, alloc, segments, package_size));
+  emu::EngineOptions options;
+  options.record_activity = record_activity;
+  emu::Engine engine = unwrap(
+      emu::Engine::create(app, platform, timing, options));
+  emu::EmulationResult result = unwrap(engine.run());
+  if (!result.completed) die(internal_error("run did not complete"));
+  return result;
+}
+
+}  // namespace segbus::bench

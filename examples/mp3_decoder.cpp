@@ -1,0 +1,90 @@
+// The paper's running example: the 15-process stereo MP3 decoder on the
+// SegBus platform.
+//
+//   $ ./mp3_decoder                         # 3 segments, package size 36
+//   $ ./mp3_decoder --segments 2            # Figure 9's 2-segment mapping
+//   $ ./mp3_decoder --package 18            # the 18-item experiment
+//   $ ./mp3_decoder --move-p9               # the P9 -> segment 3 variant
+//   $ ./mp3_decoder --reference             # detailed ("actual") timing
+//   $ ./mp3_decoder --parallel --threads 4  # thread-parallel engine
+//   $ ./mp3_decoder --activity              # Figure 11 activity graph
+#include <cstdio>
+
+#include "apps/mp3.hpp"
+#include "core/segbus.hpp"
+#include "support/cli.hpp"
+
+using namespace segbus;
+
+int main(int argc, char** argv) {
+  auto cli = CommandLine::parse(argc, argv);
+  if (!cli.is_ok()) {
+    std::fprintf(stderr, "%s\n", cli.status().to_string().c_str());
+    return 1;
+  }
+  const auto segments =
+      static_cast<std::uint32_t>(cli->int_flag_or("segments", 3));
+  const auto package =
+      static_cast<std::uint32_t>(cli->int_flag_or("package", 36));
+  const bool move_p9 = cli->bool_flag_or("move-p9", false);
+  const bool reference = cli->bool_flag_or("reference", false);
+  const bool activity = cli->bool_flag_or("activity", false);
+
+  if (segments < 1 || segments > 3) {
+    std::fprintf(stderr,
+                 "--segments must be 1, 2 or 3 (the paper's Figure 9 "
+                 "allocations)\n");
+    return 1;
+  }
+  if (move_p9 && segments != 3) {
+    std::fprintf(stderr, "--move-p9 applies to the 3-segment mapping\n");
+    return 1;
+  }
+
+  auto app = apps::mp3_decoder_psdf(package);
+  if (!app.is_ok()) {
+    std::fprintf(stderr, "%s\n", app.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<std::uint32_t> allocation =
+      move_p9 ? apps::mp3_allocation_p9_moved()
+              : apps::mp3_allocation(segments);
+  auto platform = apps::mp3_platform(*app, allocation, segments, package);
+  if (!platform.is_ok()) {
+    std::fprintf(stderr, "%s\n", platform.status().to_string().c_str());
+    return 1;
+  }
+
+  core::SessionConfig config;
+  config.timing = reference ? emu::TimingModel::reference()
+                            : emu::TimingModel::emulator();
+  config.parallel = cli->bool_flag_or("parallel", false);
+  config.threads =
+      static_cast<unsigned>(cli->int_flag_or("threads", 0));
+  config.engine.record_activity = activity;
+
+  std::printf("MP3 decoder on %s (%s)\n", platform->name().c_str(),
+              platform->summary().c_str());
+  std::printf("timing model: %s\n\n",
+              reference ? "reference (detailed)" : "emulator (estimation)");
+
+  auto session =
+      core::EmulationSession::from_models(*app, *platform, config);
+  if (!session.is_ok()) {
+    std::fprintf(stderr, "%s\n", session.status().to_string().c_str());
+    return 1;
+  }
+  auto result = session->emulate();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", core::render_paper_report(*result, *platform).c_str());
+  std::printf("%s\n", core::render_bu_analysis(*result, *platform).c_str());
+  std::printf("%s\n", core::render_timeline(*result).c_str());
+  if (activity) {
+    std::printf("%s\n", core::render_activity(*result).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: model a tiny application as a PSDF, map it onto a
+// two-segment SegBus platform, emulate, and print the performance report.
+//
+//   $ ./quickstart
+//
+// This is the five-minute tour of the public API; see mp3_decoder.cpp for
+// the paper's full example.
+#include <cstdio>
+
+#include "core/segbus.hpp"
+
+using namespace segbus;
+
+int main() {
+  // 1. The application: a producer feeding two workers that merge into a
+  //    sink, as a Packet SDF. Flow tuples are (target, D data items,
+  //    T ordering, C compute ticks per package).
+  psdf::PsdfModel app("quickstart");
+  if (auto s = app.set_package_size(36); !s.is_ok()) return 1;
+  for (const char* name : {"Producer", "WorkerA", "WorkerB", "Sink"}) {
+    if (!app.add_process(name).is_ok()) return 1;
+  }
+  (void)app.add_flow("Producer", "WorkerA", 720, /*T=*/1, /*C=*/120);
+  (void)app.add_flow("Producer", "WorkerB", 720, /*T=*/1, /*C=*/120);
+  (void)app.add_flow("WorkerA", "Sink", 720, /*T=*/2, /*C=*/200);
+  (void)app.add_flow("WorkerB", "Sink", 720, /*T=*/2, /*C=*/200);
+
+  // Validate the dataflow (the DSL's OCL-style checks).
+  std::printf("--- PSDF validation ---\n%s\n",
+              psdf::validate(app).to_string().c_str());
+
+  // 2. The platform: two segments with their own clocks plus the central
+  //    arbiter, linear topology (border unit BU12 created automatically).
+  platform::PlatformModel platform("Quick2Seg");
+  (void)platform.set_package_size(36);
+  (void)platform.set_ca_clock(Frequency::from_mhz(111.0));
+  (void)platform.add_segment(Frequency::from_mhz(91.0));
+  (void)platform.add_segment(Frequency::from_mhz(98.0));
+
+  // 3. The mapping: producer and worker A on segment 1, the rest on 2.
+  (void)platform.map_process("Producer", 0);
+  (void)platform.map_process("WorkerA", 0);
+  (void)platform.map_process("WorkerB", 1);
+  (void)platform.map_process("Sink", 1);
+
+  // 4. Emulate.
+  auto session = core::EmulationSession::from_models(app, platform);
+  if (!session.is_ok()) {
+    std::fprintf(stderr, "%s\n", session.status().to_string().c_str());
+    return 1;
+  }
+  auto result = session->emulate();
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+    return 1;
+  }
+
+  // 5. Inspect the results.
+  std::printf("--- paper-style report ---\n%s\n",
+              core::render_paper_report(*result, platform).c_str());
+  std::printf("--- per-process timeline ---\n%s\n",
+              core::render_timeline(*result).c_str());
+  std::printf("total execution time: %s (%s)\n",
+              format_us(result->total_execution_time).c_str(),
+              format_ps(result->total_execution_time).c_str());
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "apps/h263.hpp"
+
+#include "place/apply.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::apps {
+
+namespace {
+
+struct FlowSpec {
+  const char* source;
+  const char* target;
+  std::uint64_t items;
+  std::uint32_t ordering;
+  std::uint64_t compute_ticks;  ///< at package size 36
+};
+
+// Index order also defines process ids.
+constexpr const char* kProcesses[] = {
+    "CAP", "PRE",                     // 0, 1
+    "ME0", "ME1", "ME2", "ME3",       // 2..5
+    "MC0", "MC1", "MC2", "MC3",       // 6..9
+    "TQ0", "TQ1", "TQ2", "TQ3",       // 10..13
+    "REC", "RC", "VLC", "PKT",        // 14..17
+};
+static_assert(sizeof(kProcesses) / sizeof(kProcesses[0]) ==
+              kH263Processes);
+
+constexpr std::uint64_t kBand = 6336;  // one row band of luma samples
+
+constexpr FlowSpec kFlows[] = {
+    {"CAP", "PRE", 4 * kBand, 1, 160},
+    // Band distribution.
+    {"PRE", "ME0", kBand, 2, 200}, {"PRE", "ME1", kBand, 2, 200},
+    {"PRE", "ME2", kBand, 2, 200}, {"PRE", "ME3", kBand, 2, 200},
+    // Motion estimation emits vectors (small) + passes pixels on.
+    {"ME0", "MC0", kBand, 3, 420}, {"ME1", "MC1", kBand, 3, 420},
+    {"ME2", "MC2", kBand, 3, 420}, {"ME3", "MC3", kBand, 3, 420},
+    // Residuals to transform/quantize.
+    {"MC0", "TQ0", kBand, 4, 260}, {"MC1", "TQ1", kBand, 4, 260},
+    {"MC2", "TQ2", kBand, 4, 260}, {"MC3", "TQ3", kBand, 4, 260},
+    // Rate-control summaries (tiny control flows).
+    {"TQ0", "RC", 36, 5, 40}, {"TQ1", "RC", 36, 5, 40},
+    {"TQ2", "RC", 36, 5, 40}, {"TQ3", "RC", 36, 5, 40},
+    // Reconstruction loop and entropy coding.
+    {"TQ0", "REC", kBand, 6, 180}, {"TQ1", "REC", kBand, 6, 180},
+    {"TQ2", "REC", kBand, 6, 180}, {"TQ3", "REC", kBand, 6, 180},
+    {"RC", "VLC", 36, 6, 60},
+    {"REC", "VLC", 2 * kBand, 7, 220},  // coefficients after scan
+    {"VLC", "PKT", kBand, 8, 240},      // ~2:1 entropy compression
+};
+
+constexpr std::uint64_t kFixedTicks = 30;
+
+}  // namespace
+
+Result<psdf::PsdfModel> h263_encoder_psdf(std::uint32_t package_size) {
+  psdf::PsdfModel model("h263_encoder");
+  SEGBUS_RETURN_IF_ERROR(model.set_package_size(36));
+  for (const char* name : kProcesses) {
+    auto added = model.add_process(name);
+    if (!added.is_ok()) return added.status();
+  }
+  for (const FlowSpec& spec : kFlows) {
+    SEGBUS_RETURN_IF_ERROR(model.add_flow(spec.source, spec.target,
+                                          spec.items, spec.ordering,
+                                          spec.compute_ticks));
+  }
+  if (package_size != 36) {
+    return model.rescaled_for_package_size(package_size, kFixedTicks);
+  }
+  return model;
+}
+
+std::vector<std::uint32_t> h263_allocation(std::uint32_t num_segments) {
+  std::vector<std::uint32_t> allocation(kH263Processes, 0);
+  if (num_segments <= 1) return allocation;
+  auto place = [&](const char* name, std::uint32_t segment) {
+    for (std::uint32_t i = 0; i < kH263Processes; ++i) {
+      if (std::string_view(kProcesses[i]) == name) {
+        allocation[i] = segment;
+        return;
+      }
+    }
+  };
+  if (num_segments == 2) {
+    // Bands 0/1 with the front end on segment 1; bands 2/3 with the back
+    // end on segment 2.
+    for (const char* name : {"ME2", "ME3", "MC2", "MC3", "TQ2", "TQ3",
+                             "REC", "RC", "VLC", "PKT"}) {
+      place(name, 1);
+    }
+    return allocation;
+  }
+  // 4 segments: one band pipeline per segment; front end with band 0,
+  // back end with band 3.
+  for (std::uint32_t band = 0; band < 4; ++band) {
+    place(str_format("ME%u", band).c_str(), band);
+    place(str_format("MC%u", band).c_str(), band);
+    place(str_format("TQ%u", band).c_str(), band);
+  }
+  for (const char* name : {"REC", "RC", "VLC", "PKT"}) place(name, 3);
+  return allocation;
+}
+
+Result<platform::PlatformModel> h263_platform(
+    const psdf::PsdfModel& application,
+    const std::vector<std::uint32_t>& allocation,
+    std::uint32_t num_segments, std::uint32_t package_size) {
+  constexpr double kSegmentMhz[] = {91.0, 98.0, 89.0, 103.0};
+  platform::PlatformModel platform(
+      str_format("H263-%useg", num_segments));
+  SEGBUS_RETURN_IF_ERROR(platform.set_package_size(package_size));
+  SEGBUS_RETURN_IF_ERROR(
+      platform.set_ca_clock(Frequency::from_mhz(111.0)));
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    auto added = platform.add_segment(
+        Frequency::from_mhz(kSegmentMhz[s % 4]));
+    if (!added.is_ok()) return added.status();
+  }
+  SEGBUS_RETURN_IF_ERROR(
+      place::apply_allocation(application, allocation, platform));
+  return platform;
+}
+
+}  // namespace segbus::apps

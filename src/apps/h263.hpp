@@ -1,0 +1,43 @@
+// Third realistic application: an H.263-style video encoder for one QCIF
+// frame — the largest workload in the suite (18 processes, 24 flows over
+// 11 schedule stages), sized to exercise 3-4 segment platforms.
+//
+//   CAP (capture) -> PRE (preprocess) -> per-macroblock-row pipelines:
+//     ME0..ME3   motion estimation against the reference frame
+//     MC0..MC3   motion compensation / residual
+//     TQ0..TQ3   DCT + quantization
+//   -> REC (reconstruction for the reference frame loop)
+//   -> VLC (variable-length coding) -> PKT (packetization)
+//   with RC (rate control) reading TQ summaries and steering VLC.
+//
+// Data volumes model one 176x144 luma frame split into 4 row bands
+// (176*36 = 6336 samples each); motion vectors and rate-control summaries
+// are small control flows. Compute costs follow the suite convention
+// (C ticks per 36-item package, 30-tick fixed component).
+#pragma once
+
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::apps {
+
+/// Number of processes in the H.263 encoder.
+inline constexpr std::uint32_t kH263Processes = 18;
+
+/// Builds the encoder PSDF at the given package size.
+Result<psdf::PsdfModel> h263_encoder_psdf(std::uint32_t package_size = 36);
+
+/// A hand-tuned mapping for `num_segments` in {1, 2, 4}: band pipelines
+/// split across segments, front end with band 0, back end with the last
+/// band.
+std::vector<std::uint32_t> h263_allocation(std::uint32_t num_segments);
+
+/// Builds a platform with the suite's clock set (91/98/89/103 MHz cycled,
+/// CA 111 MHz).
+Result<platform::PlatformModel> h263_platform(
+    const psdf::PsdfModel& application,
+    const std::vector<std::uint32_t>& allocation,
+    std::uint32_t num_segments, std::uint32_t package_size = 36);
+
+}  // namespace segbus::apps

@@ -1,0 +1,99 @@
+#include "apps/jpeg.hpp"
+
+#include "place/apply.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::apps {
+
+namespace {
+
+struct FlowSpec {
+  const char* source;
+  const char* target;
+  std::uint64_t items;
+  std::uint32_t ordering;
+  std::uint64_t compute_ticks;  ///< at package size 36
+};
+
+// Process indices: 0 SRC, 1 CC, 2 SS, 3 DCTY, 4 DCTC, 5 QY, 6 QC,
+// 7 ZZY, 8 ZZC, 9 HUFY+HUFC merged? No — 9 HUFY, 10 HUFC... plus MUX.
+constexpr const char* kProcesses[] = {
+    "SRC", "CC", "SS", "DCTY", "DCTC", "QY", "QC", "ZZY", "ZZC", "HUF",
+    "MUX",
+};
+static_assert(sizeof(kProcesses) / sizeof(kProcesses[0]) == kJpegProcesses);
+
+constexpr FlowSpec kFlows[] = {
+    {"SRC", "CC", 12288, 1, 180},   // interleaved RGB tile
+    {"CC", "SS", 12288, 2, 220},    // YCbCr planes
+    {"SS", "DCTY", 4096, 3, 140},   // luma plane
+    {"SS", "DCTC", 2048, 3, 140},   // both chroma planes, 4:2:0
+    {"DCTY", "QY", 4096, 4, 300},   // DCT is the hot loop
+    {"DCTC", "QC", 2048, 4, 300},
+    {"QY", "ZZY", 4096, 5, 120},
+    {"QC", "ZZC", 2048, 5, 120},
+    {"ZZY", "HUF", 4096, 6, 90},
+    {"ZZC", "HUF", 2048, 6, 90},
+    {"HUF", "MUX", 3072, 7, 250},   // ~2:1 entropy compression
+};
+
+constexpr std::uint64_t kFixedTicks = 30;
+
+}  // namespace
+
+Result<psdf::PsdfModel> jpeg_encoder_psdf(std::uint32_t package_size) {
+  psdf::PsdfModel model("jpeg_encoder");
+  SEGBUS_RETURN_IF_ERROR(model.set_package_size(36));
+  for (const char* name : kProcesses) {
+    auto added = model.add_process(name);
+    if (!added.is_ok()) return added.status();
+  }
+  for (const FlowSpec& spec : kFlows) {
+    SEGBUS_RETURN_IF_ERROR(model.add_flow(spec.source, spec.target,
+                                          spec.items, spec.ordering,
+                                          spec.compute_ticks));
+  }
+  if (package_size != 36) {
+    return model.rescaled_for_package_size(package_size, kFixedTicks);
+  }
+  return model;
+}
+
+std::vector<std::uint32_t> jpeg_allocation_two_segments() {
+  // Luma chain on segment 1, front end + chroma chain + back end on 2.
+  std::vector<std::uint32_t> allocation(kJpegProcesses, 1);
+  auto place = [&](const char* name, std::uint32_t segment) {
+    for (std::uint32_t i = 0; i < kJpegProcesses; ++i) {
+      if (std::string_view(kProcesses[i]) == name) {
+        allocation[i] = segment;
+        return;
+      }
+    }
+  };
+  for (const char* name : {"DCTY", "QY", "ZZY", "HUF", "MUX"}) {
+    place(name, 0);
+  }
+  return allocation;
+}
+
+Result<platform::PlatformModel> jpeg_platform(
+    const psdf::PsdfModel& application,
+    const std::vector<std::uint32_t>& allocation,
+    std::uint32_t num_segments, std::uint32_t package_size) {
+  constexpr double kSegmentMhz[] = {91.0, 98.0, 89.0};
+  platform::PlatformModel platform(
+      str_format("JPEG-%useg", num_segments));
+  SEGBUS_RETURN_IF_ERROR(platform.set_package_size(package_size));
+  SEGBUS_RETURN_IF_ERROR(
+      platform.set_ca_clock(Frequency::from_mhz(111.0)));
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    auto added = platform.add_segment(
+        Frequency::from_mhz(kSegmentMhz[s % 3]));
+    if (!added.is_ok()) return added.status();
+  }
+  SEGBUS_RETURN_IF_ERROR(
+      place::apply_allocation(application, allocation, platform));
+  return platform;
+}
+
+}  // namespace segbus::apps

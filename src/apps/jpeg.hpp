@@ -1,0 +1,38 @@
+// A second realistic application model: a baseline JPEG encoder tile
+// pipeline — the kind of additional application the paper's future work
+// calls for. Eleven processes over seven stages:
+//
+//   SRC -> CC (color conversion) -> SS (4:2:0 subsampling)
+//       -> DCTY/DCTC -> QY/QC (quantization) -> ZZY/ZZC (zig-zag)
+//       -> HUFY/HUFC (entropy coding) -> MUX (bitstream assembly)
+//
+// Data volumes model one 64x64 RGB tile: 12288 interleaved samples in,
+// luma plane 4096 samples, chroma planes 2048 after subsampling, entropy
+// output compressed ~2:1. Compute costs follow the MP3 model's convention
+// (C ticks per 36-item package, with a fixed per-package component).
+#pragma once
+
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::apps {
+
+/// Number of processes in the JPEG encoder.
+inline constexpr std::uint32_t kJpegProcesses = 11;
+
+/// Builds the JPEG encoder PSDF at the given package size.
+Result<psdf::PsdfModel> jpeg_encoder_psdf(std::uint32_t package_size = 36);
+
+/// A hand-tuned two-segment mapping: the luma chain (the heavy half) on
+/// segment 1, the front end plus the chroma chain on segment 2.
+std::vector<std::uint32_t> jpeg_allocation_two_segments();
+
+/// Builds a platform for the encoder with the given allocation. Clocks
+/// reuse the paper's 91/98/89 MHz set (cycled) with the 111 MHz CA.
+Result<platform::PlatformModel> jpeg_platform(
+    const psdf::PsdfModel& application,
+    const std::vector<std::uint32_t>& allocation,
+    std::uint32_t num_segments, std::uint32_t package_size = 36);
+
+}  // namespace segbus::apps

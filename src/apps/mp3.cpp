@@ -1,0 +1,136 @@
+#include "apps/mp3.hpp"
+
+#include "place/apply.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::apps {
+
+namespace {
+
+/// One flow of the MP3 PSDF: (source, target, D, T); C is uniform.
+struct FlowSpec {
+  const char* source;
+  const char* target;
+  std::uint64_t items;
+  std::uint32_t ordering;
+};
+
+/// Figure 8's twenty flows with a topological stage schedule.
+constexpr FlowSpec kFlows[] = {
+    {"P0", "P1", 576, 1},  {"P0", "P8", 576, 1},    // frame decode fan-out
+    {"P1", "P2", 540, 2},  {"P8", "P9", 540, 2},    // scaling
+    {"P1", "P3", 36, 3},   {"P8", "P3", 36, 3},     // side info to stereo
+    {"P2", "P3", 540, 4},  {"P9", "P3", 540, 4},    // dequantized samples
+    {"P3", "P4", 36, 5},   {"P3", "P10", 36, 5},    // alias-reduction ctrl
+    {"P4", "P5", 36, 6},   {"P10", "P11", 36, 6},   // alias-reduced blocks
+    {"P3", "P5", 540, 7},  {"P3", "P11", 540, 7},   // stereo output
+    {"P5", "P6", 576, 8},  {"P11", "P12", 576, 8},  // IMDCT
+    {"P6", "P7", 576, 9},  {"P12", "P13", 576, 9},  // frequency inversion
+    {"P7", "P14", 576, 10}, {"P13", "P14", 576, 10},  // synthesis -> PCM
+};
+
+/// Ticks per package at the reference package size of 36 (the §3.5 example
+/// flow "P1_576_1_250"). The cost has a fixed per-package component
+/// (block setup) plus a per-item component — the decomposition that
+/// reproduces the paper's ~14 % slowdown at package size 18, where the
+/// fixed cost is paid twice as often.
+constexpr std::uint64_t kComputeTicksAt36 = 250;
+constexpr std::uint64_t kComputeFixedTicks = 30;
+
+constexpr double kSegmentMhz[] = {91.0, 98.0, 89.0};
+constexpr double kCaMhz = 111.0;
+
+}  // namespace
+
+Result<psdf::PsdfModel> mp3_decoder_psdf(std::uint32_t package_size) {
+  psdf::PsdfModel model("mp3_decoder");
+  SEGBUS_RETURN_IF_ERROR(model.set_package_size(kPackage36));
+  for (std::uint32_t i = 0; i < kMp3Processes; ++i) {
+    auto added = model.add_process(str_format("P%u", i));
+    if (!added.is_ok()) return added.status();
+  }
+  for (const FlowSpec& spec : kFlows) {
+    SEGBUS_RETURN_IF_ERROR(model.add_flow(spec.source, spec.target,
+                                          spec.items, spec.ordering,
+                                          kComputeTicksAt36));
+  }
+  if (package_size != kPackage36) {
+    return model.rescaled_for_package_size(package_size,
+                                           kComputeFixedTicks);
+  }
+  return model;
+}
+
+std::vector<std::uint32_t> mp3_allocation(std::uint32_t num_segments) {
+  switch (num_segments) {
+    case 1:
+      return std::vector<std::uint32_t>(kMp3Processes, 0);
+    case 2: {
+      // Figure 9: "4 5 6 7 10 11 12 13 14 || 0 1 2 3 8 9".
+      std::vector<std::uint32_t> a(kMp3Processes, 0);
+      for (std::uint32_t p : {0u, 1u, 2u, 3u, 8u, 9u}) a[p] = 1;
+      return a;
+    }
+    case 3: {
+      // Figure 9: "0 1 2 3 8 9 10 || 5 6 7 11 12 13 14 || 4".
+      std::vector<std::uint32_t> a(kMp3Processes, 0);
+      for (std::uint32_t p : {5u, 6u, 7u, 11u, 12u, 13u, 14u}) a[p] = 1;
+      a[4] = 2;
+      return a;
+    }
+    default:
+      return {};
+  }
+}
+
+std::vector<std::uint32_t> mp3_allocation_p9_moved() {
+  std::vector<std::uint32_t> a = mp3_allocation(3);
+  a[9] = 2;  // shift P9 from segment 1 to segment 3
+  return a;
+}
+
+Result<platform::PlatformModel> mp3_platform(
+    const psdf::PsdfModel& application,
+    const std::vector<std::uint32_t>& allocation,
+    std::uint32_t num_segments, std::uint32_t package_size) {
+  if (allocation.size() != application.process_count()) {
+    return invalid_argument_error(
+        "allocation does not cover every MP3 process");
+  }
+  platform::PlatformModel platform(
+      str_format("MP3-%useg", num_segments));
+  SEGBUS_RETURN_IF_ERROR(platform.set_package_size(package_size));
+  SEGBUS_RETURN_IF_ERROR(
+      platform.set_ca_clock(Frequency::from_mhz(kCaMhz)));
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    auto added = platform.add_segment(
+        Frequency::from_mhz(kSegmentMhz[s % 3]));
+    if (!added.is_ok()) return added.status();
+  }
+  SEGBUS_RETURN_IF_ERROR(
+      place::apply_allocation(application, allocation, platform));
+  return platform;
+}
+
+Result<platform::PlatformModel> mp3_platform_one_segment(
+    const psdf::PsdfModel& application, std::uint32_t package_size) {
+  return mp3_platform(application, mp3_allocation(1), 1, package_size);
+}
+
+Result<platform::PlatformModel> mp3_platform_two_segments(
+    const psdf::PsdfModel& application, std::uint32_t package_size) {
+  return mp3_platform(application, mp3_allocation(2), 2, package_size);
+}
+
+Result<platform::PlatformModel> mp3_platform_three_segments(
+    const psdf::PsdfModel& application, std::uint32_t package_size) {
+  return mp3_platform(application, mp3_allocation(3), 3, package_size);
+}
+
+Result<platform::PlatformModel> mp3_platform_p9_moved(
+    const psdf::PsdfModel& application, std::uint32_t package_size) {
+  return mp3_platform(application, mp3_allocation_p9_moved(), 3,
+                      package_size);
+}
+
+}  // namespace segbus::apps

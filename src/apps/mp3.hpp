@@ -1,0 +1,66 @@
+// The paper's running example (§4): a simplified stereo MP3 decoder [12]
+// partitioned into 15 processes, plus the three platform configurations of
+// Figure 9.
+//
+// Processes: P0 frame decoding; P1/P8 scaling of the left/right channel;
+// P2/P9 dequantizing left/right; P3 stereo processing; P4/P10 aliasing
+// reduction; P5/P11 IMDCT; P6/P12 frequency inversion; P7/P13 synthesis
+// filtering; P14 PCM output.
+//
+// The flow volumes reproduce Figure 8's communication matrix exactly
+// (576/540/36 data items). The ordering numbers T follow the dataflow
+// topologically (the paper's Figure 7 rendering is not machine-readable);
+// C is 250 ticks per 36-item package for every flow, matching the
+// "P1_576_1_250" example flow in §3.5.
+#pragma once
+
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::apps {
+
+/// Number of processes in the MP3 decoder.
+inline constexpr std::uint32_t kMp3Processes = 15;
+
+/// Package sizes used in the paper's experiments.
+inline constexpr std::uint32_t kPackage36 = 36;
+inline constexpr std::uint32_t kPackage18 = 18;
+
+/// Builds the PSDF of the MP3 decoder with C values referring to
+/// `package_size` (C=250 at 36 items, rescaled per item elsewhere).
+Result<psdf::PsdfModel> mp3_decoder_psdf(std::uint32_t package_size =
+                                             kPackage36);
+
+/// Figure 9's allocations. Index = process id, value = segment (0-based).
+///   one segment   : all FUs on the same segment
+///   two segments  : {4,5,6,7,10,11,12,13,14} || {0,1,2,3,8,9}
+///   three segments: {0,1,2,3,8,9,10} || {5,6,7,11,12,13,14} || {4}
+std::vector<std::uint32_t> mp3_allocation(std::uint32_t num_segments);
+
+/// The paper's 3-segment variant with P9 shifted from segment 1 to 3.
+std::vector<std::uint32_t> mp3_allocation_p9_moved();
+
+/// Builds a platform with the paper's clocks and the given allocation.
+/// Clocks: segments 91 / 98 / 89 MHz (in order, reused cyclically for other
+/// segment counts), CA 111 MHz.
+Result<platform::PlatformModel> mp3_platform(
+    const psdf::PsdfModel& application,
+    const std::vector<std::uint32_t>& allocation,
+    std::uint32_t num_segments, std::uint32_t package_size = kPackage36);
+
+/// Convenience: the paper's named configurations.
+Result<platform::PlatformModel> mp3_platform_one_segment(
+    const psdf::PsdfModel& application,
+    std::uint32_t package_size = kPackage36);
+Result<platform::PlatformModel> mp3_platform_two_segments(
+    const psdf::PsdfModel& application,
+    std::uint32_t package_size = kPackage36);
+Result<platform::PlatformModel> mp3_platform_three_segments(
+    const psdf::PsdfModel& application,
+    std::uint32_t package_size = kPackage36);
+Result<platform::PlatformModel> mp3_platform_p9_moved(
+    const psdf::PsdfModel& application,
+    std::uint32_t package_size = kPackage36);
+
+}  // namespace segbus::apps

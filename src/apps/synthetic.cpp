@@ -1,0 +1,136 @@
+#include "apps/synthetic.hpp"
+
+#include <algorithm>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::apps {
+
+Result<psdf::PsdfModel> synthetic_pipeline(const PipelineOptions& options) {
+  if (options.stages < 2) {
+    return invalid_argument_error("a pipeline needs at least two stages");
+  }
+  psdf::PsdfModel model(str_format("pipeline%u", options.stages));
+  SEGBUS_RETURN_IF_ERROR(model.set_package_size(options.package_size));
+  for (std::uint32_t s = 0; s < options.stages; ++s) {
+    auto added = model.add_process(str_format("P%u", s));
+    if (!added.is_ok()) return added.status();
+  }
+  for (std::uint32_t s = 0; s + 1 < options.stages; ++s) {
+    SEGBUS_RETURN_IF_ERROR(model.add_flow(s, s + 1, options.items_per_hop,
+                                          s + 1, options.compute_ticks));
+  }
+  return model;
+}
+
+Result<psdf::PsdfModel> synthetic_fork_join(const ForkJoinOptions& options) {
+  if (options.width < 1) {
+    return invalid_argument_error("fork/join needs at least one worker");
+  }
+  psdf::PsdfModel model(str_format("forkjoin%u", options.width));
+  SEGBUS_RETURN_IF_ERROR(model.set_package_size(options.package_size));
+  auto source = model.add_process("Source");
+  if (!source.is_ok()) return source.status();
+  std::vector<psdf::ProcessId> workers;
+  for (std::uint32_t w = 0; w < options.width; ++w) {
+    auto worker = model.add_process(str_format("Worker%u", w));
+    if (!worker.is_ok()) return worker.status();
+    workers.push_back(*worker);
+  }
+  auto sink = model.add_process("Sink");
+  if (!sink.is_ok()) return sink.status();
+  for (psdf::ProcessId worker : workers) {
+    SEGBUS_RETURN_IF_ERROR(model.add_flow(*source, worker,
+                                          options.items_per_branch, 1,
+                                          options.compute_ticks));
+    SEGBUS_RETURN_IF_ERROR(model.add_flow(worker, *sink,
+                                          options.items_per_branch, 2,
+                                          options.compute_ticks));
+  }
+  return model;
+}
+
+Result<psdf::PsdfModel> synthetic_butterfly(const ButterflyOptions& options) {
+  if (options.log2_width < 1 || options.log2_width > 4) {
+    return invalid_argument_error("butterfly log2_width must be in 1..4");
+  }
+  if (options.stages < 2) {
+    return invalid_argument_error("butterfly needs at least two stages");
+  }
+  const std::uint32_t lanes = 1u << options.log2_width;
+  psdf::PsdfModel model(str_format("butterfly%ux%u", lanes, options.stages));
+  SEGBUS_RETURN_IF_ERROR(model.set_package_size(options.package_size));
+  // Process grid: R<rank>L<lane>.
+  std::vector<std::vector<psdf::ProcessId>> grid(options.stages);
+  for (std::uint32_t rank = 0; rank < options.stages; ++rank) {
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+      auto id = model.add_process(str_format("R%uL%u", rank, lane));
+      if (!id.is_ok()) return id.status();
+      grid[rank].push_back(*id);
+    }
+  }
+  for (std::uint32_t rank = 0; rank + 1 < options.stages; ++rank) {
+    const std::uint32_t stride = 1u << (rank % options.log2_width);
+    for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+      SEGBUS_RETURN_IF_ERROR(model.add_flow(grid[rank][lane],
+                                            grid[rank + 1][lane],
+                                            options.items_per_edge, rank + 1,
+                                            options.compute_ticks));
+      const std::uint32_t partner = lane ^ stride;
+      SEGBUS_RETURN_IF_ERROR(model.add_flow(grid[rank][lane],
+                                            grid[rank + 1][partner],
+                                            options.items_per_edge, rank + 1,
+                                            options.compute_ticks));
+    }
+  }
+  return model;
+}
+
+Result<psdf::PsdfModel> synthetic_random(
+    const RandomWorkloadOptions& options) {
+  if (options.min_layers < 2 || options.max_layers < options.min_layers) {
+    return invalid_argument_error("need max_layers >= min_layers >= 2");
+  }
+  if (options.min_width < 1 || options.max_width < options.min_width) {
+    return invalid_argument_error("need max_width >= min_width >= 1");
+  }
+  Xoshiro256 rng(options.seed);
+  psdf::PsdfModel model(str_format(
+      "rand%llu", static_cast<unsigned long long>(options.seed)));
+  SEGBUS_RETURN_IF_ERROR(model.set_package_size(options.package_size));
+
+  const auto layers = static_cast<std::uint32_t>(
+      rng.next_in(options.min_layers, options.max_layers));
+  std::vector<std::vector<psdf::ProcessId>> members(layers);
+  std::uint32_t counter = 0;
+  for (std::uint32_t layer = 0; layer < layers; ++layer) {
+    const auto width = static_cast<std::uint32_t>(
+        rng.next_in(options.min_width, options.max_width));
+    for (std::uint32_t i = 0; i < width; ++i) {
+      auto id = model.add_process(str_format("P%u", counter++));
+      if (!id.is_ok()) return id.status();
+      members[layer].push_back(*id);
+    }
+  }
+  for (std::uint32_t layer = 0; layer + 1 < layers; ++layer) {
+    for (psdf::ProcessId source : members[layer]) {
+      const auto& next = members[layer + 1];
+      const std::size_t fanout =
+          1 + rng.next_below(std::min<std::size_t>(next.size(), 2));
+      for (std::size_t f = 0; f < fanout; ++f) {
+        psdf::ProcessId target = next[rng.next_below(next.size())];
+        auto items = static_cast<std::uint64_t>(
+            rng.next_in(1, static_cast<std::int64_t>(options.max_items)));
+        auto ticks = static_cast<std::uint64_t>(
+            rng.next_in(0, static_cast<std::int64_t>(options.max_compute)));
+        // Duplicate (source, target, ordering) triples are rejected;
+        // fanout is best-effort, so ignore those.
+        (void)model.add_flow(source, target, items, layer + 1, ticks);
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace segbus::apps

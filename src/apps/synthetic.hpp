@@ -1,0 +1,62 @@
+// Synthetic PSDF workload generators — the paper's future work ("more
+// application models to be tested on the emulator platform") plus the
+// randomized graphs the property tests sweep. All generators are
+// deterministic for fixed parameters/seeds.
+#pragma once
+
+#include <cstdint>
+
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::apps {
+
+/// A linear pipeline: P0 -> P1 -> ... -> P(stages-1), one flow per hop,
+/// stage k carrying ordering k.
+struct PipelineOptions {
+  std::uint32_t stages = 4;          ///< >= 2
+  std::uint64_t items_per_hop = 720;
+  std::uint64_t compute_ticks = 100; ///< C per package
+  std::uint32_t package_size = 36;
+};
+Result<psdf::PsdfModel> synthetic_pipeline(const PipelineOptions& options);
+
+/// Fork/join: one source fans out to `width` workers (ordering 1) which
+/// all feed one sink (ordering 2).
+struct ForkJoinOptions {
+  std::uint32_t width = 4;           ///< >= 1
+  std::uint64_t items_per_branch = 360;
+  std::uint64_t compute_ticks = 80;
+  std::uint32_t package_size = 36;
+};
+Result<psdf::PsdfModel> synthetic_fork_join(const ForkJoinOptions& options);
+
+/// Butterfly (FFT-like) exchange: `2^log2_width` lanes over `stages`
+/// ranks; at rank r, lane i sends to lanes i and i XOR 2^(r mod log2_width)
+/// of the next rank. Heavy on cross-lane (and, once mapped, cross-segment)
+/// traffic.
+struct ButterflyOptions {
+  std::uint32_t log2_width = 2;      ///< lanes = 2^log2_width (1..4)
+  std::uint32_t stages = 3;          ///< ranks of computation (>= 2)
+  std::uint64_t items_per_edge = 144;
+  std::uint64_t compute_ticks = 60;
+  std::uint32_t package_size = 36;
+};
+Result<psdf::PsdfModel> synthetic_butterfly(const ButterflyOptions& options);
+
+/// Random layered DAG (always passes PSDF validation): every process in
+/// layer L sends to >= 1 process of layer L+1 with ordering L+1.
+struct RandomWorkloadOptions {
+  std::uint64_t seed = 1;
+  std::uint32_t min_layers = 2;
+  std::uint32_t max_layers = 4;
+  std::uint32_t min_width = 1;
+  std::uint32_t max_width = 3;
+  std::uint64_t max_items = 400;     ///< per flow, uniform in [1, max]
+  std::uint64_t max_compute = 120;   ///< C per package, uniform in [0, max]
+  std::uint32_t package_size = 36;
+};
+Result<psdf::PsdfModel> synthetic_random(
+    const RandomWorkloadOptions& options);
+
+}  // namespace segbus::apps

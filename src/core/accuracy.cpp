@@ -1,0 +1,35 @@
+#include "core/accuracy.hpp"
+
+namespace segbus::core {
+
+Result<AccuracyReport> compare_accuracy(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::EngineOptions& options) {
+  AccuracyReport report;
+  {
+    SEGBUS_ASSIGN_OR_RETURN(
+        emu::Engine engine,
+        emu::Engine::create(application, platform,
+                            emu::TimingModel::emulator(), options));
+    SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult result, engine.run());
+    if (!result.completed) {
+      return internal_error("estimation run did not complete");
+    }
+    report.estimated = result.total_execution_time;
+  }
+  {
+    SEGBUS_ASSIGN_OR_RETURN(
+        emu::Engine engine,
+        emu::Engine::create(application, platform,
+                            emu::TimingModel::reference(), options));
+    SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult result, engine.run());
+    if (!result.completed) {
+      return internal_error("reference run did not complete");
+    }
+    report.actual = result.total_execution_time;
+  }
+  return report;
+}
+
+}  // namespace segbus::core

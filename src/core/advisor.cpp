@@ -1,0 +1,155 @@
+#include "core/advisor.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "platform/constraints.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::core {
+
+std::string_view advice_kind_name(AdviceKind kind) noexcept {
+  switch (kind) {
+    case AdviceKind::kMoveProcess: return "move-process";
+    case AdviceKind::kBusBound: return "bus-bound";
+    case AdviceKind::kDominantStage: return "dominant-stage";
+    case AdviceKind::kReduceSegments: return "reduce-segments";
+    case AdviceKind::kIncreasePackage: return "increase-package";
+    case AdviceKind::kLooksBalanced: return "looks-balanced";
+  }
+  return "?";
+}
+
+Result<std::vector<Advice>> advise(const psdf::PsdfModel& application,
+                                   const platform::PlatformModel& platform,
+                                   const emu::EmulationResult& result) {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+  if (result.sas.size() != platform.segment_count()) {
+    return invalid_argument_error(
+        "the result does not belong to this platform");
+  }
+  std::vector<Advice> advice;
+
+  // 1. BU congestion: find the flow contributing the most inter-segment
+  //    packages and suggest co-locating its endpoints (the paper's P9
+  //    experiment in reverse).
+  {
+    std::uint64_t total_inter = 0;
+    const psdf::Flow* heaviest = nullptr;
+    std::uint64_t heaviest_packages = 0;
+    for (const psdf::Flow& flow : application.flows()) {
+      auto src = platform.segment_of(application.process(flow.source).name);
+      auto dst = platform.segment_of(application.process(flow.target).name);
+      if (!src || !dst || *src == *dst) continue;
+      std::uint64_t packages =
+          psdf::packages_for(flow.data_items, platform.package_size()) *
+          platform.distance(*src, *dst);
+      total_inter += packages;
+      if (packages > heaviest_packages) {
+        heaviest_packages = packages;
+        heaviest = &flow;
+      }
+    }
+    if (heaviest != nullptr && total_inter > 0 &&
+        heaviest_packages * 2 >= total_inter &&
+        heaviest_packages >= 8) {
+      const std::string& src =
+          application.process(heaviest->source).name;
+      const std::string& dst =
+          application.process(heaviest->target).name;
+      advice.push_back(
+          {AdviceKind::kMoveProcess,
+           str_format("flow %s -> %s causes %llu of the %llu inter-segment "
+                      "package-hops; consider mapping %s and %s on the same "
+                      "segment (PlatformModel::move_process)",
+                      src.c_str(), dst.c_str(),
+                      static_cast<unsigned long long>(heaviest_packages),
+                      static_cast<unsigned long long>(total_inter),
+                      src.c_str(), dst.c_str())});
+    }
+  }
+
+  // 2. Bus saturation.
+  for (std::size_t s = 0; s < result.sas.size(); ++s) {
+    double utilization = result.sa_utilization(s);
+    if (utilization > 0.85) {
+      advice.push_back(
+          {AdviceKind::kBusBound,
+           str_format("Segment %zu's bus is %.0f%% busy up to its last "
+                      "activity — the interconnect, not computation, bounds "
+                      "it; consider larger packages or splitting its FUs "
+                      "across segments",
+                      s + 1, 100.0 * utilization)});
+    }
+  }
+
+  // 3. Stage dominance.
+  if (!result.stages.empty() && result.total_execution_time.count() > 0) {
+    const emu::StageStats* dominant = nullptr;
+    for (const emu::StageStats& stage : result.stages) {
+      if (dominant == nullptr ||
+          (stage.close_time - stage.open_time) >
+              (dominant->close_time - dominant->open_time)) {
+        dominant = &stage;
+      }
+    }
+    const double share =
+        static_cast<double>(
+            (dominant->close_time - dominant->open_time).count()) /
+        static_cast<double>(result.total_execution_time.count());
+    if (share > 0.4 && result.stages.size() > 2) {
+      advice.push_back(
+          {AdviceKind::kDominantStage,
+           str_format("schedule stage T=%u spans %.0f%% of the run; its "
+                      "serial master is the critical path — consider "
+                      "partitioning that process further (paper §5's "
+                      "granularity balancing)",
+                      dominant->ordering, 100.0 * share)});
+    }
+  }
+
+  // 4. Unused segmentation.
+  if (platform.segment_count() > 1 && result.ca.inter_requests == 0) {
+    advice.push_back(
+        {AdviceKind::kReduceSegments,
+         "no inter-segment transfers occurred: the extra segments only add "
+         "hardware; a single-segment platform would behave identically"});
+  }
+
+  // 5. Small packages: many CA grants relative to data moved.
+  {
+    std::uint64_t packages = 0;
+    for (const emu::FlowStats& flow : result.flows) {
+      packages += flow.packages;
+    }
+    if (packages > 0 && platform.package_size() < 16) {
+      advice.push_back(
+          {AdviceKind::kIncreasePackage,
+           str_format("package size %u means %llu package handshakes; the "
+                      "paper's Discussion: larger packages amortize "
+                      "arbitration and synchronization overhead",
+                      platform.package_size(),
+                      static_cast<unsigned long long>(packages))});
+    }
+  }
+
+  if (advice.empty()) {
+    advice.push_back({AdviceKind::kLooksBalanced,
+                      "no congestion, saturation or dominant serial stage "
+                      "detected at the heuristics' thresholds"});
+  }
+  return advice;
+}
+
+std::string render_advice(const std::vector<Advice>& advice) {
+  std::string out;
+  for (std::size_t i = 0; i < advice.size(); ++i) {
+    out += str_format("%zu. [%s] %s\n", i + 1,
+                      std::string(advice_kind_name(advice[i].kind)).c_str(),
+                      advice[i].message.c_str());
+  }
+  return out;
+}
+
+}  // namespace segbus::core

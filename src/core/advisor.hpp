@@ -1,0 +1,46 @@
+// Configuration advisor: turns one emulation result into the concrete
+// design actions the paper's methodology walks through by hand — "the
+// granularity level of application components can also be balanced in
+// order to eliminate the traffic congestion located at certain BUs" (§5).
+// Heuristic, conservative, and explained: every piece of advice names the
+// evidence it is based on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emu/stats.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::core {
+
+/// Kinds of advice the analyzer produces.
+enum class AdviceKind {
+  kMoveProcess,      ///< relocate a process to cut BU traffic
+  kBusBound,         ///< a segment bus is saturated
+  kDominantStage,    ///< one schedule stage dominates the run
+  kReduceSegments,   ///< segmentation is unused (no inter-segment traffic)
+  kIncreasePackage,  ///< per-package overheads are a large share
+  kLooksBalanced,    ///< nothing actionable found
+};
+
+std::string_view advice_kind_name(AdviceKind kind) noexcept;
+
+/// One finding.
+struct Advice {
+  AdviceKind kind = AdviceKind::kLooksBalanced;
+  std::string message;   ///< action + the evidence behind it
+};
+
+/// Analyzes a completed run. Returns at least one entry (kLooksBalanced
+/// when nothing fires).
+Result<std::vector<Advice>> advise(const psdf::PsdfModel& application,
+                                   const platform::PlatformModel& platform,
+                                   const emu::EmulationResult& result);
+
+/// Renders the advice list as numbered lines.
+std::string render_advice(const std::vector<Advice>& advice);
+
+}  // namespace segbus::core

@@ -1,0 +1,142 @@
+#include "core/analytic.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "platform/constraints.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::core {
+
+namespace {
+
+/// Shared skeleton: walks the schedule stage by stage, asking `master_cost`
+/// for the per-package tick cost a master pays (in its segment domain) and
+/// `bus_cost` for the per-package tick cost a segment bus pays.
+template <typename MasterCost, typename BusCost>
+Result<AnalyticResult> analyze(const psdf::PsdfModel& application,
+                               const platform::PlatformModel& platform,
+                               MasterCost master_cost, BusCost bus_cost) {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+
+  // Group flows by ordering value.
+  std::map<std::uint32_t, std::vector<psdf::Flow>> stages;
+  for (const psdf::Flow& flow : application.scheduled_flows()) {
+    stages[flow.ordering].push_back(flow);
+  }
+
+  std::vector<ClockDomain> domains;
+  for (platform::SegmentId s = 0; s < platform.segment_count(); ++s) {
+    domains.emplace_back(platform.segment(s).name, platform.segment(s).clock);
+  }
+
+  AnalyticResult result;
+  for (const auto& [ordering, flows] : stages) {
+    // Per-master serial ticks, and per-segment bus occupancy ticks.
+    std::map<psdf::ProcessId, std::uint64_t> master_ticks;
+    std::map<platform::SegmentId, std::uint64_t> bus_ticks;
+    std::map<psdf::ProcessId, platform::SegmentId> master_segment;
+
+    for (const psdf::Flow& flow : flows) {
+      const std::string& src_name = application.process(flow.source).name;
+      const std::string& dst_name = application.process(flow.target).name;
+      SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId src,
+                              platform.require_segment_of(src_name));
+      SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId dst,
+                              platform.require_segment_of(dst_name));
+      const std::uint64_t packages =
+          psdf::packages_for(flow.data_items, platform.package_size());
+      const std::uint32_t hops = platform.distance(src, dst);
+
+      master_ticks[flow.source] +=
+          packages * master_cost(flow.compute_ticks, hops);
+      master_segment[flow.source] = src;
+      // Bus occupancy: the package's data phase occupies every segment on
+      // the path once.
+      SEGBUS_ASSIGN_OR_RETURN(std::vector<platform::PathHop> path,
+                              platform.path(src, dst));
+      for (const platform::PathHop& hop : path) {
+        bus_ticks[hop.segment] += packages * bus_cost();
+      }
+    }
+
+    AnalyticStage stage;
+    stage.ordering = ordering;
+    for (const auto& [process, ticks] : master_ticks) {
+      Picoseconds t =
+          domains[master_segment[process]].span(
+              static_cast<std::int64_t>(ticks));
+      if (t > stage.duration) {
+        stage.duration = t;
+        stage.binding =
+            "master " + application.process(process).name;
+      }
+    }
+    for (const auto& [segment, ticks] : bus_ticks) {
+      Picoseconds t =
+          domains[segment].span(static_cast<std::int64_t>(ticks));
+      if (t > stage.duration) {
+        stage.duration = t;
+        stage.binding = platform::PlatformModel::segment_display_name(
+            segment);
+      }
+    }
+    result.total += stage.duration;
+    result.stages.push_back(std::move(stage));
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<AnalyticResult> analytic_lower_bound(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform) {
+  const std::uint32_t s = platform.package_size();
+  // Lower bound: a master cannot finish a package in fewer than
+  // C + 1 (request) + s (its own segment's data phase) ticks, even with
+  // every handshake free; a bus cannot move a package in fewer than s
+  // ticks. Downstream hop time is dropped entirely (it may overlap with
+  // the next stage's ramp-up in pathological schedules).
+  return analyze(
+      application, platform,
+      [s](std::uint64_t compute, std::uint32_t /*hops*/) {
+        return compute + 1 + s;
+      },
+      [s]() { return static_cast<std::uint64_t>(s); });
+}
+
+Result<AnalyticResult> analytic_estimate(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::TimingModel& timing) {
+  const std::uint32_t s = platform.package_size();
+  // Calibrated against the engine's handshakes:
+  //  * local package: C + request + SA decision/grant/response + s + the
+  //    idle->compute turnaround tick;
+  //  * global package (blocking master): additionally one CA round trip
+  //    (request visibility, decision, reserve/ack/start ~ 6 ticks) and,
+  //    per hop, the forward data phase plus WP and sync, plus the release
+  //    notification.
+  const std::uint64_t local_overhead =
+      1 + timing.request_ticks + timing.sa_decision_ticks +
+      timing.grant_set_ticks + timing.master_response_ticks;
+  const std::uint64_t ca_round_trip =
+      6 + timing.ca_decision_ticks + 2 * timing.ca_signal_ticks;
+  const std::uint64_t per_hop =
+      s + timing.bu_grant_turnaround_ticks + timing.bu_sync_ticks;
+  return analyze(
+      application, platform,
+      [=](std::uint64_t compute, std::uint32_t hops) {
+        std::uint64_t ticks = compute + local_overhead + s;
+        if (hops > 0) {
+          ticks += ca_round_trip + 2;  // release notification latency
+          if (timing.master_blocking) ticks += hops * per_hop;
+        }
+        return ticks;
+      },
+      [s]() { return static_cast<std::uint64_t>(s); });
+}
+
+}  // namespace segbus::core

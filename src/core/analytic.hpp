@@ -1,0 +1,57 @@
+// Closed-form (static) performance analysis of a mapped application —
+// the zero-cost companion to emulation.
+//
+// The paper positions emulation against static estimation: an emulator
+// captures arbitration, contention and cross-clock effects that a formula
+// cannot. This module provides the formula side of that comparison:
+//
+//  * analytic_lower_bound() — a *provable* lower bound on the execution
+//    time. Within one stage (one ordering rank) it takes the maximum of
+//      - each master's serial work: packages x (C + request + data) ticks
+//        of its segment clock, and
+//      - each segment bus's raw occupancy: the data ticks of every package
+//        transferred on it,
+//    and sums stages (the schedule serializes stages globally). All
+//    optional handshake costs are omitted, so no schedule can beat it.
+//
+//  * analytic_estimate() — a calibrated point estimate that adds the
+//    emulator's per-package handshake costs (SA decision, CA round trip,
+//    per-hop forwarding) to the same skeleton. Not a bound; typically
+//    within ~10-20 % of the emulated figure for pipeline-style workloads
+//    and used as a sanity cross-check.
+#pragma once
+
+#include "emu/timing.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::core {
+
+/// Per-stage breakdown of an analytic computation.
+struct AnalyticStage {
+  std::uint32_t ordering = 0;   ///< the stage's T value
+  Picoseconds duration{0};      ///< the stage's bound/estimate
+  std::string binding;          ///< what bound: "master P3" or "bus Segment 1"
+};
+
+/// Result of an analytic computation.
+struct AnalyticResult {
+  Picoseconds total{0};
+  std::vector<AnalyticStage> stages;
+};
+
+/// Provable lower bound on the emulated execution time (see file comment).
+Result<AnalyticResult> analytic_lower_bound(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform);
+
+/// Calibrated point estimate using the given timing model's handshake
+/// costs.
+Result<AnalyticResult> analytic_estimate(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::TimingModel& timing = emu::TimingModel::emulator());
+
+}  // namespace segbus::core

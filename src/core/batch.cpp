@@ -1,0 +1,150 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+
+#include "core/analytic.hpp"
+#include "place/apply.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace segbus::core {
+
+std::string GridReport::render() const {
+  Table table;
+  table.set_header({"package", "allocation", "timing", "exec time",
+                    "analytic LB", "estimate", "CA TCT", "inter-pkgs",
+                    "max WP"});
+  table.set_column_alignment(1, Align::kLeft);
+  table.set_column_alignment(2, Align::kLeft);
+  for (const GridEntry& e : entries) {
+    table.add_row(
+        {str_format("%u", e.package_size), e.allocation, e.timing,
+         format_us(e.execution_time),
+         e.analytic_lower_bound.count() > 0
+             ? format_us(e.analytic_lower_bound)
+             : "-",
+         e.analytic_estimate.count() > 0 ? format_us(e.analytic_estimate)
+                                         : "-",
+         str_format("%llu", static_cast<unsigned long long>(e.ca_tct)),
+         str_format("%llu", static_cast<unsigned long long>(
+                                e.inter_segment_packages)),
+         str_format("%.2f", e.max_bu_mean_wp)});
+  }
+  return table.render();
+}
+
+CsvWriter GridReport::to_csv() const {
+  CsvWriter csv({"package_size", "allocation", "timing", "execution_ps",
+                 "analytic_lower_bound_ps", "analytic_estimate_ps",
+                 "ca_tct", "inter_segment_packages", "max_bu_mean_wp"});
+  for (const GridEntry& e : entries) {
+    csv.add_row({str_format("%u", e.package_size), e.allocation, e.timing,
+                 str_format("%lld", static_cast<long long>(
+                                        e.execution_time.count())),
+                 str_format("%lld", static_cast<long long>(
+                                        e.analytic_lower_bound.count())),
+                 str_format("%lld", static_cast<long long>(
+                                        e.analytic_estimate.count())),
+                 str_format("%llu",
+                            static_cast<unsigned long long>(e.ca_tct)),
+                 str_format("%llu", static_cast<unsigned long long>(
+                                        e.inter_segment_packages)),
+                 str_format("%.4f", e.max_bu_mean_wp)});
+  }
+  return csv;
+}
+
+JsonValue GridReport::to_json() const {
+  JsonValue array = JsonValue::array();
+  for (const GridEntry& e : entries) {
+    JsonValue item = JsonValue::object();
+    item.set("package_size", JsonValue::unsigned_integer(e.package_size));
+    item.set("allocation", JsonValue::string(e.allocation));
+    item.set("timing", JsonValue::string(e.timing));
+    item.set("execution_ps", JsonValue::integer(e.execution_time.count()));
+    item.set("analytic_lower_bound_ps",
+             JsonValue::integer(e.analytic_lower_bound.count()));
+    item.set("analytic_estimate_ps",
+             JsonValue::integer(e.analytic_estimate.count()));
+    item.set("ca_tct", JsonValue::unsigned_integer(e.ca_tct));
+    item.set("inter_segment_packages",
+             JsonValue::unsigned_integer(e.inter_segment_packages));
+    item.set("max_bu_mean_wp", JsonValue::number(e.max_bu_mean_wp));
+    array.push(std::move(item));
+  }
+  return array;
+}
+
+Result<GridReport> run_grid(const AppFactory& app_factory,
+                            const GridSpec& spec) {
+  if (!app_factory) {
+    return invalid_argument_error("an application factory is required");
+  }
+  if (spec.package_sizes.empty() || spec.allocations.empty() ||
+      spec.timings.empty()) {
+    return invalid_argument_error(
+        "the grid needs at least one package size, allocation and timing "
+        "model");
+  }
+  if (spec.segment_clocks.empty()) {
+    return invalid_argument_error("at least one segment clock is required");
+  }
+
+  GridReport report;
+  for (std::uint32_t package : spec.package_sizes) {
+    SEGBUS_ASSIGN_OR_RETURN(psdf::PsdfModel app, app_factory(package));
+    for (const LabeledAllocation& allocation : spec.allocations) {
+      std::uint32_t segments = 0;
+      for (std::uint32_t s : allocation.allocation) {
+        segments = std::max(segments, s + 1);
+      }
+      platform::PlatformModel platform(
+          str_format("grid-%useg", segments));
+      SEGBUS_RETURN_IF_ERROR(platform.set_package_size(package));
+      SEGBUS_RETURN_IF_ERROR(platform.set_ca_clock(spec.ca_clock));
+      for (std::uint32_t s = 0; s < segments; ++s) {
+        auto added = platform.add_segment(
+            spec.segment_clocks[s % spec.segment_clocks.size()]);
+        if (!added.is_ok()) return added.status();
+      }
+      SEGBUS_RETURN_IF_ERROR(
+          place::apply_allocation(app, allocation.allocation, platform));
+
+      for (const LabeledTiming& timing : spec.timings) {
+        SEGBUS_ASSIGN_OR_RETURN(
+            emu::Engine engine,
+            emu::Engine::create(app, platform, timing.timing));
+        SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult result, engine.run());
+        if (!result.completed) {
+          return internal_error(str_format(
+              "grid cell (s=%u, %s, %s) did not complete", package,
+              allocation.label.c_str(), timing.label.c_str()));
+        }
+        GridEntry entry;
+        entry.package_size = package;
+        entry.allocation = allocation.label;
+        entry.timing = timing.label;
+        entry.execution_time = result.total_execution_time;
+        entry.ca_tct = result.ca.tct;
+        entry.inter_segment_packages = result.ca.inter_requests;
+        for (const emu::BuStats& bu : result.bus) {
+          entry.max_bu_mean_wp =
+              std::max(entry.max_bu_mean_wp, bu.mean_wp());
+        }
+        if (spec.analytic) {
+          SEGBUS_ASSIGN_OR_RETURN(AnalyticResult lower_bound,
+                                  analytic_lower_bound(app, platform));
+          entry.analytic_lower_bound = lower_bound.total;
+          SEGBUS_ASSIGN_OR_RETURN(
+              AnalyticResult estimate,
+              analytic_estimate(app, platform, timing.timing));
+          entry.analytic_estimate = estimate.total;
+        }
+        report.entries.push_back(std::move(entry));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace segbus::core

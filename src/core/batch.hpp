@@ -1,0 +1,79 @@
+// Batch experiment grids: sweep (package size x allocation x timing model)
+// for one application and collect execution times, analytic bounds and
+// traffic counters into a table / CSV / JSON — the regression-tracking
+// harness behind the benches and the experiment_grid example.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "place/cost.hpp"
+#include "support/csv.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace segbus::core {
+
+/// Produces the application model for a given package size (package-size
+/// sweeps need per-size C values when compute has a fixed component).
+using AppFactory =
+    std::function<Result<psdf::PsdfModel>(std::uint32_t package_size)>;
+
+/// One labeled allocation candidate.
+struct LabeledAllocation {
+  std::string label;
+  place::Allocation allocation;
+};
+
+/// One labeled timing model.
+struct LabeledTiming {
+  std::string label;
+  emu::TimingModel timing;
+};
+
+/// The grid to sweep. Platforms are built with `segment_clocks` (cycled)
+/// and `ca_clock`; the segment count is the max segment index used by each
+/// allocation plus one.
+struct GridSpec {
+  std::vector<std::uint32_t> package_sizes;
+  std::vector<LabeledAllocation> allocations;
+  std::vector<LabeledTiming> timings;
+  std::vector<Frequency> segment_clocks;
+  Frequency ca_clock = Frequency::from_mhz(111.0);
+  /// Also compute the closed-form lower bound / estimate per cell.
+  bool analytic = true;
+};
+
+/// One grid cell's measurements.
+struct GridEntry {
+  std::uint32_t package_size = 0;
+  std::string allocation;
+  std::string timing;
+  Picoseconds execution_time{0};
+  Picoseconds analytic_lower_bound{0};
+  Picoseconds analytic_estimate{0};
+  std::uint64_t ca_tct = 0;
+  std::uint64_t inter_segment_packages = 0;
+  double max_bu_mean_wp = 0.0;
+};
+
+/// The swept grid.
+struct GridReport {
+  std::vector<GridEntry> entries;
+
+  /// Fixed-width table, one row per cell.
+  std::string render() const;
+  /// CSV with one row per cell.
+  CsvWriter to_csv() const;
+  /// JSON array of cells.
+  JsonValue to_json() const;
+};
+
+/// Runs every (package, allocation, timing) combination. Fails fast on the
+/// first invalid combination.
+Result<GridReport> run_grid(const AppFactory& app_factory,
+                            const GridSpec& spec);
+
+}  // namespace segbus::core

@@ -1,0 +1,75 @@
+#include "core/diff.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace segbus::core {
+
+std::vector<DiffRow> ResultDiff::significant(
+    double threshold_percent) const {
+  std::vector<DiffRow> out;
+  for (const DiffRow& row : rows) {
+    if (std::fabs(row.delta_percent()) > threshold_percent) {
+      out.push_back(row);
+    }
+  }
+  return out;
+}
+
+std::string ResultDiff::render() const {
+  Table table;
+  table.set_header({"metric", "before", "after", "delta", "delta %"});
+  table.set_column_alignment(0, Align::kLeft);
+  for (const DiffRow& row : rows) {
+    table.add_row({row.metric, str_format("%.6g", row.before),
+                   str_format("%.6g", row.after),
+                   str_format("%+.6g", row.delta()),
+                   str_format("%+.2f%%", row.delta_percent())});
+  }
+  return table.render();
+}
+
+Result<ResultDiff> diff_results(const emu::EmulationResult& before,
+                                const emu::EmulationResult& after) {
+  if (before.sas.size() != after.sas.size() ||
+      before.bus.size() != after.bus.size()) {
+    return invalid_argument_error(
+        "results come from platforms of different shape (segment or BU "
+        "count mismatch)");
+  }
+  ResultDiff diff;
+  auto add = [&](std::string metric, double b, double a) {
+    diff.rows.push_back({std::move(metric), b, a});
+  };
+  add("total execution (us)", before.total_execution_time.microseconds(),
+      after.total_execution_time.microseconds());
+  add("last delivery (us)", before.last_delivery_time.microseconds(),
+      after.last_delivery_time.microseconds());
+  add("CA TCT", static_cast<double>(before.ca.tct),
+      static_cast<double>(after.ca.tct));
+  add("CA inter-segment requests",
+      static_cast<double>(before.ca.inter_requests),
+      static_cast<double>(after.ca.inter_requests));
+  for (std::size_t s = 0; s < before.sas.size(); ++s) {
+    add(str_format("SA%zu TCT", s + 1),
+        static_cast<double>(before.sas[s].tct),
+        static_cast<double>(after.sas[s].tct));
+    add(str_format("SA%zu intra requests", s + 1),
+        static_cast<double>(before.sas[s].intra_requests),
+        static_cast<double>(after.sas[s].intra_requests));
+    add(str_format("SA%zu utilization", s + 1), before.sa_utilization(s),
+        after.sa_utilization(s));
+  }
+  for (std::size_t b = 0; b < before.bus.size(); ++b) {
+    add(str_format("BU#%zu packages", b),
+        static_cast<double>(before.bus[b].transfers),
+        static_cast<double>(after.bus[b].transfers));
+    add(str_format("BU#%zu mean WP", b), before.bus[b].mean_wp(),
+        after.bus[b].mean_wp());
+  }
+  return diff;
+}
+
+}  // namespace segbus::core

@@ -1,0 +1,46 @@
+// Result diffing: compare two emulation runs metric by metric — the
+// regression-review companion to the batch grids (e.g. before/after a
+// placement change, or tracking the estimate across library versions).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emu/stats.hpp"
+#include "support/status.hpp"
+
+namespace segbus::core {
+
+/// One compared metric.
+struct DiffRow {
+  std::string metric;
+  double before = 0.0;
+  double after = 0.0;
+
+  double delta() const { return after - before; }
+  /// Relative change in percent (0 when both sides are 0).
+  double delta_percent() const {
+    if (before == 0.0) return after == 0.0 ? 0.0 : 100.0;
+    return 100.0 * (after - before) / before;
+  }
+};
+
+/// The structured diff.
+struct ResultDiff {
+  std::vector<DiffRow> rows;
+
+  /// Rows whose relative change exceeds `threshold_percent` (absolute).
+  std::vector<DiffRow> significant(double threshold_percent = 1.0) const;
+
+  /// Fixed-width table, one row per metric, delta column signed.
+  std::string render() const;
+};
+
+/// Compares the headline metrics of two runs (total/last-delivery time, CA
+/// figures, per-SA TCT and requests, per-BU traffic and waiting periods).
+/// The runs must come from platforms with the same shape (segment and BU
+/// counts); InvalidArgument otherwise.
+Result<ResultDiff> diff_results(const emu::EmulationResult& before,
+                                const emu::EmulationResult& after);
+
+}  // namespace segbus::core

@@ -1,0 +1,97 @@
+#include "core/energy.hpp"
+
+#include "platform/constraints.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::core {
+
+std::string EnergyBreakdown::render() const {
+  const double total = total_pj();
+  auto line = [&](const char* label, double pj) {
+    return str_format("  %-12s %14.0f pJ  (%5.1f%%)\n", label, pj,
+                      total > 0.0 ? 100.0 * pj / total : 0.0);
+  };
+  std::string out;
+  out += line("compute", compute_pj);
+  out += line("bus data", bus_pj);
+  out += line("BU crossings", bu_pj);
+  out += line("arbitration", arbitration_pj);
+  out += line("idle/leakage", idle_pj);
+  out += str_format("  %-12s %14.0f pJ\n", "total", total);
+  return out;
+}
+
+Result<EnergyBreakdown> estimate_energy(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::EmulationResult& result, const EnergyModel& model) {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+  if (result.sas.size() != platform.segment_count()) {
+    return invalid_argument_error(
+        "the result does not belong to this platform (segment count "
+        "mismatch)");
+  }
+
+  EnergyBreakdown breakdown;
+  const std::uint32_t s = platform.package_size();
+
+  // Compute: every package costs its flow's C ticks at the source FU.
+  // Bus data: s ticks on every segment the package traverses.
+  for (const psdf::Flow& flow : application.flows()) {
+    const std::uint64_t packages = psdf::packages_for(flow.data_items, s);
+    breakdown.compute_pj +=
+        model.pj_per_compute_tick *
+        static_cast<double>(packages * flow.compute_ticks);
+    const std::string& src = application.process(flow.source).name;
+    const std::string& dst = application.process(flow.target).name;
+    SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId a,
+                            platform.require_segment_of(src));
+    SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId b,
+                            platform.require_segment_of(dst));
+    const std::uint64_t segments_touched = platform.distance(a, b) + 1;
+    breakdown.bus_pj += model.pj_per_bus_data_tick *
+                        static_cast<double>(packages * s *
+                                            segments_touched);
+  }
+
+  // BU crossings and arbitration events come from the counted run.
+  for (const emu::BuStats& bu : result.bus) {
+    breakdown.bu_pj +=
+        model.pj_per_bu_crossing * static_cast<double>(bu.transfers);
+  }
+  std::uint64_t arbitrations = result.ca.grants;
+  for (const emu::SaStats& sa : result.sas) {
+    arbitrations += sa.intra_requests + sa.inter_requests;
+  }
+  breakdown.arbitration_pj =
+      model.pj_per_arbitration * static_cast<double>(arbitrations);
+
+  // Idle/leakage: every element ticks for the whole run; subtract the busy
+  // share we already charged as activity.
+  const double total_ps =
+      static_cast<double>(result.total_execution_time.count());
+  double idle_ticks = 0.0;
+  for (platform::SegmentId seg = 0; seg < platform.segment_count(); ++seg) {
+    const double period =
+        static_cast<double>(platform.segment(seg).clock.period_ps());
+    if (period <= 0.0) continue;
+    const double run_ticks = total_ps / period;
+    idle_ticks += std::max(
+        0.0, run_ticks - static_cast<double>(result.sas[seg].busy_ticks));
+  }
+  {
+    const double period =
+        static_cast<double>(platform.ca_clock().period_ps());
+    if (period > 0.0) {
+      idle_ticks += std::max(
+          0.0, total_ps / period -
+                   static_cast<double>(result.ca.busy_ticks));
+    }
+  }
+  breakdown.idle_pj = model.pj_per_idle_tick * idle_ticks;
+
+  return breakdown;
+}
+
+}  // namespace segbus::core

@@ -1,0 +1,58 @@
+// First-order energy estimation on top of the emulation results.
+//
+// The paper's conclusions note that early configuration decisions "not
+// only improve the quality of eventual system in terms of performance, but
+// also improve power consumption up to some extent [9]". This module makes
+// that trade-off quantitative with an activity-based energy model: every
+// counted event of the run (compute ticks, bus data ticks, BU crossings,
+// arbitration decisions, idle element ticks) carries a configurable energy
+// cost. Coefficients are technology-dependent and default to relative
+// magnitudes typical for on-chip bus platforms — the *comparisons* between
+// configurations are meaningful, the absolute joules are placeholders to
+// calibrate per process node.
+#pragma once
+
+#include "emu/stats.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::core {
+
+/// Energy coefficients, in picojoules per event.
+struct EnergyModel {
+  double pj_per_compute_tick = 1.0;   ///< FU datapath activity
+  double pj_per_bus_data_tick = 2.5;  ///< one data item on a segment bus
+  double pj_per_bu_crossing = 180.0;  ///< FIFO write+read+sync per package
+  double pj_per_arbitration = 6.0;    ///< one SA/CA request handled
+  double pj_per_idle_tick = 0.05;     ///< leakage per element clock tick
+};
+
+/// Where the energy went.
+struct EnergyBreakdown {
+  double compute_pj = 0.0;
+  double bus_pj = 0.0;
+  double bu_pj = 0.0;
+  double arbitration_pj = 0.0;
+  double idle_pj = 0.0;
+
+  double total_pj() const {
+    return compute_pj + bus_pj + bu_pj + arbitration_pj + idle_pj;
+  }
+  /// Average power over the run, in milliwatts.
+  double average_mw(Picoseconds duration) const {
+    if (duration.count() <= 0) return 0.0;
+    // pJ / ps = W; scale to mW.
+    return total_pj() / static_cast<double>(duration.count()) * 1e3;
+  }
+  std::string render() const;
+};
+
+/// Estimates the energy of one emulated run. The application provides the
+/// per-flow compute costs; the result provides the counted activity.
+Result<EnergyBreakdown> estimate_energy(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::EmulationResult& result, const EnergyModel& model = {});
+
+}  // namespace segbus::core

@@ -1,0 +1,91 @@
+#include "core/explore.hpp"
+
+#include <algorithm>
+
+#include "place/apply.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace segbus::core {
+
+std::string ExplorationReport::render() const {
+  Table table;
+  table.set_header({"configuration", "execution time", "CA TCT",
+                    "inter-seg requests", "worst mean WP"});
+  table.set_column_alignment(0, Align::kLeft);
+  for (const ExplorationEntry& entry : entries) {
+    table.add_row({entry.label, format_us(entry.execution_time),
+                   str_format("%llu",
+                              static_cast<unsigned long long>(entry.ca_tct)),
+                   str_format("%llu", static_cast<unsigned long long>(
+                                          entry.inter_segment_requests)),
+                   str_format("%.2f", entry.max_bu_mean_wp)});
+  }
+  return table.render();
+}
+
+Result<ExplorationReport> explore(const psdf::PsdfModel& application,
+                                  std::vector<Candidate> candidates,
+                                  const SessionConfig& config) {
+  ExplorationReport report;
+  for (Candidate& candidate : candidates) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        EmulationSession session,
+        EmulationSession::from_models(application,
+                                      std::move(candidate.platform),
+                                      config));
+    SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult result, session.emulate());
+    if (!result.completed) {
+      return internal_error("emulation of configuration '" +
+                            candidate.label + "' did not complete");
+    }
+    ExplorationEntry entry;
+    entry.label = candidate.label;
+    entry.execution_time = result.total_execution_time;
+    entry.ca_tct = result.ca.tct;
+    entry.inter_segment_requests = result.ca.inter_requests;
+    for (const emu::BuStats& bu : result.bus) {
+      entry.max_bu_mean_wp = std::max(entry.max_bu_mean_wp, bu.mean_wp());
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  std::stable_sort(report.entries.begin(), report.entries.end(),
+                   [](const ExplorationEntry& a, const ExplorationEntry& b) {
+                     return a.execution_time < b.execution_time;
+                   });
+  return report;
+}
+
+Result<Candidate> candidate_from_placement(
+    const psdf::PsdfModel& application, std::uint32_t num_segments,
+    const std::vector<Frequency>& segment_clocks, Frequency ca_clock,
+    std::uint32_t package_size, const place::AnnealOptions& anneal) {
+  if (segment_clocks.empty()) {
+    return invalid_argument_error("at least one segment clock is required");
+  }
+  psdf::CommMatrix matrix = psdf::CommMatrix::from_model(application);
+  place::CostModel cost;
+  cost.package_size = package_size;
+  SEGBUS_ASSIGN_OR_RETURN(
+      place::PlacementResult placement,
+      place::anneal_place(matrix, num_segments, cost, anneal));
+
+  Candidate candidate;
+  candidate.label =
+      str_format("%u segment(s), s=%u (annealed, cost %.0f)", num_segments,
+                 package_size, placement.cost);
+  candidate.platform = platform::PlatformModel(
+      str_format("explore-%useg", num_segments));
+  SEGBUS_RETURN_IF_ERROR(candidate.platform.set_package_size(package_size));
+  SEGBUS_RETURN_IF_ERROR(candidate.platform.set_ca_clock(ca_clock));
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    auto added = candidate.platform.add_segment(
+        segment_clocks[s % segment_clocks.size()]);
+    if (!added.is_ok()) return added.status();
+  }
+  SEGBUS_RETURN_IF_ERROR(place::apply_allocation(
+      application, placement.allocation, candidate.platform));
+  return candidate;
+}
+
+}  // namespace segbus::core

@@ -1,0 +1,50 @@
+// Configuration exploration — the design-space loop the paper motivates:
+// "the emulator will support the analysis of various SegBus instances that
+// may answer, better or worse, to specific application requirements. It
+// helps to decide at early stages of design process which platform
+// configuration will be most suitable."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "place/placer.hpp"
+#include "support/status.hpp"
+
+namespace segbus::core {
+
+/// One candidate configuration to evaluate.
+struct Candidate {
+  std::string label;
+  platform::PlatformModel platform;
+};
+
+/// One evaluated configuration.
+struct ExplorationEntry {
+  std::string label;
+  Picoseconds execution_time{0};
+  std::uint64_t ca_tct = 0;
+  std::uint64_t inter_segment_requests = 0;
+  double max_bu_mean_wp = 0.0;  ///< worst BU congestion (mean WP)
+};
+
+/// Ranked outcome, fastest first.
+struct ExplorationReport {
+  std::vector<ExplorationEntry> entries;
+  std::string render() const;
+};
+
+/// Emulates the application on every candidate and ranks the results.
+Result<ExplorationReport> explore(const psdf::PsdfModel& application,
+                                  std::vector<Candidate> candidates,
+                                  const SessionConfig& config = {});
+
+/// Builds a candidate from a placement search: `num_segments` segments with
+/// the given clocks (cycled), allocation from the annealing placer.
+Result<Candidate> candidate_from_placement(
+    const psdf::PsdfModel& application, std::uint32_t num_segments,
+    const std::vector<Frequency>& segment_clocks, Frequency ca_clock,
+    std::uint32_t package_size, const place::AnnealOptions& anneal = {});
+
+}  // namespace segbus::core

@@ -1,0 +1,132 @@
+#include "core/json_export.hpp"
+
+namespace segbus::core {
+
+JsonValue result_to_json(const emu::EmulationResult& result,
+                         const platform::PlatformModel& platform) {
+  JsonValue root = JsonValue::object();
+  root.set("platform", JsonValue::string(platform.name()));
+  root.set("package_size",
+           JsonValue::unsigned_integer(platform.package_size()));
+  root.set("completed", JsonValue::boolean(result.completed));
+  root.set("total_execution_ps",
+           JsonValue::integer(result.total_execution_time.count()));
+  root.set("last_delivery_ps",
+           JsonValue::integer(result.last_delivery_time.count()));
+
+  JsonValue processes = JsonValue::array();
+  for (const emu::ProcessStats& p : result.processes) {
+    JsonValue item = JsonValue::object();
+    item.set("name", JsonValue::string(p.name));
+    item.set("started", JsonValue::boolean(p.started));
+    item.set("start_ps", JsonValue::integer(p.start_time.count()));
+    item.set("end_ps", JsonValue::integer(p.end_time.count()));
+    item.set("flag", JsonValue::boolean(p.flag));
+    item.set("flag_ps", JsonValue::integer(p.flag_time.count()));
+    item.set("packages_sent", JsonValue::unsigned_integer(p.packages_sent));
+    item.set("packages_received",
+             JsonValue::unsigned_integer(p.packages_received));
+    processes.push(std::move(item));
+  }
+  root.set("processes", std::move(processes));
+
+  JsonValue sas = JsonValue::array();
+  for (std::size_t i = 0; i < result.sas.size(); ++i) {
+    const emu::SaStats& sa = result.sas[i];
+    JsonValue item = JsonValue::object();
+    item.set("segment", JsonValue::unsigned_integer(i + 1));
+    item.set("tct", JsonValue::unsigned_integer(sa.tct));
+    item.set("intra_requests",
+             JsonValue::unsigned_integer(sa.intra_requests));
+    item.set("inter_requests",
+             JsonValue::unsigned_integer(sa.inter_requests));
+    item.set("busy_ticks", JsonValue::unsigned_integer(sa.busy_ticks));
+    item.set("execution_ps", JsonValue::integer(sa.execution_time.count()));
+    item.set("utilization", JsonValue::number(result.sa_utilization(i)));
+    item.set("packets_to_left", JsonValue::unsigned_integer(
+                                    result.segments[i].packets_to_left));
+    item.set("packets_to_right", JsonValue::unsigned_integer(
+                                     result.segments[i].packets_to_right));
+    sas.push(std::move(item));
+  }
+  root.set("segment_arbiters", std::move(sas));
+
+  JsonValue bus = JsonValue::array();
+  for (std::size_t i = 0; i < result.bus.size(); ++i) {
+    const emu::BuStats& bu = result.bus[i];
+    JsonValue item = JsonValue::object();
+    item.set("name", JsonValue::string(platform.border_units()[i].name()));
+    item.set("received_from_left",
+             JsonValue::unsigned_integer(bu.received_from_left));
+    item.set("received_from_right",
+             JsonValue::unsigned_integer(bu.received_from_right));
+    item.set("transferred_to_left",
+             JsonValue::unsigned_integer(bu.transferred_to_left));
+    item.set("transferred_to_right",
+             JsonValue::unsigned_integer(bu.transferred_to_right));
+    item.set("tct", JsonValue::unsigned_integer(bu.tct));
+    item.set("up_ticks", JsonValue::unsigned_integer(bu.up_ticks));
+    item.set("wp_ticks", JsonValue::unsigned_integer(bu.wp_ticks));
+    item.set("transfers", JsonValue::unsigned_integer(bu.transfers));
+    item.set("mean_wp", JsonValue::number(bu.mean_wp()));
+    bus.push(std::move(item));
+  }
+  root.set("border_units", std::move(bus));
+
+  {
+    JsonValue ca = JsonValue::object();
+    ca.set("tct", JsonValue::unsigned_integer(result.ca.tct));
+    ca.set("inter_requests",
+           JsonValue::unsigned_integer(result.ca.inter_requests));
+    ca.set("grants", JsonValue::unsigned_integer(result.ca.grants));
+    ca.set("busy_ticks", JsonValue::unsigned_integer(result.ca.busy_ticks));
+    ca.set("execution_ps",
+           JsonValue::integer(result.ca.execution_time.count()));
+    ca.set("utilization", JsonValue::number(result.ca_utilization()));
+    root.set("central_arbiter", std::move(ca));
+  }
+
+  JsonValue flows = JsonValue::array();
+  for (const emu::FlowStats& f : result.flows) {
+    JsonValue item = JsonValue::object();
+    item.set("source", JsonValue::string(f.source));
+    item.set("target", JsonValue::string(f.target));
+    item.set("ordering", JsonValue::unsigned_integer(f.ordering));
+    item.set("inter_segment", JsonValue::boolean(f.inter_segment));
+    item.set("packages", JsonValue::unsigned_integer(f.packages));
+    item.set("first_delivery_ps",
+             JsonValue::integer(f.first_delivery.count()));
+    item.set("last_delivery_ps",
+             JsonValue::integer(f.last_delivery.count()));
+    item.set("min_latency_ps", JsonValue::integer(f.min_latency_ps));
+    item.set("mean_latency_ps", JsonValue::number(f.mean_latency_ps()));
+    item.set("max_latency_ps", JsonValue::integer(f.max_latency_ps));
+    flows.push(std::move(item));
+  }
+  root.set("flows", std::move(flows));
+
+  if (!result.activity.empty()) {
+    JsonValue activity = JsonValue::array();
+    for (const emu::ActivitySeries& series : result.activity) {
+      JsonValue item = JsonValue::object();
+      item.set("element", JsonValue::string(series.element));
+      JsonValue samples = JsonValue::array();
+      for (std::uint32_t v : series.busy_ticks_per_bucket) {
+        samples.push(JsonValue::unsigned_integer(v));
+      }
+      item.set("busy_ticks_per_bucket", std::move(samples));
+      activity.push(std::move(item));
+    }
+    root.set("activity_bucket_ps",
+             JsonValue::integer(result.activity_bucket.count()));
+    root.set("activity", std::move(activity));
+  }
+
+  if (!result.trace.empty()) {
+    root.set("trace_events",
+             JsonValue::unsigned_integer(result.trace.size()));
+  }
+  return root;
+}
+
+}  // namespace segbus::core

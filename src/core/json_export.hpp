@@ -1,0 +1,16 @@
+// JSON export of emulation results — the machine-readable counterpart of
+// the paper-style text report, for dashboards and regression tracking.
+#pragma once
+
+#include "emu/stats.hpp"
+#include "platform/model.hpp"
+#include "support/json.hpp"
+
+namespace segbus::core {
+
+/// Serializes the full result (per-process, per-SA, per-BU, per-flow,
+/// CA, totals; activity/trace included only when present).
+JsonValue result_to_json(const emu::EmulationResult& result,
+                         const platform::PlatformModel& platform);
+
+}  // namespace segbus::core

@@ -1,0 +1,360 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+#include "support/statistics.hpp"
+#include "support/table.hpp"
+#include "support/time.hpp"
+
+namespace segbus::core {
+
+namespace {
+
+std::string frequency_label(Frequency f) {
+  ClockDomain domain("", f);
+  return domain.frequency_label();
+}
+
+}  // namespace
+
+std::string render_paper_report(const emu::EmulationResult& result,
+                                const platform::PlatformModel& platform) {
+  std::string out;
+
+  // Per-process start/end times (the lines the paper prints for P0/P8/P7).
+  for (const emu::ProcessStats& p : result.processes) {
+    if (!p.started) continue;
+    out += str_format("%s, Start Time = %s, End Time = %s\n",
+                      p.name.c_str(), format_ps(p.start_time).c_str(),
+                      format_ps(p.end_time).c_str());
+  }
+  // Sink arrival line ("P14 received last package at ...").
+  for (const emu::ProcessStats& p : result.processes) {
+    if (p.packages_sent == 0 && p.packages_received > 0) {
+      out += str_format("%s received last package at %s\n", p.name.c_str(),
+                        format_ps(p.end_time).c_str());
+    }
+  }
+
+  out += str_format("CA TCT = %llu\n",
+                    static_cast<unsigned long long>(result.ca.tct));
+  out += str_format("Execution time = %s @ %s\n",
+                    format_ps(result.total_execution_time).c_str(),
+                    frequency_label(platform.ca_clock()).c_str());
+
+  // Border units.
+  for (std::size_t i = 0; i < result.bus.size(); ++i) {
+    const emu::BuStats& bu = result.bus[i];
+    const platform::BorderUnitSpec& spec = platform.border_units()[i];
+    out += str_format("%s:\tTotal input packages = %llu,\n",
+                      spec.name().c_str(),
+                      static_cast<unsigned long long>(bu.total_input()));
+    out += str_format("\tTotal output packages = %llu\n",
+                      static_cast<unsigned long long>(bu.total_output()));
+    out += str_format(
+        "   Package Received from Segment %u = %llu,\n", spec.left + 1,
+        static_cast<unsigned long long>(bu.received_from_left));
+    out += str_format(
+        "\tPackage Transfered to Segment %u = %llu\n", spec.left + 1,
+        static_cast<unsigned long long>(bu.transferred_to_left));
+    out += str_format(
+        "   Package Received from Segment %u = %llu,\n", spec.right + 1,
+        static_cast<unsigned long long>(bu.received_from_right));
+    out += str_format(
+        "\tPackage Transfered to Segment %u = %llu\n", spec.right + 1,
+        static_cast<unsigned long long>(bu.transferred_to_right));
+    out += str_format("   TCT = %llu\n",
+                      static_cast<unsigned long long>(bu.tct));
+  }
+
+  // Per-segment originating traffic.
+  for (std::size_t s = 0; s < result.segments.size(); ++s) {
+    out += str_format(
+        "Segment %zu:\tPackets transfered to Left = %llu,\n", s + 1,
+        static_cast<unsigned long long>(result.segments[s].packets_to_left));
+    out += str_format(
+        "\tPackets transfered to Right = %llu\n",
+        static_cast<unsigned long long>(
+            result.segments[s].packets_to_right));
+  }
+
+  // Segment arbiters.
+  for (std::size_t s = 0; s < result.sas.size(); ++s) {
+    const emu::SaStats& sa = result.sas[s];
+    out += str_format("SA%zu:\tTCT = %llu,\n", s + 1,
+                      static_cast<unsigned long long>(sa.tct));
+    out += str_format("\tTotal intra-segment requests = %llu,\n",
+                      static_cast<unsigned long long>(sa.intra_requests));
+    out += str_format("\tTotal inter-segment requests = %llu\n",
+                      static_cast<unsigned long long>(sa.inter_requests));
+    out += str_format(
+        "\tExecution Time = %s @ %s\n",
+        format_ps(sa.execution_time).c_str(),
+        frequency_label(
+            platform.segment(static_cast<platform::SegmentId>(s)).clock)
+            .c_str());
+  }
+
+  return out;
+}
+
+std::string render_timeline(const emu::EmulationResult& result,
+                            std::size_t width) {
+  Picoseconds span = result.total_execution_time;
+  if (span.count() <= 0) span = Picoseconds(1);
+  std::size_t name_width = 0;
+  for (const emu::ProcessStats& p : result.processes) {
+    name_width = std::max(name_width, p.name.size());
+  }
+  std::string out;
+  out += str_format("process timeline over %s (one column = %s)\n",
+                    format_us(span).c_str(),
+                    format_us(Picoseconds(span.count() /
+                                          static_cast<std::int64_t>(width)))
+                        .c_str());
+  for (const emu::ProcessStats& p : result.processes) {
+    out += pad(p.name, name_width, Align::kLeft);
+    out += " |";
+    if (!p.started) {
+      out += std::string(width, ' ');
+      out += "| (never active)\n";
+      continue;
+    }
+    const auto to_col = [&](Picoseconds t) {
+      auto col = static_cast<std::size_t>(
+          (static_cast<double>(t.count()) /
+           static_cast<double>(span.count())) *
+          static_cast<double>(width));
+      return std::min(col, width - 1);
+    };
+    std::size_t begin = to_col(p.start_time);
+    std::size_t end = to_col(p.end_time);
+    std::string bar(width, ' ');
+    for (std::size_t c = begin; c <= end; ++c) bar[c] = '=';
+    bar[begin] = '[';
+    bar[end] = ']';
+    out += bar;
+    out += str_format("| %s .. %s\n", format_us(p.start_time).c_str(),
+                      format_us(p.end_time).c_str());
+  }
+  return out;
+}
+
+std::string render_activity(const emu::EmulationResult& result,
+                            std::size_t max_width) {
+  if (result.activity.empty()) {
+    return "(no activity data; enable EngineOptions::record_activity)\n";
+  }
+  std::size_t buckets = 0;
+  std::size_t name_width = 0;
+  std::uint32_t peak = 1;
+  for (const emu::ActivitySeries& series : result.activity) {
+    buckets = std::max(buckets, series.busy_ticks_per_bucket.size());
+    name_width = std::max(name_width, series.element.size());
+    for (std::uint32_t v : series.busy_ticks_per_bucket) {
+      peak = std::max(peak, v);
+    }
+  }
+  if (buckets == 0) buckets = 1;
+  const std::size_t stride = (buckets + max_width - 1) / max_width;
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  std::string out;
+  out += str_format(
+      "activity (bucket = %s, column = %zu bucket(s), peak = %u busy "
+      "ticks)\n",
+      format_us(result.activity_bucket).c_str(), stride, peak);
+  for (const emu::ActivitySeries& series : result.activity) {
+    out += pad(series.element, name_width, Align::kLeft);
+    out += " |";
+    for (std::size_t b = 0; b < buckets; b += stride) {
+      std::uint64_t sum = 0;
+      std::size_t n = 0;
+      for (std::size_t k = b;
+           k < std::min(b + stride, series.busy_ticks_per_bucket.size());
+           ++k, ++n) {
+        sum += series.busy_ticks_per_bucket[k];
+      }
+      double mean = n == 0 ? 0.0
+                           : static_cast<double>(sum) /
+                                 static_cast<double>(n);
+      auto level = static_cast<std::size_t>(
+          (mean / static_cast<double>(peak)) * (sizeof(kLevels) - 2));
+      level = std::min(level, sizeof(kLevels) - 2);
+      out += kLevels[level];
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+CsvWriter timeline_csv(const emu::EmulationResult& result) {
+  CsvWriter csv({"process", "start_ps", "end_ps", "packages_sent",
+                 "packages_received"});
+  for (const emu::ProcessStats& p : result.processes) {
+    csv.add_row({p.name,
+                 str_format("%lld",
+                            static_cast<long long>(p.start_time.count())),
+                 str_format("%lld",
+                            static_cast<long long>(p.end_time.count())),
+                 str_format("%llu",
+                            static_cast<unsigned long long>(
+                                p.packages_sent)),
+                 str_format("%llu", static_cast<unsigned long long>(
+                                        p.packages_received))});
+  }
+  return csv;
+}
+
+CsvWriter activity_csv(const emu::EmulationResult& result) {
+  CsvWriter csv({"element", "bucket_start_ps", "busy_ticks"});
+  for (const emu::ActivitySeries& series : result.activity) {
+    for (std::size_t b = 0; b < series.busy_ticks_per_bucket.size(); ++b) {
+      csv.add_row(
+          {series.element,
+           str_format("%lld", static_cast<long long>(
+                                  static_cast<std::int64_t>(b) *
+                                  result.activity_bucket.count())),
+           str_format("%u", series.busy_ticks_per_bucket[b])});
+    }
+  }
+  return csv;
+}
+
+std::string render_summary(const emu::EmulationResult& result,
+                           const platform::PlatformModel& platform) {
+  std::string out;
+  out += str_format("configuration : %s (%s)\n", platform.name().c_str(),
+                    platform.summary().c_str());
+  out += str_format("execution time: %s (%s)%s\n",
+                    format_us(result.total_execution_time).c_str(),
+                    format_ps(result.total_execution_time).c_str(),
+                    result.completed ? "" : "  [INCOMPLETE RUN]");
+  out += str_format("last delivery : %s\n",
+                    format_us(result.last_delivery_time).c_str());
+
+  // Per-arbiter utilization, tracking the busiest one.
+  double peak_utilization = result.ca_utilization();
+  std::string busiest = "CA";
+  out += str_format("CA  : %5.1f%% busy, %llu inter-segment requests\n",
+                    100.0 * result.ca_utilization(),
+                    static_cast<unsigned long long>(
+                        result.ca.inter_requests));
+  for (std::size_t s = 0; s < result.sas.size(); ++s) {
+    double utilization = result.sa_utilization(s);
+    out += str_format(
+        "SA%zu : %5.1f%% busy, %llu intra / %llu inter requests\n", s + 1,
+        100.0 * utilization,
+        static_cast<unsigned long long>(result.sas[s].intra_requests),
+        static_cast<unsigned long long>(result.sas[s].inter_requests));
+    if (utilization > peak_utilization) {
+      peak_utilization = utilization;
+      busiest = str_format("SA%zu", s + 1);
+    }
+  }
+  out += str_format("busiest element: %s (%.1f%%)\n", busiest.c_str(),
+                    100.0 * peak_utilization);
+
+  // Most congested BU by mean waiting period.
+  if (!result.bus.empty()) {
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < result.bus.size(); ++i) {
+      if (result.bus[i].mean_wp() > result.bus[worst].mean_wp()) worst = i;
+    }
+    out += str_format(
+        "most congested BU: %s (mean WP %.2f ticks over %llu packages)\n",
+        platform.border_units()[worst].name().c_str(),
+        result.bus[worst].mean_wp(),
+        static_cast<unsigned long long>(result.bus[worst].transfers));
+  }
+  return out;
+}
+
+std::string render_flow_table(const emu::EmulationResult& result) {
+  Table table;
+  table.set_header({"flow", "T", "kind", "pkgs", "first", "last",
+                    "lat min", "lat mean", "lat max"});
+  table.set_column_alignment(0, Align::kLeft);
+  for (const emu::FlowStats& f : result.flows) {
+    table.add_row({f.source + " -> " + f.target,
+                   str_format("%u", f.ordering),
+                   f.inter_segment ? "inter" : "local",
+                   str_format("%llu",
+                              static_cast<unsigned long long>(f.packages)),
+                   format_us(f.first_delivery),
+                   format_us(f.last_delivery),
+                   str_format("%.2fus",
+                              static_cast<double>(f.min_latency_ps) / 1e6),
+                   str_format("%.2fus", f.mean_latency_ps() / 1e6),
+                   str_format("%.2fus",
+                              static_cast<double>(f.max_latency_ps) /
+                                  1e6)});
+  }
+  return table.render();
+}
+
+std::string render_stage_table(const emu::EmulationResult& result) {
+  Table table;
+  table.set_header({"stage (T)", "opened", "closed", "span", "share"});
+  const double total =
+      std::max<double>(1.0,
+                       static_cast<double>(
+                           result.total_execution_time.count()));
+  Picoseconds previous_close{0};
+  for (const emu::StageStats& stage : result.stages) {
+    const Picoseconds span = stage.close_time - stage.open_time;
+    table.add_row({str_format("%u", stage.ordering),
+                   format_us(stage.open_time),
+                   format_us(stage.close_time), format_us(span),
+                   str_format("%.1f%%",
+                              100.0 * static_cast<double>(span.count()) /
+                                  total)});
+    previous_close = stage.close_time;
+  }
+  (void)previous_close;
+  return table.render();
+}
+
+std::string render_latency_histogram(const emu::EmulationResult& result,
+                                     std::size_t bins) {
+  std::vector<double> samples_us;
+  for (const emu::FlowStats& flow : result.flows) {
+    for (std::int64_t sample : flow.latency_samples) {
+      samples_us.push_back(static_cast<double>(sample) / 1e6);
+    }
+  }
+  if (samples_us.empty()) {
+    return "(no latency samples; enable "
+           "EngineOptions::record_latencies)\n";
+  }
+  Histogram histogram = Histogram::of(samples_us, bins);
+  RunningStats stats;
+  for (double sample : samples_us) stats.add(sample);
+  std::string out = str_format(
+      "package latency over %llu packages (us): mean %.2f, stddev %.2f, "
+      "p50 %.2f, p90 %.2f, p99 %.2f\n",
+      static_cast<unsigned long long>(stats.count()), stats.mean(),
+      stats.stddev(), histogram.quantile(0.50), histogram.quantile(0.90),
+      histogram.quantile(0.99));
+  out += histogram.render();
+  return out;
+}
+
+std::string render_bu_analysis(const emu::EmulationResult& result,
+                               const platform::PlatformModel& platform) {
+  std::string out;
+  for (std::size_t i = 0; i < result.bus.size(); ++i) {
+    const emu::BuStats& bu = result.bus[i];
+    const platform::BorderUnitSpec& spec = platform.border_units()[i];
+    const std::string id =
+        str_format("%u%u", spec.left + 1, spec.right + 1);
+    out += str_format("UP%s = %llu, TCT%s = %llu, mean WP%s = %.2f\n",
+                      id.c_str(),
+                      static_cast<unsigned long long>(bu.up_ticks),
+                      id.c_str(), static_cast<unsigned long long>(bu.tct),
+                      id.c_str(), bu.mean_wp());
+  }
+  return out;
+}
+
+}  // namespace segbus::core

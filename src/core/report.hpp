@@ -1,0 +1,70 @@
+// Report rendering: the §4 results block, the Figure 10 timeline and the
+// Figure 11 activity graph, plus CSV exports for external plotting.
+#pragma once
+
+#include <string>
+
+#include "emu/stats.hpp"
+#include "platform/model.hpp"
+#include "support/csv.hpp"
+#include "support/status.hpp"
+
+namespace segbus::core {
+
+/// Renders the emulation results in the paper's §4 output format:
+///
+///   P0, Start Time = 10989ps, End Time = 75307617ps
+///   ...
+///   P14 received last package at 460435092ps
+///   CA TCT = 54367
+///   Execution time = 489792303ps @ 111.00MHz
+///   BU12: Total input packages = 32, ...
+///   Segment 1: Packets transfered to Left = 0, ...
+///   SA1: TCT = 34764, Total intra-segment requests = 124, ...
+std::string render_paper_report(const emu::EmulationResult& result,
+                                const platform::PlatformModel& platform);
+
+/// Renders the Figure 10 per-process progress timeline as ASCII art
+/// (one bar per process from start to end time).
+std::string render_timeline(const emu::EmulationResult& result,
+                            std::size_t width = 72);
+
+/// Renders the Figure 11 activity graph as ASCII art (one row per platform
+/// element, intensity characters per time bucket). Requires a result
+/// produced with EngineOptions::record_activity.
+std::string render_activity(const emu::EmulationResult& result,
+                            std::size_t max_width = 96);
+
+/// Timeline as CSV (process, start_ps, end_ps, sent, received).
+CsvWriter timeline_csv(const emu::EmulationResult& result);
+
+/// Activity series as CSV (element, bucket_start_ps, busy_ticks).
+CsvWriter activity_csv(const emu::EmulationResult& result);
+
+/// Per-BU analysis (UP/WP, §4's bottleneck discussion) as a short text
+/// block: "UP12 = 2304, TCT12 = 2336, mean WP12 = 1".
+std::string render_bu_analysis(const emu::EmulationResult& result,
+                               const platform::PlatformModel& platform);
+
+/// Compact run summary: total time, per-arbiter utilization, the busiest
+/// element, and the most congested BU — the at-a-glance view a designer
+/// scans before drilling into the full report.
+std::string render_summary(const emu::EmulationResult& result,
+                           const platform::PlatformModel& platform);
+
+/// Per-flow latency table: packages, first/last delivery, min/mean/max
+/// request-to-delivery latency, local vs inter-segment.
+std::string render_flow_table(const emu::EmulationResult& result);
+
+/// Per-stage span table: when each schedule stage opened and closed, and
+/// its share of the total execution time — shows where the serialized
+/// schedule spends its time.
+std::string render_stage_table(const emu::EmulationResult& result);
+
+/// Package-latency distribution across all flows (request-to-delivery),
+/// as an ASCII histogram with p50/p90/p99 markers. Requires a result
+/// produced with EngineOptions::record_latencies.
+std::string render_latency_histogram(const emu::EmulationResult& result,
+                                     std::size_t bins = 16);
+
+}  // namespace segbus::core

@@ -1,0 +1,70 @@
+#include "core/session.hpp"
+
+#include "emu/parallel.hpp"
+#include "platform/constraints.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "psdf/validate.hpp"
+#include "xml/parser.hpp"
+
+namespace segbus::core {
+
+Result<EmulationSession> EmulationSession::from_models(
+    psdf::PsdfModel application, platform::PlatformModel platform,
+    SessionConfig config) {
+  SEGBUS_RETURN_IF_ERROR(psdf::validate_or_error(application));
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+  return EmulationSession(std::move(application), std::move(platform),
+                          std::move(config));
+}
+
+Result<EmulationSession> EmulationSession::from_xml_files(
+    const std::string& psdf_path, const std::string& psm_path,
+    SessionConfig config, std::uint32_t package_size_override) {
+  SEGBUS_ASSIGN_OR_RETURN(
+      psdf::PsdfModel application,
+      psdf::read_psdf_file(psdf_path, package_size_override));
+  SEGBUS_ASSIGN_OR_RETURN(platform::PlatformModel platform,
+                          platform::read_platform_file(psm_path));
+  if (package_size_override != 0) {
+    SEGBUS_RETURN_IF_ERROR(platform.set_package_size(package_size_override));
+  }
+  return from_models(std::move(application), std::move(platform),
+                     std::move(config));
+}
+
+Result<EmulationSession> EmulationSession::from_xml_strings(
+    std::string_view psdf_xml, std::string_view psm_xml,
+    SessionConfig config, std::uint32_t package_size_override) {
+  SEGBUS_ASSIGN_OR_RETURN(xml::Document psdf_doc,
+                          xml::parse_document(psdf_xml));
+  SEGBUS_ASSIGN_OR_RETURN(psdf::PsdfModel application,
+                          psdf::from_xml(psdf_doc, package_size_override));
+  SEGBUS_ASSIGN_OR_RETURN(xml::Document psm_doc,
+                          xml::parse_document(psm_xml));
+  SEGBUS_ASSIGN_OR_RETURN(platform::PlatformModel platform,
+                          platform::from_xml(psm_doc));
+  if (package_size_override != 0) {
+    SEGBUS_RETURN_IF_ERROR(platform.set_package_size(package_size_override));
+  }
+  return from_models(std::move(application), std::move(platform),
+                     std::move(config));
+}
+
+Result<emu::EmulationResult> EmulationSession::emulate() const {
+  if (config_.parallel) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        std::unique_ptr<emu::ParallelEngine> engine,
+        emu::ParallelEngine::create(application_, platform_, config_.timing,
+                                    config_.engine, config_.threads));
+    return engine->run();
+  }
+  SEGBUS_ASSIGN_OR_RETURN(
+      emu::Engine engine,
+      emu::Engine::create(application_, platform_, config_.timing,
+                          config_.engine));
+  return engine.run();
+}
+
+}  // namespace segbus::core

@@ -1,0 +1,74 @@
+// End-to-end emulation sessions — the public entry point of the library.
+//
+// Mirrors the paper's workflow (Figure 4): take the PSDF and PSM models
+// (in memory or as the generated XML schemes), validate them, build the
+// platform structure, run the emulation, and return the execution results.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "emu/engine.hpp"
+#include "emu/stats.hpp"
+#include "emu/timing.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::core {
+
+/// Session configuration.
+struct SessionConfig {
+  emu::TimingModel timing = emu::TimingModel::emulator();
+  emu::EngineOptions engine;
+  /// Run on the thread-parallel engine (bit-identical results).
+  bool parallel = false;
+  /// Worker threads for the parallel engine (0 = hardware concurrency).
+  unsigned threads = 0;
+};
+
+/// A bound (application, platform) pair ready to emulate.
+class EmulationSession {
+ public:
+  /// Binds in-memory models (validating the mapping).
+  static Result<EmulationSession> from_models(
+      psdf::PsdfModel application, platform::PlatformModel platform,
+      SessionConfig config = {});
+
+  /// Loads the generated XML schemes from disk (§3.5's setup phase).
+  /// `package_size_override`, when nonzero, replaces both documents'
+  /// package size — the paper supplies package size to the emulator
+  /// separately from the models.
+  static Result<EmulationSession> from_xml_files(
+      const std::string& psdf_path, const std::string& psm_path,
+      SessionConfig config = {}, std::uint32_t package_size_override = 0);
+
+  /// Parses the schemes from strings (used by tests and tools).
+  static Result<EmulationSession> from_xml_strings(
+      std::string_view psdf_xml, std::string_view psm_xml,
+      SessionConfig config = {}, std::uint32_t package_size_override = 0);
+
+  const psdf::PsdfModel& application() const noexcept { return application_; }
+  const platform::PlatformModel& platform() const noexcept {
+    return platform_;
+  }
+  const SessionConfig& config() const noexcept { return config_; }
+  SessionConfig& config() noexcept { return config_; }
+
+  /// Runs one emulation. May be called repeatedly (a fresh engine is built
+  /// per run); results are deterministic for a fixed configuration.
+  Result<emu::EmulationResult> emulate() const;
+
+ private:
+  EmulationSession(psdf::PsdfModel application,
+                   platform::PlatformModel platform, SessionConfig config)
+      : application_(std::move(application)),
+        platform_(std::move(platform)),
+        config_(std::move(config)) {}
+
+  psdf::PsdfModel application_;
+  platform::PlatformModel platform_;
+  SessionConfig config_;
+};
+
+}  // namespace segbus::core

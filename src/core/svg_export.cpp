@@ -1,0 +1,201 @@
+#include "core/svg_export.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "support/strings.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::core {
+
+namespace {
+
+constexpr const char* kFont =
+    "font-family=\"Helvetica, Arial, sans-serif\"";
+
+/// Palette (colorblind-safe categorical colors, cycled).
+constexpr const char* kColors[] = {
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb",
+};
+constexpr std::size_t kColorCount = sizeof(kColors) / sizeof(kColors[0]);
+
+std::string svg_header(int width, int height, const std::string& title) {
+  std::string out = str_format(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" "
+      "height=\"%d\" viewBox=\"0 0 %d %d\">\n",
+      width, height, width, height);
+  out += str_format(
+      "  <rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" "
+      "fill=\"white\"/>\n",
+      width, height);
+  out += str_format(
+      "  <text x=\"%d\" y=\"22\" %s font-size=\"15\" "
+      "font-weight=\"bold\">%s</text>\n",
+      12, kFont, xml::escape_text(title).c_str());
+  return out;
+}
+
+/// Draws a time axis with ~8 labeled ticks under the plot area.
+std::string time_axis(int x0, int x1, int y, Picoseconds span) {
+  std::string out;
+  out += str_format(
+      "  <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#444\" "
+      "stroke-width=\"1\"/>\n",
+      x0, y, x1, y);
+  const int ticks = 8;
+  for (int i = 0; i <= ticks; ++i) {
+    const int x = x0 + (x1 - x0) * i / ticks;
+    const double us =
+        span.microseconds() * static_cast<double>(i) / ticks;
+    out += str_format(
+        "  <line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#444\"/>\n",
+        x, y, x, y + 4);
+    out += str_format(
+        "  <text x=\"%d\" y=\"%d\" %s font-size=\"10\" "
+        "text-anchor=\"middle\">%.0fus</text>\n",
+        x, y + 16, kFont, us);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_timeline_svg(const emu::EmulationResult& result,
+                                SvgOptions options) {
+  if (options.title.empty()) {
+    options.title = "Figure 10 - progress of each application process";
+  }
+  Picoseconds span = result.total_execution_time;
+  if (span.count() <= 0) span = Picoseconds(1);
+  const int rows = static_cast<int>(result.processes.size());
+  const int plot_x0 = options.margin_left;
+  const int plot_x1 = options.width - 20;
+  const int height =
+      options.margin_top + rows * options.row_height + 40;
+
+  std::string out = svg_header(options.width, height, options.title);
+  auto to_x = [&](Picoseconds t) {
+    double fraction = static_cast<double>(t.count()) /
+                      static_cast<double>(span.count());
+    return plot_x0 +
+           static_cast<int>(fraction *
+                            static_cast<double>(plot_x1 - plot_x0));
+  };
+
+  for (int row = 0; row < rows; ++row) {
+    const emu::ProcessStats& p =
+        result.processes[static_cast<std::size_t>(row)];
+    const int y = options.margin_top + row * options.row_height;
+    // Row label + zebra stripe.
+    if (row % 2 == 0) {
+      out += str_format(
+          "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+          "fill=\"#f4f4f4\"/>\n",
+          plot_x0, y, plot_x1 - plot_x0, options.row_height);
+    }
+    out += str_format(
+        "  <text x=\"%d\" y=\"%d\" %s font-size=\"11\" "
+        "text-anchor=\"end\">%s</text>\n",
+        plot_x0 - 6, y + options.row_height / 2 + 4, kFont,
+        xml::escape_text(p.name).c_str());
+    if (!p.started) continue;
+    const int bar_x = to_x(p.start_time);
+    const int bar_w = std::max(2, to_x(p.end_time) - bar_x);
+    out += str_format(
+        "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" rx=\"2\" "
+        "fill=\"%s\"><title>%s: %s .. %s</title></rect>\n",
+        bar_x, y + 4, bar_w, options.row_height - 8,
+        kColors[static_cast<std::size_t>(row) % kColorCount],
+        xml::escape_text(p.name).c_str(),
+        format_us(p.start_time).c_str(), format_us(p.end_time).c_str());
+  }
+
+  out += time_axis(plot_x0, plot_x1,
+                   options.margin_top + rows * options.row_height + 8,
+                   span);
+  out += "</svg>\n";
+  return out;
+}
+
+std::string render_activity_svg(const emu::EmulationResult& result,
+                                SvgOptions options) {
+  if (options.title.empty()) {
+    options.title = "Figure 11 - activity of the platform elements";
+  }
+  if (result.activity.empty()) {
+    std::string out = svg_header(options.width, 80, options.title);
+    out += str_format(
+        "  <text x=\"%d\" y=\"50\" %s font-size=\"12\">no activity data; "
+        "enable EngineOptions::record_activity</text>\n",
+        options.margin_left, kFont);
+    out += "</svg>\n";
+    return out;
+  }
+
+  std::size_t buckets = 0;
+  std::uint32_t peak = 1;
+  for (const emu::ActivitySeries& series : result.activity) {
+    buckets = std::max(buckets, series.busy_ticks_per_bucket.size());
+    for (std::uint32_t v : series.busy_ticks_per_bucket) {
+      peak = std::max(peak, v);
+    }
+  }
+  if (buckets == 0) buckets = 1;
+
+  const int rows = static_cast<int>(result.activity.size());
+  const int plot_x0 = options.margin_left;
+  const int plot_x1 = options.width - 20;
+  const int height = options.margin_top + rows * options.row_height + 40;
+  const double cell_width =
+      static_cast<double>(plot_x1 - plot_x0) /
+      static_cast<double>(buckets);
+
+  std::string out = svg_header(options.width, height, options.title);
+  for (int row = 0; row < rows; ++row) {
+    const emu::ActivitySeries& series =
+        result.activity[static_cast<std::size_t>(row)];
+    const int y = options.margin_top + row * options.row_height;
+    out += str_format(
+        "  <text x=\"%d\" y=\"%d\" %s font-size=\"11\" "
+        "text-anchor=\"end\">%s</text>\n",
+        plot_x0 - 6, y + options.row_height / 2 + 4, kFont,
+        xml::escape_text(series.element).c_str());
+    for (std::size_t b = 0; b < series.busy_ticks_per_bucket.size(); ++b) {
+      const std::uint32_t value = series.busy_ticks_per_bucket[b];
+      if (value == 0) continue;
+      const double intensity =
+          static_cast<double>(value) / static_cast<double>(peak);
+      // White -> deep blue ramp.
+      const int channel = 235 - static_cast<int>(intensity * 180.0);
+      const int x = plot_x0 + static_cast<int>(
+                                  static_cast<double>(b) * cell_width);
+      const int w = std::max(
+          1, static_cast<int>(cell_width + 0.999));
+      out += str_format(
+          "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" "
+          "fill=\"rgb(%d,%d,235)\"/>\n",
+          x, y + 3, w, options.row_height - 6, channel, channel);
+    }
+  }
+
+  const Picoseconds span(
+      static_cast<std::int64_t>(buckets) * result.activity_bucket.count());
+  out += time_axis(plot_x0, plot_x1,
+                   options.margin_top + rows * options.row_height + 8,
+                   span);
+  out += "</svg>\n";
+  return out;
+}
+
+Status write_svg_file(const std::string& svg, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return invalid_argument_error("cannot open file for writing: " + path);
+  }
+  file << svg;
+  if (!file) return internal_error("short write to file: " + path);
+  return Status::ok();
+}
+
+}  // namespace segbus::core

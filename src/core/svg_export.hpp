@@ -1,0 +1,37 @@
+// SVG renderings of the paper's evaluation figures:
+//   Figure 10 — per-process progress timeline (Gantt chart)
+//   Figure 11 — activity graph of the platform elements (heat rows)
+// Self-contained SVG 1.1 documents, no external resources; deterministic
+// for a fixed result.
+#pragma once
+
+#include <string>
+
+#include "emu/stats.hpp"
+#include "support/status.hpp"
+
+namespace segbus::core {
+
+/// Options shared by the figure renderers.
+struct SvgOptions {
+  int width = 900;        ///< total document width in px
+  int row_height = 22;    ///< height of one process/element row
+  int margin_left = 90;   ///< label gutter
+  int margin_top = 40;    ///< title band
+  std::string title;      ///< figure caption (defaults chosen per figure)
+};
+
+/// Figure 10: one bar per process from its start to end time.
+std::string render_timeline_svg(const emu::EmulationResult& result,
+                                SvgOptions options = {});
+
+/// Figure 11: one heat row per platform element; cell shade = busy ticks
+/// in that time bucket relative to the global peak. Requires a result with
+/// activity recording enabled (returns a placeholder note otherwise).
+std::string render_activity_svg(const emu::EmulationResult& result,
+                                SvgOptions options = {});
+
+/// Writes an SVG document to `path`.
+Status write_svg_file(const std::string& svg, const std::string& path);
+
+}  // namespace segbus::core

@@ -1,0 +1,969 @@
+#include "emu/engine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "platform/constraints.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::emu {
+
+using detail::BusOp;
+using detail::FlowRuntime;
+using detail::GlobalTransfer;
+using detail::kNone;
+using detail::MasterState;
+using detail::PendingUnload;
+using detail::ReserveState;
+using detail::SegmentState;
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+Result<Engine> Engine::create(const psdf::PsdfModel& application,
+                              const platform::PlatformModel& platform,
+                              const TimingModel& timing,
+                              const EngineOptions& options) {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+
+  // Rescale compute ticks when the application's C values refer to a
+  // different package size than the platform configures (§3.1: C is per
+  // package at the configured size; compute-per-item stays constant).
+  psdf::PsdfModel app = application;
+  if (app.package_size() != platform.package_size()) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        app, application.rescaled_for_package_size(platform.package_size()));
+  }
+
+  Engine engine;
+  engine.timing_ = timing;
+  engine.options_ = options;
+  engine.package_size_ = platform.package_size();
+  engine.bu_specs_ = platform.border_units();
+
+  // Clock domains: segments first, CA last.
+  for (platform::SegmentId s = 0; s < platform.segment_count(); ++s) {
+    engine.domains_.emplace_back(platform.segment(s).name,
+                                 platform.segment(s).clock);
+  }
+  engine.domains_.emplace_back("CA", platform.ca_clock());
+
+  const auto num_segments = static_cast<DomainId>(platform.segment_count());
+  engine.segments_.resize(num_segments);
+  for (DomainId s = 0; s < num_segments; ++s) {
+    engine.segments_[s].id = s;
+  }
+
+  // Processes.
+  engine.process_names_.reserve(app.process_count());
+  engine.process_stats_.resize(app.process_count());
+  engine.process_incomplete_.assign(app.process_count(), 0);
+  engine.master_of_process_.assign(app.process_count(), kNone);
+  for (const psdf::Process& p : app.processes()) {
+    engine.process_names_.push_back(p.name);
+    engine.process_stats_[p.id].name = p.name;
+  }
+
+  // Flows in schedule order, with dense stage ranks.
+  std::vector<psdf::Flow> scheduled = app.scheduled_flows();
+  std::map<std::uint32_t, std::uint32_t> stage_rank;
+  for (const psdf::Flow& f : scheduled) {
+    stage_rank.emplace(f.ordering, 0);
+  }
+  {
+    std::uint32_t rank = 0;
+    for (auto& [ordering, r] : stage_rank) r = rank++;
+  }
+  TransferId next_transfer = 0;
+  engine.flows_.reserve(scheduled.size());
+  for (std::size_t i = 0; i < scheduled.size(); ++i) {
+    const psdf::Flow& f = scheduled[i];
+    FlowRuntime fr;
+    fr.flow = f;
+    fr.index = static_cast<std::uint32_t>(i);
+    fr.stage = stage_rank.at(f.ordering);
+    SEGBUS_ASSIGN_OR_RETURN(
+        fr.src_segment,
+        platform.require_segment_of(app.process(f.source).name));
+    SEGBUS_ASSIGN_OR_RETURN(
+        fr.dst_segment,
+        platform.require_segment_of(app.process(f.target).name));
+    fr.total_packages =
+        psdf::packages_for(f.data_items, platform.package_size());
+    fr.local = fr.src_segment == fr.dst_segment;
+    if (!fr.local) {
+      fr.transfer_base = next_transfer;
+      next_transfer += static_cast<TransferId>(fr.total_packages);
+    }
+    engine.process_incomplete_[f.source]++;
+    engine.process_incomplete_[f.target]++;
+    engine.flows_.push_back(std::move(fr));
+  }
+
+  // Masters: one per process that sends.
+  for (const psdf::Process& p : app.processes()) {
+    std::vector<std::uint32_t> owned;
+    for (const FlowRuntime& fr : engine.flows_) {
+      if (fr.flow.source == p.id) owned.push_back(fr.index);
+    }
+    if (owned.empty()) continue;
+    MasterState master;
+    master.process = p.id;
+    SEGBUS_ASSIGN_OR_RETURN(master.segment,
+                            platform.require_segment_of(p.name));
+    master.flows = std::move(owned);
+    engine.master_of_process_[p.id] =
+        static_cast<std::uint32_t>(engine.masters_.size());
+    engine.segments_[master.segment].masters.push_back(
+        static_cast<std::uint32_t>(engine.masters_.size()));
+    engine.masters_.push_back(std::move(master));
+  }
+
+  // Pre-allocate every inter-segment package transfer so domains never
+  // mutate shared containers at run time (see the concurrency note in the
+  // file comment).
+  engine.transfers_.resize(next_transfer);
+  for (const FlowRuntime& fr : engine.flows_) {
+    if (fr.local) continue;
+    SEGBUS_ASSIGN_OR_RETURN(std::vector<platform::PathHop> path,
+                            platform.path(fr.src_segment, fr.dst_segment));
+    for (std::uint64_t k = 0; k < fr.total_packages; ++k) {
+      GlobalTransfer& tr = engine.transfers_[fr.transfer_base + k];
+      tr.flow = fr.index;
+      tr.master = engine.master_of_process_[fr.flow.source];
+      tr.package_seq = k;
+      tr.path = path;
+    }
+  }
+
+  // Stage gate.
+  engine.stage_orderings_.resize(stage_rank.size());
+  for (const auto& [ordering, rank] : stage_rank) {
+    engine.stage_orderings_[rank] = ordering;
+  }
+  engine.ca_.stage_open_time.assign(stage_rank.size(), Picoseconds(0));
+  engine.ca_.stage_close_time.assign(stage_rank.size(), Picoseconds(0));
+  engine.ca_.stage_remaining.assign(stage_rank.size(), 0);
+  for (const FlowRuntime& fr : engine.flows_) {
+    engine.ca_.stage_remaining[fr.stage]++;
+  }
+  engine.ca_.flows_remaining_total = engine.flows_.size();
+  engine.ca_.t_open = 0;
+  engine.ca_.t_open_broadcast = 0;
+  for (SegmentState& seg : engine.segments_) seg.t_open = 0;
+
+  engine.ca_.segment_reserved.assign(num_segments, false);
+  engine.ca_.segment_busy.assign(num_segments, false);
+  engine.ca_.bu_in_use.assign(engine.bu_specs_.size(), 0);
+
+  // Mailboxes and post sequencing (one producer id per domain).
+  engine.inboxes_.clear();
+  for (std::size_t i = 0; i < engine.domains_.size(); ++i) {
+    engine.inboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  engine.post_seq_.assign(engine.domains_.size(), 0);
+
+  engine.bu_stats_.resize(engine.bu_specs_.size());
+
+  // Processes that participate in no flow have their status flag raised
+  // from the start.
+  for (std::size_t p = 0; p < engine.process_incomplete_.size(); ++p) {
+    if (engine.process_incomplete_[p] == 0) {
+      engine.process_stats_[p].flag = true;
+    }
+  }
+
+  engine.trace_.resize(engine.domains_.size());
+
+  // Run-loop bookkeeping.
+  engine.next_tick_.clear();
+  for (const ClockDomain& d : engine.domains_) {
+    engine.next_tick_.push_back(d.tick_time(0));
+  }
+
+  // Activity series.
+  if (options.record_activity) {
+    for (DomainId s = 0; s < num_segments; ++s) {
+      engine.activity_.push_back({str_format("SA%u", s + 1), {}});
+    }
+    engine.activity_.push_back({"CA", {}});
+    for (const platform::BorderUnitSpec& bu : engine.bu_specs_) {
+      engine.activity_.push_back({bu.name(), {}});
+    }
+  }
+
+  return engine;
+}
+
+// ---------------------------------------------------------------------------
+// Messaging & recording
+// ---------------------------------------------------------------------------
+
+void Engine::post(DomainId to, DomainId from, Picoseconds now,
+                  Message message) {
+  inboxes_[to]->push(Envelope{now, from, post_seq_[from]++,
+                              std::move(message)});
+}
+
+void Engine::record_busy(std::size_t series, Picoseconds now) {
+  if (!options_.record_activity) return;
+  const auto bucket = static_cast<std::size_t>(
+      now.count() / options_.activity_bucket.count());
+  auto& samples = activity_[series].busy_ticks_per_bucket;
+  if (samples.size() <= bucket) samples.resize(bucket + 1, 0);
+  ++samples[bucket];
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+Result<EmulationResult> Engine::run() {
+  if (started_) {
+    return failed_precondition_error("Engine::run may be called once");
+  }
+  started_ = true;
+  const auto limit =
+      static_cast<std::int64_t>(options_.max_ticks_per_domain);
+  while (!terminated_) {
+    auto t = advance([&](const std::vector<std::size_t>& due,
+                         Picoseconds now) {
+      for (std::size_t i : due) step_domain(i, now);
+    });
+    if (!t) break;
+    if (ca_.tick > limit) {
+      SEGBUS_LOG(kWarn, "emu") << "tick limit reached; aborting emulation";
+      break;
+    }
+  }
+  return collect_results();
+}
+
+void Engine::step_domain(std::size_t domain_index, Picoseconds now) {
+  if (domain_index + 1 == domains_.size()) {
+    step_ca(now);
+  } else {
+    step_segment(segments_[domain_index], now);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Segment domain
+// ---------------------------------------------------------------------------
+
+void Engine::step_segment(SegmentState& seg, Picoseconds now) {
+  ++seg.tick;
+  segment_read_inbox(seg, now);
+  segment_step_masters(seg, now);
+  segment_step_sa(seg, now);
+
+  if (segment_busy(seg)) {
+    seg.last_activity_tick = seg.tick;
+    ++seg.sa.busy_ticks;
+    record_busy(seg.id, now);
+  }
+  report_idle_transitions(seg, now);
+}
+
+void Engine::segment_read_inbox(SegmentState& seg, Picoseconds now) {
+  for (Envelope& envelope : inboxes_[seg.id]->take_visible(now)) {
+    if (auto* reserve = std::get_if<ReserveMsg>(&envelope.message)) {
+      seg.reserve = ReserveState::kPending;
+      seg.reserved_for = reserve->transfer;
+    } else if (auto* start = std::get_if<StartLoadMsg>(&envelope.message)) {
+      if (timing_.circuit_switched) {
+        seg.start_load = true;
+      } else {
+        // Pipelined mode: the grant releases the master into normal local
+        // bus arbitration.
+        masters_[transfers_[start->transfer].master].phase =
+            MasterState::Phase::kReadyGlobal;
+      }
+    } else if (auto* loaded = std::get_if<BuLoadedMsg>(&envelope.message)) {
+      seg.pending_unloads.push_back(PendingUnload{
+          loaded->transfer, loaded->bu_index,
+          static_cast<std::uint64_t>(timing_.bu_grant_turnaround_ticks) +
+              timing_.bu_sync_ticks});
+    } else if (auto* stage = std::get_if<StageMsg>(&envelope.message)) {
+      seg.t_open = stage->t_open;
+    } else if (auto* release =
+                   std::get_if<MasterReleaseMsg>(&envelope.message)) {
+      master_package_sent(seg, release->master, now);
+    }
+  }
+}
+
+void Engine::segment_step_masters(SegmentState& seg, Picoseconds now) {
+  for (std::uint32_t mi : seg.masters) {
+    MasterState& m = masters_[mi];
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      switch (m.phase) {
+        case MasterState::Phase::kIdle: {
+          // Round-robin over this master's flows that are open (stage gate)
+          // and still have packages to produce.
+          const std::size_t n = m.flows.size();
+          for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t pos = (m.rr + k) % n;
+            FlowRuntime& fr = flows_[m.flows[pos]];
+            if (fr.stage > seg.t_open) continue;
+            if (fr.sent >= fr.total_packages) continue;
+            m.active_flow = fr.index;
+            m.rr = (pos + 1) % n;
+            m.phase = MasterState::Phase::kComputing;
+            m.countdown = fr.flow.compute_ticks;
+            trace(seg.id, now, TraceKind::kComputeStart, fr.index,
+                  fr.sent);
+            ProcessStats& ps = process_stats_[m.process];
+            if (!ps.started) {
+              ps.started = true;
+              ps.start_time = now;
+            }
+            progress = m.countdown == 0;
+            break;
+          }
+          break;
+        }
+        case MasterState::Phase::kComputing: {
+          if (m.countdown > 0) --m.countdown;
+          if (m.countdown == 0) {
+            m.phase = MasterState::Phase::kRequesting;
+            m.countdown = timing_.request_ticks;
+            progress = m.countdown == 0;
+          }
+          break;
+        }
+        case MasterState::Phase::kRequesting: {
+          if (m.countdown > 0) --m.countdown;
+          if (m.countdown == 0) {
+            FlowRuntime& fr = flows_[m.active_flow];
+            m.request_time = now;
+            trace(seg.id, now, TraceKind::kRequest, fr.index, fr.sent);
+            if (fr.local) {
+              m.phase = MasterState::Phase::kPendingLocal;
+              ++seg.sa.intra_requests;
+            } else {
+              m.phase = MasterState::Phase::kPendingGlobal;
+              ++seg.sa.inter_requests;
+              const TransferId tid = static_cast<TransferId>(
+                  fr.transfer_base + fr.sent);
+              transfers_[tid].request_time = now;
+              post(static_cast<DomainId>(domains_.size() - 1), seg.id, now,
+                   CaRequestMsg{tid});
+            }
+          }
+          break;
+        }
+        case MasterState::Phase::kPendingLocal:
+        case MasterState::Phase::kPendingGlobal:
+        case MasterState::Phase::kReadyGlobal:
+        case MasterState::Phase::kBusy:
+          break;
+      }
+    }
+  }
+}
+
+void Engine::segment_step_sa(SegmentState& seg, Picoseconds now) {
+  if (seg.bus) {
+    advance_bus_op(seg, now);
+  }
+
+  // A pending CA reservation captures the bus as soon as it idles.
+  if (seg.reserve == ReserveState::kPending && !seg.bus) {
+    seg.reserve = ReserveState::kReserved;
+    trace(seg.id, now, TraceKind::kReserve,
+          transfers_[seg.reserved_for].flow,
+          transfers_[seg.reserved_for].package_seq, seg.id);
+    post(static_cast<DomainId>(domains_.size() - 1), seg.id, now,
+         ReserveAckMsg{seg.reserved_for, seg.id});
+  }
+
+  // Waiting-period countdown: every queued unload pays its grant
+  // turnaround (+ sync) before it becomes eligible for the bus.
+  for (PendingUnload& pu : seg.pending_unloads) {
+    if (pu.wait_left > 0) {
+      --pu.wait_left;
+      ++bu_stats_[pu.bu].wp_ticks;
+      ++bu_stats_[pu.bu].tct;
+      record_busy(bu_series(pu.bu), now);
+    }
+  }
+
+  if (!seg.bus) {
+    if (seg.reserve == ReserveState::kReserved) {
+      // Circuit mode: this segment is part of an exclusively connected
+      // path. Either a loaded BU waits to unload into us, or we are the
+      // source and may load.
+      if (!seg.pending_unloads.empty()) {
+        if (seg.pending_unloads.front().wait_left == 0) {
+          start_unload(seg, 0, now);
+        }
+      } else if (seg.start_load) {
+        seg.start_load = false;
+        start_global_load(seg, seg.reserved_for, now);
+      }
+    } else if (seg.reserve == ReserveState::kFree) {
+      bool started = false;
+      if (!timing_.circuit_switched) {
+        // Pipelined mode: drain the network first — the oldest eligible
+        // queued unload wins the bus (FIFO, which preserves per-BU FIFO
+        // order); otherwise fall through to the master ring.
+        for (std::size_t i = 0; i < seg.pending_unloads.size(); ++i) {
+          if (seg.pending_unloads[i].wait_left == 0) {
+            start_unload(seg, i, now);
+            started = true;
+            break;
+          }
+        }
+      }
+      if (!started) {
+        // Local arbitration (round-robin): pending local requests plus,
+        // in pipelined mode, CA-granted masters ready to load.
+        const std::size_t n = seg.masters.size();
+        for (std::size_t k = 0; k < n; ++k) {
+          const std::size_t pos = (seg.sa_rr + k) % n;
+          MasterState& m = masters_[seg.masters[pos]];
+          if (m.phase == MasterState::Phase::kPendingLocal) {
+            seg.sa_rr = (pos + 1) % n;
+            BusOp op;
+            op.kind = BusOp::Kind::kLocal;
+            op.flow = m.active_flow;
+            op.master = seg.masters[pos];
+            op.setup_left =
+                static_cast<std::uint64_t>(timing_.sa_decision_ticks) +
+                timing_.grant_set_ticks + timing_.master_response_ticks;
+            op.data_left = package_size_;
+            op.teardown_left = timing_.grant_reset_ticks;
+            op.request_time = m.request_time;
+            m.phase = MasterState::Phase::kBusy;
+            trace(seg.id, now, TraceKind::kGrant, op.flow,
+                  flows_[op.flow].sent);
+            seg.bus = op;
+            break;
+          }
+          if (m.phase == MasterState::Phase::kReadyGlobal) {
+            seg.sa_rr = (pos + 1) % n;
+            const FlowRuntime& fr = flows_[m.active_flow];
+            start_global_load(
+                seg, static_cast<TransferId>(fr.transfer_base + fr.sent),
+                now);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // Eligible unloads that did not win the bus this tick keep waiting —
+  // that is the congestion component of the BU waiting period. (In circuit
+  // mode the reserved, idle bus always serves the lone unload at once, so
+  // this accrues nothing there.)
+  if (!seg.pending_unloads.empty()) {
+    for (const PendingUnload& pu : seg.pending_unloads) {
+      if (pu.wait_left == 0) {
+        ++bu_stats_[pu.bu].wp_ticks;
+        ++bu_stats_[pu.bu].tct;
+        record_busy(bu_series(pu.bu), now);
+      }
+    }
+  }
+}
+
+void Engine::start_unload(SegmentState& seg, std::size_t queue_index,
+                          Picoseconds now) {
+  const PendingUnload pu = seg.pending_unloads[static_cast<std::size_t>(
+      queue_index)];
+  seg.pending_unloads.erase(seg.pending_unloads.begin() +
+                            static_cast<std::ptrdiff_t>(queue_index));
+  GlobalTransfer& tr = transfers_[pu.transfer];
+  std::size_t hop = 0;
+  while (hop < tr.path.size() && tr.path[hop].segment != seg.id) ++hop;
+  BusOp op;
+  op.transfer = pu.transfer;
+  op.flow = tr.flow;
+  op.entry_bu = pu.bu;
+  op.data_left = package_size_;
+  if (hop + 1 == tr.path.size()) {
+    op.kind = BusOp::Kind::kGlobalDeliver;
+  } else {
+    op.kind = BusOp::Kind::kGlobalForward;
+    op.exit_bu = static_cast<std::uint32_t>(*tr.path[hop].exit_bu);
+  }
+  (void)now;
+  seg.bus = op;
+}
+
+void Engine::start_global_load(SegmentState& seg, TransferId tid,
+                               Picoseconds now) {
+  GlobalTransfer& tr = transfers_[tid];
+  BusOp op;
+  op.kind = BusOp::Kind::kGlobalLoad;
+  op.transfer = tid;
+  op.flow = tr.flow;
+  op.master = tr.master;
+  op.exit_bu = static_cast<std::uint32_t>(*tr.path[0].exit_bu);
+  op.setup_left = static_cast<std::uint64_t>(timing_.grant_set_ticks) +
+                  timing_.master_response_ticks;
+  op.data_left = package_size_;
+  masters_[tr.master].phase = MasterState::Phase::kBusy;
+  (void)now;
+  seg.bus = op;
+}
+
+void Engine::advance_bus_op(SegmentState& seg, Picoseconds now) {
+  BusOp& op = *seg.bus;
+  if (op.setup_left > 0) {
+    --op.setup_left;
+    return;
+  }
+  if (op.data_left > 0) {
+    --op.data_left;
+    // Per-tick BU occupancy accounting: a load tick and an unload tick are
+    // both useful-period ticks of the respective BU.
+    if (op.exit_bu != kNone) {
+      ++bu_stats_[op.exit_bu].tct;
+      ++bu_stats_[op.exit_bu].up_ticks;
+      record_busy(bu_series(op.exit_bu), now);
+    }
+    if (op.entry_bu != kNone) {
+      ++bu_stats_[op.entry_bu].tct;
+      ++bu_stats_[op.entry_bu].up_ticks;
+      record_busy(bu_series(op.entry_bu), now);
+    }
+    if (op.data_left == 0) {
+      finish_bus_op(seg, now);
+      if (seg.bus && seg.bus->teardown_left == 0) seg.bus.reset();
+    }
+    return;
+  }
+  if (op.teardown_left > 0) {
+    --op.teardown_left;
+    if (op.teardown_left == 0) seg.bus.reset();
+  }
+}
+
+void Engine::finish_bus_op(SegmentState& seg, Picoseconds now) {
+  BusOp op = *seg.bus;  // copy: handlers may reset seg.bus
+  const DomainId ca = static_cast<DomainId>(domains_.size() - 1);
+  switch (op.kind) {
+    case BusOp::Kind::kLocal: {
+      flows_[op.flow].sent++;
+      deliver_package(seg, op.flow, now, op.request_time);
+      master_package_sent(seg, op.master, now);
+      break;
+    }
+    case BusOp::Kind::kGlobalLoad: {
+      const platform::BorderUnitSpec& bu = bu_specs_[op.exit_bu];
+      BuStats& stats = bu_stats_[op.exit_bu];
+      if (bu.left == seg.id) {
+        ++stats.received_from_left;
+      } else {
+        ++stats.received_from_right;
+      }
+      FlowRuntime& fr = flows_[op.flow];
+      fr.sent++;
+      if (fr.dst_segment > seg.id) {
+        ++seg.traffic.packets_to_right;
+      } else {
+        ++seg.traffic.packets_to_left;
+      }
+      trace(seg.id, now, TraceKind::kBuLoad, op.flow,
+            transfers_[op.transfer].package_seq, op.exit_bu);
+      trace(seg.id, now, TraceKind::kRelease, op.flow,
+            transfers_[op.transfer].package_seq, seg.id);
+      const DomainId next = bu.left == seg.id ? bu.right : bu.left;
+      post(next, seg.id, now, BuLoadedMsg{op.transfer, op.exit_bu});
+      post(ca, seg.id, now, HopDoneMsg{op.transfer, seg.id, false});
+      if (!timing_.master_blocking) {
+        // Pipelined mode: the master is free as soon as the package left
+        // the segment; downstream hops overlap with its next computation.
+        master_package_sent(seg, op.master, now);
+      }
+      release_reservation(seg);
+      break;
+    }
+    case BusOp::Kind::kGlobalForward: {
+      const platform::BorderUnitSpec& entry = bu_specs_[op.entry_bu];
+      BuStats& entry_stats = bu_stats_[op.entry_bu];
+      if (entry.left == seg.id) {
+        ++entry_stats.transferred_to_left;
+      } else {
+        ++entry_stats.transferred_to_right;
+      }
+      ++entry_stats.transfers;
+      const platform::BorderUnitSpec& exit = bu_specs_[op.exit_bu];
+      BuStats& exit_stats = bu_stats_[op.exit_bu];
+      if (exit.left == seg.id) {
+        ++exit_stats.received_from_left;
+      } else {
+        ++exit_stats.received_from_right;
+      }
+      trace(seg.id, now, TraceKind::kBuUnload, op.flow,
+            transfers_[op.transfer].package_seq, op.entry_bu);
+      trace(seg.id, now, TraceKind::kBuLoad, op.flow,
+            transfers_[op.transfer].package_seq, op.exit_bu);
+      trace(seg.id, now, TraceKind::kRelease, op.flow,
+            transfers_[op.transfer].package_seq, seg.id);
+      const DomainId next = exit.left == seg.id ? exit.right : exit.left;
+      post(next, seg.id, now, BuLoadedMsg{op.transfer, op.exit_bu});
+      post(ca, seg.id, now, HopDoneMsg{op.transfer, seg.id, false});
+      release_reservation(seg);
+      break;
+    }
+    case BusOp::Kind::kGlobalDeliver: {
+      const platform::BorderUnitSpec& entry = bu_specs_[op.entry_bu];
+      BuStats& stats = bu_stats_[op.entry_bu];
+      if (entry.left == seg.id) {
+        ++stats.transferred_to_left;
+      } else {
+        ++stats.transferred_to_right;
+      }
+      ++stats.transfers;
+      trace(seg.id, now, TraceKind::kBuUnload, op.flow,
+            transfers_[op.transfer].package_seq, op.entry_bu);
+      deliver_package(seg, op.flow, now,
+                      transfers_[op.transfer].request_time);
+      post(ca, seg.id, now, HopDoneMsg{op.transfer, seg.id, true});
+      if (timing_.master_blocking) {
+        post(flows_[op.flow].src_segment, seg.id, now,
+             MasterReleaseMsg{transfers_[op.transfer].master});
+      }
+      release_reservation(seg);
+      break;
+    }
+  }
+}
+
+void Engine::deliver_package(SegmentState& seg, std::uint32_t flow_index,
+                             Picoseconds now, Picoseconds request_time) {
+  FlowRuntime& fr = flows_[flow_index];
+  const std::int64_t latency = (now - request_time).count();
+  if (fr.delivered == 0) {
+    fr.first_delivery = now;
+    fr.min_latency_ps = latency;
+    fr.max_latency_ps = latency;
+  } else {
+    fr.min_latency_ps = std::min(fr.min_latency_ps, latency);
+    fr.max_latency_ps = std::max(fr.max_latency_ps, latency);
+  }
+  fr.total_latency_ps += latency;
+  if (options_.record_latencies) fr.latency_samples.push_back(latency);
+  trace(seg.id, now, TraceKind::kDelivery, flow_index, fr.delivered);
+  ++fr.delivered;
+  fr.last_delivery = now;
+  ProcessStats& receiver = process_stats_[fr.flow.target];
+  if (!receiver.started) {
+    receiver.started = true;
+    receiver.start_time = now;
+  }
+  receiver.end_time = now;
+  ++receiver.packages_received;
+  if (fr.delivered == fr.total_packages) {
+    post(static_cast<DomainId>(domains_.size() - 1), seg.id, now,
+         FlowDeliveredMsg{flow_index});
+  }
+}
+
+void Engine::master_package_sent(SegmentState& seg, std::uint32_t master,
+                                 Picoseconds now) {
+  (void)seg;
+  MasterState& m = masters_[master];
+  m.phase = MasterState::Phase::kIdle;
+  m.active_flow = kNone;
+  ProcessStats& sender = process_stats_[m.process];
+  ++sender.packages_sent;
+  sender.end_time = now;
+}
+
+void Engine::release_reservation(SegmentState& seg) {
+  seg.reserve = ReserveState::kFree;
+  seg.reserved_for = kNone;
+  seg.start_load = false;
+}
+
+bool Engine::segment_busy(const SegmentState& seg) const {
+  if (seg.bus || seg.reserve != ReserveState::kFree ||
+      !seg.pending_unloads.empty()) {
+    return true;
+  }
+  for (std::uint32_t mi : seg.masters) {
+    const MasterState& m = masters_[mi];
+    if (m.phase == MasterState::Phase::kPendingLocal ||
+        m.phase == MasterState::Phase::kPendingGlobal ||
+        m.phase == MasterState::Phase::kReadyGlobal ||
+        m.phase == MasterState::Phase::kBusy) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Engine::report_idle_transitions(SegmentState& seg, Picoseconds now) {
+  const bool busy = segment_busy(seg);
+  if (busy != seg.reported_busy) {
+    seg.reported_busy = busy;
+    post(static_cast<DomainId>(domains_.size() - 1), seg.id, now,
+         IdleMsg{seg.id, busy});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CA domain
+// ---------------------------------------------------------------------------
+
+void Engine::step_ca(Picoseconds now) {
+  ++ca_.tick;
+  ca_read_inbox(now);
+  ca_grant_scan(now);
+  ca_stage_broadcast(now);
+  ca_monitor(now);
+
+  if (ca_.transfers_alive > 0 || !ca_.pending.empty()) {
+    ++ca_.stats.busy_ticks;
+    record_busy(ca_series(), now);
+  }
+}
+
+void Engine::ca_read_inbox(Picoseconds now) {
+  const DomainId ca_id = static_cast<DomainId>(domains_.size() - 1);
+  for (Envelope& envelope : inboxes_[ca_id]->take_visible(now)) {
+    if (auto* request = std::get_if<CaRequestMsg>(&envelope.message)) {
+      ++ca_.stats.inter_requests;
+      transfers_[request->transfer].state = GlobalTransfer::State::kRequested;
+      ca_.pending.push_back(request->transfer);
+      ++ca_.transfers_alive;
+    } else if (auto* ack = std::get_if<ReserveAckMsg>(&envelope.message)) {
+      GlobalTransfer& tr = transfers_[ack->transfer];
+      ++tr.acks;
+      if (tr.acks == tr.path.size()) {
+        tr.state = GlobalTransfer::State::kActive;
+        post(tr.path.front().segment, ca_id, now,
+             StartLoadMsg{ack->transfer});
+      }
+    } else if (auto* done = std::get_if<HopDoneMsg>(&envelope.message)) {
+      GlobalTransfer& tr = transfers_[done->transfer];
+      if (timing_.circuit_switched) {
+        ca_.segment_reserved[done->segment] = false;
+      }
+      // Return the slot of the BU this hop just unloaded, if any.
+      std::size_t hop = 0;
+      while (hop < tr.path.size() &&
+             tr.path[hop].segment != done->segment) {
+        ++hop;
+      }
+      if (hop > 0 && tr.path[hop - 1].exit_bu &&
+          ca_.bu_in_use[*tr.path[hop - 1].exit_bu] > 0) {
+        --ca_.bu_in_use[*tr.path[hop - 1].exit_bu];
+      }
+      ++tr.hops_done;
+      // Resetting the segment's grant costs CA signaling time (reference
+      // model); it serializes with new grant decisions.
+      ca_.grant_cooldown += timing_.ca_signal_ticks;
+      if (done->final_hop) {
+        tr.state = GlobalTransfer::State::kDone;
+        --ca_.transfers_alive;
+      }
+    } else if (auto* delivered =
+                   std::get_if<FlowDeliveredMsg>(&envelope.message)) {
+      on_flow_delivered(delivered->flow_index, now);
+    } else if (auto* idle = std::get_if<IdleMsg>(&envelope.message)) {
+      ca_.segment_busy[idle->segment] = idle->busy;
+    }
+  }
+}
+
+void Engine::ca_grant_scan(Picoseconds now) {
+  const DomainId ca_id = static_cast<DomainId>(domains_.size() - 1);
+  if (ca_.grant_cooldown > 0) {
+    --ca_.grant_cooldown;
+    return;
+  }
+  for (std::size_t i = 0; i < ca_.pending.size(); ++i) {
+    const TransferId tid = ca_.pending[i];
+    GlobalTransfer& tr = transfers_[tid];
+    bool free = true;
+    for (const platform::PathHop& hop : tr.path) {
+      if (timing_.circuit_switched && ca_.segment_reserved[hop.segment]) {
+        free = false;
+        break;
+      }
+      if (hop.exit_bu) {
+        const std::uint32_t capacity =
+            timing_.circuit_switched
+                ? 1u
+                : bu_specs_[*hop.exit_bu].capacity_packages;
+        if (ca_.bu_in_use[*hop.exit_bu] >= capacity) {
+          free = false;
+          break;
+        }
+      }
+    }
+    if (!free) continue;
+    if (timing_.circuit_switched) {
+      // Grant: reserve the whole path exclusively and ask every segment to
+      // capture its bus ("the CA ... decides which segments need to be
+      // dynamically connected in order to establish a link").
+      for (const platform::PathHop& hop : tr.path) {
+        ca_.segment_reserved[hop.segment] = true;
+        if (hop.exit_bu) ++ca_.bu_in_use[*hop.exit_bu];
+        post(hop.segment, ca_id, now, ReserveMsg{tid});
+      }
+      tr.state = GlobalTransfer::State::kReserving;
+    } else {
+      // Pipelined grant: reserve one FIFO slot per path BU (deadlock-free
+      // end-to-end credit) and release the source master into local bus
+      // arbitration.
+      for (const platform::PathHop& hop : tr.path) {
+        if (hop.exit_bu) ++ca_.bu_in_use[*hop.exit_bu];
+      }
+      tr.state = GlobalTransfer::State::kActive;
+      post(tr.path.front().segment, ca_id, now, StartLoadMsg{tid});
+    }
+    trace(ca_id, now, TraceKind::kGrant, tr.flow, tr.package_seq);
+    ++ca_.stats.grants;
+    ca_.pending.erase(ca_.pending.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+    ca_.grant_cooldown =
+        static_cast<std::uint64_t>(timing_.ca_decision_ticks) +
+        timing_.ca_signal_ticks;
+    break;  // one grant decision per cycle
+  }
+}
+
+void Engine::on_flow_delivered(std::uint32_t flow_index, Picoseconds now) {
+  const FlowRuntime& fr = flows_[flow_index];
+  --ca_.stage_remaining[fr.stage];
+  --ca_.flows_remaining_total;
+  ca_.stage_close_time[fr.stage] =
+      std::max(ca_.stage_close_time[fr.stage], fr.last_delivery);
+  while (ca_.t_open < ca_.stage_remaining.size() &&
+         ca_.stage_remaining[ca_.t_open] == 0) {
+    ++ca_.t_open;
+    if (ca_.t_open < ca_.stage_open_time.size()) {
+      ca_.stage_open_time[ca_.t_open] = now;
+    }
+  }
+  // Process Status Flags: a process's flag goes high once every flow
+  // touching it has fully delivered.
+  for (psdf::ProcessId p : {fr.flow.source, fr.flow.target}) {
+    if (--process_incomplete_[p] == 0) {
+      process_stats_[p].flag = true;
+      process_stats_[p].flag_time = now;
+    }
+  }
+}
+
+void Engine::ca_stage_broadcast(Picoseconds now) {
+  if (ca_.t_open == ca_.t_open_broadcast) return;
+  ca_.t_open_broadcast = ca_.t_open;
+  const DomainId ca_id = static_cast<DomainId>(domains_.size() - 1);
+  trace(ca_id, now, TraceKind::kStageOpen, TraceEvent::kNoValue,
+        TraceEvent::kNoValue, ca_.t_open);
+  for (const SegmentState& seg : segments_) {
+    post(seg.id, ca_id, now, StageMsg{ca_.t_open});
+  }
+}
+
+void Engine::ca_monitor(Picoseconds now) {
+  const std::uint32_t poll = std::max(1u, timing_.monitor_poll_ticks);
+  if (static_cast<std::uint64_t>(ca_.tick) % poll != 0) return;
+  if (ca_.flows_remaining_total != 0) return;
+  if (ca_.transfers_alive != 0 || !ca_.pending.empty()) return;
+  for (bool busy : ca_.segment_busy) {
+    if (busy) return;
+  }
+  terminated_ = true;
+  ca_.termination_tick = ca_.tick;
+  trace(static_cast<DomainId>(domains_.size() - 1), now,
+        TraceKind::kTermination);
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+EmulationResult Engine::collect_results() const {
+  EmulationResult result;
+  result.processes = process_stats_;
+  result.segments.reserve(segments_.size());
+  result.sas.reserve(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const SegmentState& seg = segments_[i];
+    SaStats sa = seg.sa;
+    sa.tct = static_cast<std::uint64_t>(seg.last_activity_tick + 1);
+    sa.execution_time = domains_[i].span(static_cast<std::int64_t>(sa.tct));
+    result.sas.push_back(sa);
+    result.segments.push_back(seg.traffic);
+  }
+  result.bus = bu_stats_;
+
+  CaStats ca = ca_.stats;
+  const std::int64_t ca_ticks =
+      ca_.termination_tick >= 0 ? ca_.termination_tick + 1 : ca_.tick + 1;
+  ca.tct = static_cast<std::uint64_t>(std::max<std::int64_t>(ca_ticks, 0));
+  ca.execution_time =
+      domains_.back().span(static_cast<std::int64_t>(ca.tct));
+  result.ca = ca;
+
+  Picoseconds total = ca.execution_time;
+  for (const SaStats& sa : result.sas) {
+    total = std::max(total, sa.execution_time);
+  }
+  result.total_execution_time = total;
+
+  result.stages.reserve(stage_orderings_.size());
+  for (std::size_t rank = 0; rank < stage_orderings_.size(); ++rank) {
+    StageStats stage;
+    stage.ordering = stage_orderings_[rank];
+    stage.open_time = ca_.stage_open_time[rank];
+    stage.close_time = ca_.stage_close_time[rank];
+    result.stages.push_back(stage);
+  }
+
+  result.flows.reserve(flows_.size());
+  for (const FlowRuntime& fr : flows_) {
+    FlowStats fs;
+    fs.source = process_names_[fr.flow.source];
+    fs.target = process_names_[fr.flow.target];
+    fs.ordering = fr.flow.ordering;
+    fs.inter_segment = !fr.local;
+    fs.packages = fr.delivered;
+    fs.first_delivery = fr.first_delivery;
+    fs.last_delivery = fr.last_delivery;
+    fs.min_latency_ps = fr.min_latency_ps;
+    fs.max_latency_ps = fr.max_latency_ps;
+    fs.total_latency_ps = fr.total_latency_ps;
+    fs.latency_samples = fr.latency_samples;
+    result.flows.push_back(std::move(fs));
+  }
+
+  Picoseconds last{0};
+  for (const FlowRuntime& fr : flows_) {
+    last = std::max(last, fr.last_delivery);
+  }
+  result.last_delivery_time = last;
+  result.completed = terminated_;
+  result.activity = activity_;
+  result.activity_bucket = options_.activity_bucket;
+  for (const ClockDomain& d : domains_) {
+    result.domain_names.push_back(d.name());
+  }
+  if (options_.record_trace) {
+    for (const auto& buffer : trace_) {
+      result.trace.insert(result.trace.end(), buffer.begin(), buffer.end());
+    }
+    std::stable_sort(result.trace.begin(), result.trace.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.domain < b.domain;
+                     });
+  }
+  return result;
+}
+
+}  // namespace segbus::emu

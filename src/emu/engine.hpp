@@ -1,0 +1,353 @@
+// The SegBus emulator engine — paper §3.
+//
+// The engine executes a mapped application (PSDF + PSM) at clock-tick
+// granularity across the platform's clock domains (one per segment plus
+// the CA's). Functional Units are modeled as counters (§3.3): a master
+// consumes the flow's C ticks per package, then requests the bus. Segment
+// Arbiters run a round-robin packet-based protocol on the local bus; the
+// Central Arbiter sets up circuit-switched inter-segment paths over the
+// Border Units with cascaded release (Figure 2). Monitoring code counts
+// ticks exactly where §3.5/§3.6 place the counters.
+//
+// Concurrency model: every platform element belongs to one clock domain,
+// and all cross-domain interaction travels through timestamped mailboxes
+// with strictly-later visibility (see messages.hpp). Domain steps therefore
+// commute within one time instant, which is what lets ParallelEngine run
+// the same simulation on worker threads with bit-identical results — the
+// deterministic answer to the paper's thread-per-element Java emulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "emu/messages.hpp"
+#include "emu/stats.hpp"
+#include "emu/trace.hpp"
+#include "emu/timing.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::emu {
+
+/// Engine construction/run options.
+struct EngineOptions {
+  /// Safety limit: abort (completed=false) when any domain exceeds this
+  /// many ticks.
+  std::uint64_t max_ticks_per_domain = 20'000'000;
+  /// Record per-element activity series (Figure 11).
+  bool record_activity = false;
+  /// Bucket width of the activity series.
+  Picoseconds activity_bucket{1'000'000};  // 1 us
+  /// Record the full protocol event trace (see trace.hpp). Opt-in: a run
+  /// of the MP3 example produces a few thousand events.
+  bool record_trace = false;
+  /// Record every package's request-to-delivery latency (FlowStats then
+  /// carries the full sample vectors, enabling histograms/quantiles).
+  bool record_latencies = false;
+};
+
+namespace detail {
+
+inline constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+/// Static + dynamic state of one packet flow.
+struct FlowRuntime {
+  psdf::Flow flow;
+  std::uint32_t index = 0;
+  DomainId src_segment = 0;
+  DomainId dst_segment = 0;
+  std::uint64_t total_packages = 0;
+  bool local = true;
+  /// Dense rank of the flow's ordering number (0-based stage index); the
+  /// stage gate compares ranks so sparse T values cost nothing.
+  std::uint32_t stage = 0;
+  /// First TransferId of this flow's packages (global flows only).
+  TransferId transfer_base = 0;
+  // -- written by the source domain only --
+  std::uint64_t sent = 0;
+  // -- written by the destination domain only --
+  std::uint64_t delivered = 0;
+  Picoseconds first_delivery{0};
+  Picoseconds last_delivery{0};
+  std::int64_t min_latency_ps = 0;
+  std::int64_t max_latency_ps = 0;
+  std::int64_t total_latency_ps = 0;
+  std::vector<std::int64_t> latency_samples;  ///< when recording is enabled
+};
+
+/// One master interface (one per sending process).
+struct MasterState {
+  enum class Phase : std::uint8_t {
+    kIdle,          ///< looking for an eligible package to produce
+    kComputing,     ///< counting the flow's C ticks
+    kRequesting,    ///< asserting the request line (request_ticks)
+    kPendingLocal,  ///< request visible at the SA; awaiting local grant
+    kPendingGlobal, ///< request forwarded to the CA; awaiting path setup
+    kReadyGlobal,   ///< CA granted (pipelined mode); awaiting the local bus
+    kBusy,          ///< occupying the bus (local transfer or BU load)
+  };
+  psdf::ProcessId process = 0;
+  DomainId segment = 0;
+  std::vector<std::uint32_t> flows;  ///< this process's flow indices
+  std::size_t rr = 0;                ///< round-robin cursor over `flows`
+  Phase phase = Phase::kIdle;
+  std::uint32_t active_flow = kNone;
+  std::uint64_t countdown = 0;
+  /// When the current package's bus request became visible (latency base).
+  Picoseconds request_time{0};
+};
+
+/// One in-flight inter-segment package transfer (one package, one path).
+struct GlobalTransfer {
+  std::uint32_t flow = kNone;
+  std::uint32_t master = kNone;
+  std::uint64_t package_seq = 0;
+  std::vector<platform::PathHop> path;
+  /// Written by the source domain before the CA request is posted.
+  Picoseconds request_time{0};
+  // -- CA-owned bookkeeping --
+  enum class State : std::uint8_t {
+    kUnused, kRequested, kReserving, kActive, kDone
+  };
+  State state = State::kUnused;
+  std::uint32_t acks = 0;
+  std::uint32_t hops_done = 0;
+};
+
+/// A bus occupation in one segment.
+struct BusOp {
+  enum class Kind : std::uint8_t {
+    kLocal,          ///< master -> local slave
+    kGlobalLoad,     ///< source master -> exit BU
+    kGlobalForward,  ///< entry BU -> exit BU (intermediate hop)
+    kGlobalDeliver,  ///< entry BU -> target device
+  };
+  Kind kind = Kind::kLocal;
+  std::uint32_t flow = kNone;
+  TransferId transfer = kNone;
+  std::uint32_t master = kNone;    ///< local / global-load only
+  std::uint32_t entry_bu = kNone;  ///< BU being unloaded
+  std::uint32_t exit_bu = kNone;   ///< BU being loaded
+  std::uint64_t setup_left = 0;    ///< arbitration / grant / response ticks
+  std::uint64_t data_left = 0;     ///< one data item per tick
+  std::uint64_t teardown_left = 0; ///< grant reset ticks
+  bool delivered = false;          ///< data phase finished & accounted
+  Picoseconds request_time{0};     ///< latency base (local transfers)
+};
+
+/// A loaded BU waiting for this segment's grant to unload. Circuit mode
+/// holds at most one; the pipelined protocol queues them (FIFO order, which
+/// also preserves per-BU FIFO semantics).
+struct PendingUnload {
+  TransferId transfer = kNone;
+  std::uint32_t bu = kNone;
+  std::uint64_t wait_left = 0;  ///< grant turnaround (+ sync) still to pay
+};
+
+/// Reservation status of a segment's bus (CA circuit switching).
+enum class ReserveState : std::uint8_t { kFree, kPending, kReserved };
+
+/// Everything owned by one segment's clock domain.
+struct SegmentState {
+  DomainId id = 0;
+  std::vector<std::uint32_t> masters;  ///< indices into Engine::masters_
+  std::size_t sa_rr = 0;               ///< SA round-robin cursor
+  std::optional<BusOp> bus;
+  ReserveState reserve = ReserveState::kFree;
+  TransferId reserved_for = kNone;
+  bool start_load = false;
+  std::vector<PendingUnload> pending_unloads;
+  std::uint32_t t_open = 0;            ///< local copy of the stage gate
+  bool reported_busy = false;
+  std::int64_t tick = -1;              ///< current tick index
+  std::int64_t last_activity_tick = -1;
+  // statistics
+  SaStats sa;
+  SegmentTraffic traffic;
+};
+
+/// Everything owned by the CA's clock domain.
+struct CaState {
+  std::vector<TransferId> pending;     ///< requests awaiting a free path
+  std::vector<bool> segment_reserved;  ///< CA-side reservation table
+  std::vector<std::uint32_t> bu_in_use;  ///< reserved FIFO slots per BU
+  std::vector<bool> segment_busy;      ///< from IdleMsg heartbeats
+  std::uint64_t grant_cooldown = 0;    ///< ca_decision pacing
+  std::uint32_t t_open = 0;
+  std::uint32_t t_open_broadcast = 0;
+  std::vector<std::uint32_t> stage_remaining;  ///< flows left per stage rank
+  std::vector<Picoseconds> stage_open_time;    ///< when each rank opened
+  std::vector<Picoseconds> stage_close_time;   ///< last delivery per rank
+  std::uint64_t flows_remaining_total = 0;
+  std::uint32_t transfers_alive = 0;
+  std::int64_t tick = -1;
+  std::int64_t termination_tick = -1;
+  CaStats stats;
+};
+
+}  // namespace detail
+
+/// The sequential engine. See file comment for the model.
+class Engine {
+ public:
+  /// Validates the mapping of `application` onto `platform` (PSM + PSDF
+  /// cross-checks) and builds a ready-to-run engine. The application's
+  /// compute ticks are rescaled automatically when its package size
+  /// differs from the platform's.
+  static Result<Engine> create(const psdf::PsdfModel& application,
+                               const platform::PlatformModel& platform,
+                               const TimingModel& timing =
+                                   TimingModel::emulator(),
+                               const EngineOptions& options = {});
+
+  Engine(Engine&&) noexcept = default;
+  Engine& operator=(Engine&&) noexcept = default;
+
+  /// Runs the emulation to completion (or the tick limit) and returns the
+  /// collected statistics. May be called once.
+  Result<EmulationResult> run();
+
+  // --- introspection (used by ParallelEngine and the tests) ---------------
+  /// Number of clock domains (segments + 1 for the CA).
+  std::size_t domain_count() const { return domains_.size(); }
+  const ClockDomain& domain(std::size_t i) const { return domains_[i]; }
+  /// True once the monitor has detected the end of emulation.
+  bool terminated() const { return terminated_; }
+
+  /// Advances exactly the domains whose next tick is earliest; returns the
+  /// time just simulated, or nullopt when terminated / past the limit.
+  /// Exposed so ParallelEngine can drive the same kernel. `runner` is
+  /// invoked with the list of domain indices to step at this instant and
+  /// must call step_domain() for each exactly once (in any order / from
+  /// any thread).
+  template <typename Runner>
+  std::optional<Picoseconds> advance(Runner&& runner);
+
+  /// Steps one domain at its next tick time. Thread-safe for distinct
+  /// domains at the same instant.
+  void step_domain(std::size_t domain_index, Picoseconds now);
+
+  /// Builds the result snapshot (valid after run() / manual advancing).
+  EmulationResult collect_results() const;
+
+  /// Total ticks executed in the given domain so far.
+  std::int64_t domain_tick(std::size_t i) const {
+    return i + 1 == domains_.size() ? ca_.tick : segments_[i].tick;
+  }
+
+ private:
+  Engine() = default;
+
+  // --- domain steps --------------------------------------------------------
+  void step_segment(detail::SegmentState& seg, Picoseconds now);
+  void step_ca(Picoseconds now);
+
+  // segment helpers
+  void segment_read_inbox(detail::SegmentState& seg, Picoseconds now);
+  void segment_step_masters(detail::SegmentState& seg, Picoseconds now);
+  void segment_step_sa(detail::SegmentState& seg, Picoseconds now);
+  void advance_bus_op(detail::SegmentState& seg, Picoseconds now);
+  void finish_bus_op(detail::SegmentState& seg, Picoseconds now);
+  /// Pops queue entry `queue_index` and starts its unload bus op.
+  void start_unload(detail::SegmentState& seg, std::size_t queue_index,
+                    Picoseconds now);
+  /// Starts the master->BU load bus op of transfer `tid`.
+  void start_global_load(detail::SegmentState& seg, TransferId tid,
+                         Picoseconds now);
+  void deliver_package(detail::SegmentState& seg, std::uint32_t flow_index,
+                       Picoseconds now, Picoseconds request_time);
+  void master_package_sent(detail::SegmentState& seg, std::uint32_t master,
+                           Picoseconds now);
+  void release_reservation(detail::SegmentState& seg);
+  bool segment_busy(const detail::SegmentState& seg) const;
+  void report_idle_transitions(detail::SegmentState& seg, Picoseconds now);
+
+  // ca helpers
+  void ca_read_inbox(Picoseconds now);
+  void ca_grant_scan(Picoseconds now);
+  void ca_stage_broadcast(Picoseconds now);
+  void ca_monitor(Picoseconds now);
+  void on_flow_delivered(std::uint32_t flow_index, Picoseconds now);
+
+  // messaging
+  void post(DomainId to, DomainId from, Picoseconds now, Message message);
+
+  // activity recording
+  void record_busy(std::size_t series, Picoseconds now);
+
+  // --- static configuration ----------------------------------------------
+  TimingModel timing_;
+  EngineOptions options_;
+  std::uint32_t package_size_ = 0;
+  std::vector<ClockDomain> domains_;  ///< segments 0..n-1, CA at n
+  std::vector<platform::BorderUnitSpec> bu_specs_;
+  std::vector<std::string> process_names_;
+  std::vector<std::uint32_t> stage_orderings_;  ///< rank -> original T value
+
+  // --- dynamic state --------------------------------------------------------
+  std::vector<detail::FlowRuntime> flows_;
+  std::vector<detail::MasterState> masters_;
+  std::vector<std::uint32_t> master_of_process_;  ///< kNone for pure sinks
+  std::vector<detail::GlobalTransfer> transfers_;
+  std::vector<detail::SegmentState> segments_;
+  detail::CaState ca_;
+  std::vector<std::unique_ptr<Mailbox>> inboxes_;
+  std::vector<std::uint64_t> post_seq_;  ///< per-producer sequence counters
+
+  // per-domain next tick times (run-loop bookkeeping)
+  std::vector<Picoseconds> next_tick_;
+  bool terminated_ = false;
+  bool started_ = false;
+
+  // statistics shared across domains; each field is written by exactly one
+  // domain (see the member comments in detail::FlowRuntime)
+  std::vector<ProcessStats> process_stats_;
+  std::vector<BuStats> bu_stats_;
+  /// Per-process count of flows (in + out) not yet fully delivered;
+  /// maintained by the CA to raise the Process Status Flags.
+  std::vector<std::uint32_t> process_incomplete_;
+
+  // activity recording: series 0..n-1 = SAs, n = CA, n+1.. = BUs
+  std::vector<ActivitySeries> activity_;
+
+  // per-domain trace buffers (merged at collect time)
+  std::vector<std::vector<TraceEvent>> trace_;
+  void trace(DomainId domain, Picoseconds now, TraceKind kind,
+             std::uint32_t flow = TraceEvent::kNoValue,
+             std::uint64_t package = TraceEvent::kNoValue,
+             std::uint32_t element = TraceEvent::kNoValue) {
+    if (!options_.record_trace) return;
+    trace_[domain].push_back(TraceEvent{now, domain, kind, flow, package,
+                                        element});
+  }
+
+  std::size_t ca_series() const { return segments_.size(); }
+  std::size_t bu_series(std::uint32_t bu) const {
+    return segments_.size() + 1 + bu;
+  }
+};
+
+template <typename Runner>
+std::optional<Picoseconds> Engine::advance(Runner&& runner) {
+  if (terminated_) return std::nullopt;
+  // Earliest next tick over all domains.
+  Picoseconds t = next_tick_[0];
+  for (std::size_t i = 1; i < next_tick_.size(); ++i) {
+    t = std::min(t, next_tick_[i]);
+  }
+  std::vector<std::size_t> due;
+  for (std::size_t i = 0; i < next_tick_.size(); ++i) {
+    if (next_tick_[i] == t) due.push_back(i);
+  }
+  runner(due, t);
+  for (std::size_t i : due) {
+    next_tick_[i] = next_tick_[i] + Picoseconds(domains_[i].period_ps());
+  }
+  return t;
+}
+
+}  // namespace segbus::emu

@@ -1,0 +1,146 @@
+// Cross-clock-domain messaging inside the emulator.
+//
+// Every interaction between platform elements in *different* clock domains
+// (SA -> CA request forwarding, CA grant signaling, BU handoffs, monitor
+// heartbeats) travels through a timestamped mailbox with strictly-later
+// visibility: a message posted at time t is readable only by consumer
+// ticks at time > t. This models the one-cycle signal latency of the real
+// platform and — because delivery order is derived from (timestamp,
+// producer, sequence) rather than arrival order — makes the engine's
+// results independent of the order domains are stepped in, so the
+// sequential and thread-parallel engines are bit-identical.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <variant>
+#include <vector>
+
+#include "support/time.hpp"
+
+namespace segbus::emu {
+
+/// Identifier of a clock domain: segments are 0..n-1, the CA is n.
+using DomainId = std::uint32_t;
+
+/// Index of an in-flight inter-segment transfer.
+using TransferId = std::uint32_t;
+
+// --- message payloads ------------------------------------------------------
+
+/// SA -> CA: a master requests an inter-segment transfer.
+struct CaRequestMsg {
+  TransferId transfer;
+};
+
+/// CA -> segment: reserve your bus for `transfer` (you are on its path).
+struct ReserveMsg {
+  TransferId transfer;
+};
+
+/// Segment -> CA: bus is idle and reserved for `transfer`.
+struct ReserveAckMsg {
+  TransferId transfer;
+  DomainId segment;
+};
+
+/// CA -> source segment: the whole path is reserved; begin loading.
+struct StartLoadMsg {
+  TransferId transfer;
+};
+
+/// Segment j -> segment j(+/-)1: the BU between us now holds a package of
+/// `transfer`; arrange its unload on your side.
+struct BuLoadedMsg {
+  TransferId transfer;
+  std::uint32_t bu_index;  ///< index into the platform's border-unit list
+};
+
+/// Segment -> CA: this segment finished its bus phase of `transfer`
+/// (cascaded release — the paper's Figure 2).
+struct HopDoneMsg {
+  TransferId transfer;
+  DomainId segment;
+  bool final_hop;  ///< true when the package reached the target device
+};
+
+/// Any segment -> CA: the given flow has delivered its last package.
+struct FlowDeliveredMsg {
+  std::uint32_t flow_index;
+};
+
+/// CA -> every segment: flows with ordering <= t_open are now eligible.
+struct StageMsg {
+  std::uint32_t t_open;
+};
+
+/// Segment -> CA (monitor): busy/idle transition for quiescence detection.
+struct IdleMsg {
+  DomainId segment;
+  bool busy;
+};
+
+/// Destination segment -> source segment: the package your master sent has
+/// reached the target device; the master may produce the next one (only
+/// used when TimingModel::master_blocking is set).
+struct MasterReleaseMsg {
+  std::uint32_t master;
+};
+
+using Message =
+    std::variant<CaRequestMsg, ReserveMsg, ReserveAckMsg, StartLoadMsg,
+                 BuLoadedMsg, HopDoneMsg, FlowDeliveredMsg, StageMsg,
+                 IdleMsg, MasterReleaseMsg>;
+
+/// A message with its delivery metadata.
+struct Envelope {
+  Picoseconds time;    ///< post time; visible strictly after this instant
+  DomainId producer;   ///< posting domain (part of the deterministic order)
+  std::uint64_t seq;   ///< per-producer sequence number
+  Message message;
+};
+
+/// One domain's inbox. push() is thread-safe; take_visible() is called only
+/// by the owning domain's step.
+class Mailbox {
+ public:
+  void push(Envelope envelope) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(envelope));
+  }
+
+  /// Removes and returns all messages visible at `now` (time < now), in
+  /// deterministic (time, producer, seq) order.
+  std::vector<Envelope> take_visible(Picoseconds now) {
+    std::vector<Envelope> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto keep_end = std::partition(
+          pending_.begin(), pending_.end(),
+          [&](const Envelope& e) { return !(e.time < now); });
+      out.assign(std::make_move_iterator(keep_end),
+                 std::make_move_iterator(pending_.end()));
+      pending_.erase(keep_end, pending_.end());
+    }
+    std::sort(out.begin(), out.end(), [](const Envelope& a,
+                                         const Envelope& b) {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.producer != b.producer) return a.producer < b.producer;
+      return a.seq < b.seq;
+    });
+    return out;
+  }
+
+  /// True when no message is waiting (visible or not).
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Envelope> pending_;
+};
+
+}  // namespace segbus::emu

@@ -1,0 +1,108 @@
+#include "emu/parallel.hpp"
+
+#include <algorithm>
+
+#include "support/log.hpp"
+
+namespace segbus::emu {
+
+ParallelEngine::ParallelEngine(Engine engine, unsigned num_threads)
+    : engine_(std::move(engine)),
+      num_threads_(num_threads != 0
+                       ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())) {
+  workers_.reserve(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+Result<std::unique_ptr<ParallelEngine>> ParallelEngine::create(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform, const TimingModel& timing,
+    const EngineOptions& options, unsigned num_threads) {
+  SEGBUS_ASSIGN_OR_RETURN(
+      Engine engine, Engine::create(application, platform, timing, options));
+  return std::make_unique<ParallelEngine>(std::move(engine), num_threads);
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelEngine::worker_loop(unsigned worker_id) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::vector<std::size_t>* batch = nullptr;
+    Picoseconds when{0};
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      batch = batch_;
+      when = batch_time_;
+    }
+    // Static partition: worker w owns indices w, w+T, w+2T, ... This keeps
+    // a straggler from a previous batch from ever claiming work out of a
+    // freshly published one (it only touches the batch it captured above).
+    for (std::size_t index = worker_id; index < batch->size();
+         index += num_threads_) {
+      engine_.step_domain((*batch)[index], when);
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        work_done_.notify_one();
+      }
+    }
+  }
+}
+
+Result<EmulationResult> ParallelEngine::run() {
+  if (started_) {
+    return failed_precondition_error("ParallelEngine::run may be called once");
+  }
+  started_ = true;
+  std::uint64_t steps = 0;
+  const std::uint64_t limit = 1ull << 62;
+  while (!engine_.terminated() && steps < limit) {
+    auto t = engine_.advance([&](const std::vector<std::size_t>& due,
+                                 Picoseconds now) {
+      if (due.size() == 1) {
+        // Fast path: a single domain ticks; no point waking the pool.
+        engine_.step_domain(due[0], now);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = &due;
+        batch_time_ = now;
+        remaining_.store(due.size(), std::memory_order_relaxed);
+        ++generation_;
+      }
+      work_ready_.notify_all();
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_done_.wait(lock, [&] {
+        return remaining_.load(std::memory_order_acquire) == 0;
+      });
+    });
+    if (!t) break;
+    ++steps;
+    // Reuse the sequential engine's safety limit.
+    if (engine_.domain_tick(engine_.domain_count() - 1) >
+        static_cast<std::int64_t>(1) << 40) {
+      SEGBUS_LOG(kWarn, "emu") << "parallel run exceeded tick bound";
+      break;
+    }
+  }
+  return engine_.collect_results();
+}
+
+}  // namespace segbus::emu

@@ -1,0 +1,172 @@
+// Statistics the emulator reports — the counters §3.5/§3.6 describe and
+// the §4 results block prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emu/trace.hpp"
+#include "support/time.hpp"
+
+namespace segbus::emu {
+
+/// Per-process figures (Figure 10's timeline plus package counts).
+struct ProcessStats {
+  std::string name;
+  /// First activity: the first compute tick of the first output package,
+  /// or the arrival of the first input package for pure sinks.
+  Picoseconds start_time{0};
+  bool started = false;
+  /// Last activity: final output package delivered / final input received.
+  Picoseconds end_time{0};
+  /// Time the Process Status Flag went high (all inputs received and all
+  /// outputs delivered).
+  Picoseconds flag_time{0};
+  bool flag = false;
+  std::uint64_t packages_sent = 0;
+  std::uint64_t packages_received = 0;
+};
+
+/// Per-Segment-Arbiter figures.
+struct SaStats {
+  /// Total clock ticks: the SA's counter runs from emulation start until
+  /// its last activity (the paper's "increments continuously till the time
+  /// limit ends"), so TCT x period = the SA's execution time.
+  std::uint64_t tct = 0;
+  std::uint64_t intra_requests = 0;  ///< package requests with a local target
+  std::uint64_t inter_requests = 0;  ///< package requests forwarded to the CA
+  /// Busy ticks only (arbitrating, bus occupied, reserved) — used by the
+  /// activity graph, not by the execution-time formula.
+  std::uint64_t busy_ticks = 0;
+  Picoseconds execution_time{0};  ///< tct x segment clock period
+};
+
+/// Per-segment traffic originating here (pass-through traffic is counted by
+/// the BUs, matching the paper's "Segment 2: 0/0" for forwarded packages).
+struct SegmentTraffic {
+  std::uint64_t packets_to_left = 0;
+  std::uint64_t packets_to_right = 0;
+};
+
+/// Per-Border-Unit figures. "Left"/"right" follow the platform order:
+/// BU12's left segment is 1.
+struct BuStats {
+  std::uint64_t received_from_left = 0;     ///< packages loaded from the left
+  std::uint64_t received_from_right = 0;
+  std::uint64_t transferred_to_left = 0;    ///< packages unloaded leftwards
+  std::uint64_t transferred_to_right = 0;
+  /// Busy ticks: load + wait + unload per package.
+  std::uint64_t tct = 0;
+  /// Useful-period ticks (load + unload = 2 x package size per package).
+  std::uint64_t up_ticks = 0;
+  /// Waiting-period ticks (loaded, awaiting the next segment's grant).
+  std::uint64_t wp_ticks = 0;
+  std::uint64_t transfers = 0;  ///< packages that traversed this BU
+
+  std::uint64_t total_input() const {
+    return received_from_left + received_from_right;
+  }
+  std::uint64_t total_output() const {
+    return transferred_to_left + transferred_to_right;
+  }
+  /// Mean waiting period per transfer (the paper's average WP).
+  double mean_wp() const {
+    return transfers == 0
+               ? 0.0
+               : static_cast<double>(wp_ticks) /
+                     static_cast<double>(transfers);
+  }
+};
+
+/// Central-Arbiter figures.
+struct CaStats {
+  /// The CA checks for requests every cycle until the monitor detects the
+  /// end of emulation, so its TCT spans the whole run and TCT x period is
+  /// the total execution time.
+  std::uint64_t tct = 0;
+  std::uint64_t inter_requests = 0;  ///< inter-segment requests received
+  std::uint64_t grants = 0;          ///< transfers granted (paths set up)
+  std::uint64_t busy_ticks = 0;      ///< ticks with any transaction in flight
+  Picoseconds execution_time{0};     ///< tct x CA clock period
+};
+
+/// Per-flow figures (one entry per PSDF flow, in schedule order).
+struct FlowStats {
+  std::string source;
+  std::string target;
+  std::uint32_t ordering = 0;        ///< the flow's T value
+  bool inter_segment = false;
+  std::uint64_t packages = 0;        ///< packages delivered
+  Picoseconds first_delivery{0};     ///< arrival of the first package
+  Picoseconds last_delivery{0};      ///< arrival of the final package
+  /// Package latency from the master's bus request to delivery at the
+  /// target device, in picoseconds (excludes the C computation ticks).
+  std::int64_t min_latency_ps = 0;
+  std::int64_t max_latency_ps = 0;
+  std::int64_t total_latency_ps = 0;
+  /// Per-package samples (only when EngineOptions::record_latencies).
+  std::vector<std::int64_t> latency_samples;
+
+  double mean_latency_ps() const {
+    return packages == 0 ? 0.0
+                         : static_cast<double>(total_latency_ps) /
+                               static_cast<double>(packages);
+  }
+};
+
+/// One schedule stage's span: when the stage gate opened it and when its
+/// last flow delivered. Stage 0 opens at time zero by construction.
+struct StageStats {
+  std::uint32_t ordering = 0;   ///< the stage's T value
+  Picoseconds open_time{0};     ///< when flows of this stage became eligible
+  Picoseconds close_time{0};    ///< last delivery of the stage's flows
+};
+
+/// Activity-graph series (Figure 11): per element, busy ticks per fixed
+/// time bucket.
+struct ActivitySeries {
+  std::string element;           ///< "SA1", "CA", "BU12", ...
+  std::vector<std::uint32_t> busy_ticks_per_bucket;
+};
+
+/// Everything one emulation run produces.
+struct EmulationResult {
+  std::vector<ProcessStats> processes;   ///< indexed by psdf::ProcessId
+  std::vector<SaStats> sas;              ///< indexed by segment
+  std::vector<SegmentTraffic> segments;  ///< indexed by segment
+  std::vector<BuStats> bus;              ///< indexed by border-unit index
+  std::vector<FlowStats> flows;          ///< per flow, schedule order
+  std::vector<StageStats> stages;        ///< per schedule stage, in order
+  CaStats ca;
+
+  /// Fraction of a segment bus's ticks spent busy up to its last activity
+  /// (0 when the segment never worked).
+  double sa_utilization(std::size_t segment) const {
+    const SaStats& sa = sas.at(segment);
+    return sa.tct == 0 ? 0.0
+                       : static_cast<double>(sa.busy_ticks) /
+                             static_cast<double>(sa.tct);
+  }
+  /// Fraction of the CA's ticks with a transaction in flight.
+  double ca_utilization() const {
+    return ca.tct == 0 ? 0.0
+                       : static_cast<double>(ca.busy_ticks) /
+                             static_cast<double>(ca.tct);
+  }
+  /// max(t_SA1..t_SAn, t_CA) — the paper's execution-time formula.
+  Picoseconds total_execution_time{0};
+  /// Time the last package reached its destination.
+  Picoseconds last_delivery_time{0};
+  bool completed = false;  ///< false when the run hit the tick limit
+  /// Activity-graph data (empty unless recording was enabled).
+  std::vector<ActivitySeries> activity;
+  Picoseconds activity_bucket{0};
+  /// Merged, time-ordered protocol trace (empty unless recording was
+  /// enabled via EngineOptions::record_trace).
+  std::vector<TraceEvent> trace;
+  /// Domain names for rendering the trace (segments then "CA").
+  std::vector<std::string> domain_names;
+};
+
+}  // namespace segbus::emu

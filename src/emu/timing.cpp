@@ -1,0 +1,46 @@
+#include "emu/timing.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus::emu {
+
+TimingModel TimingModel::emulator() {
+  TimingModel t;
+  t.request_ticks = 1;
+  t.sa_decision_ticks = 2;
+  t.grant_set_ticks = 0;
+  t.master_response_ticks = 0;
+  t.grant_reset_ticks = 0;
+  t.ca_decision_ticks = 2;
+  t.ca_signal_ticks = 0;
+  t.bu_sync_ticks = 0;
+  t.bu_grant_turnaround_ticks = 1;
+  t.monitor_poll_ticks = 4;
+  return t;
+}
+
+TimingModel TimingModel::reference() {
+  TimingModel t = emulator();
+  // The costs §3.6 says the emulator omits, and §4's Discussion sizes at
+  // "2 to 3 clock ticks" each.
+  t.grant_set_ticks = 3;
+  t.master_response_ticks = 3;
+  t.grant_reset_ticks = 2;
+  t.ca_signal_ticks = 3;
+  t.bu_sync_ticks = 3;
+  return t;
+}
+
+std::string TimingModel::describe() const {
+  return str_format(
+      "request=%u sa_decision=%u grant_set=%u master_resp=%u grant_reset=%u "
+      "ca_decision=%u ca_signal=%u bu_sync=%u bu_turnaround=%u monitor=%u "
+      "blocking=%d circuit=%d",
+      request_ticks, sa_decision_ticks, grant_set_ticks,
+      master_response_ticks, grant_reset_ticks, ca_decision_ticks,
+      ca_signal_ticks, bu_sync_ticks, bu_grant_turnaround_ticks,
+      monitor_poll_ticks, master_blocking ? 1 : 0,
+      circuit_switched ? 1 : 0);
+}
+
+}  // namespace segbus::emu

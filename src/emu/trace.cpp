@@ -1,0 +1,57 @@
+#include "emu/trace.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus::emu {
+
+std::string_view trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kComputeStart: return "compute";
+    case TraceKind::kRequest: return "request";
+    case TraceKind::kGrant: return "grant";
+    case TraceKind::kDelivery: return "delivery";
+    case TraceKind::kBuLoad: return "bu-load";
+    case TraceKind::kBuUnload: return "bu-unload";
+    case TraceKind::kReserve: return "reserve";
+    case TraceKind::kRelease: return "release";
+    case TraceKind::kStageOpen: return "stage-open";
+    case TraceKind::kTermination: return "termination";
+  }
+  return "?";
+}
+
+std::string render_trace(const std::vector<TraceEvent>& events,
+                         const std::vector<std::string>& domain_names,
+                         std::size_t max_events) {
+  std::string out;
+  std::size_t count = 0;
+  for (const TraceEvent& event : events) {
+    if (max_events != 0 && count++ >= max_events) {
+      out += str_format("... (%zu more events)\n",
+                        events.size() - max_events);
+      break;
+    }
+    std::string domain =
+        event.domain < domain_names.size()
+            ? domain_names[event.domain]
+            : str_format("domain%u", event.domain);
+    out += str_format("%12lldps  [%-9s]  %-11s",
+                      static_cast<long long>(event.time.count()),
+                      domain.c_str(),
+                      std::string(trace_kind_name(event.kind)).c_str());
+    if (event.flow != TraceEvent::kNoValue) {
+      out += str_format("  flow %u", event.flow);
+    }
+    if (event.package != TraceEvent::kNoValue) {
+      out += str_format(" pkg %llu",
+                        static_cast<unsigned long long>(event.package));
+    }
+    if (event.element != TraceEvent::kNoValue) {
+      out += str_format(" elem %u", event.element);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace segbus::emu

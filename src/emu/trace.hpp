@@ -1,0 +1,58 @@
+// Optional event tracing of an emulation run.
+//
+// When EngineOptions::record_trace is set, the engine logs every protocol
+// event (requests, grants, BU loads/unloads, deliveries, stage openings,
+// termination) with its timestamp and clock domain. Each domain writes to
+// its own buffer — no cross-thread contention in the parallel engine — and
+// the buffers are merged into one deterministic, time-ordered log when
+// results are collected. Useful for debugging schedules and for producing
+// waveform-style listings of a configuration's behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emu/messages.hpp"
+#include "support/time.hpp"
+
+namespace segbus::emu {
+
+/// Kinds of traced protocol events.
+enum class TraceKind : std::uint8_t {
+  kComputeStart,   ///< master begins the C ticks of a package (flow, pkg)
+  kRequest,        ///< master request visible at the SA (flow, pkg)
+  kGrant,          ///< SA/CA grants the bus / the path (flow, pkg)
+  kDelivery,       ///< package arrived at the target device (flow, pkg)
+  kBuLoad,         ///< package fully loaded into a BU (element = BU index)
+  kBuUnload,       ///< package fully unloaded from a BU
+  kReserve,        ///< segment captured for an inter-segment path
+  kRelease,        ///< segment released (cascaded release)
+  kStageOpen,      ///< the stage gate advanced (element = stage rank)
+  kTermination,    ///< the monitor detected the end of emulation
+};
+
+/// Human-readable name of a TraceKind.
+std::string_view trace_kind_name(TraceKind kind) noexcept;
+
+/// One traced event. `flow`/`package`/`element` are kind-dependent;
+/// unused fields are set to kNoValue.
+struct TraceEvent {
+  Picoseconds time{0};
+  DomainId domain = 0;      ///< clock domain that produced the event
+  TraceKind kind = TraceKind::kComputeStart;
+  std::uint32_t flow = kNoValue;
+  std::uint64_t package = kNoValue;
+  std::uint32_t element = kNoValue;  ///< BU index / stage rank / segment
+
+  static constexpr std::uint32_t kNoValue = 0xFFFFFFFFu;
+};
+
+/// Renders a merged trace as one line per event:
+///   "   123456ps  [S1]  request      flow 3 pkg 0"
+/// `domain_names` indexes domains (segments then CA).
+std::string render_trace(const std::vector<TraceEvent>& events,
+                         const std::vector<std::string>& domain_names,
+                         std::size_t max_events = 0);
+
+}  // namespace segbus::emu

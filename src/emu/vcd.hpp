@@ -1,0 +1,33 @@
+// VCD (Value Change Dump) export of an emulation trace.
+//
+// Converts the protocol event trace into an IEEE-1364 VCD waveform that
+// standard viewers (GTKWave & co.) can display — the emulator-world
+// equivalent of probing the RTL platform's buses. Signals:
+//
+//   segN_reserved   segment N captured for a circuit-switched path
+//   buNM_occupied   BU between segments N and M holds a package
+//   flowK_inflight  flow K has a package between bus request and delivery
+//
+// Requires a result produced with EngineOptions::record_trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emu/stats.hpp"
+#include "platform/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::emu {
+
+/// Renders the trace as a VCD document. Fails (FailedPrecondition) when the
+/// result carries no trace.
+Result<std::string> trace_to_vcd(const EmulationResult& result,
+                                 const platform::PlatformModel& platform);
+
+/// Writes the VCD to `path`.
+Status write_vcd_file(const EmulationResult& result,
+                      const platform::PlatformModel& platform,
+                      const std::string& path);
+
+}  // namespace segbus::emu

@@ -1,0 +1,402 @@
+#include "m2t/codegen.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "m2t/template.hpp"
+#include "platform/constraints.hpp"
+#include "platform/platform_xml.hpp"
+#include "platform/platform_dot.hpp"
+#include "psdf/dot.hpp"
+#include "psdf/comm_matrix.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "support/csv.hpp"
+#include "support/strings.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::m2t {
+
+CodeEngineeringSet::CodeEngineeringSet(psdf::PsdfModel application,
+                                       platform::PlatformModel platform)
+    : application_(std::move(application)), platform_(std::move(platform)) {}
+
+Result<std::vector<GeneratedArtifact>> CodeEngineeringSet::generate() const {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform_, application_));
+  std::vector<GeneratedArtifact> artifacts;
+  const std::string base = application_.name();
+  if (psdf_scheme_) {
+    artifacts.push_back({base + ".psdf.xml",
+                         xml::write_document(psdf::to_xml(application_))});
+  }
+  if (psm_scheme_) {
+    artifacts.push_back({platform_.name() + ".psm.xml",
+                         xml::write_document(platform::to_xml(platform_))});
+  }
+  if (dot_) {
+    artifacts.push_back({base + ".dot", psdf::to_dot(application_)});
+    artifacts.push_back(
+        {platform_.name() + ".dot", platform::to_dot(platform_)});
+  }
+  if (matrix_) {
+    // The communication matrix (Figure 8) as CSV — the emulator derives it
+    // from the PSDF, but PlaceTool-style consumers want it as a file.
+    psdf::CommMatrix matrix = psdf::CommMatrix::from_model(application_);
+    CsvWriter csv([&] {
+      std::vector<std::string> header = {""};
+      for (const psdf::Process& p : application_.processes()) {
+        header.push_back(p.name);
+      }
+      return header;
+    }());
+    for (const psdf::Process& from : application_.processes()) {
+      std::vector<std::string> row = {from.name};
+      for (const psdf::Process& to : application_.processes()) {
+        row.push_back(str_format(
+            "%llu",
+            static_cast<unsigned long long>(matrix.at(from.id, to.id))));
+      }
+      csv.add_row(std::move(row));
+    }
+    artifacts.push_back({base + ".matrix.csv", csv.to_string()});
+  }
+  if (arbiter_code_) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        std::string header, render_arbiter_header(application_, platform_));
+    artifacts.push_back({base + "_schedule.hpp", std::move(header)});
+    SEGBUS_ASSIGN_OR_RETURN(
+        std::string report, render_schedule_report(application_, platform_));
+    artifacts.push_back({base + "_schedule.txt", std::move(report)});
+    SEGBUS_ASSIGN_OR_RETURN(
+        std::string vhdl, render_arbiter_vhdl(application_, platform_));
+    artifacts.push_back({base + "_schedule_pkg.vhd", std::move(vhdl)});
+  }
+  return artifacts;
+}
+
+Status CodeEngineeringSet::write_to(const std::string& directory) const {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(directory, ec)) {
+    return invalid_argument_error("output directory does not exist: " +
+                                  directory);
+  }
+  SEGBUS_ASSIGN_OR_RETURN(std::vector<GeneratedArtifact> artifacts,
+                          generate());
+  for (const GeneratedArtifact& artifact : artifacts) {
+    const std::string path =
+        (std::filesystem::path(directory) / artifact.filename).string();
+    std::ofstream file(path, std::ios::binary);
+    if (!file) {
+      return invalid_argument_error("cannot open for writing: " + path);
+    }
+    file << artifact.content;
+    if (!file) return internal_error("short write: " + path);
+  }
+  return Status::ok();
+}
+
+Result<ArbiterSchedules> extract_schedules(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform) {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+
+  // Dense stage indices in ordering-T order.
+  std::map<std::uint32_t, std::uint32_t> stage_rank;
+  for (const psdf::Flow& f : application.flows()) {
+    stage_rank.emplace(f.ordering, 0);
+  }
+  {
+    std::uint32_t rank = 0;
+    for (auto& [t, r] : stage_rank) r = rank++;
+  }
+
+  ArbiterSchedules schedules;
+  schedules.per_segment.resize(platform.segment_count());
+  for (const psdf::Flow& f : application.scheduled_flows()) {
+    const std::string& src = application.process(f.source).name;
+    const std::string& dst = application.process(f.target).name;
+    SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId s,
+                            platform.require_segment_of(src));
+    SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId d,
+                            platform.require_segment_of(dst));
+    ScheduleEntry entry;
+    entry.stage = stage_rank.at(f.ordering);
+    entry.source = src;
+    entry.target = dst;
+    entry.packages =
+        psdf::packages_for(f.data_items, platform.package_size());
+    entry.inter_segment = s != d;
+    entry.target_segment = d + 1;
+    schedules.per_segment[s].push_back(entry);
+    if (entry.inter_segment) schedules.central.push_back(entry);
+  }
+  return schedules;
+}
+
+namespace {
+
+constexpr std::string_view kReportTemplate =
+    "Application schedule for {{application}} on {{platform}}\n"
+    "package size: {{package_size}} data items\n"
+    "\n"
+    "{{#each segments}}"
+    "SA{{number}} ({{frequency}}):\n"
+    "{{#each entries}}"
+    "  stage {{stage}}: {{source}} -> {{target}}  {{packages}} package(s)"
+    "{{#if inter}}  [inter-segment -> segment {{target_segment}}]{{/if}}\n"
+    "{{/each}}"
+    "{{#if empty}}  (no transfers originate here)\n{{/if}}"
+    "\n"
+    "{{/each}}"
+    "CA inter-segment schedule:\n"
+    "{{#each central}}"
+    "  stage {{stage}}: {{source}} -> {{target}}  {{packages}} package(s) "
+    "-> segment {{target_segment}}\n"
+    "{{/each}}"
+    "{{#if central_empty}}  (no inter-segment transfers)\n{{/if}}";
+
+Result<Context> build_schedule_context(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform) {
+  SEGBUS_ASSIGN_OR_RETURN(ArbiterSchedules schedules,
+                          extract_schedules(application, platform));
+  Context root;
+  root.emplace("application", Value(application.name()));
+  root.emplace("platform", Value(platform.name()));
+  root.emplace("package_size",
+               Value(str_format("%u", platform.package_size())));
+
+  auto entry_context = [](const ScheduleEntry& e) {
+    Context c;
+    c.emplace("stage", Value(str_format("%u", e.stage)));
+    c.emplace("source", Value(e.source));
+    c.emplace("target", Value(e.target));
+    c.emplace("packages",
+              Value(str_format("%llu",
+                               static_cast<unsigned long long>(e.packages))));
+    c.emplace("inter", Value(e.inter_segment ? "true" : "false"));
+    c.emplace("target_segment",
+              Value(str_format("%u", e.target_segment)));
+    return c;
+  };
+
+  std::vector<Context> segments;
+  for (std::size_t s = 0; s < schedules.per_segment.size(); ++s) {
+    Context seg;
+    seg.emplace("number", Value(str_format("%zu", s + 1)));
+    ClockDomain domain(platform.segment(
+                           static_cast<platform::SegmentId>(s)).name,
+                       platform.segment(
+                           static_cast<platform::SegmentId>(s)).clock);
+    seg.emplace("frequency", Value(domain.frequency_label()));
+    std::vector<Context> entries;
+    for (const ScheduleEntry& e : schedules.per_segment[s]) {
+      entries.push_back(entry_context(e));
+    }
+    seg.emplace("empty", Value(entries.empty() ? "true" : "false"));
+    seg.emplace("entries", Value(std::move(entries)));
+    segments.push_back(std::move(seg));
+  }
+  root.emplace("segments", Value(std::move(segments)));
+
+  std::vector<Context> central;
+  for (const ScheduleEntry& e : schedules.central) {
+    central.push_back(entry_context(e));
+  }
+  root.emplace("central_empty", Value(central.empty() ? "true" : "false"));
+  root.emplace("central", Value(std::move(central)));
+  return root;
+}
+
+constexpr std::string_view kHeaderTemplate =
+    "// Generated by segbus::m2t::render_arbiter_header — do not edit.\n"
+    "// Application schedule tables for {{application}} on {{platform}}\n"
+    "// (package size {{package_size}}).\n"
+    "#pragma once\n"
+    "\n"
+    "#include <cstdint>\n"
+    "\n"
+    "namespace segbus_generated {\n"
+    "\n"
+    "struct ScheduleEntry {\n"
+    "  std::uint32_t stage;\n"
+    "  const char* source;\n"
+    "  const char* target;\n"
+    "  std::uint64_t packages;\n"
+    "  bool inter_segment;\n"
+    "  std::uint32_t target_segment;\n"
+    "};\n"
+    "\n"
+    "{{#each segments}}"
+    "inline constexpr ScheduleEntry kSa{{number}}Schedule[] = {\n"
+    "{{#each entries}}"
+    "    { {{stage}}, \"{{source}}\", \"{{target}}\", {{packages}}, "
+    "{{#if inter}}true{{/if}}{{#if local}}false{{/if}}, "
+    "{{target_segment}}},\n"
+    "{{/each}}"
+    "{{#if empty}}    {0, \"\", \"\", 0, false, 0},  // no transfers\n"
+    "{{/if}}"
+    "};\n"
+    "\n"
+    "{{/each}}"
+    "inline constexpr ScheduleEntry kCaSchedule[] = {\n"
+    "{{#each central}}"
+    "    { {{stage}}, \"{{source}}\", \"{{target}}\", {{packages}}, true, "
+    "{{target_segment}}},\n"
+    "{{/each}}"
+    "{{#if central_empty}}    {0, \"\", \"\", 0, false, 0},  // none\n"
+    "{{/if}}"
+    "};\n"
+    "\n"
+    "}  // namespace segbus_generated\n";
+
+}  // namespace
+
+Result<std::string> render_schedule_report(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform) {
+  SEGBUS_ASSIGN_OR_RETURN(Context root,
+                          build_schedule_context(application, platform));
+  return render_template(kReportTemplate, root);
+}
+
+Result<std::string> render_arbiter_header(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform) {
+  SEGBUS_ASSIGN_OR_RETURN(Context root,
+                          build_schedule_context(application, platform));
+  // The header template needs an explicit "local" flag (no {{#else}}).
+  auto add_local = [](Context& c) {
+    auto it = c.find("inter");
+    bool inter = it != c.end() && it->second.truthy();
+    c.emplace("local", Value(inter ? "false" : "true"));
+  };
+  auto patch_list = [&](const char* key) {
+    auto it = root.find(key);
+    if (it == root.end() || !it->second.is_list()) return;
+    std::vector<Context> patched = it->second.list();
+    for (Context& c : patched) add_local(c);
+    root.erase(it);
+    root.emplace(key, Value(std::move(patched)));
+  };
+  {
+    auto it = root.find("segments");
+    if (it != root.end() && it->second.is_list()) {
+      std::vector<Context> segments = it->second.list();
+      for (Context& seg : segments) {
+        auto entries = seg.find("entries");
+        if (entries == seg.end() || !entries->second.is_list()) continue;
+        std::vector<Context> patched = entries->second.list();
+        for (Context& c : patched) add_local(c);
+        seg.erase(entries);
+        seg.emplace("entries", Value(std::move(patched)));
+      }
+      root.erase(it);
+      root.emplace("segments", Value(std::move(segments)));
+    }
+  }
+  patch_list("central");
+  return render_template(kHeaderTemplate, root);
+}
+
+}  // namespace segbus::m2t
+
+namespace segbus::m2t {
+
+namespace {
+
+constexpr std::string_view kVhdlTemplate =
+    "-- Generated by segbus::m2t::render_arbiter_vhdl - do not edit.\n"
+    "-- Application schedule ROMs for {{application}} on {{platform}}\n"
+    "-- (package size {{package_size}} data items).\n"
+    "library ieee;\n"
+    "use ieee.std_logic_1164.all;\n"
+    "use ieee.numeric_std.all;\n"
+    "\n"
+    "package {{application}}_schedule_pkg is\n"
+    "\n"
+    "  type schedule_entry_t is record\n"
+    "    stage          : natural;\n"
+    "    packages       : natural;\n"
+    "    inter_segment  : boolean;\n"
+    "    target_segment : natural;\n"
+    "  end record;\n"
+    "\n"
+    "  type schedule_rom_t is array (natural range <>) of schedule_entry_t;\n"
+    "\n"
+    "{{#each segments}}"
+    "  -- SA{{number}}{{#each entries}}\n"
+    "  --   stage {{stage}}: {{source}} -> {{target}}"
+    "{{/each}}\n"
+    "  constant SA{{number}}_SCHEDULE : schedule_rom_t := (\n"
+    "{{#each entries}}"
+    "    {{@index}} => (stage => {{stage}}, packages => {{packages}}, "
+    "inter_segment => {{#if inter}}true{{/if}}"
+    "{{#if local}}false{{/if}}, target_segment => {{target_segment}})"
+    "{{#if @last}}{{/if}}{{#if more}},{{/if}}\n"
+    "{{/each}}"
+    "{{#if empty}}    0 => (stage => 0, packages => 0, "
+    "inter_segment => false, target_segment => 0)\n{{/if}}"
+    "  );\n"
+    "\n"
+    "{{/each}}"
+    "  constant CA_SCHEDULE : schedule_rom_t := (\n"
+    "{{#each central}}"
+    "    {{@index}} => (stage => {{stage}}, packages => {{packages}}, "
+    "inter_segment => true, target_segment => {{target_segment}})"
+    "{{#if more}},{{/if}}\n"
+    "{{/each}}"
+    "{{#if central_empty}}    0 => (stage => 0, packages => 0, "
+    "inter_segment => false, target_segment => 0)\n{{/if}}"
+    "  );\n"
+    "\n"
+    "end package {{application}}_schedule_pkg;\n";
+
+}  // namespace
+
+Result<std::string> render_arbiter_vhdl(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform) {
+  SEGBUS_ASSIGN_OR_RETURN(Context root,
+                          build_schedule_context(application, platform));
+  // VHDL aggregates need commas between entries but not after the last:
+  // annotate each entry with a "more" flag, plus the header's local flag.
+  auto annotate = [](std::vector<Context> entries) {
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      auto inter = entries[i].find("inter");
+      bool is_inter = inter != entries[i].end() && inter->second.truthy();
+      entries[i].emplace("local", Value(is_inter ? "false" : "true"));
+      entries[i].emplace("more",
+                         Value(i + 1 < entries.size() ? "true" : "false"));
+    }
+    return entries;
+  };
+  {
+    auto it = root.find("segments");
+    if (it != root.end() && it->second.is_list()) {
+      std::vector<Context> segments = it->second.list();
+      for (Context& seg : segments) {
+        auto entries = seg.find("entries");
+        if (entries == seg.end() || !entries->second.is_list()) continue;
+        std::vector<Context> patched = annotate(entries->second.list());
+        seg.erase(entries);
+        seg.emplace("entries", Value(std::move(patched)));
+      }
+      root.erase(it);
+      root.emplace("segments", Value(std::move(segments)));
+    }
+  }
+  {
+    auto it = root.find("central");
+    if (it != root.end() && it->second.is_list()) {
+      std::vector<Context> patched = annotate(it->second.list());
+      root.erase(it);
+      root.emplace("central", Value(std::move(patched)));
+    }
+  }
+  return render_template(kVhdlTemplate, root);
+}
+
+}  // namespace segbus::m2t

@@ -1,0 +1,102 @@
+// Code engineering sets and arbiter code generation.
+//
+// The paper (§3.4) introduces one "code engineering set" per model: the set
+// of model elements whose textual artifact is generated, plus the directory
+// the artifacts are written to. CodeEngineeringSet reproduces that workflow
+// over the PSDF/PSM codecs and the template engine.
+//
+// ArbiterCodegen implements the paper's stated future work: "extended
+// support is expected to come in the form of arbiter code generation, for
+// the implementation of the application schedules". It emits (a) a
+// human-readable schedule report and (b) a self-contained C++ header with
+// the per-segment schedule tables an SA implementation would consume.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::m2t {
+
+/// Artifacts produced by one transformation run.
+struct GeneratedArtifact {
+  std::string filename;  ///< e.g. "mp3_decoder.psdf.xml"
+  std::string content;
+};
+
+/// A code engineering set: a (PSDF, PSM) pair plus the artifact kinds to
+/// generate. write_to() saves every artifact into a directory.
+class CodeEngineeringSet {
+ public:
+  CodeEngineeringSet(psdf::PsdfModel application,
+                     platform::PlatformModel platform);
+
+  /// Selects artifact kinds (all enabled by default).
+  void enable_psdf_scheme(bool on) { psdf_scheme_ = on; }
+  void enable_psm_scheme(bool on) { psm_scheme_ = on; }
+  void enable_dot(bool on) { dot_ = on; }
+  void enable_arbiter_code(bool on) { arbiter_code_ = on; }
+  void enable_matrix_csv(bool on) { matrix_ = on; }
+
+  /// Runs the transformation and returns the artifacts in memory.
+  Result<std::vector<GeneratedArtifact>> generate() const;
+
+  /// Runs the transformation and writes the artifacts into `directory`
+  /// (must exist).
+  Status write_to(const std::string& directory) const;
+
+ private:
+  psdf::PsdfModel application_;
+  platform::PlatformModel platform_;
+  bool psdf_scheme_ = true;
+  bool psm_scheme_ = true;
+  bool dot_ = true;
+  bool arbiter_code_ = true;
+  bool matrix_ = true;
+};
+
+/// One entry of an arbiter schedule table.
+struct ScheduleEntry {
+  std::uint32_t stage = 0;       ///< dense stage index (by ordering T)
+  std::string source;            ///< source process name
+  std::string target;            ///< target process name
+  std::uint64_t packages = 0;    ///< packages at the platform package size
+  bool inter_segment = false;
+  std::uint32_t target_segment = 0;  ///< 1-based
+};
+
+/// Schedule tables for every SA plus the CA.
+struct ArbiterSchedules {
+  /// Per segment (index = segment), the transfers its SA sequences.
+  std::vector<std::vector<ScheduleEntry>> per_segment;
+  /// The CA's inter-segment schedule.
+  std::vector<ScheduleEntry> central;
+};
+
+/// Extracts the schedule tables from a validated (application, platform)
+/// pair.
+Result<ArbiterSchedules> extract_schedules(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform);
+
+/// Renders the schedules as a human-readable report.
+Result<std::string> render_schedule_report(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform);
+
+/// Renders the schedules as a C++ header ("arbiter code generation").
+Result<std::string> render_arbiter_header(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform);
+
+/// Renders the schedules as synthesizable-style VHDL: one package with a
+/// schedule ROM constant per SA plus the CA table — the form the actual
+/// SegBus arbiters (written in VHDL, like the platform RTL) would consume.
+Result<std::string> render_arbiter_vhdl(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform);
+
+}  // namespace segbus::m2t

@@ -1,0 +1,229 @@
+#include "m2t/template.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus::m2t {
+
+bool Value::truthy() const noexcept {
+  if (is_list_) return !list_.empty();
+  return !scalar_.empty() && scalar_ != "0" && scalar_ != "false";
+}
+
+namespace {
+
+enum class NodeKind { kText, kVariable, kEach, kIf, kUnless };
+
+}  // namespace
+
+struct Template::NodeImpl {
+  NodeKind kind = NodeKind::kText;
+  std::string text;  ///< literal text or variable/loop/condition name
+  std::vector<std::shared_ptr<const NodeImpl>> children;
+};
+
+namespace {
+
+using Node = Template::NodeImpl;
+
+/// Finds `name` in the scope chain (innermost last).
+const Value* lookup(const std::vector<const Context*>& scopes,
+                    std::string_view name) {
+  for (auto it = scopes.rbegin(); it != scopes.rend(); ++it) {
+    auto found = (*it)->find(name);
+    if (found != (*it)->end()) return &found->second;
+  }
+  return nullptr;
+}
+
+Status render_node(const Node& node,
+                   std::vector<const Context*>& scopes,
+                   std::string& out);
+
+Status render_children(const Node& node,
+                       std::vector<const Context*>& scopes,
+                       std::string& out) {
+  for (const auto& child : node.children) {
+    SEGBUS_RETURN_IF_ERROR(render_node(*child, scopes, out));
+  }
+  return Status::ok();
+}
+
+Status render_node(const Node& node,
+                   std::vector<const Context*>& scopes, std::string& out) {
+  switch (node.kind) {
+    case NodeKind::kText:
+      out += node.text;
+      return Status::ok();
+    case NodeKind::kVariable: {
+      const Value* value = lookup(scopes, node.text);
+      if (value == nullptr) {
+        return not_found_error("template variable '" + node.text +
+                               "' is not defined");
+      }
+      if (value->is_list()) {
+        return invalid_argument_error("template variable '" + node.text +
+                                      "' is a list; use {{#each}}");
+      }
+      out += value->scalar();
+      return Status::ok();
+    }
+    case NodeKind::kEach: {
+      const Value* value = lookup(scopes, node.text);
+      if (value == nullptr) {
+        return not_found_error("template list '" + node.text +
+                               "' is not defined");
+      }
+      if (!value->is_list()) {
+        return invalid_argument_error("template variable '" + node.text +
+                                      "' is not a list");
+      }
+      const auto& list = value->list();
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        Context specials = list[i];
+        specials.emplace("@index", Value(str_format("%zu", i)));
+        specials.emplace("@first", Value(i == 0 ? "true" : "false"));
+        specials.emplace("@last",
+                         Value(i + 1 == list.size() ? "true" : "false"));
+        scopes.push_back(&specials);
+        Status status = render_children(node, scopes, out);
+        scopes.pop_back();
+        SEGBUS_RETURN_IF_ERROR(status);
+      }
+      return Status::ok();
+    }
+    case NodeKind::kIf: {
+      const Value* value = lookup(scopes, node.text);
+      if (value != nullptr && value->truthy()) {
+        return render_children(node, scopes, out);
+      }
+      return Status::ok();
+    }
+    case NodeKind::kUnless: {
+      const Value* value = lookup(scopes, node.text);
+      if (value == nullptr || !value->truthy()) {
+        return render_children(node, scopes, out);
+      }
+      return Status::ok();
+    }
+  }
+  return internal_error("unreachable template node kind");
+}
+
+}  // namespace
+
+Result<Template> Template::parse(std::string_view text) {
+  auto root = std::make_shared<Node>();
+  root->kind = NodeKind::kEach;  // container; never looked up
+
+  std::vector<std::shared_ptr<Node>> stack = {root};
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t open = text.find("{{", pos);
+    if (open == std::string_view::npos) {
+      auto literal = std::make_shared<Node>();
+      literal->kind = NodeKind::kText;
+      literal->text = std::string(text.substr(pos));
+      stack.back()->children.push_back(literal);
+      break;
+    }
+    if (open > pos) {
+      auto literal = std::make_shared<Node>();
+      literal->kind = NodeKind::kText;
+      literal->text = std::string(text.substr(pos, open - pos));
+      stack.back()->children.push_back(literal);
+    }
+    std::size_t close = text.find("}}", open + 2);
+    if (close == std::string_view::npos) {
+      return parse_error(str_format(
+          "unterminated '{{' at offset %zu", open));
+    }
+    std::string_view body = trim(text.substr(open + 2, close - open - 2));
+    pos = close + 2;
+    if (body.empty()) {
+      return parse_error(str_format("empty '{{}}' at offset %zu", open));
+    }
+    if (body.front() == '!') continue;  // comment
+    if (starts_with(body, "#each")) {
+      std::string_view name = trim(body.substr(5));
+      if (name.empty()) {
+        return parse_error("'#each' without a list name");
+      }
+      auto block = std::make_shared<Node>();
+      block->kind = NodeKind::kEach;
+      block->text = std::string(name);
+      stack.back()->children.push_back(block);
+      stack.push_back(block);
+      continue;
+    }
+    if (starts_with(body, "#unless")) {
+      std::string_view name = trim(body.substr(7));
+      if (name.empty()) {
+        return parse_error("'#unless' without a condition name");
+      }
+      auto block = std::make_shared<Node>();
+      block->kind = NodeKind::kUnless;
+      block->text = std::string(name);
+      stack.back()->children.push_back(block);
+      stack.push_back(block);
+      continue;
+    }
+    if (starts_with(body, "#if")) {
+      std::string_view name = trim(body.substr(3));
+      if (name.empty()) {
+        return parse_error("'#if' without a condition name");
+      }
+      auto block = std::make_shared<Node>();
+      block->kind = NodeKind::kIf;
+      block->text = std::string(name);
+      stack.back()->children.push_back(block);
+      stack.push_back(block);
+      continue;
+    }
+    if (body == "/each" || body == "/if" || body == "/unless") {
+      if (stack.size() <= 1) {
+        return parse_error("closing '" + std::string(body) +
+                           "' without an open block");
+      }
+      NodeKind expected = body == "/each"
+                              ? NodeKind::kEach
+                              : body == "/if" ? NodeKind::kIf
+                                              : NodeKind::kUnless;
+      if (stack.back()->kind != expected) {
+        return parse_error("mismatched closing '" + std::string(body) + "'");
+      }
+      stack.pop_back();
+      continue;
+    }
+    if (body.front() == '#' || body.front() == '/') {
+      return parse_error("unknown template directive '" + std::string(body) +
+                         "'");
+    }
+    auto variable = std::make_shared<Node>();
+    variable->kind = NodeKind::kVariable;
+    variable->text = std::string(body);
+    stack.back()->children.push_back(variable);
+  }
+  if (stack.size() != 1) {
+    return parse_error("template has an unclosed block");
+  }
+  Template result;
+  result.root_ = root;
+  return result;
+}
+
+Result<std::string> Template::render(const Context& root) const {
+  std::string out;
+  std::vector<const Context*> scopes = {&root};
+  for (const auto& child : root_->children) {
+    SEGBUS_RETURN_IF_ERROR(render_node(*child, scopes, out));
+  }
+  return out;
+}
+
+Result<std::string> render_template(std::string_view text,
+                                    const Context& root) {
+  SEGBUS_ASSIGN_OR_RETURN(Template tmpl, Template::parse(text));
+  return tmpl.render(root);
+}
+
+}  // namespace segbus::m2t

@@ -1,0 +1,78 @@
+// A small Model-to-Text template engine — the stand-in for the MagicDraw
+// code-generation engine the paper uses for its M2T transformation [2].
+//
+// Template syntax:
+//   {{name}}                  — insert a scalar value (error if undefined)
+//   {{#each items}}...{{/each}} — repeat the body once per list element,
+//                                with the element's fields in scope (and
+//                                "@index" / "@first" / "@last" specials)
+//   {{#if flag}}...{{/if}}    — emit the body when `flag` is truthy
+//                                (non-empty, not "0", not "false")
+//   {{#unless flag}}...{{/unless}} — emit the body when `flag` is absent
+//                                or falsy (the complement of {{#if}})
+//   {{!comment}}              — dropped from the output
+// Lookups walk lexical scopes from innermost to outermost.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace segbus::m2t {
+
+/// A template value: scalar, or a list of nested contexts.
+class Value;
+
+/// A set of named values (one lexical scope).
+using Context = std::map<std::string, Value, std::less<>>;
+
+class Value {
+ public:
+  Value() = default;
+  Value(std::string scalar) : scalar_(std::move(scalar)), is_list_(false) {}  // NOLINT
+  Value(const char* scalar) : scalar_(scalar), is_list_(false) {}             // NOLINT
+  Value(std::vector<Context> list)                                            // NOLINT
+      : list_(std::move(list)), is_list_(true) {}
+
+  bool is_list() const noexcept { return is_list_; }
+  const std::string& scalar() const noexcept { return scalar_; }
+  const std::vector<Context>& list() const noexcept { return list_; }
+
+  /// Truthiness for {{#if}}: lists are truthy when non-empty; scalars when
+  /// non-empty, not "0" and not "false".
+  bool truthy() const noexcept;
+
+ private:
+  std::string scalar_;
+  std::vector<Context> list_;
+  bool is_list_ = false;
+};
+
+/// A parsed, reusable template.
+class Template {
+ public:
+  /// Parses the template text; reports unbalanced blocks with positions.
+  static Result<Template> parse(std::string_view text);
+
+  /// Renders with the given root context. Undefined variable lookups are
+  /// errors (catching typos in generator code).
+  Result<std::string> render(const Context& root) const;
+
+  /// Implementation node (public so the .cpp's free functions can walk the
+  /// tree; not part of the supported API).
+  struct NodeImpl;
+
+ private:
+  Template() = default;
+  std::shared_ptr<const NodeImpl> root_;
+};
+
+/// One-shot convenience.
+Result<std::string> render_template(std::string_view text,
+                                    const Context& root);
+
+}  // namespace segbus::m2t

@@ -1,0 +1,44 @@
+#include "place/apply.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus::place {
+
+Status apply_allocation(const psdf::PsdfModel& application,
+                        const Allocation& allocation,
+                        platform::PlatformModel& platform) {
+  if (allocation.size() != application.process_count()) {
+    return invalid_argument_error(str_format(
+        "allocation covers %zu processes but the application has %zu",
+        allocation.size(), application.process_count()));
+  }
+  for (const psdf::Process& process : application.processes()) {
+    std::uint32_t segment = allocation[process.id];
+    if (segment >= platform.segment_count()) {
+      return invalid_argument_error(str_format(
+          "process %s allocated to segment %u but the platform has %zu",
+          process.name.c_str(), segment + 1, platform.segment_count()));
+    }
+    bool sends = !application.flows_from(process.id).empty();
+    bool receives = !application.flows_into(process.id).empty();
+    SEGBUS_RETURN_IF_ERROR(platform.map_process(
+        process.name, segment,
+        /*masters=*/sends ? 1u : 0u,
+        /*slaves=*/receives || !sends ? 1u : 0u));
+  }
+  return Status::ok();
+}
+
+Result<Allocation> extract_allocation(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform) {
+  Allocation allocation(application.process_count(), 0);
+  for (const psdf::Process& process : application.processes()) {
+    SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId segment,
+                            platform.require_segment_of(process.name));
+    allocation[process.id] = segment;
+  }
+  return allocation;
+}
+
+}  // namespace segbus::place

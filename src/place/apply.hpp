@@ -1,0 +1,25 @@
+// Bridges a placement result onto a PlatformModel: builds the PSM mapping
+// the emulator consumes from an Allocation vector.
+#pragma once
+
+#include "place/cost.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::place {
+
+/// Maps every process of `application` onto `platform` according to
+/// `allocation` (indexed by ProcessId). FUs get a master interface when the
+/// process sends and a slave interface when it receives (minimum one each
+/// per Figure 5's "at least one Master or one Slave").
+Status apply_allocation(const psdf::PsdfModel& application,
+                        const Allocation& allocation,
+                        platform::PlatformModel& platform);
+
+/// Reads the current mapping of `platform` back into an Allocation indexed
+/// by the application's process ids.
+Result<Allocation> extract_allocation(const psdf::PsdfModel& application,
+                                      const platform::PlatformModel& platform);
+
+}  // namespace segbus::place

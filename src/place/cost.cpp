@@ -1,0 +1,107 @@
+#include "place/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/strings.hpp"
+
+namespace segbus::place {
+
+namespace {
+std::uint32_t hop_distance(std::uint32_t a, std::uint32_t b) {
+  return a > b ? a - b : b - a;
+}
+}  // namespace
+
+std::uint64_t inter_segment_packages(const psdf::CommMatrix& matrix,
+                                     const Allocation& allocation,
+                                     std::uint32_t package_size) {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < matrix.size(); ++s) {
+    for (std::size_t t = 0; t < matrix.size(); ++t) {
+      if (matrix.at(s, t) == 0) continue;
+      if (allocation[s] != allocation[t]) {
+        total += matrix.packages_at(s, t, package_size);
+      }
+    }
+  }
+  return total;
+}
+
+std::uint64_t package_hops(const psdf::CommMatrix& matrix,
+                           const Allocation& allocation,
+                           std::uint32_t package_size) {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < matrix.size(); ++s) {
+    for (std::size_t t = 0; t < matrix.size(); ++t) {
+      if (matrix.at(s, t) == 0) continue;
+      total += matrix.packages_at(s, t, package_size) *
+               hop_distance(allocation[s], allocation[t]);
+    }
+  }
+  return total;
+}
+
+bool allocation_feasible(const Allocation& allocation,
+                         std::uint32_t num_segments,
+                         std::uint32_t max_fus_per_segment) {
+  std::vector<std::uint32_t> load(num_segments, 0);
+  for (std::uint32_t segment : allocation) {
+    if (segment >= num_segments) return false;
+    ++load[segment];
+  }
+  for (std::uint32_t count : load) {
+    if (count == 0) return false;  // psm.segment.fus would fail
+    if (max_fus_per_segment != 0 && count > max_fus_per_segment) return false;
+  }
+  return true;
+}
+
+double allocation_cost(const psdf::CommMatrix& matrix,
+                       const Allocation& allocation,
+                       std::uint32_t num_segments, const CostModel& model) {
+  if (!allocation_feasible(allocation, num_segments,
+                           model.max_fus_per_segment)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double cost =
+      model.hop_weight *
+      static_cast<double>(package_hops(matrix, allocation,
+                                       model.package_size));
+  if (model.imbalance_weight > 0.0) {
+    std::vector<std::uint32_t> load(num_segments, 0);
+    for (std::uint32_t segment : allocation) ++load[segment];
+    const double ideal = static_cast<double>(allocation.size()) /
+                         static_cast<double>(num_segments);
+    const double max_load =
+        static_cast<double>(*std::max_element(load.begin(), load.end()));
+    const double excess = max_load - ideal;
+    cost += model.imbalance_weight * excess * excess;
+  }
+  return cost;
+}
+
+Status validate_allocation(const psdf::CommMatrix& matrix,
+                           const Allocation& allocation,
+                           std::uint32_t num_segments) {
+  if (allocation.size() != matrix.size()) {
+    return invalid_argument_error(
+        str_format("allocation covers %zu processes but the matrix has %zu",
+                   allocation.size(), matrix.size()));
+  }
+  if (num_segments == 0) {
+    return invalid_argument_error("platform must have at least one segment");
+  }
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    if (allocation[i] >= num_segments) {
+      return invalid_argument_error(
+          str_format("process %zu is allocated to segment %u but the "
+                     "platform has only %u segments",
+                     i, allocation[i] + 1, num_segments));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace segbus::place

@@ -1,0 +1,178 @@
+#include "platform/constraints.hpp"
+
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace segbus::platform {
+
+ValidationReport validate(const PlatformModel& platform) {
+  ValidationReport report;
+
+  if (!platform.ca_clock().valid()) {
+    report.add_error("psm.platform.one_ca",
+                     "the platform's CA clock is not configured");
+  }
+  if (platform.segment_count() == 0) {
+    report.add_error("psm.platform.segments",
+                     "the platform has no segments");
+    return report;
+  }
+  if (platform.package_size() == 0) {
+    report.add_error("psm.package_size", "package size must be positive");
+  } else if (platform.package_size() > 4096) {
+    report.add_warning("psm.package_size",
+                       str_format("package size %u is unusually large",
+                                  platform.package_size()));
+  }
+
+  for (SegmentId id = 0; id < platform.segment_count(); ++id) {
+    const Segment& segment = platform.segment(id);
+    if (!segment.clock.valid()) {
+      report.add_error("psm.segment.clock",
+                       segment.name + " has an invalid clock");
+    }
+    if (segment.fus.empty()) {
+      report.add_error("psm.segment.fus",
+                       segment.name + " hosts no functional units");
+    }
+    for (const FunctionalUnit& fu : segment.fus) {
+      if (fu.masters + fu.slaves == 0) {
+        report.add_error("psm.fu.interfaces",
+                         "FU for process " + fu.process + " in " +
+                             segment.name +
+                             " has neither a master nor a slave interface");
+      }
+    }
+  }
+
+  // psm.bu.adjacency: exactly one BU between each consecutive pair, none
+  // elsewhere.
+  {
+    std::set<std::pair<SegmentId, SegmentId>> seen;
+    for (const BorderUnitSpec& bu : platform.border_units()) {
+      if (bu.left + 1 != bu.right) {
+        report.add_error("psm.bu.adjacency",
+                         bu.name() + " does not connect adjacent segments");
+        continue;
+      }
+      if (bu.right >= platform.segment_count()) {
+        report.add_error("psm.bu.adjacency",
+                         bu.name() + " references a nonexistent segment");
+        continue;
+      }
+      if (!seen.insert({bu.left, bu.right}).second) {
+        report.add_error("psm.bu.adjacency",
+                         "duplicate border unit " + bu.name());
+      }
+      if (bu.capacity_packages == 0) {
+        report.add_error("psm.bu.capacity",
+                         bu.name() + " has zero FIFO capacity");
+      }
+    }
+    for (SegmentId id = 0; id + 1 < platform.segment_count(); ++id) {
+      if (seen.find({id, id + 1}) == seen.end()) {
+        report.add_error(
+            "psm.bu.adjacency",
+            str_format("missing border unit between segment %u and %u",
+                       id + 1, id + 2));
+      }
+    }
+  }
+
+  // psm.map.unique.
+  {
+    std::set<std::string> names;
+    for (const std::string& process : platform.mapped_processes()) {
+      if (!names.insert(process).second) {
+        report.add_error("psm.map.unique",
+                         "process " + process + " is mapped more than once");
+      }
+    }
+  }
+
+  return report;
+}
+
+ValidationReport validate_mapping(const PlatformModel& platform,
+                                  const psdf::PsdfModel& application) {
+  ValidationReport report = validate(platform);
+
+  // map.total / map.known.
+  std::set<std::string> mapped;
+  for (const std::string& process : platform.mapped_processes()) {
+    mapped.insert(process);
+  }
+  for (const psdf::Process& process : application.processes()) {
+    if (mapped.find(process.name) == mapped.end()) {
+      report.add_error("map.total", "application process " + process.name +
+                                        " is not mapped to any segment");
+    }
+  }
+  std::set<std::string> known;
+  for (const psdf::Process& process : application.processes()) {
+    known.insert(process.name);
+  }
+  for (const std::string& process : mapped) {
+    if (known.find(process) == known.end()) {
+      report.add_error("map.known",
+                       "FU realizes unknown process " + process);
+    }
+  }
+
+  // map.master_needed / map.slave_needed.
+  for (const psdf::Process& process : application.processes()) {
+    auto segment = platform.segment_of(process.name);
+    if (!segment) continue;
+    const FunctionalUnit* fu = nullptr;
+    for (const FunctionalUnit& candidate :
+         platform.segment(*segment).fus) {
+      if (candidate.process == process.name) {
+        fu = &candidate;
+        break;
+      }
+    }
+    if (fu == nullptr) continue;
+    bool sends = !application.flows_from(process.id).empty();
+    bool receives = !application.flows_into(process.id).empty();
+    if (sends && fu->masters == 0) {
+      report.add_error("map.master_needed",
+                       "process " + process.name +
+                           " initiates transfers but its FU has no master "
+                           "interface");
+    }
+    if (receives && fu->slaves == 0) {
+      report.add_error("map.slave_needed",
+                       "process " + process.name +
+                           " receives transfers but its FU has no slave "
+                           "interface");
+    }
+  }
+
+  // Package-size agreement between the two models (warning only; the
+  // emulator rescales).
+  if (application.package_size() != platform.package_size()) {
+    report.add_warning(
+        "map.package_size",
+        str_format("PSDF compute ticks refer to package size %u but the "
+                   "platform is configured with %u",
+                   application.package_size(), platform.package_size()));
+  }
+
+  return report;
+}
+
+Status validate_or_error(const PlatformModel& platform) {
+  ValidationReport report = validate(platform);
+  if (report.ok()) return Status::ok();
+  return validation_error("PSM validation failed:\n" + report.to_string());
+}
+
+Status validate_mapping_or_error(const PlatformModel& platform,
+                                 const psdf::PsdfModel& application) {
+  ValidationReport report = validate_mapping(platform, application);
+  if (report.ok()) return Status::ok();
+  return validation_error("system validation failed:\n" + report.to_string());
+}
+
+}  // namespace segbus::platform

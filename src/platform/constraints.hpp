@@ -1,0 +1,49 @@
+// OCL-style structural constraints of the SegBus DSL — paper §2.2.
+//
+// "The DSL comprises a number of structural constraints related to the
+// platform, written in OCL, to implement the correct component approach to
+// platform design. ... Upon breach of any constraint requirement during the
+// design process, the tool provides appropriate error message."
+//
+// Constraint ids:
+//   psm.platform.one_ca        — exactly one CA with a valid clock
+//   psm.platform.segments      — at least one segment
+//   psm.segment.one_arbiter    — every segment has exactly one SA (implied
+//                                 by construction; checked via clock)
+//   psm.segment.fus            — every segment hosts at least one FU
+//   psm.segment.clock          — every segment clock is valid
+//   psm.bu.adjacency           — BUs exist exactly between consecutive
+//                                 segments (linear topology)
+//   psm.bu.capacity            — BU FIFO depth >= 1 package
+//   psm.fu.interfaces          — every FU has >= 1 master or slave
+//   psm.map.unique             — no process is mapped twice
+//   psm.package_size           — package size >= 1 (warning if > 4096)
+//
+// Cross-model (PSDF x PSM) checks:
+//   map.total                  — every PSDF process is mapped
+//   map.known                  — every mapped FU realizes a PSDF process
+//   map.master_needed          — a process that sends has a master interface
+//   map.slave_needed           — a process that receives has a slave
+#pragma once
+
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/diag.hpp"
+#include "support/status.hpp"
+
+namespace segbus::platform {
+
+/// Structural validation of the platform alone.
+ValidationReport validate(const PlatformModel& platform);
+
+/// Full system validation: platform structure plus mapping of the given
+/// application — the step the paper runs before a PSM is accepted.
+ValidationReport validate_mapping(const PlatformModel& platform,
+                                  const psdf::PsdfModel& application);
+
+/// OK status or a ValidationError carrying the rendered report.
+Status validate_or_error(const PlatformModel& platform);
+Status validate_mapping_or_error(const PlatformModel& platform,
+                                 const psdf::PsdfModel& application);
+
+}  // namespace segbus::platform

@@ -1,0 +1,186 @@
+#include "platform/model.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace segbus::platform {
+
+std::string BorderUnitSpec::name() const {
+  return str_format("BU%u%u", left + 1, right + 1);
+}
+
+Status PlatformModel::set_package_size(std::uint32_t size) {
+  if (size == 0) {
+    return invalid_argument_error("package size must be positive");
+  }
+  package_size_ = size;
+  return Status::ok();
+}
+
+Result<SegmentId> PlatformModel::add_segment(Frequency clock) {
+  SEGBUS_RETURN_IF_ERROR(validate_frequency(clock, "segment clock"));
+  auto id = static_cast<SegmentId>(segments_.size());
+  Segment segment;
+  segment.name = segment_display_name(id);
+  segment.clock = clock;
+  segments_.push_back(std::move(segment));
+  if (id > 0) {
+    border_units_.push_back(BorderUnitSpec{id - 1, id, 1});
+  }
+  return id;
+}
+
+Status PlatformModel::set_ca_clock(Frequency clock) {
+  SEGBUS_RETURN_IF_ERROR(validate_frequency(clock, "CA clock"));
+  ca_clock_ = clock;
+  return Status::ok();
+}
+
+Status PlatformModel::set_bu_capacity(std::uint32_t packages) {
+  if (packages == 0) {
+    return invalid_argument_error("BU capacity must be at least one package");
+  }
+  for (BorderUnitSpec& bu : border_units_) bu.capacity_packages = packages;
+  return Status::ok();
+}
+
+Status PlatformModel::map_process(std::string process, SegmentId segment,
+                                  std::uint32_t masters,
+                                  std::uint32_t slaves) {
+  if (segment >= segments_.size()) {
+    return invalid_argument_error(
+        str_format("segment %u does not exist (platform has %zu segments)",
+                   segment + 1, segments_.size()));
+  }
+  if (!is_identifier(process)) {
+    return invalid_argument_error("process name '" + process +
+                                  "' is not a valid identifier");
+  }
+  if (masters + slaves == 0) {
+    return invalid_argument_error(
+        "an FU must contain at least one master or one slave (process '" +
+        process + "')");
+  }
+  if (segment_of(process)) {
+    return already_exists_error("process '" + process +
+                                "' is already mapped");
+  }
+  segments_[segment].fus.push_back(
+      FunctionalUnit{std::move(process), masters, slaves});
+  return Status::ok();
+}
+
+Status PlatformModel::unmap_process(std::string_view process) {
+  for (Segment& segment : segments_) {
+    auto it = std::find_if(segment.fus.begin(), segment.fus.end(),
+                           [&](const FunctionalUnit& fu) {
+                             return fu.process == process;
+                           });
+    if (it != segment.fus.end()) {
+      segment.fus.erase(it);
+      return Status::ok();
+    }
+  }
+  return not_found_error("process '" + std::string(process) +
+                         "' is not mapped");
+}
+
+Status PlatformModel::move_process(std::string_view process, SegmentId to) {
+  if (to >= segments_.size()) {
+    return invalid_argument_error(
+        str_format("segment %u does not exist", to + 1));
+  }
+  for (Segment& segment : segments_) {
+    auto it = std::find_if(segment.fus.begin(), segment.fus.end(),
+                           [&](const FunctionalUnit& fu) {
+                             return fu.process == process;
+                           });
+    if (it != segment.fus.end()) {
+      FunctionalUnit fu = *it;
+      segment.fus.erase(it);
+      segments_[to].fus.push_back(std::move(fu));
+      return Status::ok();
+    }
+  }
+  return not_found_error("process '" + std::string(process) +
+                         "' is not mapped");
+}
+
+std::optional<SegmentId> PlatformModel::segment_of(
+    std::string_view process) const {
+  for (SegmentId id = 0; id < segments_.size(); ++id) {
+    for (const FunctionalUnit& fu : segments_[id].fus) {
+      if (fu.process == process) return id;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<SegmentId> PlatformModel::require_segment_of(
+    std::string_view process) const {
+  if (auto id = segment_of(process)) return *id;
+  return not_found_error("process '" + std::string(process) +
+                         "' is not mapped to any segment");
+}
+
+std::vector<std::string> PlatformModel::mapped_processes() const {
+  std::vector<std::string> out;
+  for (const Segment& segment : segments_) {
+    for (const FunctionalUnit& fu : segment.fus) out.push_back(fu.process);
+  }
+  return out;
+}
+
+std::uint32_t PlatformModel::distance(SegmentId a, SegmentId b) const {
+  return a > b ? a - b : b - a;
+}
+
+Result<std::vector<PathHop>> PlatformModel::path(SegmentId from,
+                                                 SegmentId to) const {
+  if (from >= segments_.size() || to >= segments_.size()) {
+    return invalid_argument_error("path endpoints must be valid segments");
+  }
+  std::vector<PathHop> hops;
+  if (from == to) {
+    hops.push_back(PathHop{from, std::nullopt});
+    return hops;
+  }
+  const int step = from < to ? 1 : -1;
+  SegmentId current = from;
+  while (current != to) {
+    SegmentId next =
+        static_cast<SegmentId>(static_cast<int>(current) + step);
+    SEGBUS_ASSIGN_OR_RETURN(std::size_t bu, bu_between(current, next));
+    hops.push_back(PathHop{current, bu});
+    current = next;
+  }
+  hops.push_back(PathHop{to, std::nullopt});
+  return hops;
+}
+
+Result<std::size_t> PlatformModel::bu_between(SegmentId a, SegmentId b) const {
+  SegmentId lo = std::min(a, b);
+  SegmentId hi = std::max(a, b);
+  for (std::size_t i = 0; i < border_units_.size(); ++i) {
+    if (border_units_[i].left == lo && border_units_[i].right == hi) {
+      return i;
+    }
+  }
+  return not_found_error(str_format(
+      "no border unit between segment %u and segment %u", a + 1, b + 1));
+}
+
+std::string PlatformModel::segment_display_name(SegmentId id) {
+  return str_format("Segment %u", id + 1);
+}
+
+std::string PlatformModel::summary() const {
+  std::size_t fus = 0;
+  for (const Segment& s : segments_) fus += s.fus.size();
+  return str_format("%zu segment(s), %zu FU(s), %zu BU(s), package size %u",
+                    segments_.size(), fus, border_units_.size(),
+                    package_size_);
+}
+
+}  // namespace segbus::platform

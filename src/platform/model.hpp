@@ -1,0 +1,142 @@
+// Platform Specific Model (PSM) of a SegBus instance — paper §2.1 / §2.2.
+//
+// A SegBusPlatform is composed of Segments (each with exactly one Segment
+// Arbiter and at least one Functional Unit), exactly one Central Arbiter,
+// and Border Units between adjacent segments (Figure 5's hierarchy). The
+// platforms studied in the paper have a linear topology; BUs connect
+// consecutive segments. Every segment and the CA own a clock domain.
+//
+// Application mapping: each FU hosts exactly one PSDF process (identified
+// here by name, keeping this library independent of segbus::psdf; the core
+// library binds the two models).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::platform {
+
+/// Index of a segment within a platform (0-based internally; user-facing
+/// names are 1-based: "Segment 1" is segment_index 0).
+using SegmentId = std::uint32_t;
+
+inline constexpr SegmentId kInvalidSegment = 0xFFFFFFFFu;
+
+/// A Functional Unit: the library component an application process runs on.
+/// Per Figure 5 an FU contains at least one Master or one Slave interface;
+/// a master initiates transfers, a slave receives them.
+struct FunctionalUnit {
+  std::string process;     ///< name of the PSDF process realized by this FU
+  std::uint32_t masters = 1;  ///< master interfaces (>=0; masters+slaves >= 1)
+  std::uint32_t slaves = 1;   ///< slave interfaces
+};
+
+/// One bus segment: a "traditional" packet-based bus with a local arbiter.
+struct Segment {
+  std::string name;           ///< e.g. "Segment 1"
+  Frequency clock;            ///< segment clock domain
+  std::vector<FunctionalUnit> fus;
+};
+
+/// A Border Unit: the FIFO bridge between two adjacent segments.
+struct BorderUnitSpec {
+  SegmentId left = kInvalidSegment;   ///< lower-numbered segment
+  SegmentId right = kInvalidSegment;  ///< higher-numbered segment
+  std::uint32_t capacity_packages = 1;  ///< FIFO depth, in packages
+
+  /// Paper-style name: "BU12" bridges segment 1 and segment 2.
+  std::string name() const;
+};
+
+/// A hop along the linear path between two segments.
+struct PathHop {
+  SegmentId segment = kInvalidSegment;  ///< segment the package traverses
+  /// Index into PlatformModel::border_units() of the BU *leaving* this
+  /// segment toward the next hop; nullopt on the final (destination) hop.
+  std::optional<std::size_t> exit_bu;
+};
+
+/// The platform instance ("SBP" in the paper's scheme).
+class PlatformModel {
+ public:
+  PlatformModel() = default;
+  explicit PlatformModel(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Package size (data items per package) of this configuration.
+  std::uint32_t package_size() const noexcept { return package_size_; }
+  Status set_package_size(std::uint32_t size);
+
+  // --- structure --------------------------------------------------------
+  /// Appends a segment with the given clock; returns its id. BUs for the
+  /// linear topology are created automatically between consecutive
+  /// segments.
+  Result<SegmentId> add_segment(Frequency clock);
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+  const Segment& segment(SegmentId id) const { return segments_.at(id); }
+  const std::vector<Segment>& segments() const noexcept { return segments_; }
+
+  /// The Central Arbiter clock.
+  Frequency ca_clock() const noexcept { return ca_clock_; }
+  Status set_ca_clock(Frequency clock);
+
+  const std::vector<BorderUnitSpec>& border_units() const noexcept {
+    return border_units_;
+  }
+  /// Sets the FIFO depth of every BU (default 1 package).
+  Status set_bu_capacity(std::uint32_t packages);
+
+  // --- mapping ------------------------------------------------------------
+  /// Places the FU realizing `process` on `segment`. Each process may be
+  /// mapped at most once (OCL constraint psm.map.unique).
+  Status map_process(std::string process, SegmentId segment,
+                     std::uint32_t masters = 1, std::uint32_t slaves = 1);
+  /// Removes a process mapping (used by placement search / re-mapping).
+  Status unmap_process(std::string_view process);
+  /// Moves a process to another segment (the paper's "shift P9 from
+  /// segment 1 to segment 3" experiment).
+  Status move_process(std::string_view process, SegmentId to);
+
+  /// Segment hosting `process`, or nullopt when unmapped.
+  std::optional<SegmentId> segment_of(std::string_view process) const;
+  Result<SegmentId> require_segment_of(std::string_view process) const;
+
+  /// All mapped process names, in (segment, FU) order.
+  std::vector<std::string> mapped_processes() const;
+
+  // --- topology -----------------------------------------------------------
+  /// Hop count between two segments (0 when equal).
+  std::uint32_t distance(SegmentId a, SegmentId b) const;
+
+  /// The ordered traversal from `from` to `to` (linear topology): the
+  /// source segment with its exit BU, every intermediate segment with its
+  /// exit BU, and the destination segment with no exit. A local transfer
+  /// yields a single hop with no exit BU.
+  Result<std::vector<PathHop>> path(SegmentId from, SegmentId to) const;
+
+  /// Index of the BU between adjacent segments `a` and `b`.
+  Result<std::size_t> bu_between(SegmentId a, SegmentId b) const;
+
+  /// "Segment k" 1-based display name for a segment id.
+  static std::string segment_display_name(SegmentId id);
+
+  /// One-line structural summary ("3 segments, 15 FUs, 2 BUs").
+  std::string summary() const;
+
+ private:
+  std::string name_ = "SBP";
+  std::uint32_t package_size_ = 36;
+  Frequency ca_clock_ = Frequency::from_mhz(100.0);
+  std::vector<Segment> segments_;
+  std::vector<BorderUnitSpec> border_units_;
+};
+
+}  // namespace segbus::platform

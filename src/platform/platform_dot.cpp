@@ -1,0 +1,65 @@
+#include "platform/platform_dot.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus::platform {
+
+std::string to_dot(const PlatformModel& platform,
+                   const PlatformDotOptions& options) {
+  std::string out = "digraph \"" + platform.name() + "\" {\n";
+  out += "  rankdir=LR;\n";
+  out += "  compound=true;\n";
+  out += "  node [shape=box, style=rounded];\n";
+
+  // The CA sits above the chain.
+  {
+    std::string label = "CA";
+    if (options.show_clocks) {
+      ClockDomain domain("CA", platform.ca_clock());
+      label += "\\n" + domain.frequency_label();
+    }
+    out += str_format("  ca [label=\"%s\", shape=hexagon];\n",
+                      label.c_str());
+  }
+
+  for (SegmentId id = 0; id < platform.segment_count(); ++id) {
+    const Segment& segment = platform.segment(id);
+    out += str_format("  subgraph cluster_seg%u {\n", id + 1);
+    std::string label = segment.name;
+    if (options.show_clocks) {
+      ClockDomain domain(segment.name, segment.clock);
+      label += " @ " + domain.frequency_label();
+    }
+    out += str_format("    label=\"%s\";\n", label.c_str());
+    out += str_format("    sa%u [label=\"SA%u\", shape=diamond];\n",
+                      id + 1, id + 1);
+    if (options.show_fus) {
+      for (const FunctionalUnit& fu : segment.fus) {
+        out += str_format("    fu_%s [label=\"%s\"];\n",
+                          fu.process.c_str(), fu.process.c_str());
+        out += str_format("    fu_%s -> sa%u [style=dotted, dir=none];\n",
+                          fu.process.c_str(), id + 1);
+      }
+    }
+    out += "  }\n";
+    // CA controls every SA.
+    out += str_format("  ca -> sa%u [style=dashed];\n", id + 1);
+  }
+
+  // Border units between consecutive segments.
+  for (const BorderUnitSpec& bu : platform.border_units()) {
+    const std::string name = to_lower(bu.name());
+    out += str_format(
+        "  %s [label=\"%s\\ncap %u\", shape=cds];\n", name.c_str(),
+        bu.name().c_str(), bu.capacity_packages);
+    out += str_format("  sa%u -> %s [dir=both];\n", bu.left + 1,
+                      name.c_str());
+    out += str_format("  %s -> sa%u [dir=both];\n", name.c_str(),
+                      bu.right + 1);
+  }
+
+  out += "}\n";
+  return out;
+}
+
+}  // namespace segbus::platform

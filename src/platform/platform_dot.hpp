@@ -1,0 +1,24 @@
+// Graphviz DOT export of a platform instance: the segment chain with its
+// FUs, SAs, BUs and the CA — the structural diagram of the paper's
+// Figure 1, generated from a PSM.
+#pragma once
+
+#include <string>
+
+#include "platform/model.hpp"
+
+namespace segbus::platform {
+
+/// Options for DOT rendering.
+struct PlatformDotOptions {
+  /// Include each FU's process name inside the segment cluster.
+  bool show_fus = true;
+  /// Annotate segments and the CA with their clock labels.
+  bool show_clocks = true;
+};
+
+/// Renders the platform as a DOT digraph with one cluster per segment.
+std::string to_dot(const PlatformModel& platform,
+                   const PlatformDotOptions& options = {});
+
+}  // namespace segbus::platform

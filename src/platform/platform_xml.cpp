@@ -1,0 +1,286 @@
+#include "platform/platform_xml.hpp"
+
+#include "support/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/query.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::platform {
+
+namespace {
+constexpr std::string_view kXsdNamespace = "http://www.w3.org/2001/XMLSchema";
+constexpr std::string_view kSegBusNamespace = "urn:segbus:psm";
+
+std::string mhz_string(Frequency f) {
+  return str_format("%.6g", f.mhz());
+}
+}  // namespace
+
+xml::Document to_xml(const PlatformModel& platform) {
+  auto root = std::make_unique<xml::Element>("xs:schema");
+  root->set_attribute("xmlns:xs", kXsdNamespace);
+  root->set_attribute("xmlns:segbus", kSegBusNamespace);
+  root->set_attribute("segbus:platform", platform.name());
+  root->set_attribute("segbus:packageSize",
+                      str_format("%u", platform.package_size()));
+
+  // Top-level SBP structure.
+  xml::Element& sbp = root->add_child("xs:complexType");
+  sbp.set_attribute("name", "SBP");
+  xml::Element& sbp_all = sbp.add_child("xs:all");
+  for (SegmentId id = 0; id < platform.segment_count(); ++id) {
+    xml::Element& e = sbp_all.add_child("xs:element");
+    e.set_attribute("name", str_format("segment%u", id + 1));
+    e.set_attribute("type", str_format("Segment%u", id + 1));
+  }
+  {
+    xml::Element& e = sbp_all.add_child("xs:element");
+    e.set_attribute("name", "ca");
+    e.set_attribute("type", "CA");
+  }
+  for (const BorderUnitSpec& bu : platform.border_units()) {
+    xml::Element& e = sbp_all.add_child("xs:element");
+    e.set_attribute("name", to_lower(bu.name()));
+    e.set_attribute("type", bu.name());
+  }
+
+  // CA type with its clock.
+  {
+    xml::Element& ca = root->add_child("xs:complexType");
+    ca.set_attribute("name", "CA");
+    ca.set_attribute("segbus:frequencyMHz", mhz_string(platform.ca_clock()));
+  }
+
+  // BU types with capacity.
+  for (const BorderUnitSpec& bu : platform.border_units()) {
+    xml::Element& e = root->add_child("xs:complexType");
+    e.set_attribute("name", bu.name());
+    e.set_attribute("segbus:capacity",
+                    str_format("%u", bu.capacity_packages));
+  }
+
+  // Segment types.
+  for (SegmentId id = 0; id < platform.segment_count(); ++id) {
+    const Segment& segment = platform.segment(id);
+    xml::Element& type = root->add_child("xs:complexType");
+    type.set_attribute("name", str_format("Segment%u", id + 1));
+    type.set_attribute("segbus:frequencyMHz", mhz_string(segment.clock));
+    xml::Element& all = type.add_child("xs:all");
+    if (id > 0) {
+      xml::Element& e = all.add_child("xs:element");
+      e.set_attribute("name", "buLeft");
+      e.set_attribute("type", str_format("BU%u%u", id, id + 1));
+    }
+    if (id + 1 < platform.segment_count()) {
+      xml::Element& e = all.add_child("xs:element");
+      e.set_attribute("name", "buRight");
+      e.set_attribute("type", str_format("BU%u%u", id + 1, id + 2));
+    }
+    for (const FunctionalUnit& fu : segment.fus) {
+      xml::Element& e = all.add_child("xs:element");
+      e.set_attribute("name", to_lower(fu.process));
+      e.set_attribute("type", fu.process);
+      if (fu.masters != 1) {
+        e.set_attribute("segbus:masters", str_format("%u", fu.masters));
+      }
+      if (fu.slaves != 1) {
+        e.set_attribute("segbus:slaves", str_format("%u", fu.slaves));
+      }
+    }
+    xml::Element& arbiter = all.add_child("xs:element");
+    arbiter.set_attribute("name", "arbiter");
+    arbiter.set_attribute("type", str_format("SA%u", id + 1));
+  }
+
+  return xml::Document(std::move(root));
+}
+
+namespace {
+
+Result<Frequency> read_frequency(const xml::Element& element,
+                                 std::string_view what) {
+  auto attr = element.attribute("segbus:frequencyMHz");
+  if (!attr) {
+    return parse_error(std::string(what) +
+                       " is missing a segbus:frequencyMHz attribute");
+  }
+  auto mhz = parse_double(*attr);
+  if (!mhz || *mhz <= 0.0) {
+    return parse_error(std::string(what) + " has invalid frequency '" +
+                       std::string(*attr) + "'");
+  }
+  return Frequency::from_mhz(*mhz);
+}
+
+}  // namespace
+
+Result<PlatformModel> from_xml(const xml::Document& document) {
+  const xml::Element& root = document.root();
+  if (root.local_name() != "schema") {
+    return parse_error("PSM document root must be an xs:schema element, "
+                       "found <" +
+                       root.name() + ">");
+  }
+  PlatformModel platform(root.attribute_or("segbus:platform", "SBP"));
+  {
+    std::string attr = root.attribute_or("segbus:packageSize", "36");
+    SEGBUS_ASSIGN_OR_RETURN(std::uint64_t parsed,
+                            parse_uint_or_error(attr, "segbus:packageSize"));
+    if (parsed == 0 || parsed > 0xFFFFFFFFull) {
+      return parse_error("segbus:packageSize out of range");
+    }
+    SEGBUS_RETURN_IF_ERROR(
+        platform.set_package_size(static_cast<std::uint32_t>(parsed)));
+  }
+
+  SEGBUS_ASSIGN_OR_RETURN(
+      const xml::Element* sbp,
+      xml::require_first(root, "complexType[@name='SBP']"));
+
+  // Count segments from the SBP structure ("the emulator application first
+  // looks for the SegBus platform instance ... analyzes its structure by
+  // counting how many segments and BU it contains").
+  std::vector<std::string> segment_types;
+  std::vector<std::string> bu_types;
+  bool saw_ca = false;
+  const xml::Element* sbp_all = sbp->first_child_local("all");
+  if (sbp_all == nullptr) sbp_all = sbp;
+  for (const xml::Element* child : sbp_all->children_local("element")) {
+    SEGBUS_ASSIGN_OR_RETURN(std::string type, child->require_attribute("type"));
+    if (starts_with(type, "Segment")) {
+      segment_types.push_back(type);
+    } else if (type == "CA") {
+      saw_ca = true;
+    } else if (starts_with(type, "BU")) {
+      bu_types.push_back(type);
+    } else {
+      return parse_error("SBP contains element of unknown type '" + type +
+                         "'");
+    }
+  }
+  if (segment_types.empty()) {
+    return parse_error("SBP declares no segments");
+  }
+  if (!saw_ca) {
+    return parse_error("SBP declares no central arbiter (CA)");
+  }
+
+  // CA clock.
+  SEGBUS_ASSIGN_OR_RETURN(const xml::Element* ca,
+                          xml::require_first(root,
+                                             "complexType[@name='CA']"));
+  SEGBUS_ASSIGN_OR_RETURN(Frequency ca_clock, read_frequency(*ca, "CA"));
+  SEGBUS_RETURN_IF_ERROR(platform.set_ca_clock(ca_clock));
+
+  // Segments in declaration order (Segment1, Segment2, ...).
+  for (std::size_t i = 0; i < segment_types.size(); ++i) {
+    std::string expected = str_format("Segment%zu", i + 1);
+    // Accept any ordering in SBP by looking the type up by its number.
+    SEGBUS_ASSIGN_OR_RETURN(
+        const xml::Element* type,
+        xml::require_first(root, "complexType[@name='" + expected + "']"));
+    SEGBUS_ASSIGN_OR_RETURN(Frequency clock,
+                            read_frequency(*type, expected));
+    SEGBUS_ASSIGN_OR_RETURN(SegmentId segment, platform.add_segment(clock));
+    const xml::Element* all = type->first_child_local("all");
+    if (all == nullptr) all = type;
+    for (const xml::Element* child : all->children_local("element")) {
+      SEGBUS_ASSIGN_OR_RETURN(std::string name,
+                              child->require_attribute("name"));
+      SEGBUS_ASSIGN_OR_RETURN(std::string fu_type,
+                              child->require_attribute("type"));
+      if (name == "buLeft" || name == "buRight" || name == "arbiter") {
+        continue;  // structural wiring, reconstructed from the topology
+      }
+      std::uint32_t masters = 1;
+      std::uint32_t slaves = 1;
+      if (auto attr = child->attribute("segbus:masters")) {
+        SEGBUS_ASSIGN_OR_RETURN(std::uint64_t v,
+                                parse_uint_or_error(*attr, "segbus:masters"));
+        masters = static_cast<std::uint32_t>(v);
+      }
+      if (auto attr = child->attribute("segbus:slaves")) {
+        SEGBUS_ASSIGN_OR_RETURN(std::uint64_t v,
+                                parse_uint_or_error(*attr, "segbus:slaves"));
+        slaves = static_cast<std::uint32_t>(v);
+      }
+      SEGBUS_RETURN_IF_ERROR(
+          platform.map_process(fu_type, segment, masters, slaves));
+    }
+  }
+
+  // BU capacities (BUs themselves were created by add_segment).
+  if (bu_types.size() != platform.border_units().size()) {
+    return parse_error(str_format(
+        "SBP declares %zu border units but a linear %zu-segment platform "
+        "requires %zu",
+        bu_types.size(), platform.segment_count(),
+        platform.border_units().size()));
+  }
+  for (const BorderUnitSpec& bu : platform.border_units()) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        const xml::Element* type,
+        xml::require_first(root, "complexType[@name='" + bu.name() + "']"));
+    if (auto attr = type->attribute("segbus:capacity")) {
+      SEGBUS_ASSIGN_OR_RETURN(std::uint64_t v,
+                              parse_uint_or_error(*attr, "segbus:capacity"));
+      if (v == 0) {
+        return parse_error(bu.name() + " has zero capacity");
+      }
+      // Apply per-BU capacity; set_bu_capacity is global, so poke the spec
+      // through a rebuild-free path: all BUs share capacity in this
+      // implementation when read back individually equal values.
+    }
+  }
+  // Per-BU capacities: the model stores capacity per BU; re-read them.
+  // (All paper configurations use depth 1.)
+  {
+    std::uint32_t capacity = platform.border_units().empty()
+                                 ? 1u
+                                 : platform.border_units().front()
+                                       .capacity_packages;
+    bool uniform = true;
+    std::uint32_t first_seen = 0;
+    bool any = false;
+    for (const BorderUnitSpec& bu : platform.border_units()) {
+      SEGBUS_ASSIGN_OR_RETURN(
+          const xml::Element* type,
+          xml::require_first(root,
+                             "complexType[@name='" + bu.name() + "']"));
+      std::uint32_t c = 1;
+      if (auto attr = type->attribute("segbus:capacity")) {
+        SEGBUS_ASSIGN_OR_RETURN(std::uint64_t v,
+                                parse_uint_or_error(*attr,
+                                                    "segbus:capacity"));
+        c = static_cast<std::uint32_t>(v);
+      }
+      if (!any) {
+        first_seen = c;
+        any = true;
+      } else if (c != first_seen) {
+        uniform = false;
+      }
+    }
+    if (any && uniform && first_seen != capacity) {
+      SEGBUS_RETURN_IF_ERROR(platform.set_bu_capacity(first_seen));
+    } else if (any && !uniform) {
+      return parse_error(
+          "per-BU capacities differ; this implementation supports a uniform "
+          "BU depth");
+    }
+  }
+
+  return platform;
+}
+
+Status write_platform_file(const PlatformModel& platform,
+                           const std::string& path) {
+  return xml::write_file(to_xml(platform), path);
+}
+
+Result<PlatformModel> read_platform_file(const std::string& path) {
+  SEGBUS_ASSIGN_OR_RETURN(xml::Document doc, xml::parse_file(path));
+  return from_xml(doc);
+}
+
+}  // namespace segbus::platform

@@ -1,0 +1,44 @@
+// PSM <-> XML scheme codec, matching the paper's §3.4 snippet:
+//
+//   <xs:complexType name="SBP">
+//      <xs:all>
+//         <xs:element name="segment1" type="Segment1"/>
+//         <xs:element name="segment2" type="Segment2"/>
+//         <xs:element name="ca"       type="CA"/>
+//         <xs:element name="bu12"     type="BU12"/>
+//      </xs:all>
+//   </xs:complexType>
+//   <xs:complexType name="Segment1">
+//      <xs:all>
+//         <xs:element name="buRight" type="BU12"/>
+//         <xs:element name="p5"      type="P5"/>
+//         ...
+//         <xs:element name="arbiter" type="SA1"/>
+//      </xs:all>
+//   </xs:complexType>
+//
+// Clock frequencies and BU capacities — which the paper configures in the
+// tool rather than in the scheme — are carried as segbus:* attributes on
+// the CA/segment/BU complex types so a scheme file is self-contained.
+#pragma once
+
+#include <string>
+
+#include "platform/model.hpp"
+#include "support/status.hpp"
+#include "xml/node.hpp"
+
+namespace segbus::platform {
+
+/// Builds the XML scheme document for a platform model.
+xml::Document to_xml(const PlatformModel& platform);
+
+/// Reconstructs a platform model from a scheme document.
+Result<PlatformModel> from_xml(const xml::Document& document);
+
+/// File-level conveniences.
+Status write_platform_file(const PlatformModel& platform,
+                           const std::string& path);
+Result<PlatformModel> read_platform_file(const std::string& path);
+
+}  // namespace segbus::platform

@@ -1,0 +1,71 @@
+#include "psdf/comm_matrix.hpp"
+
+#include <numeric>
+
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace segbus::psdf {
+
+CommMatrix CommMatrix::from_model(const PsdfModel& model) {
+  CommMatrix matrix(model.process_count());
+  for (const Flow& flow : model.flows()) {
+    matrix.add(flow.source, flow.target, flow.data_items);
+  }
+  return matrix;
+}
+
+std::uint64_t CommMatrix::row_sum(std::size_t source) const {
+  std::uint64_t sum = 0;
+  for (std::size_t t = 0; t < n_; ++t) sum += at(source, t);
+  return sum;
+}
+
+std::uint64_t CommMatrix::column_sum(std::size_t target) const {
+  std::uint64_t sum = 0;
+  for (std::size_t s = 0; s < n_; ++s) sum += at(s, target);
+  return sum;
+}
+
+std::uint64_t CommMatrix::total() const {
+  return std::accumulate(items_.begin(), items_.end(), std::uint64_t{0});
+}
+
+std::size_t CommMatrix::nonzero_count() const {
+  std::size_t count = 0;
+  for (std::uint64_t v : items_) {
+    if (v != 0) ++count;
+  }
+  return count;
+}
+
+std::string CommMatrix::render(const std::vector<std::string>& names) const {
+  Table table;
+  std::vector<std::string> header = {""};
+  for (std::size_t i = 0; i < n_; ++i) {
+    header.push_back(i < names.size() ? names[i]
+                                      : str_format("P%zu", i));
+  }
+  table.set_header(std::move(header));
+  for (std::size_t s = 0; s < n_; ++s) {
+    std::vector<std::string> row;
+    row.push_back(s < names.size() ? names[s] : str_format("P%zu", s));
+    for (std::size_t t = 0; t < n_; ++t) {
+      row.push_back(str_format("%llu",
+                               static_cast<unsigned long long>(at(s, t))));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string CommMatrix::render(const PsdfModel& model) const {
+  std::vector<std::string> names;
+  if (model.process_count() == n_) {
+    names.reserve(n_);
+    for (const Process& p : model.processes()) names.push_back(p.name);
+  }
+  return render(names);
+}
+
+}  // namespace segbus::psdf

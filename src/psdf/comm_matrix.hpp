@@ -1,0 +1,67 @@
+// The communication matrix — paper §3.5 / Figure 8.
+//
+// "The communication matrix is the specification of device-to-device
+// transactions between application components. Each entity ... describes
+// how many data items need to be transferred from one device to any other
+// device. The emulator program builds the matrix by extracting transactions
+// between processes in the PSDF model."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::psdf {
+
+/// Square matrix of data-item counts, indexed [source][target].
+class CommMatrix {
+ public:
+  CommMatrix() = default;
+  explicit CommMatrix(std::size_t n) : n_(n), items_(n * n, 0) {}
+
+  /// Builds the matrix from a PSDF model (one row/column per process, in
+  /// process-id order).
+  static CommMatrix from_model(const PsdfModel& model);
+
+  std::size_t size() const noexcept { return n_; }
+
+  std::uint64_t at(std::size_t source, std::size_t target) const {
+    return items_.at(source * n_ + target);
+  }
+  void set(std::size_t source, std::size_t target, std::uint64_t items) {
+    items_.at(source * n_ + target) = items;
+  }
+  void add(std::size_t source, std::size_t target, std::uint64_t items) {
+    items_.at(source * n_ + target) += items;
+  }
+
+  /// Total items sent by `source` / received by `target` / overall.
+  std::uint64_t row_sum(std::size_t source) const;
+  std::uint64_t column_sum(std::size_t target) const;
+  std::uint64_t total() const;
+
+  /// Number of nonzero entries (distinct communicating pairs).
+  std::size_t nonzero_count() const;
+
+  /// Packages for one cell at package size `s` (ceil of items / s).
+  std::uint64_t packages_at(std::size_t source, std::size_t target,
+                            std::uint32_t package_size) const {
+    return packages_for(at(source, target), package_size);
+  }
+
+  /// Renders the paper's Figure 8 layout (row/column headers P0..Pn).
+  std::string render(const std::vector<std::string>& names) const;
+  /// Renders with names derived from a model ("P0".. if sizes mismatch).
+  std::string render(const PsdfModel& model) const;
+
+  friend bool operator==(const CommMatrix&, const CommMatrix&) = default;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> items_;
+};
+
+}  // namespace segbus::psdf

@@ -1,0 +1,37 @@
+#include "psdf/dot.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus::psdf {
+
+std::string to_dot(const PsdfModel& model, const DotOptions& options) {
+  std::string out = "digraph \"" + model.name() + "\" {\n";
+  if (options.left_to_right) out += "  rankdir=LR;\n";
+  out += "  node [shape=circle];\n";
+  for (const Process& p : model.processes()) {
+    bool source = model.flows_into(p.id).empty();
+    bool sink = model.flows_from(p.id).empty();
+    out += "  \"" + p.name + "\"";
+    if (source) {
+      out += " [shape=doublecircle]";  // InitialNode stereotype
+    } else if (sink) {
+      out += " [shape=doubleoctagon]";  // FinalNode stereotype
+    }
+    out += ";\n";
+  }
+  for (const Flow& f : model.scheduled_flows()) {
+    out += "  \"" + model.process(f.source).name + "\" -> \"" +
+           model.process(f.target).name + "\"";
+    if (options.edge_labels) {
+      out += str_format(" [label=\"%llu/%u/%llu\"]",
+                        static_cast<unsigned long long>(f.data_items),
+                        f.ordering,
+                        static_cast<unsigned long long>(f.compute_ticks));
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace segbus::psdf

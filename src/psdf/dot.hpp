@@ -1,0 +1,21 @@
+// Graphviz DOT export of a PSDF graph (the paper's Figure 7 rendering).
+#pragma once
+
+#include <string>
+
+#include "psdf/model.hpp"
+
+namespace segbus::psdf {
+
+/// Options for DOT rendering.
+struct DotOptions {
+  /// Label edges with "D items / T / C ticks".
+  bool edge_labels = true;
+  /// Left-to-right layout (rankdir=LR).
+  bool left_to_right = true;
+};
+
+/// Renders the model as a DOT digraph.
+std::string to_dot(const PsdfModel& model, const DotOptions& options = {});
+
+}  // namespace segbus::psdf

@@ -1,0 +1,153 @@
+#include "psdf/model.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace segbus::psdf {
+
+std::uint64_t packages_for(std::uint64_t data_items,
+                           std::uint32_t package_size) {
+  if (package_size == 0) return 0;
+  return (data_items + package_size - 1) / package_size;
+}
+
+Status PsdfModel::set_package_size(std::uint32_t size) {
+  if (size == 0) {
+    return invalid_argument_error("package size must be positive");
+  }
+  package_size_ = size;
+  return Status::ok();
+}
+
+Result<ProcessId> PsdfModel::add_process(std::string name) {
+  if (!is_identifier(name)) {
+    return invalid_argument_error("process name '" + name +
+                                  "' is not a valid identifier");
+  }
+  if (find_process(name)) {
+    return already_exists_error("process '" + name + "' already exists");
+  }
+  auto id = static_cast<ProcessId>(processes_.size());
+  processes_.push_back(Process{id, std::move(name)});
+  return id;
+}
+
+std::optional<ProcessId> PsdfModel::find_process(
+    std::string_view name) const {
+  for (const Process& p : processes_) {
+    if (p.name == name) return p.id;
+  }
+  return std::nullopt;
+}
+
+Result<ProcessId> PsdfModel::require_process(std::string_view name) const {
+  if (auto id = find_process(name)) return *id;
+  return not_found_error("no process named '" + std::string(name) + "'");
+}
+
+Status PsdfModel::add_flow(ProcessId source, ProcessId target,
+                           std::uint64_t data_items, std::uint32_t ordering,
+                           std::uint64_t compute_ticks) {
+  if (source >= processes_.size()) {
+    return invalid_argument_error("flow source process does not exist");
+  }
+  if (target >= processes_.size()) {
+    return invalid_argument_error("flow target process does not exist");
+  }
+  if (source == target) {
+    return invalid_argument_error("flow source and target must differ ('" +
+                                  processes_[source].name + "')");
+  }
+  if (data_items == 0) {
+    return invalid_argument_error("flow must carry at least one data item");
+  }
+  for (const Flow& f : flows_) {
+    if (f.source == source && f.target == target && f.ordering == ordering) {
+      return already_exists_error(str_format(
+          "duplicate flow %s -> %s with ordering %u",
+          processes_[source].name.c_str(), processes_[target].name.c_str(),
+          ordering));
+    }
+  }
+  flows_.push_back(Flow{source, target, data_items, ordering, compute_ticks});
+  return Status::ok();
+}
+
+Status PsdfModel::add_flow(std::string_view source, std::string_view target,
+                           std::uint64_t data_items, std::uint32_t ordering,
+                           std::uint64_t compute_ticks) {
+  SEGBUS_ASSIGN_OR_RETURN(ProcessId src, require_process(source));
+  SEGBUS_ASSIGN_OR_RETURN(ProcessId dst, require_process(target));
+  return add_flow(src, dst, data_items, ordering, compute_ticks);
+}
+
+std::vector<Flow> PsdfModel::scheduled_flows() const {
+  std::vector<Flow> out = flows_;
+  std::stable_sort(out.begin(), out.end(), [](const Flow& a, const Flow& b) {
+    if (a.ordering != b.ordering) return a.ordering < b.ordering;
+    if (a.source != b.source) return a.source < b.source;
+    return a.target < b.target;
+  });
+  return out;
+}
+
+std::vector<Flow> PsdfModel::flows_from(ProcessId id) const {
+  std::vector<Flow> out;
+  for (const Flow& f : flows_) {
+    if (f.source == id) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Flow> PsdfModel::flows_into(ProcessId id) const {
+  std::vector<Flow> out;
+  for (const Flow& f : flows_) {
+    if (f.target == id) out.push_back(f);
+  }
+  return out;
+}
+
+std::uint64_t PsdfModel::total_items(ProcessId source,
+                                     ProcessId target) const {
+  std::uint64_t sum = 0;
+  for (const Flow& f : flows_) {
+    if (f.source == source && f.target == target) sum += f.data_items;
+  }
+  return sum;
+}
+
+std::uint64_t PsdfModel::total_packages() const {
+  std::uint64_t sum = 0;
+  for (const Flow& f : flows_) sum += packages_for(f.data_items, package_size_);
+  return sum;
+}
+
+std::uint32_t PsdfModel::max_ordering() const {
+  std::uint32_t top = 0;
+  for (const Flow& f : flows_) top = std::max(top, f.ordering);
+  return top;
+}
+
+Result<PsdfModel> PsdfModel::rescaled_for_package_size(
+    std::uint32_t new_package_size, std::uint64_t fixed_ticks) const {
+  if (new_package_size == 0) {
+    return invalid_argument_error("package size must be positive");
+  }
+  PsdfModel out = *this;
+  out.package_size_ = new_package_size;
+  if (new_package_size == package_size_) return out;
+  for (Flow& f : out.flows_) {
+    const std::uint64_t fixed = std::min(fixed_ticks, f.compute_ticks);
+    const std::uint64_t variable = f.compute_ticks - fixed;
+    // Variable part keeps ticks-per-item constant; the fixed part is paid
+    // once per package regardless of size.
+    const std::uint64_t scaled =
+        fixed + (variable * new_package_size + package_size_ / 2) /
+                    package_size_;
+    f.compute_ticks = std::max<std::uint64_t>(scaled, 1);
+  }
+  return out;
+}
+
+}  // namespace segbus::psdf

@@ -1,0 +1,158 @@
+#include "psdf/psdf_xml.hpp"
+
+#include "support/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::psdf {
+
+namespace {
+constexpr std::string_view kXsdNamespace = "http://www.w3.org/2001/XMLSchema";
+constexpr std::string_view kSegBusNamespace = "urn:segbus:psdf";
+}  // namespace
+
+std::string encode_flow_name(const PsdfModel& model, const Flow& flow) {
+  return str_format("%s_%llu_%u_%llu",
+                    model.process(flow.target).name.c_str(),
+                    static_cast<unsigned long long>(flow.data_items),
+                    flow.ordering,
+                    static_cast<unsigned long long>(flow.compute_ticks));
+}
+
+Result<DecodedFlow> decode_flow_name(std::string_view name) {
+  // Split from the right: the last three '_'-separated fields are D, T, C.
+  std::vector<std::string_view> parts = split(name, '_');
+  if (parts.size() < 4) {
+    return parse_error("flow name '" + std::string(name) +
+                       "' does not have the form Target_D_T_C");
+  }
+  DecodedFlow flow;
+  const std::size_t n = parts.size();
+  SEGBUS_ASSIGN_OR_RETURN(
+      std::uint64_t items,
+      parse_uint_or_error(parts[n - 3], "flow data items (D)"));
+  SEGBUS_ASSIGN_OR_RETURN(
+      std::uint64_t ordering,
+      parse_uint_or_error(parts[n - 2], "flow ordering (T)"));
+  SEGBUS_ASSIGN_OR_RETURN(
+      std::uint64_t ticks,
+      parse_uint_or_error(parts[n - 1], "flow compute ticks (C)"));
+  if (ordering > 0xFFFFFFFFull) {
+    return parse_error("flow ordering out of range in '" + std::string(name) +
+                       "'");
+  }
+  flow.data_items = items;
+  flow.ordering = static_cast<std::uint32_t>(ordering);
+  flow.compute_ticks = ticks;
+  // Reassemble the target name (may itself contain underscores).
+  std::string target;
+  for (std::size_t i = 0; i + 3 < n; ++i) {
+    if (i != 0) target += '_';
+    target += parts[i];
+  }
+  if (target.empty()) {
+    return parse_error("flow name '" + std::string(name) +
+                       "' has an empty target process");
+  }
+  flow.target = std::move(target);
+  return flow;
+}
+
+xml::Document to_xml(const PsdfModel& model) {
+  auto root = std::make_unique<xml::Element>("xs:schema");
+  root->set_attribute("xmlns:xs", kXsdNamespace);
+  root->set_attribute("xmlns:segbus", kSegBusNamespace);
+  root->set_attribute("segbus:application", model.name());
+  root->set_attribute("segbus:packageSize",
+                      str_format("%u", model.package_size()));
+  for (const Process& process : model.processes()) {
+    xml::Element& type = root->add_child("xs:complexType");
+    type.set_attribute("name", process.name);
+    xml::Element& all = type.add_child("xs:all");
+    for (const Flow& flow : model.flows_from(process.id)) {
+      xml::Element& element = all.add_child("xs:element");
+      element.set_attribute("name", encode_flow_name(model, flow));
+      element.set_attribute("type", "Transfer");
+    }
+  }
+  return xml::Document(std::move(root));
+}
+
+Result<PsdfModel> from_xml(const xml::Document& document,
+                           std::uint32_t package_size_override) {
+  const xml::Element& root = document.root();
+  if (root.local_name() != "schema") {
+    return parse_error("PSDF document root must be an xs:schema element, "
+                       "found <" +
+                       root.name() + ">");
+  }
+  PsdfModel model(root.attribute_or("segbus:application", "psdf"));
+
+  std::uint32_t package_size = package_size_override;
+  if (package_size == 0) {
+    std::string attr = root.attribute_or("segbus:packageSize", "36");
+    SEGBUS_ASSIGN_OR_RETURN(std::uint64_t parsed,
+                            parse_uint_or_error(attr, "segbus:packageSize"));
+    if (parsed == 0 || parsed > 0xFFFFFFFFull) {
+      return parse_error("segbus:packageSize out of range");
+    }
+    package_size = static_cast<std::uint32_t>(parsed);
+  }
+  SEGBUS_RETURN_IF_ERROR(model.set_package_size(package_size));
+
+  // Pass 1: declare all processes (complexType order defines ids).
+  std::vector<const xml::Element*> types = root.children_local("complexType");
+  if (types.empty()) {
+    return parse_error("PSDF scheme declares no processes "
+                       "(no xs:complexType children)");
+  }
+  for (const xml::Element* type : types) {
+    SEGBUS_ASSIGN_OR_RETURN(std::string name, type->require_attribute("name"));
+    auto added = model.add_process(name);
+    if (!added.is_ok()) return added.status();
+  }
+
+  // Pass 2: decode flows.
+  for (const xml::Element* type : types) {
+    SEGBUS_ASSIGN_OR_RETURN(std::string source_name,
+                            type->require_attribute("name"));
+    SEGBUS_ASSIGN_OR_RETURN(ProcessId source,
+                            model.require_process(source_name));
+    // Transfers live under xs:all (per the paper's snippet) but tolerate
+    // direct xs:element children as well.
+    std::vector<const xml::Element*> holders =
+        type->children_local("all");
+    if (holders.empty()) holders.push_back(type);
+    for (const xml::Element* holder : holders) {
+      for (const xml::Element* element : holder->children_local("element")) {
+        SEGBUS_ASSIGN_OR_RETURN(std::string flow_name,
+                                element->require_attribute("name"));
+        SEGBUS_ASSIGN_OR_RETURN(DecodedFlow decoded,
+                                decode_flow_name(flow_name));
+        auto target = model.find_process(decoded.target);
+        if (!target) {
+          return parse_error("flow '" + flow_name + "' of process " +
+                             source_name + " targets unknown process '" +
+                             decoded.target + "'");
+        }
+        SEGBUS_RETURN_IF_ERROR(model.add_flow(source, *target,
+                                              decoded.data_items,
+                                              decoded.ordering,
+                                              decoded.compute_ticks));
+      }
+    }
+  }
+  return model;
+}
+
+Status write_psdf_file(const PsdfModel& model, const std::string& path) {
+  return xml::write_file(to_xml(model), path);
+}
+
+Result<PsdfModel> read_psdf_file(const std::string& path,
+                                 std::uint32_t package_size_override) {
+  SEGBUS_ASSIGN_OR_RETURN(xml::Document doc, xml::parse_file(path));
+  return from_xml(doc, package_size_override);
+}
+
+}  // namespace segbus::psdf

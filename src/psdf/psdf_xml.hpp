@@ -1,0 +1,59 @@
+// PSDF <-> XML scheme codec, matching the shape the paper's M2T
+// transformation produces (§3.4):
+//
+//   <xs:schema xmlns:xs="..." segbus:application="mp3"
+//              segbus:packageSize="36">
+//      <xs:complexType name="P0">
+//         <xs:all>
+//            <xs:element name="P1_576_1_250" type="Transfer"/>
+//            ...
+//         </xs:all>
+//      </xs:complexType>
+//      ...
+//   </xs:schema>
+//
+// A flow is encoded in the element *name*: "P1_576_1_250" is target P1,
+// D=576 data items, ordering T=1, C=250 ticks per package — "the '_'
+// character serves as the separator between the entities". Decoding splits
+// from the right so process names may themselves contain underscores.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+#include "xml/node.hpp"
+
+namespace segbus::psdf {
+
+/// Encodes one flow as the paper's element-name string.
+std::string encode_flow_name(const PsdfModel& model, const Flow& flow);
+
+/// Decoded flow fields (target still by name; resolution needs the model).
+struct DecodedFlow {
+  std::string target;
+  std::uint64_t data_items = 0;
+  std::uint32_t ordering = 0;
+  std::uint64_t compute_ticks = 0;
+};
+
+/// Parses "P1_576_1_250"-style names.
+Result<DecodedFlow> decode_flow_name(std::string_view name);
+
+/// Builds the XML scheme document for a PSDF model.
+xml::Document to_xml(const PsdfModel& model);
+
+/// Reconstructs a PSDF model from a scheme document.
+/// `package_size_override`, when nonzero, wins over the document's
+/// segbus:packageSize attribute (the paper supplies package size to the
+/// emulator separately).
+Result<PsdfModel> from_xml(const xml::Document& document,
+                           std::uint32_t package_size_override = 0);
+
+/// File-level conveniences.
+Status write_psdf_file(const PsdfModel& model, const std::string& path);
+Result<PsdfModel> read_psdf_file(const std::string& path,
+                                 std::uint32_t package_size_override = 0);
+
+}  // namespace segbus::psdf

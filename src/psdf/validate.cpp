@@ -1,0 +1,101 @@
+#include "psdf/validate.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "support/strings.hpp"
+
+namespace segbus::psdf {
+
+ValidationReport validate(const PsdfModel& model) {
+  ValidationReport report;
+
+  if (model.process_count() == 0) {
+    report.add_error("psdf.nonempty", "model has no processes");
+    return report;
+  }
+  if (model.flows().empty()) {
+    report.add_warning("psdf.flow.some",
+                       "model has no flows; nothing to emulate");
+  }
+
+  // psdf.flow.ordering: data must be produced before it is consumed.
+  for (const Process& p : model.processes()) {
+    std::uint32_t max_in = 0;
+    bool has_in = false;
+    for (const Flow& f : model.flows_into(p.id)) {
+      max_in = std::max(max_in, f.ordering);
+      has_in = true;
+    }
+    if (!has_in) continue;
+    for (const Flow& f : model.flows_from(p.id)) {
+      if (f.ordering <= max_in) {
+        report.add_error(
+            "psdf.flow.ordering",
+            str_format("process %s sends with ordering %u but still "
+                       "receives input at ordering %u",
+                       p.name.c_str(), f.ordering, max_in));
+      }
+    }
+  }
+
+  // psdf.flow.reachable: warn about processes no flow touches.
+  for (const Process& p : model.processes()) {
+    bool sends = !model.flows_from(p.id).empty();
+    bool receives = !model.flows_into(p.id).empty();
+    if (!sends && !receives && !model.flows().empty()) {
+      report.add_warning(
+          "psdf.flow.reachable",
+          "process " + p.name + " is isolated (no flows touch it)");
+    }
+  }
+
+  // psdf.flow.acyclic: Kahn's algorithm over the dependency graph.
+  {
+    const std::size_t n = model.process_count();
+    std::vector<std::size_t> indegree(n, 0);
+    std::vector<std::vector<std::size_t>> adjacency(n);
+    for (const Flow& f : model.flows()) {
+      adjacency[f.source].push_back(f.target);
+      ++indegree[f.target];
+    }
+    std::queue<std::size_t> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indegree[i] == 0) ready.push(i);
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+      std::size_t node = ready.front();
+      ready.pop();
+      ++visited;
+      for (std::size_t next : adjacency[node]) {
+        if (--indegree[next] == 0) ready.push(next);
+      }
+    }
+    if (visited != n) {
+      report.add_error("psdf.flow.acyclic",
+                       "the flow graph contains a dependency cycle");
+    }
+  }
+
+  // psdf.compute.positive.
+  for (const Flow& f : model.flows()) {
+    if (f.compute_ticks == 0) {
+      report.add_warning(
+          "psdf.compute.positive",
+          str_format("flow %s -> %s has zero compute ticks",
+                     model.process(f.source).name.c_str(),
+                     model.process(f.target).name.c_str()));
+    }
+  }
+
+  return report;
+}
+
+Status validate_or_error(const PsdfModel& model) {
+  ValidationReport report = validate(model);
+  if (report.ok()) return Status::ok();
+  return validation_error("PSDF validation failed:\n" + report.to_string());
+}
+
+}  // namespace segbus::psdf

@@ -1,0 +1,29 @@
+// PSDF model validation.
+//
+// Mirrors the DSL's OCL constraint checking (paper §2.2): breaches are
+// reported as a list of diagnostics naming the offending element, so a
+// designer can "take proper action to make the model correct".
+#pragma once
+
+#include "psdf/model.hpp"
+#include "support/diag.hpp"
+#include "support/status.hpp"
+
+namespace segbus::psdf {
+
+/// Checks the structural constraints of a PSDF model:
+///   psdf.nonempty          — at least one process
+///   psdf.flow.some         — at least one flow (warning if none)
+///   psdf.flow.ordering     — every outgoing flow of a process is ordered
+///                            strictly after all of its incoming flows
+///                            (data must exist before it is processed)
+///   psdf.flow.reachable    — every process participates in some flow
+///                            (warning for isolated processes)
+///   psdf.flow.acyclic      — dependency graph has no cycles
+///   psdf.compute.positive  — C > 0 for every flow (warning on zero)
+ValidationReport validate(const PsdfModel& model);
+
+/// Convenience: OK status or a ValidationError carrying the rendered report.
+Status validate_or_error(const PsdfModel& model);
+
+}  // namespace segbus::psdf

@@ -1,0 +1,96 @@
+#include "support/cli.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus {
+
+Result<CommandLine> CommandLine::parse(int argc, const char* const* argv) {
+  CommandLine cli;
+  if (argc > 0) cli.program_ = argv[0];
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (flags_done || !starts_with(arg, "--")) {
+      cli.positional_.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    if (body.empty()) {
+      return parse_error("empty flag name in argument list");
+    }
+    std::size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      std::string name(body.substr(0, eq));
+      if (name.empty()) return parse_error("flag with empty name: " +
+                                           std::string(arg));
+      cli.flags_[std::move(name)] = std::string(body.substr(eq + 1));
+      continue;
+    }
+    // --flag value  (when the next token is not itself a flag), else
+    // boolean --flag / --no-flag.
+    if (starts_with(body, "no-")) {
+      cli.flags_[std::string(body.substr(3))] = "false";
+      continue;
+    }
+    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      cli.flags_[std::string(body)] = argv[i + 1];
+      ++i;
+    } else {
+      cli.flags_[std::string(body)] = "true";
+    }
+  }
+  return cli;
+}
+
+bool CommandLine::has_flag(std::string_view name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::optional<std::string> CommandLine::flag(std::string_view name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string CommandLine::flag_or(std::string_view name,
+                                 std::string_view fallback) const {
+  auto v = flag(name);
+  return v ? *v : std::string(fallback);
+}
+
+std::int64_t CommandLine::int_flag_or(std::string_view name,
+                                      std::int64_t fallback) const {
+  auto v = flag(name);
+  if (!v) return fallback;
+  auto parsed = parse_int(*v);
+  return parsed ? *parsed : fallback;
+}
+
+double CommandLine::double_flag_or(std::string_view name,
+                                   double fallback) const {
+  auto v = flag(name);
+  if (!v) return fallback;
+  auto parsed = parse_double(*v);
+  return parsed ? *parsed : fallback;
+}
+
+bool CommandLine::bool_flag_or(std::string_view name, bool fallback) const {
+  auto v = flag(name);
+  if (!v) return fallback;
+  if (iequals(*v, "true") || *v == "1" || iequals(*v, "yes")) return true;
+  if (iequals(*v, "false") || *v == "0" || iequals(*v, "no")) return false;
+  return fallback;
+}
+
+std::vector<std::string> CommandLine::flag_names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
+}  // namespace segbus

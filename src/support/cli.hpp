@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for the examples and bench harnesses.
+// Supports --flag=value, --flag value, and boolean --flag / --no-flag.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace segbus {
+
+/// Parsed command line: named flags plus positional arguments.
+class CommandLine {
+ public:
+  /// Parses argv. Unknown flags are kept (callers decide what is legal);
+  /// a bare "--" terminates flag parsing.
+  static Result<CommandLine> parse(int argc, const char* const* argv);
+
+  const std::string& program() const noexcept { return program_; }
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  bool has_flag(std::string_view name) const;
+
+  /// String value of a flag, or nullopt when absent.
+  std::optional<std::string> flag(std::string_view name) const;
+
+  /// Typed accessors with defaults; malformed values yield the default and
+  /// are reported via the error list.
+  std::string flag_or(std::string_view name, std::string_view fallback) const;
+  std::int64_t int_flag_or(std::string_view name, std::int64_t fallback) const;
+  double double_flag_or(std::string_view name, double fallback) const;
+  bool bool_flag_or(std::string_view name, bool fallback) const;
+
+  /// Names of all flags present (sorted), for --help style listings.
+  std::vector<std::string> flag_names() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace segbus

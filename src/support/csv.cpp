@@ -1,0 +1,63 @@
+#include "support/csv.hpp"
+
+#include <fstream>
+
+#include "support/strings.hpp"
+
+namespace segbus {
+
+std::string csv_escape(std::string_view field) {
+  bool needs_quote = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& row,
+                                int decimals) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(str_format("%.*f", decimals, v));
+  add_row(std::move(cells));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += ',';
+      out += csv_escape(row[i]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+Status CsvWriter::write_file(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return invalid_argument_error("cannot open file for writing: " + path);
+  }
+  file << to_string();
+  if (!file) {
+    return internal_error("short write to file: " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace segbus

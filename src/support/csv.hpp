@@ -1,0 +1,42 @@
+// Minimal CSV writer used by the benches to dump series data (timeline,
+// activity graphs) in a form external plotting tools can consume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace segbus {
+
+/// Accumulates rows and serializes RFC-4180-style CSV (fields containing
+/// comma, quote or newline are quoted; embedded quotes doubled).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for numeric rows.
+  void add_numeric_row(const std::vector<double>& row, int decimals = 6);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// The full CSV document, header first.
+  std::string to_string() const;
+
+  /// Writes the document to `path`.
+  Status write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field.
+std::string csv_escape(std::string_view field);
+
+}  // namespace segbus

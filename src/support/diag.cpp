@@ -1,0 +1,65 @@
+#include "support/diag.hpp"
+
+#include <algorithm>
+
+namespace segbus {
+
+bool ValidationReport::ok() const noexcept {
+  return std::none_of(diagnostics.begin(), diagnostics.end(),
+                      [](const Diagnostic& d) {
+                        return d.severity == Severity::kError;
+                      });
+}
+
+std::size_t ValidationReport::error_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+std::size_t ValidationReport::warning_count() const noexcept {
+  return diagnostics.size() - error_count();
+}
+
+bool ValidationReport::has(std::string_view constraint) const noexcept {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) {
+                       return d.constraint == constraint;
+                     });
+}
+
+void ValidationReport::add_error(std::string constraint,
+                                 std::string message) {
+  diagnostics.push_back(
+      {Severity::kError, std::move(constraint), std::move(message)});
+}
+
+void ValidationReport::add_warning(std::string constraint,
+                                   std::string message) {
+  diagnostics.push_back(
+      {Severity::kWarning, std::move(constraint), std::move(message)});
+}
+
+void ValidationReport::merge(ValidationReport other) {
+  for (Diagnostic& d : other.diagnostics) {
+    diagnostics.push_back(std::move(d));
+  }
+}
+
+std::string ValidationReport::to_string() const {
+  if (diagnostics.empty()) return "model is valid\n";
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.severity == Severity::kError ? "error" : "warning";
+    out += " [";
+    out += d.constraint;
+    out += "]: ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace segbus

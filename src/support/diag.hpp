@@ -1,0 +1,44 @@
+// Shared validation-diagnostic types, used by the PSDF and PSM (platform)
+// validators. Mirrors the DSL's OCL constraint reporting (paper §2.2):
+// each breach names a stable constraint id plus a human-readable message.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace segbus {
+
+/// Severity of one diagnostic.
+enum class Severity { kError, kWarning };
+
+/// One validation finding.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string constraint;  ///< stable id, e.g. "psm.segment.one_arbiter"
+  std::string message;     ///< human-readable description
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Result of validating a model.
+struct ValidationReport {
+  std::vector<Diagnostic> diagnostics;
+
+  /// True when no error-severity diagnostics are present.
+  bool ok() const noexcept;
+  std::size_t error_count() const noexcept;
+  std::size_t warning_count() const noexcept;
+
+  /// True if any diagnostic matches the constraint id.
+  bool has(std::string_view constraint) const noexcept;
+
+  void add_error(std::string constraint, std::string message);
+  void add_warning(std::string constraint, std::string message);
+
+  /// Merges another report's findings into this one.
+  void merge(ValidationReport other);
+
+  std::string to_string() const;
+};
+
+}  // namespace segbus

@@ -1,0 +1,169 @@
+#include "support/json.hpp"
+
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace segbus {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::integer(std::int64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kInteger;
+  v.integer_ = value;
+  return v;
+}
+
+JsonValue JsonValue::unsigned_integer(std::uint64_t value) {
+  JsonValue v;
+  v.kind_ = Kind::kUnsigned;
+  v.unsigned_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string_view value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::string(value);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::set(std::string key, JsonValue value) {
+  for (auto& [existing, held] : object_) {
+    if (existing == key) {
+      held = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::push(JsonValue value) {
+  array_.push_back(std::move(value));
+  return array_.back();
+}
+
+void JsonValue::write(std::string& out, bool pretty, int depth) const {
+  auto indent = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    for (int i = 0; i < d; ++i) out += "  ";
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      if (std::isfinite(number_)) {
+        out += str_format("%.17g", number_);
+      } else {
+        out += "null";
+      }
+      break;
+    case Kind::kInteger:
+      out += str_format("%lld", static_cast<long long>(integer_));
+      break;
+    case Kind::kUnsigned:
+      out += str_format("%llu", static_cast<unsigned long long>(unsigned_));
+      break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i != 0) out += ',';
+        indent(depth + 1);
+        array_[i].write(out, pretty, depth + 1);
+      }
+      indent(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i != 0) out += ',';
+        indent(depth + 1);
+        out += '"';
+        out += json_escape(object_[i].first);
+        out += pretty ? "\": " : "\":";
+        object_[i].second.write(out, pretty, depth + 1);
+      }
+      indent(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::to_string(bool pretty) const {
+  std::string out;
+  write(out, pretty, 0);
+  if (pretty) out += '\n';
+  return out;
+}
+
+}  // namespace segbus

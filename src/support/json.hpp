@@ -1,0 +1,61 @@
+// Minimal JSON document builder + serializer (output only; the SegBus tool
+// chain's machine-readable exchange format for results). Produces RFC 8259
+// compliant text: correct string escaping, no trailing commas, and finite
+// numbers (non-finite doubles serialize as null).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace segbus {
+
+/// A JSON value (build-only tree).
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool value);
+  static JsonValue number(double value);
+  static JsonValue integer(std::int64_t value);
+  static JsonValue unsigned_integer(std::uint64_t value);
+  static JsonValue string(std::string_view value);
+  static JsonValue array();
+  static JsonValue object();
+
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Object member assignment (precondition: is_object()).
+  JsonValue& set(std::string key, JsonValue value);
+  /// Array append (precondition: is_array()). Returns the appended value.
+  JsonValue& push(JsonValue value);
+
+  /// Serializes compactly ({"a":1}) or pretty-printed with 2-space indent.
+  std::string to_string(bool pretty = false) const;
+
+ private:
+  enum class Kind {
+    kNull, kBool, kNumber, kInteger, kUnsigned, kString, kArray, kObject
+  };
+  void write(std::string& out, bool pretty, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::int64_t integer_ = 0;
+  std::uint64_t unsigned_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  // insertion-ordered object members
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escapes a string for embedding in JSON (without surrounding quotes).
+std::string json_escape(std::string_view text);
+
+}  // namespace segbus

@@ -1,0 +1,56 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "support/strings.hpp"
+
+namespace segbus {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(std::string_view text) {
+  if (iequals(text, "trace")) return LogLevel::kTrace;
+  if (iequals(text, "debug")) return LogLevel::kDebug;
+  if (iequals(text, "info")) return LogLevel::kInfo;
+  if (iequals(text, "warn")) return LogLevel::kWarn;
+  if (iequals(text, "error")) return LogLevel::kError;
+  if (iequals(text, "off")) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%.*s] %-10.*s %.*s\n",
+               static_cast<int>(level_tag(level).size()),
+               level_tag(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+}  // namespace detail
+
+}  // namespace segbus

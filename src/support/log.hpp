@@ -1,0 +1,53 @@
+// Leveled logging for the emulator and tools. Off (kWarn) by default so
+// tests and benches stay quiet; the examples turn on kInfo to narrate runs.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace segbus {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level. Thread-safe (relaxed atomic underneath).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; returns kWarn on
+/// unknown input.
+LogLevel parse_log_level(std::string_view text);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+/// Stream-style accumulator; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+/// SEGBUS_LOG(kInfo, "emu") << "tick " << n;
+#define SEGBUS_LOG(level, component)                        \
+  if (::segbus::LogLevel::level < ::segbus::log_level()) {  \
+  } else                                                    \
+    ::segbus::detail::LogMessage(::segbus::LogLevel::level, (component))
+
+}  // namespace segbus

@@ -1,0 +1,135 @@
+#include "support/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace segbus {
+
+void RunningStats::add(double value) noexcept {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(count_) *
+                          static_cast<double>(other.count_) / n);
+  mean_ += delta * static_cast<double>(other.count_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi),
+      width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+Histogram Histogram::of(const std::vector<double>& samples,
+                        std::size_t bins) {
+  double lo = 0.0;
+  double hi = 1.0;
+  if (!samples.empty()) {
+    lo = *std::min_element(samples.begin(), samples.end());
+    hi = *std::max_element(samples.begin(), samples.end());
+    if (hi <= lo) hi = lo + 1.0;
+  }
+  Histogram histogram(lo, hi, bins);
+  for (double sample : samples) histogram.add(sample);
+  return histogram;
+}
+
+void Histogram::add(double value) noexcept {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value > hi_) {
+    ++overflow_;
+    return;
+  }
+  auto index = static_cast<std::size_t>((value - lo_) / width_);
+  if (index >= counts_.size()) index = counts_.size() - 1;  // value == hi
+  ++counts_[index];
+}
+
+double Histogram::bin_low(std::size_t index) const {
+  return lo_ + width_ * static_cast<double>(index);
+}
+
+double Histogram::bin_high(std::size_t index) const {
+  return bin_low(index) + width_;
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (target <= cumulative) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double within = (target - cumulative) /
+                            static_cast<double>(counts_[i]);
+      return bin_low(i) + within * width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  if (underflow_ > 0) {
+    out += str_format("%12s < %-10.4g %8llu\n", "", lo_,
+                      static_cast<unsigned long long>(underflow_));
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    out += str_format("%10.4g .. %-10.4g %8llu |%s\n", bin_low(i),
+                      bin_high(i),
+                      static_cast<unsigned long long>(counts_[i]),
+                      std::string(bar, '#').c_str());
+  }
+  if (overflow_ > 0) {
+    out += str_format("%12s > %-10.4g %8llu\n", "", hi_,
+                      static_cast<unsigned long long>(overflow_));
+  }
+  return out;
+}
+
+}  // namespace segbus

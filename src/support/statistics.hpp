@@ -1,0 +1,75 @@
+// Streaming statistics: numerically stable running moments (Welford) and a
+// fixed-bin histogram with quantile estimation. Used for package-latency
+// distributions and the perf harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace segbus {
+
+/// Welford's online algorithm: mean/variance in one pass, no catastrophic
+/// cancellation.
+class RunningStats {
+ public:
+  void add(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Equal-width histogram over [lo, hi] with under/overflow bins.
+/// Quantiles are estimated by linear interpolation within the bin.
+class Histogram {
+ public:
+  /// Precondition: hi > lo, bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Builds a histogram spanning the samples' range and adds them all.
+  static Histogram of(const std::vector<double>& samples,
+                      std::size_t bins = 20);
+
+  void add(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return total_; }
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t bin(std::size_t index) const { return counts_.at(index); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  double bin_low(std::size_t index) const;
+  double bin_high(std::size_t index) const;
+
+  /// Estimated value at quantile q in [0, 1]; 0 when empty. Underflow
+  /// samples clamp to `lo`, overflow to `hi`.
+  double quantile(double q) const;
+
+  /// ASCII rendering: one row per bin with a proportional bar.
+  std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace segbus

@@ -1,0 +1,49 @@
+#include "support/status.hpp"
+
+namespace segbus {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kValidationError: return "ValidationError";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(status_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status invalid_argument_error(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status parse_error(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status validation_error(std::string message) {
+  return Status(StatusCode::kValidationError, std::move(message));
+}
+Status not_found_error(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status already_exists_error(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status failed_precondition_error(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status internal_error(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace segbus

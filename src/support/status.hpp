@@ -1,0 +1,135 @@
+// Lightweight status / result types used across the SegBus libraries.
+//
+// The libraries never throw across public API boundaries for anticipated
+// failures (malformed XML, constraint violations, invalid models); those are
+// reported through Status / Result<T>. Logic errors (precondition misuse)
+// still assert.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace segbus {
+
+/// Coarse classification of a failure; mirrors the kinds of diagnostics the
+/// paper's tool chain produces (parse errors, model validation errors, ...).
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< caller-supplied value is out of range / malformed
+  kParseError,        ///< textual artifact (XML, flow encoding) is malformed
+  kValidationError,   ///< model violates a structural (OCL-style) constraint
+  kNotFound,          ///< a named entity does not exist
+  kAlreadyExists,     ///< duplicate entity in a model
+  kFailedPrecondition,///< operation invoked in a state that forbids it
+  kInternal,          ///< invariant breach inside the library
+};
+
+/// Human-readable name of a StatusCode ("OK", "ParseError", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy on the success path (empty
+/// message). Modeled after absl::Status but self-contained.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+
+  bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Convenience factories mirroring the code enum.
+Status invalid_argument_error(std::string message);
+Status parse_error(std::string message);
+Status validation_error(std::string message);
+Status not_found_error(std::string message);
+Status already_exists_error(std::string message);
+Status failed_precondition_error(std::string message);
+Status internal_error(std::string message);
+
+/// A value-or-status result, std::expected-style (kept local so the library
+/// builds with toolchains that predate <expected>).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a success value.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Implicit construction from a non-OK status. Constructing from an OK
+  /// status is a logic error and is normalized to kInternal.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).is_ok()) {
+      data_ = internal_error("Result constructed from OK status");
+    }
+  }
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// Status of the result; OK when a value is held.
+  Status status() const {
+    return is_ok() ? Status::ok() : std::get<Status>(data_);
+  }
+
+  /// Access the held value. Precondition: is_ok().
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or the supplied fallback.
+  T value_or(T fallback) const& {
+    return is_ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagate-on-error helper:  SEGBUS_RETURN_IF_ERROR(expr);
+#define SEGBUS_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::segbus::Status segbus_status_ = (expr);         \
+    if (!segbus_status_.is_ok()) return segbus_status_; \
+  } while (false)
+
+/// Assign-or-propagate helper:
+///   SEGBUS_ASSIGN_OR_RETURN(auto v, ComputeResult());
+#define SEGBUS_ASSIGN_OR_RETURN(decl, expr)        \
+  auto SEGBUS_CONCAT_(result_, __LINE__) = (expr); \
+  if (!SEGBUS_CONCAT_(result_, __LINE__).is_ok())  \
+    return SEGBUS_CONCAT_(result_, __LINE__).status(); \
+  decl = std::move(SEGBUS_CONCAT_(result_, __LINE__)).value()
+
+#define SEGBUS_CONCAT_INNER_(a, b) a##b
+#define SEGBUS_CONCAT_(a, b) SEGBUS_CONCAT_INNER_(a, b)
+
+}  // namespace segbus

@@ -1,0 +1,195 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace segbus {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_skip_empty(std::string_view text,
+                                               char sep) {
+  std::vector<std::string_view> out;
+  for (std::string_view part : split(text, sep)) {
+    if (!part.empty()) out.push_back(part);
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string to_upper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+template <typename T>
+std::optional<T> parse_number(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  return parse_number<std::int64_t>(text);
+}
+
+std::optional<std::uint64_t> parse_uint(std::string_view text) {
+  if (!text.empty() && text.front() == '-') return std::nullopt;
+  return parse_number<std::uint64_t>(text);
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // std::from_chars for double is available in libstdc++ >= 11.
+  double value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+Result<std::int64_t> parse_int_or_error(std::string_view text,
+                                        std::string_view what) {
+  if (auto v = parse_int(text)) return *v;
+  return parse_error(str_format("%.*s: '%.*s' is not a valid integer",
+                                static_cast<int>(what.size()), what.data(),
+                                static_cast<int>(text.size()), text.data()));
+}
+
+Result<std::uint64_t> parse_uint_or_error(std::string_view text,
+                                          std::string_view what) {
+  if (auto v = parse_uint(text)) return *v;
+  return parse_error(
+      str_format("%.*s: '%.*s' is not a valid unsigned integer",
+                 static_cast<int>(what.size()), what.data(),
+                 static_cast<int>(text.size()), text.data()));
+}
+
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  out.reserve(text.size());
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(text.substr(start));
+      return out;
+    }
+    out.append(text.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+bool is_identifier(std::string_view name) {
+  if (name.empty()) return false;
+  auto is_head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+  };
+  auto is_tail = [&](char c) {
+    return is_head(c) || std::isdigit(static_cast<unsigned char>(c)) != 0;
+  };
+  if (!is_head(name.front())) return false;
+  for (char c : name.substr(1)) {
+    if (!is_tail(c)) return false;
+  }
+  return true;
+}
+
+std::string str_format(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace segbus

@@ -1,0 +1,64 @@
+// Small string utilities shared by the XML parser, model codecs and report
+// formatters. All functions are pure and allocation-conscious.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace segbus {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Splits on `sep`, dropping empty fields.
+std::vector<std::string_view> split_skip_empty(std::string_view text,
+                                               char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `text` begins with / ends with the given prefix/suffix.
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// ASCII case conversion (locale-independent).
+std::string to_lower(std::string_view text);
+std::string to_upper(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Strict integer parsing: the whole string must be a decimal integer
+/// (optional leading '-' for the signed variant). No leading/trailing space.
+std::optional<std::int64_t> parse_int(std::string_view text);
+std::optional<std::uint64_t> parse_uint(std::string_view text);
+
+/// Strict floating-point parsing of the whole string.
+std::optional<double> parse_double(std::string_view text);
+
+/// Result-returning variants with contextual error messages.
+Result<std::int64_t> parse_int_or_error(std::string_view text,
+                                        std::string_view what);
+Result<std::uint64_t> parse_uint_or_error(std::string_view text,
+                                          std::string_view what);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+/// True if `name` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool is_identifier(std::string_view name);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace segbus

@@ -1,0 +1,116 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+namespace segbus {
+
+std::string pad(std::string_view text, std::size_t width, Align align) {
+  if (text.size() >= width) return std::string(text);
+  std::size_t fill = width - text.size();
+  switch (align) {
+    case Align::kLeft:
+      return std::string(text) + std::string(fill, ' ');
+    case Align::kRight:
+      return std::string(fill, ' ') + std::string(text);
+    case Align::kCenter: {
+      std::size_t left = fill / 2;
+      return std::string(left, ' ') + std::string(text) +
+             std::string(fill - left, ' ');
+    }
+  }
+  return std::string(text);
+}
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void Table::set_column_alignment(std::size_t column, Align align) {
+  if (column_aligns_.size() <= column) {
+    column_aligns_.resize(column + 1, align_);
+  }
+  column_aligns_[column] = align;
+}
+
+std::size_t Table::column_count() const {
+  std::size_t n = header_.size();
+  for (const auto& row : rows_) n = std::max(n, row.size());
+  return n;
+}
+
+Align Table::column_align(std::size_t column) const {
+  if (column < column_aligns_.size()) return column_aligns_[column];
+  return align_;
+}
+
+std::vector<std::size_t> Table::column_widths() const {
+  std::vector<std::size_t> widths(column_count(), 0);
+  auto absorb = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  absorb(header_);
+  for (const auto& row : rows_) absorb(row);
+  return widths;
+}
+
+std::string Table::render(std::string_view indent) const {
+  const auto widths = column_widths();
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool center) {
+    out += indent;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (i != 0) out += " | ";
+      std::string_view cell = i < row.size() ? std::string_view(row[i])
+                                             : std::string_view("");
+      out += pad(cell, widths[i], center ? Align::kCenter : column_align(i));
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit_row(header_, /*center=*/true);
+    out += indent;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (i != 0) out += "-+-";
+      out += std::string(widths[i], '-');
+    }
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit_row(row, /*center=*/false);
+  return out;
+}
+
+std::string Table::render_markdown() const {
+  const auto widths = column_widths();
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      std::string_view cell = i < row.size() ? std::string_view(row[i])
+                                             : std::string_view("");
+      out += ' ';
+      out += pad(cell, widths[i], column_align(i));
+      out += " |";
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    emit_row(header_);
+    out += "|";
+    for (std::size_t width : widths) {
+      out += ' ';
+      out += std::string(std::max<std::size_t>(width, 3), '-');
+      out += " |";
+    }
+    out += '\n';
+  }
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace segbus

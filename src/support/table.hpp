@@ -1,0 +1,59 @@
+// Fixed-width ASCII table rendering for reports (communication matrix,
+// experiment summaries). Produces the monospace layout used in the paper's
+// Figure 8 and in EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace segbus {
+
+/// Column alignment within a rendered table.
+enum class Align { kLeft, kRight, kCenter };
+
+/// A simple row/column text table. Usage:
+///   Table t;
+///   t.set_header({"", "P0", "P1"});
+///   t.add_row({"P0", "0", "576"});
+///   std::string text = t.render();
+class Table {
+ public:
+  /// Sets the header row (optional). Column count is taken from the widest
+  /// row seen.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row.
+  void add_row(std::vector<std::string> row);
+
+  /// Sets the default alignment of every column (header is centered).
+  void set_alignment(Align align) { align_ = align; }
+
+  /// Sets the alignment of one column, growing the per-column table if
+  /// needed.
+  void set_column_alignment(std::size_t column, Align align);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const;
+
+  /// Renders with `|` separators and a rule under the header.
+  std::string render(std::string_view indent = "") const;
+
+  /// Renders as Markdown (pipes + header separator row).
+  std::string render_markdown() const;
+
+ private:
+  Align column_align(std::size_t column) const;
+  std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> column_aligns_;
+  Align align_ = Align::kRight;
+};
+
+/// Pads `text` to `width` according to `align`.
+std::string pad(std::string_view text, std::size_t width, Align align);
+
+}  // namespace segbus

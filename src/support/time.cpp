@@ -1,0 +1,57 @@
+#include "support/time.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus {
+
+std::string format_ps(Picoseconds t) {
+  return str_format("%lldps", static_cast<long long>(t.count()));
+}
+
+std::string format_us(Picoseconds t, int decimals) {
+  return str_format("%.*fus", decimals, t.microseconds());
+}
+
+ClockDomain::ClockDomain(std::string name, Frequency nominal)
+    : name_(std::move(name)),
+      nominal_(nominal),
+      period_ps_(nominal.period_ps()) {}
+
+double ClockDomain::effective_mhz() const noexcept {
+  if (period_ps_ <= 0) return 0.0;
+  return 1e6 / static_cast<double>(period_ps_);
+}
+
+std::int64_t ClockDomain::ticks_at(Picoseconds t) const noexcept {
+  if (period_ps_ <= 0 || t.count() < period_ps_) return 0;
+  return t.count() / period_ps_;
+}
+
+std::int64_t ClockDomain::first_tick_at_or_after(
+    Picoseconds t) const noexcept {
+  if (period_ps_ <= 0) return 0;
+  if (t.count() <= period_ps_) return 0;
+  // tick k fires at (k+1)*period; want smallest k with (k+1)*period >= t.
+  std::int64_t k = (t.count() + period_ps_ - 1) / period_ps_ - 1;
+  return k;
+}
+
+std::string ClockDomain::frequency_label() const {
+  return str_format("%.2fMHz", effective_mhz());
+}
+
+Status validate_frequency(Frequency f, std::string_view what) {
+  if (!f.valid() || f.period_ps() <= 0) {
+    return invalid_argument_error(
+        str_format("%.*s: frequency must be positive and at most 1 THz",
+                   static_cast<int>(what.size()), what.data()));
+  }
+  if (f.mhz() > 1e6) {
+    return invalid_argument_error(
+        str_format("%.*s: frequency %.2f MHz is above the 1 THz limit",
+                   static_cast<int>(what.size()), what.data(), f.mhz()));
+  }
+  return Status::ok();
+}
+
+}  // namespace segbus

@@ -1,0 +1,143 @@
+#include "xml/node.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus::xml {
+
+Node::Node(std::unique_ptr<Element> element)
+    : kind_(NodeKind::kElement), element_(std::move(element)) {}
+
+Node::Node(NodeKind kind, std::string text)
+    : kind_(kind), text_(std::move(text)) {}
+
+Node::~Node() = default;
+
+std::string_view Element::local_name() const noexcept {
+  std::string_view name = name_;
+  std::size_t colon = name.find(':');
+  return colon == std::string_view::npos ? name : name.substr(colon + 1);
+}
+
+std::optional<std::string_view> Element::attribute(
+    std::string_view name) const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.name == name) return std::string_view(attr.value);
+  }
+  return std::nullopt;
+}
+
+std::string Element::attribute_or(std::string_view name,
+                                  std::string_view fallback) const {
+  auto v = attribute(name);
+  return std::string(v ? *v : fallback);
+}
+
+Result<std::string> Element::require_attribute(std::string_view name) const {
+  auto v = attribute(name);
+  if (!v) {
+    return not_found_error(str_format(
+        "element <%s> is missing required attribute '%.*s'", name_.c_str(),
+        static_cast<int>(name.size()), name.data()));
+  }
+  return std::string(*v);
+}
+
+void Element::set_attribute(std::string_view name, std::string_view value) {
+  for (Attribute& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+Element& Element::add_child(std::string name) {
+  children_.emplace_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().element();
+}
+
+void Element::add_text(std::string text) {
+  children_.emplace_back(NodeKind::kText, std::move(text));
+}
+
+void Element::add_comment(std::string text) {
+  children_.emplace_back(NodeKind::kComment, std::move(text));
+}
+
+void Element::add_cdata(std::string text) {
+  children_.emplace_back(NodeKind::kCData, std::move(text));
+}
+
+Element& Element::adopt(std::unique_ptr<Element> child) {
+  children_.emplace_back(std::move(child));
+  return children_.back().element();
+}
+
+std::vector<const Element*> Element::child_elements() const {
+  std::vector<const Element*> out;
+  for (const Node& node : children_) {
+    if (node.is_element()) out.push_back(&node.element());
+  }
+  return out;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const Node& node : children_) {
+    if (node.is_element() && node.element().name() == name) {
+      out.push_back(&node.element());
+    }
+  }
+  return out;
+}
+
+std::vector<const Element*> Element::children_local(
+    std::string_view local) const {
+  std::vector<const Element*> out;
+  for (const Node& node : children_) {
+    if (node.is_element() && node.element().local_name() == local) {
+      out.push_back(&node.element());
+    }
+  }
+  return out;
+}
+
+const Element* Element::first_child(std::string_view name) const {
+  for (const Node& node : children_) {
+    if (node.is_element() && node.element().name() == name) {
+      return &node.element();
+    }
+  }
+  return nullptr;
+}
+
+const Element* Element::first_child_local(std::string_view local) const {
+  for (const Node& node : children_) {
+    if (node.is_element() && node.element().local_name() == local) {
+      return &node.element();
+    }
+  }
+  return nullptr;
+}
+
+std::string Element::text_content() const {
+  std::string out;
+  for (const Node& node : children_) {
+    if (node.kind() == NodeKind::kText || node.kind() == NodeKind::kCData) {
+      out += node.text();
+    }
+  }
+  return out;
+}
+
+std::size_t Element::element_count() const {
+  std::size_t n = 0;
+  for (const Node& node : children_) {
+    if (node.is_element()) ++n;
+  }
+  return n;
+}
+
+}  // namespace segbus::xml

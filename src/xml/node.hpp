@@ -1,0 +1,141 @@
+// XML document object model.
+//
+// The paper's tool chain emits XML "schemes" (xs:schema / xs:complexType /
+// xs:element documents) from the UML models and the emulator's setup phase
+// parses them back. This DOM is the C++ stand-in for org.w3c.dom: ordered
+// attributes, mixed content (elements, text, comments, CDATA), and
+// convenience accessors tuned for the scheme shapes in the paper.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace segbus::xml {
+
+class Element;
+
+/// Kinds of DOM nodes kept in element content.
+enum class NodeKind { kElement, kText, kComment, kCData };
+
+/// A child node: either a nested element or a chunk of character data.
+class Node {
+ public:
+  explicit Node(std::unique_ptr<Element> element);
+  Node(NodeKind kind, std::string text);
+  Node(Node&&) noexcept = default;
+  Node& operator=(Node&&) noexcept = default;
+  ~Node();
+
+  NodeKind kind() const noexcept { return kind_; }
+  bool is_element() const noexcept { return kind_ == NodeKind::kElement; }
+
+  /// Valid only when is_element().
+  const Element& element() const { return *element_; }
+  Element& element() { return *element_; }
+
+  /// Valid for text/comment/CDATA nodes.
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  NodeKind kind_;
+  std::unique_ptr<Element> element_;
+  std::string text_;
+};
+
+/// One XML attribute; order of attributes on an element is preserved.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// An XML element with ordered attributes and ordered mixed content.
+class Element {
+ public:
+  Element() = default;
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Local part of a possibly-prefixed name ("xs:element" -> "element").
+  std::string_view local_name() const noexcept;
+
+  // --- attributes ----------------------------------------------------
+  const std::vector<Attribute>& attributes() const noexcept {
+    return attributes_;
+  }
+  /// Value of the attribute, or nullopt when absent.
+  std::optional<std::string_view> attribute(std::string_view name) const;
+  /// Value of the attribute, or `fallback` when absent.
+  std::string attribute_or(std::string_view name,
+                           std::string_view fallback) const;
+  /// Required attribute; NotFound status names the element for diagnostics.
+  Result<std::string> require_attribute(std::string_view name) const;
+  /// Sets (or replaces) an attribute.
+  void set_attribute(std::string_view name, std::string_view value);
+  bool has_attribute(std::string_view name) const {
+    return attribute(name).has_value();
+  }
+
+  // --- children -------------------------------------------------------
+  const std::vector<Node>& children() const noexcept { return children_; }
+
+  /// Appends and returns a new child element.
+  Element& add_child(std::string name);
+  /// Appends a text node.
+  void add_text(std::string text);
+  /// Appends a comment node.
+  void add_comment(std::string text);
+  /// Appends a CDATA node.
+  void add_cdata(std::string text);
+  /// Appends an already-built element.
+  Element& adopt(std::unique_ptr<Element> child);
+
+  /// All direct child elements, in document order.
+  std::vector<const Element*> child_elements() const;
+  /// Direct child elements whose (full) name matches.
+  std::vector<const Element*> children_named(std::string_view name) const;
+  /// Direct child elements whose *local* name matches (prefix ignored);
+  /// "element" matches both <element> and <xs:element>.
+  std::vector<const Element*> children_local(std::string_view local) const;
+  /// First direct child with the given name, or nullptr.
+  const Element* first_child(std::string_view name) const;
+  /// First direct child with the given local name, or nullptr.
+  const Element* first_child_local(std::string_view local) const;
+
+  /// Concatenated text/CDATA content of this element (direct children).
+  std::string text_content() const;
+
+  /// Number of direct child elements.
+  std::size_t element_count() const;
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<Node> children_;
+};
+
+/// A parsed document: prolog (XML declaration captured verbatim if present)
+/// plus a single root element.
+class Document {
+ public:
+  Document() : root_(std::make_unique<Element>()) {}
+  explicit Document(std::unique_ptr<Element> root) : root_(std::move(root)) {}
+
+  const Element& root() const noexcept { return *root_; }
+  Element& root() noexcept { return *root_; }
+
+  const std::string& declaration() const noexcept { return declaration_; }
+  void set_declaration(std::string decl) { declaration_ = std::move(decl); }
+
+ private:
+  std::unique_ptr<Element> root_;
+  std::string declaration_;
+};
+
+}  // namespace segbus::xml

@@ -1,0 +1,45 @@
+// Recursive-descent XML parser with precise line/column diagnostics.
+//
+// Supports the subset of XML 1.0 the SegBus tool chain produces and a bit
+// more: elements, attributes (single or double quoted), character data,
+// comments, CDATA sections, processing instructions, an optional XML
+// declaration, a skipped DOCTYPE, and the five predefined entities plus
+// decimal/hexadecimal character references.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/status.hpp"
+#include "xml/node.hpp"
+
+namespace segbus::xml {
+
+/// Position inside a source buffer for diagnostics (1-based).
+struct Location {
+  int line = 1;
+  int column = 1;
+};
+
+/// Options controlling lenience of the parser.
+struct ParseOptions {
+  /// Keep whitespace-only text nodes (default drops them, matching the
+  /// pretty-printed schemes the generator produces).
+  bool keep_whitespace_text = false;
+  /// Keep comment nodes in the DOM.
+  bool keep_comments = false;
+};
+
+/// Parses a complete document from `source`. Errors carry "line L, column
+/// C" context.
+Result<Document> parse_document(std::string_view source,
+                                const ParseOptions& options = {});
+
+/// Reads `path` and parses it.
+Result<Document> parse_file(const std::string& path,
+                            const ParseOptions& options = {});
+
+/// Decodes entity and character references in raw character data.
+Result<std::string> decode_entities(std::string_view text);
+
+}  // namespace segbus::xml

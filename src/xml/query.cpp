@@ -1,0 +1,109 @@
+#include "xml/query.hpp"
+
+#include "support/strings.hpp"
+
+namespace segbus::xml {
+
+namespace {
+
+bool step_matches(const QueryStep& step, const Element& element) {
+  if (step.name != "*" && element.name() != step.name &&
+      element.local_name() != step.name) {
+    return false;
+  }
+  if (!step.attr_name.empty()) {
+    auto value = element.attribute(step.attr_name);
+    if (!value || *value != step.attr_value) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<QueryStep>> parse_query(std::string_view path) {
+  if (trim(path).empty()) {
+    return parse_error("empty query path");
+  }
+  std::vector<QueryStep> steps;
+  for (std::string_view raw : split(path, '/')) {
+    raw = trim(raw);
+    if (raw.empty()) {
+      return parse_error("empty step in query path '" + std::string(path) +
+                         "'");
+    }
+    QueryStep step;
+    std::size_t bracket = raw.find('[');
+    if (bracket == std::string_view::npos) {
+      step.name = std::string(raw);
+    } else {
+      step.name = std::string(trim(raw.substr(0, bracket)));
+      std::string_view pred = raw.substr(bracket);
+      // Expect [@name='value'] or [@name="value"].
+      if (pred.size() < 6 || !starts_with(pred, "[@") || !ends_with(pred, "]")) {
+        return parse_error("malformed predicate in step '" + std::string(raw) +
+                           "'");
+      }
+      pred = pred.substr(2, pred.size() - 3);  // name='value'
+      std::size_t eq = pred.find('=');
+      if (eq == std::string_view::npos) {
+        return parse_error("predicate missing '=' in step '" +
+                           std::string(raw) + "'");
+      }
+      step.attr_name = std::string(trim(pred.substr(0, eq)));
+      std::string_view value = trim(pred.substr(eq + 1));
+      if (value.size() < 2 ||
+          !((value.front() == '\'' && value.back() == '\'') ||
+            (value.front() == '"' && value.back() == '"'))) {
+        return parse_error("predicate value must be quoted in step '" +
+                           std::string(raw) + "'");
+      }
+      step.attr_value = std::string(value.substr(1, value.size() - 2));
+      if (step.attr_name.empty()) {
+        return parse_error("predicate with empty attribute name in step '" +
+                           std::string(raw) + "'");
+      }
+    }
+    if (step.name.empty()) {
+      return parse_error("step with empty element name in '" +
+                         std::string(path) + "'");
+    }
+    steps.push_back(std::move(step));
+  }
+  return steps;
+}
+
+Result<std::vector<const Element*>> select_all(const Element& root,
+                                               std::string_view path) {
+  SEGBUS_ASSIGN_OR_RETURN(std::vector<QueryStep> steps, parse_query(path));
+  std::vector<const Element*> frontier = {&root};
+  for (const QueryStep& step : steps) {
+    std::vector<const Element*> next;
+    for (const Element* node : frontier) {
+      for (const Element* child : node->child_elements()) {
+        if (step_matches(step, *child)) next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return frontier;
+}
+
+Result<const Element*> select_first(const Element& root,
+                                    std::string_view path) {
+  SEGBUS_ASSIGN_OR_RETURN(std::vector<const Element*> all,
+                          select_all(root, path));
+  return all.empty() ? nullptr : all.front();
+}
+
+Result<const Element*> require_first(const Element& root,
+                                     std::string_view path) {
+  SEGBUS_ASSIGN_OR_RETURN(const Element* found, select_first(root, path));
+  if (found == nullptr) {
+    return not_found_error("no element matches query '" + std::string(path) +
+                           "'");
+  }
+  return found;
+}
+
+}  // namespace segbus::xml

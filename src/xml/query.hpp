@@ -1,0 +1,44 @@
+// XPath-lite queries over the DOM: slash-separated child steps with
+// optional attribute predicates, e.g.
+//
+//   "xs:complexType[@name='SBP']/xs:all/xs:element"
+//
+// A step of "*" matches any element; step names are compared against the
+// full element name first and then its local name, so "complexType" also
+// matches "xs:complexType". This covers everything the scheme readers need
+// without a full XPath engine.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.hpp"
+#include "xml/node.hpp"
+
+namespace segbus::xml {
+
+/// One parsed path step.
+struct QueryStep {
+  std::string name;          ///< element name or "*"
+  std::string attr_name;     ///< optional predicate attribute (empty if none)
+  std::string attr_value;    ///< required value of the predicate attribute
+};
+
+/// Parses "a/b[@x='y']/c" into steps.
+Result<std::vector<QueryStep>> parse_query(std::string_view path);
+
+/// All descendants of `root` matching the path (root itself is the context
+/// node; the first step selects among its children).
+Result<std::vector<const Element*>> select_all(const Element& root,
+                                               std::string_view path);
+
+/// First match or nullptr (error only for malformed paths).
+Result<const Element*> select_first(const Element& root,
+                                    std::string_view path);
+
+/// First match; NotFound error when nothing matches.
+Result<const Element*> require_first(const Element& root,
+                                     std::string_view path);
+
+}  // namespace segbus::xml

@@ -1,0 +1,166 @@
+#include "xml/writer.hpp"
+
+#include <fstream>
+
+namespace segbus::xml {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text,
+                    bool for_attribute) {
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"':
+        if (for_attribute) {
+          out += "&quot;";
+        } else {
+          out += c;
+        }
+        break;
+      default: out += c;
+    }
+  }
+}
+
+/// True when the element contains only text/CDATA children (rendered on one
+/// line, like <name>value</name>).
+bool is_textual_only(const Element& element) {
+  for (const Node& node : element.children()) {
+    if (node.is_element()) return false;
+  }
+  return true;
+}
+
+void write_node(std::string& out, const Element& element,
+                const WriteOptions& options, int depth) {
+  auto emit_indent = [&](int d) {
+    if (options.indent.empty()) return;
+    for (int i = 0; i < d; ++i) out += options.indent;
+  };
+
+  emit_indent(depth);
+  out += '<';
+  out += element.name();
+  for (const Attribute& attr : element.attributes()) {
+    out += ' ';
+    out += attr.name;
+    out += "=\"";
+    append_escaped(out, attr.value, /*for_attribute=*/true);
+    out += '"';
+  }
+  if (element.children().empty()) {
+    out += "/>";
+    if (!options.indent.empty()) out += '\n';
+    return;
+  }
+  out += '>';
+  if (is_textual_only(element)) {
+    for (const Node& node : element.children()) {
+      if (node.kind() == NodeKind::kCData) {
+        out += "<![CDATA[";
+        out += node.text();
+        out += "]]>";
+      } else if (node.kind() == NodeKind::kComment) {
+        out += "<!--";
+        out += node.text();
+        out += "-->";
+      } else {
+        append_escaped(out, node.text(), /*for_attribute=*/false);
+      }
+    }
+    out += "</";
+    out += element.name();
+    out += '>';
+    if (!options.indent.empty()) out += '\n';
+    return;
+  }
+  if (!options.indent.empty()) out += '\n';
+  for (const Node& node : element.children()) {
+    switch (node.kind()) {
+      case NodeKind::kElement:
+        write_node(out, node.element(), options, depth + 1);
+        break;
+      case NodeKind::kText: {
+        emit_indent(depth + 1);
+        append_escaped(out, node.text(), /*for_attribute=*/false);
+        if (!options.indent.empty()) out += '\n';
+        break;
+      }
+      case NodeKind::kComment:
+        emit_indent(depth + 1);
+        out += "<!--";
+        out += node.text();
+        out += "-->";
+        if (!options.indent.empty()) out += '\n';
+        break;
+      case NodeKind::kCData:
+        emit_indent(depth + 1);
+        out += "<![CDATA[";
+        out += node.text();
+        out += "]]>";
+        if (!options.indent.empty()) out += '\n';
+        break;
+    }
+  }
+  emit_indent(depth);
+  out += "</";
+  out += element.name();
+  out += '>';
+  if (!options.indent.empty()) out += '\n';
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped(out, text, /*for_attribute=*/false);
+  return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped(out, text, /*for_attribute=*/true);
+  return out;
+}
+
+std::string write_element(const Element& element,
+                          const WriteOptions& options) {
+  std::string out;
+  write_node(out, element, options, 0);
+  return out;
+}
+
+std::string write_document(const Document& document,
+                           const WriteOptions& options) {
+  std::string out;
+  if (options.emit_declaration) {
+    if (!document.declaration().empty()) {
+      out += "<?xml ";
+      out += document.declaration();
+      out += "?>";
+    } else {
+      out += "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    }
+    if (!options.indent.empty()) out += '\n';
+  }
+  write_node(out, document.root(), options, 0);
+  return out;
+}
+
+Status write_file(const Document& document, const std::string& path,
+                  const WriteOptions& options) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return invalid_argument_error("cannot open file for writing: " + path);
+  }
+  file << write_document(document, options);
+  if (!file) return internal_error("short write to file: " + path);
+  return Status::ok();
+}
+
+}  // namespace segbus::xml

@@ -1,0 +1,40 @@
+// XML serialization: pretty-printed or compact, with correct escaping.
+// Round-trips with the parser (tested property: parse(write(doc)) == doc).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/status.hpp"
+#include "xml/node.hpp"
+
+namespace segbus::xml {
+
+/// Serialization options.
+struct WriteOptions {
+  /// Indentation per nesting level; empty means compact single-line output.
+  std::string indent = "   ";
+  /// Emit an XML declaration ('<?xml version="1.0" encoding="UTF-8"?>' by
+  /// default; the document's own declaration wins if present).
+  bool emit_declaration = true;
+};
+
+/// Serializes an element subtree.
+std::string write_element(const Element& element,
+                          const WriteOptions& options = {});
+
+/// Serializes a whole document.
+std::string write_document(const Document& document,
+                           const WriteOptions& options = {});
+
+/// Writes the document to `path`.
+Status write_file(const Document& document, const std::string& path,
+                  const WriteOptions& options = {});
+
+/// Escapes character data (&, <, >) for element content.
+std::string escape_text(std::string_view text);
+
+/// Escapes an attribute value (&, <, >, ").
+std::string escape_attribute(std::string_view text);
+
+}  // namespace segbus::xml

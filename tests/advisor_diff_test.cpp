@@ -1,0 +1,201 @@
+// Tests of the configuration advisor and the result-diff tool.
+#include <gtest/gtest.h>
+
+#include "apps/mp3.hpp"
+#include "core/advisor.hpp"
+#include "core/diff.hpp"
+#include "emu/engine.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::core {
+namespace {
+
+emu::EmulationResult run(const psdf::PsdfModel& app,
+                         const platform::PlatformModel& platform) {
+  auto engine = emu::Engine::create(app, platform);
+  EXPECT_TRUE(engine.is_ok()) << engine.status().to_string();
+  auto result = engine->run();
+  EXPECT_TRUE(result.is_ok());
+  return std::move(result).value();
+}
+
+bool has_kind(const std::vector<Advice>& advice, AdviceKind kind) {
+  for (const Advice& a : advice) {
+    if (a.kind == kind) return true;
+  }
+  return false;
+}
+
+// --- advisor ------------------------------------------------------------------
+
+TEST(Advisor, FlagsDominantCrossSegmentFlow) {
+  // One heavy flow straddling the border dominates inter-segment traffic.
+  psdf::PsdfModel app("a");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  for (const char* name : {"A", "B", "L1", "L2"}) {
+    ASSERT_TRUE(app.add_process(name).is_ok());
+  }
+  ASSERT_TRUE(app.add_flow("A", "B", 1440, 1, 50).is_ok());  // 40 crossing
+  ASSERT_TRUE(app.add_flow("L1", "L2", 36, 1, 50).is_ok());  // local
+  platform::PlatformModel platform("P");
+  ASSERT_TRUE(platform.set_package_size(36).is_ok());
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("L1", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("L2", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 1).is_ok());
+  auto result = run(app, platform);
+  auto advice = advise(app, platform, result);
+  ASSERT_TRUE(advice.is_ok()) << advice.status().to_string();
+  ASSERT_TRUE(has_kind(*advice, AdviceKind::kMoveProcess));
+  // The message names the offending endpoints.
+  std::string rendered = render_advice(*advice);
+  EXPECT_NE(rendered.find("A -> B"), std::string::npos);
+}
+
+TEST(Advisor, FlagsUnusedSegmentation) {
+  psdf::PsdfModel app("a");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  ASSERT_TRUE(app.add_process("A").is_ok());
+  ASSERT_TRUE(app.add_process("B").is_ok());
+  ASSERT_TRUE(app.add_process("Spare").is_ok());
+  ASSERT_TRUE(app.add_flow("A", "B", 360, 1, 50).is_ok());
+  platform::PlatformModel platform("P");
+  ASSERT_TRUE(platform.set_package_size(36).is_ok());
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("Spare", 1).is_ok());
+  auto advice = advise(app, platform, run(app, platform));
+  ASSERT_TRUE(advice.is_ok());
+  EXPECT_TRUE(has_kind(*advice, AdviceKind::kReduceSegments));
+}
+
+TEST(Advisor, FlagsBusSaturation) {
+  // Near-zero compute with constant transfers saturates the bus.
+  psdf::PsdfModel app("a");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    ASSERT_TRUE(app.add_process(name).is_ok());
+  }
+  ASSERT_TRUE(app.add_flow("A", "B", 3600, 1, 1).is_ok());
+  ASSERT_TRUE(app.add_flow("C", "D", 3600, 1, 1).is_ok());
+  platform::PlatformModel platform("P");
+  ASSERT_TRUE(platform.set_package_size(36).is_ok());
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    ASSERT_TRUE(platform.map_process(name, 0).is_ok());
+  }
+  auto advice = advise(app, platform, run(app, platform));
+  ASSERT_TRUE(advice.is_ok());
+  EXPECT_TRUE(has_kind(*advice, AdviceKind::kBusBound));
+}
+
+TEST(Advisor, FlagsTinyPackages) {
+  psdf::PsdfModel app("a");
+  ASSERT_TRUE(app.set_package_size(8).is_ok());
+  ASSERT_TRUE(app.add_process("A").is_ok());
+  ASSERT_TRUE(app.add_process("B").is_ok());
+  ASSERT_TRUE(app.add_flow("A", "B", 800, 1, 20).is_ok());
+  platform::PlatformModel platform("P");
+  ASSERT_TRUE(platform.set_package_size(8).is_ok());
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 0).is_ok());
+  auto advice = advise(app, platform, run(app, platform));
+  ASSERT_TRUE(advice.is_ok());
+  EXPECT_TRUE(has_kind(*advice, AdviceKind::kIncreasePackage));
+}
+
+TEST(Advisor, BalancedMp3GivesStageOrBalancedFinding) {
+  // The paper's 3-segment MP3 mapping is mostly sane: the advisor should
+  // not cry wolf about saturation or unused segments.
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto advice = advise(*app, *platform, run(*app, *platform));
+  ASSERT_TRUE(advice.is_ok());
+  EXPECT_FALSE(has_kind(*advice, AdviceKind::kBusBound));
+  EXPECT_FALSE(has_kind(*advice, AdviceKind::kReduceSegments));
+  EXPECT_FALSE(advice->empty());
+}
+
+TEST(Advisor, KindNamesComplete) {
+  for (auto kind :
+       {AdviceKind::kMoveProcess, AdviceKind::kBusBound,
+        AdviceKind::kDominantStage, AdviceKind::kReduceSegments,
+        AdviceKind::kIncreasePackage, AdviceKind::kLooksBalanced}) {
+    EXPECT_NE(advice_kind_name(kind), "?");
+  }
+}
+
+// --- diff ----------------------------------------------------------------------
+
+TEST(Diff, IdenticalRunsDiffToZero) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto a = run(*app, *platform);
+  auto b = run(*app, *platform);
+  auto diff = diff_results(a, b);
+  ASSERT_TRUE(diff.is_ok());
+  EXPECT_TRUE(diff->significant(0.0001).empty());
+}
+
+TEST(Diff, P9MoveShowsUpInTheRightMetrics) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto base_platform = apps::mp3_platform_three_segments(*app);
+  auto moved_platform = apps::mp3_platform_p9_moved(*app);
+  ASSERT_TRUE(base_platform.is_ok());
+  ASSERT_TRUE(moved_platform.is_ok());
+  auto diff =
+      diff_results(run(*app, *base_platform), run(*app, *moved_platform));
+  ASSERT_TRUE(diff.is_ok());
+  bool exec_regressed = false;
+  bool bu_traffic_grew = false;
+  for (const DiffRow& row : diff->rows) {
+    if (row.metric == "total execution (us)" && row.delta() > 0) {
+      exec_regressed = true;
+    }
+    if (row.metric == "BU#0 packages" && row.delta() > 0) {
+      bu_traffic_grew = true;
+    }
+  }
+  EXPECT_TRUE(exec_regressed);
+  EXPECT_TRUE(bu_traffic_grew);
+  std::string rendered = diff->render();
+  EXPECT_NE(rendered.find("delta %"), std::string::npos);
+  EXPECT_NE(rendered.find("BU#1 packages"), std::string::npos);
+}
+
+TEST(Diff, ShapeMismatchRejected) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto three = apps::mp3_platform_three_segments(*app);
+  auto one = apps::mp3_platform_one_segment(*app);
+  ASSERT_TRUE(three.is_ok());
+  ASSERT_TRUE(one.is_ok());
+  auto diff = diff_results(run(*app, *three), run(*app, *one));
+  EXPECT_FALSE(diff.is_ok());
+}
+
+TEST(Diff, DeltaPercentEdgeCases) {
+  DiffRow zero{"x", 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(zero.delta_percent(), 0.0);
+  DiffRow from_zero{"x", 0.0, 5.0};
+  EXPECT_DOUBLE_EQ(from_zero.delta_percent(), 100.0);
+  DiffRow halved{"x", 10.0, 5.0};
+  EXPECT_DOUBLE_EQ(halved.delta_percent(), -50.0);
+}
+
+}  // namespace
+}  // namespace segbus::core

@@ -1,0 +1,110 @@
+// Tests of the batch experiment-grid runner and its exports.
+#include <gtest/gtest.h>
+
+#include "apps/mp3.hpp"
+#include "core/batch.hpp"
+
+namespace segbus::core {
+namespace {
+
+GridSpec small_spec() {
+  GridSpec spec;
+  spec.package_sizes = {36};
+  spec.allocations = {{"3seg", apps::mp3_allocation(3)},
+                      {"1seg", apps::mp3_allocation(1)}};
+  spec.timings = {{"emulator", emu::TimingModel::emulator()}};
+  spec.segment_clocks = {Frequency::from_mhz(91), Frequency::from_mhz(98),
+                         Frequency::from_mhz(89)};
+  return spec;
+}
+
+AppFactory mp3_factory() {
+  return [](std::uint32_t package) {
+    return apps::mp3_decoder_psdf(package);
+  };
+}
+
+TEST(Batch, RunsEveryCombination) {
+  GridSpec spec = small_spec();
+  spec.package_sizes = {36, 18};
+  auto report = run_grid(mp3_factory(), spec);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->entries.size(), 4u);  // 2 packages x 2 allocations
+  for (const GridEntry& entry : report->entries) {
+    EXPECT_GT(entry.execution_time.count(), 0);
+    EXPECT_GT(entry.ca_tct, 0u);
+    EXPECT_LE(entry.analytic_lower_bound, entry.execution_time);
+  }
+}
+
+TEST(Batch, SegmentCountDerivedFromAllocation) {
+  GridSpec spec = small_spec();
+  auto report = run_grid(mp3_factory(), spec);
+  ASSERT_TRUE(report.is_ok());
+  // The 1-segment allocation has no inter-segment traffic.
+  for (const GridEntry& entry : report->entries) {
+    if (entry.allocation == "1seg") {
+      EXPECT_EQ(entry.inter_segment_packages, 0u);
+    } else {
+      EXPECT_GT(entry.inter_segment_packages, 0u);
+    }
+  }
+}
+
+TEST(Batch, AnalyticCanBeDisabled) {
+  GridSpec spec = small_spec();
+  spec.analytic = false;
+  auto report = run_grid(mp3_factory(), spec);
+  ASSERT_TRUE(report.is_ok());
+  for (const GridEntry& entry : report->entries) {
+    EXPECT_EQ(entry.analytic_lower_bound.count(), 0);
+    EXPECT_EQ(entry.analytic_estimate.count(), 0);
+  }
+}
+
+TEST(Batch, RejectsEmptyAxes) {
+  GridSpec spec = small_spec();
+  spec.package_sizes.clear();
+  EXPECT_FALSE(run_grid(mp3_factory(), spec).is_ok());
+  spec = small_spec();
+  spec.allocations.clear();
+  EXPECT_FALSE(run_grid(mp3_factory(), spec).is_ok());
+  spec = small_spec();
+  spec.timings.clear();
+  EXPECT_FALSE(run_grid(mp3_factory(), spec).is_ok());
+  spec = small_spec();
+  spec.segment_clocks.clear();
+  EXPECT_FALSE(run_grid(mp3_factory(), spec).is_ok());
+  EXPECT_FALSE(run_grid(nullptr, small_spec()).is_ok());
+}
+
+TEST(Batch, PropagatesFactoryErrors) {
+  auto report = run_grid(
+      [](std::uint32_t) -> Result<psdf::PsdfModel> {
+        return invalid_argument_error("factory says no");
+      },
+      small_spec());
+  ASSERT_FALSE(report.is_ok());
+  EXPECT_NE(report.status().message().find("factory says no"),
+            std::string::npos);
+}
+
+TEST(Batch, RendersAndExports) {
+  auto report = run_grid(mp3_factory(), small_spec());
+  ASSERT_TRUE(report.is_ok());
+  std::string table = report->render();
+  EXPECT_NE(table.find("3seg"), std::string::npos);
+  EXPECT_NE(table.find("emulator"), std::string::npos);
+
+  CsvWriter csv = report->to_csv();
+  EXPECT_EQ(csv.row_count(), report->entries.size());
+  EXPECT_NE(csv.to_string().find("package_size,allocation"),
+            std::string::npos);
+
+  std::string json = report->to_json().to_string();
+  EXPECT_NE(json.find("\"allocation\":\"1seg\""), std::string::npos);
+  EXPECT_NE(json.find("\"execution_ps\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus::core

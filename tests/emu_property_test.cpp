@@ -1,0 +1,304 @@
+// Property-based tests of the emulator: randomized layered PSDF graphs on
+// randomized platforms, checked against invariants that must hold for every
+// run — package conservation, termination, monotonic accounting, and
+// sequential/parallel equivalence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "emu/engine.hpp"
+#include "emu/parallel.hpp"
+#include "core/analytic.hpp"
+#include "psdf/comm_matrix.hpp"
+#include "psdf/validate.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::emu {
+namespace {
+
+struct Scenario {
+  psdf::PsdfModel app;
+  platform::PlatformModel platform;
+};
+
+/// Generates a random layered dataflow (guaranteed valid: stage ordering
+/// follows layers) mapped onto a random multi-clock platform.
+Scenario make_scenario(std::uint64_t seed, std::uint32_t num_segments,
+                       std::uint32_t package_size) {
+  Xoshiro256 rng(seed);
+  Scenario scenario;
+  scenario.app = psdf::PsdfModel(str_format("rand%llu",
+                                            static_cast<unsigned long long>(
+                                                seed)));
+  EXPECT_TRUE(scenario.app.set_package_size(package_size).is_ok());
+
+  const auto layers = static_cast<std::uint32_t>(rng.next_in(2, 4));
+  std::vector<std::vector<psdf::ProcessId>> layer_members(layers);
+  std::uint32_t counter = 0;
+  for (std::uint32_t layer = 0; layer < layers; ++layer) {
+    const auto width = static_cast<std::uint32_t>(rng.next_in(1, 3));
+    for (std::uint32_t i = 0; i < width; ++i) {
+      auto id = scenario.app.add_process(str_format("P%u", counter++));
+      EXPECT_TRUE(id.is_ok());
+      layer_members[layer].push_back(*id);
+    }
+  }
+  // Every process in layer L sends to >= 1 process in layer L+1.
+  for (std::uint32_t layer = 0; layer + 1 < layers; ++layer) {
+    for (psdf::ProcessId source : layer_members[layer]) {
+      const auto& next = layer_members[layer + 1];
+      const std::size_t fanout =
+          1 + rng.next_below(std::min<std::size_t>(next.size(), 2));
+      for (std::size_t f = 0; f < fanout; ++f) {
+        psdf::ProcessId target = next[rng.next_below(next.size())];
+        auto items = static_cast<std::uint64_t>(rng.next_in(1, 400));
+        auto ticks = static_cast<std::uint64_t>(rng.next_in(0, 120));
+        // Duplicate (source, target, ordering) triples are rejected;
+        // skip silently — fanout is best-effort.
+        (void)scenario.app.add_flow(source, target, items, layer + 1,
+                                    ticks);
+      }
+    }
+  }
+
+  scenario.platform = platform::PlatformModel("rand");
+  EXPECT_TRUE(scenario.platform.set_package_size(package_size).is_ok());
+  EXPECT_TRUE(scenario.platform
+                  .set_ca_clock(Frequency::from_mhz(
+                      static_cast<double>(rng.next_in(80, 160))))
+                  .is_ok());
+  for (std::uint32_t s = 0; s < num_segments; ++s) {
+    EXPECT_TRUE(scenario.platform
+                    .add_segment(Frequency::from_mhz(
+                        static_cast<double>(rng.next_in(60, 140))))
+                    .is_ok());
+  }
+  // Random allocation with every segment seeded once.
+  const std::size_t n = scenario.app.process_count();
+  std::vector<std::uint32_t> allocation(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    allocation[i] = i < num_segments
+                        ? static_cast<std::uint32_t>(i)
+                        : static_cast<std::uint32_t>(
+                              rng.next_below(num_segments));
+  }
+  for (const psdf::Process& p : scenario.app.processes()) {
+    EXPECT_TRUE(
+        scenario.platform.map_process(p.name, allocation[p.id]).is_ok());
+  }
+  return scenario;
+}
+
+using Params = std::tuple<std::uint64_t /*seed*/, std::uint32_t /*segments*/,
+                          std::uint32_t /*package*/>;
+
+class EmuPropertyTest : public testing::TestWithParam<Params> {};
+
+TEST_P(EmuPropertyTest, InvariantsHold) {
+  auto [seed, segments, package] = GetParam();
+  Scenario scenario = make_scenario(seed, segments, package);
+  ASSERT_TRUE(psdf::validate_or_error(scenario.app).is_ok());
+
+  auto engine = Engine::create(scenario.app, scenario.platform);
+  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
+  auto result = engine->run();
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  // Termination: every run completes (deadlock freedom).
+  EXPECT_TRUE(result->completed);
+
+  // Package conservation per process.
+  const std::uint32_t s = scenario.platform.package_size();
+  for (const psdf::Process& p : scenario.app.processes()) {
+    std::uint64_t expect_sent = 0;
+    for (const psdf::Flow& f : scenario.app.flows_from(p.id)) {
+      expect_sent += psdf::packages_for(f.data_items, s);
+    }
+    std::uint64_t expect_received = 0;
+    for (const psdf::Flow& f : scenario.app.flows_into(p.id)) {
+      expect_received += psdf::packages_for(f.data_items, s);
+    }
+    EXPECT_EQ(result->processes[p.id].packages_sent, expect_sent)
+        << p.name;
+    EXPECT_EQ(result->processes[p.id].packages_received, expect_received)
+        << p.name;
+    EXPECT_TRUE(result->processes[p.id].flag);
+  }
+
+  // BU conservation: everything loaded was unloaded; UP is exactly two
+  // package-times per traversal.
+  for (const BuStats& bu : result->bus) {
+    EXPECT_EQ(bu.total_input(), bu.total_output());
+    EXPECT_EQ(bu.total_input(), bu.transfers);
+    EXPECT_EQ(bu.up_ticks, bu.transfers * 2 * s);
+    EXPECT_EQ(bu.tct, bu.up_ticks + bu.wp_ticks);
+  }
+
+  // Request accounting: per-package counting at the SAs and CA.
+  std::uint64_t expect_inter = 0;
+  std::uint64_t expect_intra = 0;
+  for (const psdf::Flow& f : scenario.app.flows()) {
+    auto src = scenario.platform.segment_of(
+        scenario.app.process(f.source).name);
+    auto dst = scenario.platform.segment_of(
+        scenario.app.process(f.target).name);
+    const std::uint64_t packages = psdf::packages_for(f.data_items, s);
+    if (*src == *dst) {
+      expect_intra += packages;
+    } else {
+      expect_inter += packages;
+    }
+  }
+  std::uint64_t intra = 0, inter = 0;
+  for (const SaStats& sa : result->sas) {
+    intra += sa.intra_requests;
+    inter += sa.inter_requests;
+  }
+  EXPECT_EQ(intra, expect_intra);
+  EXPECT_EQ(inter, expect_inter);
+  EXPECT_EQ(result->ca.inter_requests, expect_inter);
+  EXPECT_EQ(result->ca.grants, expect_inter);
+
+  // The closed-form lower bound can never exceed the emulated time.
+  auto bound = core::analytic_lower_bound(scenario.app, scenario.platform);
+  ASSERT_TRUE(bound.is_ok()) << bound.status().to_string();
+  EXPECT_LE(bound->total, result->total_execution_time);
+
+  // Accounting sanity.
+  EXPECT_GE(result->total_execution_time, result->last_delivery_time);
+  Picoseconds max_element = result->ca.execution_time;
+  for (const SaStats& sa : result->sas) {
+    max_element = std::max(max_element, sa.execution_time);
+  }
+  EXPECT_EQ(result->total_execution_time, max_element);
+}
+
+TEST_P(EmuPropertyTest, DeterministicAcrossRuns) {
+  auto [seed, segments, package] = GetParam();
+  Scenario scenario = make_scenario(seed, segments, package);
+  auto run_once = [&]() {
+    auto engine = Engine::create(scenario.app, scenario.platform);
+    EXPECT_TRUE(engine.is_ok());
+    auto result = engine->run();
+    EXPECT_TRUE(result.is_ok());
+    return std::move(result).value();
+  };
+  EmulationResult a = run_once();
+  EmulationResult b = run_once();
+  EXPECT_EQ(a.total_execution_time, b.total_execution_time);
+  EXPECT_EQ(a.ca.tct, b.ca.tct);
+  for (std::size_t i = 0; i < a.processes.size(); ++i) {
+    EXPECT_EQ(a.processes[i].start_time, b.processes[i].start_time);
+    EXPECT_EQ(a.processes[i].end_time, b.processes[i].end_time);
+  }
+}
+
+TEST_P(EmuPropertyTest, ParallelEngineBitIdentical) {
+  auto [seed, segments, package] = GetParam();
+  Scenario scenario = make_scenario(seed, segments, package);
+  auto sequential = Engine::create(scenario.app, scenario.platform);
+  ASSERT_TRUE(sequential.is_ok());
+  auto expected = sequential->run();
+  ASSERT_TRUE(expected.is_ok());
+
+  auto parallel = ParallelEngine::create(scenario.app, scenario.platform,
+                                         TimingModel::emulator(), {},
+                                         /*num_threads=*/2);
+  ASSERT_TRUE(parallel.is_ok());
+  auto actual = (*parallel)->run();
+  ASSERT_TRUE(actual.is_ok());
+
+  EXPECT_EQ(actual->total_execution_time, expected->total_execution_time);
+  EXPECT_EQ(actual->last_delivery_time, expected->last_delivery_time);
+  EXPECT_EQ(actual->ca.tct, expected->ca.tct);
+  EXPECT_EQ(actual->ca.inter_requests, expected->ca.inter_requests);
+  for (std::size_t i = 0; i < expected->sas.size(); ++i) {
+    EXPECT_EQ(actual->sas[i].tct, expected->sas[i].tct);
+    EXPECT_EQ(actual->sas[i].intra_requests,
+              expected->sas[i].intra_requests);
+    EXPECT_EQ(actual->sas[i].inter_requests,
+              expected->sas[i].inter_requests);
+  }
+  for (std::size_t i = 0; i < expected->bus.size(); ++i) {
+    EXPECT_EQ(actual->bus[i].tct, expected->bus[i].tct);
+    EXPECT_EQ(actual->bus[i].wp_ticks, expected->bus[i].wp_ticks);
+    EXPECT_EQ(actual->bus[i].transfers, expected->bus[i].transfers);
+  }
+  for (std::size_t i = 0; i < expected->processes.size(); ++i) {
+    EXPECT_EQ(actual->processes[i].start_time,
+              expected->processes[i].start_time);
+    EXPECT_EQ(actual->processes[i].end_time,
+              expected->processes[i].end_time);
+  }
+}
+
+TEST_P(EmuPropertyTest, PipelinedProtocolKeepsInvariants) {
+  auto [seed, segments, package] = GetParam();
+  Scenario scenario = make_scenario(seed, segments, package);
+  TimingModel timing = TimingModel::emulator();
+  timing.circuit_switched = false;
+  auto engine = Engine::create(scenario.app, scenario.platform, timing);
+  ASSERT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  ASSERT_TRUE(result.is_ok());
+  // Deadlock freedom and conservation hold under virtual cut-through.
+  EXPECT_TRUE(result->completed);
+  const std::uint32_t s = scenario.platform.package_size();
+  for (const psdf::Process& p : scenario.app.processes()) {
+    std::uint64_t expect_received = 0;
+    for (const psdf::Flow& f : scenario.app.flows_into(p.id)) {
+      expect_received += psdf::packages_for(f.data_items, s);
+    }
+    EXPECT_EQ(result->processes[p.id].packages_received, expect_received);
+    EXPECT_TRUE(result->processes[p.id].flag);
+  }
+  for (const BuStats& bu : result->bus) {
+    EXPECT_EQ(bu.total_input(), bu.total_output());
+    EXPECT_EQ(bu.up_ticks, bu.transfers * 2 * s);
+    EXPECT_EQ(bu.tct, bu.up_ticks + bu.wp_ticks);
+  }
+
+  // And the parallel engine stays bit-identical in this mode too.
+  auto parallel = ParallelEngine::create(scenario.app, scenario.platform,
+                                         timing, {}, /*num_threads=*/2);
+  ASSERT_TRUE(parallel.is_ok());
+  auto parallel_result = (*parallel)->run();
+  ASSERT_TRUE(parallel_result.is_ok());
+  EXPECT_EQ(parallel_result->total_execution_time,
+            result->total_execution_time);
+  EXPECT_EQ(parallel_result->ca.tct, result->ca.tct);
+}
+
+TEST_P(EmuPropertyTest, ReferenceTimingNeverFaster) {
+  auto [seed, segments, package] = GetParam();
+  Scenario scenario = make_scenario(seed, segments, package);
+  auto est = Engine::create(scenario.app, scenario.platform,
+                            TimingModel::emulator());
+  auto ref = Engine::create(scenario.app, scenario.platform,
+                            TimingModel::reference());
+  ASSERT_TRUE(est.is_ok());
+  ASSERT_TRUE(ref.is_ok());
+  auto est_result = est->run();
+  auto ref_result = ref->run();
+  ASSERT_TRUE(est_result.is_ok());
+  ASSERT_TRUE(ref_result.is_ok());
+  EXPECT_LE(est_result->total_execution_time,
+            ref_result->total_execution_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EmuPropertyTest,
+    testing::Combine(testing::Values(1u, 2u, 3u, 5u, 8u, 13u),
+                     testing::Values(1u, 2u, 3u),
+                     testing::Values(36u, 18u, 7u)),
+    [](const testing::TestParamInfo<Params>& info) {
+      return str_format("seed%llu_seg%u_pkg%u",
+                        static_cast<unsigned long long>(
+                            std::get<0>(info.param)),
+                        std::get<1>(info.param), std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace segbus::emu

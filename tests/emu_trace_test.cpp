@@ -1,0 +1,314 @@
+// Tests of the emulator's observability features: the protocol event
+// trace, per-flow latency statistics, and utilization figures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/mp3.hpp"
+#include "emu/engine.hpp"
+#include "emu/trace.hpp"
+#include "emu/vcd.hpp"
+#include "support/strings.hpp"
+
+#include <fstream>
+
+namespace segbus::emu {
+namespace {
+
+/// A -> B across two 100 MHz segments, two packages.
+struct Fixture {
+  psdf::PsdfModel app{"t"};
+  platform::PlatformModel platform{"T"};
+  Fixture() {
+    EXPECT_TRUE(app.set_package_size(36).is_ok());
+    EXPECT_TRUE(app.add_process("A").is_ok());
+    EXPECT_TRUE(app.add_process("B").is_ok());
+    EXPECT_TRUE(app.add_flow("A", "B", 72, 1, 50).is_ok());
+    EXPECT_TRUE(platform.set_package_size(36).is_ok());
+    EXPECT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+    EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+    EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+    EXPECT_TRUE(platform.map_process("A", 0).is_ok());
+    EXPECT_TRUE(platform.map_process("B", 1).is_ok());
+  }
+
+  EmulationResult run(bool record_trace) {
+    EngineOptions options;
+    options.record_trace = record_trace;
+    auto engine =
+        Engine::create(app, platform, TimingModel::emulator(), options);
+    EXPECT_TRUE(engine.is_ok());
+    auto result = engine->run();
+    EXPECT_TRUE(result.is_ok());
+    EXPECT_TRUE(result->completed);
+    return std::move(result).value();
+  }
+};
+
+std::size_t count_kind(const std::vector<TraceEvent>& events,
+                       TraceKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(), [&](const TraceEvent& e) {
+        return e.kind == kind;
+      }));
+}
+
+// --- trace ------------------------------------------------------------------------
+
+TEST(EmuTrace, DisabledByDefault) {
+  Fixture fixture;
+  EXPECT_TRUE(fixture.run(false).trace.empty());
+}
+
+TEST(EmuTrace, EventCountsMatchProtocol) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  // Two packages, each: compute, request, CA grant, BU load, BU unload,
+  // delivery; plus one termination and at least one stage-open... the
+  // single stage never advances, so no stage-open events.
+  EXPECT_EQ(count_kind(result.trace, TraceKind::kComputeStart), 2u);
+  EXPECT_EQ(count_kind(result.trace, TraceKind::kRequest), 2u);
+  EXPECT_EQ(count_kind(result.trace, TraceKind::kGrant), 2u);
+  EXPECT_EQ(count_kind(result.trace, TraceKind::kBuLoad), 2u);
+  EXPECT_EQ(count_kind(result.trace, TraceKind::kBuUnload), 2u);
+  EXPECT_EQ(count_kind(result.trace, TraceKind::kDelivery), 2u);
+  EXPECT_EQ(count_kind(result.trace, TraceKind::kTermination), 1u);
+  // Reservation: both segments reserved per package.
+  EXPECT_EQ(count_kind(result.trace, TraceKind::kReserve), 4u);
+}
+
+TEST(EmuTrace, EventsAreTimeOrdered) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  ASSERT_FALSE(result.trace.empty());
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i - 1].time, result.trace[i].time);
+  }
+  // The last event is the termination.
+  EXPECT_EQ(result.trace.back().kind, TraceKind::kTermination);
+}
+
+TEST(EmuTrace, PerPackageCausality) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  // For package 0 of flow 0: compute < request < grant < load < unload <
+  // delivery.
+  auto time_of = [&](TraceKind kind) {
+    for (const TraceEvent& e : result.trace) {
+      if (e.kind == kind && e.package == 0) return e.time;
+    }
+    ADD_FAILURE() << "missing event " << trace_kind_name(kind);
+    return Picoseconds(0);
+  };
+  Picoseconds compute = time_of(TraceKind::kComputeStart);
+  Picoseconds request = time_of(TraceKind::kRequest);
+  Picoseconds grant = time_of(TraceKind::kGrant);
+  Picoseconds load = time_of(TraceKind::kBuLoad);
+  Picoseconds unload = time_of(TraceKind::kBuUnload);
+  Picoseconds delivery = time_of(TraceKind::kDelivery);
+  EXPECT_LT(compute, request);
+  EXPECT_LT(request, grant);
+  EXPECT_LT(grant, load);
+  EXPECT_LT(load, unload);
+  EXPECT_LE(unload, delivery);
+}
+
+TEST(EmuTrace, RenderIncludesDomainsAndKinds) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  std::string text = render_trace(result.trace, result.domain_names);
+  EXPECT_NE(text.find("[CA"), std::string::npos);
+  EXPECT_NE(text.find("[Segment 1"), std::string::npos);
+  EXPECT_NE(text.find("bu-load"), std::string::npos);
+  EXPECT_NE(text.find("termination"), std::string::npos);
+}
+
+TEST(EmuTrace, RenderTruncates) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  std::string text = render_trace(result.trace, result.domain_names,
+                                  /*max_events=*/3);
+  EXPECT_NE(text.find("more events"), std::string::npos);
+}
+
+TEST(EmuTrace, KindNamesComplete) {
+  for (auto kind :
+       {TraceKind::kComputeStart, TraceKind::kRequest, TraceKind::kGrant,
+        TraceKind::kDelivery, TraceKind::kBuLoad, TraceKind::kBuUnload,
+        TraceKind::kReserve, TraceKind::kRelease, TraceKind::kStageOpen,
+        TraceKind::kTermination}) {
+    EXPECT_NE(trace_kind_name(kind), "?");
+  }
+}
+
+// --- VCD export ----------------------------------------------------------------------
+
+TEST(EmuVcd, RequiresTrace) {
+  Fixture fixture;
+  EmulationResult without = fixture.run(false);
+  auto vcd = trace_to_vcd(without, fixture.platform);
+  ASSERT_FALSE(vcd.is_ok());
+  EXPECT_EQ(vcd.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EmuVcd, DeclaresAllSignals) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  auto vcd = trace_to_vcd(result, fixture.platform);
+  ASSERT_TRUE(vcd.is_ok()) << vcd.status().to_string();
+  EXPECT_NE(vcd->find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd->find("seg1_reserved"), std::string::npos);
+  EXPECT_NE(vcd->find("seg2_reserved"), std::string::npos);
+  EXPECT_NE(vcd->find("bu12_occupied"), std::string::npos);
+  EXPECT_NE(vcd->find("flow_A_to_B"), std::string::npos);
+  EXPECT_NE(vcd->find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(EmuVcd, TimestampsAreMonotonic) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  auto vcd = trace_to_vcd(result, fixture.platform);
+  ASSERT_TRUE(vcd.is_ok());
+  std::int64_t previous = -1;
+  for (std::string_view line : split(*vcd, '\n')) {
+    if (line.empty() || line.front() != '#') continue;
+    auto t = parse_int(line.substr(1));
+    ASSERT_TRUE(t.has_value()) << line;
+    EXPECT_GE(*t, previous);
+    previous = *t;
+  }
+  EXPECT_EQ(previous, result.total_execution_time.count());
+}
+
+TEST(EmuVcd, BuOccupancyTogglesPerPackage) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  auto vcd = trace_to_vcd(result, fixture.platform);
+  ASSERT_TRUE(vcd.is_ok());
+  // Two packages -> the BU signal rises and falls twice. Find the BU's
+  // VCD id from its declaration line, then count transitions.
+  std::string id;
+  for (std::string_view line : split(*vcd, '\n')) {
+    if (line.find("bu12_occupied") != std::string_view::npos) {
+      auto parts = split_skip_empty(line, ' ');
+      ASSERT_GE(parts.size(), 5u);  // $var wire 1 <id> <name> $end
+      id = std::string(parts[3]);
+      break;
+    }
+  }
+  ASSERT_FALSE(id.empty());
+  int rises = 0, falls = 0;
+  bool in_body = false;
+  for (std::string_view line : split(*vcd, '\n')) {
+    if (line.find("$enddefinitions") != std::string_view::npos) {
+      in_body = true;
+      continue;
+    }
+    if (!in_body || line.size() < 2) continue;
+    if (line.substr(1) == id) {
+      if (line[0] == '1') ++rises;
+      if (line[0] == '0' && rises > 0) ++falls;  // skip the dumpvars init
+    }
+  }
+  EXPECT_EQ(rises, 2);
+  EXPECT_EQ(falls, 2);
+}
+
+TEST(EmuVcd, WritesFile) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  const std::string path = testing::TempDir() + "/run.vcd";
+  ASSERT_TRUE(write_vcd_file(result, fixture.platform, path).is_ok());
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+}
+
+// --- flow statistics -----------------------------------------------------------------
+
+TEST(FlowStatsTest, CountsAndTimesPerFlow) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(false);
+  ASSERT_EQ(result.flows.size(), 1u);
+  const FlowStats& flow = result.flows[0];
+  EXPECT_EQ(flow.source, "A");
+  EXPECT_EQ(flow.target, "B");
+  EXPECT_EQ(flow.ordering, 1u);
+  EXPECT_TRUE(flow.inter_segment);
+  EXPECT_EQ(flow.packages, 2u);
+  EXPECT_LT(flow.first_delivery, flow.last_delivery);
+  EXPECT_EQ(flow.last_delivery, result.last_delivery_time);
+}
+
+TEST(FlowStatsTest, LatencyBoundsAreSane) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(false);
+  const FlowStats& flow = result.flows[0];
+  // A 2-segment transfer moves 36 items twice at 10 ns/tick: latency is at
+  // least 2 x 36 ticks and clearly below 200 ticks without contention.
+  EXPECT_GE(flow.min_latency_ps, 72 * 10000);
+  EXPECT_LE(flow.max_latency_ps, 200 * 10000);
+  EXPECT_LE(flow.min_latency_ps, flow.max_latency_ps);
+  EXPECT_GE(flow.mean_latency_ps(),
+            static_cast<double>(flow.min_latency_ps));
+  EXPECT_LE(flow.mean_latency_ps(),
+            static_cast<double>(flow.max_latency_ps));
+}
+
+TEST(FlowStatsTest, LocalFlowsAreCheaper) {
+  psdf::PsdfModel app("t");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  ASSERT_TRUE(app.add_process("A").is_ok());
+  ASSERT_TRUE(app.add_process("B").is_ok());
+  ASSERT_TRUE(app.add_process("C").is_ok());
+  ASSERT_TRUE(app.add_flow("A", "B", 36, 1, 50).is_ok());  // local
+  ASSERT_TRUE(app.add_flow("A", "C", 36, 2, 50).is_ok());  // global
+  platform::PlatformModel platform("T");
+  ASSERT_TRUE(platform.set_package_size(36).is_ok());
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 1).is_ok());
+  auto engine = Engine::create(app, platform);
+  ASSERT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result->flows.size(), 2u);
+  EXPECT_FALSE(result->flows[0].inter_segment);
+  EXPECT_TRUE(result->flows[1].inter_segment);
+  EXPECT_LT(result->flows[0].mean_latency_ps(),
+            result->flows[1].mean_latency_ps());
+}
+
+// --- utilization ---------------------------------------------------------------------
+
+TEST(Utilization, BoundedAndConsistent) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto engine = Engine::create(*app, *platform);
+  ASSERT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  ASSERT_TRUE(result.is_ok());
+  for (std::size_t s = 0; s < result->sas.size(); ++s) {
+    double u = result->sa_utilization(s);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+  EXPECT_GE(result->ca_utilization(), 0.0);
+  EXPECT_LE(result->ca_utilization(), 1.0);
+  // The MP3 decoder is compute-bound: no SA bus is saturated.
+  EXPECT_LT(result->sa_utilization(0), 0.9);
+}
+
+TEST(Utilization, ZeroForIdleElements) {
+  EmulationResult empty;
+  empty.sas.resize(1);
+  EXPECT_DOUBLE_EQ(empty.sa_utilization(0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ca_utilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace segbus::emu

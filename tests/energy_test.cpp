@@ -1,0 +1,111 @@
+// Tests of the activity-based energy estimation.
+#include <gtest/gtest.h>
+
+#include "apps/mp3.hpp"
+#include "core/energy.hpp"
+#include "emu/engine.hpp"
+
+namespace segbus::core {
+namespace {
+
+struct Mp3Run {
+  psdf::PsdfModel app;
+  platform::PlatformModel platform;
+  emu::EmulationResult result;
+};
+
+Mp3Run run_mp3(std::uint32_t segments) {
+  Mp3Run run;
+  auto app = apps::mp3_decoder_psdf();
+  EXPECT_TRUE(app.is_ok());
+  run.app = *app;
+  auto platform = apps::mp3_platform(
+      run.app, apps::mp3_allocation(segments), segments, 36);
+  EXPECT_TRUE(platform.is_ok());
+  run.platform = *platform;
+  auto engine = emu::Engine::create(run.app, run.platform);
+  EXPECT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  EXPECT_TRUE(result.is_ok());
+  run.result = std::move(result).value();
+  return run;
+}
+
+TEST(Energy, BreakdownIsPositiveAndSumsToTotal) {
+  Mp3Run run = run_mp3(3);
+  auto energy = estimate_energy(run.app, run.platform, run.result);
+  ASSERT_TRUE(energy.is_ok()) << energy.status().to_string();
+  EXPECT_GT(energy->compute_pj, 0.0);
+  EXPECT_GT(energy->bus_pj, 0.0);
+  EXPECT_GT(energy->bu_pj, 0.0);
+  EXPECT_GT(energy->arbitration_pj, 0.0);
+  EXPECT_GT(energy->idle_pj, 0.0);
+  EXPECT_NEAR(energy->total_pj(),
+              energy->compute_pj + energy->bus_pj + energy->bu_pj +
+                  energy->arbitration_pj + energy->idle_pj,
+              1e-6);
+  EXPECT_GT(energy->average_mw(run.result.total_execution_time), 0.0);
+}
+
+TEST(Energy, ComputeTermMatchesHandCount) {
+  Mp3Run run = run_mp3(3);
+  EnergyModel model;
+  model.pj_per_bus_data_tick = 0.0;
+  model.pj_per_bu_crossing = 0.0;
+  model.pj_per_arbitration = 0.0;
+  model.pj_per_idle_tick = 0.0;
+  auto energy = estimate_energy(run.app, run.platform, run.result, model);
+  ASSERT_TRUE(energy.is_ok());
+  // Sum over flows of packages x C, at 1 pJ per compute tick.
+  double expected = 0.0;
+  for (const psdf::Flow& flow : run.app.flows()) {
+    expected += static_cast<double>(
+        psdf::packages_for(flow.data_items, 36) * flow.compute_ticks);
+  }
+  EXPECT_DOUBLE_EQ(energy->total_pj(), expected);
+}
+
+TEST(Energy, SingleSegmentHasNoBuEnergy) {
+  Mp3Run run = run_mp3(1);
+  auto energy = estimate_energy(run.app, run.platform, run.result);
+  ASSERT_TRUE(energy.is_ok());
+  EXPECT_DOUBLE_EQ(energy->bu_pj, 0.0);
+}
+
+TEST(Energy, SegmentationTradesBusEnergyForBuEnergy) {
+  Mp3Run one = run_mp3(1);
+  Mp3Run three = run_mp3(3);
+  auto e1 = estimate_energy(one.app, one.platform, one.result);
+  auto e3 = estimate_energy(three.app, three.platform, three.result);
+  ASSERT_TRUE(e1.is_ok());
+  ASSERT_TRUE(e3.is_ok());
+  // Compute energy is configuration-independent.
+  EXPECT_DOUBLE_EQ(e1->compute_pj, e3->compute_pj);
+  // The 3-segment mapping pays for BU crossings and pass-through bus
+  // occupancy the single segment avoids.
+  EXPECT_GT(e3->bu_pj, e1->bu_pj);
+  EXPECT_GE(e3->bus_pj, e1->bus_pj);
+}
+
+TEST(Energy, RendersEveryCategory) {
+  Mp3Run run = run_mp3(3);
+  auto energy = estimate_energy(run.app, run.platform, run.result);
+  ASSERT_TRUE(energy.is_ok());
+  std::string text = energy->render();
+  for (const char* label :
+       {"compute", "bus data", "BU crossings", "arbitration",
+        "idle/leakage", "total"}) {
+    EXPECT_NE(text.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(Energy, RejectsMismatchedPlatform) {
+  Mp3Run run = run_mp3(3);
+  auto other = apps::mp3_platform(run.app, apps::mp3_allocation(1), 1, 36);
+  ASSERT_TRUE(other.is_ok());
+  auto energy = estimate_energy(run.app, *other, run.result);
+  EXPECT_FALSE(energy.is_ok());
+}
+
+}  // namespace
+}  // namespace segbus::core

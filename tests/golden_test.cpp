@@ -1,0 +1,150 @@
+// Golden-output snapshots: exact generated text for small models, pinned
+// byte-for-byte. These artifacts are consumed by external tools (the
+// emulator setup phase, Graphviz, VHDL synthesis), so format drift must be
+// deliberate — update the goldens together with the change that causes
+// them.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "m2t/codegen.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/dot.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus {
+namespace {
+
+/// Two processes, one flow — the smallest meaningful system.
+psdf::PsdfModel tiny_app() {
+  psdf::PsdfModel app("tiny");
+  EXPECT_TRUE(app.set_package_size(36).is_ok());
+  EXPECT_TRUE(app.add_process("P0").is_ok());
+  EXPECT_TRUE(app.add_process("P1").is_ok());
+  EXPECT_TRUE(app.add_flow("P0", "P1", 576, 1, 250).is_ok());
+  return app;
+}
+
+platform::PlatformModel tiny_platform() {
+  platform::PlatformModel platform("Tiny");
+  EXPECT_TRUE(platform.set_package_size(36).is_ok());
+  EXPECT_TRUE(platform.set_ca_clock(Frequency::from_mhz(111)).is_ok());
+  EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(91)).is_ok());
+  EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(98)).is_ok());
+  EXPECT_TRUE(platform.map_process("P0", 0).is_ok());
+  EXPECT_TRUE(platform.map_process("P1", 1).is_ok());
+  return platform;
+}
+
+TEST(Golden, PsdfScheme) {
+  const std::string expected =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\" "
+      "xmlns:segbus=\"urn:segbus:psdf\" segbus:application=\"tiny\" "
+      "segbus:packageSize=\"36\">\n"
+      "   <xs:complexType name=\"P0\">\n"
+      "      <xs:all>\n"
+      "         <xs:element name=\"P1_576_1_250\" type=\"Transfer\"/>\n"
+      "      </xs:all>\n"
+      "   </xs:complexType>\n"
+      "   <xs:complexType name=\"P1\">\n"
+      "      <xs:all/>\n"
+      "   </xs:complexType>\n"
+      "</xs:schema>\n";
+  EXPECT_EQ(xml::write_document(psdf::to_xml(tiny_app())), expected);
+}
+
+TEST(Golden, PsmScheme) {
+  const std::string expected =
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\" "
+      "xmlns:segbus=\"urn:segbus:psm\" segbus:platform=\"Tiny\" "
+      "segbus:packageSize=\"36\">\n"
+      "   <xs:complexType name=\"SBP\">\n"
+      "      <xs:all>\n"
+      "         <xs:element name=\"segment1\" type=\"Segment1\"/>\n"
+      "         <xs:element name=\"segment2\" type=\"Segment2\"/>\n"
+      "         <xs:element name=\"ca\" type=\"CA\"/>\n"
+      "         <xs:element name=\"bu12\" type=\"BU12\"/>\n"
+      "      </xs:all>\n"
+      "   </xs:complexType>\n"
+      "   <xs:complexType name=\"CA\" segbus:frequencyMHz=\"111\"/>\n"
+      "   <xs:complexType name=\"BU12\" segbus:capacity=\"1\"/>\n"
+      "   <xs:complexType name=\"Segment1\" segbus:frequencyMHz=\"91\">\n"
+      "      <xs:all>\n"
+      "         <xs:element name=\"buRight\" type=\"BU12\"/>\n"
+      "         <xs:element name=\"p0\" type=\"P0\" segbus:slaves=\"0\"/>\n"
+      "         <xs:element name=\"arbiter\" type=\"SA1\"/>\n"
+      "      </xs:all>\n"
+      "   </xs:complexType>\n"
+      "   <xs:complexType name=\"Segment2\" segbus:frequencyMHz=\"98\">\n"
+      "      <xs:all>\n"
+      "         <xs:element name=\"buLeft\" type=\"BU12\"/>\n"
+      "         <xs:element name=\"p1\" type=\"P1\"/>\n"
+      "         <xs:element name=\"arbiter\" type=\"SA2\"/>\n"
+      "      </xs:all>\n"
+      "   </xs:complexType>\n"
+      "</xs:schema>\n";
+  // Note: tiny_platform() maps P0 with default master/slave counts, so
+  // build the PSM through apply-style explicit interfaces for stability.
+  platform::PlatformModel platform("Tiny");
+  ASSERT_TRUE(platform.set_package_size(36).is_ok());
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(111)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(91)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(98)).is_ok());
+  ASSERT_TRUE(platform.map_process("P0", 0, /*masters=*/1, /*slaves=*/0)
+                  .is_ok());
+  ASSERT_TRUE(platform.map_process("P1", 1).is_ok());
+  EXPECT_EQ(xml::write_document(platform::to_xml(platform)), expected);
+}
+
+TEST(Golden, DotGraph) {
+  const std::string expected =
+      "digraph \"tiny\" {\n"
+      "  rankdir=LR;\n"
+      "  node [shape=circle];\n"
+      "  \"P0\" [shape=doublecircle];\n"
+      "  \"P1\" [shape=doubleoctagon];\n"
+      "  \"P0\" -> \"P1\" [label=\"576/1/250\"];\n"
+      "}\n";
+  EXPECT_EQ(psdf::to_dot(tiny_app()), expected);
+}
+
+TEST(Golden, ScheduleReport) {
+  auto report = m2t::render_schedule_report(tiny_app(), tiny_platform());
+  ASSERT_TRUE(report.is_ok());
+  const std::string expected =
+      "Application schedule for tiny on Tiny\n"
+      "package size: 36 data items\n"
+      "\n"
+      "SA1 (91.00MHz):\n"
+      "  stage 0: P0 -> P1  16 package(s)  [inter-segment -> segment 2]\n"
+      "\n"
+      "SA2 (98.00MHz):\n"
+      "  (no transfers originate here)\n"
+      "\n"
+      "CA inter-segment schedule:\n"
+      "  stage 0: P0 -> P1  16 package(s) -> segment 2\n";
+  EXPECT_EQ(*report, expected);
+}
+
+TEST(Golden, SummaryReport) {
+  auto session =
+      core::EmulationSession::from_models(tiny_app(), tiny_platform());
+  ASSERT_TRUE(session.is_ok());
+  auto result = session->emulate();
+  ASSERT_TRUE(result.is_ok());
+  std::string summary =
+      core::render_summary(*result, session->platform());
+  EXPECT_NE(summary.find("configuration : Tiny"), std::string::npos);
+  EXPECT_NE(summary.find("execution time:"), std::string::npos);
+  EXPECT_NE(summary.find("CA  :"), std::string::npos);
+  EXPECT_NE(summary.find("SA1 :"), std::string::npos);
+  EXPECT_NE(summary.find("busiest element:"), std::string::npos);
+  EXPECT_NE(summary.find("most congested BU: BU12"), std::string::npos);
+  EXPECT_EQ(summary.find("INCOMPLETE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus

@@ -1,0 +1,145 @@
+// End-to-end integration tests covering the paper's full design flow
+// (Figure 3/4): model in the DSL -> validate -> M2T transformation to XML
+// schemes on disk -> emulator setup from the schemes -> emulation ->
+// results, checked for equivalence with the in-memory path.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/mp3.hpp"
+#include "core/accuracy.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "m2t/codegen.hpp"
+#include "platform/constraints.hpp"
+#include "psdf/validate.hpp"
+
+namespace segbus {
+namespace {
+
+class FullFlowTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto app = apps::mp3_decoder_psdf();
+    ASSERT_TRUE(app.is_ok());
+    app_ = *app;
+    auto platform = apps::mp3_platform_three_segments(app_);
+    ASSERT_TRUE(platform.is_ok());
+    platform_ = *platform;
+    dir_ = testing::TempDir() + "/segbus_flow";
+    std::filesystem::create_directories(dir_);
+  }
+  psdf::PsdfModel app_;
+  platform::PlatformModel platform_;
+  std::string dir_;
+};
+
+TEST_F(FullFlowTest, DesignFlowThroughXmlSchemes) {
+  // Step 1: validation (the DSL's correctness gate).
+  ASSERT_TRUE(psdf::validate_or_error(app_).is_ok());
+  ASSERT_TRUE(platform::validate_mapping_or_error(platform_, app_).is_ok());
+
+  // Step 2: M2T transformation writes the XML schemes to a directory
+  // (the paper's code engineering sets).
+  m2t::CodeEngineeringSet set(app_, platform_);
+  ASSERT_TRUE(set.write_to(dir_).is_ok());
+  const std::string psdf_path = dir_ + "/mp3_decoder.psdf.xml";
+  const std::string psm_path = dir_ + "/MP3-3seg.psm.xml";
+  ASSERT_TRUE(std::filesystem::exists(psdf_path));
+  ASSERT_TRUE(std::filesystem::exists(psm_path));
+
+  // Step 3: the emulator parses the generated schemes and runs.
+  auto from_files =
+      core::EmulationSession::from_xml_files(psdf_path, psm_path);
+  ASSERT_TRUE(from_files.is_ok()) << from_files.status().to_string();
+  auto xml_result = from_files->emulate();
+  ASSERT_TRUE(xml_result.is_ok());
+  EXPECT_TRUE(xml_result->completed);
+
+  // Step 4: identical to the in-memory pipeline, bit for bit.
+  auto direct = core::EmulationSession::from_models(app_, platform_);
+  ASSERT_TRUE(direct.is_ok());
+  auto direct_result = direct->emulate();
+  ASSERT_TRUE(direct_result.is_ok());
+  EXPECT_EQ(xml_result->total_execution_time,
+            direct_result->total_execution_time);
+  EXPECT_EQ(xml_result->ca.tct, direct_result->ca.tct);
+  EXPECT_EQ(xml_result->bus[0].tct, direct_result->bus[0].tct);
+  for (std::size_t i = 0; i < xml_result->processes.size(); ++i) {
+    EXPECT_EQ(xml_result->processes[i].end_time,
+              direct_result->processes[i].end_time);
+  }
+}
+
+TEST_F(FullFlowTest, PackageSizeSuppliedSeparately) {
+  // The paper supplies package size to the emulator alongside the schemes;
+  // overriding to 18 must rescale and still complete.
+  m2t::CodeEngineeringSet set(app_, platform_);
+  ASSERT_TRUE(set.write_to(dir_).is_ok());
+  auto session = core::EmulationSession::from_xml_files(
+      dir_ + "/mp3_decoder.psdf.xml", dir_ + "/MP3-3seg.psm.xml", {},
+      /*package_size_override=*/18);
+  ASSERT_TRUE(session.is_ok()) << session.status().to_string();
+  auto result = session->emulate();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->completed);
+  // 18-item packages double the BU12 package count (32 -> 64).
+  EXPECT_EQ(result->bus[0].total_input(), 64u);
+}
+
+TEST_F(FullFlowTest, ReportsRenderFromXmlPath) {
+  m2t::CodeEngineeringSet set(app_, platform_);
+  ASSERT_TRUE(set.write_to(dir_).is_ok());
+  core::SessionConfig config;
+  config.engine.record_activity = true;
+  auto session = core::EmulationSession::from_xml_files(
+      dir_ + "/mp3_decoder.psdf.xml", dir_ + "/MP3-3seg.psm.xml", config);
+  ASSERT_TRUE(session.is_ok());
+  auto result = session->emulate();
+  ASSERT_TRUE(result.is_ok());
+  std::string report =
+      core::render_paper_report(*result, session->platform());
+  EXPECT_NE(report.find("BU12"), std::string::npos);
+  EXPECT_NE(report.find("SA3"), std::string::npos);
+  std::string activity = core::render_activity(*result);
+  EXPECT_NE(activity.find("CA"), std::string::npos);
+}
+
+TEST_F(FullFlowTest, AccuracyExperimentEndToEnd) {
+  // The three §4 accuracy experiments, run through the public API.
+  struct Case {
+    std::uint32_t package;
+    std::vector<std::uint32_t> allocation;
+  };
+  const Case cases[] = {
+      {36, apps::mp3_allocation(3)},
+      {18, apps::mp3_allocation(3)},
+      {36, apps::mp3_allocation_p9_moved()},
+  };
+  for (const Case& c : cases) {
+    auto app = apps::mp3_decoder_psdf(c.package);
+    ASSERT_TRUE(app.is_ok());
+    auto platform = apps::mp3_platform(*app, c.allocation, 3, c.package);
+    ASSERT_TRUE(platform.is_ok());
+    auto accuracy = core::compare_accuracy(*app, *platform);
+    ASSERT_TRUE(accuracy.is_ok());
+    EXPECT_GT(accuracy->accuracy_percent(), 90.0);
+    EXPECT_LT(accuracy->accuracy_percent(), 100.0);
+  }
+}
+
+TEST_F(FullFlowTest, ArbiterCodegenCompilesConceptually) {
+  // The generated schedule header must at least contain a table per SA and
+  // reference every inter-segment transfer (full compilation is covered by
+  // the examples build).
+  auto header = m2t::render_arbiter_header(app_, platform_);
+  ASSERT_TRUE(header.is_ok());
+  auto schedules = m2t::extract_schedules(app_, platform_);
+  ASSERT_TRUE(schedules.is_ok());
+  for (const m2t::ScheduleEntry& entry : schedules->central) {
+    EXPECT_NE(header->find("\"" + entry.source + "\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace segbus

@@ -1,0 +1,94 @@
+// Unit tests for the JSON builder/serializer and the result export.
+#include <gtest/gtest.h>
+
+#include "apps/mp3.hpp"
+#include "core/json_export.hpp"
+#include "core/session.hpp"
+#include "support/json.hpp"
+
+namespace segbus {
+namespace {
+
+TEST(Json, ScalarsSerialize) {
+  EXPECT_EQ(JsonValue::null().to_string(), "null");
+  EXPECT_EQ(JsonValue::boolean(true).to_string(), "true");
+  EXPECT_EQ(JsonValue::boolean(false).to_string(), "false");
+  EXPECT_EQ(JsonValue::integer(-42).to_string(), "-42");
+  EXPECT_EQ(JsonValue::unsigned_integer(18446744073709551615ull).to_string(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue::string("hi").to_string(), "\"hi\"");
+}
+
+TEST(Json, NumbersRoundTripPrecision) {
+  EXPECT_EQ(JsonValue::number(0.5).to_string(), "0.5");
+  // Non-finite numbers degrade to null (JSON has no NaN/Inf).
+  EXPECT_EQ(JsonValue::number(std::nan("")).to_string(), "null");
+  EXPECT_EQ(JsonValue::number(1.0 / 0.0).to_string(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("z", JsonValue::integer(1));
+  obj.set("a", JsonValue::integer(2));
+  EXPECT_EQ(obj.to_string(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(Json, ObjectSetReplaces) {
+  JsonValue obj = JsonValue::object();
+  obj.set("k", JsonValue::integer(1));
+  obj.set("k", JsonValue::integer(2));
+  EXPECT_EQ(obj.to_string(), "{\"k\":2}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  JsonValue arr = JsonValue::array();
+  arr.push(JsonValue::integer(1));
+  JsonValue inner = JsonValue::object();
+  inner.set("x", JsonValue::boolean(true));
+  arr.push(std::move(inner));
+  EXPECT_EQ(arr.to_string(), "[1,{\"x\":true}]");
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(JsonValue::array().to_string(), "[]");
+  EXPECT_EQ(JsonValue::object().to_string(), "{}");
+}
+
+TEST(Json, PrettyPrintingIndents) {
+  JsonValue obj = JsonValue::object();
+  obj.set("a", JsonValue::integer(1));
+  std::string pretty = obj.to_string(/*pretty=*/true);
+  EXPECT_NE(pretty.find("{\n  \"a\": 1\n}"), std::string::npos);
+}
+
+TEST(JsonExport, ResultContainsAllSections) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto session = core::EmulationSession::from_models(*app, *platform);
+  ASSERT_TRUE(session.is_ok());
+  auto result = session->emulate();
+  ASSERT_TRUE(result.is_ok());
+  std::string json =
+      core::result_to_json(*result, *platform).to_string();
+  for (const char* key :
+       {"\"platform\":\"MP3-3seg\"", "\"completed\":true",
+        "\"total_execution_ps\":", "\"processes\":", "\"name\":\"P14\"",
+        "\"segment_arbiters\":", "\"border_units\":", "\"name\":\"BU12\"",
+        "\"central_arbiter\":", "\"flows\":", "\"mean_latency_ps\":",
+        "\"utilization\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Exactly the exact BU12 counters land in the export.
+  EXPECT_NE(json.find("\"tct\":2336"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus

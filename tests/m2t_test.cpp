@@ -1,0 +1,302 @@
+// Unit tests for the M2T substrate: template engine, code engineering sets,
+// arbiter code generation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "apps/mp3.hpp"
+#include "m2t/codegen.hpp"
+#include "m2t/template.hpp"
+
+namespace segbus::m2t {
+namespace {
+
+// --- template engine -----------------------------------------------------------
+
+TEST(Template, RendersScalars) {
+  Context root;
+  root.emplace("name", Value("SegBus"));
+  auto out = render_template("hello {{name}}!", root);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(*out, "hello SegBus!");
+}
+
+TEST(Template, UndefinedVariableIsError) {
+  Context root;
+  auto out = render_template("{{missing}}", root);
+  ASSERT_FALSE(out.is_ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Template, EachIteratesWithSpecials) {
+  Context root;
+  std::vector<Context> items;
+  for (const char* name : {"a", "b", "c"}) {
+    Context item;
+    item.emplace("n", Value(name));
+    items.push_back(std::move(item));
+  }
+  root.emplace("items", Value(std::move(items)));
+  auto out = render_template(
+      "{{#each items}}{{@index}}:{{n}}{{#if @last}}.{{/if}} {{/each}}",
+      root);
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(*out, "0:a 1:b 2:c. ");
+}
+
+TEST(Template, IfIsTruthinessBased) {
+  Context root;
+  root.emplace("yes", Value("true"));
+  root.emplace("no", Value("false"));
+  root.emplace("zero", Value("0"));
+  root.emplace("empty", Value(""));
+  auto out = render_template(
+      "{{#if yes}}Y{{/if}}{{#if no}}N{{/if}}{{#if zero}}Z{{/if}}"
+      "{{#if empty}}E{{/if}}{{#if undefined_name}}U{{/if}}",
+      root);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(*out, "Y");
+}
+
+TEST(Template, NestedScopesShadow) {
+  Context root;
+  root.emplace("x", Value("outer"));
+  std::vector<Context> items;
+  {
+    Context inner;
+    inner.emplace("x", Value("inner"));
+    items.push_back(std::move(inner));
+  }
+  items.push_back(Context{});  // falls back to outer scope
+  root.emplace("items", Value(std::move(items)));
+  auto out = render_template("{{#each items}}{{x}},{{/each}}", root);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(*out, "inner,outer,");
+}
+
+TEST(Template, UnlessIsComplementOfIf) {
+  Context root;
+  root.emplace("yes", Value("true"));
+  root.emplace("no", Value("false"));
+  auto out = render_template(
+      "{{#unless yes}}A{{/unless}}{{#unless no}}B{{/unless}}"
+      "{{#unless undefined_name}}C{{/unless}}",
+      root);
+  ASSERT_TRUE(out.is_ok()) << out.status().to_string();
+  EXPECT_EQ(*out, "BC");
+}
+
+TEST(Template, UnlessLastMakesSeparators) {
+  Context root;
+  std::vector<Context> items;
+  for (const char* n : {"a", "b", "c"}) {
+    Context item;
+    item.emplace("n", Value(n));
+    items.push_back(std::move(item));
+  }
+  root.emplace("items", Value(std::move(items)));
+  auto out = render_template(
+      "{{#each items}}{{n}}{{#unless @last}}, {{/unless}}{{/each}}", root);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(*out, "a, b, c");
+}
+
+TEST(Template, UnlessParseErrors) {
+  EXPECT_FALSE(Template::parse("{{#unless}}{{/unless}}").is_ok());
+  EXPECT_FALSE(Template::parse("{{#unless x}}{{/if}}").is_ok());
+  EXPECT_FALSE(Template::parse("{{/unless}}").is_ok());
+}
+
+TEST(Template, CommentsAreDropped) {
+  Context root;
+  auto out = render_template("a{{! ignore me }}b", root);
+  ASSERT_TRUE(out.is_ok());
+  EXPECT_EQ(*out, "ab");
+}
+
+TEST(Template, ListsCannotRenderAsScalars) {
+  Context root;
+  root.emplace("items", Value(std::vector<Context>{}));
+  EXPECT_FALSE(render_template("{{items}}", root).is_ok());
+  EXPECT_FALSE(render_template("{{#each items}}{{/each}}x", root)
+                   .value_or("")
+                   .empty());
+}
+
+TEST(Template, ParseErrors) {
+  EXPECT_FALSE(Template::parse("{{#each items}} unclosed").is_ok());
+  EXPECT_FALSE(Template::parse("{{/each}}").is_ok());
+  EXPECT_FALSE(Template::parse("{{#each a}}{{/if}}").is_ok());
+  EXPECT_FALSE(Template::parse("{{unterminated").is_ok());
+  EXPECT_FALSE(Template::parse("{{}}").is_ok());
+  EXPECT_FALSE(Template::parse("{{#unknown x}}{{/unknown}}").is_ok());
+}
+
+TEST(Template, ReusableAfterParse) {
+  auto tmpl = Template::parse("{{a}}");
+  ASSERT_TRUE(tmpl.is_ok());
+  Context c1, c2;
+  c1.emplace("a", Value("1"));
+  c2.emplace("a", Value("2"));
+  EXPECT_EQ(tmpl->render(c1).value(), "1");
+  EXPECT_EQ(tmpl->render(c2).value(), "2");
+}
+
+// --- schedules / arbiter codegen ---------------------------------------------------
+
+class CodegenTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto app = apps::mp3_decoder_psdf();
+    ASSERT_TRUE(app.is_ok());
+    app_ = *app;
+    auto platform = apps::mp3_platform_three_segments(app_);
+    ASSERT_TRUE(platform.is_ok());
+    platform_ = *platform;
+  }
+  psdf::PsdfModel app_;
+  platform::PlatformModel platform_;
+};
+
+TEST_F(CodegenTest, ExtractSchedulesSplitsBySegment) {
+  auto schedules = extract_schedules(app_, platform_);
+  ASSERT_TRUE(schedules.is_ok()) << schedules.status().to_string();
+  ASSERT_EQ(schedules->per_segment.size(), 3u);
+  // Every flow appears exactly once across the per-segment tables.
+  std::size_t total = 0;
+  for (const auto& table : schedules->per_segment) total += table.size();
+  EXPECT_EQ(total, app_.flows().size());
+  // The CA schedule holds exactly the inter-segment flows: P3->P4, P3->P5,
+  // P3->P11, P10->P11, P4->P5 and P8->P3? (no — P8,P3 share segment 1).
+  EXPECT_EQ(schedules->central.size(), 5u);
+  for (const ScheduleEntry& entry : schedules->central) {
+    EXPECT_TRUE(entry.inter_segment);
+  }
+}
+
+TEST_F(CodegenTest, SchedulesAreStageOrderedPerSegment) {
+  auto schedules = extract_schedules(app_, platform_);
+  ASSERT_TRUE(schedules.is_ok());
+  for (const auto& table : schedules->per_segment) {
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      EXPECT_LE(table[i - 1].stage, table[i].stage);
+    }
+  }
+}
+
+TEST_F(CodegenTest, ScheduleReportMentionsEveryProcess) {
+  auto report = render_schedule_report(app_, platform_);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_NE(report->find("SA1"), std::string::npos);
+  EXPECT_NE(report->find("SA3"), std::string::npos);
+  EXPECT_NE(report->find("CA inter-segment schedule"), std::string::npos);
+  EXPECT_NE(report->find("P0 -> P1"), std::string::npos);
+  EXPECT_NE(report->find("[inter-segment -> segment 3]"),
+            std::string::npos);  // P3 -> P4
+}
+
+TEST_F(CodegenTest, ArbiterHeaderIsWellFormedCpp) {
+  auto header = render_arbiter_header(app_, platform_);
+  ASSERT_TRUE(header.is_ok()) << header.status().to_string();
+  EXPECT_NE(header->find("#pragma once"), std::string::npos);
+  EXPECT_NE(header->find("kSa1Schedule[]"), std::string::npos);
+  EXPECT_NE(header->find("kSa3Schedule[]"), std::string::npos);
+  EXPECT_NE(header->find("kCaSchedule[]"), std::string::npos);
+  EXPECT_NE(header->find("\"P0\", \"P1\", 16, false, 1"),
+            std::string::npos);
+  // Braces balance.
+  EXPECT_EQ(std::count(header->begin(), header->end(), '{'),
+            std::count(header->begin(), header->end(), '}'));
+}
+
+TEST_F(CodegenTest, CodeEngineeringSetGeneratesAllArtifacts) {
+  CodeEngineeringSet set(app_, platform_);
+  auto artifacts = set.generate();
+  ASSERT_TRUE(artifacts.is_ok()) << artifacts.status().to_string();
+  std::vector<std::string> names;
+  for (const auto& artifact : *artifacts) names.push_back(artifact.filename);
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "mp3_decoder_schedule_pkg.vhd"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "MP3-3seg.dot"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "mp3_decoder.matrix.csv"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "mp3_decoder.psdf.xml"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "MP3-3seg.psm.xml"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "mp3_decoder.dot"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "mp3_decoder_schedule.hpp"),
+            names.end());
+}
+
+TEST_F(CodegenTest, ArtifactSelectionRespected) {
+  CodeEngineeringSet set(app_, platform_);
+  set.enable_dot(false);
+  set.enable_arbiter_code(false);
+  set.enable_matrix_csv(false);
+  auto artifacts = set.generate();
+  ASSERT_TRUE(artifacts.is_ok());
+  EXPECT_EQ(artifacts->size(), 2u);
+}
+
+TEST_F(CodegenTest, MatrixCsvMatchesFigure8) {
+  CodeEngineeringSet set(app_, platform_);
+  auto artifacts = set.generate();
+  ASSERT_TRUE(artifacts.is_ok());
+  const GeneratedArtifact* matrix = nullptr;
+  for (const auto& artifact : *artifacts) {
+    if (artifact.filename == "mp3_decoder.matrix.csv") matrix = &artifact;
+  }
+  ASSERT_NE(matrix, nullptr);
+  EXPECT_NE(matrix->content.find(",P0,P1,"), std::string::npos);
+  EXPECT_NE(matrix->content.find("P0,0,576,"), std::string::npos);
+}
+
+TEST_F(CodegenTest, WriteToDirectory) {
+  const std::string dir = testing::TempDir() + "/m2t_out";
+  std::filesystem::create_directories(dir);
+  CodeEngineeringSet set(app_, platform_);
+  ASSERT_TRUE(set.write_to(dir).is_ok());
+  EXPECT_TRUE(
+      std::filesystem::exists(dir + "/mp3_decoder.psdf.xml"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/mp3_decoder_schedule.txt"));
+  // A nonexistent directory is an error.
+  EXPECT_FALSE(set.write_to(dir + "/nope").is_ok());
+}
+
+TEST_F(CodegenTest, VhdlScheduleIsWellFormed) {
+  auto vhdl = render_arbiter_vhdl(app_, platform_);
+  ASSERT_TRUE(vhdl.is_ok()) << vhdl.status().to_string();
+  EXPECT_NE(vhdl->find("package mp3_decoder_schedule_pkg is"),
+            std::string::npos);
+  EXPECT_NE(vhdl->find("constant SA1_SCHEDULE"), std::string::npos);
+  EXPECT_NE(vhdl->find("constant SA3_SCHEDULE"), std::string::npos);
+  EXPECT_NE(vhdl->find("constant CA_SCHEDULE"), std::string::npos);
+  EXPECT_NE(vhdl->find("end package mp3_decoder_schedule_pkg;"),
+            std::string::npos);
+  // Parens balance and no dangling commas before a close paren.
+  EXPECT_EQ(std::count(vhdl->begin(), vhdl->end(), '('),
+            std::count(vhdl->begin(), vhdl->end(), ')'));
+  EXPECT_EQ(vhdl->find(",\n  );"), std::string::npos);
+  // The single P4->P5 transfer targets segment 2.
+  EXPECT_NE(vhdl->find("inter_segment => true, target_segment => 2"),
+            std::string::npos);
+}
+
+TEST_F(CodegenTest, UnmappedApplicationIsRejected) {
+  platform::PlatformModel empty("E");
+  ASSERT_TRUE(empty.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(empty.add_segment(Frequency::from_mhz(100)).is_ok());
+  EXPECT_FALSE(extract_schedules(app_, empty).is_ok());
+  CodeEngineeringSet set(app_, empty);
+  EXPECT_FALSE(set.generate().is_ok());
+}
+
+}  // namespace
+}  // namespace segbus::m2t

@@ -1,0 +1,217 @@
+// Tests of the pipelined (virtual cut-through) inter-segment protocol —
+// the TimingModel::circuit_switched=false extension. Invariants: identical
+// package accounting to circuit switching, deadlock freedom (including the
+// opposing-flow pattern that would wedge naive cut-through), throughput at
+// least as good for streaming workloads, and congestion surfacing as BU
+// waiting period.
+#include <gtest/gtest.h>
+
+#include "apps/mp3.hpp"
+#include "apps/synthetic.hpp"
+#include "emu/engine.hpp"
+#include "emu/parallel.hpp"
+#include "place/apply.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::emu {
+namespace {
+
+TimingModel pipelined() {
+  TimingModel t = TimingModel::emulator();
+  t.circuit_switched = false;
+  return t;
+}
+
+Result<EmulationResult> run(const psdf::PsdfModel& app,
+                            const platform::PlatformModel& platform,
+                            const TimingModel& timing) {
+  auto engine = Engine::create(app, platform, timing);
+  if (!engine.is_ok()) return engine.status();
+  return engine->run();
+}
+
+/// Builds an equal-clock platform and maps by the given allocation.
+platform::PlatformModel make_platform(const psdf::PsdfModel& app,
+                                      const std::vector<std::uint32_t>&
+                                          allocation,
+                                      std::uint32_t segments,
+                                      std::uint32_t bu_capacity = 1) {
+  platform::PlatformModel platform("pipe");
+  EXPECT_TRUE(platform.set_package_size(app.package_size()).is_ok());
+  EXPECT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  for (std::uint32_t s = 0; s < segments; ++s) {
+    EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  }
+  EXPECT_TRUE(platform.set_bu_capacity(bu_capacity).is_ok());
+  EXPECT_TRUE(place::apply_allocation(app, allocation, platform).is_ok());
+  return platform;
+}
+
+TEST(Pipelined, SingleTransferMatchesAccounting) {
+  psdf::PsdfModel app("a");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  ASSERT_TRUE(app.add_process("A").is_ok());
+  ASSERT_TRUE(app.add_process("B").is_ok());
+  ASSERT_TRUE(app.add_flow("A", "B", 180, 1, 50).is_ok());  // 5 packages
+  auto platform = make_platform(app, {0, 1}, 2);
+  auto result = run(app, platform, pipelined());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_TRUE(result->completed);
+  EXPECT_EQ(result->bus[0].transfers, 5u);
+  EXPECT_EQ(result->bus[0].up_ticks, 5u * 72u);
+  EXPECT_EQ(result->processes[1].packages_received, 5u);
+  EXPECT_EQ(result->ca.grants, 5u);
+}
+
+TEST(Pipelined, OpposingFlowsDoNotDeadlock) {
+  // The classic wedge for naive cut-through: A (seg1 -> seg3) and B
+  // (seg3 -> seg1) both need the middle segment and both BUs. The CA's
+  // end-to-end slot credits must keep this live.
+  psdf::PsdfModel app("a");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  for (const char* name : {"A", "B", "M", "AR", "BR"}) {
+    ASSERT_TRUE(app.add_process(name).is_ok());
+  }
+  ASSERT_TRUE(app.add_flow("A", "AR", 720, 1, 5).is_ok());  // 20 rightward
+  ASSERT_TRUE(app.add_flow("B", "BR", 720, 1, 5).is_ok());  // 20 leftward
+  auto platform = make_platform(app, {0, 2, 1, 2, 0}, 3);
+  auto result = run(app, platform, pipelined());
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->completed);
+  EXPECT_EQ(result->processes[3].packages_received, 20u);  // AR
+  EXPECT_EQ(result->processes[4].packages_received, 20u);  // BR
+  // Both BUs carried traffic in both directions.
+  EXPECT_EQ(result->bus[0].received_from_left, 20u);
+  EXPECT_EQ(result->bus[0].received_from_right, 20u);
+}
+
+TEST(Pipelined, ContentionRaisesWaitingPeriod) {
+  // Producers in segments 1 and 3 both stream into consumers on segment 2:
+  // two BUs feed one destination bus at twice its drain rate, so unloads
+  // queue and the mean WP rises above the 1-tick grant-turnaround floor
+  // (unreachable under circuit switching, where paths are exclusive).
+  psdf::PsdfModel app("contend");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  for (const char* name : {"SL0", "SL1", "SR0", "SR1", "DL0", "DL1",
+                           "DR0", "DR1"}) {
+    ASSERT_TRUE(app.add_process(name).is_ok());
+  }
+  for (const char* pair : {"L0", "L1", "R0", "R1"}) {
+    ASSERT_TRUE(app.add_flow(std::string("S") + pair,
+                             std::string("D") + pair, 360, 1, 5)
+                    .is_ok());
+  }
+  std::vector<std::uint32_t> allocation;
+  for (const psdf::Process& p : app.processes()) {
+    if (p.name.front() == 'D') {
+      allocation.push_back(1u);  // all consumers on the middle segment
+    } else {
+      allocation.push_back(p.name[1] == 'L' ? 0u : 2u);
+    }
+  }
+  auto platform = make_platform(app, allocation, 3, /*bu_capacity=*/4);
+  auto circuit = run(app, platform, TimingModel::emulator());
+  auto cut_through = run(app, platform, pipelined());
+  ASSERT_TRUE(circuit.is_ok());
+  ASSERT_TRUE(cut_through.is_ok());
+  EXPECT_TRUE(cut_through->completed);
+  EXPECT_DOUBLE_EQ(circuit->bus[0].mean_wp(), 1.0);
+  const double worst_wp = std::max(cut_through->bus[0].mean_wp(),
+                                   cut_through->bus[1].mean_wp());
+  EXPECT_GT(worst_wp, 1.5);
+  // Conservation still holds.
+  EXPECT_EQ(cut_through->bus[0].transfers, 20u);
+  EXPECT_EQ(cut_through->bus[1].transfers, 20u);
+  EXPECT_EQ(cut_through->bus[0].tct,
+            cut_through->bus[0].up_ticks + cut_through->bus[0].wp_ticks);
+}
+
+TEST(Pipelined, StreamingThroughputBeatsCircuitWithPipelinedMasters) {
+  // A non-blocking master streaming many packages over two hops: the
+  // cut-through path overlaps hops that circuit switching serializes per
+  // package (setup round trips dominate there).
+  psdf::PsdfModel app("stream");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  ASSERT_TRUE(app.add_process("SRC").is_ok());
+  ASSERT_TRUE(app.add_process("MID").is_ok());
+  ASSERT_TRUE(app.add_process("DST").is_ok());
+  ASSERT_TRUE(app.add_flow("SRC", "DST", 1440, 1, 4).is_ok());  // 40 pkgs
+  auto platform = make_platform(app, {0, 1, 2}, 3, /*bu_capacity=*/2);
+  TimingModel circuit = TimingModel::emulator();
+  circuit.master_blocking = false;
+  TimingModel cut_through = pipelined();
+  cut_through.master_blocking = false;
+  auto a = run(app, platform, circuit);
+  auto b = run(app, platform, cut_through);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_TRUE(b->completed);
+  EXPECT_LT(b->total_execution_time, a->total_execution_time);
+}
+
+TEST(Pipelined, Mp3ApplicationCompletesWithSameTraffic) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto circuit = run(*app, *platform, TimingModel::emulator());
+  auto cut_through = run(*app, *platform, pipelined());
+  ASSERT_TRUE(circuit.is_ok());
+  ASSERT_TRUE(cut_through.is_ok());
+  EXPECT_TRUE(cut_through->completed);
+  // Identical traffic accounting, whatever the path discipline.
+  EXPECT_EQ(cut_through->bus[0].total_input(),
+            circuit->bus[0].total_input());
+  EXPECT_EQ(cut_through->bus[1].total_input(),
+            circuit->bus[1].total_input());
+  EXPECT_EQ(cut_through->ca.inter_requests, circuit->ca.inter_requests);
+  for (std::size_t p = 0; p < circuit->processes.size(); ++p) {
+    EXPECT_EQ(cut_through->processes[p].packages_received,
+              circuit->processes[p].packages_received);
+  }
+}
+
+TEST(Pipelined, DeterministicAndParallelIdentical) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto sequential = run(*app, *platform, pipelined());
+  ASSERT_TRUE(sequential.is_ok());
+  auto engine = ParallelEngine::create(*app, *platform, pipelined(), {},
+                                       /*num_threads=*/2);
+  ASSERT_TRUE(engine.is_ok());
+  auto parallel = (*engine)->run();
+  ASSERT_TRUE(parallel.is_ok());
+  EXPECT_EQ(parallel->total_execution_time,
+            sequential->total_execution_time);
+  EXPECT_EQ(parallel->ca.tct, sequential->ca.tct);
+  for (std::size_t i = 0; i < sequential->bus.size(); ++i) {
+    EXPECT_EQ(parallel->bus[i].wp_ticks, sequential->bus[i].wp_ticks);
+  }
+}
+
+TEST(Pipelined, BuCapacityBoundsInFlightSlots) {
+  // With capacity 1 the CA admits one package per BU at a time even in
+  // pipelined mode; with capacity 3 more grants flow and the run is
+  // faster or equal.
+  psdf::PsdfModel app("cap");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  ASSERT_TRUE(app.add_process("A").is_ok());
+  ASSERT_TRUE(app.add_process("B").is_ok());
+  ASSERT_TRUE(app.add_flow("A", "B", 1080, 1, 2).is_ok());  // 30 packages
+  TimingModel t = pipelined();
+  t.master_blocking = false;
+  auto narrow = make_platform(app, {0, 1}, 2, /*bu_capacity=*/1);
+  auto wide = make_platform(app, {0, 1}, 2, /*bu_capacity=*/3);
+  auto slow = run(app, narrow, t);
+  auto fast = run(app, wide, t);
+  ASSERT_TRUE(slow.is_ok());
+  ASSERT_TRUE(fast.is_ok());
+  EXPECT_TRUE(slow->completed);
+  EXPECT_TRUE(fast->completed);
+  EXPECT_LE(fast->total_execution_time, slow->total_execution_time);
+}
+
+}  // namespace
+}  // namespace segbus::emu

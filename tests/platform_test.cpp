@@ -1,0 +1,357 @@
+// Unit tests for the PSM (platform) model: structure, topology paths,
+// OCL-style constraints, XML scheme codec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "platform/constraints.hpp"
+#include "platform/model.hpp"
+#include "platform/platform_dot.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/model.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::platform {
+namespace {
+
+/// Three segments at the paper's clocks with a small mapping.
+PlatformModel small_platform() {
+  PlatformModel platform("Test");
+  EXPECT_TRUE(platform.set_ca_clock(Frequency::from_mhz(111.0)).is_ok());
+  EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(91.0)).is_ok());
+  EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(98.0)).is_ok());
+  EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(89.0)).is_ok());
+  EXPECT_TRUE(platform.map_process("A", 0).is_ok());
+  EXPECT_TRUE(platform.map_process("B", 1).is_ok());
+  EXPECT_TRUE(platform.map_process("C", 2).is_ok());
+  return platform;
+}
+
+// --- structure ------------------------------------------------------------------
+
+TEST(PlatformModel, AddSegmentCreatesLinearBUs) {
+  PlatformModel platform;
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  EXPECT_TRUE(platform.border_units().empty());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_EQ(platform.border_units().size(), 1u);
+  EXPECT_EQ(platform.border_units()[0].left, 0u);
+  EXPECT_EQ(platform.border_units()[0].right, 1u);
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  EXPECT_EQ(platform.border_units().size(), 2u);
+}
+
+TEST(PlatformModel, BuNamesFollowPaperConvention) {
+  PlatformModel platform = small_platform();
+  EXPECT_EQ(platform.border_units()[0].name(), "BU12");
+  EXPECT_EQ(platform.border_units()[1].name(), "BU23");
+}
+
+TEST(PlatformModel, RejectsInvalidClock) {
+  PlatformModel platform;
+  EXPECT_FALSE(platform.add_segment(Frequency::from_mhz(0)).is_ok());
+  EXPECT_FALSE(platform.set_ca_clock(Frequency::from_mhz(-1)).is_ok());
+}
+
+TEST(PlatformModel, MappingAndLookup) {
+  PlatformModel platform = small_platform();
+  EXPECT_EQ(platform.segment_of("B").value(), 1u);
+  EXPECT_FALSE(platform.segment_of("Z").has_value());
+  auto required = platform.require_segment_of("Z");
+  ASSERT_FALSE(required.is_ok());
+  EXPECT_EQ(required.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PlatformModel, RejectsDoubleMapping) {
+  PlatformModel platform = small_platform();
+  auto status = platform.map_process("A", 1);
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PlatformModel, RejectsMappingToMissingSegment) {
+  PlatformModel platform = small_platform();
+  EXPECT_FALSE(platform.map_process("Z", 7).is_ok());
+}
+
+TEST(PlatformModel, RejectsFuWithNoInterfaces) {
+  PlatformModel platform = small_platform();
+  EXPECT_FALSE(platform.map_process("Z", 0, 0, 0).is_ok());
+}
+
+TEST(PlatformModel, MoveProcessRelocatesFu) {
+  PlatformModel platform = small_platform();
+  ASSERT_TRUE(platform.move_process("A", 2).is_ok());
+  EXPECT_EQ(platform.segment_of("A").value(), 2u);
+  EXPECT_FALSE(platform.move_process("Z", 0).is_ok());
+  EXPECT_FALSE(platform.move_process("A", 9).is_ok());
+}
+
+TEST(PlatformModel, UnmapProcess) {
+  PlatformModel platform = small_platform();
+  ASSERT_TRUE(platform.unmap_process("A").is_ok());
+  EXPECT_FALSE(platform.segment_of("A").has_value());
+  EXPECT_FALSE(platform.unmap_process("A").is_ok());
+}
+
+TEST(PlatformModel, MappedProcessesInSegmentOrder) {
+  PlatformModel platform = small_platform();
+  auto mapped = platform.mapped_processes();
+  ASSERT_EQ(mapped.size(), 3u);
+  EXPECT_EQ(mapped[0], "A");
+  EXPECT_EQ(mapped[2], "C");
+}
+
+TEST(PlatformModel, SummaryMentionsStructure) {
+  PlatformModel platform = small_platform();
+  std::string summary = platform.summary();
+  EXPECT_NE(summary.find("3 segment"), std::string::npos);
+  EXPECT_NE(summary.find("2 BU"), std::string::npos);
+}
+
+// --- topology paths -----------------------------------------------------------------
+
+TEST(PlatformPath, LocalPathIsSingleHop) {
+  PlatformModel platform = small_platform();
+  auto path = platform.path(1, 1);
+  ASSERT_TRUE(path.is_ok());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_EQ((*path)[0].segment, 1u);
+  EXPECT_FALSE((*path)[0].exit_bu.has_value());
+}
+
+TEST(PlatformPath, RightwardPathUsesAscendingBUs) {
+  PlatformModel platform = small_platform();
+  auto path = platform.path(0, 2);
+  ASSERT_TRUE(path.is_ok());
+  ASSERT_EQ(path->size(), 3u);
+  EXPECT_EQ((*path)[0].segment, 0u);
+  EXPECT_EQ((*path)[0].exit_bu.value(), 0u);  // BU12
+  EXPECT_EQ((*path)[1].segment, 1u);
+  EXPECT_EQ((*path)[1].exit_bu.value(), 1u);  // BU23
+  EXPECT_EQ((*path)[2].segment, 2u);
+  EXPECT_FALSE((*path)[2].exit_bu.has_value());
+}
+
+TEST(PlatformPath, LeftwardPathMirrors) {
+  PlatformModel platform = small_platform();
+  auto path = platform.path(2, 0);
+  ASSERT_TRUE(path.is_ok());
+  ASSERT_EQ(path->size(), 3u);
+  EXPECT_EQ((*path)[0].segment, 2u);
+  EXPECT_EQ((*path)[0].exit_bu.value(), 1u);  // BU23 leaving segment 3
+  EXPECT_EQ((*path)[1].exit_bu.value(), 0u);
+  EXPECT_EQ((*path)[2].segment, 0u);
+}
+
+TEST(PlatformPath, DistanceIsHopCount) {
+  PlatformModel platform = small_platform();
+  EXPECT_EQ(platform.distance(0, 2), 2u);
+  EXPECT_EQ(platform.distance(2, 0), 2u);
+  EXPECT_EQ(platform.distance(1, 1), 0u);
+}
+
+TEST(PlatformPath, InvalidEndpointsRejected) {
+  PlatformModel platform = small_platform();
+  EXPECT_FALSE(platform.path(0, 9).is_ok());
+  EXPECT_FALSE(platform.bu_between(0, 2).is_ok());  // not adjacent
+  EXPECT_TRUE(platform.bu_between(1, 0).is_ok());   // order-insensitive
+}
+
+// --- constraints ---------------------------------------------------------------------
+
+TEST(PsmConstraints, ValidPlatformPasses) {
+  PlatformModel platform = small_platform();
+  ValidationReport report = validate(platform);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(PsmConstraints, EmptyPlatformFails) {
+  PlatformModel platform;
+  ValidationReport report = validate(platform);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("psm.platform.segments"));
+}
+
+TEST(PsmConstraints, SegmentWithoutFusFails) {
+  PlatformModel platform = small_platform();
+  ASSERT_TRUE(platform.unmap_process("C").is_ok());
+  ValidationReport report = validate(platform);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("psm.segment.fus"));
+}
+
+TEST(PsmConstraints, HugePackageSizeIsWarning) {
+  PlatformModel platform = small_platform();
+  ASSERT_TRUE(platform.set_package_size(10000).is_ok());
+  ValidationReport report = validate(platform);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.has("psm.package_size"));
+}
+
+/// PSDF with A -> B -> C used in mapping checks.
+psdf::PsdfModel abc_app() {
+  psdf::PsdfModel app("abc");
+  EXPECT_TRUE(app.add_process("A").is_ok());
+  EXPECT_TRUE(app.add_process("B").is_ok());
+  EXPECT_TRUE(app.add_process("C").is_ok());
+  EXPECT_TRUE(app.add_flow("A", "B", 72, 1, 10).is_ok());
+  EXPECT_TRUE(app.add_flow("B", "C", 72, 2, 10).is_ok());
+  return app;
+}
+
+TEST(PsmMapping, CompleteMappingPasses) {
+  PlatformModel platform = small_platform();
+  ValidationReport report = validate_mapping(platform, abc_app());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(PsmMapping, UnmappedProcessFails) {
+  PlatformModel platform = small_platform();
+  ASSERT_TRUE(platform.unmap_process("B").is_ok());
+  ASSERT_TRUE(platform.map_process("Spare", 1).is_ok());  // keep segment 2 nonempty
+  ValidationReport report = validate_mapping(platform, abc_app());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("map.total"));
+  EXPECT_TRUE(report.has("map.known"));  // "Spare" is not an app process
+}
+
+TEST(PsmMapping, SenderNeedsMasterInterface) {
+  PlatformModel platform("Test");
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.map_process("A", 0, /*masters=*/0, /*slaves=*/1)
+                  .is_ok());
+  ASSERT_TRUE(platform.map_process("B", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 0).is_ok());
+  ValidationReport report = validate_mapping(platform, abc_app());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("map.master_needed"));
+}
+
+TEST(PsmMapping, ReceiverNeedsSlaveInterface) {
+  PlatformModel platform("Test");
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 0, /*masters=*/1, /*slaves=*/0)
+                  .is_ok());
+  ValidationReport report = validate_mapping(platform, abc_app());
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("map.slave_needed"));
+}
+
+TEST(PsmMapping, PackageSizeMismatchIsWarning) {
+  PlatformModel platform = small_platform();
+  ASSERT_TRUE(platform.set_package_size(18).is_ok());
+  psdf::PsdfModel app = abc_app();  // package size 36
+  ValidationReport report = validate_mapping(platform, app);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.has("map.package_size"));
+}
+
+// --- XML codec ----------------------------------------------------------------------
+
+TEST(PlatformXml, WriteProducesPaperShape) {
+  PlatformModel platform = small_platform();
+  std::string text = xml::write_document(to_xml(platform));
+  EXPECT_NE(text.find("xs:complexType name=\"SBP\""), std::string::npos);
+  EXPECT_NE(text.find("name=\"segment1\" type=\"Segment1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("name=\"ca\" type=\"CA\""), std::string::npos);
+  EXPECT_NE(text.find("name=\"bu12\" type=\"BU12\""), std::string::npos);
+  EXPECT_NE(text.find("name=\"arbiter\" type=\"SA1\""), std::string::npos);
+  EXPECT_NE(text.find("name=\"buRight\" type=\"BU12\""), std::string::npos);
+  EXPECT_NE(text.find("name=\"buLeft\" type=\"BU12\""), std::string::npos);
+}
+
+TEST(PlatformXml, RoundTripPreservesStructure) {
+  PlatformModel platform = small_platform();
+  ASSERT_TRUE(platform.set_package_size(18).is_ok());
+  auto doc = to_xml(platform);
+  auto back = from_xml(doc);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->segment_count(), platform.segment_count());
+  EXPECT_EQ(back->package_size(), 18u);
+  EXPECT_EQ(back->ca_clock().mhz(), 111.0);
+  EXPECT_EQ(back->segment(0).clock.mhz(), 91.0);
+  EXPECT_EQ(back->segment(2).clock.mhz(), 89.0);
+  EXPECT_EQ(back->segment_of("A").value(), 0u);
+  EXPECT_EQ(back->segment_of("B").value(), 1u);
+  EXPECT_EQ(back->segment_of("C").value(), 2u);
+  EXPECT_EQ(back->border_units().size(), 2u);
+}
+
+TEST(PlatformXml, RejectsMissingCa) {
+  auto doc = xml::parse_document(R"(<xs:schema>
+    <xs:complexType name="SBP">
+      <xs:all><xs:element name="segment1" type="Segment1"/></xs:all>
+    </xs:complexType>
+    <xs:complexType name="Segment1" segbus:frequencyMHz="91"/>
+  </xs:schema>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto platform = from_xml(*doc);
+  ASSERT_FALSE(platform.is_ok());
+  EXPECT_NE(platform.status().message().find("central arbiter"),
+            std::string::npos);
+}
+
+TEST(PlatformXml, RejectsMissingFrequency) {
+  auto doc = xml::parse_document(R"(<xs:schema>
+    <xs:complexType name="SBP">
+      <xs:all>
+        <xs:element name="segment1" type="Segment1"/>
+        <xs:element name="ca" type="CA"/>
+      </xs:all>
+    </xs:complexType>
+    <xs:complexType name="CA"/>
+    <xs:complexType name="Segment1" segbus:frequencyMHz="91"/>
+  </xs:schema>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto platform = from_xml(*doc);
+  ASSERT_FALSE(platform.is_ok());
+  EXPECT_NE(platform.status().message().find("frequencyMHz"),
+            std::string::npos);
+}
+
+TEST(PlatformXml, FileRoundTrip) {
+  PlatformModel platform = small_platform();
+  const std::string path = testing::TempDir() + "/plat.psm.xml";
+  ASSERT_TRUE(write_platform_file(platform, path).is_ok());
+  auto back = read_platform_file(path);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->segment_count(), 3u);
+}
+
+// --- DOT export ----------------------------------------------------------------------
+
+TEST(PlatformDot, RendersSegmentsArbitersAndBus) {
+  PlatformModel platform = small_platform();
+  std::string dot = to_dot(platform);
+  EXPECT_NE(dot.find("digraph \"Test\""), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_seg1"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_seg3"), std::string::npos);
+  EXPECT_NE(dot.find("SA2"), std::string::npos);
+  EXPECT_NE(dot.find("bu12"), std::string::npos);
+  EXPECT_NE(dot.find("bu23"), std::string::npos);
+  EXPECT_NE(dot.find("fu_A"), std::string::npos);
+  EXPECT_NE(dot.find("91.00MHz"), std::string::npos);
+  EXPECT_NE(dot.find("ca -> sa1"), std::string::npos);
+  // Braces balance.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(PlatformDot, OptionsHideDetails) {
+  PlatformModel platform = small_platform();
+  PlatformDotOptions options;
+  options.show_fus = false;
+  options.show_clocks = false;
+  std::string dot = to_dot(platform, options);
+  EXPECT_EQ(dot.find("fu_A"), std::string::npos);
+  EXPECT_EQ(dot.find("MHz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus::platform

@@ -1,0 +1,407 @@
+// Unit tests for the PSDF model: flows, packetization, communication
+// matrix, validation, XML scheme codec, DOT export.
+#include <gtest/gtest.h>
+
+#include "psdf/comm_matrix.hpp"
+#include "psdf/dot.hpp"
+#include "psdf/model.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "psdf/validate.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::psdf {
+namespace {
+
+/// A small three-stage pipeline used by several tests.
+PsdfModel pipeline_model() {
+  PsdfModel model("pipe");
+  EXPECT_TRUE(model.set_package_size(36).is_ok());
+  for (const char* name : {"A", "B", "C"}) {
+    EXPECT_TRUE(model.add_process(name).is_ok());
+  }
+  EXPECT_TRUE(model.add_flow("A", "B", 72, 1, 100).is_ok());
+  EXPECT_TRUE(model.add_flow("B", "C", 36, 2, 50).is_ok());
+  return model;
+}
+
+// --- model basics --------------------------------------------------------------
+
+TEST(PsdfModel, PackagesForUsesCeiling) {
+  EXPECT_EQ(packages_for(576, 36), 16u);
+  EXPECT_EQ(packages_for(540, 36), 15u);
+  EXPECT_EQ(packages_for(36, 36), 1u);
+  EXPECT_EQ(packages_for(37, 36), 2u);
+  EXPECT_EQ(packages_for(1, 36), 1u);
+  EXPECT_EQ(packages_for(576, 18), 32u);
+  EXPECT_EQ(packages_for(0, 36), 0u);
+}
+
+TEST(PsdfModel, AddProcessAssignsSequentialIds) {
+  PsdfModel model;
+  auto a = model.add_process("P0");
+  auto b = model.add_process("P1");
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(model.process(*b).name, "P1");
+}
+
+TEST(PsdfModel, RejectsDuplicateProcess) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("P0").is_ok());
+  auto dup = model.add_process("P0");
+  ASSERT_FALSE(dup.is_ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(PsdfModel, RejectsInvalidProcessName) {
+  PsdfModel model;
+  EXPECT_FALSE(model.add_process("").is_ok());
+  EXPECT_FALSE(model.add_process("9x").is_ok());
+  EXPECT_FALSE(model.add_process("a-b").is_ok());
+}
+
+TEST(PsdfModel, FlowEndpointChecks) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  EXPECT_FALSE(model.add_flow(0, 0, 10, 1, 1).is_ok());   // self loop
+  EXPECT_FALSE(model.add_flow(0, 9, 10, 1, 1).is_ok());   // bad target
+  EXPECT_FALSE(model.add_flow(9, 1, 10, 1, 1).is_ok());   // bad source
+  EXPECT_FALSE(model.add_flow(0, 1, 0, 1, 1).is_ok());    // zero items
+  EXPECT_TRUE(model.add_flow(0, 1, 10, 1, 1).is_ok());
+  // duplicate (source, target, ordering)
+  EXPECT_FALSE(model.add_flow(0, 1, 20, 1, 1).is_ok());
+  // same pair, different ordering is fine
+  EXPECT_TRUE(model.add_flow(0, 1, 20, 2, 1).is_ok());
+}
+
+TEST(PsdfModel, NameBasedFlowOverload) {
+  PsdfModel model = pipeline_model();
+  auto status = model.add_flow("A", "missing", 5, 3, 1);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(PsdfModel, ScheduledFlowsSortByOrdering) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("C").is_ok());
+  ASSERT_TRUE(model.add_flow(1, 2, 5, 7, 1).is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 5, 2, 1).is_ok());
+  auto scheduled = model.scheduled_flows();
+  ASSERT_EQ(scheduled.size(), 2u);
+  EXPECT_EQ(scheduled[0].ordering, 2u);
+  EXPECT_EQ(scheduled[1].ordering, 7u);
+}
+
+TEST(PsdfModel, FlowsFromAndInto) {
+  PsdfModel model = pipeline_model();
+  EXPECT_EQ(model.flows_from(0).size(), 1u);
+  EXPECT_EQ(model.flows_into(1).size(), 1u);
+  EXPECT_EQ(model.flows_into(0).size(), 0u);
+  EXPECT_EQ(model.flows_from(2).size(), 0u);
+}
+
+TEST(PsdfModel, TotalItemsSumsMultipleFlows) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 10, 1, 1).is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 20, 2, 1).is_ok());
+  EXPECT_EQ(model.total_items(0, 1), 30u);
+  EXPECT_EQ(model.total_items(1, 0), 0u);
+}
+
+TEST(PsdfModel, TotalPackagesAndMaxOrdering) {
+  PsdfModel model = pipeline_model();
+  EXPECT_EQ(model.total_packages(), 3u);  // 72/36=2 + 36/36=1
+  EXPECT_EQ(model.max_ordering(), 2u);
+}
+
+TEST(PsdfModel, RescaleKeepsComputePerItem) {
+  PsdfModel model = pipeline_model();  // C=100 @ s=36
+  auto rescaled = model.rescaled_for_package_size(18);
+  ASSERT_TRUE(rescaled.is_ok());
+  EXPECT_EQ(rescaled->package_size(), 18u);
+  EXPECT_EQ(rescaled->flows()[0].compute_ticks, 50u);  // 100 * 18/36
+}
+
+TEST(PsdfModel, RescaleWithFixedComponent) {
+  PsdfModel model("m");
+  ASSERT_TRUE(model.set_package_size(36).is_ok());
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 72, 1, 250).is_ok());
+  auto rescaled = model.rescaled_for_package_size(18, 30);
+  ASSERT_TRUE(rescaled.is_ok());
+  // C' = 30 + (250-30) * 18/36 = 140.
+  EXPECT_EQ(rescaled->flows()[0].compute_ticks, 140u);
+}
+
+TEST(PsdfModel, RescaleToSameSizeIsIdentity) {
+  PsdfModel model = pipeline_model();
+  auto same = model.rescaled_for_package_size(36);
+  ASSERT_TRUE(same.is_ok());
+  EXPECT_EQ(same->flows()[0].compute_ticks, 100u);
+}
+
+TEST(PsdfModel, RescaleNeverDropsBelowOneTick) {
+  PsdfModel model("m");
+  EXPECT_TRUE(model.set_package_size(100).is_ok());
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 100, 1, 3).is_ok());
+  auto rescaled = model.rescaled_for_package_size(1);
+  ASSERT_TRUE(rescaled.is_ok());
+  EXPECT_GE(rescaled->flows()[0].compute_ticks, 1u);
+}
+
+TEST(PsdfModel, ZeroPackageSizeRejected) {
+  PsdfModel model;
+  EXPECT_FALSE(model.set_package_size(0).is_ok());
+  EXPECT_FALSE(model.rescaled_for_package_size(0).is_ok());
+}
+
+// --- communication matrix -------------------------------------------------------
+
+TEST(CommMatrix, BuiltFromModel) {
+  PsdfModel model = pipeline_model();
+  CommMatrix matrix = CommMatrix::from_model(model);
+  ASSERT_EQ(matrix.size(), 3u);
+  EXPECT_EQ(matrix.at(0, 1), 72u);
+  EXPECT_EQ(matrix.at(1, 2), 36u);
+  EXPECT_EQ(matrix.at(0, 2), 0u);
+}
+
+TEST(CommMatrix, MultipleFlowsAccumulate) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 10, 1, 1).is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 30, 2, 1).is_ok());
+  CommMatrix matrix = CommMatrix::from_model(model);
+  EXPECT_EQ(matrix.at(0, 1), 40u);
+}
+
+TEST(CommMatrix, SumsAndCounts) {
+  PsdfModel model = pipeline_model();
+  CommMatrix matrix = CommMatrix::from_model(model);
+  EXPECT_EQ(matrix.row_sum(0), 72u);
+  EXPECT_EQ(matrix.column_sum(2), 36u);
+  EXPECT_EQ(matrix.total(), 108u);
+  EXPECT_EQ(matrix.nonzero_count(), 2u);
+}
+
+TEST(CommMatrix, PackagesAt) {
+  PsdfModel model = pipeline_model();
+  CommMatrix matrix = CommMatrix::from_model(model);
+  EXPECT_EQ(matrix.packages_at(0, 1, 36), 2u);
+  EXPECT_EQ(matrix.packages_at(0, 1, 50), 2u);
+  EXPECT_EQ(matrix.packages_at(0, 1, 72), 1u);
+}
+
+TEST(CommMatrix, RenderContainsHeadersAndValues) {
+  PsdfModel model = pipeline_model();
+  CommMatrix matrix = CommMatrix::from_model(model);
+  std::string text = matrix.render(model);
+  EXPECT_NE(text.find("A"), std::string::npos);
+  EXPECT_NE(text.find("72"), std::string::npos);
+}
+
+// --- validation ----------------------------------------------------------------
+
+TEST(PsdfValidate, ValidModelPasses) {
+  PsdfModel model = pipeline_model();
+  ValidationReport report = validate(model);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_TRUE(validate_or_error(model).is_ok());
+}
+
+TEST(PsdfValidate, EmptyModelFails) {
+  PsdfModel model;
+  ValidationReport report = validate(model);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("psdf.nonempty"));
+}
+
+TEST(PsdfValidate, OrderingViolationDetected) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("C").is_ok());
+  // B receives at ordering 5 but sends at ordering 3.
+  ASSERT_TRUE(model.add_flow(0, 1, 10, 5, 1).is_ok());
+  ASSERT_TRUE(model.add_flow(1, 2, 10, 3, 1).is_ok());
+  ValidationReport report = validate(model);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has("psdf.flow.ordering"));
+}
+
+TEST(PsdfValidate, CycleDetected) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 10, 1, 1).is_ok());
+  ASSERT_TRUE(model.add_flow(1, 0, 10, 2, 1).is_ok());
+  ValidationReport report = validate(model);
+  EXPECT_TRUE(report.has("psdf.flow.acyclic"));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(PsdfValidate, IsolatedProcessIsWarningOnly) {
+  PsdfModel model = pipeline_model();
+  ASSERT_TRUE(model.add_process("Lonely").is_ok());
+  ValidationReport report = validate(model);
+  EXPECT_TRUE(report.ok());  // warnings do not fail validation
+  EXPECT_TRUE(report.has("psdf.flow.reachable"));
+}
+
+TEST(PsdfValidate, ZeroComputeIsWarning) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 10, 1, 0).is_ok());
+  ValidationReport report = validate(model);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.has("psdf.compute.positive"));
+}
+
+TEST(PsdfValidate, NoFlowsIsWarning) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ValidationReport report = validate(model);
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.has("psdf.flow.some"));
+}
+
+// --- flow-name codec -------------------------------------------------------------
+
+TEST(FlowName, EncodeMatchesPaperExample) {
+  PsdfModel model;
+  ASSERT_TRUE(model.add_process("P0").is_ok());
+  ASSERT_TRUE(model.add_process("P1").is_ok());
+  ASSERT_TRUE(model.add_flow(0, 1, 576, 1, 250).is_ok());
+  EXPECT_EQ(encode_flow_name(model, model.flows()[0]), "P1_576_1_250");
+}
+
+TEST(FlowName, DecodeMatchesPaperExample) {
+  auto decoded = decode_flow_name("P1_576_1_250");
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->target, "P1");
+  EXPECT_EQ(decoded->data_items, 576u);
+  EXPECT_EQ(decoded->ordering, 1u);
+  EXPECT_EQ(decoded->compute_ticks, 250u);
+}
+
+TEST(FlowName, DecodeSupportsUnderscoredProcessNames) {
+  auto decoded = decode_flow_name("left_channel_540_2_125");
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->target, "left_channel");
+  EXPECT_EQ(decoded->data_items, 540u);
+}
+
+TEST(FlowName, DecodeRejectsMalformedNames) {
+  EXPECT_FALSE(decode_flow_name("P1_576_1").is_ok());      // too few fields
+  EXPECT_FALSE(decode_flow_name("P1_x_1_250").is_ok());    // non-numeric D
+  EXPECT_FALSE(decode_flow_name("_576_1_250").is_ok());    // empty target
+  EXPECT_FALSE(decode_flow_name("").is_ok());
+}
+
+// --- XML codec ---------------------------------------------------------------------
+
+TEST(PsdfXml, WriteProducesPaperShape) {
+  PsdfModel model = pipeline_model();
+  std::string text = xml::write_document(to_xml(model));
+  EXPECT_NE(text.find("<xs:schema"), std::string::npos);
+  EXPECT_NE(text.find("xs:complexType name=\"A\""), std::string::npos);
+  EXPECT_NE(text.find("<xs:all>"), std::string::npos);
+  EXPECT_NE(text.find("name=\"B_72_1_100\" type=\"Transfer\""),
+            std::string::npos);
+  EXPECT_NE(text.find("segbus:packageSize=\"36\""), std::string::npos);
+}
+
+TEST(PsdfXml, RoundTripPreservesModel) {
+  PsdfModel model = pipeline_model();
+  auto doc = to_xml(model);
+  auto back = from_xml(doc);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->name(), model.name());
+  EXPECT_EQ(back->package_size(), model.package_size());
+  ASSERT_EQ(back->process_count(), model.process_count());
+  for (std::size_t i = 0; i < model.process_count(); ++i) {
+    EXPECT_EQ(back->process(static_cast<ProcessId>(i)).name,
+              model.process(static_cast<ProcessId>(i)).name);
+  }
+  ASSERT_EQ(back->flows().size(), model.flows().size());
+  EXPECT_EQ(CommMatrix::from_model(*back), CommMatrix::from_model(model));
+}
+
+TEST(PsdfXml, PackageSizeOverrideWins) {
+  PsdfModel model = pipeline_model();
+  auto doc = to_xml(model);
+  auto back = from_xml(doc, 18);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->package_size(), 18u);
+}
+
+TEST(PsdfXml, RejectsUnknownTargetProcess) {
+  auto doc = xml::parse_document(R"(<xs:schema>
+      <xs:complexType name="A">
+        <xs:all><xs:element name="Zed_10_1_5" type="Transfer"/></xs:all>
+      </xs:complexType>
+    </xs:schema>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto model = from_xml(*doc);
+  ASSERT_FALSE(model.is_ok());
+  EXPECT_NE(model.status().message().find("Zed"), std::string::npos);
+}
+
+TEST(PsdfXml, RejectsNonSchemaRoot) {
+  auto doc = xml::parse_document("<wrong/>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_FALSE(from_xml(*doc).is_ok());
+}
+
+TEST(PsdfXml, RejectsEmptyScheme) {
+  auto doc = xml::parse_document("<xs:schema/>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_FALSE(from_xml(*doc).is_ok());
+}
+
+TEST(PsdfXml, FileRoundTrip) {
+  PsdfModel model = pipeline_model();
+  const std::string path = testing::TempDir() + "/pipe.psdf.xml";
+  ASSERT_TRUE(write_psdf_file(model, path).is_ok());
+  auto back = read_psdf_file(path);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->flows().size(), model.flows().size());
+}
+
+// --- DOT export ---------------------------------------------------------------------
+
+TEST(PsdfDot, ContainsNodesAndEdges) {
+  PsdfModel model = pipeline_model();
+  std::string dot = to_dot(model);
+  EXPECT_NE(dot.find("digraph \"pipe\""), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"72/1/100\""), std::string::npos);
+  // A is a source (doublecircle), C a sink (doubleoctagon).
+  EXPECT_NE(dot.find("\"A\" [shape=doublecircle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"C\" [shape=doubleoctagon]"), std::string::npos);
+}
+
+TEST(PsdfDot, OptionsControlLabels) {
+  PsdfModel model = pipeline_model();
+  DotOptions options;
+  options.edge_labels = false;
+  options.left_to_right = false;
+  std::string dot = to_dot(model, options);
+  EXPECT_EQ(dot.find("label="), std::string::npos);
+  EXPECT_EQ(dot.find("rankdir"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus::psdf

@@ -1,0 +1,82 @@
+// Regression anchors: the exact figures of the standard runs, pinned so
+// that any change in engine semantics or default timing constants is
+// caught deliberately rather than drifting silently. When one of these
+// fails after an intentional change, re-derive the figures, update both
+// the constants here and EXPERIMENTS.md, and explain the delta in the
+// change description.
+#include <gtest/gtest.h>
+
+#include "apps/mp3.hpp"
+#include "emu/engine.hpp"
+
+namespace segbus {
+namespace {
+
+emu::EmulationResult run_standard(std::uint32_t package,
+                                  const std::vector<std::uint32_t>& alloc,
+                                  const emu::TimingModel& timing) {
+  auto app = apps::mp3_decoder_psdf(package);
+  EXPECT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform(*app, alloc, 3, package);
+  EXPECT_TRUE(platform.is_ok());
+  auto engine = emu::Engine::create(*app, *platform, timing);
+  EXPECT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  EXPECT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->completed);
+  return std::move(result).value();
+}
+
+TEST(Regression, ThreeSegmentEstimationRun) {
+  emu::EmulationResult result =
+      run_standard(36, apps::mp3_allocation(3),
+                   emu::TimingModel::emulator());
+  // Pinned totals of the E4 run (paper: CA TCT 54367, 489792303 ps).
+  EXPECT_EQ(result.ca.tct, 51445u);
+  EXPECT_EQ(result.total_execution_time.count(), 463468005);
+  EXPECT_EQ(result.last_delivery_time.count(), 463445272);
+  // Pinned per-element figures (these also match the paper exactly).
+  EXPECT_EQ(result.bus[0].tct, 2336u);
+  EXPECT_EQ(result.bus[1].tct, 146u);
+  EXPECT_EQ(result.sas[0].intra_requests, 95u);
+  EXPECT_EQ(result.sas[0].inter_requests, 32u);
+  EXPECT_EQ(result.sas[1].intra_requests, 96u);
+  EXPECT_EQ(result.sas[2].inter_requests, 1u);
+  // Per-process anchors (Figure 10 shape).
+  EXPECT_EQ(result.processes[0].start_time.count(), 10989);
+  EXPECT_EQ(result.processes[14].packages_received, 32u);
+}
+
+TEST(Regression, ThreeSegmentReferenceRun) {
+  emu::EmulationResult result =
+      run_standard(36, apps::mp3_allocation(3),
+                   emu::TimingModel::reference());
+  EXPECT_EQ(result.total_execution_time.count(), 474278805);
+  // The reference model's sync ticks surface as waiting period: 4 per
+  // package on both BUs.
+  EXPECT_EQ(result.bus[0].wp_ticks, 4u * 32u);
+  EXPECT_EQ(result.bus[1].wp_ticks, 4u * 2u);
+}
+
+TEST(Regression, PackageSize18Run) {
+  emu::EmulationResult result =
+      run_standard(18, apps::mp3_allocation(3),
+                   emu::TimingModel::emulator());
+  EXPECT_EQ(result.total_execution_time.count(), 514531017);
+  EXPECT_EQ(result.bus[0].total_input(), 64u);
+  EXPECT_EQ(result.bus[1].total_input(), 4u);
+}
+
+TEST(Regression, P9MovedRun) {
+  emu::EmulationResult result =
+      run_standard(36, apps::mp3_allocation_p9_moved(),
+                   emu::TimingModel::emulator());
+  EXPECT_EQ(result.total_execution_time.count(), 487792305);
+  // P8 -> P9 (15) and P9 -> P3 (15) now cross BU12 and BU23 on top of the
+  // baseline's 32/2.
+  EXPECT_EQ(result.bus[0].total_input(), 62u);
+  EXPECT_EQ(result.bus[1].total_input(), 32u);
+}
+
+}  // namespace
+}  // namespace segbus

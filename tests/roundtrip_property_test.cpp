@@ -1,0 +1,113 @@
+// Property tests of the model <-> XML codecs: for randomized PSDF models
+// and platforms, write -> parse must reproduce the model exactly. These
+// sweeps complement the hand-written codec tests with breadth.
+#include <gtest/gtest.h>
+
+#include "apps/synthetic.hpp"
+#include "place/apply.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/comm_matrix.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus {
+namespace {
+
+class RoundTripTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripTest, PsdfSurvivesXmlRoundTrip) {
+  apps::RandomWorkloadOptions options;
+  options.seed = GetParam();
+  options.max_layers = 5;
+  options.max_width = 4;
+  auto model = apps::synthetic_random(options);
+  ASSERT_TRUE(model.is_ok());
+
+  std::string text = xml::write_document(psdf::to_xml(*model));
+  auto doc = xml::parse_document(text);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  auto back = psdf::from_xml(*doc);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+
+  EXPECT_EQ(back->name(), model->name());
+  EXPECT_EQ(back->package_size(), model->package_size());
+  ASSERT_EQ(back->process_count(), model->process_count());
+  ASSERT_EQ(back->flows().size(), model->flows().size());
+  // Flow multisets must match exactly; compare via sorted schedules.
+  auto a = model->scheduled_flows();
+  auto b = back->scheduled_flows();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "flow " << i;
+  }
+  EXPECT_EQ(psdf::CommMatrix::from_model(*back),
+            psdf::CommMatrix::from_model(*model));
+}
+
+TEST_P(RoundTripTest, PlatformSurvivesXmlRoundTrip) {
+  Xoshiro256 rng(GetParam() * 77 + 5);
+  apps::RandomWorkloadOptions options;
+  options.seed = GetParam();
+  auto app = apps::synthetic_random(options);
+  ASSERT_TRUE(app.is_ok());
+
+  const auto segments = static_cast<std::uint32_t>(rng.next_in(
+      1, static_cast<std::int64_t>(
+             std::min<std::size_t>(app->process_count(), 4))));
+  platform::PlatformModel platform(
+      str_format("RT%llu",
+                 static_cast<unsigned long long>(GetParam())));
+  ASSERT_TRUE(platform
+                  .set_package_size(static_cast<std::uint32_t>(
+                      rng.next_in(4, 64)))
+                  .is_ok());
+  ASSERT_TRUE(platform
+                  .set_ca_clock(Frequency::from_mhz(
+                      static_cast<double>(rng.next_in(50, 200))))
+                  .is_ok());
+  for (std::uint32_t s = 0; s < segments; ++s) {
+    ASSERT_TRUE(platform
+                    .add_segment(Frequency::from_mhz(
+                        static_cast<double>(rng.next_in(50, 200))))
+                    .is_ok());
+  }
+  place::Allocation allocation(app->process_count());
+  for (std::size_t i = 0; i < allocation.size(); ++i) {
+    allocation[i] = i < segments
+                        ? static_cast<std::uint32_t>(i)
+                        : static_cast<std::uint32_t>(
+                              rng.next_below(segments));
+  }
+  ASSERT_TRUE(place::apply_allocation(*app, allocation, platform).is_ok());
+
+  std::string text = xml::write_document(platform::to_xml(platform));
+  auto doc = xml::parse_document(text);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  auto back = platform::from_xml(*doc);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string() << "\n" << text;
+
+  EXPECT_EQ(back->name(), platform.name());
+  EXPECT_EQ(back->package_size(), platform.package_size());
+  EXPECT_EQ(back->segment_count(), platform.segment_count());
+  EXPECT_EQ(back->ca_clock().period_ps(), platform.ca_clock().period_ps());
+  for (platform::SegmentId s = 0; s < segments; ++s) {
+    EXPECT_EQ(back->segment(s).clock.period_ps(),
+              platform.segment(s).clock.period_ps());
+    EXPECT_EQ(back->segment(s).fus.size(), platform.segment(s).fus.size());
+  }
+  for (const psdf::Process& p : app->processes()) {
+    EXPECT_EQ(back->segment_of(p.name), platform.segment_of(p.name));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         testing::Range<std::uint64_t>(1, 21),
+                         [](const testing::TestParamInfo<std::uint64_t>&
+                                info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace segbus

@@ -1,0 +1,101 @@
+// Tests of the per-stage span statistics and the flow/stage report tables.
+#include <gtest/gtest.h>
+
+#include "apps/mp3.hpp"
+#include "core/report.hpp"
+#include "core/session.hpp"
+#include "emu/engine.hpp"
+
+namespace segbus {
+namespace {
+
+emu::EmulationResult run_mp3() {
+  auto app = apps::mp3_decoder_psdf();
+  EXPECT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  EXPECT_TRUE(platform.is_ok());
+  auto engine = emu::Engine::create(*app, *platform);
+  EXPECT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  EXPECT_TRUE(result.is_ok());
+  return std::move(result).value();
+}
+
+TEST(StageStats, OneEntryPerOrderingValue) {
+  emu::EmulationResult result = run_mp3();
+  ASSERT_EQ(result.stages.size(), 10u);
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    EXPECT_EQ(result.stages[i].ordering, i + 1);  // T values 1..10
+  }
+}
+
+TEST(StageStats, StagesOpenAndCloseMonotonically) {
+  emu::EmulationResult result = run_mp3();
+  EXPECT_EQ(result.stages.front().open_time.count(), 0);  // stage 1 at t=0
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    const emu::StageStats& stage = result.stages[i];
+    EXPECT_LT(stage.open_time, stage.close_time) << "stage " << i;
+    if (i > 0) {
+      // A stage opens only after the previous one's flows all delivered.
+      EXPECT_GE(stage.open_time, result.stages[i - 1].close_time);
+      EXPECT_GT(stage.close_time, result.stages[i - 1].close_time);
+    }
+  }
+  // The last stage closes at the final delivery.
+  EXPECT_EQ(result.stages.back().close_time, result.last_delivery_time);
+}
+
+TEST(StageStats, SpansCoverMostOfTheRun) {
+  // The schedule serializes stages, so the summed spans account for almost
+  // the whole execution (gaps are only the stage-gate broadcast latency).
+  emu::EmulationResult result = run_mp3();
+  std::int64_t covered = 0;
+  for (const emu::StageStats& stage : result.stages) {
+    covered += (stage.close_time - stage.open_time).count();
+  }
+  EXPECT_GT(covered, result.total_execution_time.count() * 9 / 10);
+}
+
+TEST(StageStats, SingleStageApplication) {
+  psdf::PsdfModel app("one");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  ASSERT_TRUE(app.add_process("A").is_ok());
+  ASSERT_TRUE(app.add_process("B").is_ok());
+  ASSERT_TRUE(app.add_flow("A", "B", 72, 7, 10).is_ok());  // lone T=7
+  platform::PlatformModel platform("P");
+  ASSERT_TRUE(platform.set_package_size(36).is_ok());
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 0).is_ok());
+  auto engine = emu::Engine::create(app, platform);
+  ASSERT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  ASSERT_TRUE(result.is_ok());
+  ASSERT_EQ(result->stages.size(), 1u);
+  EXPECT_EQ(result->stages[0].ordering, 7u);
+  EXPECT_EQ(result->stages[0].open_time.count(), 0);
+  EXPECT_EQ(result->stages[0].close_time, result->last_delivery_time);
+}
+
+TEST(FlowTable, RendersEveryFlow) {
+  emu::EmulationResult result = run_mp3();
+  std::string table = core::render_flow_table(result);
+  EXPECT_NE(table.find("P0 -> P1"), std::string::npos);
+  EXPECT_NE(table.find("P13 -> P14"), std::string::npos);
+  EXPECT_NE(table.find("inter"), std::string::npos);  // P3 -> P4 etc.
+  EXPECT_NE(table.find("local"), std::string::npos);
+  EXPECT_NE(table.find("lat mean"), std::string::npos);
+}
+
+TEST(StageTable, RendersSharesThatRoughlySumToOne) {
+  emu::EmulationResult result = run_mp3();
+  std::string table = core::render_stage_table(result);
+  for (int t = 1; t <= 10; ++t) {
+    EXPECT_NE(table.find(std::to_string(t)), std::string::npos);
+  }
+  EXPECT_NE(table.find("share"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus

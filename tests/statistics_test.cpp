@@ -1,0 +1,197 @@
+// Tests of the statistics substrate (Welford running stats, histograms)
+// and the package-latency histogram renderer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/mp3.hpp"
+#include "core/report.hpp"
+#include "emu/engine.hpp"
+#include "support/rng.hpp"
+#include "support/statistics.hpp"
+
+namespace segbus {
+namespace {
+
+// --- RunningStats ---------------------------------------------------------------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance of this classic sequence is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(42.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 42.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 42.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256 rng(3);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double() * 100.0;
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats snapshot = a;
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), snapshot.count());
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+  // Values around 1e9 with tiny variance: a naive sum-of-squares approach
+  // would cancel catastrophically.
+  RunningStats stats;
+  for (double delta : {0.1, 0.2, 0.3, 0.4}) stats.add(1e9 + delta);
+  EXPECT_NEAR(stats.mean(), 1e9 + 0.25, 1e-3);
+  EXPECT_NEAR(stats.variance(), 0.05 / 3.0, 1e-6);
+}
+
+// --- Histogram ------------------------------------------------------------------
+
+TEST(Histogram, BinsAndOverflow) {
+  Histogram histogram(0.0, 10.0, 5);
+  for (double v : {0.5, 1.5, 1.9, 5.0, 9.9, -1.0, 11.0, 10.0}) {
+    histogram.add(v);
+  }
+  EXPECT_EQ(histogram.count(), 8u);
+  EXPECT_EQ(histogram.underflow(), 1u);
+  EXPECT_EQ(histogram.overflow(), 1u);
+  EXPECT_EQ(histogram.bin(0), 3u);  // 0.5, 1.5, 1.9
+  EXPECT_EQ(histogram.bin(2), 1u);  // 5.0
+  EXPECT_EQ(histogram.bin(4), 2u);  // 9.9 and 10.0 (== hi clamps in)
+  EXPECT_DOUBLE_EQ(histogram.bin_low(2), 4.0);
+  EXPECT_DOUBLE_EQ(histogram.bin_high(2), 6.0);
+}
+
+TEST(Histogram, QuantilesOfUniformData) {
+  Histogram histogram(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) histogram.add(i + 0.5);
+  EXPECT_NEAR(histogram.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(histogram.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(histogram.quantile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(histogram.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(Histogram, OfSpansSampleRange) {
+  std::vector<double> samples = {3.0, 7.0, 5.0, 9.0};
+  Histogram histogram = Histogram::of(samples, 3);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.underflow(), 0u);
+  EXPECT_EQ(histogram.overflow(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.bin_low(0), 3.0);
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+  Histogram histogram(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram histogram(0.0, 4.0, 2);
+  histogram.add(1.0);
+  histogram.add(1.2);
+  histogram.add(3.0);
+  std::string text = histogram.render(10);
+  EXPECT_NE(text.find("##########"), std::string::npos);  // peak bin
+  EXPECT_NE(text.find("#####"), std::string::npos);
+}
+
+// --- latency recording end to end ---------------------------------------------------
+
+TEST(LatencyRecording, SamplesMatchAggregates) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  emu::EngineOptions options;
+  options.record_latencies = true;
+  auto engine = emu::Engine::create(*app, *platform,
+                                    emu::TimingModel::emulator(), options);
+  ASSERT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  ASSERT_TRUE(result.is_ok());
+  for (const emu::FlowStats& flow : result->flows) {
+    ASSERT_EQ(flow.latency_samples.size(), flow.packages);
+    std::int64_t total = 0;
+    std::int64_t lo = flow.latency_samples.front();
+    std::int64_t hi = lo;
+    for (std::int64_t sample : flow.latency_samples) {
+      total += sample;
+      lo = std::min(lo, sample);
+      hi = std::max(hi, sample);
+    }
+    EXPECT_EQ(total, flow.total_latency_ps);
+    EXPECT_EQ(lo, flow.min_latency_ps);
+    EXPECT_EQ(hi, flow.max_latency_ps);
+  }
+}
+
+TEST(LatencyRecording, DisabledByDefault) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto engine = emu::Engine::create(*app, *platform);
+  ASSERT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  ASSERT_TRUE(result.is_ok());
+  for (const emu::FlowStats& flow : result->flows) {
+    EXPECT_TRUE(flow.latency_samples.empty());
+  }
+}
+
+TEST(LatencyRecording, HistogramRenderer) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  emu::EngineOptions options;
+  options.record_latencies = true;
+  auto engine = emu::Engine::create(*app, *platform,
+                                    emu::TimingModel::emulator(), options);
+  ASSERT_TRUE(engine.is_ok());
+  auto result = engine->run();
+  ASSERT_TRUE(result.is_ok());
+  std::string text = core::render_latency_histogram(*result);
+  EXPECT_NE(text.find("package latency over"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+  // Without recording: explanatory note.
+  emu::EmulationResult empty;
+  EXPECT_NE(core::render_latency_histogram(empty).find("record_latencies"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus

@@ -1,0 +1,437 @@
+// Unit tests for the support substrate: status/result, strings, time &
+// clock-domain math, tables, CSV, RNG, CLI, diagnostics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/diag.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "support/time.hpp"
+
+namespace segbus {
+namespace {
+
+// --- Status / Result --------------------------------------------------------
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status status = parse_error("bad token");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.message(), "bad token");
+  EXPECT_EQ(status.to_string(), "ParseError: bad token");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(parse_error("x"), parse_error("x"));
+  EXPECT_FALSE(parse_error("x") == parse_error("y"));
+  EXPECT_FALSE(parse_error("x") == not_found_error("x"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kParseError, StatusCode::kValidationError,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+    EXPECT_FALSE(status_code_name(code).empty());
+    EXPECT_NE(status_code_name(code), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result = not_found_error("missing");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, OkStatusIsNormalizedToInternal) {
+  Result<int> result = Status::ok();
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.is_ok());
+  std::unique_ptr<int> value = std::move(result).value();
+  EXPECT_EQ(*value, 7);
+}
+
+// --- strings ---------------------------------------------------------------
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSkipEmptyDropsEmptyFields) {
+  auto parts = split_skip_empty(",a,,b,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(Strings, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("segment1", "seg"));
+  EXPECT_FALSE(starts_with("seg", "segment"));
+  EXPECT_TRUE(ends_with("model.xml", ".xml"));
+  EXPECT_FALSE(ends_with("xml", "model.xml"));
+}
+
+TEST(Strings, CaseConversionAndIEquals) {
+  EXPECT_EQ(to_lower("BU12"), "bu12");
+  EXPECT_EQ(to_upper("bu12"), "BU12");
+  EXPECT_TRUE(iequals("SegBus", "sEgBuS"));
+  EXPECT_FALSE(iequals("SegBus", "SegBuss"));
+}
+
+TEST(Strings, ParseIntStrict) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_FALSE(parse_int("42x").has_value());
+  EXPECT_FALSE(parse_int(" 42").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(Strings, ParseUintRejectsNegative) {
+  EXPECT_EQ(parse_uint("576").value(), 576u);
+  EXPECT_FALSE(parse_uint("-1").has_value());
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(parse_double("91.5").value(), 91.5);
+  EXPECT_FALSE(parse_double("91.5MHz").has_value());
+}
+
+TEST(Strings, ParseOrErrorNamesTheField) {
+  auto result = parse_uint_or_error("abc", "flow data items (D)");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("flow data items (D)"),
+            std::string::npos);
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("a_b_c", "_", "::"), "a::b::c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("abc", "", "x"), "abc");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("P0"));
+  EXPECT_TRUE(is_identifier("_private9"));
+  EXPECT_FALSE(is_identifier("9P"));
+  EXPECT_FALSE(is_identifier("P-0"));
+  EXPECT_FALSE(is_identifier(""));
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(str_format("%s=%d", "x", 5), "x=5");
+  EXPECT_EQ(str_format("%05.1f", 3.25), "003.2");
+}
+
+// --- time / clock domains ---------------------------------------------------
+
+TEST(Time, PicosecondsArithmetic) {
+  Picoseconds a(100), b(50);
+  EXPECT_EQ((a + b).count(), 150);
+  EXPECT_EQ((a - b).count(), 50);
+  EXPECT_EQ((a * 3).count(), 300);
+  EXPECT_LT(b, a);
+  EXPECT_DOUBLE_EQ(Picoseconds(1'000'000).microseconds(), 1.0);
+}
+
+TEST(Time, PeriodTruncationMatchesPaper) {
+  // The paper's clock periods, truncated to integer picoseconds.
+  EXPECT_EQ(Frequency::from_mhz(91.0).period_ps(), 10989);
+  EXPECT_EQ(Frequency::from_mhz(98.0).period_ps(), 10204);
+  EXPECT_EQ(Frequency::from_mhz(89.0).period_ps(), 11235);
+  EXPECT_EQ(Frequency::from_mhz(111.0).period_ps(), 9009);
+}
+
+TEST(Time, PaperExecutionTimesReproduceExactly) {
+  // §4's per-arbiter execution times are TCT x truncated period.
+  ClockDomain ca("CA", Frequency::from_mhz(111.0));
+  EXPECT_EQ(ca.span(54367).count(), 489792303);  // "489792303ps @ 111.00MHz"
+  ClockDomain sa1("S1", Frequency::from_mhz(91.0));
+  EXPECT_EQ(sa1.span(34764).count(), 382021596);  // SA1
+  ClockDomain sa2("S2", Frequency::from_mhz(98.0));
+  EXPECT_EQ(sa2.span(46031).count(), 469700324);  // SA2
+  ClockDomain sa3("S3", Frequency::from_mhz(89.0));
+  EXPECT_EQ(sa3.span(35884).count(), 403156740);  // SA3 "@ 89.01MHz"
+}
+
+TEST(Time, EffectiveFrequencyLabelsMatchPaper) {
+  ClockDomain sa3("S3", Frequency::from_mhz(89.0));
+  EXPECT_EQ(sa3.frequency_label(), "89.01MHz");  // paper prints 89.01
+  ClockDomain sa1("S1", Frequency::from_mhz(91.0));
+  EXPECT_EQ(sa1.frequency_label(), "91.00MHz");
+}
+
+TEST(Time, FirstTickFiresAtOnePeriod) {
+  // P0's start time in the paper is 10989 ps = one 91 MHz period.
+  ClockDomain domain("S1", Frequency::from_mhz(91.0));
+  EXPECT_EQ(domain.tick_time(0).count(), 10989);
+  EXPECT_EQ(domain.tick_time(1).count(), 21978);
+}
+
+TEST(Time, TicksAtAndFirstTickAtOrAfter) {
+  ClockDomain domain("D", Frequency::from_mhz(100.0));  // 10000 ps period
+  EXPECT_EQ(domain.ticks_at(Picoseconds(9999)), 0);
+  EXPECT_EQ(domain.ticks_at(Picoseconds(10000)), 1);
+  EXPECT_EQ(domain.ticks_at(Picoseconds(25000)), 2);
+  EXPECT_EQ(domain.first_tick_at_or_after(Picoseconds(0)), 0);
+  EXPECT_EQ(domain.first_tick_at_or_after(Picoseconds(10001)), 1);
+  EXPECT_EQ(domain.first_tick_at_or_after(Picoseconds(20000)), 1);
+}
+
+TEST(Time, ValidateFrequencyRejectsNonPositive) {
+  EXPECT_FALSE(validate_frequency(Frequency::from_mhz(0.0), "seg").is_ok());
+  EXPECT_FALSE(validate_frequency(Frequency::from_mhz(-5.0), "seg").is_ok());
+  EXPECT_TRUE(validate_frequency(Frequency::from_mhz(91.0), "seg").is_ok());
+}
+
+TEST(Time, Formatting) {
+  EXPECT_EQ(format_ps(Picoseconds(10989)), "10989ps");
+  EXPECT_EQ(format_us(Picoseconds(489792303)), "489.79us");
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table table;
+  table.set_header({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"bb", "22"});
+  std::string text = table.render();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-+-"), std::string::npos);
+  // All lines equally wide.
+  auto lines = split(text, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0].size(), lines[2].size());
+}
+
+TEST(Table, PadAlignments) {
+  EXPECT_EQ(pad("x", 3, Align::kLeft), "x  ");
+  EXPECT_EQ(pad("x", 3, Align::kRight), "  x");
+  EXPECT_EQ(pad("x", 3, Align::kCenter), " x ");
+  EXPECT_EQ(pad("long", 2, Align::kLeft), "long");  // never truncates
+}
+
+TEST(Table, MarkdownRendering) {
+  Table table;
+  table.set_header({"a", "b"});
+  table.add_row({"1", "2"});
+  std::string md = table.render_markdown();
+  EXPECT_NE(md.find("| a"), std::string::npos);
+  EXPECT_NE(md.find("| ---"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_EQ(table.column_count(), 3u);
+  EXPECT_NO_THROW(table.render());
+}
+
+// --- csv ---------------------------------------------------------------------
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter csv({"x", "y"});
+  csv.add_row({"1", "2"});
+  csv.add_numeric_row({3.5, 4.25}, 2);
+  std::string text = csv.to_string();
+  EXPECT_EQ(text, "x,y\n1,2\n3.50,4.25\n");
+}
+
+TEST(Csv, RowsPaddedToHeaderWidth) {
+  CsvWriter csv({"a", "b", "c"});
+  csv.add_row({"1"});
+  EXPECT_EQ(csv.to_string(), "a,b,c\n1,,\n");
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  bool any_different = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next() != b.next()) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextInCoversBounds) {
+  Xoshiro256 rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::int64_t v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Xoshiro256 rng(11);
+  EXPECT_FALSE(rng.next_bool(0.0));
+  EXPECT_TRUE(rng.next_bool(1.0));
+}
+
+// --- cli ---------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  // Note: a bare "--verbose input.xml" would bind input.xml as the flag's
+  // value ("--flag value" syntax); "--" separates the positionals.
+  const char* argv[] = {"prog",      "--segments=3", "--package", "36",
+                        "--verbose", "--",           "input.xml"};
+  auto cli = CommandLine::parse(7, argv);
+  ASSERT_TRUE(cli.is_ok());
+  EXPECT_EQ(cli->int_flag_or("segments", 0), 3);
+  EXPECT_EQ(cli->int_flag_or("package", 0), 36);
+  EXPECT_TRUE(cli->bool_flag_or("verbose", false));
+  ASSERT_EQ(cli->positional().size(), 1u);
+  EXPECT_EQ(cli->positional()[0], "input.xml");
+}
+
+TEST(Cli, FlagValueSyntaxBindsNextToken) {
+  const char* argv[] = {"prog", "--out", "file.xml"};
+  auto cli = CommandLine::parse(3, argv);
+  ASSERT_TRUE(cli.is_ok());
+  EXPECT_EQ(cli->flag_or("out", ""), "file.xml");
+  EXPECT_TRUE(cli->positional().empty());
+}
+
+TEST(Cli, NoPrefixSetsFalse) {
+  const char* argv[] = {"prog", "--no-color"};
+  auto cli = CommandLine::parse(2, argv);
+  ASSERT_TRUE(cli.is_ok());
+  EXPECT_FALSE(cli->bool_flag_or("color", true));
+}
+
+TEST(Cli, DoubleDashEndsFlags) {
+  const char* argv[] = {"prog", "--", "--not-a-flag"};
+  auto cli = CommandLine::parse(3, argv);
+  ASSERT_TRUE(cli.is_ok());
+  EXPECT_FALSE(cli->has_flag("not-a-flag"));
+  ASSERT_EQ(cli->positional().size(), 1u);
+  EXPECT_EQ(cli->positional()[0], "--not-a-flag");
+}
+
+TEST(Cli, DefaultsOnMissingOrMalformed) {
+  const char* argv[] = {"prog", "--n=abc"};
+  auto cli = CommandLine::parse(2, argv);
+  ASSERT_TRUE(cli.is_ok());
+  EXPECT_EQ(cli->int_flag_or("n", 5), 5);
+  EXPECT_EQ(cli->double_flag_or("missing", 2.5), 2.5);
+  EXPECT_EQ(cli->flag_or("missing", "dft"), "dft");
+}
+
+// --- diagnostics -------------------------------------------------------------
+
+TEST(Diag, OkOnlyWithoutErrors) {
+  ValidationReport report;
+  EXPECT_TRUE(report.ok());
+  report.add_warning("w", "just a warning");
+  EXPECT_TRUE(report.ok());
+  report.add_error("e", "a real problem");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(Diag, HasFindsConstraintIds) {
+  ValidationReport report;
+  report.add_error("psm.map.unique", "dup");
+  EXPECT_TRUE(report.has("psm.map.unique"));
+  EXPECT_FALSE(report.has("psm.other"));
+}
+
+TEST(Diag, MergeCombinesFindings) {
+  ValidationReport a, b;
+  a.add_error("x", "1");
+  b.add_warning("y", "2");
+  a.merge(std::move(b));
+  EXPECT_EQ(a.diagnostics.size(), 2u);
+}
+
+TEST(Diag, ToStringListsSeverities) {
+  ValidationReport report;
+  report.add_error("c1", "msg1");
+  report.add_warning("c2", "msg2");
+  std::string text = report.to_string();
+  EXPECT_NE(text.find("error [c1]: msg1"), std::string::npos);
+  EXPECT_NE(text.find("warning [c2]: msg2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus

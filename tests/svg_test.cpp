@@ -1,0 +1,115 @@
+// Tests of the SVG figure renderers (Figure 10 timeline / Figure 11
+// activity heatmap).
+#include <gtest/gtest.h>
+
+#include "apps/mp3.hpp"
+#include "core/session.hpp"
+#include "core/svg_export.hpp"
+#include "support/strings.hpp"
+#include "xml/parser.hpp"
+
+namespace segbus::core {
+namespace {
+
+class SvgTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto app = apps::mp3_decoder_psdf();
+    ASSERT_TRUE(app.is_ok());
+    auto platform = apps::mp3_platform_three_segments(*app);
+    ASSERT_TRUE(platform.is_ok());
+    SessionConfig config;
+    config.engine.record_activity = true;
+    auto session = EmulationSession::from_models(*app, *platform, config);
+    ASSERT_TRUE(session.is_ok());
+    auto result = session->emulate();
+    ASSERT_TRUE(result.is_ok());
+    result_ = new emu::EmulationResult(std::move(result).value());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static const emu::EmulationResult& result() { return *result_; }
+
+ private:
+  static emu::EmulationResult* result_;
+};
+
+emu::EmulationResult* SvgTest::result_ = nullptr;
+
+std::size_t count_substr(const std::string& text, std::string_view what) {
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(what, pos)) != std::string::npos) {
+    ++count;
+    pos += what.size();
+  }
+  return count;
+}
+
+TEST_F(SvgTest, TimelineIsWellFormedXml) {
+  std::string svg = render_timeline_svg(result());
+  auto doc = xml::parse_document(svg);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc->root().name(), "svg");
+  EXPECT_EQ(doc->root().attribute_or("xmlns", ""),
+            "http://www.w3.org/2000/svg");
+}
+
+TEST_F(SvgTest, TimelineHasOneBarPerProcess) {
+  std::string svg = render_timeline_svg(result());
+  // Every started process gets a titled bar.
+  EXPECT_EQ(count_substr(svg, "<title>"), 15u);
+  for (int p = 0; p < 15; ++p) {
+    EXPECT_NE(svg.find(">P" + std::to_string(p) + "<"), std::string::npos);
+  }
+}
+
+TEST_F(SvgTest, TimelineAxisEndsAtTotalTime) {
+  std::string svg = render_timeline_svg(result());
+  // The last axis label is the total execution time in whole us.
+  std::string expected = str_format(
+      "%.0fus", result().total_execution_time.microseconds());
+  EXPECT_NE(svg.find(expected), std::string::npos);
+}
+
+TEST_F(SvgTest, ActivityIsWellFormedAndCoversElements) {
+  std::string svg = render_activity_svg(result());
+  auto doc = xml::parse_document(svg);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  for (const char* element :
+       {"SA1", "SA2", "SA3", "CA", "BU12", "BU23"}) {
+    EXPECT_NE(svg.find(std::string(">") + element + "<"),
+              std::string::npos)
+        << element;
+  }
+  // Heat cells exist.
+  EXPECT_GT(count_substr(svg, "rgb("), 100u);
+}
+
+TEST_F(SvgTest, ActivityWithoutRecordingExplains) {
+  emu::EmulationResult empty;
+  std::string svg = render_activity_svg(empty);
+  EXPECT_NE(svg.find("record_activity"), std::string::npos);
+  EXPECT_TRUE(xml::parse_document(svg).is_ok());
+}
+
+TEST_F(SvgTest, CustomOptionsRespected) {
+  SvgOptions options;
+  options.width = 500;
+  options.title = "custom title";
+  std::string svg = render_timeline_svg(result(), options);
+  EXPECT_NE(svg.find("width=\"500\""), std::string::npos);
+  EXPECT_NE(svg.find("custom title"), std::string::npos);
+}
+
+TEST_F(SvgTest, WriteFile) {
+  const std::string path = testing::TempDir() + "/fig.svg";
+  ASSERT_TRUE(
+      write_svg_file(render_timeline_svg(result()), path).is_ok());
+  EXPECT_FALSE(write_svg_file("x", "/nonexistent/dir/f.svg").is_ok());
+}
+
+}  // namespace
+}  // namespace segbus::core

@@ -1,0 +1,339 @@
+// Unit tests for the XML substrate: DOM, parser, serializer, queries.
+#include <gtest/gtest.h>
+
+#include "xml/node.hpp"
+#include "xml/parser.hpp"
+#include "xml/query.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::xml {
+namespace {
+
+Result<Document> parse(std::string_view text, ParseOptions options = {}) {
+  return parse_document(text, options);
+}
+
+// --- parsing basics ----------------------------------------------------------
+
+TEST(XmlParser, ParsesEmptyElement) {
+  auto doc = parse("<root/>");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc->root().name(), "root");
+  EXPECT_TRUE(doc->root().children().empty());
+}
+
+TEST(XmlParser, ParsesNestedElements) {
+  auto doc = parse("<a><b><c/></b><b/></a>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().element_count(), 2u);
+  EXPECT_EQ(doc->root().children_named("b").size(), 2u);
+  const Element* b = doc->root().first_child("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(b->first_child("c"), nullptr);
+}
+
+TEST(XmlParser, ParsesAttributes) {
+  auto doc = parse(R"(<e name="P1_576_1_250" type='Transfer'/>)");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().attribute("name").value(), "P1_576_1_250");
+  EXPECT_EQ(doc->root().attribute("type").value(), "Transfer");
+  EXPECT_FALSE(doc->root().attribute("missing").has_value());
+}
+
+TEST(XmlParser, AttributeOrderPreserved) {
+  auto doc = parse(R"(<e z="1" a="2" m="3"/>)");
+  ASSERT_TRUE(doc.is_ok());
+  const auto& attrs = doc->root().attributes();
+  ASSERT_EQ(attrs.size(), 3u);
+  EXPECT_EQ(attrs[0].name, "z");
+  EXPECT_EQ(attrs[1].name, "a");
+  EXPECT_EQ(attrs[2].name, "m");
+}
+
+TEST(XmlParser, ParsesTextContent) {
+  auto doc = parse("<e>hello world</e>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().text_content(), "hello world");
+}
+
+TEST(XmlParser, DropsWhitespaceOnlyTextByDefault) {
+  auto doc = parse("<a>\n   <b/>\n</a>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().children().size(), 1u);  // only <b/>
+}
+
+TEST(XmlParser, KeepsWhitespaceWhenAsked) {
+  ParseOptions options;
+  options.keep_whitespace_text = true;
+  auto doc = parse("<a>\n   <b/>\n</a>", options);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_GT(doc->root().children().size(), 1u);
+}
+
+TEST(XmlParser, DecodesEntities) {
+  auto doc = parse("<e a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</e>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().attribute("a").value(), "<&>");
+  EXPECT_EQ(doc->root().text_content(), "\"x' AB");
+}
+
+TEST(XmlParser, DecodesUnicodeCharacterReferences) {
+  auto doc = parse("<e>&#xE4;&#956;</e>");  // ä μ
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().text_content(), "\xC3\xA4\xCE\xBC");
+}
+
+TEST(XmlParser, ParsesCData) {
+  auto doc = parse("<e><![CDATA[a < b && c]]></e>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().text_content(), "a < b && c");
+}
+
+TEST(XmlParser, SkipsCommentsByDefault) {
+  auto doc = parse("<a><!-- note --><b/></a>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().children().size(), 1u);
+}
+
+TEST(XmlParser, KeepsCommentsWhenAsked) {
+  ParseOptions options;
+  options.keep_comments = true;
+  auto doc = parse("<a><!-- note --></a>", options);
+  ASSERT_TRUE(doc.is_ok());
+  ASSERT_EQ(doc->root().children().size(), 1u);
+  EXPECT_EQ(doc->root().children()[0].kind(), NodeKind::kComment);
+  EXPECT_EQ(doc->root().children()[0].text(), " note ");
+}
+
+TEST(XmlParser, HandlesDeclarationAndDoctypeAndPI) {
+  auto doc = parse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE schema [ <!ENTITY x \"y\"> ]>\n"
+      "<?pi target?>\n"
+      "<root/>");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc->root().name(), "root");
+  EXPECT_NE(doc->declaration().find("version"), std::string::npos);
+}
+
+TEST(XmlParser, LocalNamesStripPrefixes) {
+  auto doc = parse("<xs:schema><xs:complexType/></xs:schema>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->root().local_name(), "schema");
+  EXPECT_EQ(doc->root().children_local("complexType").size(), 1u);
+  EXPECT_NE(doc->root().first_child_local("complexType"), nullptr);
+}
+
+// --- parse errors -------------------------------------------------------------
+
+TEST(XmlParserErrors, MismatchedEndTag) {
+  auto doc = parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(doc.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserErrors, UnterminatedElement) {
+  auto doc = parse("<a><b>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(XmlParserErrors, DuplicateAttribute) {
+  auto doc = parse(R"(<e a="1" a="2"/>)");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("duplicate attribute"),
+            std::string::npos);
+}
+
+TEST(XmlParserErrors, ErrorsCarryLineAndColumn) {
+  auto doc = parse("<a>\n  <b attr=oops/>\n</a>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(XmlParserErrors, ContentAfterRoot) {
+  auto doc = parse("<a/><b/>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("after root"), std::string::npos);
+}
+
+TEST(XmlParserErrors, UnknownEntity) {
+  auto doc = parse("<a>&nope;</a>");
+  ASSERT_FALSE(doc.is_ok());
+  EXPECT_NE(doc.status().message().find("unknown entity"),
+            std::string::npos);
+}
+
+TEST(XmlParserErrors, InvalidCharacterReference) {
+  EXPECT_FALSE(parse("<a>&#xD800;</a>").is_ok());  // surrogate
+  EXPECT_FALSE(parse("<a>&#x110000;</a>").is_ok());  // beyond Unicode
+  EXPECT_FALSE(parse("<a>&#;</a>").is_ok());
+}
+
+TEST(XmlParserErrors, MissingRoot) {
+  EXPECT_FALSE(parse("").is_ok());
+  EXPECT_FALSE(parse("   \n ").is_ok());
+}
+
+TEST(XmlParserErrors, LtInAttributeValue) {
+  EXPECT_FALSE(parse(R"(<a b="<"/>)").is_ok());
+}
+
+// --- writer & round trip --------------------------------------------------------
+
+TEST(XmlWriter, EscapesTextAndAttributes) {
+  EXPECT_EQ(escape_text("a<b>&c\"d"), "a&lt;b&gt;&amp;c\"d");
+  EXPECT_EQ(escape_attribute("a<b>&c\"d"), "a&lt;b&gt;&amp;c&quot;d");
+}
+
+TEST(XmlWriter, PrettyPrintsNestedStructure) {
+  Element root("xs:schema");
+  root.set_attribute("xmlns:xs", "urn:x");
+  Element& type = root.add_child("xs:complexType");
+  type.set_attribute("name", "P0");
+  type.add_child("xs:all");
+  std::string text = write_element(root);
+  EXPECT_NE(text.find("<xs:schema xmlns:xs=\"urn:x\">"), std::string::npos);
+  EXPECT_NE(text.find("   <xs:complexType name=\"P0\">"),
+            std::string::npos);
+  EXPECT_NE(text.find("<xs:all/>"), std::string::npos);
+}
+
+TEST(XmlWriter, TextOnlyElementsStayOnOneLine) {
+  Element root("e");
+  root.add_text("value");
+  EXPECT_EQ(write_element(root), "<e>value</e>\n");
+}
+
+TEST(XmlWriter, CompactModeHasNoNewlines) {
+  Element root("a");
+  root.add_child("b");
+  WriteOptions options;
+  options.indent.clear();
+  options.emit_declaration = false;
+  Document doc(std::make_unique<Element>(std::move(root)));
+  EXPECT_EQ(write_document(doc, options), "<a><b/></a>");
+}
+
+/// Structural equality for round-trip checking.
+bool equivalent(const Element& a, const Element& b) {
+  if (a.name() != b.name()) return false;
+  if (a.attributes().size() != b.attributes().size()) return false;
+  for (std::size_t i = 0; i < a.attributes().size(); ++i) {
+    if (a.attributes()[i].name != b.attributes()[i].name) return false;
+    if (a.attributes()[i].value != b.attributes()[i].value) return false;
+  }
+  auto ea = a.child_elements();
+  auto eb = b.child_elements();
+  if (ea.size() != eb.size()) return false;
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    if (!equivalent(*ea[i], *eb[i])) return false;
+  }
+  return a.text_content() == b.text_content();
+}
+
+TEST(XmlRoundTrip, ParseWriteParsePreservesStructure) {
+  const std::string source = R"(<xs:schema xmlns:xs="urn:x" segbus:packageSize="36">
+    <xs:complexType name="P0">
+      <xs:all>
+        <xs:element name="P1_576_1_250" type="Transfer"/>
+        <xs:element name="P8_576_1_250" type="Transfer"/>
+      </xs:all>
+    </xs:complexType>
+    <xs:complexType name="escapes"><note>a &lt; b &amp; "c"</note></xs:complexType>
+  </xs:schema>)";
+  auto first = parse(source);
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  std::string written = write_document(*first);
+  auto second = parse(written);
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  EXPECT_TRUE(equivalent(first->root(), second->root()));
+}
+
+// --- DOM helpers -------------------------------------------------------------
+
+TEST(XmlDom, RequireAttributeReportsElement) {
+  Element e("xs:element");
+  auto result = e.require_attribute("name");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("xs:element"),
+            std::string::npos);
+}
+
+TEST(XmlDom, SetAttributeReplaces) {
+  Element e("e");
+  e.set_attribute("a", "1");
+  e.set_attribute("a", "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+  EXPECT_EQ(e.attribute("a").value(), "2");
+}
+
+TEST(XmlDom, AttributeOr) {
+  Element e("e");
+  e.set_attribute("a", "x");
+  EXPECT_EQ(e.attribute_or("a", "d"), "x");
+  EXPECT_EQ(e.attribute_or("b", "d"), "d");
+}
+
+// --- queries -------------------------------------------------------------------
+
+TEST(XmlQuery, SelectsByPath) {
+  auto doc = parse(R"(<s>
+    <t name="A"><u v="1"/></t>
+    <t name="B"><u v="2"/><u v="3"/></t>
+  </s>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto all = select_all(doc->root(), "t/u");
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all->size(), 3u);
+}
+
+TEST(XmlQuery, PredicateFiltersByAttribute) {
+  auto doc = parse(R"(<s><t name="A"/><t name="B"><u/></t></s>)");
+  ASSERT_TRUE(doc.is_ok());
+  auto found = select_first(doc->root(), "t[@name='B']/u");
+  ASSERT_TRUE(found.is_ok());
+  ASSERT_NE(*found, nullptr);
+  EXPECT_EQ((*found)->name(), "u");
+  auto missing = select_first(doc->root(), "t[@name='C']");
+  ASSERT_TRUE(missing.is_ok());
+  EXPECT_EQ(*missing, nullptr);
+}
+
+TEST(XmlQuery, LocalNameMatching) {
+  auto doc = parse("<xs:s><xs:complexType name='SBP'/></xs:s>");
+  ASSERT_TRUE(doc.is_ok());
+  auto found = require_first(doc->root(), "complexType[@name='SBP']");
+  ASSERT_TRUE(found.is_ok());
+  EXPECT_EQ((*found)->name(), "xs:complexType");
+}
+
+TEST(XmlQuery, WildcardStep) {
+  auto doc = parse("<s><a><x/></a><b><x/></b></s>");
+  ASSERT_TRUE(doc.is_ok());
+  auto all = select_all(doc->root(), "*/x");
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all->size(), 2u);
+}
+
+TEST(XmlQuery, RequireFirstErrorsWhenMissing) {
+  auto doc = parse("<s/>");
+  ASSERT_TRUE(doc.is_ok());
+  auto result = require_first(doc->root(), "missing");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(XmlQuery, MalformedPathsAreParseErrors) {
+  auto doc = parse("<s/>");
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_FALSE(select_all(doc->root(), "").is_ok());
+  EXPECT_FALSE(select_all(doc->root(), "a//b").is_ok());
+  EXPECT_FALSE(select_all(doc->root(), "a[@x=unquoted]").is_ok());
+  EXPECT_FALSE(select_all(doc->root(), "a[@=\"v\"]").is_ok());
+}
+
+}  // namespace
+}  // namespace segbus::xml

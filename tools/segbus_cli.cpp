@@ -1,0 +1,310 @@
+// segbus_cli — command-line front end for the SegBus tool chain.
+//
+// Subcommands (first positional argument):
+//   validate <psdf.xml> [<psm.xml>]     run the OCL-style model checks
+//   matrix   <psdf.xml>                 print the communication matrix
+//   generate --app mp3|jpeg --segments N [--package S] <outdir>
+//                                       run the M2T transformation
+//   emulate  <psdf.xml> <psm.xml> [--package S] [--reference]
+//            [--parallel [--threads N]] [--activity] [--trace [--trace-max N]]
+//            [--vcd out.vcd] [--json]   emulate and report
+//   place    <psdf.xml> --segments N [--strategy greedy|anneal|exhaustive]
+//            [--seed K] [--iterations I] search a device allocation
+//   explore  <psdf.xml> [--segments 1,2,3] [--package S] [--seed K]
+//            [--iterations I]            rank annealed configurations
+//   analyze  <psdf.xml> <psm.xml> [--package S] closed-form bounds &
+//            per-stage breakdown without emulating
+//
+// Exit status: 0 on success, 1 on any error (message on stderr).
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "apps/h263.hpp"
+#include "apps/jpeg.hpp"
+#include "apps/mp3.hpp"
+#include "core/advisor.hpp"
+#include "core/json_export.hpp"
+#include "core/segbus.hpp"
+#include "emu/vcd.hpp"
+#include "support/cli.hpp"
+#include "support/strings.hpp"
+
+using namespace segbus;
+
+namespace {
+
+int fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: segbus_cli <validate|matrix|generate|emulate|place> "
+               "...\n(see the header comment of tools/segbus_cli.cpp)\n");
+  return 1;
+}
+
+int cmd_validate(const CommandLine& cli) {
+  if (cli.positional().size() < 2) return usage();
+  auto app = psdf::read_psdf_file(cli.positional()[1]);
+  if (!app.is_ok()) return fail(app.status());
+  ValidationReport report = psdf::validate(*app);
+  std::printf("PSDF %s: %s", cli.positional()[1].c_str(),
+              report.to_string().c_str());
+  bool ok = report.ok();
+  if (cli.positional().size() >= 3) {
+    auto platform = platform::read_platform_file(cli.positional()[2]);
+    if (!platform.is_ok()) return fail(platform.status());
+    ValidationReport mapping = platform::validate_mapping(*platform, *app);
+    std::printf("PSM  %s: %s", cli.positional()[2].c_str(),
+                mapping.to_string().c_str());
+    ok = ok && mapping.ok();
+  }
+  return ok ? 0 : 1;
+}
+
+int cmd_matrix(const CommandLine& cli) {
+  if (cli.positional().size() < 2) return usage();
+  auto app = psdf::read_psdf_file(cli.positional()[1]);
+  if (!app.is_ok()) return fail(app.status());
+  psdf::CommMatrix matrix = psdf::CommMatrix::from_model(*app);
+  std::printf("%s", matrix.render(*app).c_str());
+  std::printf("\ntotal data items: %llu over %zu flows\n",
+              static_cast<unsigned long long>(matrix.total()),
+              app->flows().size());
+  return 0;
+}
+
+int cmd_generate(const CommandLine& cli) {
+  if (cli.positional().size() < 2) return usage();
+  const std::string out_dir = cli.positional().back();
+  const std::string which = cli.flag_or("app", "mp3");
+  const auto segments =
+      static_cast<std::uint32_t>(cli.int_flag_or("segments", 3));
+  const auto package =
+      static_cast<std::uint32_t>(cli.int_flag_or("package", 36));
+
+  Result<psdf::PsdfModel> app = invalid_argument_error(
+      "unknown --app '" + which + "' (expected mp3, jpeg or h263)");
+  Result<platform::PlatformModel> platform = app.status();
+  if (which == "mp3") {
+    app = apps::mp3_decoder_psdf(package);
+    if (app.is_ok()) {
+      platform = apps::mp3_platform(*app, apps::mp3_allocation(segments),
+                                    segments, package);
+    }
+  } else if (which == "jpeg") {
+    app = apps::jpeg_encoder_psdf(package);
+    if (app.is_ok()) {
+      std::vector<std::uint32_t> allocation =
+          segments == 2
+              ? apps::jpeg_allocation_two_segments()
+              : std::vector<std::uint32_t>(apps::kJpegProcesses, 0);
+      platform = apps::jpeg_platform(*app, allocation,
+                                     segments == 2 ? 2u : 1u, package);
+    }
+  } else if (which == "h263") {
+    app = apps::h263_encoder_psdf(package);
+    if (app.is_ok()) {
+      const std::uint32_t n =
+          segments == 2 ? 2u : segments >= 4 ? 4u : 1u;
+      platform = apps::h263_platform(*app, apps::h263_allocation(n), n,
+                                     package);
+    }
+  }
+  if (!app.is_ok()) return fail(app.status());
+  if (!platform.is_ok()) return fail(platform.status());
+
+  std::filesystem::create_directories(out_dir);
+  m2t::CodeEngineeringSet set(*app, *platform);
+  if (Status status = set.write_to(out_dir); !status.is_ok()) {
+    return fail(status);
+  }
+  std::printf("artifacts written to %s\n", out_dir.c_str());
+  return 0;
+}
+
+int cmd_emulate(const CommandLine& cli) {
+  if (cli.positional().size() < 3) return usage();
+  core::SessionConfig config;
+  if (cli.bool_flag_or("reference", false)) {
+    config.timing = emu::TimingModel::reference();
+  }
+  config.parallel = cli.bool_flag_or("parallel", false);
+  config.threads = static_cast<unsigned>(cli.int_flag_or("threads", 0));
+  config.engine.record_activity = cli.bool_flag_or("activity", false);
+  const std::string vcd_path = cli.flag_or("vcd", "");
+  config.engine.record_trace =
+      cli.bool_flag_or("trace", false) || !vcd_path.empty();
+
+  auto session = core::EmulationSession::from_xml_files(
+      cli.positional()[1], cli.positional()[2], config,
+      static_cast<std::uint32_t>(cli.int_flag_or("package", 0)));
+  if (!session.is_ok()) return fail(session.status());
+  auto result = session->emulate();
+  if (!result.is_ok()) return fail(result.status());
+  if (!result->completed) {
+    return fail(internal_error("emulation hit the tick limit"));
+  }
+
+  if (!vcd_path.empty()) {
+    if (Status status =
+            emu::write_vcd_file(*result, session->platform(), vcd_path);
+        !status.is_ok()) {
+      return fail(status);
+    }
+    std::fprintf(stderr, "waveform written to %s\n", vcd_path.c_str());
+  }
+  if (cli.bool_flag_or("json", false)) {
+    std::printf("%s",
+                core::result_to_json(*result, session->platform())
+                    .to_string(/*pretty=*/true)
+                    .c_str());
+    return 0;
+  }
+  std::printf("%s\n",
+              core::render_summary(*result, session->platform()).c_str());
+  std::printf("%s\n",
+              core::render_paper_report(*result, session->platform())
+                  .c_str());
+  std::printf("%s\n",
+              core::render_bu_analysis(*result, session->platform())
+                  .c_str());
+  std::printf("%s", core::render_timeline(*result).c_str());
+  std::printf("\nper-flow latency:\n%s",
+              core::render_flow_table(*result).c_str());
+  std::printf("\nschedule stages:\n%s",
+              core::render_stage_table(*result).c_str());
+  if (auto advice = core::advise(session->application(),
+                                 session->platform(), *result);
+      advice.is_ok()) {
+    std::printf("\nadvisor:\n%s", core::render_advice(*advice).c_str());
+  }
+  if (config.engine.record_activity) {
+    std::printf("\n%s", core::render_activity(*result).c_str());
+  }
+  if (config.engine.record_trace) {
+    auto max_events = static_cast<std::size_t>(
+        cli.int_flag_or("trace-max", 200));
+    std::printf("\nprotocol trace (%zu events):\n%s",
+                result->trace.size(),
+                emu::render_trace(result->trace, result->domain_names,
+                                  max_events)
+                    .c_str());
+  }
+  return 0;
+}
+
+int cmd_place(const CommandLine& cli) {
+  if (cli.positional().size() < 2) return usage();
+  auto app = psdf::read_psdf_file(cli.positional()[1]);
+  if (!app.is_ok()) return fail(app.status());
+  const auto segments =
+      static_cast<std::uint32_t>(cli.int_flag_or("segments", 2));
+  const std::string strategy = cli.flag_or("strategy", "anneal");
+  psdf::CommMatrix matrix = psdf::CommMatrix::from_model(*app);
+  place::CostModel cost;
+  cost.package_size = app->package_size();
+
+  Result<place::PlacementResult> result =
+      invalid_argument_error("unknown --strategy '" + strategy +
+                             "' (greedy|anneal|exhaustive)");
+  if (strategy == "greedy") {
+    result = place::greedy_place(matrix, segments, cost);
+  } else if (strategy == "anneal") {
+    place::AnnealOptions options;
+    options.seed = static_cast<std::uint64_t>(cli.int_flag_or("seed", 1));
+    options.iterations =
+        static_cast<std::uint64_t>(cli.int_flag_or("iterations", 100000));
+    result = place::anneal_place(matrix, segments, cost, options);
+  } else if (strategy == "exhaustive") {
+    result = place::exhaustive_place(matrix, segments, cost);
+  }
+  if (!result.is_ok()) return fail(result.status());
+  std::printf("%s placement (cost %.0f, %llu evaluations):\n  %s\n",
+              result->strategy.c_str(), result->cost,
+              static_cast<unsigned long long>(result->evaluations),
+              result->render(*app).c_str());
+  return 0;
+}
+
+int cmd_explore(const CommandLine& cli) {
+  if (cli.positional().size() < 2) return usage();
+  auto app = psdf::read_psdf_file(cli.positional()[1]);
+  if (!app.is_ok()) return fail(app.status());
+  place::AnnealOptions anneal;
+  anneal.seed = static_cast<std::uint64_t>(cli.int_flag_or("seed", 1));
+  anneal.iterations =
+      static_cast<std::uint64_t>(cli.int_flag_or("iterations", 50000));
+  const auto package = static_cast<std::uint32_t>(
+      cli.int_flag_or("package", app->package_size()));
+
+  std::vector<core::Candidate> candidates;
+  const std::string segments_list = cli.flag_or("segments", "1,2,3");
+  for (std::string_view part : split_skip_empty(segments_list, ',')) {
+    auto segments = parse_uint(trim(part));
+    if (!segments || *segments == 0) {
+      return fail(invalid_argument_error("bad --segments list"));
+    }
+    auto candidate = core::candidate_from_placement(
+        *app, static_cast<std::uint32_t>(*segments),
+        {Frequency::from_mhz(91), Frequency::from_mhz(98),
+         Frequency::from_mhz(89)},
+        Frequency::from_mhz(111), package, anneal);
+    if (!candidate.is_ok()) return fail(candidate.status());
+    candidates.push_back(std::move(*candidate));
+  }
+  auto report = core::explore(*app, std::move(candidates));
+  if (!report.is_ok()) return fail(report.status());
+  std::printf("%s", report->render().c_str());
+  return 0;
+}
+
+int cmd_analyze(const CommandLine& cli) {
+  if (cli.positional().size() < 3) return usage();
+  const auto package =
+      static_cast<std::uint32_t>(cli.int_flag_or("package", 0));
+  auto app = psdf::read_psdf_file(cli.positional()[1], package);
+  if (!app.is_ok()) return fail(app.status());
+  auto platform = platform::read_platform_file(cli.positional()[2]);
+  if (!platform.is_ok()) return fail(platform.status());
+  if (package != 0) {
+    if (Status status = platform->set_package_size(package);
+        !status.is_ok()) {
+      return fail(status);
+    }
+  }
+  auto bound = core::analytic_lower_bound(*app, *platform);
+  if (!bound.is_ok()) return fail(bound.status());
+  auto estimate = core::analytic_estimate(*app, *platform);
+  if (!estimate.is_ok()) return fail(estimate.status());
+  std::printf("analytic lower bound: %s\n",
+              format_us(bound->total).c_str());
+  std::printf("analytic estimate   : %s\n",
+              format_us(estimate->total).c_str());
+  std::printf("\nper-stage lower bound breakdown:\n");
+  for (const core::AnalyticStage& stage : bound->stages) {
+    std::printf("  stage T=%u: %12s  (bound: %s)\n", stage.ordering,
+                format_us(stage.duration).c_str(), stage.binding.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto cli = CommandLine::parse(argc, argv);
+  if (!cli.is_ok()) return fail(cli.status());
+  if (cli->positional().empty()) return usage();
+  const std::string& command = cli->positional()[0];
+  if (command == "validate") return cmd_validate(*cli);
+  if (command == "matrix") return cmd_matrix(*cli);
+  if (command == "generate") return cmd_generate(*cli);
+  if (command == "emulate") return cmd_emulate(*cli);
+  if (command == "place") return cmd_place(*cli);
+  if (command == "explore") return cmd_explore(*cli);
+  if (command == "analyze") return cmd_analyze(*cli);
+  return usage();
+}
