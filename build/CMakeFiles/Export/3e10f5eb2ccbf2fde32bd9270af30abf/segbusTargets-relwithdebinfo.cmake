@@ -1,0 +1,99 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "segbus::segbus_support" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_support APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_support PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_support.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_support )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_support "${_IMPORT_PREFIX}/lib/libsegbus_support.a" )
+
+# Import target "segbus::segbus_xml" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_xml APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_xml PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_xml.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_xml )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_xml "${_IMPORT_PREFIX}/lib/libsegbus_xml.a" )
+
+# Import target "segbus::segbus_psdf" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_psdf APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_psdf PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_psdf.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_psdf )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_psdf "${_IMPORT_PREFIX}/lib/libsegbus_psdf.a" )
+
+# Import target "segbus::segbus_platform" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_platform APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_platform PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_platform.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_platform )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_platform "${_IMPORT_PREFIX}/lib/libsegbus_platform.a" )
+
+# Import target "segbus::segbus_place" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_place APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_place PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_place.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_place )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_place "${_IMPORT_PREFIX}/lib/libsegbus_place.a" )
+
+# Import target "segbus::segbus_m2t" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_m2t APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_m2t PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_m2t.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_m2t )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_m2t "${_IMPORT_PREFIX}/lib/libsegbus_m2t.a" )
+
+# Import target "segbus::segbus_emu" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_emu APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_emu PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_emu.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_emu )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_emu "${_IMPORT_PREFIX}/lib/libsegbus_emu.a" )
+
+# Import target "segbus::segbus_core" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_core )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_core "${_IMPORT_PREFIX}/lib/libsegbus_core.a" )
+
+# Import target "segbus::segbus_apps" for configuration "RelWithDebInfo"
+set_property(TARGET segbus::segbus_apps APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(segbus::segbus_apps PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libsegbus_apps.a"
+  )
+
+list(APPEND _cmake_import_check_targets segbus::segbus_apps )
+list(APPEND _cmake_import_check_files_for_segbus::segbus_apps "${_IMPORT_PREFIX}/lib/libsegbus_apps.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_config_sweep.dir/bench_config_sweep.cpp.o"
+  "CMakeFiles/bench_config_sweep.dir/bench_config_sweep.cpp.o.d"
+  "bench_config_sweep"
+  "bench_config_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_config_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_three_segments.dir/bench_three_segments.cpp.o"
+  "CMakeFiles/bench_three_segments.dir/bench_three_segments.cpp.o.d"
+  "bench_three_segments"
+  "bench_three_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_three_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

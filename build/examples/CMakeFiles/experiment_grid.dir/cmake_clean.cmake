@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_grid.dir/experiment_grid.cpp.o"
+  "CMakeFiles/experiment_grid.dir/experiment_grid.cpp.o.d"
+  "experiment_grid"
+  "experiment_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp3_decoder.dir/mp3_decoder.cpp.o"
+  "CMakeFiles/mp3_decoder.dir/mp3_decoder.cpp.o.d"
+  "mp3_decoder"
+  "mp3_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp3_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

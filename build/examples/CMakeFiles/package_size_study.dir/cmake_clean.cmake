@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/package_size_study.dir/package_size_study.cpp.o"
+  "CMakeFiles/package_size_study.dir/package_size_study.cpp.o.d"
+  "package_size_study"
+  "package_size_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/package_size_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

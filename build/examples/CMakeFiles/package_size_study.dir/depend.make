@@ -1,0 +1,2 @@
+# Empty dependencies file for package_size_study.
+# This may be replaced when dependencies are built.

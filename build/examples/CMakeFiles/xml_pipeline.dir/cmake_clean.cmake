@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_pipeline.dir/xml_pipeline.cpp.o"
+  "CMakeFiles/xml_pipeline.dir/xml_pipeline.cpp.o.d"
+  "xml_pipeline"
+  "xml_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_apps.dir/h263.cpp.o"
+  "CMakeFiles/segbus_apps.dir/h263.cpp.o.d"
+  "CMakeFiles/segbus_apps.dir/jpeg.cpp.o"
+  "CMakeFiles/segbus_apps.dir/jpeg.cpp.o.d"
+  "CMakeFiles/segbus_apps.dir/mp3.cpp.o"
+  "CMakeFiles/segbus_apps.dir/mp3.cpp.o.d"
+  "CMakeFiles/segbus_apps.dir/synthetic.cpp.o"
+  "CMakeFiles/segbus_apps.dir/synthetic.cpp.o.d"
+  "libsegbus_apps.a"
+  "libsegbus_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/segbus_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/segbus_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/analytic.cpp" "src/core/CMakeFiles/segbus_core.dir/analytic.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/analytic.cpp.o.d"
+  "/root/repo/src/core/batch.cpp" "src/core/CMakeFiles/segbus_core.dir/batch.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/batch.cpp.o.d"
+  "/root/repo/src/core/diff.cpp" "src/core/CMakeFiles/segbus_core.dir/diff.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/diff.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/segbus_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/explore.cpp" "src/core/CMakeFiles/segbus_core.dir/explore.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/explore.cpp.o.d"
+  "/root/repo/src/core/json_export.cpp" "src/core/CMakeFiles/segbus_core.dir/json_export.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/json_export.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/segbus_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/segbus_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/svg_export.cpp" "src/core/CMakeFiles/segbus_core.dir/svg_export.cpp.o" "gcc" "src/core/CMakeFiles/segbus_core.dir/svg_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/segbus_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/segbus_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/psdf/CMakeFiles/segbus_psdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/segbus_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/segbus_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/m2t/CMakeFiles/segbus_m2t.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/segbus_emu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_core.dir/accuracy.cpp.o"
+  "CMakeFiles/segbus_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/advisor.cpp.o"
+  "CMakeFiles/segbus_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/analytic.cpp.o"
+  "CMakeFiles/segbus_core.dir/analytic.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/batch.cpp.o"
+  "CMakeFiles/segbus_core.dir/batch.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/diff.cpp.o"
+  "CMakeFiles/segbus_core.dir/diff.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/energy.cpp.o"
+  "CMakeFiles/segbus_core.dir/energy.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/explore.cpp.o"
+  "CMakeFiles/segbus_core.dir/explore.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/json_export.cpp.o"
+  "CMakeFiles/segbus_core.dir/json_export.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/report.cpp.o"
+  "CMakeFiles/segbus_core.dir/report.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/session.cpp.o"
+  "CMakeFiles/segbus_core.dir/session.cpp.o.d"
+  "CMakeFiles/segbus_core.dir/svg_export.cpp.o"
+  "CMakeFiles/segbus_core.dir/svg_export.cpp.o.d"
+  "libsegbus_core.a"
+  "libsegbus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/engine.cpp" "src/emu/CMakeFiles/segbus_emu.dir/engine.cpp.o" "gcc" "src/emu/CMakeFiles/segbus_emu.dir/engine.cpp.o.d"
+  "/root/repo/src/emu/parallel.cpp" "src/emu/CMakeFiles/segbus_emu.dir/parallel.cpp.o" "gcc" "src/emu/CMakeFiles/segbus_emu.dir/parallel.cpp.o.d"
+  "/root/repo/src/emu/timing.cpp" "src/emu/CMakeFiles/segbus_emu.dir/timing.cpp.o" "gcc" "src/emu/CMakeFiles/segbus_emu.dir/timing.cpp.o.d"
+  "/root/repo/src/emu/trace.cpp" "src/emu/CMakeFiles/segbus_emu.dir/trace.cpp.o" "gcc" "src/emu/CMakeFiles/segbus_emu.dir/trace.cpp.o.d"
+  "/root/repo/src/emu/vcd.cpp" "src/emu/CMakeFiles/segbus_emu.dir/vcd.cpp.o" "gcc" "src/emu/CMakeFiles/segbus_emu.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/segbus_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/psdf/CMakeFiles/segbus_psdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/segbus_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/segbus_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_emu.dir/engine.cpp.o"
+  "CMakeFiles/segbus_emu.dir/engine.cpp.o.d"
+  "CMakeFiles/segbus_emu.dir/parallel.cpp.o"
+  "CMakeFiles/segbus_emu.dir/parallel.cpp.o.d"
+  "CMakeFiles/segbus_emu.dir/timing.cpp.o"
+  "CMakeFiles/segbus_emu.dir/timing.cpp.o.d"
+  "CMakeFiles/segbus_emu.dir/trace.cpp.o"
+  "CMakeFiles/segbus_emu.dir/trace.cpp.o.d"
+  "CMakeFiles/segbus_emu.dir/vcd.cpp.o"
+  "CMakeFiles/segbus_emu.dir/vcd.cpp.o.d"
+  "libsegbus_emu.a"
+  "libsegbus_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_m2t.dir/codegen.cpp.o"
+  "CMakeFiles/segbus_m2t.dir/codegen.cpp.o.d"
+  "CMakeFiles/segbus_m2t.dir/template.cpp.o"
+  "CMakeFiles/segbus_m2t.dir/template.cpp.o.d"
+  "libsegbus_m2t.a"
+  "libsegbus_m2t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_m2t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for segbus_m2t.
+# This may be replaced when dependencies are built.

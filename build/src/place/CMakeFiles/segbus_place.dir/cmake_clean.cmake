@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_place.dir/apply.cpp.o"
+  "CMakeFiles/segbus_place.dir/apply.cpp.o.d"
+  "CMakeFiles/segbus_place.dir/cost.cpp.o"
+  "CMakeFiles/segbus_place.dir/cost.cpp.o.d"
+  "CMakeFiles/segbus_place.dir/placer.cpp.o"
+  "CMakeFiles/segbus_place.dir/placer.cpp.o.d"
+  "libsegbus_place.a"
+  "libsegbus_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

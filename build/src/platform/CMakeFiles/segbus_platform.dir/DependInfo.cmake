@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/constraints.cpp" "src/platform/CMakeFiles/segbus_platform.dir/constraints.cpp.o" "gcc" "src/platform/CMakeFiles/segbus_platform.dir/constraints.cpp.o.d"
+  "/root/repo/src/platform/model.cpp" "src/platform/CMakeFiles/segbus_platform.dir/model.cpp.o" "gcc" "src/platform/CMakeFiles/segbus_platform.dir/model.cpp.o.d"
+  "/root/repo/src/platform/platform_dot.cpp" "src/platform/CMakeFiles/segbus_platform.dir/platform_dot.cpp.o" "gcc" "src/platform/CMakeFiles/segbus_platform.dir/platform_dot.cpp.o.d"
+  "/root/repo/src/platform/platform_xml.cpp" "src/platform/CMakeFiles/segbus_platform.dir/platform_xml.cpp.o" "gcc" "src/platform/CMakeFiles/segbus_platform.dir/platform_xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/segbus_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/segbus_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/psdf/CMakeFiles/segbus_psdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_platform.dir/constraints.cpp.o"
+  "CMakeFiles/segbus_platform.dir/constraints.cpp.o.d"
+  "CMakeFiles/segbus_platform.dir/model.cpp.o"
+  "CMakeFiles/segbus_platform.dir/model.cpp.o.d"
+  "CMakeFiles/segbus_platform.dir/platform_dot.cpp.o"
+  "CMakeFiles/segbus_platform.dir/platform_dot.cpp.o.d"
+  "CMakeFiles/segbus_platform.dir/platform_xml.cpp.o"
+  "CMakeFiles/segbus_platform.dir/platform_xml.cpp.o.d"
+  "libsegbus_platform.a"
+  "libsegbus_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/psdf/comm_matrix.cpp" "src/psdf/CMakeFiles/segbus_psdf.dir/comm_matrix.cpp.o" "gcc" "src/psdf/CMakeFiles/segbus_psdf.dir/comm_matrix.cpp.o.d"
+  "/root/repo/src/psdf/dot.cpp" "src/psdf/CMakeFiles/segbus_psdf.dir/dot.cpp.o" "gcc" "src/psdf/CMakeFiles/segbus_psdf.dir/dot.cpp.o.d"
+  "/root/repo/src/psdf/model.cpp" "src/psdf/CMakeFiles/segbus_psdf.dir/model.cpp.o" "gcc" "src/psdf/CMakeFiles/segbus_psdf.dir/model.cpp.o.d"
+  "/root/repo/src/psdf/psdf_xml.cpp" "src/psdf/CMakeFiles/segbus_psdf.dir/psdf_xml.cpp.o" "gcc" "src/psdf/CMakeFiles/segbus_psdf.dir/psdf_xml.cpp.o.d"
+  "/root/repo/src/psdf/validate.cpp" "src/psdf/CMakeFiles/segbus_psdf.dir/validate.cpp.o" "gcc" "src/psdf/CMakeFiles/segbus_psdf.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/segbus_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/segbus_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

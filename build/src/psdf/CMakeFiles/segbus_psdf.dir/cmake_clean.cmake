@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_psdf.dir/comm_matrix.cpp.o"
+  "CMakeFiles/segbus_psdf.dir/comm_matrix.cpp.o.d"
+  "CMakeFiles/segbus_psdf.dir/dot.cpp.o"
+  "CMakeFiles/segbus_psdf.dir/dot.cpp.o.d"
+  "CMakeFiles/segbus_psdf.dir/model.cpp.o"
+  "CMakeFiles/segbus_psdf.dir/model.cpp.o.d"
+  "CMakeFiles/segbus_psdf.dir/psdf_xml.cpp.o"
+  "CMakeFiles/segbus_psdf.dir/psdf_xml.cpp.o.d"
+  "CMakeFiles/segbus_psdf.dir/validate.cpp.o"
+  "CMakeFiles/segbus_psdf.dir/validate.cpp.o.d"
+  "libsegbus_psdf.a"
+  "libsegbus_psdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_psdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cpp" "src/support/CMakeFiles/segbus_support.dir/cli.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/cli.cpp.o.d"
+  "/root/repo/src/support/csv.cpp" "src/support/CMakeFiles/segbus_support.dir/csv.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/csv.cpp.o.d"
+  "/root/repo/src/support/diag.cpp" "src/support/CMakeFiles/segbus_support.dir/diag.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/diag.cpp.o.d"
+  "/root/repo/src/support/json.cpp" "src/support/CMakeFiles/segbus_support.dir/json.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/json.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "src/support/CMakeFiles/segbus_support.dir/log.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/log.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/support/CMakeFiles/segbus_support.dir/rng.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/rng.cpp.o.d"
+  "/root/repo/src/support/statistics.cpp" "src/support/CMakeFiles/segbus_support.dir/statistics.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/statistics.cpp.o.d"
+  "/root/repo/src/support/status.cpp" "src/support/CMakeFiles/segbus_support.dir/status.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/status.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/support/CMakeFiles/segbus_support.dir/strings.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/support/CMakeFiles/segbus_support.dir/table.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/table.cpp.o.d"
+  "/root/repo/src/support/time.cpp" "src/support/CMakeFiles/segbus_support.dir/time.cpp.o" "gcc" "src/support/CMakeFiles/segbus_support.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_support.dir/cli.cpp.o"
+  "CMakeFiles/segbus_support.dir/cli.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/csv.cpp.o"
+  "CMakeFiles/segbus_support.dir/csv.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/diag.cpp.o"
+  "CMakeFiles/segbus_support.dir/diag.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/json.cpp.o"
+  "CMakeFiles/segbus_support.dir/json.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/log.cpp.o"
+  "CMakeFiles/segbus_support.dir/log.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/rng.cpp.o"
+  "CMakeFiles/segbus_support.dir/rng.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/statistics.cpp.o"
+  "CMakeFiles/segbus_support.dir/statistics.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/status.cpp.o"
+  "CMakeFiles/segbus_support.dir/status.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/strings.cpp.o"
+  "CMakeFiles/segbus_support.dir/strings.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/table.cpp.o"
+  "CMakeFiles/segbus_support.dir/table.cpp.o.d"
+  "CMakeFiles/segbus_support.dir/time.cpp.o"
+  "CMakeFiles/segbus_support.dir/time.cpp.o.d"
+  "libsegbus_support.a"
+  "libsegbus_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

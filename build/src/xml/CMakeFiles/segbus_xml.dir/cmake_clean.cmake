@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_xml.dir/node.cpp.o"
+  "CMakeFiles/segbus_xml.dir/node.cpp.o.d"
+  "CMakeFiles/segbus_xml.dir/parser.cpp.o"
+  "CMakeFiles/segbus_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/segbus_xml.dir/query.cpp.o"
+  "CMakeFiles/segbus_xml.dir/query.cpp.o.d"
+  "CMakeFiles/segbus_xml.dir/writer.cpp.o"
+  "CMakeFiles/segbus_xml.dir/writer.cpp.o.d"
+  "libsegbus_xml.a"
+  "libsegbus_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsegbus_xml.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_diff_test.dir/advisor_diff_test.cpp.o"
+  "CMakeFiles/advisor_diff_test.dir/advisor_diff_test.cpp.o.d"
+  "advisor_diff_test"
+  "advisor_diff_test.pdb"
+  "advisor_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/emu_property_test.cpp" "tests/CMakeFiles/emu_property_test.dir/emu_property_test.cpp.o" "gcc" "tests/CMakeFiles/emu_property_test.dir/emu_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/segbus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/segbus_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/m2t/CMakeFiles/segbus_m2t.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/segbus_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/segbus_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/segbus_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/psdf/CMakeFiles/segbus_psdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/segbus_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/segbus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emu_property_test.dir/emu_property_test.cpp.o"
+  "CMakeFiles/emu_property_test.dir/emu_property_test.cpp.o.d"
+  "emu_property_test"
+  "emu_property_test.pdb"
+  "emu_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emu_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

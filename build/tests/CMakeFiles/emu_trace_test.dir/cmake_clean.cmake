@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emu_trace_test.dir/emu_trace_test.cpp.o"
+  "CMakeFiles/emu_trace_test.dir/emu_trace_test.cpp.o.d"
+  "emu_trace_test"
+  "emu_trace_test.pdb"
+  "emu_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emu_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

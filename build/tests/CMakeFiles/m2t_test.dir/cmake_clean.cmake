@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m2t_test.dir/m2t_test.cpp.o"
+  "CMakeFiles/m2t_test.dir/m2t_test.cpp.o.d"
+  "m2t_test"
+  "m2t_test.pdb"
+  "m2t_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m2t_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

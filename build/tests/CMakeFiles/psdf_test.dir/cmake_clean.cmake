@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psdf_test.dir/psdf_test.cpp.o"
+  "CMakeFiles/psdf_test.dir/psdf_test.cpp.o.d"
+  "psdf_test"
+  "psdf_test.pdb"
+  "psdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

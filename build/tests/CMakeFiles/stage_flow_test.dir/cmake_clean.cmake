@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_flow_test.dir/stage_flow_test.cpp.o"
+  "CMakeFiles/stage_flow_test.dir/stage_flow_test.cpp.o.d"
+  "stage_flow_test"
+  "stage_flow_test.pdb"
+  "stage_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_robustness_test.dir/xml_robustness_test.cpp.o"
+  "CMakeFiles/xml_robustness_test.dir/xml_robustness_test.cpp.o.d"
+  "xml_robustness_test"
+  "xml_robustness_test.pdb"
+  "xml_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/psdf_test[1]_include.cmake")
+include("/root/repo/build/tests/platform_test[1]_include.cmake")
+include("/root/repo/build/tests/place_test[1]_include.cmake")
+include("/root/repo/build/tests/m2t_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_property_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/emu_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/analytic_test[1]_include.cmake")
+include("/root/repo/build/tests/batch_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/regression_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_test[1]_include.cmake")
+include("/root/repo/build/tests/svg_test[1]_include.cmake")
+include("/root/repo/build/tests/roundtrip_property_test[1]_include.cmake")
+include("/root/repo/build/tests/stage_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/statistics_test[1]_include.cmake")
+include("/root/repo/build/tests/energy_test[1]_include.cmake")
+include("/root/repo/build/tests/pipelined_test[1]_include.cmake")
+include("/root/repo/build/tests/advisor_diff_test[1]_include.cmake")

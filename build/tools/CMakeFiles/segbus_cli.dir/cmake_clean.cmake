@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segbus_cli.dir/segbus_cli.cpp.o"
+  "CMakeFiles/segbus_cli.dir/segbus_cli.cpp.o.d"
+  "segbus_cli"
+  "segbus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segbus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
