@@ -4,10 +4,16 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "apps/mp3.hpp"
 #include "core/segbus.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "support/csv.hpp"
 #include "support/strings.hpp"
 
 namespace segbus::bench {
@@ -37,22 +43,97 @@ inline void unwrap_status(const Status& status) {
   if (!status.is_ok()) die(status);
 }
 
-/// Runs one MP3 configuration and returns the result.
+/// Harness-wide telemetry: accumulates every run's protocol metrics, keeps
+/// one per-run CSV row, and profiles the harness phases. When the
+/// SEGBUS_TELEMETRY_DIR environment variable is set, the artifacts
+/// (<prog>.prom, <prog>.runs.csv, <prog>.trace.json) are written there when
+/// the process exits.
+class BenchTelemetry {
+ public:
+  static BenchTelemetry& instance() {
+    static BenchTelemetry telemetry;
+    return telemetry;
+  }
+
+  obs::PhaseProfiler& profiler() { return profiler_; }
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  /// Folds one emulation's metrics into the accumulated registry and adds a
+  /// per-run summary row.
+  void record_run(const std::string& label,
+                  const emu::EmulationResult& result) {
+    unwrap_status(registry_.merge_from(result.metrics));
+    runs_.add_row(
+        {label,
+         str_format("%lld", static_cast<long long>(
+                                result.total_execution_time.count())),
+         str_format("%llu", static_cast<unsigned long long>(
+                                result.metrics.family_count(
+                                    "segbus_grants_total"))),
+         str_format("%llu", static_cast<unsigned long long>(
+                                result.metrics.family_count(
+                                    "segbus_deliveries_total")))});
+  }
+
+  ~BenchTelemetry() {
+    const char* dir = std::getenv("SEGBUS_TELEMETRY_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    const std::string base = std::string(dir) + "/" + program_;
+    (void)obs::write_text_file(base + ".prom",
+                               obs::to_prometheus(registry_));
+    (void)runs_.write_file(base + ".runs.csv");
+    (void)obs::write_text_file(
+        base + ".trace.json",
+        obs::chrome_trace_json(profiler_).to_string());
+  }
+
+ private:
+  BenchTelemetry() : runs_({"run", "execution_ps", "grants", "deliveries"}) {
+    // Artifact names follow the harness binary (comm(5) truncates to 15
+    // chars, which keeps them distinct across the bench_* family).
+    if (std::FILE* comm = std::fopen("/proc/self/comm", "r")) {
+      char name[64] = {0};
+      if (std::fgets(name, sizeof(name), comm) != nullptr) {
+        program_.assign(name);
+        while (!program_.empty() &&
+               (program_.back() == '\n' || program_.back() == '\r')) {
+          program_.pop_back();
+        }
+      }
+      std::fclose(comm);
+    }
+    if (program_.empty()) program_ = "bench";
+  }
+
+  obs::PhaseProfiler profiler_;
+  obs::MetricsRegistry registry_;
+  CsvWriter runs_;
+  std::string program_;
+};
+
+/// Runs one MP3 configuration and returns the result. Protocol metrics are
+/// always recorded and accumulated into BenchTelemetry.
 inline emu::EmulationResult run_mp3(std::uint32_t package_size,
                                     const std::vector<std::uint32_t>& alloc,
                                     std::uint32_t segments,
                                     const emu::TimingModel& timing =
                                         emu::TimingModel::emulator(),
                                     bool record_activity = false) {
+  BenchTelemetry& telemetry = BenchTelemetry::instance();
+  const std::string label = str_format("mp3_s%u_p%u", segments, package_size);
+  auto span = telemetry.profiler().span(label);
   psdf::PsdfModel app = unwrap(apps::mp3_decoder_psdf(package_size));
   platform::PlatformModel platform =
       unwrap(apps::mp3_platform(app, alloc, segments, package_size));
   emu::EngineOptions options;
   options.record_activity = record_activity;
+  options.record_metrics = true;
   emu::Engine engine = unwrap(
       emu::Engine::create(app, platform, timing, options));
   emu::EmulationResult result = unwrap(engine.run());
   if (!result.completed) die(internal_error("run did not complete"));
+  span.close();
+  telemetry.record_run(label, result);
   return result;
 }
 

@@ -8,15 +8,19 @@
 //   $ ./mp3_decoder --reference             # detailed ("actual") timing
 //   $ ./mp3_decoder --parallel --threads 4  # thread-parallel engine
 //   $ ./mp3_decoder --activity              # Figure 11 activity graph
+//   $ ./mp3_decoder --telemetry DIR         # export Prometheus metrics and
+//                                           # a Perfetto-loadable trace
 #include <cstdio>
 
 #include "apps/mp3.hpp"
 #include "core/segbus.hpp"
+#include "obs/telemetry.hpp"
 #include "support/cli.hpp"
 
 using namespace segbus;
 
 int main(int argc, char** argv) {
+  obs::PhaseProfiler profiler;
   auto cli = CommandLine::parse(argc, argv);
   if (!cli.is_ok()) {
     std::fprintf(stderr, "%s\n", cli.status().to_string().c_str());
@@ -29,6 +33,7 @@ int main(int argc, char** argv) {
   const bool move_p9 = cli->bool_flag_or("move-p9", false);
   const bool reference = cli->bool_flag_or("reference", false);
   const bool activity = cli->bool_flag_or("activity", false);
+  const std::string telemetry_dir = cli->flag_or("telemetry", "");
 
   if (segments < 1 || segments > 3) {
     std::fprintf(stderr,
@@ -41,6 +46,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  auto model_span = profiler.span("model-build");
   auto app = apps::mp3_decoder_psdf(package);
   if (!app.is_ok()) {
     std::fprintf(stderr, "%s\n", app.status().to_string().c_str());
@@ -62,6 +68,9 @@ int main(int argc, char** argv) {
   config.threads =
       static_cast<unsigned>(cli->int_flag_or("threads", 0));
   config.engine.record_activity = activity;
+  config.engine.record_metrics = true;
+  // The Chrome trace export needs the protocol event stream.
+  config.engine.record_trace = !telemetry_dir.empty();
 
   std::printf("MP3 decoder on %s (%s)\n", platform->name().c_str(),
               platform->summary().c_str());
@@ -70,21 +79,38 @@ int main(int argc, char** argv) {
 
   auto session =
       core::EmulationSession::from_models(*app, *platform, config);
+  model_span.close();
   if (!session.is_ok()) {
     std::fprintf(stderr, "%s\n", session.status().to_string().c_str());
     return 1;
   }
-  auto result = session->emulate();
+  auto result = session->emulate(&profiler);
   if (!result.is_ok()) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
     return 1;
   }
 
+  auto report_span = profiler.span("report");
   std::printf("%s\n", core::render_paper_report(*result, *platform).c_str());
   std::printf("%s\n", core::render_bu_analysis(*result, *platform).c_str());
   std::printf("%s\n", core::render_timeline(*result).c_str());
   if (activity) {
     std::printf("%s\n", core::render_activity(*result).c_str());
+  }
+  report_span.close();
+
+  std::printf("%s", obs::render_telemetry_summary(*result, &profiler)
+                        .c_str());
+  if (!telemetry_dir.empty()) {
+    auto written = obs::export_telemetry(*result, *platform, &profiler,
+                                         telemetry_dir, "mp3_decoder");
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "%s\n", written.status().to_string().c_str());
+      return 1;
+    }
+    for (const std::string& path : *written) {
+      std::printf("telemetry written to %s\n", path.c_str());
+    }
   }
   return 0;
 }

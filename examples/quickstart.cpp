@@ -8,10 +8,13 @@
 #include <cstdio>
 
 #include "core/segbus.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace segbus;
 
 int main() {
+  obs::PhaseProfiler profiler;
+  auto build_span = profiler.span("model-build");
   // 1. The application: a producer feeding two workers that merge into a
   //    sink, as a Packet SDF. Flow tuples are (target, D data items,
   //    T ordering, C compute ticks per package).
@@ -43,19 +46,24 @@ int main() {
   (void)platform.map_process("WorkerB", 1);
   (void)platform.map_process("Sink", 1);
 
-  // 4. Emulate.
-  auto session = core::EmulationSession::from_models(app, platform);
+  // 4. Emulate, with protocol metrics and latency samples recorded.
+  build_span.close();
+  core::SessionConfig config;
+  config.engine.record_metrics = true;
+  config.engine.record_latencies = true;
+  auto session = core::EmulationSession::from_models(app, platform, config);
   if (!session.is_ok()) {
     std::fprintf(stderr, "%s\n", session.status().to_string().c_str());
     return 1;
   }
-  auto result = session->emulate();
+  auto result = session->emulate(&profiler);
   if (!result.is_ok()) {
     std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
     return 1;
   }
 
   // 5. Inspect the results.
+  auto report_span = profiler.span("report");
   std::printf("--- paper-style report ---\n%s\n",
               core::render_paper_report(*result, platform).c_str());
   std::printf("--- per-process timeline ---\n%s\n",
@@ -63,5 +71,11 @@ int main() {
   std::printf("total execution time: %s (%s)\n",
               format_us(result->total_execution_time).c_str(),
               format_ps(result->total_execution_time).c_str());
+  report_span.close();
+
+  // 6. The telemetry view: where the wall-clock went, and how long packages
+  //    waited for the bus.
+  std::printf("\n%s", obs::render_telemetry_summary(*result, &profiler)
+                          .c_str());
   return 0;
 }

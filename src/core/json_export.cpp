@@ -1,5 +1,7 @@
 #include "core/json_export.hpp"
 
+#include "obs/export.hpp"
+
 namespace segbus::core {
 
 JsonValue result_to_json(const emu::EmulationResult& result,
@@ -125,6 +127,10 @@ JsonValue result_to_json(const emu::EmulationResult& result,
   if (!result.trace.empty()) {
     root.set("trace_events",
              JsonValue::unsigned_integer(result.trace.size()));
+  }
+
+  if (!result.metrics.empty()) {
+    root.set("metrics", obs::to_json_series(result.metrics));
   }
   return root;
 }

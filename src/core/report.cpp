@@ -267,6 +267,13 @@ std::string render_summary(const emu::EmulationResult& result,
         result.bus[worst].mean_wp(),
         static_cast<unsigned long long>(result.bus[worst].transfers));
   }
+  if (!result.metrics.empty()) {
+    out += str_format(
+        "telemetry     : %zu metric series recorded (%llu grants observed)\n",
+        result.metrics.size(),
+        static_cast<unsigned long long>(
+            result.metrics.family_count("segbus_grants_total")));
+  }
   return out;
 }
 

@@ -1,5 +1,7 @@
 #include "core/session.hpp"
 
+#include <optional>
+
 #include "emu/parallel.hpp"
 #include "platform/constraints.hpp"
 #include "platform/platform_xml.hpp"
@@ -52,18 +54,27 @@ Result<EmulationSession> EmulationSession::from_xml_strings(
                      std::move(config));
 }
 
-Result<emu::EmulationResult> EmulationSession::emulate() const {
+Result<emu::EmulationResult> EmulationSession::emulate(
+    obs::PhaseProfiler* profiler) const {
+  std::optional<obs::PhaseProfiler::Span> build_span;
+  if (profiler != nullptr) build_span.emplace(profiler->span("engine-build"));
   if (config_.parallel) {
     SEGBUS_ASSIGN_OR_RETURN(
         std::unique_ptr<emu::ParallelEngine> engine,
         emu::ParallelEngine::create(application_, platform_, config_.timing,
                                     config_.engine, config_.threads));
+    build_span.reset();
+    std::optional<obs::PhaseProfiler::Span> run_span;
+    if (profiler != nullptr) run_span.emplace(profiler->span("emulate"));
     return engine->run();
   }
   SEGBUS_ASSIGN_OR_RETURN(
       emu::Engine engine,
       emu::Engine::create(application_, platform_, config_.timing,
                           config_.engine));
+  build_span.reset();
+  std::optional<obs::PhaseProfiler::Span> run_span;
+  if (profiler != nullptr) run_span.emplace(profiler->span("emulate"));
   return engine.run();
 }
 

@@ -11,6 +11,7 @@
 #include "emu/engine.hpp"
 #include "emu/stats.hpp"
 #include "emu/timing.hpp"
+#include "obs/profiler.hpp"
 #include "platform/model.hpp"
 #include "psdf/model.hpp"
 #include "support/status.hpp"
@@ -56,8 +57,11 @@ class EmulationSession {
   SessionConfig& config() noexcept { return config_; }
 
   /// Runs one emulation. May be called repeatedly (a fresh engine is built
-  /// per run); results are deterministic for a fixed configuration.
-  Result<emu::EmulationResult> emulate() const;
+  /// per run); results are deterministic for a fixed configuration. When a
+  /// profiler is given, the engine-build and emulate phases are recorded as
+  /// host wall-clock spans.
+  Result<emu::EmulationResult> emulate(
+      obs::PhaseProfiler* profiler = nullptr) const;
 
  private:
   EmulationSession(psdf::PsdfModel application,

@@ -177,6 +177,7 @@ Result<Engine> Engine::create(const psdf::PsdfModel& application,
   }
 
   engine.trace_.resize(engine.domains_.size());
+  engine.init_metric_shards();
 
   // Run-loop bookkeeping.
   engine.next_tick_.clear();
@@ -206,6 +207,45 @@ void Engine::post(DomainId to, DomainId from, Picoseconds now,
                   Message message) {
   inboxes_[to]->push(Envelope{now, from, post_seq_[from]++,
                               std::move(message)});
+}
+
+void Engine::init_metric_shards() {
+  // One shard per clock domain — single writer, merged at collect time —
+  // with identical histogram layouts so the merge is a plain bucket sum.
+  // Handles stay default-constructed (no-op) when recording is off.
+  domain_metrics_.resize(domains_.size());
+  if (!options_.record_metrics) return;
+  metric_shards_.resize(domains_.size());
+  const std::vector<double> latency_bounds =
+      obs::hdr_bounds(std::uint64_t{1} << 20, 4);
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    obs::MetricsRegistry& shard = metric_shards_[i];
+    const std::string& domain = domains_[i].name();
+    DomainMetrics& handles = domain_metrics_[i];
+    handles.requests_local = shard.counter(
+        "segbus_requests_total", {{"domain", domain}, {"scope", "local"}},
+        "Bus requests raised by masters, by arbitration scope");
+    handles.requests_global = shard.counter(
+        "segbus_requests_total", {{"domain", domain}, {"scope", "global"}});
+    handles.grants =
+        shard.counter("segbus_grants_total", {{"domain", domain}},
+                      "Bus grants (SA) and path setups (CA)");
+    handles.deliveries =
+        shard.counter("segbus_deliveries_total", {{"domain", domain}},
+                      "Packages delivered to their target device");
+    handles.bu_loads =
+        shard.counter("segbus_bu_loads_total", {{"domain", domain}},
+                      "Packages loaded into a border unit");
+    handles.grant_latency = shard.histogram(
+        "segbus_grant_latency_ticks", latency_bounds, {{"domain", domain}},
+        "Request-to-grant arbitration latency in the granting domain's "
+        "clock ticks");
+    handles.delivery_latency = shard.histogram(
+        "segbus_delivery_latency_ticks", latency_bounds,
+        {{"domain", domain}},
+        "Request-to-delivery package latency in the delivering segment's "
+        "clock ticks");
+  }
 }
 
 void Engine::record_busy(std::size_t series, Picoseconds now) {
@@ -346,9 +386,11 @@ void Engine::segment_step_masters(SegmentState& seg, Picoseconds now) {
             if (fr.local) {
               m.phase = MasterState::Phase::kPendingLocal;
               ++seg.sa.intra_requests;
+              domain_metrics_[seg.id].requests_local.inc();
             } else {
               m.phase = MasterState::Phase::kPendingGlobal;
               ++seg.sa.inter_requests;
+              domain_metrics_[seg.id].requests_global.inc();
               const TransferId tid = static_cast<TransferId>(
                   fr.transfer_base + fr.sent);
               transfers_[tid].request_time = now;
@@ -443,6 +485,9 @@ void Engine::segment_step_sa(SegmentState& seg, Picoseconds now) {
             m.phase = MasterState::Phase::kBusy;
             trace(seg.id, now, TraceKind::kGrant, op.flow,
                   flows_[op.flow].sent);
+            domain_metrics_[seg.id].grants.inc();
+            domain_metrics_[seg.id].grant_latency.observe(
+                as_ticks(seg.id, now - op.request_time));
             seg.bus = op;
             break;
           }
@@ -576,6 +621,7 @@ void Engine::finish_bus_op(SegmentState& seg, Picoseconds now) {
             transfers_[op.transfer].package_seq, op.exit_bu);
       trace(seg.id, now, TraceKind::kRelease, op.flow,
             transfers_[op.transfer].package_seq, seg.id);
+      domain_metrics_[seg.id].bu_loads.inc();
       const DomainId next = bu.left == seg.id ? bu.right : bu.left;
       post(next, seg.id, now, BuLoadedMsg{op.transfer, op.exit_bu});
       post(ca, seg.id, now, HopDoneMsg{op.transfer, seg.id, false});
@@ -609,6 +655,7 @@ void Engine::finish_bus_op(SegmentState& seg, Picoseconds now) {
             transfers_[op.transfer].package_seq, op.exit_bu);
       trace(seg.id, now, TraceKind::kRelease, op.flow,
             transfers_[op.transfer].package_seq, seg.id);
+      domain_metrics_[seg.id].bu_loads.inc();
       const DomainId next = exit.left == seg.id ? exit.right : exit.left;
       post(next, seg.id, now, BuLoadedMsg{op.transfer, op.exit_bu});
       post(ca, seg.id, now, HopDoneMsg{op.transfer, seg.id, false});
@@ -654,6 +701,9 @@ void Engine::deliver_package(SegmentState& seg, std::uint32_t flow_index,
   fr.total_latency_ps += latency;
   if (options_.record_latencies) fr.latency_samples.push_back(latency);
   trace(seg.id, now, TraceKind::kDelivery, flow_index, fr.delivered);
+  domain_metrics_[seg.id].deliveries.inc();
+  domain_metrics_[seg.id].delivery_latency.observe(
+      as_ticks(seg.id, now - request_time));
   ++fr.delivered;
   fr.last_delivery = now;
   ProcessStats& receiver = process_stats_[fr.flow.target];
@@ -825,6 +875,9 @@ void Engine::ca_grant_scan(Picoseconds now) {
       post(tr.path.front().segment, ca_id, now, StartLoadMsg{tid});
     }
     trace(ca_id, now, TraceKind::kGrant, tr.flow, tr.package_seq);
+    domain_metrics_[ca_id].grants.inc();
+    domain_metrics_[ca_id].grant_latency.observe(
+        as_ticks(ca_id, now - tr.request_time));
     ++ca_.stats.grants;
     ca_.pending.erase(ca_.pending.begin() +
                       static_cast<std::ptrdiff_t>(i));
@@ -952,6 +1005,14 @@ EmulationResult Engine::collect_results() const {
   result.activity_bucket = options_.activity_bucket;
   for (const ClockDomain& d : domains_) {
     result.domain_names.push_back(d.name());
+  }
+  // Deterministic shard merge: fixed domain order, and each shard's
+  // insertion order is fixed at init_metric_shards time, so the merged
+  // registry is bit-identical across sequential and parallel runs. The
+  // shards share one histogram layout, so merging cannot fail.
+  for (const obs::MetricsRegistry& shard : metric_shards_) {
+    Status merged = result.metrics.merge_from(shard);
+    (void)merged;
   }
   if (options_.record_trace) {
     for (const auto& buffer : trace_) {

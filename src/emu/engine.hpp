@@ -48,6 +48,11 @@ struct EngineOptions {
   /// Record every package's request-to-delivery latency (FlowStats then
   /// carries the full sample vectors, enabling histograms/quantiles).
   bool record_latencies = false;
+  /// Record the telemetry metrics registry (EmulationResult::metrics):
+  /// request/grant/delivery counters plus request->grant and
+  /// request->delivery latency histograms (in clock ticks), sharded per
+  /// clock domain like the trace buffers and merged deterministically.
+  bool record_metrics = false;
 };
 
 namespace detail {
@@ -313,6 +318,26 @@ class Engine {
 
   // activity recording: series 0..n-1 = SAs, n = CA, n+1.. = BUs
   std::vector<ActivitySeries> activity_;
+
+  // per-domain metric shards (merged at collect time, like the trace
+  // buffers); the handle structs are no-op when recording is disabled
+  struct DomainMetrics {
+    obs::Counter requests_local;
+    obs::Counter requests_global;
+    obs::Counter grants;
+    obs::Counter deliveries;
+    obs::Counter bu_loads;
+    obs::Histogram grant_latency;     ///< request->grant, domain ticks
+    obs::Histogram delivery_latency;  ///< request->delivery, domain ticks
+  };
+  std::vector<obs::MetricsRegistry> metric_shards_;
+  std::vector<DomainMetrics> domain_metrics_;
+  void init_metric_shards();
+  /// Elapsed picoseconds as ticks of domain `d`'s clock.
+  double as_ticks(DomainId d, Picoseconds elapsed) const {
+    return static_cast<double>(elapsed.count()) /
+           static_cast<double>(domains_[d].period_ps());
+  }
 
   // per-domain trace buffers (merged at collect time)
   std::vector<std::vector<TraceEvent>> trace_;

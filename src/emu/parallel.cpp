@@ -40,6 +40,7 @@ void ParallelEngine::worker_loop(unsigned worker_id) {
   std::uint64_t seen_generation = 0;
   while (true) {
     const std::vector<std::size_t>* batch = nullptr;
+    std::size_t batch_size = 0;
     Picoseconds when{0};
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -49,12 +50,18 @@ void ParallelEngine::worker_loop(unsigned worker_id) {
       if (shutdown_) return;
       seen_generation = generation_;
       batch = batch_;
+      batch_size = batch_size_;
       when = batch_time_;
     }
     // Static partition: worker w owns indices w, w+T, w+2T, ... This keeps
     // a straggler from a previous batch from ever claiming work out of a
     // freshly published one (it only touches the batch it captured above).
-    for (std::size_t index = worker_id; index < batch->size();
+    // The size is taken from the lock-protected snapshot, not from *batch:
+    // a worker whose partition is empty may wake only after the batch
+    // owner's stack frame (and the vector) is gone, and must not touch it.
+    // Workers that do own an index keep the batch alive by construction —
+    // the publisher cannot return until remaining_ hits zero.
+    for (std::size_t index = worker_id; index < batch_size;
          index += num_threads_) {
       engine_.step_domain((*batch)[index], when);
       if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -83,6 +90,7 @@ Result<EmulationResult> ParallelEngine::run() {
       {
         std::lock_guard<std::mutex> lock(mutex_);
         batch_ = &due;
+        batch_size_ = due.size();
         batch_time_ = now;
         remaining_.store(due.size(), std::memory_order_relaxed);
         ++generation_;

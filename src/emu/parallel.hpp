@@ -65,6 +65,7 @@ class ParallelEngine {
   std::condition_variable work_done_;
   std::uint64_t generation_ = 0;
   const std::vector<std::size_t>* batch_ = nullptr;
+  std::size_t batch_size_ = 0;
   Picoseconds batch_time_{0};
   std::atomic<std::size_t> remaining_{0};
   bool shutdown_ = false;

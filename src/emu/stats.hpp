@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "emu/trace.hpp"
+#include "obs/metrics.hpp"
 #include "support/time.hpp"
 
 namespace segbus::emu {
@@ -167,6 +168,13 @@ struct EmulationResult {
   std::vector<TraceEvent> trace;
   /// Domain names for rendering the trace (segments then "CA").
   std::vector<std::string> domain_names;
+  /// Telemetry registry (empty unless EngineOptions::record_metrics):
+  /// per-domain shards merged deterministically at collection time —
+  /// request/grant/delivery counters and arbitration/delivery latency
+  /// histograms in clock ticks, labeled by domain. Derived series (per-flow
+  /// latencies, BU queue depth, utilization) are added offline by
+  /// obs::derive_metrics.
+  obs::MetricsRegistry metrics;
 };
 
 }  // namespace segbus::emu

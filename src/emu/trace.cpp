@@ -1,5 +1,7 @@
 #include "emu/trace.hpp"
 
+#include <map>
+
 #include "support/strings.hpp"
 
 namespace segbus::emu {
@@ -52,6 +54,26 @@ std::string render_trace(const std::vector<TraceEvent>& events,
     out += '\n';
   }
   return out;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> match_events(
+    const std::vector<TraceEvent>& events, TraceKind earlier,
+    TraceKind later) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::size_t> open;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    const auto key = std::make_pair(event.flow, event.package);
+    if (event.kind == earlier) {
+      open[key] = i;
+    } else if (event.kind == later) {
+      if (auto it = open.find(key); it != open.end()) {
+        pairs.emplace_back(it->second, i);
+        open.erase(it);
+      }
+    }
+  }
+  return pairs;
 }
 
 }  // namespace segbus::emu

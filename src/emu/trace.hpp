@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "emu/messages.hpp"
@@ -54,5 +55,16 @@ struct TraceEvent {
 std::string render_trace(const std::vector<TraceEvent>& events,
                          const std::vector<std::string>& domain_names,
                          std::size_t max_events = 0);
+
+/// Pairs protocol events of a time-ordered trace: for every `later`-kind
+/// event, the matching `earlier`-kind event of the same (flow, package) —
+/// each earlier event is consumed by its first match, so e.g. a kGrant ->
+/// kBuLoad query pairs only the *first* BU load of a forwarded package.
+/// Returns (earlier_index, later_index) pairs in trace order. The derived
+/// latency metrics (obs/derive.hpp) and the trace-consistency tests are
+/// built on this.
+std::vector<std::pair<std::size_t, std::size_t>> match_events(
+    const std::vector<TraceEvent>& events, TraceKind earlier,
+    TraceKind later);
 
 }  // namespace segbus::emu

@@ -1,0 +1,166 @@
+#include "obs/chrome_trace.hpp"
+
+#include <map>
+
+#include "obs/export.hpp"
+
+namespace segbus::obs {
+
+namespace {
+
+constexpr int kHostPid = 0;
+constexpr int kEmuPid = 1;
+
+JsonValue metadata(const char* name, int pid, std::int64_t tid,
+                   std::string_view value) {
+  JsonValue event = JsonValue::object();
+  event.set("name", JsonValue::string(name));
+  event.set("ph", JsonValue::string("M"));
+  event.set("pid", JsonValue::integer(pid));
+  event.set("tid", JsonValue::integer(tid));
+  JsonValue args = JsonValue::object();
+  args.set("name", JsonValue::string(value));
+  event.set("args", std::move(args));
+  return event;
+}
+
+void append_phase_spans(JsonValue& events, const PhaseProfiler& profiler) {
+  events.push(metadata("process_name", kHostPid, 0, "host (wall clock)"));
+  events.push(metadata("thread_name", kHostPid, 0, "pipeline"));
+  for (const PhaseProfiler::Phase& phase : profiler.phases()) {
+    JsonValue event = JsonValue::object();
+    event.set("name", JsonValue::string(phase.name));
+    event.set("cat", JsonValue::string("phase"));
+    event.set("ph", JsonValue::string("X"));
+    event.set("pid", JsonValue::integer(kHostPid));
+    event.set("tid", JsonValue::integer(0));
+    event.set("ts", JsonValue::unsigned_integer(phase.start_us));
+    event.set("dur", JsonValue::unsigned_integer(phase.duration_us));
+    events.push(std::move(event));
+  }
+}
+
+/// 1 ps of emulated time -> 1e-6 trace microseconds (i.e. trace "us" field
+/// counts picoseconds scaled so Perfetto's nanosecond grid is exact).
+double emu_ts(Picoseconds t) {
+  return static_cast<double>(t.count()) / 1e6;
+}
+
+void append_protocol_events(JsonValue& events,
+                            const emu::EmulationResult& result) {
+  events.push(
+      metadata("process_name", kEmuPid, 0, "segbus (emulated time)"));
+  for (std::size_t d = 0; d < result.domain_names.size(); ++d) {
+    events.push(metadata("thread_name", kEmuPid,
+                         static_cast<std::int64_t>(d),
+                         result.domain_names[d]));
+  }
+  for (const emu::TraceEvent& trace_event : result.trace) {
+    JsonValue event = JsonValue::object();
+    event.set("name",
+              JsonValue::string(emu::trace_kind_name(trace_event.kind)));
+    event.set("cat", JsonValue::string("protocol"));
+    event.set("ph", JsonValue::string("i"));
+    event.set("s", JsonValue::string("t"));
+    event.set("pid", JsonValue::integer(kEmuPid));
+    event.set("tid", JsonValue::integer(trace_event.domain));
+    event.set("ts", JsonValue::number(emu_ts(trace_event.time)));
+    JsonValue args = JsonValue::object();
+    if (trace_event.flow != emu::TraceEvent::kNoValue) {
+      args.set("flow", JsonValue::unsigned_integer(trace_event.flow));
+      if (trace_event.flow < result.flows.size()) {
+        args.set("route",
+                 JsonValue::string(
+                     result.flows[trace_event.flow].source + "->" +
+                     result.flows[trace_event.flow].target));
+      }
+    }
+    if (trace_event.package != emu::TraceEvent::kNoValue) {
+      args.set("package", JsonValue::unsigned_integer(trace_event.package));
+    }
+    if (trace_event.element != emu::TraceEvent::kNoValue) {
+      args.set("element", JsonValue::unsigned_integer(trace_event.element));
+    }
+    event.set("args", std::move(args));
+    events.push(std::move(event));
+  }
+
+  // BU occupancy as counter tracks, rebuilt from the load/unload instants.
+  std::map<std::uint32_t, std::int64_t> depth;
+  for (const emu::TraceEvent& trace_event : result.trace) {
+    if (trace_event.kind != emu::TraceKind::kBuLoad &&
+        trace_event.kind != emu::TraceKind::kBuUnload) {
+      continue;
+    }
+    std::int64_t& d = depth[trace_event.element];
+    d += trace_event.kind == emu::TraceKind::kBuLoad ? 1 : -1;
+    JsonValue event = JsonValue::object();
+    event.set("name", JsonValue::string(
+                          "bu" + std::to_string(trace_event.element) +
+                          " occupancy"));
+    event.set("ph", JsonValue::string("C"));
+    event.set("pid", JsonValue::integer(kEmuPid));
+    event.set("tid", JsonValue::integer(0));
+    event.set("ts", JsonValue::number(emu_ts(trace_event.time)));
+    JsonValue args = JsonValue::object();
+    args.set("packages", JsonValue::integer(d));
+    event.set("args", std::move(args));
+    events.push(std::move(event));
+  }
+
+  // Per-element activity (busy ticks per bucket) as counter tracks.
+  if (!result.activity.empty() && result.activity_bucket.count() > 0) {
+    for (const emu::ActivitySeries& series : result.activity) {
+      for (std::size_t bucket = 0;
+           bucket < series.busy_ticks_per_bucket.size(); ++bucket) {
+        JsonValue event = JsonValue::object();
+        event.set("name", JsonValue::string(series.element + " busy"));
+        event.set("ph", JsonValue::string("C"));
+        event.set("pid", JsonValue::integer(kEmuPid));
+        event.set("tid", JsonValue::integer(0));
+        event.set("ts",
+                  JsonValue::number(emu_ts(Picoseconds(
+                      static_cast<std::int64_t>(bucket) *
+                      result.activity_bucket.count()))));
+        JsonValue args = JsonValue::object();
+        args.set("busy_ticks",
+                 JsonValue::unsigned_integer(
+                     series.busy_ticks_per_bucket[bucket]));
+        event.set("args", std::move(args));
+        events.push(std::move(event));
+      }
+    }
+  }
+}
+
+JsonValue finish(JsonValue events) {
+  JsonValue root = JsonValue::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", JsonValue::string("ns"));
+  return root;
+}
+
+}  // namespace
+
+JsonValue chrome_trace_json(const emu::EmulationResult& result,
+                            const PhaseProfiler* profiler) {
+  JsonValue events = JsonValue::array();
+  if (profiler != nullptr) append_phase_spans(events, *profiler);
+  append_protocol_events(events, result);
+  return finish(std::move(events));
+}
+
+JsonValue chrome_trace_json(const PhaseProfiler& profiler) {
+  JsonValue events = JsonValue::array();
+  append_phase_spans(events, profiler);
+  return finish(std::move(events));
+}
+
+Status write_chrome_trace_file(const std::string& path,
+                               const emu::EmulationResult& result,
+                               const PhaseProfiler* profiler) {
+  return write_text_file(path,
+                         chrome_trace_json(result, profiler).to_string());
+}
+
+}  // namespace segbus::obs

@@ -1,0 +1,36 @@
+// Chrome trace-event JSON export (Perfetto / chrome://tracing loadable).
+//
+// Merges two time axes into one file as two trace "processes":
+//   pid 0 — host wall-clock phase spans from the PhaseProfiler
+//           (parse -> platform build -> emulate -> report), ph "X";
+//   pid 1 — emulated time: every protocol trace event as an instant
+//           (ph "i") on its clock domain's thread, BU occupancy and
+//           per-element activity as counter tracks (ph "C").
+// Emulated timestamps map 1 ps -> 1e-6 trace-us so Perfetto renders the
+// picosecond protocol timeline with full precision.
+#pragma once
+
+#include <string>
+
+#include "emu/stats.hpp"
+#include "obs/profiler.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace segbus::obs {
+
+/// Builds the trace-event document. `profiler` is optional (host spans are
+/// omitted when null); protocol instants require a result recorded with
+/// EngineOptions::record_trace.
+JsonValue chrome_trace_json(const emu::EmulationResult& result,
+                            const PhaseProfiler* profiler = nullptr);
+
+/// Host-only variant: just the profiler's phase spans.
+JsonValue chrome_trace_json(const PhaseProfiler& profiler);
+
+/// Serializes chrome_trace_json(result, profiler) to `path`.
+Status write_chrome_trace_file(const std::string& path,
+                               const emu::EmulationResult& result,
+                               const PhaseProfiler* profiler = nullptr);
+
+}  // namespace segbus::obs

@@ -1,0 +1,133 @@
+#include "obs/derive.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace segbus::obs {
+
+namespace {
+
+std::string flow_label(const emu::EmulationResult& result,
+                       std::uint32_t flow) {
+  if (flow >= result.flows.size()) return "?";
+  return result.flows[flow].source + "->" + result.flows[flow].target;
+}
+
+}  // namespace
+
+Status derive_metrics(const emu::EmulationResult& result,
+                      const platform::PlatformModel& platform,
+                      MetricsRegistry& registry) {
+  // --- summary gauges (always available) ----------------------------------
+  for (std::size_t s = 0; s < result.sas.size(); ++s) {
+    const Labels labels{{"segment", platform.segment(
+                                        static_cast<platform::SegmentId>(s))
+                                        .name}};
+    registry
+        .gauge("segbus_sa_utilization", labels,
+               "Busy fraction of a segment bus up to its last activity")
+        .set(result.sa_utilization(s));
+  }
+  registry
+      .gauge("segbus_ca_utilization", {},
+             "Fraction of CA ticks with a transaction in flight")
+      .set(result.ca_utilization());
+  registry
+      .gauge("segbus_execution_time_ps", {},
+             "Total execution time (max over arbiter execution times)")
+      .set(static_cast<double>(result.total_execution_time.count()));
+  const std::vector<platform::BorderUnitSpec>& bus = platform.border_units();
+  for (std::size_t b = 0; b < result.bus.size() && b < bus.size(); ++b) {
+    const Labels labels{{"bu", bus[b].name()}};
+    registry
+        .gauge("segbus_bu_useful_ticks", labels,
+               "Border-unit useful-period ticks (loads + unloads)")
+        .set(static_cast<double>(result.bus[b].up_ticks));
+    registry
+        .gauge("segbus_bu_waiting_ticks", labels,
+               "Border-unit waiting-period ticks (loaded, awaiting grant)")
+        .set(static_cast<double>(result.bus[b].wp_ticks));
+  }
+
+  // --- trace-derived series -----------------------------------------------
+  if (result.trace.empty()) return Status::ok();
+  const std::vector<double> ps_bounds = exponential_bounds(1000.0, 2.0, 32);
+
+  // Request->grant and grant->delivery latency per flow, and CA path-setup
+  // latency (grant -> the package's first BU load).
+  struct LatencyFamily {
+    emu::TraceKind earlier;
+    emu::TraceKind later;
+    const char* name;
+    const char* help;
+  };
+  const LatencyFamily families[] = {
+      {emu::TraceKind::kRequest, emu::TraceKind::kGrant,
+       "segbus_flow_request_to_grant_ps",
+       "Per-flow arbitration latency: bus request to grant, picoseconds"},
+      {emu::TraceKind::kGrant, emu::TraceKind::kDelivery,
+       "segbus_flow_grant_to_delivery_ps",
+       "Per-flow transfer latency: grant to delivery, picoseconds"},
+      {emu::TraceKind::kGrant, emu::TraceKind::kBuLoad,
+       "segbus_ca_path_setup_ps",
+       "Inter-segment path setup: CA grant to the first BU load, "
+       "picoseconds"},
+  };
+  for (const LatencyFamily& family : families) {
+    for (const auto& [earlier, later] :
+         emu::match_events(result.trace, family.earlier, family.later)) {
+      const emu::TraceEvent& from = result.trace[earlier];
+      const emu::TraceEvent& to = result.trace[later];
+      registry
+          .histogram(family.name, ps_bounds,
+                     {{"flow", flow_label(result, to.flow)}}, family.help)
+          .observe(static_cast<double>((to.time - from.time).count()));
+    }
+  }
+
+  // BU queue depth / occupancy: sample the depth after every load/unload.
+  std::map<std::uint32_t, std::int64_t> depth;
+  std::map<std::uint32_t, std::int64_t> max_depth;
+  const std::vector<double> depth_bounds = linear_bounds(0.0, 1.0, 17);
+  for (const emu::TraceEvent& event : result.trace) {
+    if (event.kind != emu::TraceKind::kBuLoad &&
+        event.kind != emu::TraceKind::kBuUnload) {
+      continue;
+    }
+    std::int64_t& d = depth[event.element];
+    d += event.kind == emu::TraceKind::kBuLoad ? 1 : -1;
+    max_depth[event.element] = std::max(max_depth[event.element], d);
+    const std::string name = event.element < bus.size()
+                                 ? bus[event.element].name()
+                                 : "BU?";
+    registry
+        .histogram("segbus_bu_queue_depth", depth_bounds, {{"bu", name}},
+                   "Border-unit occupancy (packages) sampled at every "
+                   "load/unload transition")
+        .observe(static_cast<double>(d));
+  }
+  for (const auto& [bu, peak] : max_depth) {
+    const std::string name = bu < bus.size() ? bus[bu].name() : "BU?";
+    registry
+        .gauge("segbus_bu_queue_depth_max", {{"bu", name}},
+               "Peak border-unit occupancy in packages")
+        .set(static_cast<double>(peak));
+  }
+
+  // Per-segment bus-utilization time series (busy ticks per activity
+  // bucket) when the run recorded activity.
+  if (!result.activity.empty() && result.activity_bucket.count() > 0) {
+    for (const emu::ActivitySeries& series : result.activity) {
+      Histogram histogram = registry.histogram(
+          "segbus_busy_ticks_per_bucket",
+          exponential_bounds(1.0, 2.0, 16), {{"element", series.element}},
+          "Distribution of per-activity-bucket busy tick counts");
+      for (std::uint32_t ticks : series.busy_ticks_per_bucket) {
+        histogram.observe(static_cast<double>(ticks));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace segbus::obs

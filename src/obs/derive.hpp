@@ -1,0 +1,26 @@
+// Derived instrumentation: metrics computed offline from a finished
+// emulation's statistics and protocol trace, complementing the engine's
+// live per-domain counters (see EngineOptions::record_metrics).
+//
+//   - per-flow request->grant and grant->delivery latency histograms (ps)
+//   - CA path-setup latency (grant -> first BU load) per flow
+//   - BU queue depth / occupancy sampled at every load/unload transition
+//   - per-segment bus utilization and per-element summary gauges
+//
+// Utilization gauges need only the base statistics; the latency/occupancy
+// series need a trace (EngineOptions::record_trace) and are skipped —
+// not an error — when the result carries none.
+#pragma once
+
+#include "emu/stats.hpp"
+#include "obs/metrics.hpp"
+#include "platform/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::obs {
+
+Status derive_metrics(const emu::EmulationResult& result,
+                      const platform::PlatformModel& platform,
+                      MetricsRegistry& registry);
+
+}  // namespace segbus::obs

@@ -1,0 +1,242 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace segbus::obs {
+
+namespace {
+
+/// Prometheus escaping for label values and help text: backslash, quote
+/// and newline.
+std::string prom_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Numbers render as integers when they are integral (Prometheus accepts
+/// both; integral output keeps golden files readable).
+std::string format_number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    return str_format("%lld", static_cast<long long>(value));
+  }
+  return str_format("%g", value);
+}
+
+std::string label_block(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += prom_escape(value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += std::string(extra_key) + "=\"" + prom_escape(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+std::string_view type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string labels_csv(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out += ';';
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  std::set<std::string> families_seen;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const Metric& metric = registry.metric(i);
+    if (families_seen.insert(metric.name).second) {
+      if (!metric.help.empty()) {
+        out += "# HELP " + metric.name + " " + prom_escape(metric.help) +
+               "\n";
+      }
+      out += "# TYPE " + metric.name + " " +
+             std::string(type_name(metric.kind)) + "\n";
+    }
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        out += metric.name + label_block(metric.labels) + " " +
+               str_format("%llu",
+                          static_cast<unsigned long long>(
+                              metric.counter_value)) +
+               "\n";
+        break;
+      case MetricKind::kGauge:
+        out += metric.name + label_block(metric.labels) + " " +
+               format_number(metric.gauge_value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        // Cumulative le buckets; underflow samples satisfy every le bound,
+        // so they seed the running count.
+        std::uint64_t cumulative = metric.underflow;
+        for (std::size_t b = 0; b < metric.bounds.size(); ++b) {
+          cumulative += metric.buckets[b];
+          out += metric.name + "_bucket" +
+                 label_block(metric.labels, "le",
+                             format_number(metric.bounds[b])) +
+                 " " +
+                 str_format("%llu",
+                            static_cast<unsigned long long>(cumulative)) +
+                 "\n";
+        }
+        cumulative += metric.overflow();
+        out += metric.name + "_bucket" +
+               label_block(metric.labels, "le", "+Inf") + " " +
+               str_format("%llu",
+                          static_cast<unsigned long long>(cumulative)) +
+               "\n";
+        out += metric.name + "_sum" + label_block(metric.labels) + " " +
+               format_number(metric.sum) + "\n";
+        out += metric.name + "_count" + label_block(metric.labels) + " " +
+               str_format("%llu",
+                          static_cast<unsigned long long>(
+                              metric.observations)) +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+JsonValue to_json_series(const MetricsRegistry& registry) {
+  JsonValue series = JsonValue::array();
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const Metric& metric = registry.metric(i);
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue::string(metric.name));
+    entry.set("type", JsonValue::string(type_name(metric.kind)));
+    JsonValue labels = JsonValue::object();
+    for (const auto& [key, value] : metric.labels) {
+      labels.set(key, JsonValue::string(value));
+    }
+    entry.set("labels", std::move(labels));
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        entry.set("value", JsonValue::unsigned_integer(metric.counter_value));
+        break;
+      case MetricKind::kGauge:
+        entry.set("value", JsonValue::number(metric.gauge_value));
+        break;
+      case MetricKind::kHistogram: {
+        JsonValue bounds = JsonValue::array();
+        for (double bound : metric.bounds) {
+          bounds.push(JsonValue::number(bound));
+        }
+        JsonValue buckets = JsonValue::array();
+        for (std::uint64_t count : metric.buckets) {
+          buckets.push(JsonValue::unsigned_integer(count));
+        }
+        entry.set("bounds", std::move(bounds));
+        entry.set("buckets", std::move(buckets));
+        entry.set("underflow", JsonValue::unsigned_integer(metric.underflow));
+        entry.set("count", JsonValue::unsigned_integer(metric.observations));
+        entry.set("sum", JsonValue::number(metric.sum));
+        entry.set("p50", JsonValue::number(metric.quantile(0.5)));
+        entry.set("p99", JsonValue::number(metric.quantile(0.99)));
+        break;
+      }
+    }
+    series.push(std::move(entry));
+  }
+  return series;
+}
+
+JsonValue to_json(const MetricsRegistry& registry) {
+  JsonValue root = JsonValue::object();
+  root.set("metrics", to_json_series(registry));
+  return root;
+}
+
+CsvWriter to_csv(const MetricsRegistry& registry) {
+  CsvWriter csv({"name", "type", "labels", "value", "count", "sum", "p50",
+                 "p99"});
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    const Metric& metric = registry.metric(i);
+    std::string value;
+    std::string count;
+    std::string sum;
+    std::string p50;
+    std::string p99;
+    switch (metric.kind) {
+      case MetricKind::kCounter:
+        value = str_format(
+            "%llu", static_cast<unsigned long long>(metric.counter_value));
+        break;
+      case MetricKind::kGauge:
+        value = format_number(metric.gauge_value);
+        break;
+      case MetricKind::kHistogram:
+        count = str_format(
+            "%llu", static_cast<unsigned long long>(metric.observations));
+        sum = format_number(metric.sum);
+        p50 = format_number(metric.quantile(0.5));
+        p99 = format_number(metric.quantile(0.99));
+        break;
+    }
+    csv.add_row({metric.name, std::string(type_name(metric.kind)),
+                 labels_csv(metric.labels), value, count, sum, p50, p99});
+  }
+  return csv;
+}
+
+Status write_text_file(const std::string& path, std::string_view text) {
+  std::error_code ec;
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+    if (ec) {
+      return internal_error("cannot create directory for " + path + ": " +
+                            ec.message());
+    }
+  }
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file.is_open()) {
+    return internal_error("cannot open " + path + " for writing");
+  }
+  file.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!file.good()) {
+    return internal_error("short write to " + path);
+  }
+  return Status::ok();
+}
+
+}  // namespace segbus::obs

@@ -1,0 +1,35 @@
+// Exporters for the metrics registry: Prometheus text exposition format,
+// JSON (support/json) and CSV (support/csv). All outputs list series in the
+// registry's insertion order, which the deterministic shard merge makes
+// stable across repeated runs — byte-identical files diff clean.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "support/csv.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace segbus::obs {
+
+/// Prometheus text exposition format (version 0.0.4): `# HELP`/`# TYPE`
+/// once per family, histograms as cumulative `_bucket{le=...}` series plus
+/// `_sum` and `_count`.
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// JSON document: {"metrics": [...]} wrapping to_json_series.
+JsonValue to_json(const MetricsRegistry& registry);
+
+/// Bare JSON array of series objects ({name, type, labels, value} or
+/// {..., buckets, count, sum} for histograms) — for embedding in a larger
+/// document (core::result_to_json does this).
+JsonValue to_json_series(const MetricsRegistry& registry);
+
+/// Flat CSV: one row per series (histograms report count/sum/p50/p99).
+CsvWriter to_csv(const MetricsRegistry& registry);
+
+/// Writes `text` to `path` (overwriting), creating parent directories.
+Status write_text_file(const std::string& path, std::string_view text);
+
+}  // namespace segbus::obs

@@ -1,0 +1,242 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/strings.hpp"
+
+namespace segbus::obs {
+
+namespace {
+
+/// Canonical lookup key: name + sorted "key=value" label pairs, separated
+/// by characters that cannot appear unescaped in either.
+std::string metric_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1e';
+    key += v;
+  }
+  return key;
+}
+
+void sort_labels(Labels& labels) {
+  std::sort(labels.begin(), labels.end());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Metric
+// ---------------------------------------------------------------------------
+
+void Metric::observe(double value) noexcept {
+  ++observations;
+  sum += value;
+  if (value < floor) {
+    ++underflow;
+    return;
+  }
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  const auto bucket =
+      static_cast<std::size_t>(std::distance(bounds.begin(), it));
+  ++buckets[bucket];  // it == end() -> the +Inf overflow bucket
+}
+
+double Metric::quantile(double q) const noexcept {
+  if (observations == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(observations);
+  double cumulative = static_cast<double>(underflow);
+  if (rank <= cumulative) return floor;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (rank <= cumulative + in_bucket) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: clamp to the largest representable bound.
+        return bounds.empty() ? floor : bounds.back();
+      }
+      const double lo = i == 0 ? floor : bounds[i - 1];
+      const double hi = bounds[i];
+      const double within = in_bucket == 0.0
+                                ? 1.0
+                                : (rank - cumulative) / in_bucket;
+      return lo + within * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? floor : bounds.back();
+}
+
+Status Metric::combine(const Metric& other) {
+  if (kind != other.kind) {
+    return invalid_argument_error("metric kind mismatch merging '" + name +
+                                  "'");
+  }
+  switch (kind) {
+    case MetricKind::kCounter:
+      counter_value += other.counter_value;
+      break;
+    case MetricKind::kGauge:
+      if (other.gauge_set) {
+        gauge_value = other.gauge_value;
+        gauge_set = true;
+      }
+      break;
+    case MetricKind::kHistogram: {
+      if (bounds != other.bounds) {
+        return invalid_argument_error(
+            "histogram bucket layout mismatch merging '" + name + "'");
+      }
+      for (std::size_t i = 0; i < buckets.size(); ++i) {
+        buckets[i] += other.buckets[i];
+      }
+      underflow += other.underflow;
+      observations += other.observations;
+      sum += other.sum;
+      break;
+    }
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-bound factories
+// ---------------------------------------------------------------------------
+
+std::vector<double> linear_bounds(double start, double width,
+                                  std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double value = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(value);
+    value *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> hdr_bounds(std::uint64_t max_value,
+                               unsigned sub_buckets) {
+  std::vector<double> bounds;
+  if (max_value == 0 || sub_buckets == 0) return bounds;
+  std::uint64_t width = 1;
+  std::uint64_t value = 0;
+  while (value < max_value) {
+    for (unsigned i = 0; i < sub_buckets && value < max_value; ++i) {
+      value += width;
+      bounds.push_back(static_cast<double>(value));
+    }
+    width *= 2;
+  }
+  return bounds;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+Metric& MetricsRegistry::find_or_create(MetricKind kind,
+                                        std::string_view name, Labels labels,
+                                        std::string_view help) {
+  sort_labels(labels);
+  const std::string key = metric_key(name, labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    return metrics_[it->second];
+  }
+  Metric metric;
+  metric.kind = kind;
+  metric.name = std::string(name);
+  metric.labels = std::move(labels);
+  metric.help = std::string(help);
+  index_.emplace(key, metrics_.size());
+  metrics_.push_back(std::move(metric));
+  return metrics_.back();
+}
+
+Counter MetricsRegistry::counter(std::string_view name, Labels labels,
+                                 std::string_view help) {
+  return Counter(
+      &find_or_create(MetricKind::kCounter, name, std::move(labels), help));
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name, Labels labels,
+                             std::string_view help) {
+  return Gauge(
+      &find_or_create(MetricKind::kGauge, name, std::move(labels), help));
+}
+
+Histogram MetricsRegistry::histogram(std::string_view name,
+                                     std::vector<double> bounds,
+                                     Labels labels, std::string_view help,
+                                     double floor) {
+  Metric& metric =
+      find_or_create(MetricKind::kHistogram, name, std::move(labels), help);
+  if (metric.buckets.empty()) {  // first registration fixes the layout
+    metric.bounds = std::move(bounds);
+    metric.buckets.assign(metric.bounds.size() + 1, 0);
+    metric.floor = floor;
+  }
+  return Histogram(&metric);
+}
+
+const Metric* MetricsRegistry::find(std::string_view name,
+                                    Labels labels) const {
+  sort_labels(labels);
+  const auto it = index_.find(metric_key(name, labels));
+  return it == index_.end() ? nullptr : &metrics_[it->second];
+}
+
+std::optional<Metric> MetricsRegistry::sum_family(
+    std::string_view name) const {
+  std::optional<Metric> total;
+  for (const Metric& metric : metrics_) {
+    if (metric.name != name) continue;
+    if (!total) {
+      total = metric;
+      total->labels.clear();
+    } else if (!total->combine(metric).is_ok()) {
+      return std::nullopt;
+    }
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::family_count(std::string_view name) const {
+  std::uint64_t count = 0;
+  for (const Metric& metric : metrics_) {
+    if (metric.name != name) continue;
+    count += metric.kind == MetricKind::kHistogram ? metric.observations
+                                                   : metric.counter_value;
+  }
+  return count;
+}
+
+Status MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const Metric& metric : other.metrics_) {
+    Metric& mine =
+        find_or_create(metric.kind, metric.name, metric.labels, metric.help);
+    if (mine.kind == MetricKind::kHistogram && mine.buckets.empty()) {
+      mine.bounds = metric.bounds;
+      mine.buckets.assign(mine.bounds.size() + 1, 0);
+      mine.floor = metric.floor;
+    }
+    if (mine.help.empty()) mine.help = metric.help;
+    SEGBUS_RETURN_IF_ERROR(mine.combine(metric));
+  }
+  return Status::ok();
+}
+
+}  // namespace segbus::obs

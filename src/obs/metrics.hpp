@@ -1,0 +1,198 @@
+// Low-overhead metrics registry: counters, gauges and histograms, keyed by
+// (name, labels) and exported in Prometheus/JSON/CSV form (see export.hpp).
+//
+// The registry is designed to be *sharded*: the emulation engine owns one
+// registry per clock domain (mirroring its per-domain trace buffers), each
+// written by exactly one domain step at a time, so the parallel engine
+// records metrics without any cross-thread contention. Shards are merged at
+// collection time with MetricsRegistry::merge_from; merging is associative
+// and — because every shard's insertion order is itself deterministic —
+// produces bit-identical output across repeated (parallel) runs.
+//
+// Histograms come in two flavours of bucket layout:
+//   - fixed bounds (linear_bounds / exponential_bounds): explicit ascending
+//     upper bucket bounds, Prometheus classic-histogram style;
+//   - HDR-style (hdr_bounds): log2 octaves split into linear sub-buckets,
+//     giving ~constant relative error over many orders of magnitude at a
+//     small fixed bucket count.
+// Values below the histogram floor land in a dedicated underflow bucket,
+// values above the last bound in the +Inf overflow bucket; both still count
+// toward count() and sum() so cumulative bucket exports stay consistent.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace segbus::obs {
+
+/// Label pairs identifying one series of a metric family. Stored sorted by
+/// key, so label order never affects identity or export.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One metric series. Manipulate through the Counter/Gauge/Histogram
+/// handles; read directly when exporting.
+struct Metric {
+  MetricKind kind = MetricKind::kCounter;
+  std::string name;
+  Labels labels;  ///< sorted by key
+  std::string help;
+
+  // counter
+  std::uint64_t counter_value = 0;
+
+  // gauge
+  double gauge_value = 0.0;
+  bool gauge_set = false;
+
+  // histogram
+  std::vector<double> bounds;          ///< ascending finite upper bounds
+  std::vector<std::uint64_t> buckets;  ///< bounds.size()+1; last is +Inf
+  double floor = 0.0;                  ///< values below it underflow
+  std::uint64_t underflow = 0;
+  std::uint64_t observations = 0;
+  double sum = 0.0;
+
+  void observe(double value) noexcept;
+  std::uint64_t overflow() const noexcept {
+    return buckets.empty() ? 0 : buckets.back();
+  }
+  /// Estimated value at quantile q in [0, 1] (linear interpolation within
+  /// the bucket; underflow clamps to `floor`, overflow to the last bound).
+  /// 0 when empty.
+  double quantile(double q) const noexcept;
+
+  /// Folds `other` into this series. Counters add; gauges take the other's
+  /// value when it was set (last shard wins — deterministic under a fixed
+  /// shard order); histograms add bucket-wise. Fails on kind or bucket
+  /// layout mismatch.
+  Status combine(const Metric& other);
+};
+
+/// Increment-only counter handle. Default-constructed handles are no-ops,
+/// so instrumentation sites need no "is recording enabled" branches.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1) noexcept {
+    if (metric_ != nullptr) metric_->counter_value += delta;
+  }
+  std::uint64_t value() const noexcept {
+    return metric_ == nullptr ? 0 : metric_->counter_value;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(Metric* metric) : metric_(metric) {}
+  Metric* metric_ = nullptr;
+};
+
+/// Last-value gauge handle (no-op when default-constructed).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) noexcept {
+    if (metric_ == nullptr) return;
+    metric_->gauge_value = value;
+    metric_->gauge_set = true;
+  }
+  void add(double delta) noexcept {
+    if (metric_ == nullptr) return;
+    metric_->gauge_value += delta;
+    metric_->gauge_set = true;
+  }
+  double value() const noexcept {
+    return metric_ == nullptr ? 0.0 : metric_->gauge_value;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(Metric* metric) : metric_(metric) {}
+  Metric* metric_ = nullptr;
+};
+
+/// Histogram handle (no-op when default-constructed).
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double value) noexcept {
+    if (metric_ != nullptr) metric_->observe(value);
+  }
+  std::uint64_t count() const noexcept {
+    return metric_ == nullptr ? 0 : metric_->observations;
+  }
+  double quantile(double q) const noexcept {
+    return metric_ == nullptr ? 0.0 : metric_->quantile(q);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(Metric* metric) : metric_(metric) {}
+  Metric* metric_ = nullptr;
+};
+
+/// Bucket-bound factories.
+std::vector<double> linear_bounds(double start, double width,
+                                  std::size_t count);
+std::vector<double> exponential_bounds(double start, double factor,
+                                       std::size_t count);
+/// HDR-style layout: log2 octaves, each split into `sub_buckets` linear
+/// sub-buckets, covering (0, >= max_value].
+std::vector<double> hdr_bounds(std::uint64_t max_value,
+                               unsigned sub_buckets);
+
+/// Insertion-ordered collection of metric series. Handles returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime
+/// (but not across copies of it). Lookup is find-or-create: re-requesting
+/// an existing series returns the same handle (a histogram's bounds are
+/// fixed by its first registration).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  Counter counter(std::string_view name, Labels labels = {},
+                  std::string_view help = {});
+  Gauge gauge(std::string_view name, Labels labels = {},
+              std::string_view help = {});
+  Histogram histogram(std::string_view name, std::vector<double> bounds,
+                      Labels labels = {}, std::string_view help = {},
+                      double floor = 0.0);
+
+  std::size_t size() const noexcept { return metrics_.size(); }
+  bool empty() const noexcept { return metrics_.empty(); }
+  const Metric& metric(std::size_t index) const { return metrics_.at(index); }
+
+  /// The series with exactly these (sorted or unsorted) labels, or nullptr.
+  const Metric* find(std::string_view name, Labels labels = {}) const;
+
+  /// All series of family `name` folded into one metric (labels dropped).
+  /// nullopt when the family does not exist or its members are incompatible.
+  std::optional<Metric> sum_family(std::string_view name) const;
+
+  /// Total event count of a family: counter values summed, histogram
+  /// observation counts summed.
+  std::uint64_t family_count(std::string_view name) const;
+
+  /// Folds every series of `other` into this registry, creating missing
+  /// series in `other`'s insertion order. Associative; deterministic for a
+  /// fixed shard order.
+  Status merge_from(const MetricsRegistry& other);
+
+ private:
+  Metric& find_or_create(MetricKind kind, std::string_view name,
+                         Labels labels, std::string_view help);
+
+  std::deque<Metric> metrics_;  ///< deque: stable addresses for handles
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+}  // namespace segbus::obs

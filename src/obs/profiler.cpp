@@ -1,0 +1,54 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace segbus::obs {
+
+std::uint64_t PhaseProfiler::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count());
+}
+
+PhaseProfiler::Span PhaseProfiler::span(std::string name) {
+  Phase phase;
+  phase.name = std::move(name);
+  phase.start_us = now_us();
+  phase.depth = depth_++;
+  phases_.push_back(std::move(phase));
+  return Span(this, phases_.size() - 1);
+}
+
+void PhaseProfiler::close_span(std::size_t index) {
+  Phase& phase = phases_[index];
+  if (phase.closed) return;
+  phase.closed = true;
+  phase.duration_us = now_us() - phase.start_us;
+  if (depth_ > 0) --depth_;
+}
+
+std::string PhaseProfiler::render() const {
+  if (phases_.empty()) return "(no phases recorded)\n";
+  std::uint64_t total_us = 0;
+  for (const Phase& phase : phases_) {
+    total_us = std::max(total_us, phase.start_us + phase.duration_us);
+  }
+  std::string out = str_format("%-32s %12s %8s\n", "phase", "duration",
+                               "share");
+  for (const Phase& phase : phases_) {
+    const std::string label =
+        std::string(2 * phase.depth, ' ') + phase.name;
+    const double ms = static_cast<double>(phase.duration_us) / 1000.0;
+    const double share =
+        total_us == 0 ? 0.0
+                      : 100.0 * static_cast<double>(phase.duration_us) /
+                            static_cast<double>(total_us);
+    out += str_format("%-32s %10.3fms %7.1f%%\n", label.c_str(), ms, share);
+  }
+  return out;
+}
+
+}  // namespace segbus::obs

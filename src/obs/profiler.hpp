@@ -1,0 +1,76 @@
+// Host wall-clock phase profiler: RAII spans over the tool-chain pipeline
+// (parse -> platform build -> comm matrix -> emulate -> report). Spans nest;
+// records feed the telemetry summary table and merge with emulated-time
+// trace events into the Chrome trace-event export (chrome_trace.hpp).
+//
+// Not thread-safe: one profiler instruments one pipeline on one thread
+// (the emulation engine's own parallelism happens *inside* a span).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace segbus::obs {
+
+class PhaseProfiler {
+ public:
+  /// One recorded phase. Times are microseconds since the profiler was
+  /// constructed; `duration_us` is 0 while the span is still open.
+  struct Phase {
+    std::string name;
+    std::uint64_t start_us = 0;
+    std::uint64_t duration_us = 0;
+    unsigned depth = 0;  ///< nesting level at open time
+    bool closed = false;
+  };
+
+  /// RAII handle: closes its phase on destruction (or explicit close()).
+  class Span {
+   public:
+    Span(Span&& other) noexcept
+        : profiler_(other.profiler_), index_(other.index_) {
+      other.profiler_ = nullptr;
+    }
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { close(); }
+
+    void close() {
+      if (profiler_ != nullptr) profiler_->close_span(index_);
+      profiler_ = nullptr;
+    }
+
+   private:
+    friend class PhaseProfiler;
+    Span(PhaseProfiler* profiler, std::size_t index)
+        : profiler_(profiler), index_(index) {}
+    PhaseProfiler* profiler_;
+    std::size_t index_;
+  };
+
+  PhaseProfiler() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Opens a phase; it closes when the returned span is destroyed.
+  [[nodiscard]] Span span(std::string name);
+
+  /// Microseconds elapsed since construction.
+  std::uint64_t now_us() const;
+
+  const std::vector<Phase>& phases() const noexcept { return phases_; }
+
+  /// Phase table: name (indented by nesting), duration, share of the
+  /// profiled wall-clock.
+  std::string render() const;
+
+ private:
+  void close_span(std::size_t index);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Phase> phases_;
+  unsigned depth_ = 0;
+};
+
+}  // namespace segbus::obs

@@ -1,0 +1,98 @@
+#include "obs/telemetry.hpp"
+
+#include "obs/chrome_trace.hpp"
+#include "obs/derive.hpp"
+#include "obs/export.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::obs {
+
+namespace {
+
+void append_percentiles(std::string& out, const MetricsRegistry& registry,
+                        std::string_view family, const char* label) {
+  const std::optional<Metric> total = registry.sum_family(family);
+  if (!total || total->observations == 0) return;
+  out += str_format(
+      "  %-18s p50=%-8.0f p90=%-8.0f p99=%-8.0f (n=%llu, mean=%.1f)\n",
+      label, total->quantile(0.5), total->quantile(0.9),
+      total->quantile(0.99),
+      static_cast<unsigned long long>(total->observations),
+      total->sum / static_cast<double>(total->observations));
+}
+
+}  // namespace
+
+Result<MetricsRegistry> full_metrics(
+    const emu::EmulationResult& result,
+    const platform::PlatformModel& platform) {
+  MetricsRegistry registry;
+  SEGBUS_RETURN_IF_ERROR(registry.merge_from(result.metrics));
+  SEGBUS_RETURN_IF_ERROR(derive_metrics(result, platform, registry));
+  return registry;
+}
+
+std::string render_telemetry_summary(const emu::EmulationResult& result,
+                                     const PhaseProfiler* profiler) {
+  std::string out = "--- telemetry ---\n";
+  if (profiler != nullptr && !profiler->phases().empty()) {
+    out += profiler->render();
+  }
+  if (result.metrics.empty()) {
+    out += "(metrics registry empty; enable "
+           "EngineOptions::record_metrics)\n";
+    return out;
+  }
+  out += "latency percentiles (clock ticks):\n";
+  append_percentiles(out, result.metrics, "segbus_grant_latency_ticks",
+                     "request->grant");
+  append_percentiles(out, result.metrics, "segbus_delivery_latency_ticks",
+                     "request->delivery");
+  out += str_format(
+      "events: %llu requests, %llu grants, %llu deliveries, %llu BU "
+      "loads\n",
+      static_cast<unsigned long long>(
+          result.metrics.family_count("segbus_requests_total")),
+      static_cast<unsigned long long>(
+          result.metrics.family_count("segbus_grants_total")),
+      static_cast<unsigned long long>(
+          result.metrics.family_count("segbus_deliveries_total")),
+      static_cast<unsigned long long>(
+          result.metrics.family_count("segbus_bu_loads_total")));
+  return out;
+}
+
+Result<std::vector<std::string>> export_telemetry(
+    const emu::EmulationResult& result,
+    const platform::PlatformModel& platform, const PhaseProfiler* profiler,
+    const std::string& dir, const std::string& prefix,
+    const TelemetryExportOptions& options) {
+  SEGBUS_ASSIGN_OR_RETURN(MetricsRegistry registry,
+                          full_metrics(result, platform));
+  const std::string base = dir.empty() ? prefix : dir + "/" + prefix;
+  std::vector<std::string> written;
+  if (options.prometheus) {
+    const std::string path = base + ".prom";
+    SEGBUS_RETURN_IF_ERROR(write_text_file(path, to_prometheus(registry)));
+    written.push_back(path);
+  }
+  if (options.json) {
+    const std::string path = base + ".metrics.json";
+    SEGBUS_RETURN_IF_ERROR(
+        write_text_file(path, to_json(registry).to_string(/*pretty=*/true)));
+    written.push_back(path);
+  }
+  if (options.csv) {
+    const std::string path = base + ".metrics.csv";
+    SEGBUS_RETURN_IF_ERROR(to_csv(registry).write_file(path));
+    written.push_back(path);
+  }
+  if (options.chrome_trace) {
+    const std::string path = base + ".trace.json";
+    SEGBUS_RETURN_IF_ERROR(write_chrome_trace_file(path, result, profiler));
+    written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace segbus::obs

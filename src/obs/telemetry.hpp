@@ -1,0 +1,44 @@
+// Telemetry facade: one call turns a finished emulation (plus an optional
+// phase profiler) into the full artifact set — Prometheus text, metrics
+// JSON/CSV, and the Chrome trace-event file — and renders the at-a-glance
+// summary (phase timings + top latency percentiles) the example programs
+// print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emu/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "platform/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::obs {
+
+struct TelemetryExportOptions {
+  bool prometheus = true;    ///< <prefix>.prom
+  bool json = true;          ///< <prefix>.metrics.json
+  bool csv = true;           ///< <prefix>.metrics.csv
+  bool chrome_trace = true;  ///< <prefix>.trace.json
+};
+
+/// The engine's recorded metrics plus everything obs::derive_metrics can
+/// add from the result (per-flow latency, BU occupancy, utilization).
+Result<MetricsRegistry> full_metrics(const emu::EmulationResult& result,
+                                     const platform::PlatformModel& platform);
+
+/// Phase-timing table (when a profiler is given) and grant/delivery latency
+/// percentiles from the result's metrics registry.
+std::string render_telemetry_summary(const emu::EmulationResult& result,
+                                     const PhaseProfiler* profiler = nullptr);
+
+/// Writes the selected artifacts under `dir` (created if missing) with the
+/// given file-name prefix; returns the paths written.
+Result<std::vector<std::string>> export_telemetry(
+    const emu::EmulationResult& result,
+    const platform::PlatformModel& platform, const PhaseProfiler* profiler,
+    const std::string& dir, const std::string& prefix,
+    const TelemetryExportOptions& options = {});
+
+}  // namespace segbus::obs

@@ -32,9 +32,10 @@ struct Fixture {
     EXPECT_TRUE(platform.map_process("B", 1).is_ok());
   }
 
-  EmulationResult run(bool record_trace) {
+  EmulationResult run(bool record_trace, bool record_metrics = false) {
     EngineOptions options;
     options.record_trace = record_trace;
+    options.record_metrics = record_metrics;
     auto engine =
         Engine::create(app, platform, TimingModel::emulator(), options);
     EXPECT_TRUE(engine.is_ok());
@@ -129,6 +130,66 @@ TEST(EmuTrace, RenderTruncates) {
   std::string text = render_trace(result.trace, result.domain_names,
                                   /*max_events=*/3);
   EXPECT_NE(text.find("more events"), std::string::npos);
+}
+
+TEST(EmuTrace, EveryGrantHasAnEarlierRequest) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true);
+  auto pairs =
+      match_events(result.trace, TraceKind::kRequest, TraceKind::kGrant);
+  // Every grant in the trace is matched, and its request precedes it.
+  EXPECT_EQ(pairs.size(), count_kind(result.trace, TraceKind::kGrant));
+  for (const auto& [request, grant] : pairs) {
+    EXPECT_EQ(result.trace[request].kind, TraceKind::kRequest);
+    EXPECT_EQ(result.trace[grant].kind, TraceKind::kGrant);
+    EXPECT_LE(result.trace[request].time, result.trace[grant].time);
+    EXPECT_EQ(result.trace[request].flow, result.trace[grant].flow);
+    EXPECT_EQ(result.trace[request].package, result.trace[grant].package);
+  }
+}
+
+TEST(EmuTrace, MatchEventsConsumesEachEarlierEventOnce) {
+  std::vector<TraceEvent> events;
+  auto add = [&](std::int64_t t, TraceKind kind) {
+    TraceEvent e;
+    e.time = Picoseconds(t);
+    e.kind = kind;
+    e.flow = 0;
+    e.package = 7;
+    events.push_back(e);
+  };
+  add(10, TraceKind::kRequest);
+  add(20, TraceKind::kGrant);
+  add(30, TraceKind::kGrant);  // re-grant without a fresh request: unmatched
+  auto pairs = match_events(events, TraceKind::kRequest, TraceKind::kGrant);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].first, 0u);
+  EXPECT_EQ(pairs[0].second, 1u);
+}
+
+TEST(EmuTrace, MetricsAgreeWithTraceEventCounts) {
+  Fixture fixture;
+  EmulationResult result = fixture.run(true, /*record_metrics=*/true);
+  ASSERT_FALSE(result.metrics.empty());
+  // The latency histograms observe exactly once per grant / delivery trace
+  // event, and the protocol counters once per corresponding event.
+  EXPECT_EQ(result.metrics.family_count("segbus_grant_latency_ticks"),
+            count_kind(result.trace, TraceKind::kGrant));
+  EXPECT_EQ(result.metrics.family_count("segbus_delivery_latency_ticks"),
+            count_kind(result.trace, TraceKind::kDelivery));
+  EXPECT_EQ(result.metrics.family_count("segbus_grants_total"),
+            count_kind(result.trace, TraceKind::kGrant));
+  EXPECT_EQ(result.metrics.family_count("segbus_deliveries_total"),
+            count_kind(result.trace, TraceKind::kDelivery));
+  EXPECT_EQ(result.metrics.family_count("segbus_requests_total"),
+            count_kind(result.trace, TraceKind::kRequest));
+  EXPECT_EQ(result.metrics.family_count("segbus_bu_loads_total"),
+            count_kind(result.trace, TraceKind::kBuLoad));
+}
+
+TEST(EmuTrace, MetricsOffByDefault) {
+  Fixture fixture;
+  EXPECT_TRUE(fixture.run(true).metrics.empty());
 }
 
 TEST(EmuTrace, KindNamesComplete) {

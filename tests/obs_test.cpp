@@ -1,0 +1,496 @@
+// Tests of the telemetry subsystem: metrics registry semantics (bucket edge
+// cases, deterministic shard merging), the phase profiler, the exporters
+// (Prometheus golden lines, JSON, CSV, Chrome trace-event), the derived
+// instrumentation, and the sequential-vs-parallel determinism of the
+// engine's recorded metrics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/session.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/derive.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
+
+namespace segbus::obs {
+namespace {
+
+/// A -> B across two 100 MHz segments, two packages (the same shape as the
+/// emu_trace_test fixture, so event counts are known exactly).
+struct Fixture {
+  psdf::PsdfModel app{"t"};
+  platform::PlatformModel platform{"T"};
+  Fixture() {
+    EXPECT_TRUE(app.set_package_size(36).is_ok());
+    EXPECT_TRUE(app.add_process("A").is_ok());
+    EXPECT_TRUE(app.add_process("B").is_ok());
+    EXPECT_TRUE(app.add_flow("A", "B", 72, 1, 50).is_ok());
+    EXPECT_TRUE(platform.set_package_size(36).is_ok());
+    EXPECT_TRUE(platform.set_ca_clock(Frequency::from_mhz(100)).is_ok());
+    EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+    EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+    EXPECT_TRUE(platform.map_process("A", 0).is_ok());
+    EXPECT_TRUE(platform.map_process("B", 1).is_ok());
+  }
+
+  emu::EmulationResult run(bool parallel = false) {
+    core::SessionConfig config;
+    config.engine.record_metrics = true;
+    config.engine.record_trace = true;
+    config.parallel = parallel;
+    config.threads = parallel ? 2 : 0;
+    auto session =
+        core::EmulationSession::from_models(app, platform, config);
+    EXPECT_TRUE(session.is_ok());
+    auto result = session->emulate();
+    EXPECT_TRUE(result.is_ok());
+    EXPECT_TRUE(result->completed);
+    return std::move(result).value();
+  }
+};
+
+std::size_t count_occurrences(std::string_view text, std::string_view what) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(what); pos != std::string_view::npos;
+       pos = text.find(what, pos + what.size())) {
+    ++count;
+  }
+  return count;
+}
+
+// --- metric primitives -------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  Counter requests = registry.counter("requests", {{"domain", "s1"}});
+  requests.inc();
+  requests.inc(3);
+  EXPECT_EQ(requests.value(), 4u);
+  Gauge depth = registry.gauge("depth");
+  depth.set(2.0);
+  depth.add(1.5);
+  EXPECT_DOUBLE_EQ(depth.value(), 3.5);
+  // Re-requesting the same (name, labels) returns the same series.
+  registry.counter("requests", {{"domain", "s1"}}).inc();
+  EXPECT_EQ(requests.value(), 5u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Metrics, DefaultHandlesAreNoOps) {
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+  counter.inc();
+  gauge.set(1.0);
+  histogram.observe(1.0);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(Metrics, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry registry;
+  registry.counter("c", {{"b", "2"}, {"a", "1"}}).inc();
+  registry.counter("c", {{"a", "1"}, {"b", "2"}}).inc();
+  EXPECT_EQ(registry.size(), 1u);
+  const Metric* metric = registry.find("c", {{"b", "2"}, {"a", "1"}});
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->counter_value, 2u);
+}
+
+TEST(Metrics, HistogramBucketEdgeCases) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("h", {1.0, 2.0, 4.0});
+  h.observe(1.0);  // exactly on a bound: le semantics, lands in le="1"
+  h.observe(1.5);
+  h.observe(4.0);  // the last finite bound
+  h.observe(5.0);  // above every bound: +Inf overflow
+  const Metric* metric = registry.find("h");
+  ASSERT_NE(metric, nullptr);
+  ASSERT_EQ(metric->buckets.size(), 4u);
+  EXPECT_EQ(metric->buckets[0], 1u);
+  EXPECT_EQ(metric->buckets[1], 1u);
+  EXPECT_EQ(metric->buckets[2], 1u);
+  EXPECT_EQ(metric->buckets[3], 1u);  // overflow
+  EXPECT_EQ(metric->overflow(), 1u);
+  EXPECT_EQ(metric->observations, 4u);
+  EXPECT_DOUBLE_EQ(metric->sum, 11.5);
+}
+
+TEST(Metrics, HistogramUnderflowStillCounts) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("h", {10.0, 20.0}, {}, "", /*floor=*/5.0);
+  h.observe(1.0);   // below the floor
+  h.observe(15.0);
+  const Metric* metric = registry.find("h");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->underflow, 1u);
+  EXPECT_EQ(metric->observations, 2u);
+  EXPECT_DOUBLE_EQ(metric->sum, 16.0);
+  // The underflow sample satisfies every le bound in the export.
+  const std::string prom = to_prometheus(registry);
+  EXPECT_NE(prom.find("h_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find("h_bucket{le=\"20\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("h_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find("h_count 2"), std::string::npos);
+}
+
+TEST(Metrics, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  Histogram h = registry.histogram("h", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // all in (10, 20]
+  // The whole mass sits in the second bucket: every quantile interpolates
+  // between 10 and 20.
+  EXPECT_GT(h.quantile(0.01), 10.0);
+  EXPECT_LE(h.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 15.0);
+  // Empty histogram: quantile is 0.
+  EXPECT_DOUBLE_EQ(registry.histogram("empty", {1.0}).quantile(0.5), 0.0);
+}
+
+TEST(Metrics, HdrBoundsProperties) {
+  const std::vector<double> bounds = hdr_bounds(1 << 10, 4);
+  ASSERT_FALSE(bounds.empty());
+  // Strictly increasing and covering the requested maximum.
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_GE(bounds.back(), 1 << 10);
+  // First octave is linear with width 1: 1, 2, 3, 4.
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 4.0);
+  // Second octave doubles the width: 6, 8, 10, 12.
+  EXPECT_DOUBLE_EQ(bounds[4], 6.0);
+  EXPECT_DOUBLE_EQ(bounds[7], 12.0);
+  // Log-shaped layout stays small even for a 2^20 range.
+  EXPECT_LT(hdr_bounds(std::uint64_t{1} << 20, 4).size(), 100u);
+  EXPECT_TRUE(hdr_bounds(0, 4).empty());
+}
+
+// --- merging -----------------------------------------------------------------
+
+MetricsRegistry make_shard(std::uint64_t requests, double sample) {
+  MetricsRegistry shard;
+  shard.counter("requests", {{"domain", "d"}}).inc(requests);
+  shard.histogram("latency", {1.0, 10.0, 100.0}).observe(sample);
+  return shard;
+}
+
+TEST(Metrics, MergeIsAssociative) {
+  MetricsRegistry a = make_shard(1, 0.5);
+  MetricsRegistry b = make_shard(2, 5.0);
+  MetricsRegistry c = make_shard(3, 50.0);
+
+  MetricsRegistry left;  // (a + b) + c
+  ASSERT_TRUE(left.merge_from(a).is_ok());
+  ASSERT_TRUE(left.merge_from(b).is_ok());
+  ASSERT_TRUE(left.merge_from(c).is_ok());
+
+  MetricsRegistry bc;  // a + (b + c)
+  ASSERT_TRUE(bc.merge_from(b).is_ok());
+  ASSERT_TRUE(bc.merge_from(c).is_ok());
+  MetricsRegistry right;
+  ASSERT_TRUE(right.merge_from(a).is_ok());
+  ASSERT_TRUE(right.merge_from(bc).is_ok());
+
+  EXPECT_EQ(to_prometheus(left), to_prometheus(right));
+  EXPECT_EQ(left.family_count("requests"), 6u);
+  EXPECT_EQ(left.family_count("latency"), 3u);
+}
+
+TEST(Metrics, MergeOrderIsDeterministic) {
+  // Shards with disjoint series: the merged registry lists them in shard
+  // order, then each shard's own insertion order — so repeating the same
+  // merge produces byte-identical exports.
+  MetricsRegistry s1;
+  s1.counter("z_last", {{"domain", "s1"}}).inc();
+  s1.counter("a_first", {{"domain", "s1"}}).inc();
+  MetricsRegistry s2;
+  s2.counter("a_first", {{"domain", "s2"}}).inc();
+
+  std::string first;
+  for (int round = 0; round < 2; ++round) {
+    MetricsRegistry merged;
+    ASSERT_TRUE(merged.merge_from(s1).is_ok());
+    ASSERT_TRUE(merged.merge_from(s2).is_ok());
+    ASSERT_EQ(merged.size(), 3u);
+    // Insertion order is preserved, not alphabetical.
+    EXPECT_EQ(merged.metric(0).name, "z_last");
+    EXPECT_EQ(merged.metric(1).name, "a_first");
+    EXPECT_EQ(merged.metric(2).name, "a_first");
+    if (round == 0) {
+      first = to_prometheus(merged);
+    } else {
+      EXPECT_EQ(to_prometheus(merged), first);
+    }
+  }
+}
+
+TEST(Metrics, MergeRejectsMismatches) {
+  MetricsRegistry counters;
+  counters.counter("m").inc();
+  MetricsRegistry gauges;
+  gauges.gauge("m").set(1.0);
+  EXPECT_FALSE(counters.merge_from(gauges).is_ok());
+
+  MetricsRegistry narrow;
+  narrow.histogram("h", {1.0, 2.0}).observe(1.0);
+  MetricsRegistry wide;
+  wide.histogram("h", {1.0, 2.0, 3.0}).observe(1.0);
+  EXPECT_FALSE(narrow.merge_from(wide).is_ok());
+}
+
+TEST(Metrics, SumFamilyFoldsAllSeries) {
+  MetricsRegistry registry;
+  registry.histogram("lat", {1.0, 10.0}, {{"domain", "s1"}}).observe(0.5);
+  registry.histogram("lat", {1.0, 10.0}, {{"domain", "s2"}}).observe(5.0);
+  auto total = registry.sum_family("lat");
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->observations, 2u);
+  EXPECT_DOUBLE_EQ(total->sum, 5.5);
+  EXPECT_TRUE(total->labels.empty());
+  EXPECT_FALSE(registry.sum_family("missing").has_value());
+}
+
+// --- profiler ----------------------------------------------------------------
+
+TEST(Profiler, SpansNestAndClose) {
+  PhaseProfiler profiler;
+  {
+    auto outer = profiler.span("outer");
+    auto inner = profiler.span("inner");
+    inner.close();
+  }
+  ASSERT_EQ(profiler.phases().size(), 2u);
+  EXPECT_EQ(profiler.phases()[0].name, "outer");
+  EXPECT_EQ(profiler.phases()[0].depth, 0u);
+  EXPECT_EQ(profiler.phases()[1].name, "inner");
+  EXPECT_EQ(profiler.phases()[1].depth, 1u);
+  for (const PhaseProfiler::Phase& phase : profiler.phases()) {
+    EXPECT_TRUE(phase.closed);
+    EXPECT_GE(profiler.now_us(), phase.start_us + phase.duration_us);
+  }
+  const std::string table = profiler.render();
+  EXPECT_NE(table.find("outer"), std::string::npos);
+  EXPECT_NE(table.find("inner"), std::string::npos);
+}
+
+TEST(Profiler, MovedFromSpanDoesNotDoubleClose) {
+  PhaseProfiler profiler;
+  {
+    auto span = profiler.span("phase");
+    auto moved = std::move(span);
+    moved.close();
+    moved.close();  // idempotent
+  }
+  ASSERT_EQ(profiler.phases().size(), 1u);
+  EXPECT_TRUE(profiler.phases()[0].closed);
+}
+
+// --- exporters ---------------------------------------------------------------
+
+TEST(Export, PrometheusGoldenForTinyRun) {
+  Fixture fixture;
+  emu::EmulationResult result = fixture.run();
+  const std::string prom = to_prometheus(result.metrics);
+  // Two packages: both requests are global (A -> B crosses the border),
+  // both grants come from the CA, both deliveries land in segment 2.
+  EXPECT_NE(
+      prom.find("segbus_requests_total{domain=\"Segment 1\",scope=\"global\"} 2"),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("segbus_requests_total{domain=\"Segment 1\",scope=\"local\"} 0"),
+      std::string::npos);
+  EXPECT_NE(prom.find("segbus_grants_total{domain=\"CA\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("segbus_deliveries_total{domain=\"Segment 2\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("segbus_bu_loads_total{domain=\"Segment 1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("segbus_grant_latency_ticks_count{domain=\"CA\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE segbus_grant_latency_ticks histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# HELP segbus_requests_total"), std::string::npos);
+  // One TYPE line per family, even though every domain contributes series.
+  EXPECT_EQ(count_occurrences(prom, "# TYPE segbus_grants_total"), 1u);
+}
+
+TEST(Export, GrantHistogramCountEqualsGrantEvents) {
+  Fixture fixture;
+  emu::EmulationResult result = fixture.run();
+  std::size_t grant_events = 0;
+  for (const emu::TraceEvent& event : result.trace) {
+    if (event.kind == emu::TraceKind::kGrant) ++grant_events;
+  }
+  EXPECT_EQ(result.metrics.family_count("segbus_grant_latency_ticks"),
+            grant_events);
+  EXPECT_GT(grant_events, 0u);
+}
+
+TEST(Export, PrometheusEscapesLabelValues) {
+  MetricsRegistry registry;
+  registry.counter("c", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string prom = to_prometheus(registry);
+  EXPECT_NE(prom.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos);
+}
+
+TEST(Export, JsonAndCsvStructure) {
+  MetricsRegistry registry;
+  registry.counter("requests", {{"domain", "s1"}}, "help text").inc(7);
+  registry.histogram("lat", {1.0, 2.0}).observe(1.5);
+  const JsonValue doc = to_json(registry);
+  const std::string json = doc.to_string();
+  EXPECT_NE(json.find("\"metrics\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_TRUE(to_json_series(registry).is_array());
+
+  const std::string text = to_csv(registry).to_string();
+  EXPECT_NE(text.find("name,type,labels,value,count,sum,p50,p99"),
+            std::string::npos);
+  EXPECT_NE(text.find("requests,counter,domain=s1,7"), std::string::npos);
+}
+
+TEST(Export, DeterministicAcrossSequentialAndParallel) {
+  Fixture fixture;
+  emu::EmulationResult sequential = fixture.run(/*parallel=*/false);
+  emu::EmulationResult parallel = fixture.run(/*parallel=*/true);
+  EXPECT_EQ(to_prometheus(sequential.metrics),
+            to_prometheus(parallel.metrics));
+}
+
+// --- chrome trace ------------------------------------------------------------
+
+TEST(ChromeTrace, MergesHostAndEmulatedTimelines) {
+  Fixture fixture;
+  PhaseProfiler profiler;
+  auto span = profiler.span("emulate");
+  emu::EmulationResult result = fixture.run();
+  span.close();
+  const std::string json =
+      chrome_trace_json(result, &profiler).to_string();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Host wall-clock span (pid 0, complete event).
+  EXPECT_NE(json.find("\"name\":\"emulate\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 1u);
+  // Emulated-time instants: one per protocol trace event; the fixture
+  // produces exactly two grants.
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"grant\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), result.trace.size());
+  // Both processes are named.
+  EXPECT_NE(json.find("host (wall clock)"), std::string::npos);
+  EXPECT_NE(json.find("segbus (emulated time)"), std::string::npos);
+  // BU occupancy counters appear for the load/unload pairs.
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // The flow route annotation survives into the args.
+  EXPECT_NE(json.find("\"route\":\"A->B\""), std::string::npos);
+}
+
+TEST(ChromeTrace, HostOnlyVariant) {
+  PhaseProfiler profiler;
+  profiler.span("parse").close();
+  const std::string json = chrome_trace_json(profiler).to_string();
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 0u);
+}
+
+// --- derived metrics ---------------------------------------------------------
+
+TEST(Derive, AddsFlowLatencyAndUtilizationSeries) {
+  Fixture fixture;
+  emu::EmulationResult result = fixture.run();
+  MetricsRegistry registry;
+  ASSERT_TRUE(derive_metrics(result, fixture.platform, registry).is_ok());
+  // Two packages -> two request->grant and two grant->delivery samples.
+  EXPECT_EQ(registry.family_count("segbus_flow_request_to_grant_ps"), 2u);
+  EXPECT_EQ(registry.family_count("segbus_flow_grant_to_delivery_ps"), 2u);
+  const Metric* r2g =
+      registry.find("segbus_flow_request_to_grant_ps", {{"flow", "A->B"}});
+  ASSERT_NE(r2g, nullptr);
+  EXPECT_GT(r2g->sum, 0.0);
+  // Utilization gauges stay in [0, 1].
+  for (const char* name :
+       {"segbus_sa_utilization", "segbus_ca_utilization"}) {
+    auto family = registry.sum_family(name);
+    ASSERT_TRUE(family.has_value()) << name;
+    EXPECT_GE(family->gauge_value, 0.0);
+    EXPECT_LE(family->gauge_value, 1.0);
+  }
+  // One package in flight at a time: BU peak occupancy is 1.
+  const Metric* peak =
+      registry.find("segbus_bu_queue_depth_max", {{"bu", "BU12"}});
+  ASSERT_NE(peak, nullptr);
+  EXPECT_DOUBLE_EQ(peak->gauge_value, 1.0);
+}
+
+TEST(Derive, WithoutTraceOnlySummaryGauges) {
+  Fixture fixture;
+  core::SessionConfig config;
+  config.engine.record_metrics = true;
+  auto session =
+      core::EmulationSession::from_models(fixture.app, fixture.platform,
+                                          config);
+  ASSERT_TRUE(session.is_ok());
+  auto result = session->emulate();
+  ASSERT_TRUE(result.is_ok());
+  MetricsRegistry registry;
+  ASSERT_TRUE(
+      derive_metrics(*result, fixture.platform, registry).is_ok());
+  EXPECT_EQ(registry.family_count("segbus_flow_request_to_grant_ps"), 0u);
+  EXPECT_TRUE(registry.sum_family("segbus_ca_utilization").has_value());
+}
+
+// --- telemetry facade --------------------------------------------------------
+
+TEST(Telemetry, SummaryReportsPhasesAndPercentiles) {
+  Fixture fixture;
+  PhaseProfiler profiler;
+  auto span = profiler.span("emulate");
+  emu::EmulationResult result = fixture.run();
+  span.close();
+  const std::string summary = render_telemetry_summary(result, &profiler);
+  EXPECT_NE(summary.find("--- telemetry ---"), std::string::npos);
+  EXPECT_NE(summary.find("emulate"), std::string::npos);
+  EXPECT_NE(summary.find("request->grant"), std::string::npos);
+  EXPECT_NE(summary.find("n=2"), std::string::npos);
+
+  emu::EmulationResult bare;
+  EXPECT_NE(render_telemetry_summary(bare).find("registry empty"),
+            std::string::npos);
+}
+
+TEST(Telemetry, ExportWritesAllArtifacts) {
+  Fixture fixture;
+  PhaseProfiler profiler;
+  emu::EmulationResult result = fixture.run();
+  const std::string dir = testing::TempDir() + "/obs_telemetry";
+  auto written = export_telemetry(result, fixture.platform, &profiler, dir,
+                                  "tiny");
+  ASSERT_TRUE(written.is_ok()) << written.status().to_string();
+  ASSERT_EQ(written->size(), 4u);
+  for (const std::string& path : *written) {
+    std::ifstream file(path);
+    EXPECT_TRUE(file.good()) << path;
+  }
+  // The Prometheus artifact carries the acceptance histogram.
+  std::ifstream prom_file(dir + "/tiny.prom");
+  std::stringstream prom;
+  prom << prom_file.rdbuf();
+  EXPECT_NE(prom.str().find("segbus_grant_latency_ticks_count"),
+            std::string::npos);
+  std::remove((dir + "/tiny.prom").c_str());
+  std::remove((dir + "/tiny.metrics.json").c_str());
+  std::remove((dir + "/tiny.metrics.csv").c_str());
+  std::remove((dir + "/tiny.trace.json").c_str());
+}
+
+}  // namespace
+}  // namespace segbus::obs

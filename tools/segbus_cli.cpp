@@ -7,7 +7,13 @@
 //                                       run the M2T transformation
 //   emulate  <psdf.xml> <psm.xml> [--package S] [--reference]
 //            [--parallel [--threads N]] [--activity] [--trace [--trace-max N]]
-//            [--vcd out.vcd] [--json]   emulate and report
+//            [--vcd out.vcd] [--json] [--metrics] [--telemetry DIR]
+//                                       emulate and report; --metrics records
+//                                       protocol counters/latency histograms,
+//                                       --telemetry (implies --metrics and
+//                                       --trace) also exports Prometheus/
+//                                       JSON/CSV metrics and a Chrome
+//                                       trace-event file under DIR
 //   place    <psdf.xml> --segments N [--strategy greedy|anneal|exhaustive]
 //            [--seed K] [--iterations I] search a device allocation
 //   explore  <psdf.xml> [--segments 1,2,3] [--package S] [--seed K]
@@ -27,6 +33,7 @@
 #include "core/json_export.hpp"
 #include "core/segbus.hpp"
 #include "emu/vcd.hpp"
+#include "obs/telemetry.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 
@@ -128,6 +135,7 @@ int cmd_generate(const CommandLine& cli) {
 
 int cmd_emulate(const CommandLine& cli) {
   if (cli.positional().size() < 3) return usage();
+  obs::PhaseProfiler profiler;
   core::SessionConfig config;
   if (cli.bool_flag_or("reference", false)) {
     config.timing = emu::TimingModel::reference();
@@ -136,18 +144,24 @@ int cmd_emulate(const CommandLine& cli) {
   config.threads = static_cast<unsigned>(cli.int_flag_or("threads", 0));
   config.engine.record_activity = cli.bool_flag_or("activity", false);
   const std::string vcd_path = cli.flag_or("vcd", "");
-  config.engine.record_trace =
-      cli.bool_flag_or("trace", false) || !vcd_path.empty();
+  const std::string telemetry_dir = cli.flag_or("telemetry", "");
+  config.engine.record_trace = cli.bool_flag_or("trace", false) ||
+                               !vcd_path.empty() || !telemetry_dir.empty();
+  config.engine.record_metrics =
+      cli.bool_flag_or("metrics", false) || !telemetry_dir.empty();
 
+  auto parse_span = profiler.span("parse");
   auto session = core::EmulationSession::from_xml_files(
       cli.positional()[1], cli.positional()[2], config,
       static_cast<std::uint32_t>(cli.int_flag_or("package", 0)));
+  parse_span.close();
   if (!session.is_ok()) return fail(session.status());
-  auto result = session->emulate();
+  auto result = session->emulate(&profiler);
   if (!result.is_ok()) return fail(result.status());
   if (!result->completed) {
     return fail(internal_error("emulation hit the tick limit"));
   }
+  auto report_span = profiler.span("report");
 
   if (!vcd_path.empty()) {
     if (Status status =
@@ -162,6 +176,13 @@ int cmd_emulate(const CommandLine& cli) {
                 core::result_to_json(*result, session->platform())
                     .to_string(/*pretty=*/true)
                     .c_str());
+    report_span.close();
+    if (!telemetry_dir.empty()) {
+      auto written =
+          obs::export_telemetry(*result, session->platform(), &profiler,
+                                telemetry_dir, "emulate");
+      if (!written.is_ok()) return fail(written.status());
+    }
     return 0;
   }
   std::printf("%s\n",
@@ -193,6 +214,19 @@ int cmd_emulate(const CommandLine& cli) {
                 emu::render_trace(result->trace, result->domain_names,
                                   max_events)
                     .c_str());
+  }
+  report_span.close();
+  if (config.engine.record_metrics) {
+    std::printf("\n%s", obs::render_telemetry_summary(*result, &profiler)
+                            .c_str());
+  }
+  if (!telemetry_dir.empty()) {
+    auto written = obs::export_telemetry(*result, session->platform(),
+                                         &profiler, telemetry_dir, "emulate");
+    if (!written.is_ok()) return fail(written.status());
+    for (const std::string& path : *written) {
+      std::fprintf(stderr, "telemetry written to %s\n", path.c_str());
+    }
   }
   return 0;
 }
