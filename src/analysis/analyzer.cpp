@@ -1,0 +1,62 @@
+#include "analysis/analyzer.hpp"
+
+#include "analysis/deadlock.hpp"
+#include "analysis/lint.hpp"
+#include "platform/constraints.hpp"
+#include "psdf/validate.hpp"
+
+namespace segbus::analysis {
+
+namespace {
+
+void apply_overrides(ValidationReport& report,
+                     const AnalyzerOptions& options) {
+  if (options.severity_overrides.empty()) return;
+  for (Diagnostic& d : report.diagnostics) {
+    auto it = options.severity_overrides.find(d.code);
+    if (it != options.severity_overrides.end()) d.severity = it->second;
+  }
+}
+
+}  // namespace
+
+AnalysisReport analyze_model(const psdf::PsdfModel& model,
+                             const AnalyzerOptions& options) {
+  AnalysisReport result;
+  result.report = psdf::validate(model);
+  result.report.merge(lint_model(model));
+  result.report.stamp_file(options.psdf_file);
+  apply_overrides(result.report, options);
+  return result;
+}
+
+AnalysisReport analyze_system(const psdf::PsdfModel& model,
+                              const platform::PlatformModel& platform,
+                              const AnalyzerOptions& options) {
+  AnalysisReport result;
+
+  ValidationReport application = psdf::validate(model);
+  application.merge(lint_model(model));
+  application.stamp_file(options.psdf_file);
+
+  ValidationReport system = platform::validate_mapping(platform, model);
+  system.merge(lint_platform(platform));
+  // The deadlock pass walks segment_of() paths, so it needs a complete
+  // mapping; with validation errors present its input would be garbage.
+  if (application.ok() && system.ok()) {
+    system.merge(analyze_paths(model, platform));
+  }
+  system.stamp_file(options.psm_file);
+
+  result.report = std::move(application);
+  result.report.merge(std::move(system));
+  apply_overrides(result.report, options);
+
+  if (options.include_bounds && result.report.ok()) {
+    auto bounds = compute_static_bounds(model, platform, options.timing);
+    if (bounds.is_ok()) result.bounds = std::move(bounds).value();
+  }
+  return result;
+}
+
+}  // namespace segbus::analysis

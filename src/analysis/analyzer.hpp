@@ -1,0 +1,63 @@
+// The analysis driver: every static pass over one (PSDF, PSM) pair.
+//
+// Runs, in order: PSDF structural validation (SB001..SB006), model lint
+// (SB007..SB009), platform + mapping validation (SB020..SB034), clock lint
+// (SB035..SB036) and — once the mapping is complete — path-reservation
+// deadlock analysis (SB050..SB052) and the static performance bounds.
+// The result feeds three consumers: segbus_lint / `segbus_cli check`
+// (report + exit code), core::EmulationSession (hard errors abort before
+// emulation) and the JSON exporters.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "analysis/bounds.hpp"
+#include "analysis/diagnostics.hpp"
+#include "emu/timing.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/diag.hpp"
+
+namespace segbus::analysis {
+
+/// Knobs of one analyzer run.
+struct AnalyzerOptions {
+  /// Scheme file paths stamped into diagnostic locations (when the models
+  /// came from disk).
+  std::string psdf_file;
+  std::string psm_file;
+
+  /// Compute the static performance bounds (skipped automatically while
+  /// the report has errors).
+  bool include_bounds = true;
+
+  /// Timing model for the upper bound.
+  emu::TimingModel timing = emu::TimingModel::emulator();
+
+  /// Per-code severity overrides, e.g. {"SB050", Severity::kWarning} for
+  /// hosts whose arbiter reserves paths atomically (the bundled emulator).
+  std::map<std::string, Severity, std::less<>> severity_overrides;
+};
+
+/// Everything the analyzer found.
+struct AnalysisReport {
+  ValidationReport report;
+  std::optional<StaticBounds> bounds;
+
+  /// True when no error-severity diagnostics are present.
+  bool ok() const noexcept { return report.ok(); }
+};
+
+/// Analyzes the application model alone (validation + lint; no platform,
+/// no bounds).
+AnalysisReport analyze_model(const psdf::PsdfModel& model,
+                             const AnalyzerOptions& options = {});
+
+/// Analyzes a mapped system end to end.
+AnalysisReport analyze_system(const psdf::PsdfModel& model,
+                              const platform::PlatformModel& platform,
+                              const AnalyzerOptions& options = {});
+
+}  // namespace segbus::analysis

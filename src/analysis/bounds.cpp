@@ -1,0 +1,163 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "platform/constraints.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::analysis {
+
+namespace {
+
+/// Conservative per-package tick slack covering cross-clock-domain edge
+/// rounding (every handshake can round up to one tick of the receiving
+/// domain) in the upper bound.
+constexpr std::uint64_t kPackageSlackTicks = 24;
+
+/// Per-stage slack: stage-gate turnaround plus the end-of-run monitor poll.
+constexpr std::uint64_t kStageSlackTicks = 16;
+
+}  // namespace
+
+std::string StaticBounds::to_string() const {
+  return "lower bound = " + format_ps(lower) +
+         ", upper bound = " + format_ps(upper) +
+         str_format(" (%zu stages)", stages.size());
+}
+
+Result<StaticBounds> compute_static_bounds(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::TimingModel& timing) {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+
+  const std::uint32_t s = platform.package_size();
+
+  // Group flows by ordering tier — the engine serializes tiers globally.
+  std::map<std::uint32_t, std::vector<psdf::Flow>> tiers;
+  for (const psdf::Flow& flow : application.scheduled_flows()) {
+    tiers[flow.ordering].push_back(flow);
+  }
+
+  std::vector<ClockDomain> domains;
+  std::int64_t slowest_period = platform.ca_clock().period_ps();
+  for (platform::SegmentId id = 0; id < platform.segment_count(); ++id) {
+    domains.emplace_back(platform.segment(id).name,
+                         platform.segment(id).clock);
+    slowest_period = std::max(slowest_period, domains.back().period_ps());
+  }
+
+  // Upper bound: tick budgets charged per package in the slowest domain.
+  // Every handshake of the timing model is included, plus slack for tick
+  // rounding at each clock-domain boundary.
+  const std::uint64_t local_overhead_ticks =
+      2 + timing.request_ticks + timing.sa_decision_ticks +
+      timing.grant_set_ticks + timing.master_response_ticks +
+      timing.grant_reset_ticks + kPackageSlackTicks;
+  const std::uint64_t global_extra_ticks =
+      8 + timing.ca_decision_ticks + 2 * timing.ca_signal_ticks;
+  const std::uint64_t per_hop_ticks =
+      static_cast<std::uint64_t>(s) + timing.bu_grant_turnaround_ticks +
+      timing.bu_sync_ticks + 6;
+
+  StaticBounds bounds;
+  for (const auto& [ordering, flows] : tiers) {
+    StageBounds stage;
+    stage.ordering = ordering;
+
+    // Lower bound ingredients: per-master serial ticks and per-segment bus
+    // occupancy (the same skeleton as core::analytic_lower_bound, which
+    // delegates here — iteration order and tie-breaking must not change).
+    std::map<psdf::ProcessId, std::uint64_t> master_ticks;
+    std::map<platform::SegmentId, std::uint64_t> bus_ticks;
+    std::map<psdf::ProcessId, platform::SegmentId> master_segment;
+    Picoseconds upper{0};
+
+    for (const psdf::Flow& flow : flows) {
+      const std::string& src_name = application.process(flow.source).name;
+      const std::string& dst_name = application.process(flow.target).name;
+      SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId src,
+                              platform.require_segment_of(src_name));
+      SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId dst,
+                              platform.require_segment_of(dst_name));
+      const std::uint64_t packages =
+          psdf::packages_for(flow.data_items, platform.package_size());
+      const std::uint32_t hops = platform.distance(src, dst);
+
+      // Lower: a master cannot finish a package in fewer than
+      // C + 1 (request) + s (data phase) ticks of its own domain; a bus
+      // cannot move one in fewer than s ticks.
+      master_ticks[flow.source] += packages * (flow.compute_ticks + 1 + s);
+      master_segment[flow.source] = src;
+      SEGBUS_ASSIGN_OR_RETURN(std::vector<platform::PathHop> path,
+                              platform.path(src, dst));
+      for (const platform::PathHop& hop : path) {
+        bus_ticks[hop.segment] += packages * s;
+      }
+
+      // Upper: full serialization — the platform does nothing but this
+      // package. Compute + source data phase in the source domain; every
+      // handshake (and hop forwarding) in the slowest domain.
+      std::uint64_t overhead_ticks = local_overhead_ticks;
+      if (hops > 0) {
+        overhead_ticks += global_extra_ticks + hops * per_hop_ticks;
+      }
+      const Picoseconds per_package =
+          domains[src].span(
+              static_cast<std::int64_t>(flow.compute_ticks + s)) +
+          Picoseconds(static_cast<std::int64_t>(overhead_ticks) *
+                      slowest_period);
+      upper += static_cast<std::int64_t>(packages) * per_package;
+    }
+
+    for (const auto& [process, ticks] : master_ticks) {
+      Picoseconds t = domains[master_segment[process]].span(
+          static_cast<std::int64_t>(ticks));
+      if (t > stage.lower) {
+        stage.lower = t;
+        stage.lower_binding =
+            "master " + application.process(process).name;
+      }
+    }
+    for (const auto& [segment, ticks] : bus_ticks) {
+      Picoseconds t = domains[segment].span(static_cast<std::int64_t>(ticks));
+      if (t > stage.lower) {
+        stage.lower = t;
+        stage.lower_binding =
+            platform::PlatformModel::segment_display_name(segment);
+      }
+    }
+
+    stage.upper =
+        upper + Picoseconds(static_cast<std::int64_t>(
+                    kStageSlackTicks + timing.monitor_poll_ticks) *
+                slowest_period);
+    bounds.lower += stage.lower;
+    bounds.upper += stage.upper;
+    bounds.stages.push_back(std::move(stage));
+  }
+  return bounds;
+}
+
+JsonValue bounds_to_json(const StaticBounds& bounds) {
+  JsonValue root = JsonValue::object();
+  root.set("lower_ps",
+           JsonValue::integer(bounds.lower.count()));
+  root.set("upper_ps",
+           JsonValue::integer(bounds.upper.count()));
+  JsonValue stages = JsonValue::array();
+  for (const StageBounds& stage : bounds.stages) {
+    JsonValue entry = JsonValue::object();
+    entry.set("ordering", JsonValue::unsigned_integer(stage.ordering));
+    entry.set("lower_ps", JsonValue::integer(stage.lower.count()));
+    entry.set("upper_ps", JsonValue::integer(stage.upper.count()));
+    entry.set("lower_binding", JsonValue::string(stage.lower_binding));
+    stages.push(std::move(entry));
+  }
+  root.set("stages", std::move(stages));
+  return root;
+}
+
+}  // namespace segbus::analysis

@@ -1,0 +1,69 @@
+// Static performance bounds — a bracket around the emulated execution time.
+//
+// The paper validates its emulator against a real platform; this module
+// brackets the emulator itself with two closed-form figures that need no
+// event processing at all:
+//
+//  * lower — a *provable* lower bound. Within one stage (ordering tier) it
+//    takes the maximum of each master's serial work
+//    (packages x (C + request + data) ticks of its segment clock) and each
+//    segment bus's raw data occupancy, then sums the stages (the schedule
+//    serializes tiers globally). Every optional handshake is dropped, so
+//    no schedule can beat it. Identical to core::analytic_lower_bound,
+//    which delegates here.
+//
+//  * upper — a full-serialization upper bound. It charges every package as
+//    if the whole platform did nothing else: compute + data in the source
+//    domain, every handshake of the configured timing model (plus
+//    conservative slack for cross-domain tick rounding) in the *slowest*
+//    domain, and per-stage slack for the stage gate and end-of-run monitor
+//    poll. No concurrency is assumed anywhere, so the emulated figure
+//    cannot exceed it.
+//
+// Tests assert lower <= emulated TCT <= upper across the MP3 decoder
+// platforms; tools print the bracket next to the emulated figure.
+#pragma once
+
+#include "emu/timing.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::analysis {
+
+/// Bounds of one schedule stage (one ordering tier).
+struct StageBounds {
+  std::uint32_t ordering = 0;    ///< the stage's T value
+  Picoseconds lower{0};          ///< critical-path lower bound
+  Picoseconds upper{0};          ///< full-serialization upper bound
+  std::string lower_binding;     ///< what binds the lower bound:
+                                 ///< "master P3" or "Segment 1"
+};
+
+/// The bracket for a whole mapped application.
+struct StaticBounds {
+  Picoseconds lower{0};
+  Picoseconds upper{0};
+  std::vector<StageBounds> stages;
+
+  /// True when `t` falls inside the bracket (inclusive).
+  bool brackets(Picoseconds t) const noexcept {
+    return lower <= t && t <= upper;
+  }
+
+  std::string to_string() const;
+};
+
+/// Computes the bracket. Fails with ValidationError when the mapping is
+/// incomplete (every process must be placed on a segment).
+Result<StaticBounds> compute_static_bounds(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::TimingModel& timing = emu::TimingModel::emulator());
+
+/// Machine-readable rendering ({"lower_ps": ..., "upper_ps": ..., stages}).
+JsonValue bounds_to_json(const StaticBounds& bounds);
+
+}  // namespace segbus::analysis

@@ -1,0 +1,120 @@
+#include "analysis/deadlock.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "psdf/comm_matrix.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::analysis {
+
+namespace {
+
+/// One inter-segment transfer: a directed interval over the linear
+/// topology.
+struct PathUse {
+  std::uint32_t tier = 0;
+  psdf::ProcessId source = 0;
+  psdf::ProcessId target = 0;
+  platform::SegmentId lo = 0;   ///< lower endpoint segment
+  platform::SegmentId hi = 0;   ///< higher endpoint segment
+  bool rightward = true;        ///< true when source segment < target segment
+  std::uint64_t packages = 0;
+};
+
+std::string describe(const psdf::PsdfModel& model, const PathUse& use) {
+  return str_format("%s -> %s (segment %u to %u, %llu packages)",
+                    model.process(use.source).name.c_str(),
+                    model.process(use.target).name.c_str(),
+                    (use.rightward ? use.lo : use.hi) + 1,
+                    (use.rightward ? use.hi : use.lo) + 1,
+                    static_cast<unsigned long long>(use.packages));
+}
+
+}  // namespace
+
+ValidationReport analyze_paths(const psdf::PsdfModel& model,
+                               const platform::PlatformModel& platform) {
+  ValidationReport report;
+
+  // Project the communication matrix onto the linear topology: one PathUse
+  // per (tier, source, target) with at least one package to move between
+  // distinct segments.
+  const psdf::CommMatrix matrix = psdf::CommMatrix::from_model(model);
+  std::vector<PathUse> uses;
+  for (const psdf::Flow& flow : model.scheduled_flows()) {
+    auto src = platform.segment_of(model.process(flow.source).name);
+    auto dst = platform.segment_of(model.process(flow.target).name);
+    if (!src || !dst || *src == *dst) continue;
+    PathUse use;
+    use.tier = flow.ordering;
+    use.source = flow.source;
+    use.target = flow.target;
+    use.lo = std::min(*src, *dst);
+    use.hi = std::max(*src, *dst);
+    use.rightward = *src < *dst;
+    use.packages = matrix.packages_at(flow.source, flow.target,
+                                      platform.package_size());
+    if (use.packages == 0) continue;
+    uses.push_back(use);
+  }
+
+  // Pairwise head-on overlap detection. Path counts are small (one per
+  // inter-segment flow), so the quadratic scan is fine.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> cross_tier_noted;
+  for (std::size_t i = 0; i < uses.size(); ++i) {
+    for (std::size_t j = i + 1; j < uses.size(); ++j) {
+      const PathUse& a = uses[i];
+      const PathUse& b = uses[j];
+      if (a.rightward == b.rightward) continue;  // same direction: no cycle
+      const platform::SegmentId lo = std::max(a.lo, b.lo);
+      const platform::SegmentId hi = std::min(a.hi, b.hi);
+      if (lo > hi) continue;  // disjoint intervals
+      const std::uint32_t overlap = hi - lo + 1;
+
+      if (a.tier != b.tier) {
+        // The engine's stage gate keeps tiers strictly sequential, so
+        // head-on paths in different tiers can never hold resources at the
+        // same time. Note it once per tier pair for designers targeting
+        // pipelined schedulers.
+        const std::pair<std::uint32_t, std::uint32_t> key =
+            std::minmax(a.tier, b.tier);
+        if (overlap >= 2 && cross_tier_noted.insert(key).second) {
+          report.add(
+              Severity::kNote, "SB052", "path.reserve.crosstier",
+              str_format("tiers %u and %u carry head-on inter-segment "
+                         "paths (e.g. ",
+                         key.first, key.second) +
+                  describe(model, a) + " vs " + describe(model, b) +
+                  "); safe under the staged schedule, unsafe if tiers "
+                  "were overlapped");
+        }
+        continue;
+      }
+
+      if (overlap >= 2) {
+        // Same tier, opposite directions, two or more shared segments:
+        // each transfer can seize its entry segment and starve the other's
+        // exit — a cycle in the path resource graph.
+        report.add(Severity::kError, "SB050", "path.reserve.cycle",
+                   str_format("ordering tier %u reserves head-on "
+                              "inter-segment paths overlapping on %u "
+                              "segments: ",
+                              a.tier, overlap) +
+                       describe(model, a) + " vs " + describe(model, b));
+      } else {
+        report.add(Severity::kWarning, "SB051", "path.reserve.overlap",
+                   str_format("ordering tier %u has head-on paths sharing "
+                              "segment %u: ",
+                              a.tier, lo + 1) +
+                       describe(model, a) + " vs " + describe(model, b) +
+                       "; the shared bus serializes them (no cycle)");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace segbus::analysis

@@ -1,0 +1,32 @@
+// Static deadlock analysis of inter-segment path reservations.
+//
+// Under the paper's circuit switching the CA connects the whole
+// source..target path exclusively (Figure 2). Two transfers of the same
+// ordering tier that run in *opposite* directions and overlap on two or
+// more segments form a cycle in the path resource graph: an arbiter that
+// granted each transfer its first segment could never complete either
+// path. The bundled emulator reserves paths atomically at the CA and is
+// therefore immune, but the model is then unsafe on any distributed or
+// incremental arbiter — so the lint flags it statically.
+//
+// Codes emitted (catalogue: analysis/diagnostics.hpp):
+//   SB050  path.reserve.cycle     — same-tier head-on overlap >= 2 segments
+//   SB051  path.reserve.overlap   — same-tier head-on overlap of 1 segment
+//                                   (a shared bus serializes; no cycle)
+//   SB052  path.reserve.crosstier — head-on overlap across tiers (the stage
+//                                   gate prevents concurrency; note only)
+#pragma once
+
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/diag.hpp"
+
+namespace segbus::analysis {
+
+/// Analyzes the communication matrix's inter-segment transfers against the
+/// mapping. Requires every communicating process to be mapped (run the
+/// validators first); unmapped endpoints are skipped silently.
+ValidationReport analyze_paths(const psdf::PsdfModel& model,
+                               const platform::PlatformModel& platform);
+
+}  // namespace segbus::analysis

@@ -1,0 +1,119 @@
+#include "analysis/diagnostics.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace segbus::analysis {
+
+const std::vector<CatalogEntry>& catalog() {
+  static const std::vector<CatalogEntry> kCatalog = {
+      // --- PSDF structure (psdf/validate) --------------------------------
+      {"SB001", "psdf.nonempty", Severity::kError,
+       "the application model must declare at least one process"},
+      {"SB002", "psdf.flow.some", Severity::kWarning,
+       "the application model declares no flows; nothing will be emulated"},
+      {"SB003", "psdf.flow.ordering", Severity::kError,
+       "a process sends at an ordering no later than one of its inputs"},
+      {"SB004", "psdf.flow.acyclic", Severity::kError,
+       "the flow graph contains a dependency cycle"},
+      {"SB005", "psdf.flow.reachable", Severity::kWarning,
+       "a process participates in no flow"},
+      {"SB006", "psdf.compute.positive", Severity::kWarning,
+       "a flow declares zero compute ticks"},
+      // --- PSDF lint (analysis/lint) -------------------------------------
+      {"SB007", "psdf.tier.gapped", Severity::kWarning,
+       "ordering tiers are not contiguous (gapped T values)"},
+      {"SB008", "psdf.tier.cycle", Severity::kError,
+       "flows of one ordering tier form a cycle"},
+      {"SB009", "psdf.token.balance", Severity::kWarning,
+       "an interior process consumes and produces different item totals"},
+      // --- PSM structure (platform/constraints) --------------------------
+      {"SB020", "psm.platform.one_ca", Severity::kError,
+       "the platform must configure exactly one CA with a valid clock"},
+      {"SB021", "psm.platform.segments", Severity::kError,
+       "the platform must contain at least one segment"},
+      {"SB022", "psm.package_size", Severity::kError,
+       "package size must be >= 1 (warning above 4096)"},
+      {"SB023", "psm.segment.clock", Severity::kError,
+       "every segment clock must be valid"},
+      {"SB024", "psm.segment.fus", Severity::kError,
+       "every segment must host at least one functional unit"},
+      {"SB025", "psm.fu.interfaces", Severity::kError,
+       "every FU needs at least one master or slave interface"},
+      {"SB026", "psm.bu.adjacency", Severity::kError,
+       "border units exist exactly between consecutive segments"},
+      {"SB027", "psm.bu.capacity", Severity::kError,
+       "border unit FIFO depth must be >= 1 package"},
+      {"SB028", "psm.map.unique", Severity::kError,
+       "no process may be mapped to more than one FU"},
+      // --- mapping (platform/constraints) --------------------------------
+      {"SB030", "map.total", Severity::kError,
+       "every application process must be mapped to a segment"},
+      {"SB031", "map.known", Severity::kError,
+       "every mapped FU must realize an application process"},
+      {"SB032", "map.master_needed", Severity::kError,
+       "a process that initiates transfers needs a master interface"},
+      {"SB033", "map.slave_needed", Severity::kError,
+       "a process that receives transfers needs a slave interface"},
+      {"SB034", "map.package_size", Severity::kWarning,
+       "PSDF and PSM disagree on package size (emulator rescales)"},
+      // --- platform clock lint (analysis/lint) ---------------------------
+      {"SB035", "psm.clock.spread", Severity::kWarning,
+       "clock-domain periods spread more than 16x across the platform"},
+      {"SB036", "psm.clock.ca", Severity::kWarning,
+       "the CA clock is slower than every segment clock"},
+      // --- path-reservation (deadlock) analysis (analysis/deadlock) ------
+      {"SB050", "path.reserve.cycle", Severity::kError,
+       "same-tier opposite-direction paths overlap on >= 2 segments: "
+       "incremental reservation could deadlock"},
+      {"SB051", "path.reserve.overlap", Severity::kWarning,
+       "same-tier opposite-direction paths share one segment (serialized)"},
+      {"SB052", "path.reserve.crosstier", Severity::kNote,
+       "head-on paths in different tiers (stage gate prevents concurrency)"},
+  };
+  return kCatalog;
+}
+
+const CatalogEntry* find_code(std::string_view code) {
+  const std::vector<CatalogEntry>& entries = catalog();
+  auto it = std::find_if(entries.begin(), entries.end(),
+                         [&](const CatalogEntry& e) { return e.code == code; });
+  return it == entries.end() ? nullptr : &*it;
+}
+
+std::string render_text(const ValidationReport& report) {
+  std::string out;
+  if (!report.diagnostics.empty()) out = report.to_string();
+  out += str_format("%zu error(s), %zu warning(s), %zu note(s)\n",
+                    report.error_count(), report.warning_count(),
+                    report.note_count());
+  return out;
+}
+
+JsonValue report_to_json(const ValidationReport& report) {
+  JsonValue root = JsonValue::object();
+  root.set("valid", JsonValue::boolean(report.ok()));
+  root.set("errors", JsonValue::unsigned_integer(report.error_count()));
+  root.set("warnings", JsonValue::unsigned_integer(report.warning_count()));
+  root.set("notes", JsonValue::unsigned_integer(report.note_count()));
+  JsonValue diagnostics = JsonValue::array();
+  for (const Diagnostic& d : report.diagnostics) {
+    JsonValue entry = JsonValue::object();
+    entry.set("severity", JsonValue::string(severity_name(d.severity)));
+    entry.set("code", JsonValue::string(d.code));
+    entry.set("constraint", JsonValue::string(d.constraint));
+    entry.set("message", JsonValue::string(d.message));
+    if (!d.location.file.empty()) {
+      entry.set("file", JsonValue::string(d.location.file));
+    }
+    if (!d.location.element.empty()) {
+      entry.set("element", JsonValue::string(d.location.element));
+    }
+    diagnostics.push(std::move(entry));
+  }
+  root.set("diagnostics", std::move(diagnostics));
+  return root;
+}
+
+}  // namespace segbus::analysis

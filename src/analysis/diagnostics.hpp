@@ -1,0 +1,45 @@
+// The SB0xx diagnostic catalogue and report renderers.
+//
+// Every diagnostic the SegBus tool chain can emit carries a stable code
+// ("SB004"). The catalogue is the single source of truth for those codes:
+// their constraint id, default severity and a one-line summary. Tests
+// cross-check that every code emitted by a validator or analysis pass is
+// registered here, and docs/ANALYSIS.md documents each entry with a minimal
+// triggering model.
+//
+// Code ranges:
+//   SB001..SB009  PSDF model (structure + lint)
+//   SB020..SB039  PSM platform structure, mapping and clock lint
+//   SB050..SB059  inter-segment path reservation (deadlock) analysis
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "support/diag.hpp"
+#include "support/json.hpp"
+
+namespace segbus::analysis {
+
+/// One registered diagnostic code.
+struct CatalogEntry {
+  std::string_view code;        ///< "SB004"
+  std::string_view constraint;  ///< "psdf.flow.acyclic"
+  Severity severity;            ///< default severity (tools may override)
+  std::string_view summary;     ///< one-line description for --explain
+};
+
+/// The full catalogue, ordered by code.
+const std::vector<CatalogEntry>& catalog();
+
+/// Catalogue entry for a code, or nullptr when unregistered.
+const CatalogEntry* find_code(std::string_view code);
+
+/// Human-readable rendering: the report's diagnostics followed by a
+/// "N errors, M warnings, K notes" summary line.
+std::string render_text(const ValidationReport& report);
+
+/// Machine-readable rendering (see docs/ANALYSIS.md for the shape).
+JsonValue report_to_json(const ValidationReport& report);
+
+}  // namespace segbus::analysis

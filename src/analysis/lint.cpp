@@ -1,0 +1,161 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "support/strings.hpp"
+
+namespace segbus::analysis {
+
+namespace {
+
+/// SB007: the schedule serializes tiers globally, so a gap in the T values
+/// is either a leftover from editing or a misnumbered flow.
+void check_tier_gaps(const psdf::PsdfModel& model, ValidationReport& report) {
+  std::set<std::uint32_t> tiers;
+  for (const psdf::Flow& f : model.flows()) tiers.insert(f.ordering);
+  if (tiers.size() < 2) return;
+  const std::uint32_t lo = *tiers.begin();
+  const std::uint32_t hi = *tiers.rbegin();
+  if (hi - lo + 1 == tiers.size()) return;
+  std::string missing;
+  for (std::uint32_t t = lo; t <= hi; ++t) {
+    if (tiers.count(t) != 0) continue;
+    if (!missing.empty()) missing += ", ";
+    missing += str_format("%u", t);
+  }
+  report.add(Severity::kWarning, "SB007", "psdf.tier.gapped",
+             str_format("ordering tiers %u..%u skip T = ", lo, hi) + missing);
+}
+
+/// SB008: a cycle confined to one ordering tier. psdf.flow.ordering only
+/// compares a process's inputs against its outputs across tiers; two flows
+/// P1 -> P2 and P2 -> P1 with the *same* T slip through that check yet can
+/// never both make progress within the tier.
+void check_tier_cycles(const psdf::PsdfModel& model,
+                       ValidationReport& report) {
+  std::map<std::uint32_t, std::vector<psdf::Flow>> tiers;
+  for (const psdf::Flow& f : model.flows()) tiers[f.ordering].push_back(f);
+
+  const std::size_t n = model.process_count();
+  for (const auto& [tier, flows] : tiers) {
+    std::vector<std::size_t> indegree(n, 0);
+    std::vector<std::vector<std::size_t>> adjacency(n);
+    for (const psdf::Flow& f : flows) {
+      adjacency[f.source].push_back(f.target);
+      ++indegree[f.target];
+    }
+    std::queue<std::size_t> ready;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indegree[i] == 0) ready.push(i);
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+      std::size_t node = ready.front();
+      ready.pop();
+      ++visited;
+      for (std::size_t next : adjacency[node]) {
+        if (--indegree[next] == 0) ready.push(next);
+      }
+    }
+    if (visited == n) continue;
+    std::string stuck;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (indegree[i] == 0) continue;
+      if (!stuck.empty()) stuck += ", ";
+      stuck += model.process(static_cast<psdf::ProcessId>(i)).name;
+    }
+    report.add(Severity::kError, "SB008", "psdf.tier.cycle",
+               str_format("flows of ordering tier %u form a cycle through ",
+                          tier) +
+                   stuck);
+  }
+}
+
+/// SB009: an interior pipeline stage that consumes more items than it
+/// produces (or vice versa) usually means a mistyped D value.
+void check_token_balance(const psdf::PsdfModel& model,
+                         ValidationReport& report) {
+  for (const psdf::Process& p : model.processes()) {
+    std::uint64_t in = 0, out = 0;
+    bool has_in = false, has_out = false;
+    for (const psdf::Flow& f : model.flows_into(p.id)) {
+      in += f.data_items;
+      has_in = true;
+    }
+    for (const psdf::Flow& f : model.flows_from(p.id)) {
+      out += f.data_items;
+      has_out = true;
+    }
+    if (!has_in || !has_out || in == out) continue;
+    report.add(Severity::kWarning, "SB009", "psdf.token.balance",
+               str_format("process %s consumes %llu data items but produces "
+                          "%llu",
+                          p.name.c_str(),
+                          static_cast<unsigned long long>(in),
+                          static_cast<unsigned long long>(out)),
+               {std::string(), scheme_type_path(p.name)});
+  }
+}
+
+}  // namespace
+
+ValidationReport lint_model(const psdf::PsdfModel& model) {
+  ValidationReport report;
+  check_tier_gaps(model, report);
+  check_tier_cycles(model, report);
+  check_token_balance(model, report);
+  return report;
+}
+
+ValidationReport lint_platform(const platform::PlatformModel& platform) {
+  ValidationReport report;
+  if (platform.segment_count() == 0) return report;
+
+  std::int64_t min_period = 0, max_period = 0;
+  platform::SegmentId slowest = 0, fastest = 0;
+  for (platform::SegmentId id = 0; id < platform.segment_count(); ++id) {
+    const std::int64_t period = platform.segment(id).clock.period_ps();
+    if (period <= 0) return report;  // invalid clocks: SB023's business
+    if (min_period == 0 || period < min_period) {
+      min_period = period;
+      fastest = id;
+    }
+    if (period > max_period) {
+      max_period = period;
+      slowest = id;
+    }
+  }
+
+  // SB035: a >16x period spread makes every BU crossing dominated by the
+  // slow side's synchronizer and the estimate formulas lose accuracy.
+  if (max_period > 16 * min_period) {
+    report.add(
+        Severity::kWarning, "SB035", "psm.clock.spread",
+        str_format("clock periods spread %lldx across segments (%s at "
+                   "%lld ps vs %s at %lld ps)",
+                   static_cast<long long>(max_period / min_period),
+                   platform.segment(slowest).name.c_str(),
+                   static_cast<long long>(max_period),
+                   platform.segment(fastest).name.c_str(),
+                   static_cast<long long>(min_period)));
+  }
+
+  // SB036: every inter-segment transfer waits on a CA decision; a CA
+  // slower than all segments throttles the whole platform.
+  if (platform.ca_clock().valid() &&
+      platform.ca_clock().period_ps() > max_period) {
+    report.add(Severity::kWarning, "SB036", "psm.clock.ca",
+               str_format("the CA clock (%lld ps period) is slower than "
+                          "every segment clock; global arbitration will "
+                          "throttle inter-segment transfers",
+                          static_cast<long long>(
+                              platform.ca_clock().period_ps())),
+               {std::string(), scheme_type_path("CA")});
+  }
+  return report;
+}
+
+}  // namespace segbus::analysis

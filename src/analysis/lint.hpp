@@ -1,0 +1,28 @@
+// Model lint — well-formedness checks beyond the hard OCL constraints.
+//
+// psdf/validate and platform/constraints reject models the emulator cannot
+// run; the lint passes here flag models that *run* but are probably not
+// what the designer meant: gapped ordering tiers, cycles hiding inside one
+// tier, token-imbalanced pipelines, and suspicious clock-domain choices.
+//
+// Codes emitted (catalogue: analysis/diagnostics.hpp):
+//   SB007  psdf.tier.gapped   — T values are not contiguous
+//   SB008  psdf.tier.cycle    — flows of one tier form a cycle
+//   SB009  psdf.token.balance — interior process consumes != produces
+//   SB035  psm.clock.spread   — clock periods spread more than 16x
+//   SB036  psm.clock.ca       — CA slower than every segment
+#pragma once
+
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/diag.hpp"
+
+namespace segbus::analysis {
+
+/// Lints the application model (SB007..SB009).
+ValidationReport lint_model(const psdf::PsdfModel& model);
+
+/// Lints the platform's clock-domain choices (SB035..SB036).
+ValidationReport lint_platform(const platform::PlatformModel& platform);
+
+}  // namespace segbus::analysis

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/bounds.hpp"
 #include "platform/constraints.hpp"
 #include "support/strings.hpp"
 
@@ -93,18 +94,19 @@ Result<AnalyticResult> analyze(const psdf::PsdfModel& application,
 Result<AnalyticResult> analytic_lower_bound(
     const psdf::PsdfModel& application,
     const platform::PlatformModel& platform) {
-  const std::uint32_t s = platform.package_size();
-  // Lower bound: a master cannot finish a package in fewer than
-  // C + 1 (request) + s (its own segment's data phase) ticks, even with
-  // every handshake free; a bus cannot move a package in fewer than s
-  // ticks. Downstream hop time is dropped entirely (it may overlap with
-  // the next stage's ramp-up in pathological schedules).
-  return analyze(
-      application, platform,
-      [s](std::uint64_t compute, std::uint32_t /*hops*/) {
-        return compute + 1 + s;
-      },
-      [s]() { return static_cast<std::uint64_t>(s); });
+  // The bound itself lives in the analysis library (one formula, shared
+  // with segbus_lint's static bounds); reshape its per-stage breakdown
+  // into the analytic result type.
+  SEGBUS_ASSIGN_OR_RETURN(
+      analysis::StaticBounds bounds,
+      analysis::compute_static_bounds(application, platform));
+  AnalyticResult result;
+  result.total = bounds.lower;
+  for (analysis::StageBounds& stage : bounds.stages) {
+    result.stages.push_back({stage.ordering, stage.lower,
+                             std::move(stage.lower_binding)});
+  }
+  return result;
 }
 
 Result<AnalyticResult> analytic_estimate(

@@ -3,10 +3,8 @@
 #include <optional>
 
 #include "emu/parallel.hpp"
-#include "platform/constraints.hpp"
 #include "platform/platform_xml.hpp"
 #include "psdf/psdf_xml.hpp"
-#include "psdf/validate.hpp"
 #include "xml/parser.hpp"
 
 namespace segbus::core {
@@ -14,11 +12,20 @@ namespace segbus::core {
 Result<EmulationSession> EmulationSession::from_models(
     psdf::PsdfModel application, platform::PlatformModel platform,
     SessionConfig config) {
-  SEGBUS_RETURN_IF_ERROR(psdf::validate_or_error(application));
-  SEGBUS_RETURN_IF_ERROR(
-      platform::validate_mapping_or_error(platform, application));
+  analysis::AnalyzerOptions options;
+  options.include_bounds = false;
+  options.timing = config.timing;
+  // The engine's CA connects the whole source..target path atomically, so
+  // the SB050 reservation cycle cannot occur while emulating here.
+  options.severity_overrides.emplace("SB050", Severity::kWarning);
+  analysis::AnalysisReport analyzed =
+      analysis::analyze_system(application, platform, options);
+  if (!analyzed.ok()) {
+    return validation_error("model analysis failed:\n" +
+                            analysis::render_text(analyzed.report));
+  }
   return EmulationSession(std::move(application), std::move(platform),
-                          std::move(config));
+                          std::move(config), std::move(analyzed));
 }
 
 Result<EmulationSession> EmulationSession::from_xml_files(

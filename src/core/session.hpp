@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/analyzer.hpp"
 #include "emu/engine.hpp"
 #include "emu/stats.hpp"
 #include "emu/timing.hpp"
@@ -31,7 +32,11 @@ struct SessionConfig {
 /// A bound (application, platform) pair ready to emulate.
 class EmulationSession {
  public:
-  /// Binds in-memory models (validating the mapping).
+  /// Binds in-memory models. The static analyzer runs over the pair first:
+  /// error-severity diagnostics abort the session with a ValidationError
+  /// (SB050 is downgraded to a warning — the emulator's CA reserves paths
+  /// atomically); warnings and notes are kept in analysis() for reports
+  /// and the JSON exporters.
   static Result<EmulationSession> from_models(
       psdf::PsdfModel application, platform::PlatformModel platform,
       SessionConfig config = {});
@@ -56,6 +61,12 @@ class EmulationSession {
   const SessionConfig& config() const noexcept { return config_; }
   SessionConfig& config() noexcept { return config_; }
 
+  /// What the static analyzer found while binding the models (never any
+  /// error-severity diagnostics — those abort from_models).
+  const analysis::AnalysisReport& analysis() const noexcept {
+    return analysis_;
+  }
+
   /// Runs one emulation. May be called repeatedly (a fresh engine is built
   /// per run); results are deterministic for a fixed configuration. When a
   /// profiler is given, the engine-build and emulate phases are recorded as
@@ -65,14 +76,17 @@ class EmulationSession {
 
  private:
   EmulationSession(psdf::PsdfModel application,
-                   platform::PlatformModel platform, SessionConfig config)
+                   platform::PlatformModel platform, SessionConfig config,
+                   analysis::AnalysisReport analysis)
       : application_(std::move(application)),
         platform_(std::move(platform)),
-        config_(std::move(config)) {}
+        config_(std::move(config)),
+        analysis_(std::move(analysis)) {}
 
   psdf::PsdfModel application_;
   platform::PlatformModel platform_;
   SessionConfig config_;
+  analysis::AnalysisReport analysis_;
 };
 
 }  // namespace segbus::core

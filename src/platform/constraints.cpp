@@ -6,42 +6,64 @@
 
 namespace segbus::platform {
 
+namespace {
+
+std::string segment_type_name(SegmentId id) {
+  return str_format("Segment%u", id + 1);
+}
+
+SourceLocation segment_location(SegmentId id) {
+  return {std::string(), scheme_type_path(segment_type_name(id))};
+}
+
+SourceLocation fu_location(SegmentId id, std::string_view process) {
+  return {std::string(),
+          scheme_element_path(segment_type_name(id), to_lower(process))};
+}
+
+}  // namespace
+
 ValidationReport validate(const PlatformModel& platform) {
   ValidationReport report;
 
+  // Every check runs even after earlier ones fail (single-pass reporting).
   if (!platform.ca_clock().valid()) {
-    report.add_error("psm.platform.one_ca",
-                     "the platform's CA clock is not configured");
+    report.add(Severity::kError, "SB020", "psm.platform.one_ca",
+               "the platform's CA clock is not configured",
+               {std::string(), scheme_type_path("CA")});
   }
   if (platform.segment_count() == 0) {
-    report.add_error("psm.platform.segments",
-                     "the platform has no segments");
-    return report;
+    report.add(Severity::kError, "SB021", "psm.platform.segments",
+               "the platform has no segments",
+               {std::string(), scheme_type_path("SBP")});
   }
   if (platform.package_size() == 0) {
-    report.add_error("psm.package_size", "package size must be positive");
+    report.add(Severity::kError, "SB022", "psm.package_size",
+               "package size must be positive");
   } else if (platform.package_size() > 4096) {
-    report.add_warning("psm.package_size",
-                       str_format("package size %u is unusually large",
-                                  platform.package_size()));
+    report.add(Severity::kWarning, "SB022", "psm.package_size",
+               str_format("package size %u is unusually large",
+                          platform.package_size()));
   }
 
   for (SegmentId id = 0; id < platform.segment_count(); ++id) {
     const Segment& segment = platform.segment(id);
     if (!segment.clock.valid()) {
-      report.add_error("psm.segment.clock",
-                       segment.name + " has an invalid clock");
+      report.add(Severity::kError, "SB023", "psm.segment.clock",
+                 segment.name + " has an invalid clock",
+                 segment_location(id));
     }
     if (segment.fus.empty()) {
-      report.add_error("psm.segment.fus",
-                       segment.name + " hosts no functional units");
+      report.add(Severity::kError, "SB024", "psm.segment.fus",
+                 segment.name + " hosts no functional units",
+                 segment_location(id));
     }
     for (const FunctionalUnit& fu : segment.fus) {
       if (fu.masters + fu.slaves == 0) {
-        report.add_error("psm.fu.interfaces",
-                         "FU for process " + fu.process + " in " +
-                             segment.name +
-                             " has neither a master nor a slave interface");
+        report.add(Severity::kError, "SB025", "psm.fu.interfaces",
+                   "FU for process " + fu.process + " in " + segment.name +
+                       " has neither a master nor a slave interface",
+                   fu_location(id, fu.process));
       }
     }
   }
@@ -51,31 +73,35 @@ ValidationReport validate(const PlatformModel& platform) {
   {
     std::set<std::pair<SegmentId, SegmentId>> seen;
     for (const BorderUnitSpec& bu : platform.border_units()) {
+      SourceLocation location{std::string(), scheme_type_path(bu.name())};
       if (bu.left + 1 != bu.right) {
-        report.add_error("psm.bu.adjacency",
-                         bu.name() + " does not connect adjacent segments");
+        report.add(Severity::kError, "SB026", "psm.bu.adjacency",
+                   bu.name() + " does not connect adjacent segments",
+                   std::move(location));
         continue;
       }
       if (bu.right >= platform.segment_count()) {
-        report.add_error("psm.bu.adjacency",
-                         bu.name() + " references a nonexistent segment");
+        report.add(Severity::kError, "SB026", "psm.bu.adjacency",
+                   bu.name() + " references a nonexistent segment",
+                   std::move(location));
         continue;
       }
       if (!seen.insert({bu.left, bu.right}).second) {
-        report.add_error("psm.bu.adjacency",
-                         "duplicate border unit " + bu.name());
+        report.add(Severity::kError, "SB026", "psm.bu.adjacency",
+                   "duplicate border unit " + bu.name(), location);
       }
       if (bu.capacity_packages == 0) {
-        report.add_error("psm.bu.capacity",
-                         bu.name() + " has zero FIFO capacity");
+        report.add(Severity::kError, "SB027", "psm.bu.capacity",
+                   bu.name() + " has zero FIFO capacity",
+                   std::move(location));
       }
     }
     for (SegmentId id = 0; id + 1 < platform.segment_count(); ++id) {
       if (seen.find({id, id + 1}) == seen.end()) {
-        report.add_error(
-            "psm.bu.adjacency",
-            str_format("missing border unit between segment %u and %u",
-                       id + 1, id + 2));
+        report.add(Severity::kError, "SB026", "psm.bu.adjacency",
+                   str_format("missing border unit between segment %u and %u",
+                              id + 1, id + 2),
+                   {std::string(), scheme_type_path("SBP")});
       }
     }
   }
@@ -85,8 +111,8 @@ ValidationReport validate(const PlatformModel& platform) {
     std::set<std::string> names;
     for (const std::string& process : platform.mapped_processes()) {
       if (!names.insert(process).second) {
-        report.add_error("psm.map.unique",
-                         "process " + process + " is mapped more than once");
+        report.add(Severity::kError, "SB028", "psm.map.unique",
+                   "process " + process + " is mapped more than once");
       }
     }
   }
@@ -105,8 +131,10 @@ ValidationReport validate_mapping(const PlatformModel& platform,
   }
   for (const psdf::Process& process : application.processes()) {
     if (mapped.find(process.name) == mapped.end()) {
-      report.add_error("map.total", "application process " + process.name +
-                                        " is not mapped to any segment");
+      report.add(Severity::kError, "SB030", "map.total",
+                 "application process " + process.name +
+                     " is not mapped to any segment",
+                 {std::string(), scheme_type_path(process.name)});
     }
   }
   std::set<std::string> known;
@@ -115,8 +143,13 @@ ValidationReport validate_mapping(const PlatformModel& platform,
   }
   for (const std::string& process : mapped) {
     if (known.find(process) == known.end()) {
-      report.add_error("map.known",
-                       "FU realizes unknown process " + process);
+      SourceLocation location;
+      if (auto segment = platform.segment_of(process)) {
+        location = fu_location(*segment, process);
+      }
+      report.add(Severity::kError, "SB031", "map.known",
+                 "FU realizes unknown process " + process,
+                 std::move(location));
     }
   }
 
@@ -136,27 +169,29 @@ ValidationReport validate_mapping(const PlatformModel& platform,
     bool sends = !application.flows_from(process.id).empty();
     bool receives = !application.flows_into(process.id).empty();
     if (sends && fu->masters == 0) {
-      report.add_error("map.master_needed",
-                       "process " + process.name +
-                           " initiates transfers but its FU has no master "
-                           "interface");
+      report.add(Severity::kError, "SB032", "map.master_needed",
+                 "process " + process.name +
+                     " initiates transfers but its FU has no master "
+                     "interface",
+                 fu_location(*segment, process.name));
     }
     if (receives && fu->slaves == 0) {
-      report.add_error("map.slave_needed",
-                       "process " + process.name +
-                           " receives transfers but its FU has no slave "
-                           "interface");
+      report.add(Severity::kError, "SB033", "map.slave_needed",
+                 "process " + process.name +
+                     " receives transfers but its FU has no slave "
+                     "interface",
+                 fu_location(*segment, process.name));
     }
   }
 
   // Package-size agreement between the two models (warning only; the
   // emulator rescales).
   if (application.package_size() != platform.package_size()) {
-    report.add_warning(
-        "map.package_size",
-        str_format("PSDF compute ticks refer to package size %u but the "
-                   "platform is configured with %u",
-                   application.package_size(), platform.package_size()));
+    report.add(Severity::kWarning, "SB034", "map.package_size",
+               str_format("PSDF compute ticks refer to package size %u but "
+                          "the platform is configured with %u",
+                          application.package_size(),
+                          platform.package_size()));
   }
 
   return report;

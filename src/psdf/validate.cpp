@@ -3,20 +3,39 @@
 #include <algorithm>
 #include <queue>
 
+#include "psdf/psdf_xml.hpp"
 #include "support/strings.hpp"
 
 namespace segbus::psdf {
 
+namespace {
+
+/// Scheme location of a flow: the xs:element inside its source process's
+/// xs:complexType.
+SourceLocation flow_location(const PsdfModel& model, const Flow& flow) {
+  return {std::string(),
+          scheme_element_path(model.process(flow.source).name,
+                              encode_flow_name(model, flow))};
+}
+
+SourceLocation process_location(std::string_view name) {
+  return {std::string(), scheme_type_path(name)};
+}
+
+}  // namespace
+
 ValidationReport validate(const PsdfModel& model) {
   ValidationReport report;
 
+  // Every check runs even after earlier ones fail, so a designer sees all
+  // violations in one pass instead of fixing them one re-run at a time.
   if (model.process_count() == 0) {
-    report.add_error("psdf.nonempty", "model has no processes");
-    return report;
+    report.add(Severity::kError, "SB001", "psdf.nonempty",
+               "model has no processes");
   }
-  if (model.flows().empty()) {
-    report.add_warning("psdf.flow.some",
-                       "model has no flows; nothing to emulate");
+  if (model.flows().empty() && model.process_count() > 0) {
+    report.add(Severity::kWarning, "SB002", "psdf.flow.some",
+               "model has no flows; nothing to emulate");
   }
 
   // psdf.flow.ordering: data must be produced before it is consumed.
@@ -30,11 +49,12 @@ ValidationReport validate(const PsdfModel& model) {
     if (!has_in) continue;
     for (const Flow& f : model.flows_from(p.id)) {
       if (f.ordering <= max_in) {
-        report.add_error(
-            "psdf.flow.ordering",
+        report.add(
+            Severity::kError, "SB003", "psdf.flow.ordering",
             str_format("process %s sends with ordering %u but still "
                        "receives input at ordering %u",
-                       p.name.c_str(), f.ordering, max_in));
+                       p.name.c_str(), f.ordering, max_in),
+            flow_location(model, f));
       }
     }
   }
@@ -44,9 +64,9 @@ ValidationReport validate(const PsdfModel& model) {
     bool sends = !model.flows_from(p.id).empty();
     bool receives = !model.flows_into(p.id).empty();
     if (!sends && !receives && !model.flows().empty()) {
-      report.add_warning(
-          "psdf.flow.reachable",
-          "process " + p.name + " is isolated (no flows touch it)");
+      report.add(Severity::kWarning, "SB005", "psdf.flow.reachable",
+                 "process " + p.name + " is isolated (no flows touch it)",
+                 process_location(p.name));
     }
   }
 
@@ -73,19 +93,28 @@ ValidationReport validate(const PsdfModel& model) {
       }
     }
     if (visited != n) {
-      report.add_error("psdf.flow.acyclic",
-                       "the flow graph contains a dependency cycle");
+      // Name the processes still stuck on the cycle so the message is
+      // actionable even without per-flow locations.
+      std::string stuck;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (indegree[i] == 0) continue;
+        if (!stuck.empty()) stuck += ", ";
+        stuck += model.process(static_cast<ProcessId>(i)).name;
+      }
+      report.add(Severity::kError, "SB004", "psdf.flow.acyclic",
+                 "the flow graph contains a dependency cycle through " +
+                     stuck);
     }
   }
 
   // psdf.compute.positive.
   for (const Flow& f : model.flows()) {
     if (f.compute_ticks == 0) {
-      report.add_warning(
-          "psdf.compute.positive",
-          str_format("flow %s -> %s has zero compute ticks",
-                     model.process(f.source).name.c_str(),
-                     model.process(f.target).name.c_str()));
+      report.add(Severity::kWarning, "SB006", "psdf.compute.positive",
+                 str_format("flow %s -> %s has zero compute ticks",
+                            model.process(f.source).name.c_str(),
+                            model.process(f.target).name.c_str()),
+                 flow_location(model, f));
     }
   }
 

@@ -11,16 +11,22 @@
 
 namespace segbus::psdf {
 
-/// Checks the structural constraints of a PSDF model:
-///   psdf.nonempty          — at least one process
-///   psdf.flow.some         — at least one flow (warning if none)
-///   psdf.flow.ordering     — every outgoing flow of a process is ordered
-///                            strictly after all of its incoming flows
-///                            (data must exist before it is processed)
-///   psdf.flow.reachable    — every process participates in some flow
-///                            (warning for isolated processes)
-///   psdf.flow.acyclic      — dependency graph has no cycles
-///   psdf.compute.positive  — C > 0 for every flow (warning on zero)
+/// Checks the structural constraints of a PSDF model. All checks run in a
+/// single pass — the report lists every violation, not just the first.
+/// Diagnostics carry the stable SB0xx catalogue codes (see
+/// analysis/diagnostics.hpp and docs/ANALYSIS.md):
+///   SB001  psdf.nonempty          — at least one process
+///   SB002  psdf.flow.some         — at least one flow (warning if none)
+///   SB003  psdf.flow.ordering     — every outgoing flow of a process is
+///                                   ordered strictly after all of its
+///                                   incoming flows (data must exist before
+///                                   it is processed)
+///   SB004  psdf.flow.acyclic      — dependency graph has no cycles
+///   SB005  psdf.flow.reachable    — every process participates in some
+///                                   flow (warning for isolated processes)
+///   SB006  psdf.compute.positive  — C > 0 for every flow (warning on zero)
+/// Deeper model lint (ordering-tier gaps, in-tier cycles, token balance)
+/// lives in analysis/lint.hpp.
 ValidationReport validate(const PsdfModel& model);
 
 /// Convenience: OK status or a ValidationError carrying the rendered report.

@@ -4,6 +4,50 @@
 
 namespace segbus {
 
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "error";
+}
+
+std::string SourceLocation::to_string() const {
+  if (file.empty()) return element;
+  if (element.empty()) return file;
+  return file + ": " + element;
+}
+
+std::string scheme_type_path(std::string_view type_name) {
+  std::string out = "xs:complexType[";
+  out += type_name;
+  out += ']';
+  return out;
+}
+
+std::string scheme_element_path(std::string_view type_name,
+                                std::string_view element_name) {
+  std::string out = scheme_type_path(type_name);
+  out += "/xs:element[";
+  out += element_name;
+  out += ']';
+  return out;
+}
+
+namespace {
+
+std::size_t count_severity(const std::vector<Diagnostic>& diagnostics,
+                           Severity severity) noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+}  // namespace
+
 bool ValidationReport::ok() const noexcept {
   return std::none_of(diagnostics.begin(), diagnostics.end(),
                       [](const Diagnostic& d) {
@@ -12,15 +56,15 @@ bool ValidationReport::ok() const noexcept {
 }
 
 std::size_t ValidationReport::error_count() const noexcept {
-  return static_cast<std::size_t>(
-      std::count_if(diagnostics.begin(), diagnostics.end(),
-                    [](const Diagnostic& d) {
-                      return d.severity == Severity::kError;
-                    }));
+  return count_severity(diagnostics, Severity::kError);
 }
 
 std::size_t ValidationReport::warning_count() const noexcept {
-  return diagnostics.size() - error_count();
+  return count_severity(diagnostics, Severity::kWarning);
+}
+
+std::size_t ValidationReport::note_count() const noexcept {
+  return count_severity(diagnostics, Severity::kNote);
 }
 
 bool ValidationReport::has(std::string_view constraint) const noexcept {
@@ -30,16 +74,34 @@ bool ValidationReport::has(std::string_view constraint) const noexcept {
                      });
 }
 
+bool ValidationReport::has_code(std::string_view code) const noexcept {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+void ValidationReport::add(Diagnostic diagnostic) {
+  diagnostics.push_back(std::move(diagnostic));
+}
+
+void ValidationReport::add(Severity severity, std::string code,
+                           std::string constraint, std::string message,
+                           SourceLocation location) {
+  diagnostics.push_back({severity, std::move(code), std::move(constraint),
+                         std::move(message), std::move(location)});
+}
+
 void ValidationReport::add_error(std::string constraint,
                                  std::string message) {
-  diagnostics.push_back(
-      {Severity::kError, std::move(constraint), std::move(message)});
+  diagnostics.push_back({Severity::kError, std::string(),
+                         std::move(constraint), std::move(message),
+                         SourceLocation{}});
 }
 
 void ValidationReport::add_warning(std::string constraint,
                                    std::string message) {
-  diagnostics.push_back(
-      {Severity::kWarning, std::move(constraint), std::move(message)});
+  diagnostics.push_back({Severity::kWarning, std::string(),
+                         std::move(constraint), std::move(message),
+                         SourceLocation{}});
 }
 
 void ValidationReport::merge(ValidationReport other) {
@@ -48,15 +110,29 @@ void ValidationReport::merge(ValidationReport other) {
   }
 }
 
+void ValidationReport::stamp_file(std::string_view file) {
+  for (Diagnostic& d : diagnostics) {
+    if (d.location.file.empty()) d.location.file = std::string(file);
+  }
+}
+
 std::string ValidationReport::to_string() const {
   if (diagnostics.empty()) return "model is valid\n";
   std::string out;
   for (const Diagnostic& d : diagnostics) {
-    out += d.severity == Severity::kError ? "error" : "warning";
+    out += severity_name(d.severity);
+    if (!d.code.empty()) {
+      out += ' ';
+      out += d.code;
+    }
     out += " [";
     out += d.constraint;
     out += "]: ";
     out += d.message;
+    if (!d.location.empty()) {
+      out += "\n    at ";
+      out += d.location.to_string();
+    }
     out += '\n';
   }
   return out;

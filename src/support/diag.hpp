@@ -1,21 +1,53 @@
 // Shared validation-diagnostic types, used by the PSDF and PSM (platform)
-// validators. Mirrors the DSL's OCL constraint reporting (paper §2.2):
-// each breach names a stable constraint id plus a human-readable message.
+// validators and the static-analysis subsystem. Mirrors the DSL's OCL
+// constraint reporting (paper §2.2): each breach names a stable constraint
+// id plus a human-readable message. Diagnostics additionally carry a stable
+// catalogue code ("SB003") and a source location into the generated XML
+// schemes so tools can point a designer at the offending element (the
+// catalogue itself lives in analysis/diagnostics.hpp).
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace segbus {
 
 /// Severity of one diagnostic.
-enum class Severity { kError, kWarning };
+enum class Severity { kError, kWarning, kNote };
+
+/// "error" / "warning" / "note".
+std::string_view severity_name(Severity severity) noexcept;
+
+/// Where a diagnostic points inside the model's XML scheme.
+struct SourceLocation {
+  std::string file;     ///< scheme file path, when the model came from disk
+  std::string element;  ///< scheme path, e.g. "xs:complexType[P3]/xs:element[P4_576_4_250]"
+
+  bool empty() const noexcept { return file.empty() && element.empty(); }
+  /// "file: element", omitting whichever part is absent.
+  std::string to_string() const;
+
+  friend bool operator==(const SourceLocation&,
+                         const SourceLocation&) = default;
+};
+
+/// Scheme-path helpers: "xs:complexType[P3]" and
+/// "xs:complexType[P3]/xs:element[P4_576_4_250]". Both validators and the
+/// analysis passes build locations through these so the notation stays
+/// uniform.
+std::string scheme_type_path(std::string_view type_name);
+std::string scheme_element_path(std::string_view type_name,
+                                std::string_view element_name);
 
 /// One validation finding.
 struct Diagnostic {
   Severity severity = Severity::kError;
+  std::string code;        ///< stable catalogue code, e.g. "SB003" (may be
+                           ///< empty for ad-hoc findings)
   std::string constraint;  ///< stable id, e.g. "psm.segment.one_arbiter"
   std::string message;     ///< human-readable description
+  SourceLocation location; ///< scheme location, when known
 
   friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
 };
@@ -28,15 +60,25 @@ struct ValidationReport {
   bool ok() const noexcept;
   std::size_t error_count() const noexcept;
   std::size_t warning_count() const noexcept;
+  std::size_t note_count() const noexcept;
 
   /// True if any diagnostic matches the constraint id.
   bool has(std::string_view constraint) const noexcept;
+  /// True if any diagnostic carries the catalogue code.
+  bool has_code(std::string_view code) const noexcept;
 
+  void add(Diagnostic diagnostic);
+  void add(Severity severity, std::string code, std::string constraint,
+           std::string message, SourceLocation location = {});
   void add_error(std::string constraint, std::string message);
   void add_warning(std::string constraint, std::string message);
 
   /// Merges another report's findings into this one.
   void merge(ValidationReport other);
+
+  /// Fills the file part of every location that does not have one yet
+  /// (tools know which scheme file a model came from; validators do not).
+  void stamp_file(std::string_view file);
 
   std::string to_string() const;
 };

@@ -9,7 +9,8 @@ namespace segbus {
 std::string json_escape(std::string_view text) {
   std::string out;
   out.reserve(text.size());
-  for (unsigned char c : text) {
+  for (char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;

@@ -1,0 +1,433 @@
+// Tests of the static-analysis subsystem: the SB0xx catalogue, the
+// one-pass validators, the lint passes, the path-reservation deadlock
+// detection and the analyzer orchestration (including the core session
+// gate).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/deadlock.hpp"
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint.hpp"
+#include "apps/mp3.hpp"
+#include "core/session.hpp"
+#include "platform/constraints.hpp"
+#include "psdf/validate.hpp"
+
+namespace segbus::analysis {
+namespace {
+
+// --- builders -------------------------------------------------------------
+
+psdf::PsdfModel pipeline_app() {
+  psdf::PsdfModel model("pipeline");
+  EXPECT_TRUE(model.add_process("P0").is_ok());
+  EXPECT_TRUE(model.add_process("P1").is_ok());
+  EXPECT_TRUE(model.add_process("P2").is_ok());
+  EXPECT_TRUE(model.add_flow("P0", "P1", 72, 1, 100).is_ok());
+  EXPECT_TRUE(model.add_flow("P1", "P2", 72, 2, 100).is_ok());
+  return model;
+}
+
+platform::PlatformModel uniform_platform(std::uint32_t segments,
+                                         double mhz = 100.0) {
+  platform::PlatformModel platform("test");
+  for (std::uint32_t i = 0; i < segments; ++i) {
+    EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(mhz)).is_ok());
+  }
+  return platform;
+}
+
+// --- catalogue ------------------------------------------------------------
+
+TEST(Catalog, CodesAreUniqueAndOrdered) {
+  std::set<std::string_view> codes;
+  std::string_view previous;
+  for (const CatalogEntry& entry : catalog()) {
+    EXPECT_TRUE(codes.insert(entry.code).second)
+        << "duplicate " << entry.code;
+    EXPECT_LT(previous, entry.code) << "catalogue not sorted";
+    previous = entry.code;
+    EXPECT_FALSE(entry.constraint.empty());
+    EXPECT_FALSE(entry.summary.empty());
+  }
+}
+
+TEST(Catalog, FindCode) {
+  const CatalogEntry* entry = find_code("SB004");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->constraint, "psdf.flow.acyclic");
+  EXPECT_EQ(entry->severity, Severity::kError);
+  EXPECT_EQ(find_code("SB999"), nullptr);
+}
+
+/// Every code any pass emits must be registered with a matching constraint
+/// id — exercised over a zoo of deliberately broken models.
+TEST(Catalog, EmittedDiagnosticsAreRegistered) {
+  ValidationReport all;
+
+  psdf::PsdfModel empty("empty");
+  all.merge(psdf::validate(empty));
+
+  psdf::PsdfModel broken("broken");
+  ASSERT_TRUE(broken.add_process("A").is_ok());
+  ASSERT_TRUE(broken.add_process("B").is_ok());
+  ASSERT_TRUE(broken.add_process("C").is_ok());
+  ASSERT_TRUE(broken.add_process("Idle").is_ok());
+  ASSERT_TRUE(broken.add_flow("A", "B", 72, 2, 100).is_ok());
+  ASSERT_TRUE(broken.add_flow("B", "A", 72, 2, 0).is_ok());
+  ASSERT_TRUE(broken.add_flow("B", "C", 36, 5, 100).is_ok());
+  all.merge(psdf::validate(broken));
+  all.merge(lint_model(broken));
+
+  platform::PlatformModel platform = uniform_platform(2);
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("Ghost", 1, 1, 0).is_ok());
+  all.merge(platform::validate_mapping(platform, broken));
+  all.merge(platform::validate(platform::PlatformModel("bare")));
+  all.merge(lint_platform(platform));
+
+  EXPECT_FALSE(all.diagnostics.empty());
+  for (const Diagnostic& d : all.diagnostics) {
+    const CatalogEntry* entry = find_code(d.code);
+    ASSERT_NE(entry, nullptr) << "unregistered code " << d.code;
+    EXPECT_EQ(entry->constraint, d.constraint)
+        << d.code << " emitted under constraint " << d.constraint;
+  }
+}
+
+// --- one-pass validation --------------------------------------------------
+
+TEST(Validate, ReportsAllViolationsInOnePass) {
+  psdf::PsdfModel model("multi");
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("Lonely").is_ok());
+  // Cycle A <-> B with an ordering inversion and a zero-compute flow.
+  ASSERT_TRUE(model.add_flow("A", "B", 72, 1, 100).is_ok());
+  ASSERT_TRUE(model.add_flow("B", "A", 72, 2, 0).is_ok());
+
+  ValidationReport report = psdf::validate(model);
+  EXPECT_TRUE(report.has_code("SB003"));  // A sends at 1, receives at 2
+  EXPECT_TRUE(report.has_code("SB004"));  // cycle
+  EXPECT_TRUE(report.has_code("SB005"));  // Lonely is isolated
+  EXPECT_TRUE(report.has_code("SB006"));  // zero compute
+  EXPECT_GE(report.error_count(), 2u);
+}
+
+TEST(Validate, EmptyModelStillChecksEverything) {
+  ValidationReport report = psdf::validate(psdf::PsdfModel("empty"));
+  EXPECT_TRUE(report.has_code("SB001"));
+  // No flows and no processes: the no-flows warning would be noise.
+  EXPECT_FALSE(report.has_code("SB002"));
+}
+
+TEST(Validate, DiagnosticsCarrySchemeLocations) {
+  psdf::PsdfModel model("loc");
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_flow("A", "B", 72, 1, 0).is_ok());
+  ValidationReport report = psdf::validate(model);
+  ASSERT_TRUE(report.has_code("SB006"));
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.code != "SB006") continue;
+    EXPECT_EQ(d.location.element, "xs:complexType[A]/xs:element[B_72_1_0]");
+  }
+}
+
+TEST(Validate, PlatformChecksCarryCodes) {
+  platform::PlatformModel bare("bare");
+  ValidationReport report = platform::validate(bare);
+  EXPECT_TRUE(report.has_code("SB021"));
+  EXPECT_FALSE(report.ok());
+
+  platform::PlatformModel empty_segment = uniform_platform(1);
+  EXPECT_TRUE(platform::validate(empty_segment).has_code("SB024"));
+}
+
+TEST(Validate, MappingChecksCarryCodes) {
+  psdf::PsdfModel app = pipeline_app();
+  platform::PlatformModel platform = uniform_platform(2);
+  // P0 sender without master, P1 receiver without slave, P2 unmapped,
+  // plus an FU realizing an unknown process.
+  ASSERT_TRUE(platform.map_process("P0", 0, 0, 1).is_ok());
+  ASSERT_TRUE(platform.map_process("P1", 1, 1, 0).is_ok());
+  ASSERT_TRUE(platform.map_process("Ghost", 1).is_ok());
+  ValidationReport report = platform::validate_mapping(platform, app);
+  EXPECT_TRUE(report.has_code("SB030"));
+  EXPECT_TRUE(report.has_code("SB031"));
+  EXPECT_TRUE(report.has_code("SB032"));
+  EXPECT_TRUE(report.has_code("SB033"));
+}
+
+// --- lint -----------------------------------------------------------------
+
+TEST(Lint, GappedTiersWarn) {
+  psdf::PsdfModel model("gapped");
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("C").is_ok());
+  ASSERT_TRUE(model.add_flow("A", "B", 72, 1, 100).is_ok());
+  ASSERT_TRUE(model.add_flow("B", "C", 72, 3, 100).is_ok());
+  ValidationReport report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SB007"));
+  EXPECT_TRUE(report.ok());  // warning, not error
+}
+
+TEST(Lint, InTierCycleIsError) {
+  psdf::PsdfModel model("tiercycle");
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_flow("A", "B", 72, 2, 100).is_ok());
+  ASSERT_TRUE(model.add_flow("B", "A", 72, 2, 100).is_ok());
+  ValidationReport report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SB008"));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Lint, TokenImbalanceWarns) {
+  psdf::PsdfModel model("imbalance");
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("C").is_ok());
+  ASSERT_TRUE(model.add_flow("A", "B", 100, 1, 100).is_ok());
+  ASSERT_TRUE(model.add_flow("B", "C", 36, 2, 100).is_ok());
+  ValidationReport report = lint_model(model);
+  EXPECT_TRUE(report.has_code("SB009"));
+}
+
+TEST(Lint, Mp3ModelIsCleanUnderLint) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  ValidationReport report = lint_model(*app);
+  EXPECT_TRUE(report.diagnostics.empty()) << report.to_string();
+}
+
+TEST(Lint, ClockSpreadWarns) {
+  platform::PlatformModel platform("spread");
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(400)).is_ok());
+  ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(1)).is_ok());
+  EXPECT_TRUE(lint_platform(platform).has_code("SB035"));
+}
+
+TEST(Lint, SlowCaWarns) {
+  platform::PlatformModel platform = uniform_platform(2);
+  ASSERT_TRUE(platform.set_ca_clock(Frequency::from_mhz(1)).is_ok());
+  EXPECT_TRUE(lint_platform(platform).has_code("SB036"));
+  // The MP3 platforms clock the CA fastest: no warning there.
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto mp3 = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(mp3.is_ok());
+  EXPECT_TRUE(lint_platform(*mp3).diagnostics.empty());
+}
+
+// --- deadlock analysis ----------------------------------------------------
+
+TEST(Deadlock, HeadOnOverlapIsReservationCycle) {
+  psdf::PsdfModel model("headon");
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("C").is_ok());
+  ASSERT_TRUE(model.add_process("D").is_ok());
+  ASSERT_TRUE(model.add_flow("A", "B", 72, 1, 100).is_ok());
+  ASSERT_TRUE(model.add_flow("C", "D", 72, 1, 100).is_ok());
+  platform::PlatformModel platform = uniform_platform(3);
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 2).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 2).is_ok());
+  ASSERT_TRUE(platform.map_process("D", 0).is_ok());
+  ValidationReport report = analyze_paths(model, platform);
+  EXPECT_TRUE(report.has_code("SB050"));
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Deadlock, SingleSharedSegmentOnlySerializes) {
+  psdf::PsdfModel model("shared");
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("C").is_ok());
+  ASSERT_TRUE(model.add_flow("A", "B", 72, 1, 100).is_ok());
+  ASSERT_TRUE(model.add_flow("C", "B", 72, 1, 100).is_ok());
+  platform::PlatformModel platform = uniform_platform(3);
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 1).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 2).is_ok());
+  ValidationReport report = analyze_paths(model, platform);
+  EXPECT_TRUE(report.has_code("SB051"));
+  EXPECT_FALSE(report.has_code("SB050"));
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Deadlock, CrossTierHeadOnIsOnlyANote) {
+  psdf::PsdfModel model("crosstier");
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("C").is_ok());
+  ASSERT_TRUE(model.add_process("D").is_ok());
+  ASSERT_TRUE(model.add_flow("A", "B", 72, 1, 100).is_ok());
+  ASSERT_TRUE(model.add_flow("C", "D", 72, 2, 100).is_ok());
+  platform::PlatformModel platform = uniform_platform(3);
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 2).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 2).is_ok());
+  ASSERT_TRUE(platform.map_process("D", 0).is_ok());
+  ValidationReport report = analyze_paths(model, platform);
+  EXPECT_TRUE(report.has_code("SB052"));
+  EXPECT_FALSE(report.has_code("SB050"));
+  EXPECT_EQ(report.note_count(), 1u);
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Deadlock, SameDirectionPathsAreSafe) {
+  psdf::PsdfModel model = pipeline_app();
+  platform::PlatformModel platform = uniform_platform(3);
+  ASSERT_TRUE(platform.map_process("P0", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("P1", 1).is_ok());
+  ASSERT_TRUE(platform.map_process("P2", 2).is_ok());
+  EXPECT_TRUE(analyze_paths(model, platform).diagnostics.empty());
+}
+
+TEST(Deadlock, Mp3ThreeSegmentsHasNoReservationCycle) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  ValidationReport report = analyze_paths(*app, *platform);
+  EXPECT_FALSE(report.has_code("SB050"));
+  EXPECT_TRUE(report.has_code("SB051"));  // tier 6 shares segment 2
+  EXPECT_TRUE(report.ok());
+}
+
+// --- analyzer -------------------------------------------------------------
+
+TEST(Analyzer, CleanSystemGetsBounds) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  AnalysisReport result = analyze_system(*app, *platform);
+  EXPECT_TRUE(result.ok());
+  ASSERT_TRUE(result.bounds.has_value());
+  EXPECT_LT(result.bounds->lower, result.bounds->upper);
+}
+
+TEST(Analyzer, ErrorsSuppressBounds) {
+  psdf::PsdfModel app = pipeline_app();
+  platform::PlatformModel platform = uniform_platform(1);  // all unmapped
+  AnalysisReport result = analyze_system(app, platform);
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.report.has_code("SB030"));
+  EXPECT_FALSE(result.bounds.has_value());
+}
+
+/// Head-on fixture for the analyzer/session tests: A -> B and C -> D cross
+/// the full three-segment platform in opposite directions at tier 1; E
+/// keeps the middle segment populated.
+void build_headon_system(psdf::PsdfModel& model,
+                         platform::PlatformModel& platform) {
+  ASSERT_TRUE(model.add_process("A").is_ok());
+  ASSERT_TRUE(model.add_process("B").is_ok());
+  ASSERT_TRUE(model.add_process("C").is_ok());
+  ASSERT_TRUE(model.add_process("D").is_ok());
+  ASSERT_TRUE(model.add_process("E").is_ok());
+  ASSERT_TRUE(model.add_flow("A", "B", 72, 1, 100).is_ok());
+  ASSERT_TRUE(model.add_flow("C", "D", 72, 1, 100).is_ok());
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 2).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 2).is_ok());
+  ASSERT_TRUE(platform.map_process("D", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("E", 1).is_ok());
+}
+
+TEST(Analyzer, SeverityOverridesApply) {
+  psdf::PsdfModel model("headon");
+  platform::PlatformModel platform = uniform_platform(3);
+  build_headon_system(model, platform);
+
+  AnalysisReport strict = analyze_system(model, platform);
+  EXPECT_FALSE(strict.ok());
+
+  AnalyzerOptions options;
+  options.severity_overrides.emplace("SB050", Severity::kWarning);
+  AnalysisReport relaxed = analyze_system(model, platform, options);
+  EXPECT_TRUE(relaxed.ok());
+  EXPECT_TRUE(relaxed.report.has_code("SB050"));
+  ASSERT_TRUE(relaxed.bounds.has_value());
+}
+
+TEST(Analyzer, StampsSchemeFiles) {
+  AnalyzerOptions options;
+  options.psdf_file = "app.psdf.xml";
+  AnalysisReport result =
+      analyze_model(psdf::PsdfModel("empty"), options);
+  ASSERT_FALSE(result.report.diagnostics.empty());
+  EXPECT_EQ(result.report.diagnostics.front().location.file,
+            "app.psdf.xml");
+}
+
+// --- session gate ---------------------------------------------------------
+
+TEST(SessionGate, HardErrorsAbortBeforeEmulation) {
+  psdf::PsdfModel app = pipeline_app();
+  platform::PlatformModel platform = uniform_platform(1);  // unmapped
+  auto session = core::EmulationSession::from_models(app, platform);
+  ASSERT_FALSE(session.is_ok());
+  EXPECT_NE(session.status().to_string().find("SB030"), std::string::npos)
+      << session.status().to_string();
+}
+
+TEST(SessionGate, ReservationCycleDowngradesToWarningAndRuns) {
+  psdf::PsdfModel model("headon");
+  platform::PlatformModel platform = uniform_platform(3);
+  build_headon_system(model, platform);
+
+  auto session = core::EmulationSession::from_models(model, platform);
+  ASSERT_TRUE(session.is_ok()) << session.status().to_string();
+  EXPECT_TRUE(session->analysis().report.has_code("SB050"));
+  EXPECT_TRUE(session->analysis().ok());
+  auto result = session->emulate();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->completed);  // the atomic CA really cannot deadlock
+}
+
+TEST(SessionGate, Mp3SessionKeepsAnalysisFindings) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto session = core::EmulationSession::from_models(*app, *platform);
+  ASSERT_TRUE(session.is_ok()) << session.status().to_string();
+  EXPECT_TRUE(session->analysis().ok());
+  EXPECT_TRUE(session->analysis().report.has_code("SB051"));
+}
+
+// --- renderers ------------------------------------------------------------
+
+TEST(Renderers, TextCarriesCodesAndSummary) {
+  ValidationReport report;
+  report.add(Severity::kError, "SB004", "psdf.flow.acyclic", "cycle",
+             {"m.xml", "xs:complexType[A]"});
+  report.add(Severity::kNote, "SB052", "path.reserve.crosstier", "note");
+  std::string text = render_text(report);
+  EXPECT_NE(text.find("error SB004 [psdf.flow.acyclic]: cycle"),
+            std::string::npos);
+  EXPECT_NE(text.find("at m.xml: xs:complexType[A]"), std::string::npos);
+  EXPECT_NE(text.find("1 error(s), 0 warning(s), 1 note(s)"),
+            std::string::npos);
+}
+
+TEST(Renderers, JsonShape) {
+  ValidationReport report;
+  report.add(Severity::kWarning, "SB051", "path.reserve.overlap", "shared",
+             {"p.xml", ""});
+  std::string json = report_to_json(report).to_string();
+  EXPECT_NE(json.find("\"valid\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"SB051\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\":\"p.xml\""), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus::analysis

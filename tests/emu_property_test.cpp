@@ -293,11 +293,12 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Combine(testing::Values(1u, 2u, 3u, 5u, 8u, 13u),
                      testing::Values(1u, 2u, 3u),
                      testing::Values(36u, 18u, 7u)),
-    [](const testing::TestParamInfo<Params>& info) {
+    [](const testing::TestParamInfo<Params>& params) {
       return str_format("seed%llu_seg%u_pkg%u",
                         static_cast<unsigned long long>(
-                            std::get<0>(info.param)),
-                        std::get<1>(info.param), std::get<2>(info.param));
+                            std::get<0>(params.param)),
+                        std::get<1>(params.param),
+                        std::get<2>(params.param));
     });
 
 }  // namespace

@@ -105,8 +105,8 @@ TEST_P(RoundTripTest, PlatformSurvivesXmlRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
                          testing::Range<std::uint64_t>(1, 21),
                          [](const testing::TestParamInfo<std::uint64_t>&
-                                info) {
-                           return "seed" + std::to_string(info.param);
+                                params) {
+                           return "seed" + std::to_string(params.param);
                          });
 
 }  // namespace

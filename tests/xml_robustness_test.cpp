@@ -62,8 +62,8 @@ TEST_P(XmlBadDocTest, RejectedWithParseError) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, XmlBadDocTest, testing::ValuesIn(kBadDocs),
-                         [](const testing::TestParamInfo<BadDoc>& info) {
-                           return info.param.name;
+                         [](const testing::TestParamInfo<BadDoc>& params) {
+                           return params.param.name;
                          });
 
 // --- scheme-codec robustness ------------------------------------------------------
@@ -112,8 +112,8 @@ TEST_P(PsdfBadSchemeTest, RejectedCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(Corpus, PsdfBadSchemeTest,
                          testing::ValuesIn(kBadPsdfSchemes),
-                         [](const testing::TestParamInfo<BadScheme>& info) {
-                           return info.param.name;
+                         [](const testing::TestParamInfo<BadScheme>& params) {
+                           return params.param.name;
                          });
 
 constexpr BadScheme kBadPsmSchemes[] = {
@@ -161,8 +161,8 @@ TEST_P(PsmBadSchemeTest, RejectedCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(Corpus, PsmBadSchemeTest,
                          testing::ValuesIn(kBadPsmSchemes),
-                         [](const testing::TestParamInfo<BadScheme>& info) {
-                           return info.param.name;
+                         [](const testing::TestParamInfo<BadScheme>& params) {
+                           return params.param.name;
                          });
 
 // --- stress shapes that must PARSE -------------------------------------------------

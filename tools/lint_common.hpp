@@ -1,0 +1,103 @@
+// Shared implementation of the static-analysis front ends: the standalone
+// segbus_lint tool and `segbus_cli check` parse their own argv but run the
+// same analyzer pipeline and use the same output/exit-code contract.
+//
+// Exit codes:
+//   0  analysis ran; no error-severity diagnostics (warnings/notes allowed)
+//   1  usage or I/O failure (bad flags, unreadable scheme files)
+//   2  analysis ran and found at least one error
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/analyzer.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "support/cli.hpp"
+
+namespace segbus::tools {
+
+inline int lint_fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+/// `--explain SBxxx`: print the catalogue entry for one code.
+inline int explain_code(const std::string& code) {
+  const analysis::CatalogEntry* entry = analysis::find_code(code);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "error: unknown diagnostic code '%s'\n",
+                 code.c_str());
+    return 1;
+  }
+  std::printf("%s [%s] (%s)\n  %s\n  (docs/ANALYSIS.md documents a minimal "
+              "triggering model)\n",
+              std::string(entry->code).c_str(),
+              std::string(entry->constraint).c_str(),
+              std::string(severity_name(entry->severity)).c_str(),
+              std::string(entry->summary).c_str());
+  return 0;
+}
+
+/// Runs the analyzer over the positional scheme files starting at
+/// `arg_offset` (<psdf.xml> [<psm.xml>]). See the exit-code contract above.
+inline int run_lint(const CommandLine& cli, std::size_t arg_offset) {
+  if (auto code = cli.flag("explain")) return explain_code(*code);
+  if (cli.positional().size() <= arg_offset) {
+    std::fprintf(stderr,
+                 "usage: ... <psdf.xml> [<psm.xml>] [--package S] "
+                 "[--reference] [--json] [--no-bounds] [--emulator-host] "
+                 "[--explain SBxxx]\n");
+    return 1;
+  }
+
+  const auto package =
+      static_cast<std::uint32_t>(cli.int_flag_or("package", 0));
+  analysis::AnalyzerOptions options;
+  options.psdf_file = cli.positional()[arg_offset];
+  options.include_bounds = cli.bool_flag_or("bounds", true);
+  if (cli.bool_flag_or("reference", false)) {
+    options.timing = emu::TimingModel::reference();
+  }
+  // --emulator-host: the bundled emulator's CA reserves whole paths
+  // atomically, so the SB050 reservation cycle cannot bite there.
+  if (cli.bool_flag_or("emulator-host", false)) {
+    options.severity_overrides.emplace("SB050", Severity::kWarning);
+  }
+
+  auto app = psdf::read_psdf_file(options.psdf_file, package);
+  if (!app.is_ok()) return lint_fail(app.status());
+
+  analysis::AnalysisReport result;
+  if (cli.positional().size() > arg_offset + 1) {
+    options.psm_file = cli.positional()[arg_offset + 1];
+    auto platform = platform::read_platform_file(options.psm_file);
+    if (!platform.is_ok()) return lint_fail(platform.status());
+    if (package != 0) {
+      if (Status status = platform->set_package_size(package);
+          !status.is_ok()) {
+        return lint_fail(status);
+      }
+    }
+    result = analysis::analyze_system(*app, *platform, options);
+  } else {
+    result = analysis::analyze_model(*app, options);
+  }
+
+  if (cli.bool_flag_or("json", false)) {
+    JsonValue root = analysis::report_to_json(result.report);
+    if (result.bounds) {
+      root.set("bounds", analysis::bounds_to_json(*result.bounds));
+    }
+    std::printf("%s\n", root.to_string(/*pretty=*/true).c_str());
+  } else {
+    std::printf("%s", analysis::render_text(result.report).c_str());
+    if (result.bounds) {
+      std::printf("%s\n", result.bounds->to_string().c_str());
+    }
+  }
+  return result.ok() ? 0 : 2;
+}
+
+}  // namespace segbus::tools

@@ -2,6 +2,13 @@
 //
 // Subcommands (first positional argument):
 //   validate <psdf.xml> [<psm.xml>]     run the OCL-style model checks
+//   check    <psdf.xml> [<psm.xml>] [--package S] [--reference] [--json]
+//            [--no-bounds] [--emulator-host] [--explain SBxxx]
+//                                       full static analysis: validation,
+//                                       lint, deadlock detection and the
+//                                       static performance bounds (same
+//                                       engine as the segbus_lint tool;
+//                                       exit 2 on diagnosed errors)
 //   matrix   <psdf.xml>                 print the communication matrix
 //   generate --app mp3|jpeg --segments N [--package S] <outdir>
 //                                       run the M2T transformation
@@ -37,6 +44,8 @@
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 
+#include "lint_common.hpp"
+
 using namespace segbus;
 
 namespace {
@@ -48,7 +57,8 @@ int fail(const Status& status) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: segbus_cli <validate|matrix|generate|emulate|place> "
+               "usage: segbus_cli "
+               "<validate|check|matrix|generate|emulate|place> "
                "...\n(see the header comment of tools/segbus_cli.cpp)\n");
   return 1;
 }
@@ -156,6 +166,11 @@ int cmd_emulate(const CommandLine& cli) {
       static_cast<std::uint32_t>(cli.int_flag_or("package", 0)));
   parse_span.close();
   if (!session.is_ok()) return fail(session.status());
+  if (!session->analysis().report.diagnostics.empty()) {
+    std::fprintf(
+        stderr, "static analysis:\n%s",
+        analysis::render_text(session->analysis().report).c_str());
+  }
   auto result = session->emulate(&profiler);
   if (!result.is_ok()) return fail(result.status());
   if (!result->completed) {
@@ -318,6 +333,15 @@ int cmd_analyze(const CommandLine& cli) {
               format_us(bound->total).c_str());
   std::printf("analytic estimate   : %s\n",
               format_us(estimate->total).c_str());
+  if (auto bracket = analysis::compute_static_bounds(
+          *app, *platform,
+          cli.bool_flag_or("reference", false)
+              ? emu::TimingModel::reference()
+              : emu::TimingModel::emulator());
+      bracket.is_ok()) {
+    std::printf("serialization upper : %s\n",
+                format_us(bracket->upper).c_str());
+  }
   std::printf("\nper-stage lower bound breakdown:\n");
   for (const core::AnalyticStage& stage : bound->stages) {
     std::printf("  stage T=%u: %12s  (bound: %s)\n", stage.ordering,
@@ -334,6 +358,7 @@ int main(int argc, char** argv) {
   if (cli->positional().empty()) return usage();
   const std::string& command = cli->positional()[0];
   if (command == "validate") return cmd_validate(*cli);
+  if (command == "check") return tools::run_lint(*cli, 1);
   if (command == "matrix") return cmd_matrix(*cli);
   if (command == "generate") return cmd_generate(*cli);
   if (command == "emulate") return cmd_emulate(*cli);

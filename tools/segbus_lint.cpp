@@ -1,0 +1,26 @@
+// segbus_lint — static analysis of SegBus models without emulating them.
+//
+// usage: segbus_lint <psdf.xml> [<psm.xml>] [options]
+//        segbus_lint --explain SBxxx
+//
+// With only a PSDF scheme it validates and lints the application model;
+// with a PSM scheme as well it additionally checks the platform structure,
+// the mapping, the clock domains and the inter-segment path reservations,
+// and prints the static performance bounds for the mapped system.
+//
+// Options:
+//   --package S       override both schemes' package size
+//   --reference       use the reference timing model for the upper bound
+//   --json            machine-readable report (diagnostics + bounds)
+//   --no-bounds       skip the static performance bounds
+//   --emulator-host   downgrade SB050 to a warning (atomic path reservation)
+//   --explain SBxxx   describe one catalogue code and exit
+//
+// Exit status: 0 clean, 1 usage/I/O failure, 2 diagnosed errors.
+#include "lint_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cli = segbus::CommandLine::parse(argc, argv);
+  if (!cli.is_ok()) return segbus::tools::lint_fail(cli.status());
+  return segbus::tools::run_lint(*cli, 0);
+}
