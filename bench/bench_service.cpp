@@ -1,0 +1,221 @@
+// EXS — estimation-as-a-service load study: concurrent clients drive the
+// NDJSON socket server with the paper's MP3 decoder on 1/2/3 segments and
+// the run measures end-to-end job latency (p50/p99), throughput, and the
+// content-addressed cache's hit rate. Two phases:
+//   cold  — every scheme distinct (package-size sweep), all misses;
+//   warm  — the three canonical schemes resubmitted, almost all hits.
+// Results land in BENCH_service.json (machine-readable) and on stdout.
+#include "bench/common.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "support/json.hpp"
+#include "xml/writer.hpp"
+
+using namespace segbus;
+
+namespace {
+
+struct Scheme {
+  std::string label;
+  std::string psdf_xml;
+  std::string psm_xml;
+};
+
+Scheme make_scheme(std::uint32_t segments, std::uint32_t package) {
+  psdf::PsdfModel app =
+      bench::unwrap(apps::mp3_decoder_psdf(package));
+  platform::PlatformModel platform = bench::unwrap(apps::mp3_platform(
+      app, apps::mp3_allocation(segments), segments, package));
+  Scheme scheme;
+  scheme.label = str_format("mp3-%useg-pkg%u", segments, package);
+  scheme.psdf_xml = xml::write_document(psdf::to_xml(app));
+  scheme.psm_xml = xml::write_document(platform::to_xml(platform));
+  return scheme;
+}
+
+struct PhaseResult {
+  std::string name;
+  std::size_t jobs = 0;
+  std::size_t failures = 0;
+  double wall_s = 0.0;
+  double throughput = 0.0;  ///< jobs per second
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double hit_rate = 0.0;  ///< cache hit rate over the whole phase
+};
+
+/// Runs `jobs_per_client` submissions per client against `server`;
+/// `pick` maps a global job index to the scheme to submit.
+template <typename Pick>
+PhaseResult run_phase(const std::string& name,
+                      service::SocketServer& server, unsigned clients,
+                      std::size_t jobs_per_client,
+                      const std::vector<Scheme>& schemes, Pick pick) {
+  const service::CacheStats before = server.jobs().cache_stats();
+  obs::MetricsRegistry latencies;
+  obs::Histogram histogram = latencies.histogram(
+      "latency_ms", obs::exponential_bounds(0.05, 1.3, 48));
+  std::mutex histogram_mutex;
+  std::atomic<std::size_t> failures{0};
+
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      service::Client client =
+          bench::unwrap(service::Client::connect_unix(server.unix_path()));
+      for (std::size_t j = 0; j < jobs_per_client; ++j) {
+        const Scheme& scheme = schemes[pick(c * jobs_per_client + j)];
+        service::JobRequest request;
+        request.id = str_format("c%u-j%zu", c, j);
+        request.psdf_xml = scheme.psdf_xml;
+        request.psm_xml = scheme.psm_xml;
+        const auto sent = std::chrono::steady_clock::now();
+        auto response = client.call(request);
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - sent)
+                .count();
+        if (!response.is_ok() || !response->ok) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(histogram_mutex);
+        histogram.observe(ms);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+
+  const service::CacheStats after = server.jobs().cache_stats();
+  const std::uint64_t hits = after.hits - before.hits;
+  const std::uint64_t lookups =
+      hits + (after.misses - before.misses);
+
+  PhaseResult result;
+  result.name = name;
+  result.jobs = clients * jobs_per_client;
+  result.failures = failures.load();
+  result.wall_s = wall_s;
+  result.throughput =
+      wall_s > 0.0 ? static_cast<double>(result.jobs) / wall_s : 0.0;
+  result.p50_ms = histogram.quantile(0.5);
+  result.p99_ms = histogram.quantile(0.99);
+  result.hit_rate = lookups == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  return result;
+}
+
+JsonValue phase_json(const PhaseResult& result) {
+  JsonValue doc = JsonValue::object();
+  doc.set("jobs", JsonValue::unsigned_integer(result.jobs));
+  doc.set("failures", JsonValue::unsigned_integer(result.failures));
+  doc.set("wall_s", JsonValue::number(result.wall_s));
+  doc.set("throughput_jobs_per_s", JsonValue::number(result.throughput));
+  doc.set("p50_ms", JsonValue::number(result.p50_ms));
+  doc.set("p99_ms", JsonValue::number(result.p99_ms));
+  doc.set("cache_hit_rate", JsonValue::number(result.hit_rate));
+  return doc;
+}
+
+void print_phase(const PhaseResult& result) {
+  std::printf("%-6s %6zu jobs  %8.1f jobs/s  p50 %7.2f ms  p99 %7.2f ms"
+              "  hit rate %5.1f%%  failures %zu\n",
+              result.name.c_str(), result.jobs, result.throughput,
+              result.p50_ms, result.p99_ms, result.hit_rate * 100.0,
+              result.failures);
+}
+
+}  // namespace
+
+int main() {
+  const unsigned clients = 4;
+  const std::size_t jobs_per_client = 24;
+
+  // Cold phase: every (segments, package) pair is a distinct scheme, so
+  // every submission misses the cache and runs the engine.
+  std::vector<Scheme> cold_schemes;
+  for (std::uint32_t package : {24u, 36u, 48u, 60u}) {
+    for (std::uint32_t segments : {1u, 2u, 3u}) {
+      cold_schemes.push_back(make_scheme(segments, package));
+    }
+  }
+  // Warm phase: the paper's three canonical schemes, resubmitted.
+  std::vector<Scheme> warm_schemes;
+  for (std::uint32_t segments : {1u, 2u, 3u}) {
+    warm_schemes.push_back(make_scheme(segments, 36));
+  }
+
+  service::ServerConfig config;
+  config.workers = 4;
+  config.queue_depth = 64;
+  service::ListenConfig listen;
+  listen.unix_path = "bench_service.sock";
+  auto server = bench::unwrap(
+      service::SocketServer::start(config, std::move(listen)));
+
+  bench::banner(
+      "EXS — estimation service under load (4 clients, MP3 decoder)");
+  const PhaseResult cold = run_phase(
+      "cold", *server, clients, jobs_per_client, cold_schemes,
+      [&](std::size_t i) { return i % cold_schemes.size(); });
+  print_phase(cold);
+  const PhaseResult warm = run_phase(
+      "warm", *server, clients, jobs_per_client, warm_schemes,
+      [&](std::size_t i) { return i % warm_schemes.size(); });
+  print_phase(warm);
+
+  const service::CacheStats cache = server->jobs().cache_stats();
+  std::printf("\ncache: %llu hits / %llu lookups (%.1f%%), %zu entries, "
+              "%zu payload bytes\n",
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.hits + cache.misses),
+              cache.hit_rate() * 100.0, cache.entries, cache.bytes);
+
+  JsonValue doc = JsonValue::object();
+  doc.set("benchmark", JsonValue::string("service"));
+  doc.set("clients", JsonValue::unsigned_integer(clients));
+  doc.set("jobs_per_client", JsonValue::unsigned_integer(jobs_per_client));
+  doc.set("cold", phase_json(cold));
+  doc.set("warm", phase_json(warm));
+  JsonValue cache_doc = JsonValue::object();
+  cache_doc.set("hits", JsonValue::unsigned_integer(cache.hits));
+  cache_doc.set("misses", JsonValue::unsigned_integer(cache.misses));
+  cache_doc.set("entries", JsonValue::unsigned_integer(cache.entries));
+  cache_doc.set("bytes", JsonValue::unsigned_integer(cache.bytes));
+  cache_doc.set("hit_rate", JsonValue::number(cache.hit_rate()));
+  doc.set("cache", std::move(cache_doc));
+
+  {
+    std::FILE* out = std::fopen("BENCH_service.json", "w");
+    if (out == nullptr) {
+      bench::die(internal_error("cannot write BENCH_service.json"));
+    }
+    const std::string text = doc.to_string(/*pretty=*/true);
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+  }
+  std::printf("results written to BENCH_service.json\n");
+
+  server->shutdown(/*drain=*/true);
+  if (cold.failures != 0 || warm.failures != 0) {
+    bench::die(internal_error("some jobs failed"));
+  }
+  return 0;
+}

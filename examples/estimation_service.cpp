@@ -1,0 +1,71 @@
+// Estimation as a service, in process: a JobServer with its
+// content-addressed result cache, no sockets involved.
+//
+//   $ ./estimation_service
+//
+// Submits the paper's MP3 decoder on 1/2/3 segments, twice each: the
+// first round runs the emulation engine, the second round is answered
+// from the cache (same digest, byte-identical report, no engine run).
+// See docs/SERVICE.md for the socket front end (`segbus_cli serve`).
+#include <cstdio>
+
+#include "apps/mp3.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "service/server.hpp"
+#include "support/strings.hpp"
+#include "xml/writer.hpp"
+
+using namespace segbus;
+
+int main() {
+  service::ServerConfig config;
+  config.workers = 2;
+  service::JobServer server(config);
+
+  for (int round = 1; round <= 2; ++round) {
+    std::printf("round %d (%s):\n", round,
+                round == 1 ? "cold — engine runs" : "warm — cache hits");
+    for (std::uint32_t segments : {1u, 2u, 3u}) {
+      auto app = apps::mp3_decoder_psdf();
+      if (!app.is_ok()) return 1;
+      auto platform = apps::mp3_platform(
+          *app, apps::mp3_allocation(segments), segments,
+          app->package_size());
+      if (!platform.is_ok()) return 1;
+
+      // Hand the server the *documents*, as a remote client would; the
+      // cache key is content-addressed, so re-serialization noise (or a
+      // semantically identical scheme from another tool) still hits.
+      service::JobRequest request;
+      request.id = str_format("mp3-%useg-r%d", segments, round);
+      request.psdf_xml = xml::write_document(psdf::to_xml(*app));
+      request.psm_xml = xml::write_document(platform::to_xml(*platform));
+
+      service::JobResponse response = server.submit(std::move(request));
+      if (!response.ok) {
+        std::fprintf(stderr, "job failed [%s]: %s\n",
+                     response.error_code.c_str(),
+                     response.error_message.c_str());
+        return 1;
+      }
+      std::printf("  %u segment(s): %10.3f us  digest %.12s…  %s\n",
+                  segments,
+                  static_cast<double>(response.execution_time.count()) /
+                      1e6,
+                  response.digest.c_str(),
+                  response.cache_hit ? "cache hit" : "emulated");
+    }
+  }
+
+  const service::CacheStats stats = server.cache_stats();
+  std::printf(
+      "\ncache: %llu hits, %llu misses (hit rate %.0f%%), %zu entries\n",
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      stats.hit_rate() * 100.0, stats.entries);
+  std::printf("\nserver stats:\n%s\n",
+              server.stats_json().to_string(/*pretty=*/true).c_str());
+  server.stop(/*drain=*/true);
+  return 0;
+}

@@ -1,8 +1,10 @@
 #include "core/batch.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "core/analytic.hpp"
+#include "core/fingerprint.hpp"
 #include "place/apply.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -91,6 +93,10 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
   }
 
   GridReport report;
+  // Fingerprint of an emulated cell -> index of its first GridEntry;
+  // duplicate (package, allocation, timing) combinations copy that entry's
+  // measurements instead of re-running the engine.
+  std::map<std::string, std::size_t, std::less<>> seen;
   for (std::uint32_t package : spec.package_sizes) {
     SEGBUS_ASSIGN_OR_RETURN(psdf::PsdfModel app, app_factory(package));
     for (const LabeledAllocation& allocation : spec.allocations) {
@@ -111,6 +117,17 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
           place::apply_allocation(app, allocation.allocation, platform));
 
       for (const LabeledTiming& timing : spec.timings) {
+        auto digest = scheme_digest(app, platform, timing.timing);
+        if (digest.is_ok()) {
+          if (auto hit = seen.find(*digest); hit != seen.end()) {
+            GridEntry entry = report.entries[hit->second];
+            entry.allocation = allocation.label;
+            entry.timing = timing.label;
+            report.entries.push_back(std::move(entry));
+            ++report.deduplicated_cells;
+            continue;
+          }
+        }
         SEGBUS_ASSIGN_OR_RETURN(
             emu::Engine engine,
             emu::Engine::create(app, platform, timing.timing));
@@ -140,7 +157,9 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
               analytic_estimate(app, platform, timing.timing));
           entry.analytic_estimate = estimate.total;
         }
+        if (digest.is_ok()) seen.emplace(*digest, report.entries.size());
         report.entries.push_back(std::move(entry));
+        ++report.emulated_cells;
       }
     }
   }

@@ -62,6 +62,10 @@ struct GridEntry {
 /// The swept grid.
 struct GridReport {
   std::vector<GridEntry> entries;
+  /// Cells that went through the engine vs. cells served from the in-run
+  /// content-addressed dedup (identical fingerprints emulate once).
+  std::size_t emulated_cells = 0;
+  std::size_t deduplicated_cells = 0;
 
   /// Fixed-width table, one row per cell.
   std::string render() const;
@@ -72,7 +76,9 @@ struct GridReport {
 };
 
 /// Runs every (package, allocation, timing) combination. Fails fast on the
-/// first invalid combination.
+/// first invalid combination. Combinations with identical scheme
+/// fingerprints (core/fingerprint.hpp) — e.g. the same allocation listed
+/// under two labels — are emulated once and copied into each cell.
 Result<GridReport> run_grid(const AppFactory& app_factory,
                             const GridSpec& spec);
 

@@ -1,7 +1,9 @@
 #include "core/explore.hpp"
 
 #include <algorithm>
+#include <map>
 
+#include "core/fingerprint.hpp"
 #include "place/apply.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
@@ -28,7 +30,20 @@ Result<ExplorationReport> explore(const psdf::PsdfModel& application,
                                   std::vector<Candidate> candidates,
                                   const SessionConfig& config) {
   ExplorationReport report;
+  // Content-addressed dedup: semantically identical candidates (same
+  // fingerprint) emulate once and share measurements.
+  std::map<std::string, std::size_t, std::less<>> seen;
   for (Candidate& candidate : candidates) {
+    auto digest = scheme_digest(application, candidate.platform, config);
+    if (digest.is_ok()) {
+      if (auto hit = seen.find(*digest); hit != seen.end()) {
+        ExplorationEntry entry = report.entries[hit->second];
+        entry.label = candidate.label;
+        report.entries.push_back(std::move(entry));
+        ++report.deduplicated;
+        continue;
+      }
+    }
     SEGBUS_ASSIGN_OR_RETURN(
         EmulationSession session,
         EmulationSession::from_models(application,
@@ -47,7 +62,9 @@ Result<ExplorationReport> explore(const psdf::PsdfModel& application,
     for (const emu::BuStats& bu : result.bus) {
       entry.max_bu_mean_wp = std::max(entry.max_bu_mean_wp, bu.mean_wp());
     }
+    if (digest.is_ok()) seen.emplace(*digest, report.entries.size());
     report.entries.push_back(std::move(entry));
+    ++report.emulated;
   }
   std::stable_sort(report.entries.begin(), report.entries.end(),
                    [](const ExplorationEntry& a, const ExplorationEntry& b) {

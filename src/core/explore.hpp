@@ -32,10 +32,17 @@ struct ExplorationEntry {
 /// Ranked outcome, fastest first.
 struct ExplorationReport {
   std::vector<ExplorationEntry> entries;
+  /// How many candidates actually went through the engine vs. were served
+  /// from the in-run content-addressed dedup (see core/fingerprint.hpp).
+  std::size_t emulated = 0;
+  std::size_t deduplicated = 0;
   std::string render() const;
 };
 
 /// Emulates the application on every candidate and ranks the results.
+/// Candidates whose scheme fingerprint matches an earlier candidate reuse
+/// that candidate's measurements (under their own label) instead of
+/// re-emulating — duplicate grid cells cost one engine run, not N.
 Result<ExplorationReport> explore(const psdf::PsdfModel& application,
                                   std::vector<Candidate> candidates,
                                   const SessionConfig& config = {});

@@ -1,0 +1,139 @@
+#include "core/fingerprint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "support/hash.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::core {
+
+namespace {
+
+/// One flow with canonical endpoint indices, ready for order-independent
+/// sorting.
+struct CanonicalFlow {
+  std::uint32_t ordering;
+  std::uint32_t src;
+  std::uint32_t dst;
+  std::uint64_t data_items;
+  std::uint64_t compute_ticks;
+
+  friend auto operator<=>(const CanonicalFlow&, const CanonicalFlow&) =
+      default;
+};
+
+void append_frequency(std::string& out, std::string_view key, Frequency f) {
+  // khz() is the exact stored representation; %.17g round-trips doubles.
+  out += str_format(" %s=%.17g", std::string(key).c_str(), f.khz());
+}
+
+}  // namespace
+
+Result<std::string> canonical_scheme(const psdf::PsdfModel& application,
+                                     const platform::PlatformModel& platform,
+                                     const emu::TimingModel& timing,
+                                     const emu::EngineOptions& engine) {
+  // Canonical process relabeling: position in (segment, FU) order.
+  std::map<std::string, std::uint32_t, std::less<>> canonical_id;
+  std::uint32_t next_id = 0;
+  for (const platform::Segment& segment : platform.segments()) {
+    for (const platform::FunctionalUnit& fu : segment.fus) {
+      if (!canonical_id.emplace(fu.process, next_id).second) {
+        return validation_error("fingerprint: process '" + fu.process +
+                                "' mapped more than once");
+      }
+      ++next_id;
+    }
+  }
+  for (const psdf::Process& process : application.processes()) {
+    if (canonical_id.find(process.name) == canonical_id.end()) {
+      return validation_error("fingerprint: process '" + process.name +
+                              "' is not mapped to any segment");
+    }
+  }
+
+  std::vector<CanonicalFlow> flows;
+  flows.reserve(application.flows().size());
+  for (const psdf::Flow& flow : application.flows()) {
+    const std::string& src = application.process(flow.source).name;
+    const std::string& dst = application.process(flow.target).name;
+    const auto src_it = canonical_id.find(src);
+    const auto dst_it = canonical_id.find(dst);
+    if (src_it == canonical_id.end() || dst_it == canonical_id.end()) {
+      return validation_error("fingerprint: flow endpoint unmapped");
+    }
+    flows.push_back({flow.ordering, src_it->second, dst_it->second,
+                     flow.data_items, flow.compute_ticks});
+  }
+  std::sort(flows.begin(), flows.end());
+
+  std::string out;
+  out.reserve(1024);
+  out += "segbus-scheme-v1\n";
+  out += str_format("psdf package_size=%u processes=%zu\n",
+                    application.package_size(),
+                    application.process_count());
+  for (const CanonicalFlow& flow : flows) {
+    out += str_format(
+        "flow t=%u src=%u dst=%u d=%llu c=%llu\n", flow.ordering, flow.src,
+        flow.dst, static_cast<unsigned long long>(flow.data_items),
+        static_cast<unsigned long long>(flow.compute_ticks));
+  }
+  out += str_format("psm package_size=%u segments=%zu",
+                    platform.package_size(), platform.segment_count());
+  append_frequency(out, "ca_khz", platform.ca_clock());
+  out += '\n';
+  for (std::size_t s = 0; s < platform.segment_count(); ++s) {
+    const platform::Segment& segment =
+        platform.segment(static_cast<platform::SegmentId>(s));
+    out += str_format("segment %zu", s);
+    append_frequency(out, "khz", segment.clock);
+    out += '\n';
+    for (const platform::FunctionalUnit& fu : segment.fus) {
+      out += str_format("fu seg=%zu p=%u m=%u s=%u\n", s,
+                        canonical_id.at(fu.process), fu.masters, fu.slaves);
+    }
+  }
+  for (const platform::BorderUnitSpec& bu : platform.border_units()) {
+    out += str_format("bu left=%u right=%u cap=%u\n", bu.left, bu.right,
+                      bu.capacity_packages);
+  }
+  out += str_format(
+      "timing rq=%u sad=%u gs=%u mr=%u gr=%u cad=%u cas=%u bus=%u bgt=%u "
+      "mb=%d cs=%d mp=%u\n",
+      timing.request_ticks, timing.sa_decision_ticks, timing.grant_set_ticks,
+      timing.master_response_ticks, timing.grant_reset_ticks,
+      timing.ca_decision_ticks, timing.ca_signal_ticks, timing.bu_sync_ticks,
+      timing.bu_grant_turnaround_ticks, timing.master_blocking ? 1 : 0,
+      timing.circuit_switched ? 1 : 0, timing.monitor_poll_ticks);
+  out += str_format(
+      "engine max_ticks=%llu activity=%d bucket=%lld trace=%d latencies=%d "
+      "metrics=%d\n",
+      static_cast<unsigned long long>(engine.max_ticks_per_domain),
+      engine.record_activity ? 1 : 0,
+      static_cast<long long>(engine.activity_bucket.count()),
+      engine.record_trace ? 1 : 0, engine.record_latencies ? 1 : 0,
+      engine.record_metrics ? 1 : 0);
+  return out;
+}
+
+Result<std::string> scheme_digest(const psdf::PsdfModel& application,
+                                  const platform::PlatformModel& platform,
+                                  const emu::TimingModel& timing,
+                                  const emu::EngineOptions& engine) {
+  SEGBUS_ASSIGN_OR_RETURN(
+      std::string canonical,
+      canonical_scheme(application, platform, timing, engine));
+  return sha256_hex(canonical);
+}
+
+Result<std::string> scheme_digest(const psdf::PsdfModel& application,
+                                  const platform::PlatformModel& platform,
+                                  const SessionConfig& config) {
+  return scheme_digest(application, platform, config.timing, config.engine);
+}
+
+}  // namespace segbus::core

@@ -1,0 +1,100 @@
+#include "service/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace segbus::service {
+
+ResultCache::ResultCache(std::size_t max_entries, std::size_t max_bytes)
+    : max_entries_(std::max<std::size_t>(1, max_entries)),
+      max_bytes_(max_bytes) {}
+
+std::optional<CachedResult> ResultCache::lookup(const std::string& digest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = index_.find(digest);
+  if (found == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, found->second);
+  return *found->second;
+}
+
+void ResultCache::insert(CachedResult entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = index_.find(entry.digest);
+  if (found != index_.end()) {
+    bytes_ -= entry_bytes(*found->second);
+    bytes_ += entry_bytes(entry);
+    *found->second = std::move(entry);
+    lru_.splice(lru_.begin(), lru_, found->second);
+    evict_locked();
+    return;
+  }
+  bytes_ += entry_bytes(entry);
+  lru_.push_front(std::move(entry));
+  index_.emplace(lru_.front().digest, lru_.begin());
+  ++insertions_;
+  evict_locked();
+}
+
+void ResultCache::evict_locked() {
+  while (lru_.size() > max_entries_ ||
+         (max_bytes_ != 0 && bytes_ > max_bytes_ && lru_.size() > 1)) {
+    const CachedResult& victim = lru_.back();
+    bytes_ -= entry_bytes(victim);
+    index_.erase(victim.digest);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+void ResultCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ResultCache::export_metrics(obs::MetricsRegistry& registry) const {
+  const CacheStats stats = this->stats();
+  registry
+      .counter("segbus_service_cache_hits_total", {},
+               "result cache lookups served without an engine run")
+      .inc(stats.hits);
+  registry
+      .counter("segbus_service_cache_misses_total", {},
+               "result cache lookups that required an engine run")
+      .inc(stats.misses);
+  registry
+      .counter("segbus_service_cache_insertions_total", {},
+               "entries added to the result cache")
+      .inc(stats.insertions);
+  registry
+      .counter("segbus_service_cache_evictions_total", {},
+               "entries evicted from the result cache (LRU)")
+      .inc(stats.evictions);
+  registry
+      .gauge("segbus_service_cache_entries", {},
+             "entries currently resident in the result cache")
+      .set(static_cast<double>(stats.entries));
+  registry
+      .gauge("segbus_service_cache_bytes", {},
+             "payload bytes currently resident in the result cache")
+      .set(static_cast<double>(stats.bytes));
+}
+
+}  // namespace segbus::service

@@ -1,0 +1,88 @@
+// Content-addressed result cache of the estimation service.
+//
+// Keys are scheme fingerprints (core/fingerprint.hpp): the SHA-256 of a
+// canonical (PSDF, PSM, configuration) serialization, so byte-different
+// but semantically identical schemes — shuffled XML attribute order,
+// whitespace, renumbered internal ids — address the same entry. Values
+// are the finished report payloads, so a hit skips the engine entirely.
+//
+// Eviction is LRU over a bounded entry count (and, optionally, a bounded
+// total payload byte size — whichever bound is hit first evicts). All
+// operations are thread-safe; hit/miss/insert/evict counters are kept
+// internally and exported through the obs metrics registry.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+#include "support/time.hpp"
+
+namespace segbus::service {
+
+/// One cached estimation outcome.
+struct CachedResult {
+  std::string digest;       ///< scheme fingerprint (cache key)
+  std::string report_json;  ///< compact result_to_json payload
+  Picoseconds execution_time{0};
+};
+
+/// Counter snapshot (monotonic except entries/bytes, which are levels).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  double hit_rate() const noexcept {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// Thread-safe LRU cache keyed by fingerprint digest.
+class ResultCache {
+ public:
+  /// `max_entries` must be >= 1; `max_bytes` of 0 disables the byte bound.
+  explicit ResultCache(std::size_t max_entries, std::size_t max_bytes = 0);
+
+  /// Returns (and refreshes the recency of) the entry for `digest`.
+  /// Counts a hit or a miss.
+  std::optional<CachedResult> lookup(const std::string& digest);
+
+  /// Inserts or refreshes an entry, evicting LRU entries as needed.
+  void insert(CachedResult entry);
+
+  CacheStats stats() const;
+  void clear();
+
+  /// Exports the counters as segbus_service_cache_* series.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  std::size_t entry_bytes(const CachedResult& entry) const noexcept {
+    return entry.digest.size() + entry.report_json.size();
+  }
+  void evict_locked();
+
+  const std::size_t max_entries_;
+  const std::size_t max_bytes_;
+
+  mutable std::mutex mutex_;
+  std::list<CachedResult> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<CachedResult>::iterator> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace segbus::service

@@ -1,0 +1,123 @@
+#include "service/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace segbus::service {
+
+Result<Client> Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return invalid_argument_error("unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return internal_error(std::string("socket(AF_UNIX): ") +
+                          std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status =
+        internal_error("connect to " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Result<Client> Client::connect_tcp(std::uint16_t port,
+                                   const std::string& host) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return invalid_argument_error("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return internal_error(std::string("socket(AF_INET): ") +
+                          std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const Status status =
+        internal_error("connect to " + host + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<std::string> Client::call_raw(const std::string& line) {
+  if (fd_ < 0) return failed_precondition_error("client is not connected");
+  std::string out = line;
+  out += '\n';
+  std::size_t written = 0;
+  while (written < out.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    const ssize_t n = ::send(fd_, out.data() + written,
+                             out.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return internal_error(std::string("send: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string response = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return response;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return internal_error(std::string("read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return internal_error("server closed the connection mid-response");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<JobResponse> Client::call(const JobRequest& request) {
+  SEGBUS_ASSIGN_OR_RETURN(std::string line, call_raw(encode_request(request)));
+  return parse_response(line);
+}
+
+}  // namespace segbus::service

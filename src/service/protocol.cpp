@@ -1,0 +1,127 @@
+#include "service/protocol.hpp"
+
+#include <utility>
+
+namespace segbus::service {
+
+JobResponse JobResponse::failure(std::string id, std::string code,
+                                 std::string message) {
+  JobResponse response;
+  response.id = std::move(id);
+  response.ok = false;
+  response.error_code = std::move(code);
+  response.error_message = std::move(message);
+  return response;
+}
+
+std::string encode_request(const JobRequest& request) {
+  JsonValue doc = JsonValue::object();
+  doc.set("id", JsonValue::string(request.id));
+  if (request.kind != "submit") {
+    doc.set("kind", JsonValue::string(request.kind));
+  }
+  if (!request.psdf_xml.empty()) {
+    doc.set("psdf_xml", JsonValue::string(request.psdf_xml));
+  }
+  if (!request.psm_xml.empty()) {
+    doc.set("psm_xml", JsonValue::string(request.psm_xml));
+  }
+  if (request.package_size != 0) {
+    doc.set("package_size", JsonValue::unsigned_integer(request.package_size));
+  }
+  if (request.reference_timing) {
+    doc.set("reference", JsonValue::boolean(true));
+  }
+  if (request.parallel) doc.set("parallel", JsonValue::boolean(true));
+  if (request.max_ticks != 0) {
+    doc.set("max_ticks", JsonValue::unsigned_integer(request.max_ticks));
+  }
+  return doc.to_string();
+}
+
+Result<JobRequest> parse_request(std::string_view line) {
+  SEGBUS_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::parse(line));
+  if (!doc.is_object()) {
+    return parse_error("service request must be a JSON object");
+  }
+  JobRequest request;
+  request.id = doc.get("id").as_string();
+  const std::string& kind = doc.get("kind").as_string();
+  if (!kind.empty()) request.kind = kind;
+  if (request.kind != "submit" && request.kind != "stats" &&
+      request.kind != "ping") {
+    return invalid_argument_error("unknown request kind '" + request.kind +
+                                  "'");
+  }
+  request.psdf_xml = doc.get("psdf_xml").as_string();
+  request.psm_xml = doc.get("psm_xml").as_string();
+  request.package_size =
+      static_cast<std::uint32_t>(doc.get("package_size").as_uint64());
+  request.reference_timing = doc.get("reference").as_bool();
+  request.parallel = doc.get("parallel").as_bool();
+  request.max_ticks = doc.get("max_ticks").as_uint64();
+  if (request.kind == "submit" &&
+      (request.psdf_xml.empty() || request.psm_xml.empty())) {
+    return invalid_argument_error(
+        "submit requests need psdf_xml and psm_xml");
+  }
+  return request;
+}
+
+std::string encode_response(const JobResponse& response) {
+  JsonValue doc = JsonValue::object();
+  doc.set("id", JsonValue::string(response.id));
+  doc.set("ok", JsonValue::boolean(response.ok));
+  if (!response.ok) {
+    JsonValue error = JsonValue::object();
+    error.set("code", JsonValue::string(response.error_code));
+    error.set("message", JsonValue::string(response.error_message));
+    doc.set("error", std::move(error));
+  }
+  if (response.cache_hit) doc.set("cache_hit", JsonValue::boolean(true));
+  if (!response.digest.empty()) {
+    doc.set("digest", JsonValue::string(response.digest));
+  }
+  if (response.execution_time.count() != 0) {
+    doc.set("execution_ps",
+            JsonValue::integer(response.execution_time.count()));
+  }
+  doc.set("queue_ms", JsonValue::number(response.queue_ms));
+  doc.set("run_ms", JsonValue::number(response.run_ms));
+  std::string line = doc.to_string();
+  if (!response.report_json.empty()) {
+    // Splice the payload in verbatim so the report stays byte-exact
+    // (re-serializing through the JSON tree would also work — the
+    // serializer round-trips — but this keeps hits zero-copy).
+    line.pop_back();  // trailing '}'
+    line += ",\"report\":";
+    line += response.report_json;
+    line += '}';
+  }
+  return line;
+}
+
+Result<JobResponse> parse_response(std::string_view line) {
+  SEGBUS_ASSIGN_OR_RETURN(JsonValue doc, JsonValue::parse(line));
+  if (!doc.is_object()) {
+    return parse_error("service response must be a JSON object");
+  }
+  JobResponse response;
+  response.id = doc.get("id").as_string();
+  response.ok = doc.get("ok").as_bool();
+  if (const JsonValue* error = doc.find("error"); error != nullptr) {
+    response.error_code = error->get("code").as_string();
+    response.error_message = error->get("message").as_string();
+  }
+  response.cache_hit = doc.get("cache_hit").as_bool();
+  response.digest = doc.get("digest").as_string();
+  response.execution_time = Picoseconds(doc.get("execution_ps").as_int64());
+  response.queue_ms = doc.get("queue_ms").as_number();
+  response.run_ms = doc.get("run_ms").as_number();
+  if (const JsonValue* report = doc.find("report"); report != nullptr) {
+    response.report_json = report->to_string();
+  }
+  return response;
+}
+
+}  // namespace segbus::service

@@ -1,0 +1,82 @@
+// Wire protocol of the estimation service: newline-delimited JSON over a
+// byte stream (TCP loopback or a unix-domain socket). One request line in,
+// one response line out, in order; see docs/SERVICE.md for the full field
+// reference and example sessions.
+//
+// Request (kind "submit" unless stated):
+//   {"id":"j1","psdf_xml":"<...>","psm_xml":"<...>","package_size":36,
+//    "reference":false,"parallel":false,"max_ticks":0}
+//   {"id":"s1","kind":"stats"}        server counters snapshot
+//   {"id":"p1","kind":"ping"}         liveness probe
+//
+// Response:
+//   {"id":"j1","ok":true,"cache_hit":false,"digest":"<sha256>",
+//    "execution_ps":489792303,"queue_ms":0.1,"run_ms":12.7,
+//    "report":{...result_to_json...}}
+//   {"id":"j2","ok":false,"error":{"code":"backpressure",
+//    "message":"job queue is full (depth 16)"}}
+//
+// Error codes: "parse" (bad request line), "validation" (model analysis
+// failed), "backpressure" (bounded queue full), "draining" (server is
+// shutting down), "deadline" (queue-wait deadline exceeded), "tick-limit"
+// (per-job tick budget exhausted — the cancellation mechanism), and
+// "internal".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::service {
+
+/// One estimation job (or control request) as submitted by a client.
+struct JobRequest {
+  std::string id;            ///< client correlation id, echoed back
+  std::string kind = "submit";  ///< "submit" | "stats" | "ping"
+  std::string psdf_xml;      ///< PSDF scheme document
+  std::string psm_xml;       ///< PSM scheme document
+  std::uint32_t package_size = 0;  ///< nonzero overrides both documents
+  bool reference_timing = false;   ///< reference instead of emulator preset
+  bool parallel = false;           ///< run on the parallel engine
+  std::uint64_t max_ticks = 0;     ///< per-job tick budget (0 = server default)
+};
+
+/// The server's answer to one request.
+struct JobResponse {
+  std::string id;
+  bool ok = false;
+  std::string error_code;     ///< set when !ok (see header comment)
+  std::string error_message;  ///< set when !ok
+  bool cache_hit = false;
+  std::string digest;             ///< scheme fingerprint (submit only)
+  std::string report_json;        ///< compact result/stats JSON payload
+  Picoseconds execution_time{0};  ///< emulated execution time (submit only)
+  double queue_ms = 0.0;          ///< host time spent queued
+  double run_ms = 0.0;            ///< host time spent emulating/reporting
+
+  /// Builds an error response echoing `id`.
+  static JobResponse failure(std::string id, std::string code,
+                             std::string message);
+};
+
+/// Encodes a request as one NDJSON line (no trailing newline).
+std::string encode_request(const JobRequest& request);
+
+/// Parses one request line.
+Result<JobRequest> parse_request(std::string_view line);
+
+/// Encodes a response as one NDJSON line (no trailing newline). The
+/// report payload is spliced in verbatim, preserving the server's
+/// byte-exact report serialization.
+std::string encode_response(const JobResponse& response);
+
+/// Parses one response line. The embedded report object is re-serialized
+/// compactly into report_json (bit-identical for payloads produced by
+/// this tool chain's serializer).
+Result<JobResponse> parse_response(std::string_view line);
+
+}  // namespace segbus::service

@@ -1,0 +1,564 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <utility>
+
+#include "core/fingerprint.hpp"
+#include "core/json_export.hpp"
+#include "core/session.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// The job outcomes stats_json reports (and count_outcome records).
+constexpr const char* kOutcomes[] = {
+    "completed",           "cache_hit",        "failed",
+    "tick_limit",          "rejected_backpressure",
+    "rejected_draining",   "rejected_deadline"};
+
+}  // namespace
+
+// --- JobServer --------------------------------------------------------------
+
+struct JobServer::Job {
+  JobRequest request;
+  Clock::time_point enqueued;
+  std::promise<JobResponse> promise;
+};
+
+JobServer::JobServer(ServerConfig config)
+    : config_(std::move(config)),
+      cache_(config_.cache_entries, config_.cache_bytes) {
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    queue_wait_ms_ = metrics_.histogram(
+        "segbus_service_queue_wait_ms", obs::exponential_bounds(0.05, 2.0, 22),
+        {}, "host milliseconds jobs spent in the queue");
+    run_ms_ = metrics_.histogram(
+        "segbus_service_run_ms", obs::exponential_bounds(0.05, 2.0, 22), {},
+        "host milliseconds jobs spent being processed");
+  }
+  const unsigned workers = std::max(1u, config_.workers);
+  workers_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobServer::~JobServer() { stop(true); }
+
+void JobServer::count_outcome(std::string_view outcome) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_
+      .counter("segbus_service_jobs_total",
+               {{"outcome", std::string(outcome)}},
+               "service jobs by final outcome")
+      .inc();
+}
+
+JobResponse JobServer::submit(JobRequest request) {
+  std::string id = request.id;
+  auto job = std::make_shared<Job>();
+  job->request = std::move(request);
+  job->enqueued = Clock::now();
+  std::future<JobResponse> done = job->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || draining_) {
+      count_outcome("rejected_draining");
+      return JobResponse::failure(
+          std::move(id), "draining",
+          "server is draining and not accepting new jobs");
+    }
+    if (queue_.size() >= config_.queue_depth) {
+      count_outcome("rejected_backpressure");
+      return JobResponse::failure(
+          std::move(id), "backpressure",
+          str_format("job queue is full (depth %zu)", config_.queue_depth));
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return done.get();
+}
+
+void JobServer::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    const double queue_ms = elapsed_ms(job->enqueued);
+    JobResponse response;
+    if (config_.queue_deadline_ms > 0 &&
+        queue_ms > static_cast<double>(config_.queue_deadline_ms)) {
+      count_outcome("rejected_deadline");
+      response = JobResponse::failure(
+          job->request.id, "deadline",
+          str_format("job waited %.0f ms in the queue (deadline %lld ms)",
+                     queue_ms,
+                     static_cast<long long>(config_.queue_deadline_ms)));
+    } else {
+      if (config_.before_job_hook) config_.before_job_hook(job->request);
+      const Clock::time_point started = Clock::now();
+      response = process(job->request);
+      response.run_ms = elapsed_ms(started);
+    }
+    response.queue_ms = queue_ms;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      queue_wait_ms_.observe(response.queue_ms);
+      run_ms_.observe(response.run_ms);
+    }
+    job->promise.set_value(std::move(response));
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+JobResponse JobServer::process(const JobRequest& request) {
+  if (request.kind == "ping") {
+    JobResponse response;
+    response.id = request.id;
+    response.ok = true;
+    return response;
+  }
+  if (request.kind == "stats") {
+    JobResponse response;
+    response.id = request.id;
+    response.ok = true;
+    response.report_json = stats_json().to_string();
+    return response;
+  }
+  return run_submit(request);
+}
+
+JobResponse JobServer::run_submit(const JobRequest& request) {
+  core::SessionConfig config;
+  config.timing = request.reference_timing ? emu::TimingModel::reference()
+                                           : emu::TimingModel::emulator();
+  config.parallel = request.parallel;
+  // The request may tighten the tick budget but never exceed the server's.
+  config.engine.max_ticks_per_domain =
+      request.max_ticks != 0 ? std::min(request.max_ticks, config_.max_ticks)
+                             : config_.max_ticks;
+
+  auto session = core::EmulationSession::from_xml_strings(
+      request.psdf_xml, request.psm_xml, config, request.package_size);
+  if (!session.is_ok()) {
+    count_outcome("failed");
+    const StatusCode code = session.status().code();
+    return JobResponse::failure(
+        request.id,
+        code == StatusCode::kParseError ? "parse" : "validation",
+        session.status().to_string());
+  }
+
+  std::string key;
+  if (auto digest = core::scheme_digest(session->application(),
+                                        session->platform(), config);
+      digest.is_ok()) {
+    key = std::move(*digest);
+    if (auto hit = cache_.lookup(key)) {
+      count_outcome("cache_hit");
+      JobResponse response;
+      response.id = request.id;
+      response.ok = true;
+      response.cache_hit = true;
+      response.digest = key;
+      response.report_json = std::move(hit->report_json);
+      response.execution_time = hit->execution_time;
+      return response;
+    }
+  }
+
+  auto result = session->emulate();
+  if (!result.is_ok()) {
+    count_outcome("failed");
+    return JobResponse::failure(request.id, "internal",
+                                result.status().to_string());
+  }
+  if (!result->completed) {
+    count_outcome("tick_limit");
+    return JobResponse::failure(
+        request.id, "tick-limit",
+        str_format("emulation cancelled: exceeded the %llu-tick job budget",
+                   static_cast<unsigned long long>(
+                       config.engine.max_ticks_per_domain)));
+  }
+
+  JobResponse response;
+  response.id = request.id;
+  response.ok = true;
+  response.digest = key;
+  response.execution_time = result->total_execution_time;
+  response.report_json =
+      core::result_to_json(*result, session->platform()).to_string();
+  if (!key.empty()) {
+    cache_.insert({key, response.report_json, response.execution_time});
+  }
+  count_outcome("completed");
+  return response;
+}
+
+void JobServer::begin_drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  draining_ = true;
+}
+
+bool JobServer::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void JobServer::stop(bool drain) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    if (drain) {
+      idle_cv_.wait(lock,
+                    [this] { return queue_.empty() && in_flight_ == 0; });
+    } else {
+      for (const std::shared_ptr<Job>& job : queue_) {
+        job->promise.set_value(JobResponse::failure(
+            job->request.id, "draining", "server stopped before the job ran"));
+      }
+      queue_.clear();
+    }
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+JsonValue JobServer::stats_json() const {
+  JsonValue doc = JsonValue::object();
+
+  JsonValue jobs = JsonValue::object();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const char* outcome : kOutcomes) {
+      const obs::Metric* metric = metrics_.find(
+          "segbus_service_jobs_total", {{"outcome", outcome}});
+      jobs.set(outcome, JsonValue::unsigned_integer(
+                            metric == nullptr ? 0 : metric->counter_value));
+    }
+  }
+  doc.set("jobs", std::move(jobs));
+
+  JsonValue queue = JsonValue::object();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue.set("depth", JsonValue::unsigned_integer(queue_.size()));
+    queue.set("in_flight", JsonValue::unsigned_integer(in_flight_));
+    queue.set("draining", JsonValue::boolean(draining_));
+  }
+  queue.set("capacity", JsonValue::unsigned_integer(config_.queue_depth));
+  queue.set("workers",
+            JsonValue::unsigned_integer(std::max(1u, config_.workers)));
+  doc.set("queue", std::move(queue));
+
+  JsonValue latency = JsonValue::object();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    latency.set("count", JsonValue::unsigned_integer(run_ms_.count()));
+    latency.set("run_p50_ms", JsonValue::number(run_ms_.quantile(0.5)));
+    latency.set("run_p99_ms", JsonValue::number(run_ms_.quantile(0.99)));
+    latency.set("queue_p50_ms",
+                JsonValue::number(queue_wait_ms_.quantile(0.5)));
+    latency.set("queue_p99_ms",
+                JsonValue::number(queue_wait_ms_.quantile(0.99)));
+  }
+  doc.set("latency", std::move(latency));
+
+  const CacheStats cache = cache_.stats();
+  JsonValue cache_doc = JsonValue::object();
+  cache_doc.set("hits", JsonValue::unsigned_integer(cache.hits));
+  cache_doc.set("misses", JsonValue::unsigned_integer(cache.misses));
+  cache_doc.set("insertions", JsonValue::unsigned_integer(cache.insertions));
+  cache_doc.set("evictions", JsonValue::unsigned_integer(cache.evictions));
+  cache_doc.set("entries", JsonValue::unsigned_integer(cache.entries));
+  cache_doc.set("bytes", JsonValue::unsigned_integer(cache.bytes));
+  cache_doc.set("hit_rate", JsonValue::number(cache.hit_rate()));
+  doc.set("cache", std::move(cache_doc));
+
+  return doc;
+}
+
+obs::MetricsRegistry JobServer::metrics_snapshot() const {
+  obs::MetricsRegistry snapshot;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    (void)snapshot.merge_from(metrics_);
+  }
+  cache_.export_metrics(snapshot);
+  std::size_t depth = 0;
+  std::size_t in_flight = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    depth = queue_.size();
+    in_flight = in_flight_;
+  }
+  snapshot
+      .gauge("segbus_service_queue_depth", {},
+             "jobs currently waiting in the queue")
+      .set(static_cast<double>(depth));
+  snapshot
+      .gauge("segbus_service_jobs_in_flight", {},
+             "jobs currently being processed by workers")
+      .set(static_cast<double>(in_flight));
+  return snapshot;
+}
+
+// --- SocketServer -----------------------------------------------------------
+
+namespace {
+
+Status write_all(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a client that vanished mid-response must surface as
+    // EPIPE, not kill the server with SIGPIPE.
+    const ssize_t n = ::send(fd, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return internal_error(std::string("send: ") + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(ServerConfig server_config)
+    : jobs_(std::move(server_config)) {}
+
+Result<std::unique_ptr<SocketServer>> SocketServer::start(
+    ServerConfig server_config, ListenConfig listen_config) {
+  if (listen_config.unix_path.empty() && !listen_config.tcp) {
+    return invalid_argument_error(
+        "SocketServer needs a unix socket path and/or TCP enabled");
+  }
+  std::unique_ptr<SocketServer> server(
+      new SocketServer(std::move(server_config)));
+
+  if (!listen_config.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (listen_config.unix_path.size() >= sizeof(addr.sun_path)) {
+      return invalid_argument_error("unix socket path too long: " +
+                                    listen_config.unix_path);
+    }
+    std::strncpy(addr.sun_path, listen_config.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return internal_error(std::string("socket(AF_UNIX): ") +
+                            std::strerror(errno));
+    }
+    // A previous instance may have left a stale socket file behind.
+    ::unlink(listen_config.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, SOMAXCONN) != 0) {
+      const Status status = internal_error(
+          "bind/listen on " + listen_config.unix_path + ": " +
+          std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    server->unix_listen_fd_ = fd;
+    server->unix_path_ = listen_config.unix_path;
+  }
+
+  if (listen_config.tcp) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return internal_error(std::string("socket(AF_INET): ") +
+                            std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(listen_config.tcp_port);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, SOMAXCONN) != 0) {
+      const Status status = internal_error(
+          str_format("bind/listen on 127.0.0.1:%u: %s",
+                     listen_config.tcp_port, std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+      const Status status = internal_error(std::string("getsockname: ") +
+                                           std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    server->tcp_listen_fd_ = fd;
+    server->tcp_port_ = ntohs(bound.sin_port);
+  }
+
+  if (::pipe(server->wake_pipe_) != 0) {
+    return internal_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  server->accept_thread_ = std::thread([raw = server.get()] {
+    raw->accept_loop();
+  });
+  return server;
+}
+
+SocketServer::~SocketServer() { shutdown(false); }
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    pollfd fds[3];
+    nfds_t count = 0;
+    fds[count++] = {wake_pipe_[0], POLLIN, 0};
+    if (unix_listen_fd_ >= 0) fds[count++] = {unix_listen_fd_, POLLIN, 0};
+    if (tcp_listen_fd_ >= 0) fds[count++] = {tcp_listen_fd_, POLLIN, 0};
+    if (::poll(fds, count, -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) return;
+    for (nfds_t i = 1; i < count; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      if (stopping_) {
+        ::close(conn);
+        continue;
+      }
+      conn_fds_.push_back(conn);
+      conn_threads_.emplace_back(
+          [this, conn] { handle_connection(conn); });
+    }
+  }
+}
+
+void SocketServer::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    bool write_failed = false;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty() ||
+          line.find_first_not_of(" \t\r") == std::string::npos) {
+        continue;
+      }
+      JobResponse response;
+      if (auto request = parse_request(line); request.is_ok()) {
+        response = jobs_.submit(std::move(*request));
+      } else {
+        response = JobResponse::failure("", "parse",
+                                        request.status().to_string());
+      }
+      if (!write_all(fd, encode_response(response) + "\n").is_ok()) {
+        write_failed = true;
+        break;
+      }
+    }
+    if (write_failed) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+  }
+  ::close(fd);
+}
+
+void SocketServer::shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    stopping_ = true;
+  }
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'x';
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  close_fd(unix_listen_fd_);
+  close_fd(tcp_listen_fd_);
+
+  // Finish (drain) or fail queued work; in-flight submits complete either
+  // way, so connection handlers flush their final responses first.
+  jobs_.stop(drain);
+
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads = std::move(conn_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+}  // namespace segbus::service

@@ -1,0 +1,186 @@
+// Estimation-as-a-service: a concurrent job server over the existing
+// pipeline (static analysis -> core::EmulationSession -> JSON report),
+// fronted by the content-addressed result cache.
+//
+// Architecture:
+//
+//   submit() ──> bounded job queue ──> worker pool ──> ResultCache
+//       │            │                    │                │
+//       │            │ full: immediate    │ fingerprint    │ hit: reply
+//       │            │ "backpressure"     │ lookup first   │ without an
+//       │            ▼                    ▼                ▼ engine run
+//       └──── JobResponse promise fulfilled by the worker thread
+//
+// Admission control / backpressure: the queue depth is bounded; a full
+// queue rejects immediately instead of blocking the caller forever. Each
+// job carries a queue-wait deadline ("deadline" rejection at dequeue) and
+// a tick budget — the engine's max_ticks_per_domain — which is the
+// cooperative cancellation mechanism for runaway emulations
+// ("tick-limit" failure). Graceful drain (begin_drain/stop): new jobs are
+// rejected with "draining" while queued and in-flight jobs finish.
+//
+// SocketServer wraps a JobServer with the NDJSON wire protocol
+// (protocol.hpp) on a TCP loopback port and/or a unix-domain socket; one
+// handler thread per connection, responses in request order per
+// connection.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace segbus::service {
+
+/// Worker-pool / queue / cache sizing and job budgets.
+struct ServerConfig {
+  /// Worker threads emulating jobs (0 = 1).
+  unsigned workers = 2;
+  /// Bounded queue depth; a full queue answers "backpressure" immediately.
+  std::size_t queue_depth = 16;
+  /// Result cache capacity in entries (LRU beyond it).
+  std::size_t cache_entries = 256;
+  /// Result cache capacity in payload bytes (0 = unbounded).
+  std::size_t cache_bytes = 0;
+  /// Per-job engine tick budget; requests may lower but never raise it.
+  /// Exhausting it aborts the emulation ("tick-limit") — the cooperative
+  /// per-job cancellation mechanism.
+  std::uint64_t max_ticks = 20'000'000;
+  /// Queue-wait deadline; jobs older than this are rejected ("deadline")
+  /// at dequeue instead of running against a client that gave up.
+  std::int64_t queue_deadline_ms = 30'000;
+  /// Instrumentation/test seam: invoked on the worker thread right before
+  /// a job is processed (after dequeue). Must be thread-safe.
+  std::function<void(const JobRequest&)> before_job_hook;
+};
+
+/// The in-process job server. Thread-safe; submit() may be called from any
+/// number of threads concurrently.
+class JobServer {
+ public:
+  explicit JobServer(ServerConfig config = {});
+  ~JobServer();
+
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Runs one request to completion: enqueues and blocks until a worker
+  /// answers. Returns immediately (without blocking) with an error
+  /// response when the queue is full ("backpressure") or the server is
+  /// draining ("draining").
+  JobResponse submit(JobRequest request);
+
+  /// Starts a graceful drain: new submissions are rejected, queued and
+  /// in-flight jobs keep running. Idempotent.
+  void begin_drain();
+  bool draining() const;
+
+  /// Stops the worker pool. With `drain` (the default) queued jobs finish
+  /// first; otherwise they are failed with "draining". Idempotent; the
+  /// destructor calls stop(true).
+  void stop(bool drain = true);
+
+  const ServerConfig& config() const noexcept { return config_; }
+  CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Point-in-time counters: jobs by outcome, queue depth, latency
+  /// quantiles, cache stats.
+  JsonValue stats_json() const;
+
+  /// The same counters as an obs registry snapshot (Prometheus export).
+  obs::MetricsRegistry metrics_snapshot() const;
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  JobResponse process(const JobRequest& request);
+  JobResponse run_submit(const JobRequest& request);
+  void count_outcome(std::string_view outcome);
+
+  ServerConfig config_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex metrics_mutex_;
+  obs::MetricsRegistry metrics_;
+  obs::Histogram queue_wait_ms_;
+  obs::Histogram run_ms_;
+};
+
+/// Socket endpoints to listen on. At least one must be enabled.
+struct ListenConfig {
+  /// Unix-domain socket path (empty = disabled). Unlinked on shutdown.
+  std::string unix_path;
+  /// Listen on TCP loopback (127.0.0.1).
+  bool tcp = false;
+  /// TCP port; 0 picks an ephemeral port (see SocketServer::tcp_port).
+  std::uint16_t tcp_port = 0;
+};
+
+/// NDJSON socket front end over a JobServer.
+class SocketServer {
+ public:
+  /// Binds the endpoints and starts the accept loop.
+  static Result<std::unique_ptr<SocketServer>> start(
+      ServerConfig server_config, ListenConfig listen_config);
+
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  JobServer& jobs() noexcept { return jobs_; }
+  const JobServer& jobs() const noexcept { return jobs_; }
+
+  /// Resolved TCP port (0 when TCP is disabled).
+  std::uint16_t tcp_port() const noexcept { return tcp_port_; }
+  const std::string& unix_path() const noexcept { return unix_path_; }
+
+  /// Stops accepting, closes live connections, and stops the job server
+  /// (draining by default). Idempotent; the destructor calls
+  /// shutdown(false) — callers wanting a graceful drain call
+  /// shutdown(true) themselves.
+  void shutdown(bool drain = true);
+
+ private:
+  explicit SocketServer(ServerConfig server_config);
+
+  void accept_loop();
+  void handle_connection(int fd);
+
+  JobServer jobs_;
+  int tcp_listen_fd_ = -1;
+  int unix_listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t tcp_port_ = 0;
+  std::string unix_path_;
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool stopping_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace segbus::service

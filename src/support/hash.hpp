@@ -1,0 +1,48 @@
+// Cryptographic-quality content hashing for the tool chain's
+// content-addressed caches (FIPS 180-4 SHA-256, self-contained).
+//
+// The service result cache keys on the digest of a *canonical* scheme
+// serialization (core/fingerprint.hpp), so collisions must be negligible
+// across millions of near-identical models — a 64-bit mixing hash is not
+// enough there. Streaming interface so large canonical forms never need a
+// second copy.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace segbus {
+
+/// Incremental SHA-256. Usage: update(...) any number of times, then
+/// digest()/hex_digest() once (finalizes; further updates are a logic
+/// error and assert in debug builds).
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::string_view data) noexcept;
+  void update(const void* data, std::size_t size) noexcept;
+
+  /// The 32-byte digest. Finalizes on first call; idempotent afterwards.
+  std::array<std::uint8_t, 32> digest() noexcept;
+  /// Lower-case hex form of digest() (64 characters).
+  std::string hex_digest() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+  void finalize() noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+  std::array<std::uint8_t, 32> digest_{};
+};
+
+/// One-shot convenience: lower-case hex SHA-256 of `data`.
+std::string sha256_hex(std::string_view data);
+
+}  // namespace segbus

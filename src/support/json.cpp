@@ -1,6 +1,8 @@
 #include "support/json.hpp"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 
 #include "support/strings.hpp"
 
@@ -165,6 +167,344 @@ std::string JsonValue::to_string(bool pretty) const {
   write(out, pretty, 0);
   if (pretty) out += '\n';
   return out;
+}
+
+// --- read accessors ---------------------------------------------------------
+
+bool JsonValue::as_bool(bool fallback) const noexcept {
+  return kind_ == Kind::kBool ? bool_ : fallback;
+}
+
+double JsonValue::as_number(double fallback) const noexcept {
+  switch (kind_) {
+    case Kind::kNumber: return number_;
+    case Kind::kInteger: return static_cast<double>(integer_);
+    case Kind::kUnsigned: return static_cast<double>(unsigned_);
+    default: return fallback;
+  }
+}
+
+std::int64_t JsonValue::as_int64(std::int64_t fallback) const noexcept {
+  switch (kind_) {
+    case Kind::kNumber: return static_cast<std::int64_t>(number_);
+    case Kind::kInteger: return integer_;
+    case Kind::kUnsigned:
+      return unsigned_ <= 0x7FFFFFFFFFFFFFFFull
+                 ? static_cast<std::int64_t>(unsigned_)
+                 : fallback;
+    default: return fallback;
+  }
+}
+
+std::uint64_t JsonValue::as_uint64(std::uint64_t fallback) const noexcept {
+  switch (kind_) {
+    case Kind::kNumber:
+      return number_ >= 0.0 ? static_cast<std::uint64_t>(number_) : fallback;
+    case Kind::kInteger:
+      return integer_ >= 0 ? static_cast<std::uint64_t>(integer_) : fallback;
+    case Kind::kUnsigned: return unsigned_;
+    default: return fallback;
+  }
+}
+
+const std::string& JsonValue::as_string() const noexcept {
+  static const std::string kEmpty;
+  return kind_ == Kind::kString ? string_ : kEmpty;
+}
+
+std::size_t JsonValue::size() const noexcept {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  return array_.at(index);
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::get(std::string_view key) const noexcept {
+  static const JsonValue kNull;
+  const JsonValue* found = find(key);
+  return found != nullptr ? *found : kNull;
+}
+
+std::vector<std::string_view> JsonValue::keys() const {
+  std::vector<std::string_view> out;
+  out.reserve(object_.size());
+  for (const auto& [name, value] : object_) out.push_back(name);
+  return out;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent RFC 8259 parser over a string_view.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> run() {
+    SEGBUS_ASSIGN_OR_RETURN(JsonValue value, parse_value(0));
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return error("trailing content after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  Status error(std::string message) const {
+    return parse_error("JSON: " + std::move(message) + " at offset " +
+                       std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Result<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        SEGBUS_ASSIGN_OR_RETURN(std::string text, parse_string());
+        return JsonValue::string(text);
+      }
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        return error("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        return error("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        return error("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Result<JsonValue> parse_object(int depth) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::object();
+    skip_whitespace();
+    if (consume('}')) return object;
+    while (true) {
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected object key string");
+      }
+      SEGBUS_ASSIGN_OR_RETURN(std::string key, parse_string());
+      skip_whitespace();
+      if (!consume(':')) return error("expected ':' after object key");
+      SEGBUS_ASSIGN_OR_RETURN(JsonValue value, parse_value(depth + 1));
+      object.set(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return object;
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> parse_array(int depth) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::array();
+    skip_whitespace();
+    if (consume(']')) return array;
+    while (true) {
+      SEGBUS_ASSIGN_OR_RETURN(JsonValue value, parse_value(depth + 1));
+      array.push(std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return array;
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<int> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+    int value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= c - '0';
+      else if (c >= 'a' && c <= 'f') value |= c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') value |= c - 'A' + 10;
+      else return error("invalid \\u escape digit");
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<std::string> parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return error("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // '\'
+      if (pos_ >= text_.size()) return error("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          SEGBUS_ASSIGN_OR_RETURN(int unit, parse_hex4());
+          std::uint32_t cp = static_cast<std::uint32_t>(unit);
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!consume_literal("\\u")) {
+              return error("unpaired high surrogate");
+            }
+            SEGBUS_ASSIGN_OR_RETURN(int low, parse_hex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) +
+                 (static_cast<std::uint32_t>(low) - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return error("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return error("invalid escape character");
+      }
+    }
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    const bool negative = consume('-');
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      return error("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    bool integral = true;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return error("digits required after decimal point");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        return error("digits required in exponent");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (integral) {
+      errno = 0;
+      if (negative) {
+        const long long value = std::strtoll(token.c_str(), nullptr, 10);
+        if (errno == 0) return JsonValue::integer(value);
+      } else {
+        const unsigned long long value =
+            std::strtoull(token.c_str(), nullptr, 10);
+        if (errno == 0) return JsonValue::unsigned_integer(value);
+      }
+      // Out-of-range integers fall back to double like everything else.
+    }
+    errno = 0;
+    const double value = std::strtod(token.c_str(), nullptr);
+    if (errno != 0 && !std::isfinite(value)) {
+      return error("number out of range");
+    }
+    return JsonValue::number(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
 }
 
 }  // namespace segbus

@@ -1,7 +1,10 @@
-// Minimal JSON document builder + serializer (output only; the SegBus tool
-// chain's machine-readable exchange format for results). Produces RFC 8259
-// compliant text: correct string escaping, no trailing commas, and finite
-// numbers (non-finite doubles serialize as null).
+// Minimal JSON document builder, serializer and parser (the SegBus tool
+// chain's machine-readable exchange format for results and the service
+// protocol's wire format). Produces RFC 8259 compliant text: correct
+// string escaping, no trailing commas, and finite numbers (non-finite
+// doubles serialize as null). The parser accepts exactly RFC 8259 with a
+// nesting-depth limit, decodes \uXXXX escapes (including surrogate pairs)
+// to UTF-8, and round-trips with the serializer.
 #pragma once
 
 #include <cstdint>
@@ -11,9 +14,11 @@
 #include <string_view>
 #include <vector>
 
+#include "support/status.hpp"
+
 namespace segbus {
 
-/// A JSON value (build-only tree).
+/// A JSON value tree (buildable, readable, serializable, parseable).
 class JsonValue {
  public:
   JsonValue() : kind_(Kind::kNull) {}
@@ -27,8 +32,38 @@ class JsonValue {
   static JsonValue array();
   static JsonValue object();
 
+  /// Parses one JSON document; trailing non-whitespace is a parse error.
+  static Result<JsonValue> parse(std::string_view text);
+
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  /// Any numeric kind (double, signed, unsigned).
+  bool is_number() const noexcept {
+    return kind_ == Kind::kNumber || kind_ == Kind::kInteger ||
+           kind_ == Kind::kUnsigned;
+  }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
   bool is_object() const noexcept { return kind_ == Kind::kObject; }
   bool is_array() const noexcept { return kind_ == Kind::kArray; }
+
+  /// Value accessors; non-matching kinds yield the fallback.
+  bool as_bool(bool fallback = false) const noexcept;
+  double as_number(double fallback = 0.0) const noexcept;
+  std::int64_t as_int64(std::int64_t fallback = 0) const noexcept;
+  std::uint64_t as_uint64(std::uint64_t fallback = 0) const noexcept;
+  /// The string payload ("" for non-strings).
+  const std::string& as_string() const noexcept;
+
+  /// Element/member count (0 for scalars).
+  std::size_t size() const noexcept;
+  /// Array element (precondition: is_array() and index < size()).
+  const JsonValue& at(std::size_t index) const;
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// Object member or a shared null value when absent.
+  const JsonValue& get(std::string_view key) const noexcept;
+  /// Object member keys in insertion order (empty for non-objects).
+  std::vector<std::string_view> keys() const;
 
   /// Object member assignment (precondition: is_object()).
   JsonValue& set(std::string key, JsonValue value);

@@ -1,0 +1,212 @@
+// Canonical scheme fingerprint (core/fingerprint.hpp): byte-different but
+// semantically identical scheme documents must hash identically, while any
+// semantic change — one C value, one clock — must change the digest.
+#include "core/fingerprint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "apps/mp3.hpp"
+#include "core/session.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus {
+namespace {
+
+struct SchemeXml {
+  std::string psdf;
+  std::string psm;
+};
+
+SchemeXml mp3_scheme(std::uint32_t segments = 2, std::uint32_t package = 36) {
+  auto app = apps::mp3_decoder_psdf(package);
+  EXPECT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform(
+      *app, apps::mp3_allocation(segments), segments, package);
+  EXPECT_TRUE(platform.is_ok());
+  return {xml::write_document(psdf::to_xml(*app)),
+          xml::write_document(platform::to_xml(*platform))};
+}
+
+std::string digest_of(const SchemeXml& scheme,
+                      core::SessionConfig config = {}) {
+  auto session =
+      core::EmulationSession::from_xml_strings(scheme.psdf, scheme.psm,
+                                               config);
+  EXPECT_TRUE(session.is_ok()) << session.status().to_string();
+  if (!session.is_ok()) return {};
+  auto digest = core::scheme_digest(session->application(),
+                                    session->platform(), config);
+  EXPECT_TRUE(digest.is_ok()) << digest.status().to_string();
+  return digest.is_ok() ? *digest : std::string();
+}
+
+std::string replace_all(std::string text, const std::string& from,
+                        const std::string& to) {
+  std::size_t pos = 0;
+  std::size_t replaced = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+    ++replaced;
+  }
+  EXPECT_GT(replaced, 0u) << "pattern never found: " << from;
+  return text;
+}
+
+/// The `<xs:complexType name="NAME">...</xs:complexType>` block (or the
+/// self-closing form) declaring NAME.
+std::pair<std::size_t, std::size_t> find_block(const std::string& xml,
+                                               const std::string& name) {
+  const std::string open = "<xs:complexType name=\"" + name + "\"";
+  const std::size_t begin = xml.find(open);
+  EXPECT_NE(begin, std::string::npos) << name;
+  const std::string close = "</xs:complexType>";
+  std::size_t end = xml.find("/>", begin);
+  const std::size_t nested = xml.find("<", begin + 1);
+  if (nested != std::string::npos && nested < end) {
+    end = xml.find(close, begin);
+    EXPECT_NE(end, std::string::npos);
+    end += close.size();
+  } else {
+    end += 2;
+  }
+  return {begin, end - begin};
+}
+
+/// Swaps the declaration blocks of processes `a` and `b` (declaration
+/// order must not affect the digest — canonical ids come from placement).
+std::string swap_declarations(const std::string& xml, const std::string& a,
+                              const std::string& b) {
+  auto [a_pos, a_len] = find_block(xml, a);
+  auto [b_pos, b_len] = find_block(xml, b);
+  EXPECT_LT(a_pos, b_pos);
+  std::string out = xml.substr(0, a_pos);
+  out += xml.substr(b_pos, b_len);
+  out += xml.substr(a_pos + a_len, b_pos - (a_pos + a_len));
+  out += xml.substr(a_pos, a_len);
+  out += xml.substr(b_pos + b_len);
+  return out;
+}
+
+TEST(Fingerprint, StableAcrossRuns) {
+  EXPECT_EQ(digest_of(mp3_scheme()), digest_of(mp3_scheme()));
+  EXPECT_EQ(digest_of(mp3_scheme()).size(), 64u);  // hex SHA-256
+}
+
+TEST(Fingerprint, WhitespaceInsensitive) {
+  SchemeXml scheme = mp3_scheme();
+  SchemeXml noisy;
+  noisy.psdf = replace_all(scheme.psdf, "/>", "  />");
+  noisy.psdf = replace_all(noisy.psdf, "\n", "\n  ");
+  noisy.psm = replace_all(scheme.psm, "/>", "\n/>");
+  EXPECT_EQ(digest_of(scheme), digest_of(noisy));
+}
+
+TEST(Fingerprint, AttributeOrderInsensitive) {
+  SchemeXml scheme = mp3_scheme();
+  // name= and type= swapped on every element declaration.
+  const std::regex element(
+      "<xs:element name=\"([^\"]+)\" type=\"([^\"]+)\"/>");
+  SchemeXml shuffled;
+  shuffled.psdf = std::regex_replace(
+      scheme.psdf, element, "<xs:element type=\"$2\" name=\"$1\"/>");
+  shuffled.psm = std::regex_replace(
+      scheme.psm, element, "<xs:element type=\"$2\" name=\"$1\"/>");
+  EXPECT_NE(shuffled.psdf, scheme.psdf);
+  EXPECT_EQ(digest_of(scheme), digest_of(shuffled));
+}
+
+TEST(Fingerprint, ProcessNamesAreNotPartOfTheKey) {
+  SchemeXml scheme = mp3_scheme();
+  // Consistently renumber every process id: P0..P14 -> Z0..Z14 across
+  // both documents (flow element names carry the destination's name).
+  const std::regex process_id("P(\\d+)");
+  SchemeXml renamed;
+  renamed.psdf = std::regex_replace(scheme.psdf, process_id, "Z$1");
+  renamed.psm = std::regex_replace(scheme.psm, process_id, "Z$1");
+  EXPECT_NE(renamed.psdf, scheme.psdf);
+  EXPECT_EQ(digest_of(scheme), digest_of(renamed));
+}
+
+TEST(Fingerprint, DeclarationOrderInsensitive) {
+  SchemeXml scheme = mp3_scheme();
+  SchemeXml reordered = scheme;
+  reordered.psdf = swap_declarations(scheme.psdf, "P1", "P2");
+  EXPECT_NE(reordered.psdf, scheme.psdf);
+  EXPECT_EQ(digest_of(scheme), digest_of(reordered));
+}
+
+TEST(Fingerprint, OneComputeValueChangesTheDigest) {
+  SchemeXml scheme = mp3_scheme();
+  SchemeXml changed = scheme;
+  // One flow's C value: 250 -> 251 ticks.
+  changed.psdf =
+      replace_all(scheme.psdf, "P2_540_2_250", "P2_540_2_251");
+  EXPECT_NE(digest_of(scheme), digest_of(changed));
+}
+
+TEST(Fingerprint, OneClockChangesTheDigest) {
+  SchemeXml scheme = mp3_scheme();
+  SchemeXml changed = scheme;
+  changed.psm = replace_all(scheme.psm, "segbus:frequencyMHz=\"91\"",
+                            "segbus:frequencyMHz=\"92\"");
+  EXPECT_NE(digest_of(scheme), digest_of(changed));
+}
+
+TEST(Fingerprint, PackageSizeChangesTheDigest) {
+  EXPECT_NE(digest_of(mp3_scheme(2, 36)), digest_of(mp3_scheme(2, 40)));
+}
+
+TEST(Fingerprint, AllocationChangesTheDigest) {
+  EXPECT_NE(digest_of(mp3_scheme(2)), digest_of(mp3_scheme(3)));
+}
+
+TEST(Fingerprint, BuCapacityChangesTheDigest) {
+  SchemeXml scheme = mp3_scheme();
+  SchemeXml changed = scheme;
+  changed.psm = replace_all(scheme.psm, "segbus:capacity=\"1\"",
+                            "segbus:capacity=\"2\"");
+  EXPECT_NE(digest_of(scheme), digest_of(changed));
+}
+
+TEST(Fingerprint, TimingPresetChangesTheDigest) {
+  core::SessionConfig reference;
+  reference.timing = emu::TimingModel::reference();
+  EXPECT_NE(digest_of(mp3_scheme()), digest_of(mp3_scheme(), reference));
+}
+
+TEST(Fingerprint, TickBudgetChangesTheDigest) {
+  core::SessionConfig bounded;
+  bounded.engine.max_ticks_per_domain = 1234;
+  EXPECT_NE(digest_of(mp3_scheme()), digest_of(mp3_scheme(), bounded));
+}
+
+TEST(Fingerprint, ParallelEngineDoesNotChangeTheDigest) {
+  // The parallel engine is bit-identical to the serial one, so the
+  // execution mode must not fragment the cache.
+  core::SessionConfig parallel;
+  parallel.parallel = true;
+  parallel.threads = 4;
+  EXPECT_EQ(digest_of(mp3_scheme()), digest_of(mp3_scheme(), parallel));
+}
+
+TEST(Fingerprint, CanonicalTextIsHumanReadable) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_two_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto text = core::canonical_scheme(*app, *platform,
+                                     emu::TimingModel::emulator());
+  ASSERT_TRUE(text.is_ok());
+  EXPECT_NE(text->find("segbus-scheme-v1"), std::string::npos);
+  EXPECT_NE(text->find("psdf package_size=36"), std::string::npos);
+  EXPECT_NE(text->find("timing "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus

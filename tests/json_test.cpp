@@ -90,5 +90,78 @@ TEST(JsonExport, ResultContainsAllSections) {
   EXPECT_NE(json.find("\"tct\":2336"), std::string::npos);
 }
 
+// --- parser (RFC 8259) ------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::parse("true")->as_bool());
+  EXPECT_FALSE(JsonValue::parse("false")->as_bool(true));
+  EXPECT_EQ(JsonValue::parse("-42")->as_int64(), -42);
+  EXPECT_EQ(JsonValue::parse("18446744073709551615")->as_uint64(),
+            18446744073709551615ull);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("0.5")->as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, StringsWithEscapes) {
+  auto parsed = JsonValue::parse(R"("a\"b\\c\n\t\u0041\u00e9")");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->as_string(), "a\"b\\c\n\tA\xc3\xa9");
+  // Surrogate pair: U+1D11E (musical G clef) as UTF-8.
+  auto clef = JsonValue::parse(R"("\ud834\udd1e")");
+  ASSERT_TRUE(clef.is_ok());
+  EXPECT_EQ(clef->as_string(), "\xf0\x9d\x84\x9e");
+}
+
+TEST(JsonParse, ObjectsAndArrays) {
+  auto parsed = JsonValue::parse(
+      R"( {"a": [1, 2.5, "x"], "b": {"nested": true}, "c": null} )");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->size(), 3u);
+  EXPECT_EQ(parsed->get("a").size(), 3u);
+  EXPECT_EQ(parsed->get("a").at(0).as_int64(), 1);
+  EXPECT_DOUBLE_EQ(parsed->get("a").at(1).as_number(), 2.5);
+  EXPECT_EQ(parsed->get("a").at(2).as_string(), "x");
+  EXPECT_TRUE(parsed->get("b").get("nested").as_bool());
+  EXPECT_TRUE(parsed->get("c").is_null());
+  EXPECT_EQ(parsed->find("missing"), nullptr);
+  EXPECT_TRUE(parsed->get("missing").is_null());
+}
+
+TEST(JsonParse, RoundTripsSerializerOutput) {
+  JsonValue doc = JsonValue::object();
+  doc.set("name", JsonValue::string("MP3-2seg \"quoted\"\n"));
+  doc.set("count", JsonValue::integer(-7));
+  doc.set("ratio", JsonValue::number(0.30000000000000004));
+  JsonValue list = JsonValue::array();
+  list.push(JsonValue::unsigned_integer(489792303));
+  list.push(JsonValue::null());
+  doc.set("list", std::move(list));
+  const std::string text = doc.to_string();
+  auto parsed = JsonValue::parse(text);
+  ASSERT_TRUE(parsed.is_ok());
+  // Bit-identical round trip: parse(serialize(x)).serialize == serialize(x).
+  EXPECT_EQ(parsed->to_string(), text);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "01", "1.2.3",
+        "\"unterminated", "{\"a\":1} trailing", "\"\\u12\"",
+        "\"bad\x01control\""}) {
+    EXPECT_FALSE(JsonValue::parse(bad).is_ok()) << bad;
+  }
+}
+
+TEST(JsonParse, DepthLimitStopsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(JsonValue::parse(deep).is_ok());
+  std::string shallow(20, '[');
+  shallow += std::string(20, ']');
+  EXPECT_TRUE(JsonValue::parse(shallow).is_ok());
+}
+
 }  // namespace
 }  // namespace segbus

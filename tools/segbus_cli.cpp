@@ -27,8 +27,21 @@
 //            [--iterations I]            rank annealed configurations
 //   analyze  <psdf.xml> <psm.xml> [--package S] closed-form bounds &
 //            per-stage breakdown without emulating
+//   serve    [--socket PATH] [--tcp [--port N]] [--workers N] [--queue N]
+//            [--cache-entries N] [--cache-bytes N] [--max-ticks N]
+//            [--deadline-ms N] [--metrics-out FILE]
+//                                       estimation job server (NDJSON over
+//                                       a unix socket and/or TCP loopback)
+//                                       with the content-addressed result
+//                                       cache; SIGINT/SIGTERM drains
+//                                       gracefully (see docs/SERVICE.md)
+//   submit   <psdf.xml> <psm.xml> [--socket PATH | --tcp-port N]
+//            [--package S] [--reference] [--parallel] [--max-ticks N]
+//            [--id ID] [--json] | --ping | --stats
+//                                       submit one job to a running server
 //
-// Exit status: 0 on success, 1 on any error (message on stderr).
+// Exit status: 0 on success, 1 on any error (message on stderr); submit
+// exits 2 when the server answered with a job-level error.
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -45,6 +58,7 @@
 #include "support/strings.hpp"
 
 #include "lint_common.hpp"
+#include "service_common.hpp"
 
 using namespace segbus;
 
@@ -58,7 +72,8 @@ int fail(const Status& status) {
 int usage() {
   std::fprintf(stderr,
                "usage: segbus_cli "
-               "<validate|check|matrix|generate|emulate|place> "
+               "<validate|check|matrix|generate|emulate|place|explore|"
+               "analyze|serve|submit> "
                "...\n(see the header comment of tools/segbus_cli.cpp)\n");
   return 1;
 }
@@ -365,5 +380,7 @@ int main(int argc, char** argv) {
   if (command == "place") return cmd_place(*cli);
   if (command == "explore") return cmd_explore(*cli);
   if (command == "analyze") return cmd_analyze(*cli);
+  if (command == "serve") return tools::run_serve(*cli);
+  if (command == "submit") return tools::run_submit(*cli);
   return usage();
 }

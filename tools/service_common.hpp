@@ -1,0 +1,215 @@
+// Shared implementation of the `segbus_cli serve` and `segbus_cli submit`
+// subcommands (kept out of segbus_cli.cpp so the service wiring — signal
+// handling in particular — stays reviewable in one place).
+//
+//   serve  [--socket PATH] [--tcp [--port N]] [--workers N] [--queue N]
+//          [--cache-entries N] [--cache-bytes N] [--max-ticks N]
+//          [--deadline-ms N] [--metrics-out FILE]
+//   submit <psdf.xml> <psm.xml> [--socket PATH | --tcp-port N]
+//          [--package S] [--reference] [--parallel] [--max-ticks N]
+//          [--id ID] [--json]
+//   submit --ping|--stats [--socket PATH | --tcp-port N]
+//
+// `serve` installs SIGINT/SIGTERM handlers that trigger a *graceful drain*:
+// new submissions are rejected with "draining", queued and in-flight jobs
+// finish, final metrics are flushed (stderr summary, plus --metrics-out as
+// a Prometheus text file), and the process exits 0.
+#pragma once
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "obs/export.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "support/cli.hpp"
+#include "support/status.hpp"
+
+namespace segbus::tools {
+
+namespace service_detail {
+
+/// Write end of the self-pipe the signal handler pokes. The handler runs
+/// async-signal-safely: one write(2), nothing else.
+inline int g_signal_pipe_write = -1;
+
+inline void on_shutdown_signal(int) {
+  const char byte = 's';
+  if (g_signal_pipe_write >= 0) {
+    (void)!::write(g_signal_pipe_write, &byte, 1);
+  }
+}
+
+inline Result<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return not_found_error("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+}  // namespace service_detail
+
+/// `segbus_cli serve`: blocks until SIGINT/SIGTERM, then drains.
+inline int run_serve(const CommandLine& cli) {
+  service::ServerConfig config;
+  config.workers = static_cast<unsigned>(cli.int_flag_or("workers", 2));
+  config.queue_depth =
+      static_cast<std::size_t>(cli.int_flag_or("queue", 16));
+  config.cache_entries =
+      static_cast<std::size_t>(cli.int_flag_or("cache-entries", 256));
+  config.cache_bytes =
+      static_cast<std::size_t>(cli.int_flag_or("cache-bytes", 0));
+  config.max_ticks =
+      static_cast<std::uint64_t>(cli.int_flag_or("max-ticks", 20'000'000));
+  config.queue_deadline_ms = cli.int_flag_or("deadline-ms", 30'000);
+
+  service::ListenConfig listen;
+  listen.tcp = cli.bool_flag_or("tcp", false);
+  listen.tcp_port = static_cast<std::uint16_t>(cli.int_flag_or("port", 0));
+  listen.unix_path = cli.flag_or("socket", "");
+  if (listen.unix_path.empty() && !listen.tcp) {
+    listen.unix_path = "segbus-service.sock";
+  }
+
+  auto server = service::SocketServer::start(config, std::move(listen));
+  if (!server.is_ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 server.status().to_string().c_str());
+    return 1;
+  }
+  if (!(*server)->unix_path().empty()) {
+    std::fprintf(stderr, "serving on unix socket %s\n",
+                 (*server)->unix_path().c_str());
+  }
+  if ((*server)->tcp_port() != 0) {
+    std::fprintf(stderr, "serving on 127.0.0.1:%u\n",
+                 (*server)->tcp_port());
+  }
+
+  // Self-pipe: the handler only writes a byte; the main thread blocks on
+  // the read end and performs the actual drain outside signal context.
+  int signal_pipe[2] = {-1, -1};
+  if (::pipe(signal_pipe) != 0) {
+    std::fprintf(stderr, "error: pipe: signal wiring failed\n");
+    return 1;
+  }
+  service_detail::g_signal_pipe_write = signal_pipe[1];
+  struct sigaction action {};
+  action.sa_handler = service_detail::on_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  char byte = 0;
+  while (::read(signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::fprintf(stderr, "draining: rejecting new jobs, finishing %s\n",
+               "queued and in-flight work");
+  (*server)->jobs().begin_drain();
+  (*server)->shutdown(/*drain=*/true);
+
+  const std::string stats =
+      (*server)->jobs().stats_json().to_string(/*pretty=*/true);
+  std::fprintf(stderr, "final stats:\n%s\n", stats.c_str());
+  const std::string metrics_out = cli.flag_or("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary);
+    out << obs::to_prometheus((*server)->jobs().metrics_snapshot());
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
+  }
+  ::close(signal_pipe[0]);
+  ::close(signal_pipe[1]);
+  service_detail::g_signal_pipe_write = -1;
+  return 0;
+}
+
+/// `segbus_cli submit`: one request against a running server.
+inline int run_submit(const CommandLine& cli) {
+  auto fail = [](const Status& status) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 1;
+  };
+
+  service::JobRequest request;
+  request.id = cli.flag_or("id", "cli");
+  if (cli.bool_flag_or("ping", false)) {
+    request.kind = "ping";
+  } else if (cli.bool_flag_or("stats", false)) {
+    request.kind = "stats";
+  } else {
+    if (cli.positional().size() < 3) {
+      std::fprintf(stderr,
+                   "usage: segbus_cli submit <psdf.xml> <psm.xml> "
+                   "[--socket PATH | --tcp-port N] [--package S] "
+                   "[--reference] [--parallel] [--max-ticks N] [--json]\n");
+      return 1;
+    }
+    auto psdf = service_detail::read_text_file(cli.positional()[1]);
+    if (!psdf.is_ok()) return fail(psdf.status());
+    auto psm = service_detail::read_text_file(cli.positional()[2]);
+    if (!psm.is_ok()) return fail(psm.status());
+    request.psdf_xml = std::move(*psdf);
+    request.psm_xml = std::move(*psm);
+    request.package_size =
+        static_cast<std::uint32_t>(cli.int_flag_or("package", 0));
+    request.reference_timing = cli.bool_flag_or("reference", false);
+    request.parallel = cli.bool_flag_or("parallel", false);
+    request.max_ticks =
+        static_cast<std::uint64_t>(cli.int_flag_or("max-ticks", 0));
+  }
+
+  const auto tcp_port =
+      static_cast<std::uint16_t>(cli.int_flag_or("tcp-port", 0));
+  Result<service::Client> client =
+      tcp_port != 0
+          ? service::Client::connect_tcp(tcp_port)
+          : service::Client::connect_unix(
+                cli.flag_or("socket", "segbus-service.sock"));
+  if (!client.is_ok()) return fail(client.status());
+
+  if (cli.bool_flag_or("json", false)) {
+    auto line = client->call_raw(service::encode_request(request));
+    if (!line.is_ok()) return fail(line.status());
+    std::printf("%s\n", line->c_str());
+    // Exit status still reflects the outcome inside the line.
+    auto response = service::parse_response(*line);
+    return response.is_ok() && response->ok ? 0 : 2;
+  }
+
+  auto response = client->call(request);
+  if (!response.is_ok()) return fail(response.status());
+  if (!response->ok) {
+    std::fprintf(stderr, "job failed [%s]: %s\n",
+                 response->error_code.c_str(),
+                 response->error_message.c_str());
+    return 2;
+  }
+  if (request.kind == "ping") {
+    std::printf("pong (queue %.2f ms)\n", response->queue_ms);
+    return 0;
+  }
+  if (request.kind == "stats") {
+    std::printf("%s\n", response->report_json.c_str());
+    return 0;
+  }
+  std::printf("execution time: %.3f us%s\n",
+              static_cast<double>(response->execution_time.count()) / 1e6,
+              response->cache_hit ? "  (cache hit)" : "");
+  std::printf("digest: %s\n", response->digest.c_str());
+  std::printf("queue %.2f ms, run %.2f ms\n", response->queue_ms,
+              response->run_ms);
+  return 0;
+}
+
+}  // namespace segbus::tools
