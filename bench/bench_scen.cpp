@@ -1,0 +1,90 @@
+// Scenario-engine throughput: what one fuzzing campaign costs, broken down
+// by oracle invariant, and how the campaign scales across worker threads.
+// Knowing the per-scenario cost sets the budget for the CI smoke step and
+// for local soak runs (docs/FUZZING.md quotes these figures).
+#include <chrono>
+
+#include "bench/common.hpp"
+#include "scen/campaign.hpp"
+#include "scen/generator.hpp"
+#include "scen/oracle.hpp"
+
+using namespace segbus;
+
+namespace {
+
+double seconds_for(const scen::OracleOptions& options, std::uint64_t count) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto scenario = bench::unwrap(scen::generate_scenario(i + 1));
+    auto outcome = bench::unwrap(scen::run_oracle(scenario, options));
+    if (!outcome.passed()) bench::die(internal_error("unexpected violation"));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kCount = 300;
+
+  bench::banner("scenario engine — per-invariant oracle cost");
+  std::printf("%-36s %10s %14s\n", "configuration", "time", "scenarios/s");
+  auto report = [&](const char* name, const scen::OracleOptions& options) {
+    double s = seconds_for(options, kCount);
+    std::printf("%-36s %9.2fs %14.0f\n", name, s,
+                static_cast<double>(kCount) / s);
+  };
+
+  scen::OracleOptions none;
+  none.check_bounds = false;
+  none.check_conservation = false;
+  none.check_fingerprint = false;
+  none.check_clock_scaling = false;
+  report("generate + emulate only", none);
+
+  scen::OracleOptions one = none;
+  one.check_bounds = true;
+  report("+ bounds bracket", one);
+
+  one = none;
+  one.check_conservation = true;
+  report("+ conservation", one);
+
+  one = none;
+  one.check_fingerprint = true;
+  report("+ fingerprint equivalence (XML trip)", one);
+
+  one = none;
+  one.check_clock_scaling = true;
+  report("+ clock scaling (second run)", one);
+
+  scen::OracleOptions all;
+  report("all standard invariants", all);
+
+  all.check_parallel = true;
+  report("all + parallel equivalence", all);
+
+  bench::banner("campaign scaling across workers (1000 scenarios)");
+  std::printf("%-12s %10s %14s %10s\n", "workers", "time", "scenarios/s",
+              "speedup");
+  double base = 0.0;
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    scen::CampaignOptions options;
+    options.seed = 1;
+    options.count = 1000;
+    options.workers = workers;
+    options.parallel_sample_period = 16;
+    auto campaign = bench::unwrap(scen::run_campaign(options));
+    if (!campaign.passed()) bench::die(internal_error("campaign failed"));
+    if (workers == 1) base = campaign.elapsed_seconds;
+    std::printf("%-12u %9.2fs %14.0f %9.2fx\n", workers,
+                campaign.elapsed_seconds,
+                static_cast<double>(campaign.scenarios) /
+                    campaign.elapsed_seconds,
+                base / campaign.elapsed_seconds);
+  }
+  return 0;
+}

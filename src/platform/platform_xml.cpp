@@ -12,7 +12,36 @@ constexpr std::string_view kXsdNamespace = "http://www.w3.org/2001/XMLSchema";
 constexpr std::string_view kSegBusNamespace = "urn:segbus:psm";
 
 std::string mhz_string(Frequency f) {
-  return str_format("%.6g", f.mhz());
+  // %.6g is the human-friendly form, but it drops precision for
+  // frequencies needing more than six significant digits; fall back to
+  // %.17g whenever the short form does not parse back to the same clock.
+  std::string text = str_format("%.6g", f.mhz());
+  auto parsed = parse_double(text);
+  if (!parsed || Frequency::from_mhz(*parsed).khz() != f.khz()) {
+    text = str_format("%.17g", f.mhz());
+  }
+  return text;
+}
+
+/// True for the wiring elements to_xml adds to every segment (buLeft /
+/// buRight / arbiter). They are recognized by name AND structural type so
+/// that an application process that happens to be *named* "Arbiter" (its
+/// element is <xs:element name="arbiter" type="Arbiter"/>) still round-trips
+/// as a functional unit instead of silently vanishing from the mapping.
+bool is_structural_element(std::string_view name, std::string_view type) {
+  auto numbered = [](std::string_view t, std::string_view prefix) {
+    if (t.size() <= prefix.size() || t.substr(0, prefix.size()) != prefix) {
+      return false;
+    }
+    for (char c : t.substr(prefix.size())) {
+      if (c < '0' || c > '9') return false;
+    }
+    return true;
+  };
+  if ((name == "buLeft" || name == "buRight") && numbered(type, "BU")) {
+    return true;
+  }
+  return name == "arbiter" && numbered(type, "SA");
 }
 }  // namespace
 
@@ -189,7 +218,7 @@ Result<PlatformModel> from_xml(const xml::Document& document) {
                               child->require_attribute("name"));
       SEGBUS_ASSIGN_OR_RETURN(std::string fu_type,
                               child->require_attribute("type"));
-      if (name == "buLeft" || name == "buRight" || name == "arbiter") {
+      if (is_structural_element(name, fu_type)) {
         continue;  // structural wiring, reconstructed from the topology
       }
       std::uint32_t masters = 1;

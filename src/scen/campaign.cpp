@@ -1,0 +1,232 @@
+#include "scen/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::scen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string failure_json(const CampaignFailure& failure) {
+  JsonValue json = JsonValue::object();
+  json.set("type", JsonValue::string("violation"));
+  json.set("index", JsonValue::unsigned_integer(failure.index));
+  json.set("seed", JsonValue::unsigned_integer(failure.scenario_seed));
+  json.set("invariant",
+           JsonValue::string(invariant_name(failure.invariant)));
+  json.set("detail", JsonValue::string(failure.detail));
+  json.set("scenario", JsonValue::string(failure.original));
+  if (!failure.shrunk.empty()) {
+    json.set("shrunk", JsonValue::string(failure.shrunk));
+  }
+  if (!failure.corpus_stem.empty()) {
+    json.set("corpus", JsonValue::string(failure.corpus_stem));
+  }
+  return json.to_string();
+}
+
+std::string summary_json(const CampaignReport& report,
+                         const CampaignOptions& options) {
+  JsonValue json = JsonValue::object();
+  json.set("type", JsonValue::string("summary"));
+  json.set("seed", JsonValue::unsigned_integer(options.seed));
+  json.set("scenarios", JsonValue::unsigned_integer(report.scenarios));
+  json.set("violations", JsonValue::unsigned_integer(report.violations));
+  json.set("invariants_checked",
+           JsonValue::unsigned_integer(report.invariants_checked));
+  json.set("invariants_skipped",
+           JsonValue::unsigned_integer(report.invariants_skipped));
+  JsonValue by = JsonValue::object();
+  for (std::size_t i = 0; i < kInvariantCount; ++i) {
+    if (report.by_invariant[i] != 0) {
+      by.set(std::string(invariant_name(static_cast<Invariant>(i))),
+             JsonValue::unsigned_integer(report.by_invariant[i]));
+    }
+  }
+  json.set("by_invariant", std::move(by));
+  json.set("elapsed_seconds", JsonValue::number(report.elapsed_seconds));
+  json.set("time_budget_hit", JsonValue::boolean(report.time_budget_hit));
+  json.set("failure_cap_hit", JsonValue::boolean(report.failure_cap_hit));
+  return json.to_string();
+}
+
+}  // namespace
+
+Result<CampaignReport> run_campaign(const CampaignOptions& options,
+                                    std::ostream* log) {
+  if (options.count == 0) {
+    return invalid_argument_error("campaign: count must be > 0");
+  }
+  unsigned workers = options.workers;
+  if (workers == 0) workers = std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(
+      std::min<std::uint64_t>(workers, options.count));
+
+  CampaignReport report;
+  const Clock::time_point start = Clock::now();
+  const bool budgeted = options.time_budget_seconds > 0.0;
+  const Clock::time_point deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(
+                      budgeted ? options.time_budget_seconds : 0.0));
+
+  std::atomic<std::uint64_t> next_index{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> budget_hit{false};
+  std::atomic<bool> cap_hit{false};
+
+  std::mutex mutex;  // guards report totals, failures, the log stream
+  Status first_error = Status::ok();
+
+  auto worker_main = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t index =
+          next_index.fetch_add(1, std::memory_order_relaxed);
+      if (index >= options.count) break;
+      if (budgeted && Clock::now() >= deadline) {
+        budget_hit.store(true, std::memory_order_relaxed);
+        stop.store(true, std::memory_order_relaxed);
+        break;
+      }
+
+      const std::uint64_t scenario_seed = derive_seed(options.seed, index);
+      auto scenario = generate_scenario(scenario_seed, options.generator);
+
+      OracleOptions oracle = options.oracle;
+      oracle.check_parallel =
+          options.oracle.check_parallel ||
+          (options.parallel_sample_period != 0 &&
+           index % options.parallel_sample_period == 0);
+
+      OracleOutcome outcome;
+      if (scenario.is_ok()) {
+        auto ran = run_oracle(*scenario, oracle);
+        if (!ran.is_ok()) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (first_error.is_ok()) first_error = ran.status();
+          stop.store(true, std::memory_order_relaxed);
+          break;
+        }
+        outcome = std::move(*ran);
+      } else {
+        // A generator bug is a first-class finding, not a harness error.
+        outcome.violations.push_back(
+            {Invariant::kGeneratorContract, scenario.status().to_string()});
+        ++outcome.invariants_checked;
+      }
+
+      CampaignFailure failure;
+      bool failed = !outcome.violations.empty();
+      if (failed) {
+        const Violation& first = outcome.violations.front();
+        failure.index = index;
+        failure.scenario_seed = scenario_seed;
+        failure.invariant = first.invariant;
+        failure.detail = first.detail;
+        failure.original =
+            scenario.is_ok() ? scenario->describe() : "generation failed";
+
+        if (scenario.is_ok() && options.shrink &&
+            first.invariant != Invariant::kGeneratorContract) {
+          ShrinkOptions shrink;
+          shrink.max_attempts = options.shrink_attempts;
+          shrink.oracle = options.oracle;
+          auto shrunk = shrink_scenario(*scenario, first.invariant, shrink);
+          if (shrunk.is_ok()) {
+            failure.shrunk = shrunk->scenario.describe();
+            failure.detail = shrunk->violation.detail;
+            if (!options.corpus_dir.empty()) {
+              const std::string stem = str_format(
+                  "%s-s%llu",
+                  std::string(invariant_name(first.invariant)).c_str(),
+                  static_cast<unsigned long long>(scenario_seed));
+              CorpusMeta meta;
+              meta.invariant = invariant_name(first.invariant);
+              meta.detail = failure.detail;
+              meta.note = "shrunk from " + failure.original;
+              if (save_corpus_entry(options.corpus_dir, stem,
+                                    shrunk->scenario, meta)
+                      .is_ok()) {
+                failure.corpus_stem = stem;
+              }
+            }
+          }
+        }
+      }
+
+      std::lock_guard<std::mutex> lock(mutex);
+      ++report.scenarios;
+      report.violations += outcome.violations.size();
+      report.invariants_checked += outcome.invariants_checked;
+      report.invariants_skipped += outcome.invariants_skipped;
+      for (const Violation& violation : outcome.violations) {
+        ++report.by_invariant[static_cast<std::size_t>(violation.invariant)];
+      }
+      if (failed) {
+        if (log != nullptr) *log << failure_json(failure) << '\n';
+        report.failures.push_back(std::move(failure));
+        if (options.max_failures != 0 &&
+            report.failures.size() >= options.max_failures) {
+          cap_hit.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker_main();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) threads.emplace_back(worker_main);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  if (!first_error.is_ok()) return first_error;
+
+  std::sort(report.failures.begin(), report.failures.end(),
+            [](const CampaignFailure& a, const CampaignFailure& b) {
+              return a.index < b.index;
+            });
+  report.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.time_budget_hit = budget_hit.load();
+  report.failure_cap_hit = cap_hit.load();
+
+  report.metrics.counter("scen_scenarios_total", {},
+                         "scenarios fully checked")
+      .inc(report.scenarios);
+  report.metrics.counter("scen_invariants_checked_total", {},
+                         "oracle invariants evaluated")
+      .inc(report.invariants_checked);
+  report.metrics.counter("scen_invariants_skipped_total", {},
+                         "invariants skipped (precondition not met)")
+      .inc(report.invariants_skipped);
+  for (std::size_t i = 0; i < kInvariantCount; ++i) {
+    if (report.by_invariant[i] != 0) {
+      report.metrics
+          .counter("scen_violations_total",
+                   {{"invariant",
+                     std::string(invariant_name(static_cast<Invariant>(i)))}},
+                   "oracle violations by invariant")
+          .inc(report.by_invariant[i]);
+    }
+  }
+
+  if (log != nullptr) *log << summary_json(report, options) << '\n';
+  return report;
+}
+
+}  // namespace segbus::scen

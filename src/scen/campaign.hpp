@@ -1,0 +1,87 @@
+// Multithreaded fuzzing campaigns — generate, check, shrink, archive.
+//
+// A campaign walks scenario indices 0..count-1; the scenario for index i
+// is generated from derive_seed(campaign_seed, i), so WHICH scenarios run
+// (and which fail) is independent of the worker count — only the wall
+// clock changes. Workers pull indices from a shared atomic counter; a
+// time budget, a failure cap, or the index range ends the campaign.
+//
+// Every failure is re-shrunk to a minimal repro (deterministically — the
+// shrinker has no random state) and, when a corpus directory is given,
+// saved as a <invariant>-s<seed> corpus entry ready for `--replay`.
+// Results land in the report: totals, a per-invariant violation breakdown
+// mirrored into an obs::MetricsRegistry, and one JSONL line per failure
+// plus a final summary line on the optional log stream.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "scen/corpus.hpp"
+#include "scen/generator.hpp"
+#include "scen/oracle.hpp"
+#include "scen/shrink.hpp"
+#include "support/status.hpp"
+
+namespace segbus::scen {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::uint64_t count = 1000;
+  /// Wall-clock budget in seconds; 0 = unlimited (run all `count`).
+  double time_budget_seconds = 0.0;
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned workers = 1;
+  /// Stop after this many failing scenarios (0 = never stop early).
+  std::uint64_t max_failures = 8;
+  /// Run the costlier parallel-equivalence check on every Nth scenario
+  /// (0 = never). Sampled by index, so the choice is worker-independent.
+  std::uint64_t parallel_sample_period = 16;
+  /// Shrink failures to minimal repros (disable for raw throughput).
+  bool shrink = true;
+  std::uint32_t shrink_attempts = 400;
+  /// When nonempty, shrunken repros are archived here as corpus entries.
+  std::string corpus_dir;
+
+  GeneratorOptions generator;
+  OracleOptions oracle;
+};
+
+/// One failing scenario, after shrinking.
+struct CampaignFailure {
+  std::uint64_t index = 0;          ///< campaign index of the scenario
+  std::uint64_t scenario_seed = 0;  ///< derive_seed(campaign seed, index)
+  Invariant invariant = Invariant::kGeneratorContract;
+  std::string detail;               ///< violation detail (post-shrink)
+  std::string original;             ///< Scenario::describe() before shrinking
+  std::string shrunk;               ///< and after ("" when shrinking failed)
+  std::string corpus_stem;          ///< archive stem ("" when not archived)
+};
+
+struct CampaignReport {
+  std::uint64_t scenarios = 0;          ///< scenarios fully checked
+  std::uint64_t violations = 0;         ///< total violations (>= failures)
+  std::uint64_t invariants_checked = 0;
+  std::uint64_t invariants_skipped = 0; ///< precondition not met (see oracle)
+  std::array<std::uint64_t, kInvariantCount> by_invariant{};
+  std::vector<CampaignFailure> failures;  ///< sorted by index
+  double elapsed_seconds = 0.0;
+  bool time_budget_hit = false;
+  bool failure_cap_hit = false;
+  /// Campaign counters as metrics (scen_scenarios_total,
+  /// scen_violations_total{invariant=...}, ...) for the obs exporters.
+  obs::MetricsRegistry metrics;
+
+  bool passed() const noexcept { return failures.empty(); }
+};
+
+/// Runs the campaign. `log`, when given, receives one JSON line per
+/// failure and a final summary line (the JSONL campaign log).
+Result<CampaignReport> run_campaign(const CampaignOptions& options,
+                                    std::ostream* log = nullptr);
+
+}  // namespace segbus::scen

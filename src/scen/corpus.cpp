@@ -1,0 +1,190 @@
+#include "scen/corpus.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "support/json.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::scen {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+Status write_text(const fs::path& path, const std::string& text) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return internal_error("cannot open '" + path.string() + "' for writing");
+  }
+  file << text;
+  if (!file.good()) {
+    return internal_error("write to '" + path.string() + "' failed");
+  }
+  return Status::ok();
+}
+
+Result<std::string> read_text(const fs::path& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return not_found_error("cannot read '" + path.string() + "'");
+  std::string text((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return text;
+}
+
+JsonValue meta_to_json(const CorpusMeta& meta) {
+  JsonValue json = JsonValue::object();
+  json.set("seed", JsonValue::unsigned_integer(meta.seed));
+  json.set("invariant", JsonValue::string(meta.invariant));
+  if (!meta.detail.empty()) json.set("detail", JsonValue::string(meta.detail));
+  if (!meta.note.empty()) json.set("note", JsonValue::string(meta.note));
+  json.set("waived", JsonValue::boolean(meta.waived));
+  json.set("timing_preset", JsonValue::string(
+                                meta.reference_timing ? "reference"
+                                                      : "emulator"));
+  json.set("circuit_switched", JsonValue::boolean(meta.circuit_switched));
+  return json;
+}
+
+Result<CorpusMeta> meta_from_json(const std::string& text,
+                                  const std::string& origin) {
+  SEGBUS_ASSIGN_OR_RETURN(JsonValue json, JsonValue::parse(text));
+  if (!json.is_object()) {
+    return invalid_argument_error(origin + ": meta must be a JSON object");
+  }
+  CorpusMeta meta;
+  if (const JsonValue* seed = json.find("seed");
+      seed != nullptr && seed->is_number()) {
+    meta.seed = seed->as_uint64();
+  }
+  if (const JsonValue* invariant = json.find("invariant");
+      invariant != nullptr && invariant->is_string()) {
+    meta.invariant = invariant->as_string();
+  }
+  if (const JsonValue* detail = json.find("detail");
+      detail != nullptr && detail->is_string()) {
+    meta.detail = detail->as_string();
+  }
+  if (const JsonValue* note = json.find("note");
+      note != nullptr && note->is_string()) {
+    meta.note = note->as_string();
+  }
+  if (const JsonValue* waived = json.find("waived");
+      waived != nullptr && waived->is_bool()) {
+    meta.waived = waived->as_bool();
+  }
+  if (const JsonValue* preset = json.find("timing_preset");
+      preset != nullptr && preset->is_string()) {
+    meta.reference_timing = preset->as_string() == "reference";
+  }
+  if (const JsonValue* circuit = json.find("circuit_switched");
+      circuit != nullptr && circuit->is_bool()) {
+    meta.circuit_switched = circuit->as_bool();
+  }
+  return meta;
+}
+
+emu::TimingModel timing_from_meta(const CorpusMeta& meta) {
+  emu::TimingModel timing = meta.reference_timing
+                                ? emu::TimingModel::reference()
+                                : emu::TimingModel::emulator();
+  timing.circuit_switched = meta.circuit_switched;
+  return timing;
+}
+
+}  // namespace
+
+Status save_corpus_entry(const std::string& directory, const std::string& stem,
+                         const Scenario& scenario, const CorpusMeta& meta) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return internal_error("cannot create corpus directory '" + directory +
+                          "': " + ec.message());
+  }
+  const fs::path base = fs::path(directory) / stem;
+
+  CorpusMeta stamped = meta;
+  stamped.seed = scenario.seed;
+  stamped.reference_timing = scenario.timing == emu::TimingModel::reference();
+  stamped.circuit_switched = scenario.timing.circuit_switched;
+
+  SEGBUS_RETURN_IF_ERROR(write_text(
+      fs::path(base).concat(".psdf.xml"),
+      xml::write_document(psdf::to_xml(scenario.application))));
+  SEGBUS_RETURN_IF_ERROR(
+      write_text(fs::path(base).concat(".psm.xml"),
+                 xml::write_document(platform::to_xml(scenario.platform))));
+  return write_text(fs::path(base).concat(".meta.json"),
+                    meta_to_json(stamped).to_string(/*pretty=*/true) + "\n");
+}
+
+Result<std::vector<CorpusEntry>> load_corpus(const std::string& directory) {
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) {
+    return not_found_error("corpus directory '" + directory +
+                           "' does not exist");
+  }
+  std::vector<std::string> stems;
+  for (const fs::directory_entry& entry : fs::directory_iterator(directory)) {
+    const std::string filename = entry.path().filename().string();
+    constexpr std::string_view kSuffix = ".meta.json";
+    if (filename.size() > kSuffix.size() &&
+        filename.compare(filename.size() - kSuffix.size(), kSuffix.size(),
+                         kSuffix) == 0) {
+      stems.push_back(filename.substr(0, filename.size() - kSuffix.size()));
+    }
+  }
+  std::sort(stems.begin(), stems.end());
+
+  std::vector<CorpusEntry> entries;
+  for (const std::string& stem : stems) {
+    const fs::path base = fs::path(directory) / stem;
+    CorpusEntry entry;
+    entry.stem = stem;
+
+    SEGBUS_ASSIGN_OR_RETURN(
+        std::string meta_text,
+        read_text(fs::path(base).concat(".meta.json")));
+    SEGBUS_ASSIGN_OR_RETURN(entry.meta,
+                            meta_from_json(meta_text, stem + ".meta.json"));
+
+    SEGBUS_ASSIGN_OR_RETURN(
+        entry.scenario.application,
+        psdf::read_psdf_file(fs::path(base).concat(".psdf.xml").string()));
+    SEGBUS_ASSIGN_OR_RETURN(
+        entry.scenario.platform,
+        platform::read_platform_file(
+            fs::path(base).concat(".psm.xml").string()));
+    entry.scenario.seed = entry.meta.seed;
+    entry.scenario.timing = timing_from_meta(entry.meta);
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Result<ReplayReport> replay_corpus(const std::string& directory,
+                                   const OracleOptions& options) {
+  SEGBUS_ASSIGN_OR_RETURN(std::vector<CorpusEntry> entries,
+                          load_corpus(directory));
+  ReplayReport report;
+  report.entries = entries.size();
+  for (const CorpusEntry& entry : entries) {
+    SEGBUS_ASSIGN_OR_RETURN(OracleOutcome outcome,
+                            run_oracle(entry.scenario, options));
+    ReplayOutcome replay;
+    replay.stem = entry.stem;
+    replay.waived = entry.meta.waived;
+    replay.violations = std::move(outcome.violations);
+    if (!replay.passed() && !replay.waived) ++report.failures;
+    if (replay.passed() && replay.waived) ++report.stale_waivers;
+    report.outcomes.push_back(std::move(replay));
+  }
+  return report;
+}
+
+}  // namespace segbus::scen

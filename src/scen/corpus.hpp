@@ -1,0 +1,76 @@
+// On-disk regression corpus for the fuzzing subsystem.
+//
+// Each corpus entry is three sibling files sharing one stem:
+//
+//   <stem>.psdf.xml   the application scheme
+//   <stem>.psm.xml    the platform scheme
+//   <stem>.meta.json  provenance: seed, violated invariant, timing preset
+//                     (the schemes do not carry timing), a human note, and
+//                     an optional waiver flag
+//
+// Campaigns append shrunken repros here; `replay_corpus` re-runs every
+// entry through the oracle so fixed bugs stay fixed. A waived entry (a
+// documented, accepted divergence) is replayed too but its violations do
+// not fail the replay — they are reported so a waiver that silently
+// *starts passing* is also visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scen/oracle.hpp"
+#include "support/status.hpp"
+
+namespace segbus::scen {
+
+/// Provenance carried by <stem>.meta.json.
+struct CorpusMeta {
+  std::uint64_t seed = 0;
+  /// invariant_name() of the invariant this entry violated when found, or
+  /// "seed" for hand-picked seed-corpus entries that must pass.
+  std::string invariant = "seed";
+  std::string detail;        ///< violation detail at capture time
+  std::string note;          ///< free-form context for humans
+  bool waived = false;       ///< accepted divergence: replay must not fail
+  bool reference_timing = false;  ///< TimingModel::reference() vs emulator()
+  bool circuit_switched = true;
+};
+
+/// Writes <stem>.{psdf.xml,psm.xml,meta.json} under `directory` (created
+/// if missing). The scenario's timing is recorded into the meta.
+Status save_corpus_entry(const std::string& directory, const std::string& stem,
+                         const Scenario& scenario, const CorpusMeta& meta);
+
+/// One entry loaded back from disk, ready to re-run.
+struct CorpusEntry {
+  std::string stem;
+  CorpusMeta meta;
+  Scenario scenario;
+};
+
+/// Loads every *.meta.json entry under `directory`, sorted by stem so the
+/// replay order is stable across filesystems.
+Result<std::vector<CorpusEntry>> load_corpus(const std::string& directory);
+
+struct ReplayOutcome {
+  std::string stem;
+  bool waived = false;
+  std::vector<Violation> violations;
+  bool passed() const noexcept { return violations.empty(); }
+};
+
+struct ReplayReport {
+  std::vector<ReplayOutcome> outcomes;
+  std::size_t entries = 0;
+  /// Non-waived entries with violations — the replay's exit criterion.
+  std::size_t failures = 0;
+  /// Waived entries that now pass (the waiver may be obsolete).
+  std::size_t stale_waivers = 0;
+  bool passed() const noexcept { return failures == 0; }
+};
+
+/// Re-runs every corpus entry through the oracle.
+Result<ReplayReport> replay_corpus(const std::string& directory,
+                                   const OracleOptions& options = {});
+
+}  // namespace segbus::scen

@@ -1,0 +1,291 @@
+#include "scen/generator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "place/apply.hpp"
+#include "place/placer.hpp"
+#include "platform/constraints.hpp"
+#include "psdf/comm_matrix.hpp"
+#include "psdf/validate.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::scen {
+
+namespace {
+
+/// Clock presets, in MHz. The first group has integer-exact periods that
+/// stay exact when halved (100 MHz -> 10000 ps -> 50 MHz -> 20000 ps),
+/// which keeps the oracle's clock-scaling invariant applicable; the second
+/// group reproduces the paper's experimental frequencies.
+constexpr double kClockPresetsMhz[] = {10,   20, 25, 40, 50,  62.5, 100,
+                                       125,  200, 250,
+                                       89,   91, 98, 111};
+
+/// Name fragments for the "gnarly" naming mode. All fragments are safe in
+/// the scheme encoding (underscores allowed; decode splits from the right)
+/// but stress the codecs with digits, underscores and case.
+constexpr const char* kNamePrefixes[] = {"stage", "fu_2", "Proc", "x_y_z",
+                                         "Idct_8"};
+
+std::string process_name(bool gnarly, Xoshiro256& rng, std::uint32_t index) {
+  if (!gnarly) return str_format("P%u", index);
+  const char* prefix = kNamePrefixes[rng.next_below(std::size(kNamePrefixes))];
+  return str_format("%s_%u", prefix, index);
+}
+
+/// Splits `n` processes into layers: chain = all width 1, fork/join =
+/// 1/(n-2)/1, layered = random widths in [1, max_width].
+std::vector<std::uint32_t> layer_widths(Topology topology, std::uint32_t n,
+                                        std::uint32_t max_width,
+                                        Xoshiro256& rng) {
+  std::vector<std::uint32_t> widths;
+  switch (topology) {
+    case Topology::kChain:
+      widths.assign(n, 1);
+      break;
+    case Topology::kForkJoin:
+      widths = {1, n - 2, 1};
+      break;
+    case Topology::kLayeredDag: {
+      std::uint32_t remaining = n;
+      while (remaining > 0) {
+        std::uint32_t cap = std::min(max_width, remaining);
+        // Keep at least one process for a second layer.
+        if (widths.empty() && cap == n && n > 1) cap = n - 1;
+        auto width =
+            static_cast<std::uint32_t>(rng.next_below(cap) + 1);
+        widths.push_back(width);
+        remaining -= width;
+      }
+      if (widths.size() < 2) widths.assign(n, 1);
+      break;
+    }
+  }
+  return widths;
+}
+
+}  // namespace
+
+std::string_view topology_name(Topology topology) noexcept {
+  switch (topology) {
+    case Topology::kChain: return "chain";
+    case Topology::kForkJoin: return "fork-join";
+    case Topology::kLayeredDag: return "layered";
+  }
+  return "unknown";
+}
+
+std::string Scenario::describe() const {
+  return str_format(
+      "seed=%llu %s p=%zu f=%zu seg=%zu pkg=%u %s%s",
+      static_cast<unsigned long long>(seed),
+      std::string(topology_name(topology)).c_str(),
+      application.process_count(), application.flows().size(),
+      platform.segment_count(), platform.package_size(),
+      timing == emu::TimingModel::reference() ? "ref" : "emu",
+      timing.circuit_switched ? "" : " pipelined");
+}
+
+Result<Scenario> generate_scenario(std::uint64_t seed,
+                                   const GeneratorOptions& options) {
+  if (options.min_processes < 2 || options.max_processes < options.min_processes) {
+    return invalid_argument_error("generator: need max_processes >= min_processes >= 2");
+  }
+  if (options.min_segments < 1 || options.max_segments < options.min_segments) {
+    return invalid_argument_error("generator: need max_segments >= min_segments >= 1");
+  }
+  if (options.package_sizes.empty()) {
+    return invalid_argument_error("generator: package_sizes must not be empty");
+  }
+  if (options.min_items < 1 || options.max_items < options.min_items ||
+      options.min_compute < 1 || options.max_compute < options.min_compute) {
+    return invalid_argument_error("generator: item/compute ranges must be >= 1");
+  }
+
+  Scenario scenario;
+  scenario.seed = seed;
+
+  // --- shape -------------------------------------------------------------
+  Xoshiro256 shape = substream(seed, "topology");
+  const auto n = static_cast<std::uint32_t>(shape.next_in(
+      options.min_processes, options.max_processes));
+  double topology_draw = shape.next_double();
+  scenario.topology = topology_draw < 0.3 ? Topology::kChain
+                      : topology_draw < 0.5 && n >= 3
+                          ? Topology::kForkJoin
+                          : Topology::kLayeredDag;
+  if (scenario.topology == Topology::kForkJoin && n < 3) {
+    scenario.topology = Topology::kChain;
+  }
+
+  // --- application -------------------------------------------------------
+  Xoshiro256 app_rng = substream(seed, "application");
+  const auto package_size = options.package_sizes[app_rng.next_below(
+      options.package_sizes.size())];
+  psdf::PsdfModel application(
+      str_format("scen%llu", static_cast<unsigned long long>(seed)));
+  SEGBUS_RETURN_IF_ERROR(application.set_package_size(package_size));
+
+  const bool gnarly =
+      app_rng.next_bool(options.gnarly_name_probability);
+  std::vector<std::uint32_t> widths =
+      layer_widths(scenario.topology, n, options.max_layer_width, app_rng);
+
+  // Process ids per layer, in insertion order.
+  std::vector<std::vector<psdf::ProcessId>> layers;
+  std::uint32_t index = 0;
+  for (std::uint32_t width : widths) {
+    layers.emplace_back();
+    for (std::uint32_t i = 0; i < width; ++i) {
+      SEGBUS_ASSIGN_OR_RETURN(
+          psdf::ProcessId id,
+          application.add_process(process_name(gnarly, app_rng, index)));
+      layers.back().push_back(id);
+      ++index;
+    }
+  }
+
+  auto draw_items = [&] {
+    return static_cast<std::uint64_t>(app_rng.next_in(
+        static_cast<std::int64_t>(options.min_items),
+        static_cast<std::int64_t>(options.max_items)));
+  };
+  auto draw_compute = [&] {
+    return static_cast<std::uint64_t>(app_rng.next_in(
+        static_cast<std::int64_t>(options.min_compute),
+        static_cast<std::int64_t>(options.max_compute)));
+  };
+
+  // Edges between adjacent layers; ordering T = target layer index, which
+  // keeps outgoing flows strictly after incoming ones (SB003) and tiers
+  // contiguous (SB007).
+  std::set<std::pair<psdf::ProcessId, psdf::ProcessId>> edges;
+  auto add_edge = [&](psdf::ProcessId src, psdf::ProcessId dst,
+                      std::uint32_t tier) -> Status {
+    if (!edges.emplace(src, dst).second) return Status::ok();
+    return application.add_flow(src, dst, draw_items(), tier, draw_compute());
+  };
+  for (std::size_t layer = 0; layer + 1 < layers.size(); ++layer) {
+    const auto tier = static_cast<std::uint32_t>(layer + 1);
+    // Every source gets at least one outgoing edge ...
+    for (psdf::ProcessId src : layers[layer]) {
+      psdf::ProcessId dst = layers[layer + 1][app_rng.next_below(
+          layers[layer + 1].size())];
+      SEGBUS_RETURN_IF_ERROR(add_edge(src, dst, tier));
+    }
+    // ... and every target at least one incoming edge.
+    for (psdf::ProcessId dst : layers[layer + 1]) {
+      bool covered = false;
+      for (psdf::ProcessId src : layers[layer]) {
+        if (edges.count({src, dst}) != 0) covered = true;
+      }
+      if (!covered) {
+        psdf::ProcessId src =
+            layers[layer][app_rng.next_below(layers[layer].size())];
+        SEGBUS_RETURN_IF_ERROR(add_edge(src, dst, tier));
+      }
+    }
+  }
+  // Extra forward (possibly layer-skipping) edges for the layered shape.
+  if (scenario.topology == Topology::kLayeredDag) {
+    for (std::size_t a = 0; a < layers.size(); ++a) {
+      for (std::size_t b = a + 1; b < layers.size(); ++b) {
+        for (psdf::ProcessId src : layers[a]) {
+          for (psdf::ProcessId dst : layers[b]) {
+            if (app_rng.next_bool(options.extra_edge_probability)) {
+              SEGBUS_RETURN_IF_ERROR(
+                  add_edge(src, dst, static_cast<std::uint32_t>(b)));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // --- platform ----------------------------------------------------------
+  Xoshiro256 plat_rng = substream(seed, "platform");
+  const auto segments = static_cast<std::uint32_t>(plat_rng.next_in(
+      options.min_segments,
+      std::min(options.max_segments, n)));
+  platform::PlatformModel platform(
+      str_format("SBP%llu", static_cast<unsigned long long>(seed)));
+  SEGBUS_RETURN_IF_ERROR(platform.set_package_size(package_size));
+  auto draw_clock = [&plat_rng] {
+    return Frequency::from_mhz(
+        kClockPresetsMhz[plat_rng.next_below(std::size(kClockPresetsMhz))]);
+  };
+  SEGBUS_RETURN_IF_ERROR(platform.set_ca_clock(draw_clock()));
+  for (std::uint32_t s = 0; s < segments; ++s) {
+    auto added = platform.add_segment(draw_clock());
+    if (!added.is_ok()) return added.status();
+  }
+  SEGBUS_RETURN_IF_ERROR(platform.set_bu_capacity(static_cast<std::uint32_t>(
+      plat_rng.next_in(1, options.max_bu_capacity))));
+
+  // --- placement ---------------------------------------------------------
+  bool placed = false;
+  if (segments > 1 &&
+      plat_rng.next_bool(options.annealed_placement_probability)) {
+    psdf::CommMatrix matrix = psdf::CommMatrix::from_model(application);
+    place::CostModel cost;
+    cost.package_size = package_size;
+    place::AnnealOptions anneal;
+    anneal.seed = derive_seed(seed, "placer");
+    anneal.iterations = 2000;
+    auto result = place::anneal_place(matrix, segments, cost, anneal);
+    if (result.is_ok()) {
+      SEGBUS_RETURN_IF_ERROR(
+          place::apply_allocation(application, result->allocation, platform));
+      placed = true;
+    }
+  }
+  if (!placed) {
+    // Uniform random mapping with every segment guaranteed one process:
+    // Fisher-Yates shuffle, the first `segments` processes pin one segment
+    // each, the rest land uniformly.
+    std::vector<psdf::ProcessId> order(n);
+    for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+    for (std::uint32_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[plat_rng.next_below(i)]);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto segment = static_cast<platform::SegmentId>(
+          i < segments ? i : plat_rng.next_below(segments));
+      SEGBUS_RETURN_IF_ERROR(platform.map_process(
+          application.process(order[i]).name, segment));
+    }
+  }
+
+  // --- timing ------------------------------------------------------------
+  Xoshiro256 timing_rng = substream(seed, "timing");
+  scenario.timing = timing_rng.next_bool(options.reference_timing_probability)
+                        ? emu::TimingModel::reference()
+                        : emu::TimingModel::emulator();
+  if (timing_rng.next_bool(options.pipelined_probability)) {
+    scenario.timing.circuit_switched = false;
+  }
+
+  scenario.application = std::move(application);
+  scenario.platform = std::move(platform);
+
+  // The generator's contract: the scenario passes every structural check.
+  ValidationReport app_report = psdf::validate(scenario.application);
+  if (!app_report.ok()) {
+    return internal_error("generator produced an invalid PSDF (" +
+                          scenario.describe() + "): " +
+                          app_report.to_string());
+  }
+  ValidationReport map_report =
+      platform::validate_mapping(scenario.platform, scenario.application);
+  if (!map_report.ok()) {
+    return internal_error("generator produced an invalid mapping (" +
+                          scenario.describe() + "): " +
+                          map_report.to_string());
+  }
+  return scenario;
+}
+
+}  // namespace segbus::scen

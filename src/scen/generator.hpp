@@ -1,0 +1,94 @@
+// Seeded scenario synthesis — the workload side of the fuzzing subsystem.
+//
+// A Scenario is a complete, emulatable (PSDF, PSM, timing) triple. The
+// generator derives every random choice from a single 64-bit seed through
+// named support/rng substreams ("topology", "application", "platform",
+// "placer"), so a scenario is reproducible from its seed alone and the
+// streams stay independent: changing how the platform is drawn never
+// perturbs the application, and the annealing placer (when used) consumes
+// its own stream.
+//
+// Generated applications are layered DAGs (chains and fork/joins are the
+// width-1 and width-n special cases): every flow goes from layer a to a
+// later layer b and carries ordering T = b, which satisfies the PSDF
+// validation rules by construction — outgoing flows of a process are
+// ordered strictly after its incoming flows (SB003), the graph is acyclic
+// (SB004), every process participates (SB005), and tiers are contiguous
+// (SB007). Platforms are linear SegBus instances with 1..max segments,
+// clock presets, BU capacities and package sizes drawn from the options.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "emu/timing.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+
+namespace segbus::scen {
+
+/// Application graph shapes the generator draws from.
+enum class Topology : std::uint8_t {
+  kChain,       ///< linear pipeline P0 -> P1 -> ... (width 1)
+  kForkJoin,    ///< source -> N workers -> sink
+  kLayeredDag,  ///< random widths, random extra forward edges
+};
+
+std::string_view topology_name(Topology topology) noexcept;
+
+/// Distribution knobs. Defaults keep scenarios small enough that a 10k
+/// campaign finishes in well under a minute of CPU per worker.
+struct GeneratorOptions {
+  // --- application ------------------------------------------------------
+  std::uint32_t min_processes = 2;
+  std::uint32_t max_processes = 9;
+  std::uint32_t max_layer_width = 3;
+  /// Probability of an extra forward (possibly layer-skipping) edge, per
+  /// process pair considered.
+  double extra_edge_probability = 0.15;
+  std::uint64_t min_items = 1;     ///< D lower bound
+  std::uint64_t max_items = 240;   ///< D upper bound
+  std::uint64_t min_compute = 1;   ///< C lower bound
+  std::uint64_t max_compute = 200; ///< C upper bound
+  /// Probability a scenario uses underscore/digit-heavy process names
+  /// ("stage_3_fft" style) to stress the flow-name codec.
+  double gnarly_name_probability = 0.2;
+
+  // --- platform ---------------------------------------------------------
+  std::uint32_t min_segments = 1;
+  std::uint32_t max_segments = 4;
+  std::uint32_t max_bu_capacity = 3;
+  /// Candidate package sizes (data items per package).
+  std::vector<std::uint32_t> package_sizes = {6, 9, 12, 18, 36};
+  /// Probability of using the annealing placer (seeded from the "placer"
+  /// substream) instead of a uniform random mapping.
+  double annealed_placement_probability = 0.25;
+  /// Probability of the reference timing preset (else the emulator's).
+  double reference_timing_probability = 0.35;
+  /// Probability of the pipelined (virtual-cut-through) path discipline
+  /// instead of the paper's circuit switching.
+  double pipelined_probability = 0.25;
+};
+
+/// One generated workload: everything the oracle needs to emulate it.
+struct Scenario {
+  std::uint64_t seed = 0;
+  Topology topology = Topology::kChain;
+  psdf::PsdfModel application;
+  platform::PlatformModel platform;
+  emu::TimingModel timing;
+
+  /// "seed=7 layered p=6 f=9 seg=3 pkg=18 ref" one-liner for logs.
+  std::string describe() const;
+};
+
+/// Synthesizes the scenario for `seed`. Deterministic: equal (seed,
+/// options) pairs yield byte-identical models on any host or thread.
+/// The result always passes PSDF/PSM validation and the cross-model
+/// mapping checks; a failure here is a generator bug.
+Result<Scenario> generate_scenario(std::uint64_t seed,
+                                   const GeneratorOptions& options = {});
+
+}  // namespace segbus::scen

@@ -1,0 +1,504 @@
+#include "scen/oracle.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "core/fingerprint.hpp"
+#include "core/session.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "support/strings.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::scen {
+
+namespace {
+
+/// Compares the figures two runs of the *same* scheme must agree on
+/// bit-for-bit. Returns an empty string when equal, else the first
+/// difference found.
+std::string diff_results(const emu::EmulationResult& a,
+                         const emu::EmulationResult& b) {
+  if (a.total_execution_time != b.total_execution_time) {
+    return str_format("total %lld != %lld",
+                      static_cast<long long>(a.total_execution_time.count()),
+                      static_cast<long long>(b.total_execution_time.count()));
+  }
+  if (a.last_delivery_time != b.last_delivery_time) {
+    return "last_delivery_time differs";
+  }
+  if (a.completed != b.completed) return "completed flag differs";
+  if (a.ca.tct != b.ca.tct || a.ca.grants != b.ca.grants ||
+      a.ca.inter_requests != b.ca.inter_requests ||
+      a.ca.busy_ticks != b.ca.busy_ticks) {
+    return "CA counters differ";
+  }
+  if (a.sas.size() != b.sas.size()) return "segment count differs";
+  for (std::size_t i = 0; i < a.sas.size(); ++i) {
+    if (a.sas[i].tct != b.sas[i].tct ||
+        a.sas[i].busy_ticks != b.sas[i].busy_ticks ||
+        a.sas[i].intra_requests != b.sas[i].intra_requests ||
+        a.sas[i].inter_requests != b.sas[i].inter_requests) {
+      return str_format("SA%zu counters differ", i + 1);
+    }
+  }
+  if (a.bus.size() != b.bus.size()) return "BU count differs";
+  for (std::size_t i = 0; i < a.bus.size(); ++i) {
+    if (a.bus[i].transfers != b.bus[i].transfers ||
+        a.bus[i].tct != b.bus[i].tct || a.bus[i].wp_ticks != b.bus[i].wp_ticks ||
+        a.bus[i].up_ticks != b.bus[i].up_ticks) {
+      return str_format("BU#%zu counters differ", i);
+    }
+  }
+  if (a.flows.size() != b.flows.size()) return "flow count differs";
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    const emu::FlowStats& fa = a.flows[i];
+    const emu::FlowStats& fb = b.flows[i];
+    if (fa.packages != fb.packages || fa.first_delivery != fb.first_delivery ||
+        fa.last_delivery != fb.last_delivery ||
+        fa.min_latency_ps != fb.min_latency_ps ||
+        fa.max_latency_ps != fb.max_latency_ps ||
+        fa.total_latency_ps != fb.total_latency_ps) {
+      return str_format("flow #%zu stats differ", i);
+    }
+  }
+  if (a.processes.size() != b.processes.size()) return "process count differs";
+  for (std::size_t i = 0; i < a.processes.size(); ++i) {
+    const emu::ProcessStats& pa = a.processes[i];
+    const emu::ProcessStats& pb = b.processes[i];
+    if (pa.packages_sent != pb.packages_sent ||
+        pa.packages_received != pb.packages_received ||
+        pa.start_time != pb.start_time || pa.end_time != pb.end_time ||
+        pa.flag_time != pb.flag_time) {
+      return str_format("process #%zu stats differ", i);
+    }
+  }
+  return {};
+}
+
+/// A consistently renamed twin with permuted flow insertion order. The
+/// canonical fingerprint must not see the difference, and neither may the
+/// engine (it schedules flows by (T, source, target), not insertion order).
+Result<Scenario> relabeled_variant(const Scenario& scenario) {
+  const psdf::PsdfModel& app = scenario.application;
+  std::vector<std::string> new_names(app.process_count());
+  for (std::size_t i = 0; i < app.process_count(); ++i) {
+    new_names[i] = str_format("W%zu_v", i);
+  }
+
+  psdf::PsdfModel renamed(app.name() + "_relabel");
+  SEGBUS_RETURN_IF_ERROR(renamed.set_package_size(app.package_size()));
+  for (std::size_t i = 0; i < app.process_count(); ++i) {
+    auto added = renamed.add_process(new_names[i]);
+    if (!added.is_ok()) return added.status();
+  }
+  // Reverse the flow insertion order — the scheduled order is unaffected.
+  const std::vector<psdf::Flow>& flows = app.flows();
+  for (auto it = flows.rbegin(); it != flows.rend(); ++it) {
+    SEGBUS_RETURN_IF_ERROR(renamed.add_flow(it->source, it->target,
+                                            it->data_items, it->ordering,
+                                            it->compute_ticks));
+  }
+
+  const platform::PlatformModel& psm = scenario.platform;
+  platform::PlatformModel replat(psm.name() + "_relabel");
+  SEGBUS_RETURN_IF_ERROR(replat.set_package_size(psm.package_size()));
+  SEGBUS_RETURN_IF_ERROR(replat.set_ca_clock(psm.ca_clock()));
+  for (const platform::Segment& segment : psm.segments()) {
+    auto added = replat.add_segment(segment.clock);
+    if (!added.is_ok()) return added.status();
+  }
+  for (platform::SegmentId s = 0; s < psm.segment_count(); ++s) {
+    for (const platform::FunctionalUnit& fu : psm.segment(s).fus) {
+      auto id = app.find_process(fu.process);
+      if (!id) {
+        return internal_error("relabel: FU process '" + fu.process +
+                              "' not in the application");
+      }
+      SEGBUS_RETURN_IF_ERROR(replat.map_process(new_names[*id], s, fu.masters,
+                                                fu.slaves));
+    }
+  }
+  if (!psm.border_units().empty()) {
+    SEGBUS_RETURN_IF_ERROR(replat.set_bu_capacity(
+        psm.border_units().front().capacity_packages));
+  }
+
+  Scenario variant;
+  variant.seed = scenario.seed;
+  variant.topology = scenario.topology;
+  variant.application = std::move(renamed);
+  variant.platform = std::move(replat);
+  variant.timing = scenario.timing;
+  return variant;
+}
+
+/// The platform with every clock halved, when all integer-picosecond
+/// periods double exactly under the truncation; nullopt otherwise.
+std::optional<platform::PlatformModel> halved_platform(
+    const platform::PlatformModel& psm) {
+  auto halved = [](Frequency f) { return Frequency::from_khz(f.khz() / 2.0); };
+  if (halved(psm.ca_clock()).period_ps() != 2 * psm.ca_clock().period_ps()) {
+    return std::nullopt;
+  }
+  for (const platform::Segment& segment : psm.segments()) {
+    if (halved(segment.clock).period_ps() != 2 * segment.clock.period_ps()) {
+      return std::nullopt;
+    }
+  }
+  platform::PlatformModel slow(psm.name() + "_half");
+  if (!slow.set_package_size(psm.package_size()).is_ok()) return std::nullopt;
+  if (!slow.set_ca_clock(halved(psm.ca_clock())).is_ok()) return std::nullopt;
+  for (platform::SegmentId s = 0; s < psm.segment_count(); ++s) {
+    const platform::Segment& segment = psm.segment(s);
+    if (!slow.add_segment(halved(segment.clock)).is_ok()) return std::nullopt;
+    for (const platform::FunctionalUnit& fu : segment.fus) {
+      if (!slow.map_process(fu.process, s, fu.masters, fu.slaves).is_ok()) {
+        return std::nullopt;
+      }
+    }
+  }
+  if (!psm.border_units().empty()) {
+    if (!slow.set_bu_capacity(psm.border_units().front().capacity_packages)
+             .is_ok()) {
+      return std::nullopt;
+    }
+  }
+  return slow;
+}
+
+void check_conservation(const Scenario& scenario,
+                        const emu::EmulationResult& result,
+                        std::vector<Violation>& violations) {
+  auto violate = [&](std::string detail) {
+    violations.push_back({Invariant::kConservation, std::move(detail)});
+  };
+  const psdf::PsdfModel& app = scenario.application;
+  const platform::PlatformModel& psm = scenario.platform;
+  const std::uint32_t package = psm.package_size();
+
+  // Per flow: exactly ceil(D/s) packages delivered, in schedule order.
+  std::vector<psdf::Flow> scheduled = app.scheduled_flows();
+  if (result.flows.size() != scheduled.size()) {
+    violate(str_format("flow stats count %zu != scheduled flows %zu",
+                       result.flows.size(), scheduled.size()));
+    return;
+  }
+  std::vector<std::uint64_t> sent_by(app.process_count(), 0);
+  std::vector<std::uint64_t> received_by(app.process_count(), 0);
+  for (std::size_t i = 0; i < scheduled.size(); ++i) {
+    const std::uint64_t expected =
+        psdf::packages_for(scheduled[i].data_items, package);
+    if (result.flows[i].packages != expected) {
+      violate(str_format("flow #%zu delivered %llu packages, expected %llu",
+                         i,
+                         static_cast<unsigned long long>(
+                             result.flows[i].packages),
+                         static_cast<unsigned long long>(expected)));
+    }
+    sent_by[scheduled[i].source] += expected;
+    received_by[scheduled[i].target] += expected;
+  }
+
+  // Per process: sent/received sums match the schedule.
+  if (result.processes.size() != app.process_count()) {
+    violate("process stats count mismatch");
+    return;
+  }
+  for (std::size_t p = 0; p < app.process_count(); ++p) {
+    if (result.processes[p].packages_sent != sent_by[p] ||
+        result.processes[p].packages_received != received_by[p]) {
+      violate(str_format(
+          "process %s sent/received %llu/%llu, schedule says %llu/%llu",
+          result.processes[p].name.c_str(),
+          static_cast<unsigned long long>(result.processes[p].packages_sent),
+          static_cast<unsigned long long>(
+              result.processes[p].packages_received),
+          static_cast<unsigned long long>(sent_by[p]),
+          static_cast<unsigned long long>(received_by[p])));
+    }
+  }
+
+  // Per Border Unit side: expected crossings from the linear paths.
+  std::vector<std::uint64_t> from_left(psm.border_units().size(), 0);
+  std::vector<std::uint64_t> from_right(psm.border_units().size(), 0);
+  for (const psdf::Flow& flow : scheduled) {
+    auto src = psm.segment_of(app.process(flow.source).name);
+    auto dst = psm.segment_of(app.process(flow.target).name);
+    if (!src || !dst) {
+      violate("flow endpoint unmapped in conservation check");
+      return;
+    }
+    if (*src == *dst) continue;
+    auto path = psm.path(*src, *dst);
+    if (!path.is_ok()) {
+      violate("no path between segments: " + path.status().message());
+      return;
+    }
+    const std::uint64_t packages = psdf::packages_for(flow.data_items, package);
+    for (const platform::PathHop& hop : *path) {
+      if (!hop.exit_bu) continue;
+      if (*src < *dst) {
+        from_left[*hop.exit_bu] += packages;
+      } else {
+        from_right[*hop.exit_bu] += packages;
+      }
+    }
+  }
+  if (result.bus.size() != psm.border_units().size()) {
+    violate("BU stats count mismatch");
+    return;
+  }
+  for (std::size_t b = 0; b < result.bus.size(); ++b) {
+    const emu::BuStats& bu = result.bus[b];
+    if (bu.received_from_left != from_left[b] ||
+        bu.received_from_right != from_right[b]) {
+      violate(str_format(
+          "BU#%zu received %llu/%llu (L/R), paths require %llu/%llu", b,
+          static_cast<unsigned long long>(bu.received_from_left),
+          static_cast<unsigned long long>(bu.received_from_right),
+          static_cast<unsigned long long>(from_left[b]),
+          static_cast<unsigned long long>(from_right[b])));
+    }
+    // Everything loaded on one side must have unloaded on the other.
+    if (bu.transferred_to_right != bu.received_from_left ||
+        bu.transferred_to_left != bu.received_from_right) {
+      violate(str_format("BU#%zu holds packages at end of run (in %llu/%llu, "
+                         "out %llu/%llu)",
+                         b,
+                         static_cast<unsigned long long>(bu.received_from_left),
+                         static_cast<unsigned long long>(
+                             bu.received_from_right),
+                         static_cast<unsigned long long>(
+                             bu.transferred_to_right),
+                         static_cast<unsigned long long>(
+                             bu.transferred_to_left)));
+    }
+    if (bu.transfers != bu.total_input()) {
+      violate(str_format("BU#%zu transfers %llu != input %llu", b,
+                         static_cast<unsigned long long>(bu.transfers),
+                         static_cast<unsigned long long>(bu.total_input())));
+    }
+  }
+
+  // Internal consistency of the timing figures.
+  for (std::size_t s = 0; s < result.sas.size(); ++s) {
+    if (result.sas[s].busy_ticks > result.sas[s].tct) {
+      violate(str_format("SA%zu busy %llu > tct %llu", s + 1,
+                         static_cast<unsigned long long>(
+                             result.sas[s].busy_ticks),
+                         static_cast<unsigned long long>(result.sas[s].tct)));
+    }
+  }
+  if (result.ca.busy_ticks > result.ca.tct) {
+    violate("CA busy ticks exceed its TCT");
+  }
+  if (result.last_delivery_time > result.total_execution_time) {
+    violate(str_format(
+        "last delivery %lld ps after total execution time %lld ps",
+        static_cast<long long>(result.last_delivery_time.count()),
+        static_cast<long long>(result.total_execution_time.count())));
+  }
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    const emu::StageStats& stage = result.stages[i];
+    if (stage.close_time < stage.open_time) {
+      violate(str_format("stage T=%u closes before it opens", stage.ordering));
+    }
+    if (i > 0 && result.stages[i - 1].ordering >= stage.ordering) {
+      violate("stage orderings out of order");
+    }
+  }
+}
+
+/// Serializes both models to their XML schemes and binds a session from the
+/// parsed-back text — the same path the tools and the service take.
+Result<core::EmulationSession> session_via_xml(const Scenario& scenario,
+                                               const core::SessionConfig& config) {
+  std::string psdf_xml = xml::write_document(psdf::to_xml(scenario.application));
+  std::string psm_xml =
+      xml::write_document(platform::to_xml(scenario.platform));
+  return core::EmulationSession::from_xml_strings(psdf_xml, psm_xml, config);
+}
+
+}  // namespace
+
+std::string_view invariant_name(Invariant invariant) noexcept {
+  switch (invariant) {
+    case Invariant::kGeneratorContract: return "generator-contract";
+    case Invariant::kCompletion: return "completion";
+    case Invariant::kBoundsBracket: return "bounds-bracket";
+    case Invariant::kConservation: return "conservation";
+    case Invariant::kFingerprintEquivalence: return "fingerprint-equivalence";
+    case Invariant::kClockScaling: return "clock-scaling";
+    case Invariant::kParallelEquivalence: return "parallel-equivalence";
+  }
+  return "unknown";
+}
+
+Result<OracleOutcome> run_oracle(const Scenario& scenario,
+                                 const OracleOptions& options) {
+  OracleOutcome outcome;
+  auto violate = [&](Invariant invariant, std::string detail) {
+    outcome.violations.push_back({invariant, std::move(detail)});
+  };
+
+  core::SessionConfig config;
+  config.timing = scenario.timing;
+
+  auto session = core::EmulationSession::from_models(scenario.application,
+                                                     scenario.platform, config);
+  ++outcome.invariants_checked;  // generator contract
+  if (!session.is_ok()) {
+    violate(Invariant::kGeneratorContract, session.status().to_string());
+    return outcome;
+  }
+  if (auto digest = core::scheme_digest(scenario.application,
+                                        scenario.platform, config);
+      digest.is_ok()) {
+    outcome.digest = *digest;
+  } else {
+    violate(Invariant::kGeneratorContract,
+            "fingerprint failed: " + digest.status().to_string());
+    return outcome;
+  }
+
+  auto result = session->emulate();
+  ++outcome.invariants_checked;  // completion
+  if (!result.is_ok()) {
+    violate(Invariant::kCompletion, result.status().to_string());
+    return outcome;
+  }
+  if (!result->completed) {
+    violate(Invariant::kCompletion, "run hit the engine tick limit");
+    return outcome;
+  }
+  outcome.total = result->total_execution_time;
+
+  if (options.check_bounds) {
+    ++outcome.invariants_checked;
+    auto bounds = analysis::compute_static_bounds(
+        scenario.application, scenario.platform, scenario.timing);
+    if (!bounds.is_ok()) {
+      violate(Invariant::kBoundsBracket,
+              "bounds computation failed: " + bounds.status().to_string());
+    } else if (!bounds->brackets(result->total_execution_time)) {
+      violate(Invariant::kBoundsBracket,
+              str_format("emulated %lld ps outside [%lld, %lld]",
+                         static_cast<long long>(
+                             result->total_execution_time.count()),
+                         static_cast<long long>(bounds->lower.count()),
+                         static_cast<long long>(bounds->upper.count())));
+    }
+  }
+
+  if (options.check_conservation) {
+    ++outcome.invariants_checked;
+    check_conservation(scenario, *result, outcome.violations);
+  }
+
+  if (options.check_fingerprint) {
+    ++outcome.invariants_checked;
+    auto variant = relabeled_variant(scenario);
+    if (!variant.is_ok()) {
+      violate(Invariant::kFingerprintEquivalence,
+              "relabel failed: " + variant.status().to_string());
+    } else {
+      auto twin = session_via_xml(*variant, config);
+      if (!twin.is_ok()) {
+        violate(Invariant::kFingerprintEquivalence,
+                "relabeled scheme failed to bind: " +
+                    twin.status().to_string());
+      } else {
+        auto twin_digest = core::scheme_digest(twin->application(),
+                                               twin->platform(), config);
+        if (!twin_digest.is_ok() || *twin_digest != outcome.digest) {
+          violate(Invariant::kFingerprintEquivalence,
+                  "digest changed under relabel/round-trip");
+        }
+        auto twin_result = twin->emulate();
+        if (!twin_result.is_ok()) {
+          violate(Invariant::kFingerprintEquivalence,
+                  "relabeled run failed: " + twin_result.status().to_string());
+        } else if (std::string diff = diff_results(*result, *twin_result);
+                   !diff.empty()) {
+          violate(Invariant::kFingerprintEquivalence,
+                  "relabeled run diverged: " + diff);
+        }
+      }
+    }
+  }
+
+  if (options.check_clock_scaling) {
+    std::optional<platform::PlatformModel> slow =
+        halved_platform(scenario.platform);
+    if (!slow) {
+      ++outcome.invariants_skipped;
+    } else {
+      ++outcome.invariants_checked;
+      auto slow_session = core::EmulationSession::from_models(
+          scenario.application, *slow, config);
+      if (!slow_session.is_ok()) {
+        violate(Invariant::kClockScaling,
+                "halved platform failed to bind: " +
+                    slow_session.status().to_string());
+      } else {
+        auto slow_result = slow_session->emulate();
+        if (!slow_result.is_ok() || !slow_result->completed) {
+          violate(Invariant::kClockScaling, "halved run failed to complete");
+        } else {
+          if (slow_result->total_execution_time !=
+              2 * result->total_execution_time) {
+            violate(Invariant::kClockScaling,
+                    str_format("half-speed total %lld ps != 2 x %lld ps",
+                               static_cast<long long>(
+                                   slow_result->total_execution_time.count()),
+                               static_cast<long long>(
+                                   result->total_execution_time.count())));
+          }
+          if (slow_result->ca.tct != result->ca.tct) {
+            violate(Invariant::kClockScaling,
+                    "CA tick count changed under uniform clock scaling");
+          }
+          for (std::size_t s = 0; s < result->sas.size(); ++s) {
+            if (slow_result->sas[s].tct != result->sas[s].tct) {
+              violate(Invariant::kClockScaling,
+                      str_format("SA%zu tick count changed under scaling",
+                                 s + 1));
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (options.check_parallel) {
+    ++outcome.invariants_checked;
+    core::SessionConfig parallel_config = config;
+    parallel_config.parallel = true;
+    parallel_config.threads = options.parallel_threads;
+    auto parallel_session = core::EmulationSession::from_models(
+        scenario.application, scenario.platform, parallel_config);
+    if (!parallel_session.is_ok()) {
+      violate(Invariant::kParallelEquivalence,
+              "parallel session failed to bind: " +
+                  parallel_session.status().to_string());
+    } else {
+      auto parallel_result = parallel_session->emulate();
+      if (!parallel_result.is_ok()) {
+        violate(Invariant::kParallelEquivalence,
+                "parallel run failed: " + parallel_result.status().to_string());
+      } else if (std::string diff = diff_results(*result, *parallel_result);
+                 !diff.empty()) {
+        violate(Invariant::kParallelEquivalence,
+                "parallel engine diverged: " + diff);
+      }
+    }
+  }
+
+  return outcome;
+}
+
+}  // namespace segbus::scen

@@ -1,0 +1,96 @@
+// Differential / metamorphic oracle — decides whether one scenario's
+// emulation is *believable* without a golden reference output.
+//
+// The invariants cross-check independent parts of the stack against each
+// other:
+//
+//  * completion          — the run finishes under the engine tick budget.
+//  * bounds-bracket      — analysis::compute_static_bounds lower <=
+//                          emulated TCT <= upper (closed-form vs. event
+//                          emulation).
+//  * conservation        — packages are conserved everywhere: per flow
+//                          (ceil(D/s) delivered), per process (sent/
+//                          received sums), per Border Unit side (everything
+//                          loaded from one side unloads on the other), and
+//                          the stage/utilization figures are internally
+//                          consistent.
+//  * fingerprint-equiv   — a consistently renamed model with permuted flow
+//                          insertion order, serialized to XML and parsed
+//                          back, must produce the same core/fingerprint
+//                          digest AND a bit-identical emulation (the
+//                          estimation service caches on that digest, so a
+//                          mismatch here is a cache-poisoning bug).
+//  * clock-scaling       — halving every clock (when all periods double
+//                          exactly under the integer-picosecond truncation)
+//                          must exactly double the emulated time and leave
+//                          every tick counter unchanged.
+//  * parallel-equiv      — the thread-parallel engine matches the serial
+//                          engine bit-for-bit.
+//
+// A violation means scenario + invariant name + human-readable detail; the
+// shrinker minimizes scenarios against a fixed invariant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scen/generator.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::scen {
+
+enum class Invariant : std::uint8_t {
+  kGeneratorContract,       ///< scenario failed to build an EmulationSession
+  kCompletion,
+  kBoundsBracket,
+  kConservation,
+  kFingerprintEquivalence,
+  kClockScaling,
+  kParallelEquivalence,
+};
+
+inline constexpr std::size_t kInvariantCount = 7;
+
+/// Stable kebab-case name ("bounds-bracket") used in logs, metrics labels
+/// and corpus file stems.
+std::string_view invariant_name(Invariant invariant) noexcept;
+
+/// One invariant breach on one scenario.
+struct Violation {
+  Invariant invariant = Invariant::kGeneratorContract;
+  std::string detail;
+};
+
+struct OracleOptions {
+  bool check_bounds = true;
+  bool check_conservation = true;
+  bool check_fingerprint = true;
+  bool check_clock_scaling = true;
+  /// Costlier (spawns a thread pool per scenario); campaigns sample it.
+  bool check_parallel = false;
+  unsigned parallel_threads = 2;
+};
+
+/// What the oracle saw on one scenario.
+struct OracleOutcome {
+  std::vector<Violation> violations;
+  /// core/fingerprint digest of the scenario (cache key it would get).
+  std::string digest;
+  /// Emulated total execution time of the base run.
+  Picoseconds total{0};
+  std::uint32_t invariants_checked = 0;
+  /// Invariants whose precondition did not hold (clock scaling when a
+  /// period does not double exactly) — skipped, not violated.
+  std::uint32_t invariants_skipped = 0;
+
+  bool passed() const noexcept { return violations.empty(); }
+};
+
+/// Runs every enabled invariant. The Result is only an error for harness
+/// misuse; scenario misbehavior is reported inside the outcome.
+Result<OracleOutcome> run_oracle(const Scenario& scenario,
+                                 const OracleOptions& options = {});
+
+}  // namespace segbus::scen

@@ -1,0 +1,297 @@
+#include "scen/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace segbus::scen {
+
+namespace {
+
+/// Flat, editable mirror of a Scenario. Flows refer to processes by index
+/// into `processes`; segments are implied by the per-process segment field.
+struct Spec {
+  struct Proc {
+    std::string name;
+    platform::SegmentId segment = 0;
+    std::uint32_t masters = 1;
+    std::uint32_t slaves = 1;
+  };
+  struct Edge {
+    std::size_t source = 0;
+    std::size_t target = 0;
+    std::uint64_t items = 1;
+    std::uint32_t ordering = 1;
+    std::uint64_t compute = 0;
+  };
+
+  std::uint64_t seed = 0;
+  Topology topology = Topology::kChain;
+  std::uint32_t package_size = 36;
+  Frequency ca_clock = Frequency::from_mhz(100.0);
+  std::vector<Frequency> segment_clocks;
+  std::uint32_t bu_capacity = 1;
+  std::vector<Proc> processes;
+  std::vector<Edge> edges;
+  emu::TimingModel timing;
+};
+
+Result<Spec> spec_from_scenario(const Scenario& scenario) {
+  Spec spec;
+  spec.seed = scenario.seed;
+  spec.topology = scenario.topology;
+  spec.package_size = scenario.platform.package_size();
+  spec.ca_clock = scenario.platform.ca_clock();
+  for (const platform::Segment& segment : scenario.platform.segments()) {
+    spec.segment_clocks.push_back(segment.clock);
+  }
+  spec.bu_capacity =
+      scenario.platform.border_units().empty()
+          ? 1
+          : scenario.platform.border_units().front().capacity_packages;
+  spec.timing = scenario.timing;
+
+  const psdf::PsdfModel& app = scenario.application;
+  for (std::size_t p = 0; p < app.process_count(); ++p) {
+    Spec::Proc proc;
+    proc.name = app.process(static_cast<psdf::ProcessId>(p)).name;
+    auto segment = scenario.platform.segment_of(proc.name);
+    if (!segment) {
+      return invalid_argument_error("shrink: process '" + proc.name +
+                                    "' is not mapped");
+    }
+    proc.segment = *segment;
+    for (const platform::FunctionalUnit& fu :
+         scenario.platform.segment(*segment).fus) {
+      if (fu.process == proc.name) {
+        proc.masters = fu.masters;
+        proc.slaves = fu.slaves;
+      }
+    }
+    spec.processes.push_back(std::move(proc));
+  }
+  for (const psdf::Flow& flow : app.flows()) {
+    spec.edges.push_back({flow.source, flow.target, flow.data_items,
+                          flow.ordering, flow.compute_ticks});
+  }
+  return spec;
+}
+
+/// Prunes processes left without flows and segments left without
+/// processes; nullopt when the spec degenerates below an emulatable model.
+std::optional<Spec> normalized(Spec spec) {
+  if (spec.edges.empty()) return std::nullopt;
+
+  std::vector<bool> used(spec.processes.size(), false);
+  for (const Spec::Edge& edge : spec.edges) {
+    used[edge.source] = true;
+    used[edge.target] = true;
+  }
+  std::vector<std::size_t> proc_map(spec.processes.size(), SIZE_MAX);
+  std::vector<Spec::Proc> kept;
+  for (std::size_t p = 0; p < spec.processes.size(); ++p) {
+    if (!used[p]) continue;
+    proc_map[p] = kept.size();
+    kept.push_back(std::move(spec.processes[p]));
+  }
+  if (kept.size() < 2) return std::nullopt;
+  spec.processes = std::move(kept);
+  for (Spec::Edge& edge : spec.edges) {
+    edge.source = proc_map[edge.source];
+    edge.target = proc_map[edge.target];
+  }
+
+  std::vector<bool> occupied(spec.segment_clocks.size(), false);
+  for (const Spec::Proc& proc : spec.processes) {
+    occupied[proc.segment] = true;
+  }
+  std::vector<platform::SegmentId> seg_map(spec.segment_clocks.size(), 0);
+  std::vector<Frequency> clocks;
+  for (std::size_t s = 0; s < spec.segment_clocks.size(); ++s) {
+    if (!occupied[s]) continue;
+    seg_map[s] = static_cast<platform::SegmentId>(clocks.size());
+    clocks.push_back(spec.segment_clocks[s]);
+  }
+  if (clocks.empty()) return std::nullopt;
+  spec.segment_clocks = std::move(clocks);
+  for (Spec::Proc& proc : spec.processes) {
+    proc.segment = seg_map[proc.segment];
+  }
+  return spec;
+}
+
+Result<Scenario> scenario_from_spec(const Spec& spec) {
+  Scenario scenario;
+  scenario.seed = spec.seed;
+  scenario.topology = spec.topology;
+  scenario.timing = spec.timing;
+
+  psdf::PsdfModel app(
+      str_format("shrunk%llu", static_cast<unsigned long long>(spec.seed)));
+  SEGBUS_RETURN_IF_ERROR(app.set_package_size(spec.package_size));
+  for (const Spec::Proc& proc : spec.processes) {
+    auto added = app.add_process(proc.name);
+    if (!added.is_ok()) return added.status();
+  }
+  for (const Spec::Edge& edge : spec.edges) {
+    SEGBUS_RETURN_IF_ERROR(app.add_flow(
+        static_cast<psdf::ProcessId>(edge.source),
+        static_cast<psdf::ProcessId>(edge.target), edge.items, edge.ordering,
+        edge.compute));
+  }
+
+  platform::PlatformModel psm(
+      str_format("SBPshrunk%llu", static_cast<unsigned long long>(spec.seed)));
+  SEGBUS_RETURN_IF_ERROR(psm.set_package_size(spec.package_size));
+  SEGBUS_RETURN_IF_ERROR(psm.set_ca_clock(spec.ca_clock));
+  for (Frequency clock : spec.segment_clocks) {
+    auto added = psm.add_segment(clock);
+    if (!added.is_ok()) return added.status();
+  }
+  for (const Spec::Proc& proc : spec.processes) {
+    SEGBUS_RETURN_IF_ERROR(
+        psm.map_process(proc.name, proc.segment, proc.masters, proc.slaves));
+  }
+  SEGBUS_RETURN_IF_ERROR(psm.set_bu_capacity(spec.bu_capacity));
+
+  scenario.application = std::move(app);
+  scenario.platform = std::move(psm);
+  return scenario;
+}
+
+/// Oracle options that check only the target invariant (completion and the
+/// generator contract are implicit — they gate every oracle run).
+OracleOptions narrowed(const OracleOptions& base, Invariant invariant) {
+  OracleOptions options = base;
+  options.check_bounds = invariant == Invariant::kBoundsBracket;
+  options.check_conservation = invariant == Invariant::kConservation;
+  options.check_fingerprint = invariant == Invariant::kFingerprintEquivalence;
+  options.check_clock_scaling = invariant == Invariant::kClockScaling;
+  options.check_parallel = invariant == Invariant::kParallelEquivalence;
+  return options;
+}
+
+/// Does the spec still violate the target invariant? Any failure along the
+/// way (degenerate spec, model rejection, oracle harness error) rejects.
+bool reproduces(const Spec& spec, Invariant invariant,
+                const OracleOptions& options, Violation* violation) {
+  auto scenario = scenario_from_spec(spec);
+  if (!scenario.is_ok()) return false;
+  auto outcome = run_oracle(*scenario, options);
+  if (!outcome.is_ok()) return false;
+  for (const Violation& v : outcome->violations) {
+    if (v.invariant == invariant) {
+      if (violation != nullptr) *violation = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ShrinkResult> shrink_scenario(const Scenario& failing,
+                                     Invariant invariant,
+                                     const ShrinkOptions& options) {
+  const OracleOptions oracle = narrowed(options.oracle, invariant);
+
+  SEGBUS_ASSIGN_OR_RETURN(Spec current, spec_from_scenario(failing));
+  ShrinkResult result;
+  result.attempts = 1;
+  if (!reproduces(current, invariant, oracle, &result.violation)) {
+    return invalid_argument_error(
+        "shrink: the input scenario does not violate " +
+        std::string(invariant_name(invariant)));
+  }
+
+  // One round = every transformation tried once against the current spec;
+  // the first acceptance restarts the round from the (smaller) accepted
+  // spec. Ends when a full round rejects everything.
+  bool progressed = true;
+  while (progressed && result.attempts < options.max_attempts) {
+    progressed = false;
+
+    auto try_candidate = [&](Spec candidate) {
+      if (result.attempts >= options.max_attempts) return false;
+      std::optional<Spec> normal = normalized(std::move(candidate));
+      if (!normal) return false;
+      ++result.attempts;
+      Violation violation;
+      if (!reproduces(*normal, invariant, oracle, &violation)) return false;
+      current = std::move(*normal);
+      result.violation = std::move(violation);
+      ++result.accepted;
+      progressed = true;
+      return true;
+    };
+
+    // Drop whole processes first — the biggest wins.
+    for (std::size_t p = 0; p < current.processes.size(); ++p) {
+      Spec candidate = current;
+      candidate.processes.erase(candidate.processes.begin() +
+                                static_cast<std::ptrdiff_t>(p));
+      std::vector<Spec::Edge> kept;
+      for (Spec::Edge edge : candidate.edges) {
+        if (edge.source == p || edge.target == p) continue;
+        if (edge.source > p) --edge.source;
+        if (edge.target > p) --edge.target;
+        kept.push_back(edge);
+      }
+      candidate.edges = std::move(kept);
+      if (try_candidate(std::move(candidate))) break;
+    }
+    if (progressed) continue;
+
+    for (std::size_t f = 0; f < current.edges.size(); ++f) {
+      Spec candidate = current;
+      candidate.edges.erase(candidate.edges.begin() +
+                            static_cast<std::ptrdiff_t>(f));
+      if (try_candidate(std::move(candidate))) break;
+    }
+    if (progressed) continue;
+
+    if (current.segment_clocks.size() > 1) {
+      Spec candidate = current;
+      const auto last = static_cast<platform::SegmentId>(
+          candidate.segment_clocks.size() - 1);
+      for (Spec::Proc& proc : candidate.processes) {
+        if (proc.segment == last) proc.segment = last - 1;
+      }
+      candidate.segment_clocks.pop_back();
+      if (try_candidate(std::move(candidate))) continue;
+    }
+
+    for (std::size_t f = 0; f < current.edges.size(); ++f) {
+      if (current.edges[f].items > 1) {
+        Spec candidate = current;
+        candidate.edges[f].items = std::max<std::uint64_t>(
+            1, candidate.edges[f].items / 2);
+        if (try_candidate(std::move(candidate))) break;
+      }
+    }
+    if (progressed) continue;
+
+    for (std::size_t f = 0; f < current.edges.size(); ++f) {
+      if (current.edges[f].compute > 1) {
+        Spec candidate = current;
+        candidate.edges[f].compute /= 2;
+        if (try_candidate(std::move(candidate))) break;
+      }
+    }
+    if (progressed) continue;
+
+    if (current.bu_capacity > 1) {
+      Spec candidate = current;
+      candidate.bu_capacity = 1;
+      try_candidate(std::move(candidate));
+    }
+  }
+
+  SEGBUS_ASSIGN_OR_RETURN(result.scenario, scenario_from_spec(current));
+  return result;
+}
+
+}  // namespace segbus::scen

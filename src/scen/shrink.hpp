@@ -1,0 +1,54 @@
+// Greedy delta-debugging shrinker — minimizes a failing scenario while it
+// keeps violating ONE fixed invariant.
+//
+// The shrinker edits a flat spec of the scenario (process list, flow list,
+// segment list) and re-runs the oracle with only the target invariant
+// enabled. Transformations, tried in rounds until a whole round accepts
+// nothing:
+//
+//   * drop a process (with its flows, pruning newly flow-less processes)
+//   * drop a flow
+//   * merge the last segment into its neighbor
+//   * halve a flow's data items / compute ticks
+//   * drop the Border-Unit capacity to one package
+//
+// Each candidate is renormalized (orphan processes pruned, empty segments
+// removed) and accepted only when the oracle still reports the target
+// invariant; anything else — including a candidate the models reject —
+// rejects the candidate. Greedy and deterministic: no randomness, the
+// result depends only on the input scenario and invariant.
+#pragma once
+
+#include <cstdint>
+
+#include "scen/oracle.hpp"
+#include "support/status.hpp"
+
+namespace segbus::scen {
+
+struct ShrinkOptions {
+  /// Upper bound on oracle re-runs; the shrinker stops early when a round
+  /// accepts nothing.
+  std::uint32_t max_attempts = 400;
+  /// Oracle knobs reused for reproduction runs (the invariant under test
+  /// is force-enabled, the others disabled for speed).
+  OracleOptions oracle;
+};
+
+struct ShrinkResult {
+  /// The smallest scenario found that still violates the invariant (the
+  /// input itself when nothing smaller reproduces).
+  Scenario scenario;
+  /// The violation the minimal scenario produces.
+  Violation violation;
+  std::uint32_t attempts = 0;  ///< oracle runs spent
+  std::uint32_t accepted = 0;  ///< shrink steps that reproduced
+};
+
+/// Requires that `failing` actually violates `invariant` (checked first;
+/// an invalid_argument error otherwise).
+Result<ShrinkResult> shrink_scenario(const Scenario& failing,
+                                     Invariant invariant,
+                                     const ShrinkOptions& options = {});
+
+}  // namespace segbus::scen

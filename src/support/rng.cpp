@@ -56,4 +56,26 @@ bool Xoshiro256::next_bool(double p) noexcept {
   return next_double() < p;
 }
 
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) noexcept {
+  // Pre-whiten the master seed, then fold the label in FNV-1a fashion with a
+  // SplitMix64 finalization per byte block. Finalizing once more at the end
+  // decorrelates labels that are prefixes of each other.
+  SplitMix64 mix(seed);
+  std::uint64_t h = mix.next() ^ 0xCBF29CE484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return SplitMix64(h).next();
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) noexcept {
+  SplitMix64 mix(seed);
+  return SplitMix64(mix.next() ^ (index * 0x9E3779B97F4A7C15ULL)).next();
+}
+
+Xoshiro256 substream(std::uint64_t seed, std::string_view label) noexcept {
+  return Xoshiro256(derive_seed(seed, label));
+}
+
 }  // namespace segbus

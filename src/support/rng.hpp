@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace segbus {
 
@@ -57,5 +58,18 @@ class Xoshiro256 {
  private:
   std::uint64_t state_[4];
 };
+
+/// Named substream derivation: expands one master seed into independent
+/// deterministic child seeds, one per label. The label bytes are folded
+/// FNV-1a style and every step is finalized through the SplitMix64 mixer,
+/// so "generator"/"placer"/"campaign" streams drawn from the same master
+/// seed never overlap and adding a consumer never perturbs the others.
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) noexcept;
+
+/// Indexed substream derivation (e.g. one stream per campaign scenario).
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t index) noexcept;
+
+/// Convenience: a generator seeded with derive_seed(seed, label).
+Xoshiro256 substream(std::uint64_t seed, std::string_view label) noexcept;
 
 }  // namespace segbus

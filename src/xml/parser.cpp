@@ -413,7 +413,11 @@ Result<std::string> decode_entities(std::string_view text) {
       } else if (auto parsed = parse_uint(digits)) {
         code = static_cast<long long>(*parsed);
       }
-      if (code < 0 || code > 0x10FFFF || (code >= 0xD800 && code <= 0xDFFF)) {
+      // The XML Char production: tab/LF/CR are the only code points below
+      // 0x20, surrogates and the 0xFFFE/0xFFFF noncharacters are excluded.
+      if (code < 0 || code > 0x10FFFF || (code >= 0xD800 && code <= 0xDFFF) ||
+          (code < 0x20 && code != 0x9 && code != 0xA && code != 0xD) ||
+          code == 0xFFFE || code == 0xFFFF) {
         return parse_error("invalid character reference '&" +
                            std::string(body) + ";'");
       }

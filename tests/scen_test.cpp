@@ -1,0 +1,249 @@
+// Scenario-engine tests: generator determinism (the fingerprint digest of a
+// seed is identical across consecutive runs and campaign worker counts),
+// oracle behavior on healthy and broken scenarios, the shrinker's minimal
+// repros, and the corpus save/load/replay round trip.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "scen/campaign.hpp"
+#include "scen/corpus.hpp"
+#include "scen/generator.hpp"
+#include "scen/oracle.hpp"
+#include "scen/shrink.hpp"
+#include "support/json.hpp"
+#include "support/rng.hpp"
+
+namespace segbus::scen {
+namespace {
+
+TEST(Generator, SameSeedIsByteIdentical) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 42ULL, 0xDEADBEEFULL}) {
+    auto a = generate_scenario(seed);
+    auto b = generate_scenario(seed);
+    ASSERT_TRUE(a.is_ok()) << a.status().to_string();
+    ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+    EXPECT_EQ(a->describe(), b->describe());
+    auto oa = run_oracle(*a);
+    auto ob = run_oracle(*b);
+    ASSERT_TRUE(oa.is_ok()) << oa.status().to_string();
+    ASSERT_TRUE(ob.is_ok()) << ob.status().to_string();
+    EXPECT_FALSE(oa->digest.empty());
+    // Two consecutive runs of the same seed: identical fingerprint digest
+    // and identical emulated time.
+    EXPECT_EQ(oa->digest, ob->digest) << "seed " << seed;
+    EXPECT_EQ(oa->total.count(), ob->total.count()) << "seed " << seed;
+  }
+}
+
+TEST(Generator, DistinctSeedsDiverge) {
+  std::set<std::string> digests;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    auto scenario = generate_scenario(seed);
+    ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+    auto outcome = run_oracle(*scenario, OracleOptions{
+                                             .check_bounds = false,
+                                             .check_conservation = false,
+                                             .check_fingerprint = false,
+                                             .check_clock_scaling = false,
+                                         });
+    ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+    digests.insert(outcome->digest);
+  }
+  // Different seeds overwhelmingly produce different schemes.
+  EXPECT_GE(digests.size(), 18u);
+}
+
+TEST(Generator, RespectsOptionCaps) {
+  GeneratorOptions options;
+  options.min_processes = 2;
+  options.max_processes = 4;
+  options.max_segments = 2;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    auto scenario = generate_scenario(seed, options);
+    ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+    EXPECT_LE(scenario->application.process_count(), 4u);
+    EXPECT_GE(scenario->application.process_count(), 2u);
+    EXPECT_LE(scenario->platform.segment_count(), 2u);
+  }
+}
+
+TEST(Oracle, HealthyScenariosPassEveryInvariant) {
+  OracleOptions options;
+  options.check_parallel = true;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    auto scenario = generate_scenario(seed);
+    ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+    auto outcome = run_oracle(*scenario, options);
+    ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+    for (const Violation& violation : outcome->violations) {
+      ADD_FAILURE() << "seed " << seed << " ["
+                    << invariant_name(violation.invariant)
+                    << "]: " << violation.detail;
+    }
+    EXPECT_GT(outcome->invariants_checked, 0u);
+  }
+}
+
+TEST(Oracle, UnmappedProcessIsAGeneratorContractViolation) {
+  auto scenario = generate_scenario(3);
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  const std::string victim = scenario->application.process(0).name;
+  ASSERT_TRUE(scenario->platform.unmap_process(victim).is_ok());
+  auto outcome = run_oracle(*scenario);
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  ASSERT_FALSE(outcome->passed());
+  EXPECT_EQ(outcome->violations.front().invariant,
+            Invariant::kGeneratorContract);
+}
+
+TEST(Shrink, RefusesAPassingScenario) {
+  auto scenario = generate_scenario(5);
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto shrunk = shrink_scenario(*scenario, Invariant::kBoundsBracket);
+  EXPECT_FALSE(shrunk.is_ok());
+  EXPECT_EQ(shrunk.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Shrink, MinimizesABrokenScenario) {
+  // A seven-process chain whose flows all carry ordering T=1: every inner
+  // process has an outgoing flow NOT ordered after its incoming one
+  // (SB003), so the session refuses to bind — a generator-contract
+  // violation. The minimal repro is any three-process sub-chain.
+  Scenario scenario;
+  scenario.seed = 99;
+  scenario.timing = emu::TimingModel::emulator();
+  psdf::PsdfModel app("broken");
+  ASSERT_TRUE(app.set_package_size(12).is_ok());
+  platform::PlatformModel psm("SBPbroken");
+  ASSERT_TRUE(psm.set_package_size(12).is_ok());
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(psm.add_segment(Frequency::from_mhz(100)).is_ok());
+  }
+  for (int p = 0; p < 7; ++p) {
+    std::string name = "P" + std::to_string(p);
+    ASSERT_TRUE(app.add_process(name).is_ok());
+    ASSERT_TRUE(
+        psm.map_process(name, static_cast<platform::SegmentId>(p % 3))
+            .is_ok());
+  }
+  for (psdf::ProcessId p = 0; p + 1 < 7; ++p) {
+    ASSERT_TRUE(app.add_flow(p, p + 1, 50, /*ordering=*/1, 10).is_ok());
+  }
+  scenario.application = std::move(app);
+  scenario.platform = std::move(psm);
+
+  auto outcome = run_oracle(scenario);
+  ASSERT_TRUE(outcome.is_ok());
+  ASSERT_FALSE(outcome->passed());
+  ASSERT_EQ(outcome->violations.front().invariant,
+            Invariant::kGeneratorContract);
+
+  auto shrunk = shrink_scenario(scenario, Invariant::kGeneratorContract);
+  ASSERT_TRUE(shrunk.is_ok()) << shrunk.status().to_string();
+  // The repro keeps the ordering conflict but drops unrelated structure;
+  // the acceptance bar for corpus entries is <= 5 processes.
+  EXPECT_LE(shrunk->scenario.application.process_count(), 5u);
+  EXPECT_EQ(shrunk->scenario.application.flows().size(), 2u);
+  EXPECT_GT(shrunk->accepted, 0u);
+  EXPECT_EQ(shrunk->violation.invariant, Invariant::kGeneratorContract);
+}
+
+TEST(Corpus, SaveLoadReplayRoundTrip) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "segbus_scen_corpus_test";
+  std::filesystem::remove_all(dir);
+
+  auto scenario = generate_scenario(11);
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  CorpusMeta meta;
+  meta.invariant = "seed";
+  meta.note = "corpus round-trip test";
+  ASSERT_TRUE(
+      save_corpus_entry(dir.string(), "seed-11", *scenario, meta).is_ok());
+
+  auto entries = load_corpus(dir.string());
+  ASSERT_TRUE(entries.is_ok()) << entries.status().to_string();
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0].stem, "seed-11");
+  EXPECT_EQ((*entries)[0].meta.seed, 11u);
+  EXPECT_EQ((*entries)[0].meta.note, "corpus round-trip test");
+  EXPECT_EQ((*entries)[0].scenario.timing.circuit_switched,
+            scenario->timing.circuit_switched);
+  // The reloaded models must emulate exactly like the originals.
+  auto original = run_oracle(*scenario);
+  auto reloaded = run_oracle((*entries)[0].scenario);
+  ASSERT_TRUE(original.is_ok() && reloaded.is_ok());
+  EXPECT_EQ(original->digest, reloaded->digest);
+  EXPECT_EQ(original->total.count(), reloaded->total.count());
+
+  auto replay = replay_corpus(dir.string());
+  ASSERT_TRUE(replay.is_ok()) << replay.status().to_string();
+  EXPECT_EQ(replay->entries, 1u);
+  EXPECT_TRUE(replay->passed());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Campaign, DeterministicAcrossWorkerCounts) {
+  CampaignOptions options;
+  options.seed = 2026;
+  options.count = 24;
+  options.parallel_sample_period = 8;
+
+  options.workers = 1;
+  auto serial = run_campaign(options);
+  ASSERT_TRUE(serial.is_ok()) << serial.status().to_string();
+
+  options.workers = 4;
+  auto parallel = run_campaign(options);
+  ASSERT_TRUE(parallel.is_ok()) << parallel.status().to_string();
+
+  // Which scenarios run — and what each produces — is a function of the
+  // index, not the worker: derive_seed(campaign_seed, i) per scenario.
+  EXPECT_EQ(serial->scenarios, parallel->scenarios);
+  EXPECT_EQ(serial->violations, parallel->violations);
+  EXPECT_EQ(serial->invariants_checked, parallel->invariants_checked);
+  EXPECT_EQ(serial->invariants_skipped, parallel->invariants_skipped);
+  EXPECT_EQ(serial->failures.size(), parallel->failures.size());
+  EXPECT_TRUE(serial->passed());
+
+  // And the scenario digests themselves are worker-independent.
+  for (std::uint64_t index : {0ULL, 7ULL, 23ULL}) {
+    auto a = generate_scenario(derive_seed(options.seed, index));
+    auto b = generate_scenario(derive_seed(options.seed, index));
+    ASSERT_TRUE(a.is_ok() && b.is_ok());
+    EXPECT_EQ(a->describe(), b->describe());
+  }
+}
+
+TEST(Campaign, WritesJsonlSummary) {
+  CampaignOptions options;
+  options.seed = 3;
+  options.count = 5;
+  options.workers = 1;
+  std::ostringstream log;
+  auto report = run_campaign(options, &log);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+
+  // The final line is a well-formed JSON summary with matching totals.
+  std::string last;
+  std::istringstream lines(log.str());
+  for (std::string line; std::getline(lines, line);) {
+    if (!line.empty()) last = line;
+  }
+  auto json = JsonValue::parse(last);
+  ASSERT_TRUE(json.is_ok()) << last;
+  EXPECT_EQ(json->get("type").as_string(), "summary");
+  EXPECT_EQ(json->get("scenarios").as_uint64(), report->scenarios);
+  EXPECT_EQ(json->get("violations").as_uint64(), report->violations);
+
+  // Campaign counters are mirrored into the metrics registry.
+  EXPECT_EQ(report->metrics.family_count("scen_scenarios_total"),
+            report->scenarios);
+}
+
+}  // namespace
+}  // namespace segbus::scen

@@ -347,6 +347,48 @@ TEST(Rng, BernoulliEdgeCases) {
   EXPECT_TRUE(rng.next_bool(1.0));
 }
 
+TEST(Rng, DeriveSeedIsDeterministic) {
+  EXPECT_EQ(derive_seed(1, "generator"), derive_seed(1, "generator"));
+  EXPECT_EQ(derive_seed(42, std::uint64_t{7}),
+            derive_seed(42, std::uint64_t{7}));
+}
+
+TEST(Rng, DeriveSeedSeparatesLabels) {
+  std::set<std::uint64_t> seeds;
+  for (std::string_view label :
+       {"generator", "placer", "campaign", "relabel", "g", ""}) {
+    seeds.insert(derive_seed(1, label));
+  }
+  EXPECT_EQ(seeds.size(), 6u);
+  // Prefix labels must not collide either.
+  EXPECT_NE(derive_seed(1, "gen"), derive_seed(1, "generator"));
+}
+
+TEST(Rng, DeriveSeedSeparatesMasterSeeds) {
+  EXPECT_NE(derive_seed(1, "generator"), derive_seed(2, "generator"));
+  EXPECT_NE(derive_seed(1, std::uint64_t{0}), derive_seed(2, std::uint64_t{0}));
+}
+
+TEST(Rng, DeriveSeedSeparatesIndices) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(derive_seed(1, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, SubstreamsAreIndependentOfDrawOrder) {
+  // A stream's output depends only on (seed, label), not on what other
+  // streams were derived or drawn before it.
+  Xoshiro256 a = substream(5, "generator");
+  Xoshiro256 burn = substream(5, "placer");
+  (void)burn.next();
+  Xoshiro256 b = substream(5, "generator");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
 // --- cli ---------------------------------------------------------------------
 
 TEST(Cli, ParsesFlagsAndPositionals) {

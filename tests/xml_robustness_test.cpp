@@ -41,6 +41,10 @@ constexpr BadDoc kBadDocs[] = {
     {"bad_char_ref", "<a>&#zz;</a>"},
     {"surrogate_char_ref", "<a>&#xD800;</a>"},
     {"oversized_char_ref", "<a>&#x110000;</a>"},
+    {"nul_char_ref", "<a>&#0;</a>"},
+    {"c0_control_char_ref", "<a>&#x1F;</a>"},
+    {"noncharacter_fffe_ref", "<a>&#xFFFE;</a>"},
+    {"noncharacter_ffff_ref", "<a>&#65535;</a>"},
     {"unterminated_comment", "<a><!-- no end</a>"},
     {"double_dash_comment", "<a><!-- a -- b --></a>"},
     {"unterminated_cdata", "<a><![CDATA[ no end</a>"},
@@ -204,6 +208,54 @@ TEST(XmlStress, LongTokensParse) {
   ASSERT_TRUE(parsed.is_ok());
   EXPECT_EQ(parsed->root().name(), name);
   EXPECT_EQ(parsed->root().attribute("attr")->size(), value.size());
+}
+
+// --- round-trip regressions (found by the scenario fuzzer's generator) ------------
+
+// Whitespace character references are the only code points below 0x20 the
+// XML Char production allows — they must keep decoding.
+TEST(XmlRoundTrip, WhitespaceCharRefsDecode) {
+  auto doc = parse_document("<a>x&#x9;y&#xA;z&#xD;w</a>");
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  std::string text;
+  for (const Node& node : doc->root().children()) {
+    if (node.kind() == NodeKind::kText) text += node.text();
+  }
+  EXPECT_EQ(text, "x\ty\nz\rw");
+}
+
+// A process literally named "Arbiter" serializes as an FU element whose
+// name attribute lowercases to "arbiter" — the same name the structural
+// segment-arbiter element uses. The parser must tell them apart by type and
+// keep the process in the mapping.
+TEST(XmlRoundTrip, ArbiterNamedProcessSurvives) {
+  platform::PlatformModel model("SBP");
+  ASSERT_TRUE(model.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(model.add_segment(Frequency::from_mhz(100)).is_ok());
+  ASSERT_TRUE(model.map_process("Arbiter", 0).is_ok());
+  ASSERT_TRUE(model.map_process("BuLeft", 1).is_ok());
+  auto parsed = platform::from_xml(to_xml(model));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_TRUE(parsed->segment_of("Arbiter").has_value());
+  EXPECT_TRUE(parsed->segment_of("BuLeft").has_value());
+  EXPECT_EQ(parsed->segment(0).fus.size(), 1u);
+  EXPECT_EQ(parsed->segment(1).fus.size(), 1u);
+}
+
+// Frequencies needing more than six significant digits must survive the
+// scheme round-trip bit-exactly (the clock period feeds every emulated
+// timestamp, so 1 kHz of drift changes results).
+TEST(XmlRoundTrip, PreciseFrequencyRoundTrips) {
+  platform::PlatformModel model("SBP");
+  const Frequency precise = Frequency::from_mhz(123.456789);
+  ASSERT_TRUE(model.set_ca_clock(precise).is_ok());
+  ASSERT_TRUE(model.add_segment(Frequency::from_khz(98765.4321)).is_ok());
+  ASSERT_TRUE(model.map_process("P0", 0).is_ok());
+  auto parsed = platform::from_xml(to_xml(model));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->ca_clock().khz(), model.ca_clock().khz());
+  EXPECT_EQ(parsed->segment(0).clock.khz(), model.segment(0).clock.khz());
+  EXPECT_EQ(parsed->ca_clock().period_ps(), model.ca_clock().period_ps());
 }
 
 TEST(XmlStress, ManyEntitiesDecode) {

@@ -1,0 +1,149 @@
+// Shared implementation of the fuzzing front ends: the standalone
+// segbus_fuzz tool and `segbus_cli fuzz` parse their own argv but run the
+// same campaign/replay pipeline with the same flags and exit codes.
+//
+// Campaign mode (default):
+//   --seed N            campaign seed (default 1); scenario i uses
+//                       derive_seed(seed, i)
+//   --count N           scenarios to check (default 1000)
+//   --workers N         worker threads (default 0 = hardware concurrency)
+//   --time-budget S     stop after S wall-clock seconds (default 0 = none)
+//   --max-failures N    stop after N failing scenarios (default 8, 0 = all)
+//   --parallel-every N  run the parallel-equivalence check on every Nth
+//                       scenario (default 16, 0 = never)
+//   --no-shrink         keep failing scenarios unshrunk
+//   --corpus DIR        archive shrunken repros as corpus entries
+//   --log FILE          JSONL campaign log (one line per failure + summary)
+//   --metrics-out FILE  Prometheus text export of the campaign counters
+//   --max-processes N / --max-segments N / --max-items N
+//                       generator distribution caps
+//   --no-bounds / --no-conservation / --no-fingerprint / --no-clock-scaling
+//                       disable individual oracle invariants
+//
+// Replay mode:
+//   --replay DIR        re-run every corpus entry under DIR through the
+//                       oracle instead of fuzzing
+//
+// Exit codes: 0 all checks passed, 1 usage or harness failure, 2 at least
+// one invariant violation (campaign) or non-waived replay failure.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "scen/campaign.hpp"
+#include "scen/corpus.hpp"
+#include "support/cli.hpp"
+
+namespace segbus::tools {
+
+inline int fuzz_fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+  return 1;
+}
+
+inline scen::OracleOptions fuzz_oracle_options(const CommandLine& cli) {
+  scen::OracleOptions oracle;
+  oracle.check_bounds = cli.bool_flag_or("bounds", true);
+  oracle.check_conservation = cli.bool_flag_or("conservation", true);
+  oracle.check_fingerprint = cli.bool_flag_or("fingerprint", true);
+  oracle.check_clock_scaling = cli.bool_flag_or("clock-scaling", true);
+  return oracle;
+}
+
+inline int run_replay(const CommandLine& cli, const std::string& directory) {
+  auto report = scen::replay_corpus(directory, fuzz_oracle_options(cli));
+  if (!report.is_ok()) return fuzz_fail(report.status());
+  for (const scen::ReplayOutcome& outcome : report->outcomes) {
+    if (outcome.passed()) {
+      std::printf("%-40s %s\n", outcome.stem.c_str(),
+                  outcome.waived ? "pass (waived — waiver may be stale)"
+                                 : "pass");
+      continue;
+    }
+    for (const scen::Violation& violation : outcome.violations) {
+      std::printf("%-40s %s: %s [%s]\n", outcome.stem.c_str(),
+                  std::string(scen::invariant_name(violation.invariant))
+                      .c_str(),
+                  violation.detail.c_str(),
+                  outcome.waived ? "waived" : "FAIL");
+    }
+  }
+  std::printf("replayed %zu corpus entries: %zu failed, %zu stale waivers\n",
+              report->entries, report->failures, report->stale_waivers);
+  return report->passed() ? 0 : 2;
+}
+
+inline int run_fuzz(const CommandLine& cli) {
+  if (auto replay = cli.flag("replay")) return run_replay(cli, *replay);
+
+  scen::CampaignOptions options;
+  options.seed = static_cast<std::uint64_t>(cli.int_flag_or("seed", 1));
+  options.count = static_cast<std::uint64_t>(cli.int_flag_or("count", 1000));
+  options.workers = static_cast<unsigned>(cli.int_flag_or("workers", 0));
+  options.time_budget_seconds = cli.double_flag_or("time-budget", 0.0);
+  options.max_failures =
+      static_cast<std::uint64_t>(cli.int_flag_or("max-failures", 8));
+  options.parallel_sample_period =
+      static_cast<std::uint64_t>(cli.int_flag_or("parallel-every", 16));
+  options.shrink = cli.bool_flag_or("shrink", true);
+  options.corpus_dir = cli.flag_or("corpus", "");
+  options.oracle = fuzz_oracle_options(cli);
+  options.generator.max_processes = static_cast<std::uint32_t>(
+      cli.int_flag_or("max-processes",
+                      options.generator.max_processes));
+  options.generator.max_segments = static_cast<std::uint32_t>(
+      cli.int_flag_or("max-segments", options.generator.max_segments));
+  options.generator.max_items = static_cast<std::uint64_t>(
+      cli.int_flag_or("max-items",
+                      static_cast<std::int64_t>(options.generator.max_items)));
+
+  std::ofstream log_file;
+  std::ostream* log = nullptr;
+  if (auto log_path = cli.flag("log")) {
+    log_file.open(*log_path, std::ios::trunc);
+    if (!log_file) {
+      std::fprintf(stderr, "error: cannot open log '%s'\n", log_path->c_str());
+      return 1;
+    }
+    log = &log_file;
+  }
+
+  auto report = scen::run_campaign(options, log);
+  if (!report.is_ok()) return fuzz_fail(report.status());
+
+  for (const scen::CampaignFailure& failure : report->failures) {
+    std::printf("FAIL #%llu seed=%llu %s: %s\n  scenario: %s\n",
+                static_cast<unsigned long long>(failure.index),
+                static_cast<unsigned long long>(failure.scenario_seed),
+                std::string(scen::invariant_name(failure.invariant)).c_str(),
+                failure.detail.c_str(), failure.original.c_str());
+    if (!failure.shrunk.empty()) {
+      std::printf("  shrunk:   %s\n", failure.shrunk.c_str());
+    }
+    if (!failure.corpus_stem.empty()) {
+      std::printf("  corpus:   %s\n", failure.corpus_stem.c_str());
+    }
+  }
+  std::printf(
+      "%llu scenarios, %llu invariant checks (%llu skipped), "
+      "%llu violations in %.1fs%s%s\n",
+      static_cast<unsigned long long>(report->scenarios),
+      static_cast<unsigned long long>(report->invariants_checked),
+      static_cast<unsigned long long>(report->invariants_skipped),
+      static_cast<unsigned long long>(report->violations),
+      report->elapsed_seconds,
+      report->time_budget_hit ? " [time budget hit]" : "",
+      report->failure_cap_hit ? " [failure cap hit]" : "");
+
+  if (auto metrics_path = cli.flag("metrics-out")) {
+    Status written = obs::write_text_file(
+        *metrics_path, obs::to_prometheus(report->metrics));
+    if (!written.is_ok()) return fuzz_fail(written);
+  }
+  return report->passed() ? 0 : 2;
+}
+
+}  // namespace segbus::tools

@@ -39,6 +39,13 @@
 //            [--package S] [--reference] [--parallel] [--max-ticks N]
 //            [--id ID] [--json] | --ping | --stats
 //                                       submit one job to a running server
+//   fuzz     [--seed N] [--count N] [--workers N] [--time-budget S]
+//            [--corpus DIR] [--log FILE] [--replay DIR] ...
+//                                       seeded scenario fuzzing through the
+//                                       differential oracle (same flags as
+//                                       the segbus_fuzz tool; see
+//                                       tools/fuzz_common.hpp and
+//                                       docs/FUZZING.md)
 //
 // Exit status: 0 on success, 1 on any error (message on stderr); submit
 // exits 2 when the server answered with a job-level error.
@@ -57,6 +64,7 @@
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 
+#include "fuzz_common.hpp"
 #include "lint_common.hpp"
 #include "service_common.hpp"
 
@@ -73,7 +81,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: segbus_cli "
                "<validate|check|matrix|generate|emulate|place|explore|"
-               "analyze|serve|submit> "
+               "analyze|serve|submit|fuzz> "
                "...\n(see the header comment of tools/segbus_cli.cpp)\n");
   return 1;
 }
@@ -382,5 +390,6 @@ int main(int argc, char** argv) {
   if (command == "analyze") return cmd_analyze(*cli);
   if (command == "serve") return tools::run_serve(*cli);
   if (command == "submit") return tools::run_submit(*cli);
+  if (command == "fuzz") return tools::run_fuzz(*cli);
   return usage();
 }

@@ -1,0 +1,16 @@
+// segbus_fuzz — scenario fuzzing harness for the SegBus estimation stack.
+//
+// Generates seeded random (PSDF, platform, timing) scenarios, runs each
+// through the differential oracle (static bounds vs. emulation, package
+// conservation, fingerprint equivalence, clock scaling, serial-vs-parallel
+// engine), shrinks failures to minimal repros and archives them as corpus
+// entries. `--replay DIR` re-checks a corpus instead. All flags are shared
+// with `segbus_cli fuzz` — see tools/fuzz_common.hpp for the reference
+// list, docs/FUZZING.md for the workflow.
+#include "fuzz_common.hpp"
+
+int main(int argc, char** argv) {
+  auto cli = segbus::CommandLine::parse(argc, argv);
+  if (!cli.is_ok()) return segbus::tools::fuzz_fail(cli.status());
+  return segbus::tools::run_fuzz(*cli);
+}
