@@ -85,4 +85,27 @@ Result<emu::EmulationResult> EmulationSession::emulate(
   return engine.run();
 }
 
+Result<emu::EmulationResult> EmulationSession::emulate(
+    obs::Span& parent) const {
+  obs::Span build = parent.child("engine-build");
+  if (config_.parallel) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        std::unique_ptr<emu::ParallelEngine> engine,
+        emu::ParallelEngine::create(application_, platform_, config_.timing,
+                                    config_.engine, config_.threads));
+    build.end();
+    obs::Span run = parent.child("emulate");
+    run.set_attribute("engine", std::string_view("parallel"));
+    return engine->run();
+  }
+  SEGBUS_ASSIGN_OR_RETURN(
+      emu::Engine engine,
+      emu::Engine::create(application_, platform_, config_.timing,
+                          config_.engine));
+  build.end();
+  obs::Span run = parent.child("emulate");
+  run.set_attribute("engine", std::string_view("serial"));
+  return engine.run();
+}
+
 }  // namespace segbus::core

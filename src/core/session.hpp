@@ -13,6 +13,7 @@
 #include "emu/stats.hpp"
 #include "emu/timing.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "platform/model.hpp"
 #include "psdf/model.hpp"
 #include "support/status.hpp"
@@ -73,6 +74,11 @@ class EmulationSession {
   /// host wall-clock spans.
   Result<emu::EmulationResult> emulate(
       obs::PhaseProfiler* profiler = nullptr) const;
+
+  /// Same run, attaching "engine-build" and "emulate" leaf spans to
+  /// `parent` (no-ops when the parent trace is unsampled — see
+  /// obs/trace.hpp).
+  Result<emu::EmulationResult> emulate(obs::Span& parent) const;
 
  private:
   EmulationSession(psdf::PsdfModel application,

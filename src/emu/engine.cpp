@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/flight_recorder.hpp"
 #include "platform/constraints.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -274,8 +275,21 @@ Result<EmulationResult> Engine::run() {
       for (std::size_t i : due) step_domain(i, now);
     });
     if (!t) break;
+    if (options_.flight_recorder &&
+        (ca_.tick & ((std::int64_t{1} << 20) - 1)) == 0) {
+      obs::FlightRecorder::instance().note(
+          "engine-progress",
+          str_format("ca_tick=%lld", static_cast<long long>(ca_.tick)));
+    }
     if (ca_.tick > limit) {
       SEGBUS_LOG(kWarn, "emu") << "tick limit reached; aborting emulation";
+      if (options_.flight_recorder) {
+        obs::FlightRecorder::instance().note(
+            "engine-tick-limit",
+            str_format("ca_tick=%lld limit=%lld",
+                       static_cast<long long>(ca_.tick),
+                       static_cast<long long>(limit)));
+      }
       break;
     }
   }

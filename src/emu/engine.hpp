@@ -53,6 +53,11 @@ struct EngineOptions {
   /// request->delivery latency histograms (in clock ticks), sharded per
   /// clock domain like the trace buffers and merged deterministically.
   bool record_metrics = false;
+  /// Emit coarse progress events into the process-wide flight recorder
+  /// (obs/flight_recorder.hpp): one note every ~1M CA ticks plus a final
+  /// note when the tick budget aborts the run. Near-zero cost when the
+  /// recorder is disabled.
+  bool flight_recorder = false;
 };
 
 namespace detail {

@@ -156,6 +156,36 @@ JsonValue chrome_trace_json(const PhaseProfiler& profiler) {
   return finish(std::move(events));
 }
 
+JsonValue chrome_trace_json(const std::vector<SpanRecord>& spans,
+                            const emu::EmulationResult* result) {
+  JsonValue events = JsonValue::array();
+  events.push(metadata("process_name", kHostPid, 0, "host (wall clock)"));
+  events.push(metadata("thread_name", kHostPid, 0, "request"));
+  for (const SpanRecord& span : spans) {
+    JsonValue event = JsonValue::object();
+    event.set("name", JsonValue::string(span.name));
+    event.set("cat", JsonValue::string("span"));
+    event.set("ph", JsonValue::string("X"));
+    event.set("pid", JsonValue::integer(kHostPid));
+    event.set("tid", JsonValue::integer(0));
+    event.set("ts", JsonValue::unsigned_integer(span.start_us));
+    event.set("dur", JsonValue::unsigned_integer(span.duration_us));
+    JsonValue args = JsonValue::object();
+    args.set("trace_id", JsonValue::string(span.trace.to_hex()));
+    args.set("span_id", JsonValue::unsigned_integer(span.span_id));
+    if (span.parent_id != 0) {
+      args.set("parent_id", JsonValue::unsigned_integer(span.parent_id));
+    }
+    for (const auto& [key, value] : span.attributes) {
+      args.set(key, JsonValue::string(value));
+    }
+    event.set("args", std::move(args));
+    events.push(std::move(event));
+  }
+  if (result != nullptr) append_protocol_events(events, *result);
+  return finish(std::move(events));
+}
+
 Status write_chrome_trace_file(const std::string& path,
                                const emu::EmulationResult& result,
                                const PhaseProfiler* profiler) {

@@ -12,8 +12,11 @@
 
 #include <string>
 
+#include <vector>
+
 #include "emu/stats.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "support/json.hpp"
 #include "support/status.hpp"
 
@@ -32,5 +35,14 @@ JsonValue chrome_trace_json(const PhaseProfiler& profiler);
 Status write_chrome_trace_file(const std::string& path,
                                const emu::EmulationResult& result,
                                const PhaseProfiler* profiler = nullptr);
+
+/// Merge mode: host span-tree records (tracer spans, pid 0 — one trace
+/// thread per span-record thread is overkill, so spans render on tid 0
+/// nested by their tree depth) alongside the emulated-time protocol
+/// events (pid 1) on one timeline. Span timestamps are already
+/// microseconds on the tracer's clock; pass `result` = nullptr for a
+/// host-only merge.
+JsonValue chrome_trace_json(const std::vector<SpanRecord>& spans,
+                            const emu::EmulationResult* result);
 
 }  // namespace segbus::obs

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <set>
 
+#include "support/build_info.hpp"
 #include "support/strings.hpp"
 
 namespace segbus::obs {
@@ -237,6 +238,18 @@ Status write_text_file(const std::string& path, std::string_view text) {
     return internal_error("short write to " + path);
   }
   return Status::ok();
+}
+
+void add_build_info(MetricsRegistry& registry) {
+  const BuildInfo& info = build_info();
+  registry
+      .gauge("segbus_build_info",
+             {{"build_type", info.build_type},
+              {"compiler", info.compiler},
+              {"revision", info.git_hash},
+              {"version", info.version}},
+             "build identity (always 1; the labels carry the information)")
+      .set(1.0);
 }
 
 }  // namespace segbus::obs

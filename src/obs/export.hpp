@@ -32,4 +32,9 @@ CsvWriter to_csv(const MetricsRegistry& registry);
 /// Writes `text` to `path` (overwriting), creating parent directories.
 Status write_text_file(const std::string& path, std::string_view text);
 
+/// Adds the `segbus_build_info` gauge (value 1, identity as labels:
+/// version, git hash, compiler, build type) — the conventional
+/// Prometheus build-identity series.
+void add_build_info(MetricsRegistry& registry);
+
 }  // namespace segbus::obs

@@ -1,0 +1,250 @@
+#include "obs/flight_recorder.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <chrono>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/trace.hpp"
+
+namespace segbus::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Copies `text` into `out` (size N), keeping only printable ASCII that
+/// needs no JSON escaping; everything else becomes '_'. Always NUL-ends.
+template <std::size_t N>
+void sanitize_into(char (&out)[N], std::string_view text) noexcept {
+  std::size_t n = 0;
+  for (char c : text) {
+    if (n + 1 >= N) break;
+    const bool plain = c >= 0x20 && c < 0x7f && c != '"' && c != '\\';
+    out[n++] = plain ? c : '_';
+  }
+  out[n] = '\0';
+}
+
+/// Signal-safe buffered writer: accumulates into a fixed buffer, flushing
+/// with write(2). No allocation, no stdio.
+class FdWriter {
+ public:
+  explicit FdWriter(int fd) noexcept : fd_(fd) {}
+  ~FdWriter() { flush(); }
+
+  void text(const char* s) noexcept {
+    while (*s != '\0') put(*s++);
+  }
+  void ch(char c) noexcept { put(c); }
+  void u64(std::uint64_t value) noexcept {
+    char digits[20];
+    int n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + value % 10);
+      value /= 10;
+    } while (value != 0);
+    while (n > 0) put(digits[--n]);
+  }
+  void hex128(std::uint64_t hi, std::uint64_t lo) noexcept {
+    hex64(hi);
+    hex64(lo);
+  }
+  void flush() noexcept {
+    std::size_t done = 0;
+    while (done < used_) {
+      const ssize_t n = ::write(fd_, buffer_ + done, used_ - done);
+      if (n <= 0) break;  // best-effort: we may be dying
+      done += static_cast<std::size_t>(n);
+    }
+    used_ = 0;
+  }
+
+ private:
+  void hex64(std::uint64_t value) noexcept {
+    static const char* kHex = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      put(kHex[(value >> shift) & 0xf]);
+    }
+  }
+  void put(char c) noexcept {
+    if (used_ == sizeof(buffer_)) flush();
+    buffer_[used_++] = c;
+  }
+
+  int fd_;
+  char buffer_[512];
+  std::size_t used_ = 0;
+};
+
+}  // namespace
+
+/// Fixed ring of events owned by one thread. Registered once on a
+/// process-wide lock-free list and never removed (threads are few and the
+/// rings must stay readable from a signal handler at any time).
+struct FlightRecorder::ThreadRing {
+  explicit ThreadRing(std::size_t ring_capacity, std::uint32_t thread_id)
+      : events(new Event[ring_capacity]),
+        capacity(ring_capacity),
+        thread(thread_id) {}
+
+  Event* events;  ///< leaked on purpose: signal handlers may still read it
+  std::size_t capacity;
+  std::uint32_t thread;
+  std::atomic<std::uint64_t> head{0};  ///< next write index (monotonic)
+  ThreadRing* next = nullptr;          ///< registry list link
+};
+
+FlightRecorder& FlightRecorder::instance() noexcept {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::enable(std::size_t capacity_per_thread) {
+  if (capacity_per_thread == 0) capacity_per_thread = 1;
+  capacity_.store(capacity_per_thread, std::memory_order_relaxed);
+  if (epoch_ns_ == 0) epoch_ns_ = steady_ns();
+  enabled_.store(true, std::memory_order_release);
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::local_ring() noexcept {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    ring = new ThreadRing(capacity_.load(std::memory_order_relaxed),
+                          next_thread_.fetch_add(1,
+                                                 std::memory_order_relaxed));
+    ThreadRing* head = rings_.load(std::memory_order_relaxed);
+    do {
+      ring->next = head;
+    } while (!rings_.compare_exchange_weak(head, ring,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+  }
+  return ring;
+}
+
+void FlightRecorder::record(char kind, std::string_view name,
+                            std::string_view detail, const TraceId& trace,
+                            std::uint64_t span_id) noexcept {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  ThreadRing* ring = local_ring();
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  Event& event = ring->events[head % ring->capacity];
+  event.time_us = (steady_ns() - epoch_ns_) / 1000;
+  event.trace_hi = trace.hi;
+  event.trace_lo = trace.lo;
+  event.span_id = span_id;
+  event.thread = ring->thread;
+  event.kind = kind;
+  sanitize_into(event.name, name);
+  sanitize_into(event.detail, detail);
+  // Publish after the slot is fully written so the dump path (which reads
+  // head with acquire) never sees a half-filled newest slot. Older slots
+  // being overwritten mid-dump can tear, which the dump tolerates: every
+  // field is either plain integer or NUL-sanitized text.
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void FlightRecorder::note(std::string_view name,
+                          std::string_view detail) noexcept {
+  record('I', name, detail, TraceId{}, 0);
+}
+
+void FlightRecorder::dump_to_fd(int fd) const noexcept {
+  FdWriter out(fd);
+  for (const ThreadRing* ring = rings_.load(std::memory_order_acquire);
+       ring != nullptr; ring = ring->next) {
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t begin =
+        head > ring->capacity ? head - ring->capacity : 0;
+    for (std::uint64_t i = begin; i < head; ++i) {
+      const Event& event = ring->events[i % ring->capacity];
+      out.text("{\"t_us\":");
+      out.u64(event.time_us);
+      out.text(",\"thread\":");
+      out.u64(event.thread);
+      out.text(",\"kind\":\"");
+      out.ch(event.kind);
+      out.text("\",\"name\":\"");
+      out.text(event.name);
+      out.ch('"');
+      if (event.detail[0] != '\0') {
+        out.text(",\"detail\":\"");
+        out.text(event.detail);
+        out.ch('"');
+      }
+      if ((event.trace_hi | event.trace_lo) != 0) {
+        out.text(",\"trace_id\":\"");
+        out.hex128(event.trace_hi, event.trace_lo);
+        out.ch('"');
+      }
+      if (event.span_id != 0) {
+        out.text(",\"span_id\":");
+        out.u64(event.span_id);
+      }
+      out.text("}\n");
+    }
+  }
+  out.flush();
+}
+
+bool FlightRecorder::dump_to_file(const char* path) const noexcept {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  dump_to_fd(fd);
+  ::close(fd);
+  return true;
+}
+
+std::uint64_t FlightRecorder::overwritten() const noexcept {
+  std::uint64_t total = 0;
+  for (const ThreadRing* ring = rings_.load(std::memory_order_acquire);
+       ring != nullptr; ring = ring->next) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    if (head > ring->capacity) total += head - ring->capacity;
+  }
+  return total;
+}
+
+namespace {
+
+char g_crash_path[512] = {};
+bool g_crash_stderr = false;
+
+void crash_handler(int signum) {
+  // Dump, restore the default disposition, re-raise. Everything here is
+  // async-signal-safe.
+  const FlightRecorder& recorder = FlightRecorder::instance();
+  if (g_crash_path[0] != '\0') recorder.dump_to_file(g_crash_path);
+  if (g_crash_stderr) recorder.dump_to_fd(2);
+  ::signal(signum, SIG_DFL);
+  ::raise(signum);
+}
+
+}  // namespace
+
+void FlightRecorder::arm_crash_dump(const char* path, bool also_stderr) {
+  if (path != nullptr) {
+    std::size_t n = 0;
+    for (; path[n] != '\0' && n + 1 < sizeof(g_crash_path); ++n) {
+      g_crash_path[n] = path[n];
+    }
+    g_crash_path[n] = '\0';
+  }
+  g_crash_stderr = also_stderr;
+  struct sigaction action = {};
+  action.sa_handler = crash_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGSEGV, &action, nullptr);
+  ::sigaction(SIGABRT, &action, nullptr);
+}
+
+}  // namespace segbus::obs

@@ -1,0 +1,84 @@
+// Crash/timeout flight recorder: a bounded per-thread ring of recent trace
+// events that can be dumped as JSONL after the fact — on SIGSEGV/SIGABRT
+// (via arm_crash_dump), on job tick-budget cancellation, or on a fuzz
+// oracle violation.
+//
+// Events are fixed-size PODs whose text fields are sanitized *at record
+// time* (printable ASCII minus '"' and '\\'), so the dump path needs no
+// escaping or allocation: dump_to_fd() uses only write(2) and hand-rolled
+// integer formatting and is safe to call from a signal handler.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace segbus::obs {
+
+struct TraceId;
+
+/// Process-wide recorder. Disabled (the default) record() is two loads and
+/// a branch; enable() switches it on for the whole process.
+class FlightRecorder {
+ public:
+  /// One recorded event. POD with inline sanitized text; safe to read from
+  /// a signal handler.
+  struct Event {
+    std::uint64_t time_us = 0;   ///< microseconds since recorder epoch
+    std::uint64_t trace_hi = 0;  ///< trace id (0 when not span-linked)
+    std::uint64_t trace_lo = 0;
+    std::uint64_t span_id = 0;
+    std::uint32_t thread = 0;  ///< small per-thread ordinal
+    char kind = 'I';           ///< 'B'egin / 'E'nd span, 'I'nstant
+    char name[40] = {};        ///< sanitized, NUL-terminated
+    char detail[88] = {};      ///< sanitized, NUL-terminated
+  };
+
+  static FlightRecorder& instance() noexcept;
+
+  /// Turns recording on; rings are allocated lazily per thread (capacity
+  /// events each, newest overwrites oldest).
+  void enable(std::size_t capacity_per_thread = 256);
+  void disable() noexcept { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one event (no-op when disabled). Truncates/sanitizes `name`
+  /// and `detail` into the fixed-size fields.
+  void record(char kind, std::string_view name, std::string_view detail,
+              const TraceId& trace, std::uint64_t span_id = 0) noexcept;
+  /// Instant event with no span linkage.
+  void note(std::string_view name, std::string_view detail) noexcept;
+
+  /// Writes every buffered event as JSONL to `fd`, oldest-first per
+  /// thread. Async-signal-safe: write(2) + integer formatting only.
+  void dump_to_fd(int fd) const noexcept;
+  /// dump_to_fd() into a newly created file (0644). Returns false when the
+  /// file cannot be created. Async-signal-safe.
+  bool dump_to_file(const char* path) const noexcept;
+
+  /// Installs SIGSEGV/SIGABRT handlers that dump to `path` (and stderr
+  /// when `also_stderr`) then re-raise with the default disposition.
+  /// Idempotent; the path is copied into static storage.
+  static void arm_crash_dump(const char* path, bool also_stderr = false);
+
+  /// Total events overwritten before they could be dumped.
+  std::uint64_t overwritten() const noexcept;
+
+ private:
+  struct ThreadRing;
+
+  FlightRecorder() = default;
+  ThreadRing* local_ring() noexcept;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> capacity_{256};
+  std::atomic<std::uint32_t> next_thread_{0};
+  std::atomic<ThreadRing*> rings_{nullptr};  ///< lock-free singly-linked list
+  std::uint64_t epoch_ns_ = 0;
+};
+
+}  // namespace segbus::obs

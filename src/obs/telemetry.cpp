@@ -69,6 +69,7 @@ Result<std::vector<std::string>> export_telemetry(
     const TelemetryExportOptions& options) {
   SEGBUS_ASSIGN_OR_RETURN(MetricsRegistry registry,
                           full_metrics(result, platform));
+  if (options.build_info) add_build_info(registry);
   const std::string base = dir.empty() ? prefix : dir + "/" + prefix;
   std::vector<std::string> written;
   if (options.prometheus) {
@@ -89,7 +90,14 @@ Result<std::vector<std::string>> export_telemetry(
   }
   if (options.chrome_trace) {
     const std::string path = base + ".trace.json";
-    SEGBUS_RETURN_IF_ERROR(write_chrome_trace_file(path, result, profiler));
+    if (!options.spans.empty()) {
+      // Merge mode: tracer spans on the host pid next to the emulated-time
+      // protocol events.
+      SEGBUS_RETURN_IF_ERROR(write_text_file(
+          path, chrome_trace_json(options.spans, &result).to_string()));
+    } else {
+      SEGBUS_RETURN_IF_ERROR(write_chrome_trace_file(path, result, profiler));
+    }
     written.push_back(path);
   }
   return written;

@@ -11,6 +11,7 @@
 #include "emu/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "platform/model.hpp"
 #include "support/status.hpp"
 
@@ -21,6 +22,12 @@ struct TelemetryExportOptions {
   bool json = true;          ///< <prefix>.metrics.json
   bool csv = true;           ///< <prefix>.metrics.csv
   bool chrome_trace = true;  ///< <prefix>.trace.json
+  /// Adds the segbus_build_info gauge to the metric exports.
+  bool build_info = true;
+  /// Tracer span records to merge into the Chrome trace (host pid)
+  /// alongside the emulated-time protocol events. Empty = profiler
+  /// phases only (the pre-tracing behavior).
+  std::vector<SpanRecord> spans;
 };
 
 /// The engine's recorded metrics plus everything obs::derive_metrics can

@@ -1,0 +1,528 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <map>
+#include <random>
+
+#include "obs/flight_recorder.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// splitmix64 — the same finalizer support/rng builds on; good enough to
+/// whiten seeds and to hash trace ids for the sampling decision.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::optional<std::uint64_t> parse_hex64(std::string_view text) noexcept {
+  std::uint64_t value = 0;
+  for (char c : text) {
+    const int digit = hex_digit(c);
+    if (digit < 0) return std::nullopt;
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+}  // namespace
+
+// --- TraceId ----------------------------------------------------------------
+
+std::string TraceId::to_hex() const {
+  return str_format("%016" PRIx64 "%016" PRIx64, hi, lo);
+}
+
+std::optional<TraceId> TraceId::from_hex(std::string_view text) {
+  TraceId id;
+  if (text.size() == 32) {
+    auto hi = parse_hex64(text.substr(0, 16));
+    auto lo = parse_hex64(text.substr(16));
+    if (!hi || !lo) return std::nullopt;
+    id.hi = *hi;
+    id.lo = *lo;
+  } else if (text.size() == 16) {
+    auto lo = parse_hex64(text);
+    if (!lo) return std::nullopt;
+    id.lo = *lo;
+  } else {
+    return std::nullopt;
+  }
+  if (!id.valid()) return std::nullopt;
+  return id;
+}
+
+TraceId TraceId::generate() {
+  // Seeded once per thread from random_device; no locks on the fast path.
+  thread_local std::mt19937_64 rng{[] {
+    std::random_device device;
+    return (static_cast<std::uint64_t>(device()) << 32) ^ device() ^
+           steady_ns();
+  }()};
+  TraceId id;
+  do {
+    id.hi = rng();
+    id.lo = rng();
+  } while (!id.valid());
+  return id;
+}
+
+TraceId TraceId::from_seed(std::uint64_t seed) noexcept {
+  TraceId id;
+  id.hi = mix64(seed ^ 0x5e6b5e6b5e6b5e6bULL);
+  id.lo = mix64(seed + 0x9e3779b97f4a7c15ULL);
+  if (!id.valid()) id.lo = 1;  // unreachable in practice, kept for safety
+  return id;
+}
+
+// --- Tracer thread buffers --------------------------------------------------
+
+/// Single-producer ring of finished spans. The owning thread appends
+/// lock-free (slot write, then a release publish of `head`); collectors
+/// serialize on the tracer's registry mutex and advance `tail`.
+struct Tracer::ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity) : slots(capacity) {}
+
+  std::vector<SpanRecord> slots;
+  std::atomic<std::uint64_t> head{0};     ///< next write index (monotonic)
+  std::atomic<std::uint64_t> tail{0};     ///< consumed below this index
+  std::atomic<std::uint64_t> dropped{0};  ///< lost to a full ring
+
+  void push(SpanRecord record) noexcept {
+    const std::uint64_t head_now = head.load(std::memory_order_relaxed);
+    if (head_now - tail.load(std::memory_order_acquire) >= slots.size()) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots[head_now % slots.size()] = std::move(record);
+    head.store(head_now + 1, std::memory_order_release);
+  }
+};
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_tracer_id{0};
+
+}  // namespace
+
+Tracer::Tracer() : Tracer(Config{}) {}
+
+Tracer::Tracer(Config config)
+    : config_(config),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed) + 1),
+      epoch_ns_(steady_ns()) {
+  if (config_.buffer_capacity == 0) config_.buffer_capacity = 1;
+  config_.sample_ratio = std::clamp(config_.sample_ratio, 0.0, 1.0);
+}
+
+Tracer::~Tracer() = default;
+
+std::uint64_t Tracer::now_us() const {
+  return (steady_ns() - epoch_ns_) / 1000;
+}
+
+bool Tracer::sample(const TraceId& trace, bool force) const noexcept {
+  if (force) return true;
+  if (config_.sample_ratio <= 0.0) return false;
+  if (config_.sample_ratio >= 1.0) return true;
+  // Deterministic per trace id: every participant of one request agrees.
+  const double unit = static_cast<double>(mix64(trace.hi ^ trace.lo)) /
+                      static_cast<double>(UINT64_MAX);
+  return unit < config_.sample_ratio;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Thread-local cache: tracer id -> buffer. Keyed by the process-unique
+  // tracer id (not the pointer), so a dead tracer's cache entry can never
+  // alias a new tracer at the same address. The shared_ptr keeps a buffer
+  // alive past tracer destruction for threads still holding it (pushes
+  // into an orphaned buffer are harmless — nobody collects them).
+  thread_local std::vector<
+      std::pair<std::uint64_t, std::shared_ptr<ThreadBuffer>>>
+      cache;
+  for (auto& [tracer_id, buffer] : cache) {
+    if (tracer_id == id_) return *buffer;
+  }
+  auto buffer = std::make_shared<ThreadBuffer>(config_.buffer_capacity);
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers_.push_back(buffer);
+  }
+  cache.emplace_back(id_, buffer);
+  return *cache.back().second;
+}
+
+Span Tracer::start_trace(std::string name, TraceId trace, bool force) {
+  SpanRecord record;
+  record.trace = trace;
+  record.name = std::move(name);
+  if (!sample(trace, force)) {
+    // Context (trace id) still propagates; nothing is recorded.
+    Span span(nullptr, std::move(record));
+    return span;
+  }
+  record.span_id = next_span_id();
+  record.start_us = now_us();
+  if (config_.flight_recorder) {
+    FlightRecorder::instance().record('B', record.name, {}, record.trace,
+                                      record.span_id);
+  }
+  return Span(this, std::move(record));
+}
+
+Span Tracer::start_span(std::string name, const SpanContext& parent) {
+  SpanRecord record;
+  record.trace = parent.trace;
+  record.parent_id = parent.span_id;
+  record.name = std::move(name);
+  if (!parent.sampled) return Span(nullptr, std::move(record));
+  record.span_id = next_span_id();
+  record.start_us = now_us();
+  if (config_.flight_recorder) {
+    FlightRecorder::instance().record('B', record.name, {}, record.trace,
+                                      record.span_id);
+  }
+  return Span(this, std::move(record));
+}
+
+void Tracer::add_span(const SpanContext& parent, std::string name,
+                      std::uint64_t start_us, std::uint64_t duration_us,
+                      SpanAttributes attributes) {
+  if (!parent.sampled) return;
+  SpanRecord record;
+  record.trace = parent.trace;
+  record.parent_id = parent.span_id;
+  record.span_id = next_span_id();
+  record.name = std::move(name);
+  record.start_us = start_us;
+  record.duration_us = duration_us;
+  record.attributes = std::move(attributes);
+  finish(std::move(record));
+}
+
+void Tracer::finish(SpanRecord record) {
+  if (config_.flight_recorder) {
+    FlightRecorder::instance().record('E', record.name, {}, record.trace,
+                                      record.span_id);
+  }
+  local_buffer().push(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::drain(const TraceId* trace) {
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    std::uint64_t tail = buffer->tail.load(std::memory_order_relaxed);
+    std::vector<SpanRecord> kept;
+    for (; tail != head; ++tail) {
+      SpanRecord& slot = buffer->slots[tail % buffer->slots.size()];
+      if (trace == nullptr || slot.trace == *trace) {
+        out.push_back(std::move(slot));
+      } else {
+        kept.push_back(std::move(slot));
+      }
+    }
+    // Re-append the spans of other traces so a selective collect does not
+    // discard them. The ring has room: we just freed at least that many
+    // slots. (Publication order within this buffer is preserved.)
+    buffer->tail.store(head, std::memory_order_release);
+    for (SpanRecord& record : kept) buffer->push(std::move(record));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_us != b.start_us ? a.start_us < b.start_us
+                                              : a.span_id < b.span_id;
+            });
+  return out;
+}
+
+std::vector<SpanRecord> Tracer::collect(const TraceId& trace) {
+  return drain(&trace);
+}
+
+std::vector<SpanRecord> Tracer::collect_all() { return drain(nullptr); }
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const std::shared_ptr<ThreadBuffer>& buffer : buffers_) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// --- Span -------------------------------------------------------------------
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    record_ = std::move(other.record_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+SpanContext Span::context() const noexcept {
+  SpanContext context;
+  context.trace = record_.trace;
+  context.span_id = record_.span_id;
+  context.sampled = tracer_ != nullptr;
+  return context;
+}
+
+void Span::set_attribute(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  record_.attributes.emplace_back(std::string(key), std::string(value));
+}
+
+void Span::set_attribute(std::string_view key, std::uint64_t value) {
+  set_attribute(key, str_format("%llu",
+                                static_cast<unsigned long long>(value)));
+}
+
+void Span::set_attribute(std::string_view key, double value) {
+  set_attribute(key, str_format("%.6g", value));
+}
+
+void Span::set_start_us(std::uint64_t start_us) noexcept {
+  if (tracer_ != nullptr) record_.start_us = start_us;
+}
+
+std::uint64_t Span::now_us() const {
+  return tracer_ == nullptr ? 0 : tracer_->now_us();
+}
+
+Span Span::child(std::string name) {
+  if (tracer_ == nullptr) {
+    // Propagate the (unsampled) context so grandchildren stay consistent.
+    SpanRecord record;
+    record.trace = record_.trace;
+    record.parent_id = record_.span_id;
+    record.name = std::move(name);
+    return Span(nullptr, std::move(record));
+  }
+  return tracer_->start_span(std::move(name), context());
+}
+
+void Span::add_child(std::string name, std::uint64_t start_us,
+                     std::uint64_t duration_us, SpanAttributes attributes) {
+  if (tracer_ == nullptr) return;
+  tracer_->add_span(context(), std::move(name), start_us, duration_us,
+                    std::move(attributes));
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  record_.duration_us = tracer->now_us() - record_.start_us;
+  tracer->finish(std::move(record_));
+}
+
+// --- JSON / text rendering --------------------------------------------------
+
+namespace {
+
+JsonValue span_json(const SpanRecord& record) {
+  JsonValue node = JsonValue::object();
+  node.set("name", JsonValue::string(record.name));
+  node.set("span_id", JsonValue::unsigned_integer(record.span_id));
+  node.set("parent_id", JsonValue::unsigned_integer(record.parent_id));
+  node.set("start_us", JsonValue::unsigned_integer(record.start_us));
+  node.set("duration_us", JsonValue::unsigned_integer(record.duration_us));
+  if (!record.attributes.empty()) {
+    JsonValue attributes = JsonValue::object();
+    for (const auto& [key, value] : record.attributes) {
+      attributes.set(key, JsonValue::string(value));
+    }
+    node.set("attributes", std::move(attributes));
+  }
+  return node;
+}
+
+}  // namespace
+
+JsonValue span_tree_json(const std::vector<SpanRecord>& spans) {
+  // Children sorted by (start, id); spans with a missing parent are roots.
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const SpanRecord& record : spans) ordered.push_back(&record);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              return a->start_us != b->start_us ? a->start_us < b->start_us
+                                                : a->span_id < b->span_id;
+            });
+  auto known = [&spans](std::uint64_t id) {
+    return id != 0 &&
+           std::any_of(spans.begin(), spans.end(),
+                       [id](const SpanRecord& r) { return r.span_id == id; });
+  };
+  for (const SpanRecord* record : ordered) {
+    children[known(record->parent_id) ? record->parent_id : 0].push_back(
+        record);
+  }
+
+  // Recursive lambda via explicit stack-free structure.
+  struct Builder {
+    const std::map<std::uint64_t, std::vector<const SpanRecord*>>& children;
+    JsonValue build(const SpanRecord& record) const {
+      JsonValue node = span_json(record);
+      auto it = children.find(record.span_id);
+      if (it != children.end() && !it->second.empty()) {
+        JsonValue kids = JsonValue::array();
+        for (const SpanRecord* child : it->second) {
+          kids.push(build(*child));
+        }
+        node.set("children", std::move(kids));
+      }
+      return node;
+    }
+  };
+
+  JsonValue doc = JsonValue::object();
+  if (!spans.empty()) {
+    doc.set("trace_id", JsonValue::string(spans.front().trace.to_hex()));
+  }
+  JsonValue roots = JsonValue::array();
+  Builder builder{children};
+  auto it = children.find(0);
+  if (it != children.end()) {
+    for (const SpanRecord* root : it->second) roots.push(builder.build(*root));
+  }
+  doc.set("spans", std::move(roots));
+  return doc;
+}
+
+namespace {
+
+void flatten_span_json(const JsonValue& node, const TraceId& trace,
+                       std::uint64_t parent,
+                       std::vector<SpanRecord>& out) {
+  SpanRecord record;
+  record.trace = trace;
+  record.span_id = node.get("span_id").as_uint64();
+  record.parent_id = node.get("parent_id").as_uint64(parent);
+  record.name = node.get("name").as_string();
+  record.start_us = node.get("start_us").as_uint64();
+  record.duration_us = node.get("duration_us").as_uint64();
+  if (const JsonValue* attributes = node.find("attributes");
+      attributes != nullptr && attributes->is_object()) {
+    for (std::string_view key : attributes->keys()) {
+      record.attributes.emplace_back(std::string(key),
+                                     attributes->get(key).as_string());
+    }
+  }
+  const std::uint64_t id = record.span_id;
+  out.push_back(std::move(record));
+  if (const JsonValue* kids = node.find("children");
+      kids != nullptr && kids->is_array()) {
+    for (std::size_t i = 0; i < kids->size(); ++i) {
+      flatten_span_json(kids->at(i), trace, id, out);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<SpanRecord>> span_records_from_json(const JsonValue& doc) {
+  if (!doc.is_object()) {
+    return parse_error("span tree must be a JSON object");
+  }
+  TraceId trace;
+  if (auto parsed = TraceId::from_hex(doc.get("trace_id").as_string())) {
+    trace = *parsed;
+  }
+  const JsonValue* spans = doc.find("spans");
+  if (spans == nullptr || !spans->is_array()) {
+    return parse_error("span tree is missing its \"spans\" array");
+  }
+  std::vector<SpanRecord> out;
+  for (std::size_t i = 0; i < spans->size(); ++i) {
+    flatten_span_json(spans->at(i), trace, 0, out);
+  }
+  return out;
+}
+
+std::string render_span_tree(const std::vector<SpanRecord>& spans) {
+  struct Row {
+    const SpanRecord* record;
+    unsigned depth;
+  };
+  std::map<std::uint64_t, std::vector<const SpanRecord*>> children;
+  auto known = [&spans](std::uint64_t id) {
+    return id != 0 &&
+           std::any_of(spans.begin(), spans.end(),
+                       [id](const SpanRecord& r) { return r.span_id == id; });
+  };
+  for (const SpanRecord& record : spans) {
+    children[known(record.parent_id) ? record.parent_id : 0].push_back(
+        &record);
+  }
+  for (auto& [id, list] : children) {
+    std::sort(list.begin(), list.end(),
+              [](const SpanRecord* a, const SpanRecord* b) {
+                return a->start_us != b->start_us
+                           ? a->start_us < b->start_us
+                           : a->span_id < b->span_id;
+              });
+  }
+
+  std::string out;
+  if (!spans.empty()) {
+    out += "trace " + spans.front().trace.to_hex() + "\n";
+  }
+  std::vector<Row> stack;
+  auto it = children.find(0);
+  if (it != children.end()) {
+    for (auto root = it->second.rbegin(); root != it->second.rend(); ++root) {
+      stack.push_back({*root, 0});
+    }
+  }
+  while (!stack.empty()) {
+    const Row row = stack.back();
+    stack.pop_back();
+    out += str_format("%*s%-24s %10.3f ms  @%.3f ms",
+                      static_cast<int>(row.depth * 2), "",
+                      row.record->name.c_str(),
+                      static_cast<double>(row.record->duration_us) / 1000.0,
+                      static_cast<double>(row.record->start_us) / 1000.0);
+    for (const auto& [key, value] : row.record->attributes) {
+      out += "  " + key + "=" + value;
+    }
+    out += '\n';
+    auto kids = children.find(row.record->span_id);
+    if (kids != children.end()) {
+      for (auto child = kids->second.rbegin(); child != kids->second.rend();
+           ++child) {
+        stack.push_back({*child, row.depth + 1});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace segbus::obs

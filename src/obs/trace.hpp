@@ -1,0 +1,214 @@
+// Request-scoped tracing: span trees over the estimation pipeline.
+//
+// A Tracer hands out RAII Spans carrying a (trace id, span id, parent id)
+// triple, monotonic microsecond timestamps relative to the tracer's epoch,
+// and key/value attributes. Finished spans land in *per-thread* buffers —
+// the producer side is lock-free (a single-writer ring published with a
+// release store), so instrumented hot paths never contend; collect() is
+// the locked consumer that drains matching records.
+//
+// Sampling: a trace is either sampled (its spans are recorded) or not (all
+// span operations degrade to a couple of branches — the "tracing disabled"
+// cost). The head decision is made once per trace from the configured
+// ratio, deterministically from the trace id, so every component of one
+// request agrees without coordination; callers that *need* the tree (e.g.
+// `submit --trace`) force-sample their root.
+//
+// Trace ids are 128-bit. The service generates random ids; the scenario
+// fuzzer derives them from the scenario seed (TraceId::from_seed) so a
+// violation's trace id is reproducible from the campaign log alone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace segbus::obs {
+
+/// 128-bit trace identifier (zero = invalid).
+struct TraceId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool valid() const noexcept { return (hi | lo) != 0; }
+  /// 32 lowercase hex digits.
+  std::string to_hex() const;
+  /// Parses to_hex() output (also accepts 16-digit ids into `lo`).
+  static std::optional<TraceId> from_hex(std::string_view text);
+  /// A fresh random id (thread-safe).
+  static TraceId generate();
+  /// Deterministic id from a 64-bit seed (scenario fuzzing: the violation
+  /// trace is re-derivable from the logged scenario seed).
+  static TraceId from_seed(std::uint64_t seed) noexcept;
+
+  friend bool operator==(const TraceId& a, const TraceId& b) noexcept {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
+/// What a child span needs to attach to its parent.
+struct SpanContext {
+  TraceId trace;
+  std::uint64_t span_id = 0;  ///< 0 = no parent (root)
+  bool sampled = false;
+  bool valid() const noexcept { return trace.valid() && span_id != 0; }
+};
+
+using SpanAttributes = std::vector<std::pair<std::string, std::string>>;
+
+/// One finished span as drained from the thread buffers.
+struct SpanRecord {
+  TraceId trace;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root of its trace
+  std::string name;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  SpanAttributes attributes;
+};
+
+class Tracer;
+
+/// RAII span handle. Default-constructed (or unsampled) spans are no-ops;
+/// every operation is safe on them, so instrumentation sites need no
+/// "is tracing on" branches. Move-only; ends on destruction.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// True when this span will be recorded at end().
+  bool recording() const noexcept { return tracer_ != nullptr; }
+  /// Context for attaching children (valid even when not recording, so an
+  /// unsampled trace id still propagates end-to-end).
+  SpanContext context() const noexcept;
+
+  void set_attribute(std::string_view key, std::string_view value);
+  void set_attribute(std::string_view key, std::uint64_t value);
+  void set_attribute(std::string_view key, double value);
+
+  /// Back-dates the recorded start (microseconds on the tracer's clock) —
+  /// for phases measured before the span object existed (queue wait is
+  /// only known at dequeue time).
+  void set_start_us(std::uint64_t start_us) noexcept;
+
+  /// Microseconds now on the owning tracer's clock (0 when not recording).
+  std::uint64_t now_us() const;
+
+  /// Opens a live child span.
+  Span child(std::string name);
+  /// Records an already-measured phase as a finished child span.
+  void add_child(std::string name, std::uint64_t start_us,
+                 std::uint64_t duration_us, SpanAttributes attributes = {});
+
+  /// Closes the span (idempotent; the destructor calls it).
+  void end();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanRecord record)
+      : tracer_(tracer), record_(std::move(record)) {}
+
+  Tracer* tracer_ = nullptr;  ///< null = not recording
+  SpanRecord record_;         ///< trace id kept even when not recording
+};
+
+/// Span factory + per-thread collection buffers. Thread-safe.
+class Tracer {
+ public:
+  struct Config {
+    /// Probability a start_trace() root is sampled: 0 = never (the
+    /// cheap path), 1 = always. The decision hashes the trace id, so it
+    /// is deterministic per trace.
+    double sample_ratio = 1.0;
+    /// Finished-span capacity of each per-thread buffer; overflow drops
+    /// the newest span and counts it (see dropped()).
+    std::size_t buffer_capacity = 4096;
+    /// Mirror span begin/end into the process-wide FlightRecorder ring
+    /// (flight_recorder.hpp) when that is enabled.
+    bool flight_recorder = false;
+  };
+
+  Tracer();
+  explicit Tracer(Config config);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Microseconds since the tracer was constructed (monotonic).
+  std::uint64_t now_us() const;
+
+  /// Opens a root span. The trace is sampled per Config::sample_ratio
+  /// (deterministically from `trace`); `force` overrides to sampled.
+  Span start_trace(std::string name, TraceId trace = TraceId::generate(),
+                   bool force = false);
+
+  /// Opens a child span of `parent` (records only when parent.sampled).
+  Span start_span(std::string name, const SpanContext& parent);
+
+  /// Records an already-finished span (explicit timestamps).
+  void add_span(const SpanContext& parent, std::string name,
+                std::uint64_t start_us, std::uint64_t duration_us,
+                SpanAttributes attributes = {});
+
+  /// Drains every finished span of `trace` from all thread buffers,
+  /// ordered by (start_us, span_id). Other traces' spans stay buffered.
+  std::vector<SpanRecord> collect(const TraceId& trace);
+  /// Drains everything, same order.
+  std::vector<SpanRecord> collect_all();
+
+  /// Spans lost to full thread buffers since construction.
+  std::uint64_t dropped() const noexcept;
+
+  const Config& config() const noexcept { return config_; }
+
+ private:
+  friend class Span;
+
+  struct ThreadBuffer;
+
+  bool sample(const TraceId& trace, bool force) const noexcept;
+  std::uint64_t next_span_id() noexcept {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// The calling thread's buffer (registered on first use).
+  ThreadBuffer& local_buffer();
+  void finish(SpanRecord record);
+  std::vector<SpanRecord> drain(const TraceId* trace);
+
+  Config config_;
+  std::uint64_t id_ = 0;  ///< process-unique tracer id (thread cache key)
+  std::uint64_t epoch_ns_ = 0;  ///< steady_clock epoch at construction
+  std::atomic<std::uint64_t> next_span_id_{0};
+
+  mutable std::mutex registry_mutex_;  ///< guards buffers_ and consumers
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Nested JSON form of one trace's span records:
+///   {"trace_id": "...", "spans": [{"name", "span_id", "parent_id",
+///    "start_us", "duration_us", "attributes": {...}, "children": [...]}]}
+/// Spans whose parent is absent from `spans` surface as roots. Stable
+/// ordering: (start_us, span_id) at every level.
+JsonValue span_tree_json(const std::vector<SpanRecord>& spans);
+
+/// Parses span_tree_json() output back into flat records.
+Result<std::vector<SpanRecord>> span_records_from_json(const JsonValue& doc);
+
+/// Indented text rendering of the tree (for `segbus_cli submit --trace`).
+std::string render_span_tree(const std::vector<SpanRecord>& spans);
+
+}  // namespace segbus::obs

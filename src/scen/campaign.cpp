@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -31,6 +33,9 @@ std::string failure_json(const CampaignFailure& failure) {
   }
   if (!failure.corpus_stem.empty()) {
     json.set("corpus", JsonValue::string(failure.corpus_stem));
+  }
+  if (!failure.trace_id.empty()) {
+    json.set("trace_id", JsonValue::string(failure.trace_id));
   }
   return json.to_string();
 }
@@ -109,6 +114,20 @@ Result<CampaignReport> run_campaign(const CampaignOptions& options,
           (options.parallel_sample_period != 0 &&
            index % options.parallel_sample_period == 0);
 
+      // Seed-derived trace id: the violation's trace is re-derivable from
+      // the campaign log alone; force-sampled because a trace-enabled
+      // campaign wants every scenario's tree available at failure time.
+      const obs::TraceId trace_id = obs::TraceId::from_seed(scenario_seed);
+      obs::Span scenario_span;
+      if (options.tracer != nullptr) {
+        scenario_span =
+            options.tracer->start_trace("scenario", trace_id, true);
+        scenario_span.set_attribute("seed", scenario_seed);
+        scenario_span.set_attribute("index", index);
+        oracle.tracer = options.tracer;
+        oracle.parent = scenario_span.context();
+      }
+
       OracleOutcome outcome;
       if (scenario.is_ok()) {
         auto ran = run_oracle(*scenario, oracle);
@@ -136,6 +155,11 @@ Result<CampaignReport> run_campaign(const CampaignOptions& options,
         failure.detail = first.detail;
         failure.original =
             scenario.is_ok() ? scenario->describe() : "generation failed";
+        if (options.tracer != nullptr) {
+          failure.trace_id = trace_id.to_hex();
+          scenario_span.set_attribute(
+              "violation", invariant_name(first.invariant));
+        }
 
         if (scenario.is_ok() && options.shrink &&
             first.invariant != Invariant::kGeneratorContract) {
@@ -152,6 +176,7 @@ Result<CampaignReport> run_campaign(const CampaignOptions& options,
                   std::string(invariant_name(first.invariant)).c_str(),
                   static_cast<unsigned long long>(scenario_seed));
               CorpusMeta meta;
+              meta.seed = scenario_seed;
               meta.invariant = invariant_name(first.invariant);
               meta.detail = failure.detail;
               meta.note = "shrunk from " + failure.original;
@@ -161,6 +186,31 @@ Result<CampaignReport> run_campaign(const CampaignOptions& options,
                 failure.corpus_stem = stem;
               }
             }
+          }
+        }
+      }
+
+      if (options.tracer != nullptr) {
+        scenario_span.end();
+        // Drain this scenario's spans either way: failures archive them,
+        // passes must not pile up in the collection buffers.
+        std::vector<obs::SpanRecord> spans =
+            options.tracer->collect(trace_id);
+        if (failed && !options.corpus_dir.empty()) {
+          const std::string stem =
+              !failure.corpus_stem.empty()
+                  ? failure.corpus_stem
+                  : str_format("%s-s%llu",
+                               std::string(invariant_name(failure.invariant))
+                                   .c_str(),
+                               static_cast<unsigned long long>(scenario_seed));
+          (void)obs::write_text_file(
+              options.corpus_dir + "/" + stem + ".trace.json",
+              obs::span_tree_json(spans).to_string(true) + "\n");
+          if (obs::FlightRecorder::instance().enabled()) {
+            obs::FlightRecorder::instance().dump_to_file(
+                (options.corpus_dir + "/" + stem + ".flightrec.jsonl")
+                    .c_str());
           }
         }
       }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scen/corpus.hpp"
 #include "scen/generator.hpp"
 #include "scen/oracle.hpp"
@@ -49,6 +50,14 @@ struct CampaignOptions {
 
   GeneratorOptions generator;
   OracleOptions oracle;
+
+  /// When set, every scenario runs under a force-sampled root span whose
+  /// trace id is TraceId::from_seed(scenario seed) — reproducible from
+  /// the campaign log alone. A failing scenario's span tree is archived
+  /// as <stem>.trace.json next to its corpus entry, and (when the
+  /// process-wide flight recorder is enabled) its recent flight events as
+  /// <stem>.flightrec.jsonl. Passing scenarios' spans are discarded.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One failing scenario, after shrinking.
@@ -60,6 +69,7 @@ struct CampaignFailure {
   std::string original;             ///< Scenario::describe() before shrinking
   std::string shrunk;               ///< and after ("" when shrinking failed)
   std::string corpus_stem;          ///< archive stem ("" when not archived)
+  std::string trace_id;             ///< seed-derived trace id ("" untraced)
 };
 
 struct CampaignReport {

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <utility>
 
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "platform/platform_xml.hpp"
 #include "psdf/psdf_xml.hpp"
 #include "support/json.hpp"
@@ -174,12 +176,45 @@ Result<ReplayReport> replay_corpus(const std::string& directory,
   ReplayReport report;
   report.entries = entries.size();
   for (const CorpusEntry& entry : entries) {
+    // Traced replays mirror the campaign: a force-sampled root span with
+    // the entry's seed-derived trace id, archived next to the entry when
+    // the replay still violates.
+    OracleOptions entry_options = options;
+    obs::Span entry_span;
+    obs::TraceId trace_id;
+    if (options.tracer != nullptr) {
+      std::uint64_t seed = entry.meta.seed;
+      if (seed == 0) {
+        // Hand-written entries may lack a seed; hash the stem instead.
+        for (char c : entry.stem) {
+          seed = seed * 1099511628211ULL + static_cast<unsigned char>(c);
+        }
+      }
+      trace_id = obs::TraceId::from_seed(seed);
+      entry_span = options.tracer->start_trace("replay", trace_id, true);
+      entry_span.set_attribute("stem", std::string_view(entry.stem));
+      entry_options.parent = entry_span.context();
+    }
     SEGBUS_ASSIGN_OR_RETURN(OracleOutcome outcome,
-                            run_oracle(entry.scenario, options));
+                            run_oracle(entry.scenario, entry_options));
     ReplayOutcome replay;
     replay.stem = entry.stem;
     replay.waived = entry.meta.waived;
     replay.violations = std::move(outcome.violations);
+    if (options.tracer != nullptr) {
+      replay.trace_id = trace_id.to_hex();
+      entry_span.end();
+      std::vector<obs::SpanRecord> spans = options.tracer->collect(trace_id);
+      if (!replay.passed()) {
+        (void)obs::write_text_file(
+            directory + "/" + entry.stem + ".trace.json",
+            obs::span_tree_json(spans).to_string(true) + "\n");
+        if (obs::FlightRecorder::instance().enabled()) {
+          obs::FlightRecorder::instance().dump_to_file(
+              (directory + "/" + entry.stem + ".flightrec.jsonl").c_str());
+        }
+      }
+    }
     if (!replay.passed() && !replay.waived) ++report.failures;
     if (replay.passed() && replay.waived) ++report.stale_waivers;
     report.outcomes.push_back(std::move(replay));

@@ -56,6 +56,7 @@ struct ReplayOutcome {
   std::string stem;
   bool waived = false;
   std::vector<Violation> violations;
+  std::string trace_id;  ///< set when the replay ran traced
   bool passed() const noexcept { return violations.empty(); }
 };
 

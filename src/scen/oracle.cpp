@@ -343,10 +343,18 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
   auto violate = [&](Invariant invariant, std::string detail) {
     outcome.violations.push_back({invariant, std::move(detail)});
   };
+  // Per-invariant child spans under the campaign's scenario span. The
+  // no-op Span default keeps every check branch-free when untraced.
+  auto span_for = [&options](const char* name) {
+    return options.tracer != nullptr
+               ? options.tracer->start_span(name, options.parent)
+               : obs::Span();
+  };
 
   core::SessionConfig config;
   config.timing = scenario.timing;
 
+  obs::Span bind_span = span_for("oracle:bind");
   auto session = core::EmulationSession::from_models(scenario.application,
                                                      scenario.platform, config);
   ++outcome.invariants_checked;  // generator contract
@@ -363,8 +371,11 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
             "fingerprint failed: " + digest.status().to_string());
     return outcome;
   }
+  bind_span.end();
 
+  obs::Span run_span = span_for("oracle:base-run");
   auto result = session->emulate();
+  run_span.end();
   ++outcome.invariants_checked;  // completion
   if (!result.is_ok()) {
     violate(Invariant::kCompletion, result.status().to_string());
@@ -378,6 +389,7 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
 
   if (options.check_bounds) {
     ++outcome.invariants_checked;
+    obs::Span span = span_for("oracle:bounds-bracket");
     auto bounds = analysis::compute_static_bounds(
         scenario.application, scenario.platform, scenario.timing);
     if (!bounds.is_ok()) {
@@ -395,11 +407,13 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
 
   if (options.check_conservation) {
     ++outcome.invariants_checked;
+    obs::Span span = span_for("oracle:conservation");
     check_conservation(scenario, *result, outcome.violations);
   }
 
   if (options.check_fingerprint) {
     ++outcome.invariants_checked;
+    obs::Span span = span_for("oracle:fingerprint-equivalence");
     auto variant = relabeled_variant(scenario);
     if (!variant.is_ok()) {
       violate(Invariant::kFingerprintEquivalence,
@@ -437,6 +451,7 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
       ++outcome.invariants_skipped;
     } else {
       ++outcome.invariants_checked;
+      obs::Span span = span_for("oracle:clock-scaling");
       auto slow_session = core::EmulationSession::from_models(
           scenario.application, *slow, config);
       if (!slow_session.is_ok()) {
@@ -476,6 +491,7 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
 
   if (options.check_parallel) {
     ++outcome.invariants_checked;
+    obs::Span span = span_for("oracle:parallel-equivalence");
     core::SessionConfig parallel_config = config;
     parallel_config.parallel = true;
     parallel_config.threads = options.parallel_threads;

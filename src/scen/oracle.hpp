@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "scen/generator.hpp"
 #include "support/status.hpp"
 #include "support/time.hpp"
@@ -71,6 +72,10 @@ struct OracleOptions {
   /// Costlier (spawns a thread pool per scenario); campaigns sample it.
   bool check_parallel = false;
   unsigned parallel_threads = 2;
+  /// When set, each invariant check records a child span under `parent`
+  /// (the campaign's per-scenario span with its seed-derived trace id).
+  obs::Tracer* tracer = nullptr;
+  obs::SpanContext parent;
 };
 
 /// What the oracle saw on one scenario.

@@ -10,6 +10,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace segbus::service {
 
 Result<Client> Client::connect_unix(const std::string& path) {
@@ -116,7 +118,17 @@ Result<std::string> Client::call_raw(const std::string& line) {
 }
 
 Result<JobResponse> Client::call(const JobRequest& request) {
-  SEGBUS_ASSIGN_OR_RETURN(std::string line, call_raw(encode_request(request)));
+  // Every request carries a trace id so the server-side span tree is
+  // correlatable with client logs even when the caller never set one.
+  std::string encoded;
+  if (request.trace_id.empty()) {
+    JobRequest stamped = request;
+    stamped.trace_id = obs::TraceId::generate().to_hex();
+    encoded = encode_request(stamped);
+  } else {
+    encoded = encode_request(request);
+  }
+  SEGBUS_ASSIGN_OR_RETURN(std::string line, call_raw(encoded));
   return parse_response(line);
 }
 

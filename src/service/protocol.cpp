@@ -36,6 +36,10 @@ std::string encode_request(const JobRequest& request) {
   if (request.max_ticks != 0) {
     doc.set("max_ticks", JsonValue::unsigned_integer(request.max_ticks));
   }
+  if (!request.trace_id.empty()) {
+    doc.set("trace_id", JsonValue::string(request.trace_id));
+  }
+  if (request.trace) doc.set("trace", JsonValue::boolean(true));
   return doc.to_string();
 }
 
@@ -60,6 +64,8 @@ Result<JobRequest> parse_request(std::string_view line) {
   request.reference_timing = doc.get("reference").as_bool();
   request.parallel = doc.get("parallel").as_bool();
   request.max_ticks = doc.get("max_ticks").as_uint64();
+  request.trace_id = doc.get("trace_id").as_string();
+  request.trace = doc.get("trace").as_bool();
   if (request.kind == "submit" &&
       (request.psdf_xml.empty() || request.psm_xml.empty())) {
     return invalid_argument_error(
@@ -88,16 +94,24 @@ std::string encode_response(const JobResponse& response) {
   }
   doc.set("queue_ms", JsonValue::number(response.queue_ms));
   doc.set("run_ms", JsonValue::number(response.run_ms));
-  std::string line = doc.to_string();
-  if (!response.report_json.empty()) {
-    // Splice the payload in verbatim so the report stays byte-exact
-    // (re-serializing through the JSON tree would also work — the
-    // serializer round-trips — but this keeps hits zero-copy).
-    line.pop_back();  // trailing '}'
-    line += ",\"report\":";
-    line += response.report_json;
-    line += '}';
+  if (!response.trace_id.empty()) {
+    doc.set("trace_id", JsonValue::string(response.trace_id));
   }
+  std::string line = doc.to_string();
+  // Splice pre-serialized payloads in verbatim so the report stays
+  // byte-exact (re-serializing through the JSON tree would also work —
+  // the serializer round-trips — but this keeps hits zero-copy).
+  auto splice = [&line](const char* key, const std::string& payload) {
+    if (payload.empty()) return;
+    line.pop_back();  // trailing '}'
+    line += ",\"";
+    line += key;
+    line += "\":";
+    line += payload;
+    line += '}';
+  };
+  splice("report", response.report_json);
+  splice("trace", response.trace_json);
   return line;
 }
 
@@ -118,8 +132,12 @@ Result<JobResponse> parse_response(std::string_view line) {
   response.execution_time = Picoseconds(doc.get("execution_ps").as_int64());
   response.queue_ms = doc.get("queue_ms").as_number();
   response.run_ms = doc.get("run_ms").as_number();
+  response.trace_id = doc.get("trace_id").as_string();
   if (const JsonValue* report = doc.find("report"); report != nullptr) {
     response.report_json = report->to_string();
+  }
+  if (const JsonValue* trace = doc.find("trace"); trace != nullptr) {
+    response.trace_json = trace->to_string();
   }
   return response;
 }

@@ -43,6 +43,12 @@ struct JobRequest {
   bool reference_timing = false;   ///< reference instead of emulator preset
   bool parallel = false;           ///< run on the parallel engine
   std::uint64_t max_ticks = 0;     ///< per-job tick budget (0 = server default)
+  std::string trace_id;  ///< 32-hex trace id to propagate ("" = server picks)
+  bool trace = false;    ///< force-sample and return the span tree
+
+  // Not on the wire — filled by the transport for the server's spans.
+  std::string peer;      ///< client address ("pipe" for in-process calls)
+  double parse_ms = 0.0;  ///< host time spent parsing the request line
 };
 
 /// The server's answer to one request.
@@ -57,6 +63,8 @@ struct JobResponse {
   Picoseconds execution_time{0};  ///< emulated execution time (submit only)
   double queue_ms = 0.0;          ///< host time spent queued
   double run_ms = 0.0;            ///< host time spent emulating/reporting
+  std::string trace_id;    ///< trace id the server used for this request
+  std::string trace_json;  ///< span tree (obs::span_tree_json) when traced
 
   /// Builds an error response echoing `id`.
   static JobResponse failure(std::string id, std::string code,

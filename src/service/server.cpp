@@ -12,11 +12,16 @@
 #include <chrono>
 #include <cstring>
 #include <future>
+#include <optional>
 #include <utility>
 
 #include "core/fingerprint.hpp"
 #include "core/json_export.hpp"
 #include "core/session.hpp"
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "support/build_info.hpp"
+#include "support/log.hpp"
 #include "support/strings.hpp"
 
 namespace segbus::service {
@@ -36,6 +41,18 @@ constexpr const char* kOutcomes[] = {
     "tick_limit",          "rejected_backpressure",
     "rejected_draining",   "rejected_deadline"};
 
+/// The pipeline phases stats_json snapshots (observe_phase records).
+constexpr const char* kPhases[] = {"parse",     "queue-wait", "cache-lookup",
+                                   "analyze",   "emulation",  "serialize"};
+
+obs::Tracer::Config tracer_config(const ServerConfig& config) {
+  obs::Tracer::Config out;
+  out.sample_ratio = config.trace_sample_ratio;
+  out.buffer_capacity = config.trace_buffer_capacity;
+  out.flight_recorder = config.flight_recorder;
+  return out;
+}
+
 }  // namespace
 
 // --- JobServer --------------------------------------------------------------
@@ -48,7 +65,9 @@ struct JobServer::Job {
 
 JobServer::JobServer(ServerConfig config)
     : config_(std::move(config)),
-      cache_(config_.cache_entries, config_.cache_bytes) {
+      cache_(config_.cache_entries, config_.cache_bytes),
+      tracer_(tracer_config(config_)) {
+  if (config_.flight_recorder) obs::FlightRecorder::instance().enable();
   {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
     queue_wait_ms_ = metrics_.histogram(
@@ -74,6 +93,25 @@ void JobServer::count_outcome(std::string_view outcome) {
                {{"outcome", std::string(outcome)}},
                "service jobs by final outcome")
       .inc();
+}
+
+void JobServer::count_rejected_request() {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_
+      .counter("segbus_service_requests_rejected_total", {},
+               "request lines rejected before reaching the job queue "
+               "(malformed NDJSON)")
+      .inc();
+}
+
+void JobServer::observe_phase(std::string_view phase, double ms) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_
+      .histogram("segbus_service_phase_ms",
+                 obs::exponential_bounds(0.01, 2.0, 24),
+                 {{"phase", std::string(phase)}},
+                 "host milliseconds per pipeline phase")
+      .observe(ms);
 }
 
 JobResponse JobServer::submit(JobRequest request) {
@@ -115,6 +153,40 @@ void JobServer::worker_loop() {
     }
 
     const double queue_ms = elapsed_ms(job->enqueued);
+
+    // Root span of the request. The trace id comes from the client when
+    // it sent one (propagation), else is freshly generated; an explicit
+    // `trace` request force-samples so the tree can be returned.
+    obs::TraceId trace_id;
+    if (auto parsed = obs::TraceId::from_hex(job->request.trace_id)) {
+      trace_id = *parsed;
+    } else {
+      trace_id = obs::TraceId::generate();
+    }
+    obs::Span job_span =
+        tracer_.start_trace("job", trace_id, job->request.trace);
+    job_span.set_attribute("id", std::string_view(job->request.id));
+    job_span.set_attribute("kind", std::string_view(job->request.kind));
+    if (!job->request.peer.empty()) {
+      job_span.set_attribute("peer", std::string_view(job->request.peer));
+    }
+    // Back-date the root to when the transport started parsing the line,
+    // then record parse and queue-wait as already-finished children.
+    const auto parse_us =
+        static_cast<std::uint64_t>(job->request.parse_ms * 1000.0);
+    const auto queue_us = static_cast<std::uint64_t>(queue_ms * 1000.0);
+    if (job_span.recording()) {
+      const std::uint64_t dequeued_us = job_span.now_us();
+      const std::uint64_t root_us =
+          dequeued_us > parse_us + queue_us ? dequeued_us - parse_us - queue_us
+                                            : 0;
+      job_span.set_start_us(root_us);
+      job_span.add_child("parse", root_us, parse_us);
+      job_span.add_child("queue-wait", root_us + parse_us, queue_us);
+    }
+    observe_phase("parse", job->request.parse_ms);
+    observe_phase("queue-wait", queue_ms);
+
     JobResponse response;
     if (config_.queue_deadline_ms > 0 &&
         queue_ms > static_cast<double>(config_.queue_deadline_ms)) {
@@ -127,10 +199,22 @@ void JobServer::worker_loop() {
     } else {
       if (config_.before_job_hook) config_.before_job_hook(job->request);
       const Clock::time_point started = Clock::now();
-      response = process(job->request);
+      response = process(job->request, job_span);
       response.run_ms = elapsed_ms(started);
     }
     response.queue_ms = queue_ms;
+    response.trace_id = trace_id.to_hex();
+    job_span.set_attribute("ok", std::string_view(response.ok ? "true"
+                                                              : "false"));
+    if (!response.ok) {
+      job_span.set_attribute("error", std::string_view(response.error_code));
+    }
+    const bool collect_trace = job->request.trace && job_span.recording();
+    job_span.end();
+    if (collect_trace) {
+      response.trace_json =
+          obs::span_tree_json(tracer_.collect(trace_id)).to_string();
+    }
     {
       std::lock_guard<std::mutex> lock(metrics_mutex_);
       queue_wait_ms_.observe(response.queue_ms);
@@ -146,7 +230,8 @@ void JobServer::worker_loop() {
   }
 }
 
-JobResponse JobServer::process(const JobRequest& request) {
+JobResponse JobServer::process(const JobRequest& request,
+                               obs::Span& job_span) {
   if (request.kind == "ping") {
     JobResponse response;
     response.id = request.id;
@@ -160,10 +245,11 @@ JobResponse JobServer::process(const JobRequest& request) {
     response.report_json = stats_json().to_string();
     return response;
   }
-  return run_submit(request);
+  return run_submit(request, job_span);
 }
 
-JobResponse JobServer::run_submit(const JobRequest& request) {
+JobResponse JobServer::run_submit(const JobRequest& request,
+                                  obs::Span& job_span) {
   core::SessionConfig config;
   config.timing = request.reference_timing ? emu::TimingModel::reference()
                                            : emu::TimingModel::emulator();
@@ -172,9 +258,14 @@ JobResponse JobServer::run_submit(const JobRequest& request) {
   config.engine.max_ticks_per_domain =
       request.max_ticks != 0 ? std::min(request.max_ticks, config_.max_ticks)
                              : config_.max_ticks;
+  config.engine.flight_recorder = config_.flight_recorder;
 
+  Clock::time_point phase_start = Clock::now();
+  obs::Span analyze_span = job_span.child("analyze");
   auto session = core::EmulationSession::from_xml_strings(
       request.psdf_xml, request.psm_xml, config, request.package_size);
+  analyze_span.end();
+  observe_phase("analyze", elapsed_ms(phase_start));
   if (!session.is_ok()) {
     count_outcome("failed");
     const StatusCode code = session.status().code();
@@ -184,25 +275,37 @@ JobResponse JobServer::run_submit(const JobRequest& request) {
         session.status().to_string());
   }
 
+  phase_start = Clock::now();
+  obs::Span lookup_span = job_span.child("cache-lookup");
   std::string key;
+  std::optional<CachedResult> hit;
   if (auto digest = core::scheme_digest(session->application(),
                                         session->platform(), config);
       digest.is_ok()) {
     key = std::move(*digest);
-    if (auto hit = cache_.lookup(key)) {
-      count_outcome("cache_hit");
-      JobResponse response;
-      response.id = request.id;
-      response.ok = true;
-      response.cache_hit = true;
-      response.digest = key;
-      response.report_json = std::move(hit->report_json);
-      response.execution_time = hit->execution_time;
-      return response;
-    }
+    lookup_span.set_attribute("digest", std::string_view(key));
+    hit = cache_.lookup(key);
+  }
+  lookup_span.set_attribute("hit", std::string_view(hit ? "true" : "false"));
+  lookup_span.end();
+  observe_phase("cache-lookup", elapsed_ms(phase_start));
+  if (hit) {
+    count_outcome("cache_hit");
+    JobResponse response;
+    response.id = request.id;
+    response.ok = true;
+    response.cache_hit = true;
+    response.digest = key;
+    response.report_json = std::move(hit->report_json);
+    response.execution_time = hit->execution_time;
+    return response;
   }
 
-  auto result = session->emulate();
+  phase_start = Clock::now();
+  obs::Span emulation_span = job_span.child("emulation");
+  auto result = session->emulate(emulation_span);
+  emulation_span.end();
+  observe_phase("emulation", elapsed_ms(phase_start));
   if (!result.is_ok()) {
     count_outcome("failed");
     return JobResponse::failure(request.id, "internal",
@@ -210,6 +313,17 @@ JobResponse JobServer::run_submit(const JobRequest& request) {
   }
   if (!result->completed) {
     count_outcome("tick_limit");
+    if (config_.flight_recorder && !config_.flight_recorder_dir.empty()) {
+      // The cancelled job's last recorded events are the evidence; dump
+      // them next to nothing else this job will produce.
+      const std::string path = config_.flight_recorder_dir + "/flightrec-" +
+                               job_span.context().trace.to_hex() + ".jsonl";
+      obs::FlightRecorder::instance().dump_to_file(path.c_str());
+      SEGBUS_LOG(kWarn, "service")
+          << "job " << request.id
+          << " cancelled at its tick budget; flight recorder dumped to "
+          << path;
+    }
     return JobResponse::failure(
         request.id, "tick-limit",
         str_format("emulation cancelled: exceeded the %llu-tick job budget",
@@ -217,6 +331,8 @@ JobResponse JobServer::run_submit(const JobRequest& request) {
                        config.engine.max_ticks_per_domain)));
   }
 
+  phase_start = Clock::now();
+  obs::Span serialize_span = job_span.child("serialize");
   JobResponse response;
   response.id = request.id;
   response.ok = true;
@@ -224,6 +340,10 @@ JobResponse JobServer::run_submit(const JobRequest& request) {
   response.execution_time = result->total_execution_time;
   response.report_json =
       core::result_to_json(*result, session->platform()).to_string();
+  serialize_span.set_attribute(
+      "bytes", static_cast<std::uint64_t>(response.report_json.size()));
+  serialize_span.end();
+  observe_phase("serialize", elapsed_ms(phase_start));
   if (!key.empty()) {
     cache_.insert({key, response.report_json, response.execution_time});
   }
@@ -276,6 +396,11 @@ JsonValue JobServer::stats_json() const {
       jobs.set(outcome, JsonValue::unsigned_integer(
                             metric == nullptr ? 0 : metric->counter_value));
     }
+    const obs::Metric* rejected =
+        metrics_.find("segbus_service_requests_rejected_total");
+    jobs.set("rejected_requests",
+             JsonValue::unsigned_integer(
+                 rejected == nullptr ? 0 : rejected->counter_value));
   }
   doc.set("jobs", std::move(jobs));
 
@@ -315,6 +440,36 @@ JsonValue JobServer::stats_json() const {
   cache_doc.set("hit_rate", JsonValue::number(cache.hit_rate()));
   doc.set("cache", std::move(cache_doc));
 
+  JsonValue phases = JsonValue::object();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const char* phase : kPhases) {
+      const obs::Metric* metric =
+          metrics_.find("segbus_service_phase_ms", {{"phase", phase}});
+      if (metric == nullptr) continue;
+      JsonValue snapshot = JsonValue::object();
+      snapshot.set("count", JsonValue::unsigned_integer(metric->observations));
+      snapshot.set("p50_ms", JsonValue::number(metric->quantile(0.5)));
+      snapshot.set("p99_ms", JsonValue::number(metric->quantile(0.99)));
+      phases.set(phase, std::move(snapshot));
+    }
+  }
+  doc.set("phases", std::move(phases));
+
+  JsonValue trace = JsonValue::object();
+  trace.set("sample_ratio", JsonValue::number(config_.trace_sample_ratio));
+  trace.set("dropped_spans", JsonValue::unsigned_integer(tracer_.dropped()));
+  trace.set("flight_recorder", JsonValue::boolean(config_.flight_recorder));
+  doc.set("trace", std::move(trace));
+
+  const BuildInfo& info = build_info();
+  JsonValue build = JsonValue::object();
+  build.set("version", JsonValue::string(info.version));
+  build.set("revision", JsonValue::string(info.git_hash));
+  build.set("compiler", JsonValue::string(info.compiler));
+  build.set("build_type", JsonValue::string(info.build_type));
+  doc.set("build", std::move(build));
+
   return doc;
 }
 
@@ -340,6 +495,11 @@ obs::MetricsRegistry JobServer::metrics_snapshot() const {
       .gauge("segbus_service_jobs_in_flight", {},
              "jobs currently being processed by workers")
       .set(static_cast<double>(in_flight));
+  snapshot
+      .gauge("segbus_service_trace_dropped_spans", {},
+             "finished spans lost to full per-thread trace buffers")
+      .set(static_cast<double>(tracer_.dropped()));
+  obs::add_build_info(snapshot);
   return snapshot;
 }
 
@@ -472,21 +632,33 @@ void SocketServer::accept_loop() {
     if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) return;
     for (nfds_t i = 1; i < count; ++i) {
       if ((fds[i].revents & POLLIN) == 0) continue;
-      const int conn = ::accept(fds[i].fd, nullptr, nullptr);
+      sockaddr_storage addr{};
+      socklen_t addr_len = sizeof(addr);
+      const int conn = ::accept(
+          fds[i].fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
       if (conn < 0) continue;
+      std::string peer = "unix:" + unix_path_;
+      if (addr.ss_family == AF_INET) {
+        const auto* in = reinterpret_cast<const sockaddr_in*>(&addr);
+        char host[INET_ADDRSTRLEN] = {};
+        ::inet_ntop(AF_INET, &in->sin_addr, host, sizeof(host));
+        peer = str_format("%s:%u", host,
+                          static_cast<unsigned>(ntohs(in->sin_port)));
+      }
       std::lock_guard<std::mutex> lock(conn_mutex_);
       if (stopping_) {
         ::close(conn);
         continue;
       }
       conn_fds_.push_back(conn);
-      conn_threads_.emplace_back(
-          [this, conn] { handle_connection(conn); });
+      conn_threads_.emplace_back([this, conn, peer = std::move(peer)] {
+        handle_connection(conn, peer);
+      });
     }
   }
 }
 
-void SocketServer::handle_connection(int fd) {
+void SocketServer::handle_connection(int fd, const std::string& peer) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -507,9 +679,16 @@ void SocketServer::handle_connection(int fd) {
         continue;
       }
       JobResponse response;
+      const Clock::time_point parse_start = Clock::now();
       if (auto request = parse_request(line); request.is_ok()) {
+        request->peer = peer;
+        request->parse_ms = elapsed_ms(parse_start);
         response = jobs_.submit(std::move(*request));
       } else {
+        jobs_.count_rejected_request();
+        SEGBUS_LOG(kWarn, "service")
+            << "rejected malformed request from " << peer << " ("
+            << line.size() << " bytes): " << request.status().to_string();
         response = JobResponse::failure("", "parse",
                                         request.status().to_string());
       }

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/cache.hpp"
 #include "service/protocol.hpp"
 #include "support/json.hpp"
@@ -63,6 +64,18 @@ struct ServerConfig {
   /// Instrumentation/test seam: invoked on the worker thread right before
   /// a job is processed (after dequeue). Must be thread-safe.
   std::function<void(const JobRequest&)> before_job_hook;
+  /// Head-sampling ratio for request traces (0 = only explicitly traced
+  /// requests record spans; trace ids still propagate).
+  double trace_sample_ratio = 0.0;
+  /// Per-thread finished-span buffer capacity (see obs::Tracer::Config).
+  std::size_t trace_buffer_capacity = 4096;
+  /// Enable the process-wide flight recorder: span begin/end and engine
+  /// progress events land in bounded per-thread rings, dumped as JSONL
+  /// when a job hits its tick budget (below) or the process crashes.
+  bool flight_recorder = false;
+  /// Directory for tick-limit flight dumps ("" = no dump on tick-limit);
+  /// files are named flightrec-<trace_id>.jsonl.
+  std::string flight_recorder_dir;
 };
 
 /// The in-process job server. Thread-safe; submit() may be called from any
@@ -93,6 +106,11 @@ class JobServer {
 
   const ServerConfig& config() const noexcept { return config_; }
   CacheStats cache_stats() const { return cache_.stats(); }
+  obs::Tracer& tracer() noexcept { return tracer_; }
+
+  /// Counts one transport-level rejection (malformed request line) into
+  /// segbus_service_requests_rejected_total.
+  void count_rejected_request();
 
   /// Point-in-time counters: jobs by outcome, queue depth, latency
   /// quantiles, cache stats.
@@ -105,12 +123,14 @@ class JobServer {
   struct Job;
 
   void worker_loop();
-  JobResponse process(const JobRequest& request);
-  JobResponse run_submit(const JobRequest& request);
+  JobResponse process(const JobRequest& request, obs::Span& job_span);
+  JobResponse run_submit(const JobRequest& request, obs::Span& job_span);
   void count_outcome(std::string_view outcome);
+  void observe_phase(std::string_view phase, double ms);
 
   ServerConfig config_;
   ResultCache cache_;
+  obs::Tracer tracer_;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
@@ -166,7 +186,7 @@ class SocketServer {
   explicit SocketServer(ServerConfig server_config);
 
   void accept_loop();
-  void handle_connection(int fd);
+  void handle_connection(int fd, const std::string& peer);
 
   JobServer jobs_;
   int tcp_listen_fd_ = -1;

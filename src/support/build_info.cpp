@@ -1,0 +1,30 @@
+#include "support/build_info.hpp"
+
+#ifndef SEGBUS_VERSION
+#define SEGBUS_VERSION "0.0.0"
+#endif
+#ifndef SEGBUS_GIT_HASH
+#define SEGBUS_GIT_HASH "unknown"
+#endif
+#ifndef SEGBUS_COMPILER
+#define SEGBUS_COMPILER "unknown"
+#endif
+#ifndef SEGBUS_BUILD_TYPE
+#define SEGBUS_BUILD_TYPE "unknown"
+#endif
+
+namespace segbus {
+
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info{SEGBUS_VERSION, SEGBUS_GIT_HASH,
+                              SEGBUS_COMPILER, SEGBUS_BUILD_TYPE};
+  return info;
+}
+
+std::string build_info_line() {
+  const BuildInfo& info = build_info();
+  return "segbus " + info.version + " (" + info.git_hash + ", " +
+         info.compiler + ", " + info.build_type + ")";
+}
+
+}  // namespace segbus

@@ -1,0 +1,25 @@
+// Compile-time build identity: git revision, compiler, build type, project
+// version. Values are injected by CMake as SEGBUS_GIT_HASH etc.; every
+// binary surfaces them via --version and the Prometheus export exposes
+// them as the segbus_build_info gauge (obs::add_build_info).
+#pragma once
+
+#include <string>
+
+namespace segbus {
+
+struct BuildInfo {
+  std::string version;     ///< project version (CMake PROJECT_VERSION)
+  std::string git_hash;    ///< short git revision, "unknown" outside a repo
+  std::string compiler;    ///< e.g. "GNU 13.2.0"
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+};
+
+/// The identity baked into this binary.
+const BuildInfo& build_info() noexcept;
+
+/// One-line form for --version: "segbus <version> (<hash>, <compiler>,
+/// <build_type>)".
+std::string build_info_line();
+
+}  // namespace segbus

@@ -1,0 +1,170 @@
+// Exporter round-trips: Prometheus text, JSON and CSV outputs are parsed
+// back and checked value-for-value, label escaping survives the trip,
+// series ordering is deterministic, and the segbus_build_info identity
+// gauge rides along in every format.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "support/build_info.hpp"
+#include "support/json.hpp"
+
+namespace segbus::obs {
+namespace {
+
+MetricsRegistry sample_registry() {
+  MetricsRegistry registry;
+  registry.counter("requests_total", {{"kind", "submit"}}, "requests").inc(3);
+  registry.counter("requests_total", {{"kind", "ping"}}, "requests").inc(1);
+  registry.gauge("queue_depth", {}, "jobs waiting").set(2.5);
+  Histogram h = registry.histogram("latency_ms", {1.0, 10.0, 100.0}, {},
+                                   "latency");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  return registry;
+}
+
+/// Minimal Prometheus text parser: "name{labels} value" lines into a map.
+std::map<std::string, std::string> parse_prometheus(const std::string& text) {
+  std::map<std::string, std::string> series;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    series[line.substr(0, space)] = line.substr(space + 1);
+  }
+  return series;
+}
+
+TEST(PrometheusExport, RoundTripValues) {
+  const std::string text = to_prometheus(sample_registry());
+  const auto series = parse_prometheus(text);
+  EXPECT_EQ(series.at("requests_total{kind=\"submit\"}"), "3");
+  EXPECT_EQ(series.at("requests_total{kind=\"ping\"}"), "1");
+  EXPECT_EQ(series.at("queue_depth"), "2.5");
+  // Cumulative histogram buckets plus _sum/_count.
+  EXPECT_EQ(series.at("latency_ms_bucket{le=\"1\"}"), "1");
+  EXPECT_EQ(series.at("latency_ms_bucket{le=\"10\"}"), "2");
+  EXPECT_EQ(series.at("latency_ms_bucket{le=\"100\"}"), "3");
+  EXPECT_EQ(series.at("latency_ms_bucket{le=\"+Inf\"}"), "3");
+  EXPECT_EQ(series.at("latency_ms_count"), "3");
+  EXPECT_EQ(series.at("latency_ms_sum"), "55.5");
+  // TYPE lines are present exactly once per family.
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_ms histogram"), std::string::npos);
+}
+
+TEST(PrometheusExport, LabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("odd_total", {{"path", "a\\b\"c\nd"}}, "").inc(1);
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("odd_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos)
+      << text;
+  // No raw newline may survive inside a series line.
+  const auto series = parse_prometheus(text);
+  EXPECT_EQ(series.size(), 1u);
+}
+
+TEST(PrometheusExport, DeterministicByteIdenticalOutput) {
+  const std::string first = to_prometheus(sample_registry());
+  const std::string second = to_prometheus(sample_registry());
+  EXPECT_EQ(first, second);
+}
+
+TEST(JsonExport, RoundTripValues) {
+  const JsonValue doc = to_json(sample_registry());
+  auto reparsed = JsonValue::parse(doc.to_string(/*pretty=*/true));
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string();
+  const JsonValue& metrics = reparsed->get("metrics");
+  ASSERT_TRUE(metrics.is_array());
+  ASSERT_EQ(metrics.size(), 4u);
+
+  bool saw_submit = false, saw_gauge = false, saw_histogram = false;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const JsonValue& entry = metrics.at(i);
+    const std::string name = entry.get("name").as_string();
+    if (name == "requests_total" &&
+        entry.get("labels").get("kind").as_string() == "submit") {
+      saw_submit = true;
+      EXPECT_EQ(entry.get("type").as_string(), "counter");
+      EXPECT_EQ(entry.get("value").as_uint64(), 3u);
+    }
+    if (name == "queue_depth") {
+      saw_gauge = true;
+      EXPECT_DOUBLE_EQ(entry.get("value").as_number(), 2.5);
+    }
+    if (name == "latency_ms") {
+      saw_histogram = true;
+      EXPECT_EQ(entry.get("type").as_string(), "histogram");
+      EXPECT_EQ(entry.get("count").as_uint64(), 3u);
+      EXPECT_DOUBLE_EQ(entry.get("sum").as_number(), 55.5);
+    }
+  }
+  EXPECT_TRUE(saw_submit);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
+}
+
+TEST(CsvExport, RoundTripValues) {
+  const std::string text = to_csv(sample_registry()).to_string();
+  std::istringstream in(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));  // header
+  std::vector<std::string> rows;
+  while (std::getline(in, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 4u);
+  // Insertion order is preserved: submit, ping, gauge, histogram.
+  EXPECT_NE(rows[0].find("requests_total"), std::string::npos);
+  EXPECT_NE(rows[0].find("kind=submit"), std::string::npos);
+  EXPECT_NE(rows[2].find("queue_depth"), std::string::npos);
+  EXPECT_NE(rows[3].find("latency_ms"), std::string::npos);
+  // Byte-identical on re-export.
+  EXPECT_EQ(text, to_csv(sample_registry()).to_string());
+}
+
+TEST(BuildInfoGauge, CarriesIdentityLabels) {
+  MetricsRegistry registry;
+  add_build_info(registry);
+  const BuildInfo& info = build_info();
+  const Metric* metric = registry.find(
+      "segbus_build_info", {{"build_type", info.build_type},
+                            {"compiler", info.compiler},
+                            {"revision", info.git_hash},
+                            {"version", info.version}});
+  ASSERT_NE(metric, nullptr);
+  EXPECT_EQ(metric->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(metric->gauge_value, 1.0);
+
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("segbus_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("version=\"" + info.version + "\""),
+            std::string::npos);
+  EXPECT_NE(text.find("revision=\"" + info.git_hash + "\""),
+            std::string::npos);
+  // Idempotent: re-adding must not create a second series.
+  add_build_info(registry);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(BuildInfoLine, MentionsEveryField) {
+  const BuildInfo& info = build_info();
+  const std::string line = build_info_line();
+  EXPECT_NE(line.find("segbus"), std::string::npos);
+  EXPECT_NE(line.find(info.version), std::string::npos);
+  EXPECT_NE(line.find(info.git_hash), std::string::npos);
+  EXPECT_NE(line.find(info.build_type), std::string::npos);
+}
+
+}  // namespace
+}  // namespace segbus::obs

@@ -1,0 +1,408 @@
+// Request-scoped tracing: trace ids, deterministic sampling, span trees
+// (live children + back-dated phases), per-thread buffer overflow
+// accounting, the JSON tree round-trip, and the crash/timeout flight
+// recorder's JSONL dumps.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+
+namespace segbus::obs {
+namespace {
+
+// --- trace ids --------------------------------------------------------------
+
+TEST(TraceId, HexRoundTrip) {
+  const TraceId id{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  const std::string hex = id.to_hex();
+  EXPECT_EQ(hex, "0123456789abcdeffedcba9876543210");
+  auto parsed = TraceId::from_hex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(TraceId, FromHexAcceptsShortFormAndRejectsGarbage) {
+  auto short_form = TraceId::from_hex("00000000000000ff");
+  ASSERT_TRUE(short_form.has_value());
+  EXPECT_EQ(short_form->hi, 0u);
+  EXPECT_EQ(short_form->lo, 0xffu);
+  EXPECT_FALSE(TraceId::from_hex("").has_value());
+  EXPECT_FALSE(TraceId::from_hex("xyz").has_value());
+  EXPECT_FALSE(TraceId::from_hex("0123").has_value());
+  EXPECT_FALSE(
+      TraceId::from_hex("0123456789abcdeffedcba987654321g").has_value());
+}
+
+TEST(TraceId, FromSeedIsDeterministicAndDisperses) {
+  EXPECT_EQ(TraceId::from_seed(42), TraceId::from_seed(42));
+  std::set<std::string> ids;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const TraceId id = TraceId::from_seed(seed);
+    EXPECT_TRUE(id.valid()) << "seed " << seed;
+    ids.insert(id.to_hex());
+  }
+  EXPECT_EQ(ids.size(), 64u);  // no collisions across adjacent seeds
+}
+
+TEST(TraceId, GenerateIsValidAndUnique) {
+  std::set<std::string> ids;
+  for (int i = 0; i < 32; ++i) {
+    const TraceId id = TraceId::generate();
+    EXPECT_TRUE(id.valid());
+    ids.insert(id.to_hex());
+  }
+  EXPECT_EQ(ids.size(), 32u);
+}
+
+// --- sampling ---------------------------------------------------------------
+
+Tracer::Config config_with(double ratio, std::size_t capacity = 4096) {
+  Tracer::Config config;
+  config.sample_ratio = ratio;
+  config.buffer_capacity = capacity;
+  return config;
+}
+
+TEST(Sampling, ZeroRatioRecordsNothingUnlessForced) {
+  Tracer tracer{config_with(0.0)};
+  Span unsampled = tracer.start_trace("job");
+  EXPECT_FALSE(unsampled.recording());
+  // The trace id still propagates so downstream components can tag logs.
+  EXPECT_TRUE(unsampled.context().trace.valid());
+  EXPECT_FALSE(unsampled.context().sampled);
+  unsampled.set_attribute("k", "v");  // all ops safe on no-op spans
+  Span child = unsampled.child("child");
+  EXPECT_FALSE(child.recording());
+  child.end();
+  unsampled.end();
+  EXPECT_TRUE(tracer.collect_all().empty());
+
+  Span forced = tracer.start_trace("job", TraceId::generate(), true);
+  EXPECT_TRUE(forced.recording());
+  forced.end();
+  EXPECT_EQ(tracer.collect_all().size(), 1u);
+}
+
+TEST(Sampling, FullRatioRecordsEverything) {
+  Tracer tracer{config_with(1.0)};
+  for (int i = 0; i < 8; ++i) tracer.start_trace("t").end();
+  EXPECT_EQ(tracer.collect_all().size(), 8u);
+}
+
+TEST(Sampling, DecisionIsDeterministicPerTraceId) {
+  // Two tracers with the same ratio must agree on every trace id — that is
+  // what lets client and server sample the same request consistently.
+  Tracer a{config_with(0.5)};
+  Tracer b{config_with(0.5)};
+  int sampled = 0;
+  for (std::uint64_t seed = 1; seed <= 256; ++seed) {
+    const TraceId id = TraceId::from_seed(seed);
+    Span span_a = a.start_trace("t", id);
+    Span span_b = b.start_trace("t", id);
+    EXPECT_EQ(span_a.recording(), span_b.recording()) << "seed " << seed;
+    if (span_a.recording()) ++sampled;
+  }
+  // The hash split should be in the right ballpark for ratio 0.5.
+  EXPECT_GT(sampled, 64);
+  EXPECT_LT(sampled, 192);
+}
+
+// --- span trees -------------------------------------------------------------
+
+TEST(Span, ParentageAndAttributes) {
+  Tracer tracer;
+  const TraceId id = TraceId::from_seed(7);
+  Span root = tracer.start_trace("job", id);
+  root.set_attribute("kind", "submit");
+  root.set_attribute("bytes", std::uint64_t{128});
+  root.set_attribute("ratio", 0.25);
+  Span child = root.child("emulation");
+  Span grandchild = child.child("emulate");
+  grandchild.end();
+  child.end();
+  root.end();
+
+  std::vector<SpanRecord> spans = tracer.collect(id);
+  ASSERT_EQ(spans.size(), 3u);
+  const SpanRecord* job = nullptr;
+  const SpanRecord* emulation = nullptr;
+  const SpanRecord* emulate = nullptr;
+  for (const SpanRecord& span : spans) {
+    EXPECT_EQ(span.trace, id);
+    if (span.name == "job") job = &span;
+    if (span.name == "emulation") emulation = &span;
+    if (span.name == "emulate") emulate = &span;
+  }
+  ASSERT_NE(job, nullptr);
+  ASSERT_NE(emulation, nullptr);
+  ASSERT_NE(emulate, nullptr);
+  EXPECT_EQ(job->parent_id, 0u);
+  EXPECT_EQ(emulation->parent_id, job->span_id);
+  EXPECT_EQ(emulate->parent_id, emulation->span_id);
+  ASSERT_EQ(job->attributes.size(), 3u);
+  EXPECT_EQ(job->attributes[0].first, "kind");
+  EXPECT_EQ(job->attributes[0].second, "submit");
+  EXPECT_EQ(job->attributes[1].second, "128");
+}
+
+TEST(Span, BackDatedPhasesKeepExplicitTimestamps) {
+  Tracer tracer;
+  const TraceId id = TraceId::from_seed(9);
+  Span root = tracer.start_trace("job", id);
+  root.set_start_us(100);
+  root.add_child("parse", 100, 40, {{"bytes", "9000"}});
+  root.add_child("queue-wait", 140, 60);
+  root.end();
+
+  std::vector<SpanRecord> spans = tracer.collect(id);
+  ASSERT_EQ(spans.size(), 3u);
+  // collect() orders by (start_us, span_id): root, parse, queue-wait.
+  EXPECT_EQ(spans[0].name, "job");
+  EXPECT_EQ(spans[0].start_us, 100u);
+  EXPECT_EQ(spans[1].name, "parse");
+  EXPECT_EQ(spans[1].start_us, 100u);
+  EXPECT_EQ(spans[1].duration_us, 40u);
+  ASSERT_EQ(spans[1].attributes.size(), 1u);
+  EXPECT_EQ(spans[1].attributes[0].second, "9000");
+  EXPECT_EQ(spans[2].name, "queue-wait");
+  EXPECT_EQ(spans[2].start_us, 140u);
+  EXPECT_EQ(spans[2].parent_id, spans[0].span_id);
+}
+
+TEST(Span, CollectIsSelectivePerTrace) {
+  Tracer tracer;
+  const TraceId first = TraceId::from_seed(1);
+  const TraceId second = TraceId::from_seed(2);
+  tracer.start_trace("a", first).end();
+  tracer.start_trace("b", second).end();
+
+  std::vector<SpanRecord> only_first = tracer.collect(first);
+  ASSERT_EQ(only_first.size(), 1u);
+  EXPECT_EQ(only_first[0].name, "a");
+  // The other trace's span stayed buffered.
+  std::vector<SpanRecord> rest = tracer.collect_all();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].name, "b");
+}
+
+TEST(Span, CrossThreadChildrenLandInOneTrace) {
+  Tracer tracer;
+  const TraceId id = TraceId::from_seed(11);
+  Span root = tracer.start_trace("job", id);
+  const SpanContext parent = root.context();
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 4; ++i) {
+    workers.emplace_back([&tracer, parent] {
+      Span span = tracer.start_span("worker", parent);
+      span.end();
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  root.end();
+  std::vector<SpanRecord> spans = tracer.collect(id);
+  EXPECT_EQ(spans.size(), 5u);
+  int children = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name == "worker") {
+      EXPECT_EQ(span.parent_id, parent.span_id);
+      ++children;
+    }
+  }
+  EXPECT_EQ(children, 4);
+}
+
+TEST(Span, BufferOverflowDropsNewestAndCounts) {
+  Tracer tracer{config_with(1.0, /*capacity=*/8)};
+  for (int i = 0; i < 40; ++i) tracer.start_trace("t").end();
+  EXPECT_EQ(tracer.dropped(), 32u);
+  EXPECT_EQ(tracer.collect_all().size(), 8u);
+  // Draining frees the ring for new spans.
+  tracer.start_trace("after").end();
+  EXPECT_EQ(tracer.collect_all().size(), 1u);
+}
+
+// --- JSON tree round-trip ---------------------------------------------------
+
+TEST(SpanTreeJson, RoundTripPreservesStructure) {
+  Tracer tracer;
+  const TraceId id = TraceId::from_seed(21);
+  Span root = tracer.start_trace("job", id);
+  root.set_attribute("kind", "submit");
+  Span phase = root.child("emulation");
+  phase.set_attribute("engine", "serial");
+  phase.end();
+  root.add_child("serialize", root.now_us(), 3, {{"bytes", "77"}});
+  root.end();
+  std::vector<SpanRecord> original = tracer.collect(id);
+  ASSERT_EQ(original.size(), 3u);
+
+  const JsonValue doc = span_tree_json(original);
+  EXPECT_EQ(doc.get("trace_id").as_string(), id.to_hex());
+  auto parsed = span_records_from_json(doc);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].trace, original[i].trace);
+    EXPECT_EQ((*parsed)[i].span_id, original[i].span_id);
+    EXPECT_EQ((*parsed)[i].parent_id, original[i].parent_id);
+    EXPECT_EQ((*parsed)[i].name, original[i].name);
+    EXPECT_EQ((*parsed)[i].start_us, original[i].start_us);
+    EXPECT_EQ((*parsed)[i].duration_us, original[i].duration_us);
+    EXPECT_EQ((*parsed)[i].attributes, original[i].attributes);
+  }
+
+  // Serialized text parses back to the same document.
+  auto reparsed = JsonValue::parse(doc.to_string(/*pretty=*/true));
+  ASSERT_TRUE(reparsed.is_ok());
+  auto from_text = span_records_from_json(*reparsed);
+  ASSERT_TRUE(from_text.is_ok());
+  EXPECT_EQ(from_text->size(), original.size());
+}
+
+TEST(SpanTreeJson, OrphanSpansSurfaceAsRoots) {
+  SpanRecord orphan;
+  orphan.trace = TraceId::from_seed(5);
+  orphan.span_id = 77;
+  orphan.parent_id = 12345;  // parent never recorded (dropped)
+  orphan.name = "lost";
+  const JsonValue doc = span_tree_json({orphan});
+  ASSERT_EQ(doc.get("spans").size(), 1u);
+  EXPECT_EQ(doc.get("spans").at(0).get("name").as_string(), "lost");
+}
+
+TEST(RenderSpanTree, IndentsChildrenUnderParents) {
+  Tracer tracer;
+  const TraceId id = TraceId::from_seed(31);
+  Span root = tracer.start_trace("job", id);
+  Span child = root.child("emulation");
+  child.end();
+  root.end();
+  const std::string text = render_span_tree(tracer.collect(id));
+  EXPECT_NE(text.find(id.to_hex()), std::string::npos);
+  EXPECT_NE(text.find("job"), std::string::npos);
+  EXPECT_NE(text.find("  emulation"), std::string::npos);
+}
+
+// --- flight recorder --------------------------------------------------------
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(FlightRecorderTest, DumpsSanitizedJsonl) {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.enable(64);
+  const TraceId id = TraceId::from_seed(41);
+  recorder.record('B', "job", "id=alpha", id, 9);
+  recorder.record('E', "job", "", id, 9);
+  recorder.note("engine-progress", "ca_tick=1048576");
+  // Quotes, backslashes and control characters must not survive into the
+  // dump (the dump path does no escaping by design).
+  recorder.note("weird\"name\\", "de\ntail\x01");
+
+  char path[] = "/tmp/segbus_flightrec_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  ASSERT_TRUE(recorder.dump_to_file(path));
+
+  std::vector<std::string> lines = read_lines(path);
+  ASSERT_GE(lines.size(), 4u);
+  bool saw_begin = false, saw_note = false, saw_weird = false;
+  for (const std::string& line : lines) {
+    auto event = JsonValue::parse(line);
+    ASSERT_TRUE(event.is_ok()) << line;
+    const std::string name = event->get("name").as_string();
+    if (name == "job" && event->get("kind").as_string() == "B") {
+      saw_begin = true;
+      EXPECT_EQ(event->get("trace_id").as_string(), id.to_hex());
+      EXPECT_EQ(event->get("span_id").as_uint64(), 9u);
+      EXPECT_EQ(event->get("detail").as_string(), "id=alpha");
+    }
+    if (name == "engine-progress") {
+      saw_note = true;
+      EXPECT_EQ(event->get("detail").as_string(), "ca_tick=1048576");
+    }
+    if (name.rfind("weird", 0) == 0) {
+      saw_weird = true;
+      EXPECT_EQ(name.find('"'), std::string::npos);
+      EXPECT_EQ(name.find('\\'), std::string::npos);
+      const std::string detail = event->get("detail").as_string();
+      EXPECT_EQ(detail.find('\n'), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_note);
+  EXPECT_TRUE(saw_weird);
+  ::unlink(path);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndCounts) {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.enable(64);
+  const std::uint64_t before = recorder.overwritten();
+  for (int i = 0; i < 200; ++i) {
+    recorder.note("spam", "i=" + std::to_string(i));
+  }
+  EXPECT_GE(recorder.overwritten(), before + 100);
+
+  char path[] = "/tmp/segbus_flightrec_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  ASSERT_TRUE(recorder.dump_to_file(path));
+  // The newest events survive; the very first were overwritten.
+  bool saw_newest = false, saw_oldest = false;
+  for (const std::string& line : read_lines(path)) {
+    if (line.find("i=199") != std::string::npos) saw_newest = true;
+    if (line.find("i=0\"") != std::string::npos) saw_oldest = true;
+  }
+  EXPECT_TRUE(saw_newest);
+  EXPECT_FALSE(saw_oldest);
+  ::unlink(path);
+}
+
+TEST(FlightRecorderTest, TracerMirrorsSpansWhenConfigured) {
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.enable(64);
+  Tracer::Config config;
+  config.flight_recorder = true;
+  Tracer tracer{config};
+  const TraceId id = TraceId::from_seed(51);
+  tracer.start_trace("mirrored-span", id).end();
+
+  char path[] = "/tmp/segbus_flightrec_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  ASSERT_TRUE(recorder.dump_to_file(path));
+  bool saw = false;
+  for (const std::string& line : read_lines(path)) {
+    if (line.find("mirrored-span") != std::string::npos &&
+        line.find(id.to_hex()) != std::string::npos) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw);
+  ::unlink(path);
+}
+
+}  // namespace
+}  // namespace segbus::obs

@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <sstream>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "scen/campaign.hpp"
 #include "scen/corpus.hpp"
 #include "scen/generator.hpp"
@@ -43,12 +46,12 @@ TEST(Generator, DistinctSeedsDiverge) {
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     auto scenario = generate_scenario(seed);
     ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
-    auto outcome = run_oracle(*scenario, OracleOptions{
-                                             .check_bounds = false,
-                                             .check_conservation = false,
-                                             .check_fingerprint = false,
-                                             .check_clock_scaling = false,
-                                         });
+    OracleOptions options;
+    options.check_bounds = false;
+    options.check_conservation = false;
+    options.check_fingerprint = false;
+    options.check_clock_scaling = false;
+    auto outcome = run_oracle(*scenario, options);
     ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
     digests.insert(outcome->digest);
   }
@@ -185,6 +188,104 @@ TEST(Corpus, SaveLoadReplayRoundTrip) {
   EXPECT_TRUE(replay->passed());
 
   std::filesystem::remove_all(dir);
+}
+
+TEST(OracleTrace, ChecksEmitSpansUnderTheScenarioRoot) {
+  auto scenario = generate_scenario(13);
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  obs::Tracer tracer;
+  const obs::TraceId trace_id = obs::TraceId::from_seed(13);
+  obs::Span root = tracer.start_trace("scenario", trace_id, true);
+  OracleOptions options;
+  options.tracer = &tracer;
+  options.parent = root.context();
+  auto outcome = run_oracle(*scenario, options);
+  ASSERT_TRUE(outcome.is_ok()) << outcome.status().to_string();
+  root.end();
+
+  std::vector<obs::SpanRecord> spans = tracer.collect(trace_id);
+  std::set<std::string> names;
+  for (const obs::SpanRecord& span : spans) {
+    names.insert(span.name);
+    if (span.name != "scenario") {
+      EXPECT_EQ(span.parent_id, root.context().span_id) << span.name;
+    }
+  }
+  for (const char* required : {"scenario", "oracle:bind", "oracle:base-run",
+                               "oracle:bounds-bracket",
+                               "oracle:conservation"}) {
+    EXPECT_TRUE(names.count(required)) << "missing span: " << required;
+  }
+}
+
+TEST(CorpusTrace, TracedReplayArchivesViolationEvidence) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "segbus_scen_trace_test";
+  std::filesystem::remove_all(dir);
+
+  // A scenario broken on purpose: unmapping one process is a
+  // generator-contract violation the oracle always reports.
+  auto scenario = generate_scenario(17);
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  const std::string victim = scenario->application.process(0).name;
+  ASSERT_TRUE(scenario->platform.unmap_process(victim).is_ok());
+  CorpusMeta meta;
+  meta.invariant = "generator-contract";
+  ASSERT_TRUE(
+      save_corpus_entry(dir.string(), "broken-17", *scenario, meta).is_ok());
+
+  obs::FlightRecorder::instance().enable(128);
+  obs::Tracer tracer;
+  OracleOptions options;
+  options.tracer = &tracer;
+  auto report = replay_corpus(dir.string(), options);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  ASSERT_EQ(report->outcomes.size(), 1u);
+  const ReplayOutcome& outcome = report->outcomes[0];
+  EXPECT_FALSE(outcome.passed());
+  // The replay trace id is derived from the archived seed, so the span
+  // tree can be re-associated with the campaign log.
+  EXPECT_EQ(outcome.trace_id, obs::TraceId::from_seed(17).to_hex());
+
+  // Violating entries get their span tree and a flight-recorder dump
+  // archived next to the repro.
+  const std::filesystem::path trace_path = dir / "broken-17.trace.json";
+  ASSERT_TRUE(std::filesystem::exists(trace_path));
+  std::ifstream in(trace_path);
+  std::stringstream text;
+  text << in.rdbuf();
+  auto doc = JsonValue::parse(text.str());
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc->get("trace_id").as_string(), outcome.trace_id);
+  auto spans = obs::span_records_from_json(*doc);
+  ASSERT_TRUE(spans.is_ok());
+  bool saw_replay_root = false;
+  for (const obs::SpanRecord& span : *spans) {
+    if (span.name == "replay" && span.parent_id == 0) saw_replay_root = true;
+  }
+  EXPECT_TRUE(saw_replay_root);
+  EXPECT_TRUE(
+      std::filesystem::exists(dir / "broken-17.flightrec.jsonl"));
+
+  // The tracer holds no leftover spans: passing or failing, every replay
+  // trace is drained.
+  EXPECT_TRUE(tracer.collect_all().empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignTrace, TracedCampaignDrainsEverySpan) {
+  CampaignOptions options;
+  options.seed = 77;
+  options.count = 8;
+  options.workers = 2;
+  obs::Tracer tracer;
+  options.tracer = &tracer;
+  auto report = run_campaign(options);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_TRUE(report->passed());
+  // Passing scenarios' spans must not pile up in the buffers.
+  EXPECT_TRUE(tracer.collect_all().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
 }
 
 TEST(Campaign, DeterministicAcrossWorkerCounts) {

@@ -1,0 +1,283 @@
+// End-to-end request tracing through the estimation service: trace-context
+// propagation over the NDJSON protocol, the server-side span tree returned
+// by traced submissions (parse -> queue-wait -> cache-lookup -> analyze ->
+// emulation -> serialize with correct parentage), flight-recorder dumps on
+// tick-budget cancellation, and the malformed-request rejection counter.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/mp3.hpp"
+#include "obs/trace.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "service/client.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus {
+namespace {
+
+struct SchemeXml {
+  std::string psdf;
+  std::string psm;
+};
+
+SchemeXml mp3_scheme(std::uint32_t segments = 2) {
+  auto app = apps::mp3_decoder_psdf();
+  EXPECT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform(*app, apps::mp3_allocation(segments),
+                                     segments, app->package_size());
+  EXPECT_TRUE(platform.is_ok());
+  return {xml::write_document(psdf::to_xml(*app)),
+          xml::write_document(platform::to_xml(*platform))};
+}
+
+service::JobRequest traced_request(const SchemeXml& scheme, std::string id) {
+  service::JobRequest request;
+  request.id = std::move(id);
+  request.psdf_xml = scheme.psdf;
+  request.psm_xml = scheme.psm;
+  request.trace = true;
+  return request;
+}
+
+service::ServerConfig traced_config() {
+  service::ServerConfig config;
+  config.workers = 1;
+  // Sampling off: traced requests must still be captured via forcing.
+  config.trace_sample_ratio = 0.0;
+  return config;
+}
+
+std::map<std::string, obs::SpanRecord> by_name(
+    const std::vector<obs::SpanRecord>& spans) {
+  std::map<std::string, obs::SpanRecord> out;
+  for (const obs::SpanRecord& span : spans) out[span.name] = span;
+  return out;
+}
+
+TEST(Protocol, TraceFieldsRoundTrip) {
+  service::JobRequest request;
+  request.id = "t1";
+  request.psdf_xml = "<a/>";
+  request.psm_xml = "<b/>";
+  request.trace = true;
+  request.trace_id = "0123456789abcdeffedcba9876543210";
+  auto parsed = service::parse_request(service::encode_request(request));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_TRUE(parsed->trace);
+  EXPECT_EQ(parsed->trace_id, request.trace_id);
+
+  service::JobResponse response;
+  response.id = "t1";
+  response.ok = true;
+  response.report_json = "{\"v\":1}";
+  response.trace_id = request.trace_id;
+  response.trace_json = "{\"trace_id\":\"abc\",\"spans\":[]}";
+  auto back = service::parse_response(service::encode_response(response));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back->trace_id, response.trace_id);
+  auto doc = JsonValue::parse(back->trace_json);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->get("trace_id").as_string(), "abc");
+}
+
+TEST(ServiceTrace, TracedSubmitReturnsFullSpanTree) {
+  service::JobServer server(traced_config());
+  service::JobResponse response =
+      server.submit(traced_request(mp3_scheme(), "traced"));
+  ASSERT_TRUE(response.ok) << response.error_message;
+  ASSERT_FALSE(response.trace_id.empty());
+  ASSERT_FALSE(response.trace_json.empty());
+
+  auto doc = JsonValue::parse(response.trace_json);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc->get("trace_id").as_string(), response.trace_id);
+  auto spans = obs::span_records_from_json(*doc);
+  ASSERT_TRUE(spans.is_ok()) << spans.status().to_string();
+
+  const auto named = by_name(*spans);
+  for (const char* required :
+       {"job", "parse", "queue-wait", "cache-lookup", "analyze", "emulation",
+        "serialize"}) {
+    ASSERT_TRUE(named.count(required)) << "missing span: " << required;
+  }
+  const obs::SpanRecord& job = named.at("job");
+  EXPECT_EQ(job.parent_id, 0u);
+  EXPECT_EQ(job.trace.to_hex(), response.trace_id);
+  for (const char* phase : {"parse", "queue-wait", "cache-lookup", "analyze",
+                            "emulation", "serialize"}) {
+    EXPECT_EQ(named.at(phase).parent_id, job.span_id)
+        << phase << " must be a direct child of the job span";
+  }
+  // The core session contributes engine leaf spans under "emulation".
+  ASSERT_TRUE(named.count("emulate"));
+  EXPECT_EQ(named.at("emulate").parent_id, named.at("emulation").span_id);
+  // Phases nest inside the job span's time window.
+  EXPECT_GE(named.at("emulation").start_us, job.start_us);
+  EXPECT_LE(named.at("emulation").start_us +
+                named.at("emulation").duration_us,
+            job.start_us + job.duration_us + 1);
+}
+
+TEST(ServiceTrace, ClientStampsTraceIdAndServerEchoesIt) {
+  char tmpl[] = "/tmp/segbus_trace_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string socket_path = std::string(tmpl) + "/s.sock";
+  service::ListenConfig listen;
+  listen.unix_path = socket_path;
+  auto server = service::SocketServer::start(traced_config(), listen);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+  auto client = service::Client::connect_unix(socket_path);
+  ASSERT_TRUE(client.is_ok());
+
+  // Even an untraced request gets a propagated trace id (client-stamped).
+  service::JobRequest ping;
+  ping.id = "p";
+  ping.kind = "ping";
+  auto pong = client->call(ping);
+  ASSERT_TRUE(pong.is_ok());
+  EXPECT_TRUE(pong->ok);
+  EXPECT_EQ(pong->trace_id.size(), 32u);
+  EXPECT_TRUE(pong->trace_json.empty());  // not traced, no tree
+
+  // A caller-chosen trace id survives the round trip verbatim.
+  service::JobRequest traced = traced_request(mp3_scheme(), "wire");
+  traced.trace_id = obs::TraceId::from_seed(1234).to_hex();
+  auto response = client->call(traced);
+  ASSERT_TRUE(response.is_ok());
+  ASSERT_TRUE(response->ok) << response->error_message;
+  EXPECT_EQ(response->trace_id, traced.trace_id);
+  ASSERT_FALSE(response->trace_json.empty());
+  auto doc = JsonValue::parse(response->trace_json);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc->get("trace_id").as_string(), traced.trace_id);
+
+  (*server)->shutdown(/*drain=*/true);
+  ::unlink(socket_path.c_str());
+  ::rmdir(tmpl);
+}
+
+TEST(ServiceTrace, TickBudgetCancellationDumpsFlightRecorder) {
+  char tmpl[] = "/tmp/segbus_flight_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string dir = tmpl;
+
+  service::ServerConfig config;
+  config.workers = 1;
+  config.trace_sample_ratio = 0.0;
+  config.flight_recorder = true;
+  config.flight_recorder_dir = dir;
+  service::JobServer server(std::move(config));
+
+  service::JobRequest request = traced_request(mp3_scheme(), "runaway");
+  request.max_ticks = 16;  // far below what MP3 needs -> cancelled
+  service::JobResponse response = server.submit(std::move(request));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "tick-limit");
+  ASSERT_FALSE(response.trace_id.empty());
+
+  const std::string dump =
+      dir + "/flightrec-" + response.trace_id + ".jsonl";
+  ASSERT_TRUE(std::filesystem::exists(dump)) << dump;
+  // The dump is JSONL and contains the cancelled job's engine events.
+  std::ifstream in(dump);
+  std::string line;
+  bool saw_limit = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto event = JsonValue::parse(line);
+    ASSERT_TRUE(event.is_ok()) << line;
+    if (event->get("name").as_string() == "engine-tick-limit") {
+      saw_limit = true;
+    }
+  }
+  EXPECT_TRUE(saw_limit) << "dump lacks the engine-tick-limit event";
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServiceTrace, MalformedRequestsAreCountedAndAnswered) {
+  char tmpl[] = "/tmp/segbus_reject_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  const std::string socket_path = std::string(tmpl) + "/s.sock";
+  service::ListenConfig listen;
+  listen.unix_path = socket_path;
+  service::ServerConfig config;
+  config.workers = 1;
+  auto server = service::SocketServer::start(std::move(config), listen);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+  auto client = service::Client::connect_unix(socket_path);
+  ASSERT_TRUE(client.is_ok());
+
+  for (const char* garbage : {"not json", "[1,2,3]"}) {
+    auto answer = client->call_raw(garbage);
+    ASSERT_TRUE(answer.is_ok());
+    auto parsed = service::parse_response(*answer);
+    ASSERT_TRUE(parsed.is_ok());
+    EXPECT_FALSE(parsed->ok);
+    EXPECT_EQ(parsed->error_code, "parse");
+  }
+
+  obs::MetricsRegistry snapshot = (*server)->jobs().metrics_snapshot();
+  const obs::Metric* rejected =
+      snapshot.find("segbus_service_requests_rejected_total");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->counter_value, 2u);
+  // The same count surfaces in the stats introspection payload.
+  JsonValue stats = (*server)->jobs().stats_json();
+  EXPECT_EQ(stats.get("jobs").get("rejected_requests").as_uint64(), 2u);
+
+  (*server)->shutdown(/*drain=*/true);
+  ::unlink(socket_path.c_str());
+  ::rmdir(tmpl);
+}
+
+TEST(ServiceTrace, StatsReportPhasesTraceAndBuild) {
+  service::JobServer server(traced_config());
+  ASSERT_TRUE(server.submit(traced_request(mp3_scheme(), "s1")).ok);
+  JsonValue stats = server.stats_json();
+  // Every pipeline phase shows up with at least one observation.
+  const JsonValue& phases = stats.get("phases");
+  for (const char* phase : {"parse", "queue-wait", "cache-lookup", "analyze",
+                            "emulation", "serialize"}) {
+    const JsonValue* snapshot = phases.find(phase);
+    ASSERT_NE(snapshot, nullptr) << phase;
+    EXPECT_GE(snapshot->get("count").as_uint64(), 1u) << phase;
+  }
+  EXPECT_DOUBLE_EQ(stats.get("trace").get("sample_ratio").as_number(), 0.0);
+  EXPECT_FALSE(stats.get("build").get("version").as_string().empty());
+  EXPECT_FALSE(stats.get("build").get("revision").as_string().empty());
+
+  // The Prometheus snapshot carries the build-identity gauge.
+  obs::MetricsRegistry snapshot = server.metrics_snapshot();
+  const obs::Metric* build = snapshot.find(
+      "segbus_build_info",
+      {{"build_type", stats.get("build").get("build_type").as_string()},
+       {"compiler", stats.get("build").get("compiler").as_string()},
+       {"revision", stats.get("build").get("revision").as_string()},
+       {"version", stats.get("build").get("version").as_string()}});
+  ASSERT_NE(build, nullptr);
+  EXPECT_DOUBLE_EQ(build->gauge_value, 1.0);
+}
+
+TEST(ServiceTrace, UnsampledUntracedRequestsLeaveNoSpans) {
+  service::JobServer server(traced_config());
+  service::JobRequest request;
+  request.id = "quiet";
+  request.kind = "ping";
+  ASSERT_TRUE(server.submit(std::move(request)).ok);
+  EXPECT_TRUE(server.tracer().collect_all().empty());
+  EXPECT_EQ(server.tracer().dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace segbus

@@ -19,10 +19,15 @@
 //                       generator distribution caps
 //   --no-bounds / --no-conservation / --no-fingerprint / --no-clock-scaling
 //                       disable individual oracle invariants
+//   --trace             tag every scenario with its seed-derived trace id,
+//                       record per-check oracle spans, and archive the span
+//                       tree (<stem>.trace.json) plus a flight-recorder
+//                       dump (<stem>.flightrec.jsonl) next to each corpus
+//                       repro that still violates
 //
 // Replay mode:
 //   --replay DIR        re-run every corpus entry under DIR through the
-//                       oracle instead of fuzzing
+//                       oracle instead of fuzzing (honours --trace too)
 //
 // Exit codes: 0 all checks passed, 1 usage or harness failure, 2 at least
 // one invariant violation (campaign) or non-waived replay failure.
@@ -30,9 +35,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/trace.hpp"
 #include "scen/campaign.hpp"
 #include "scen/corpus.hpp"
 #include "support/cli.hpp"
@@ -53,8 +61,25 @@ inline scen::OracleOptions fuzz_oracle_options(const CommandLine& cli) {
   return oracle;
 }
 
+/// Tracer config for `--trace` runs. Scenario spans are opened
+/// force-sampled, so the ratio only governs incidental traces; the flight
+/// recorder backs every span with a crash-dumpable event ring.
+inline obs::Tracer::Config fuzz_tracer_config() {
+  obs::Tracer::Config config;
+  config.sample_ratio = 1.0;
+  config.flight_recorder = true;
+  return config;
+}
+
 inline int run_replay(const CommandLine& cli, const std::string& directory) {
-  auto report = scen::replay_corpus(directory, fuzz_oracle_options(cli));
+  scen::OracleOptions oracle = fuzz_oracle_options(cli);
+  std::optional<obs::Tracer> tracer;
+  if (cli.bool_flag_or("trace", false)) {
+    obs::FlightRecorder::instance().enable();
+    tracer.emplace(fuzz_tracer_config());
+    oracle.tracer = &*tracer;
+  }
+  auto report = scen::replay_corpus(directory, oracle);
   if (!report.is_ok()) return fuzz_fail(report.status());
   for (const scen::ReplayOutcome& outcome : report->outcomes) {
     if (outcome.passed()) {
@@ -69,6 +94,11 @@ inline int run_replay(const CommandLine& cli, const std::string& directory) {
                       .c_str(),
                   violation.detail.c_str(),
                   outcome.waived ? "waived" : "FAIL");
+    }
+    if (!outcome.trace_id.empty()) {
+      std::printf("%-40s trace %s (%s/%s.trace.json)\n", "",
+                  outcome.trace_id.c_str(), directory.c_str(),
+                  outcome.stem.c_str());
     }
   }
   std::printf("replayed %zu corpus entries: %zu failed, %zu stale waivers\n",
@@ -99,6 +129,12 @@ inline int run_fuzz(const CommandLine& cli) {
   options.generator.max_items = static_cast<std::uint64_t>(
       cli.int_flag_or("max-items",
                       static_cast<std::int64_t>(options.generator.max_items)));
+  std::optional<obs::Tracer> tracer;
+  if (cli.bool_flag_or("trace", false)) {
+    obs::FlightRecorder::instance().enable();
+    tracer.emplace(fuzz_tracer_config());
+    options.tracer = &*tracer;
+  }
 
   std::ofstream log_file;
   std::ostream* log = nullptr;
@@ -125,6 +161,9 @@ inline int run_fuzz(const CommandLine& cli) {
     }
     if (!failure.corpus_stem.empty()) {
       std::printf("  corpus:   %s\n", failure.corpus_stem.c_str());
+    }
+    if (!failure.trace_id.empty()) {
+      std::printf("  trace:    %s\n", failure.trace_id.c_str());
     }
   }
   std::printf(

@@ -37,8 +37,14 @@
 //                                       gracefully (see docs/SERVICE.md)
 //   submit   <psdf.xml> <psm.xml> [--socket PATH | --tcp-port N]
 //            [--package S] [--reference] [--parallel] [--max-ticks N]
-//            [--id ID] [--json] | --ping | --stats
-//                                       submit one job to a running server
+//            [--id ID] [--json] [--trace out.json] | --ping | --stats
+//                                       submit one job to a running server;
+//                                       --trace asks the server for its
+//                                       span tree and writes it to the file
+//   stats    [--socket PATH | --tcp-port N] [--json]
+//                                       pretty-print a running server's
+//                                       live stats (queue, cache, phases,
+//                                       trace, build)
 //   fuzz     [--seed N] [--count N] [--workers N] [--time-budget S]
 //            [--corpus DIR] [--log FILE] [--replay DIR] ...
 //                                       seeded scenario fuzzing through the
@@ -46,6 +52,9 @@
 //                                       the segbus_fuzz tool; see
 //                                       tools/fuzz_common.hpp and
 //                                       docs/FUZZING.md)
+//
+// `segbus_cli --version` prints the build identity (version, git revision,
+// compiler, build type) and exits 0.
 //
 // Exit status: 0 on success, 1 on any error (message on stderr); submit
 // exits 2 when the server answered with a job-level error.
@@ -61,6 +70,7 @@
 #include "core/segbus.hpp"
 #include "emu/vcd.hpp"
 #include "obs/telemetry.hpp"
+#include "support/build_info.hpp"
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 
@@ -81,8 +91,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: segbus_cli "
                "<validate|check|matrix|generate|emulate|place|explore|"
-               "analyze|serve|submit|fuzz> "
-               "...\n(see the header comment of tools/segbus_cli.cpp)\n");
+               "analyze|serve|submit|stats|fuzz> "
+               "...\n       segbus_cli --version\n"
+               "(see the header comment of tools/segbus_cli.cpp)\n");
   return 1;
 }
 
@@ -378,6 +389,10 @@ int cmd_analyze(const CommandLine& cli) {
 int main(int argc, char** argv) {
   auto cli = CommandLine::parse(argc, argv);
   if (!cli.is_ok()) return fail(cli.status());
+  if (cli->bool_flag_or("version", false)) {
+    std::printf("%s\n", build_info_line().c_str());
+    return 0;
+  }
   if (cli->positional().empty()) return usage();
   const std::string& command = cli->positional()[0];
   if (command == "validate") return cmd_validate(*cli);
@@ -390,6 +405,7 @@ int main(int argc, char** argv) {
   if (command == "analyze") return cmd_analyze(*cli);
   if (command == "serve") return tools::run_serve(*cli);
   if (command == "submit") return tools::run_submit(*cli);
+  if (command == "stats") return tools::run_stats(*cli);
   if (command == "fuzz") return tools::run_fuzz(*cli);
   return usage();
 }

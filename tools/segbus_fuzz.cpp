@@ -7,10 +7,17 @@
 // entries. `--replay DIR` re-checks a corpus instead. All flags are shared
 // with `segbus_cli fuzz` — see tools/fuzz_common.hpp for the reference
 // list, docs/FUZZING.md for the workflow.
+#include <cstdio>
+
 #include "fuzz_common.hpp"
+#include "support/build_info.hpp"
 
 int main(int argc, char** argv) {
   auto cli = segbus::CommandLine::parse(argc, argv);
   if (!cli.is_ok()) return segbus::tools::fuzz_fail(cli.status());
+  if (cli->bool_flag_or("version", false)) {
+    std::printf("%s\n", segbus::build_info_line().c_str());
+    return 0;
+  }
   return segbus::tools::run_fuzz(*cli);
 }

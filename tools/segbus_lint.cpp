@@ -15,12 +15,20 @@
 //   --no-bounds       skip the static performance bounds
 //   --emulator-host   downgrade SB050 to a warning (atomic path reservation)
 //   --explain SBxxx   describe one catalogue code and exit
+//   --version         print the build identity and exit
 //
 // Exit status: 0 clean, 1 usage/I/O failure, 2 diagnosed errors.
+#include <cstdio>
+
 #include "lint_common.hpp"
+#include "support/build_info.hpp"
 
 int main(int argc, char** argv) {
   auto cli = segbus::CommandLine::parse(argc, argv);
   if (!cli.is_ok()) return segbus::tools::lint_fail(cli.status());
+  if (cli->bool_flag_or("version", false)) {
+    std::printf("%s\n", segbus::build_info_line().c_str());
+    return 0;
+  }
   return segbus::tools::run_lint(*cli, 0);
 }

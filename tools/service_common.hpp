@@ -5,10 +5,12 @@
 //   serve  [--socket PATH] [--tcp [--port N]] [--workers N] [--queue N]
 //          [--cache-entries N] [--cache-bytes N] [--max-ticks N]
 //          [--deadline-ms N] [--metrics-out FILE]
+//          [--trace-sample R] [--flight-recorder [--flight-dir DIR]]
 //   submit <psdf.xml> <psm.xml> [--socket PATH | --tcp-port N]
 //          [--package S] [--reference] [--parallel] [--max-ticks N]
-//          [--id ID] [--json]
+//          [--id ID] [--json] [--trace out.json]
 //   submit --ping|--stats [--socket PATH | --tcp-port N]
+//   stats  [--socket PATH | --tcp-port N] [--json]
 //
 // `serve` installs SIGINT/SIGTERM handlers that trigger a *graceful drain*:
 // new submissions are rejected with "draining", queued and in-flight jobs
@@ -25,10 +27,14 @@
 #include <unistd.h>
 
 #include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
+#include "support/build_info.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/status.hpp"
+#include "support/strings.hpp"
 
 namespace segbus::tools {
 
@@ -53,6 +59,36 @@ inline Result<std::string> read_text_file(const std::string& path) {
   return std::move(text).str();
 }
 
+/// Writes the server's span tree to `path` and prints the indented tree.
+/// Returns false (with a message) when the server sent no trace back.
+inline bool report_trace(const std::string& trace_json,
+                         const std::string& path) {
+  if (trace_json.empty()) {
+    std::fprintf(stderr,
+                 "warning: server returned no trace (span was not "
+                 "sampled?); nothing written to %s\n",
+                 path.c_str());
+    return false;
+  }
+  auto doc = JsonValue::parse(trace_json);
+  if (!doc.is_ok()) {
+    std::fprintf(stderr, "warning: bad trace payload: %s\n",
+                 doc.status().to_string().c_str());
+    return false;
+  }
+  if (Status written =
+          obs::write_text_file(path, doc->to_string(/*pretty=*/true) + "\n");
+      !written.is_ok()) {
+    std::fprintf(stderr, "warning: %s\n", written.to_string().c_str());
+    return false;
+  }
+  if (auto spans = obs::span_records_from_json(*doc); spans.is_ok()) {
+    std::printf("server span tree:\n%s", obs::render_span_tree(*spans).c_str());
+  }
+  std::printf("trace written to %s\n", path.c_str());
+  return true;
+}
+
 }  // namespace service_detail
 
 /// `segbus_cli serve`: blocks until SIGINT/SIGTERM, then drains.
@@ -68,6 +104,9 @@ inline int run_serve(const CommandLine& cli) {
   config.max_ticks =
       static_cast<std::uint64_t>(cli.int_flag_or("max-ticks", 20'000'000));
   config.queue_deadline_ms = cli.int_flag_or("deadline-ms", 30'000);
+  config.trace_sample_ratio = cli.double_flag_or("trace-sample", 0.0);
+  config.flight_recorder = cli.bool_flag_or("flight-recorder", false);
+  config.flight_recorder_dir = cli.flag_or("flight-dir", ".");
 
   service::ListenConfig listen;
   listen.tcp = cli.bool_flag_or("tcp", false);
@@ -168,6 +207,8 @@ inline int run_submit(const CommandLine& cli) {
     request.max_ticks =
         static_cast<std::uint64_t>(cli.int_flag_or("max-ticks", 0));
   }
+  const std::string trace_out = cli.flag_or("trace", "");
+  request.trace = !trace_out.empty();
 
   const auto tcp_port =
       static_cast<std::uint16_t>(cli.int_flag_or("tcp-port", 0));
@@ -184,6 +225,9 @@ inline int run_submit(const CommandLine& cli) {
     std::printf("%s\n", line->c_str());
     // Exit status still reflects the outcome inside the line.
     auto response = service::parse_response(*line);
+    if (request.trace && response.is_ok() && response->ok) {
+      service_detail::report_trace(response->trace_json, trace_out);
+    }
     return response.is_ok() && response->ok ? 0 : 2;
   }
 
@@ -209,6 +253,144 @@ inline int run_submit(const CommandLine& cli) {
   std::printf("digest: %s\n", response->digest.c_str());
   std::printf("queue %.2f ms, run %.2f ms\n", response->queue_ms,
               response->run_ms);
+  if (!response->trace_id.empty()) {
+    std::printf("trace id: %s\n", response->trace_id.c_str());
+  }
+  if (request.trace) {
+    service_detail::report_trace(response->trace_json, trace_out);
+  }
+  return 0;
+}
+
+/// `segbus_cli stats`: fetches the live-introspection payload from a
+/// running server and pretty-prints it (or dumps the raw JSON with
+/// --json).
+inline int run_stats(const CommandLine& cli) {
+  auto fail = [](const Status& status) {
+    std::fprintf(stderr, "error: %s\n", status.to_string().c_str());
+    return 1;
+  };
+
+  service::JobRequest request;
+  request.id = cli.flag_or("id", "cli-stats");
+  request.kind = "stats";
+  const auto tcp_port =
+      static_cast<std::uint16_t>(cli.int_flag_or("tcp-port", 0));
+  Result<service::Client> client =
+      tcp_port != 0
+          ? service::Client::connect_tcp(tcp_port)
+          : service::Client::connect_unix(
+                cli.flag_or("socket", "segbus-service.sock"));
+  if (!client.is_ok()) return fail(client.status());
+  auto response = client->call(request);
+  if (!response.is_ok()) return fail(response.status());
+  if (!response->ok) {
+    std::fprintf(stderr, "stats failed [%s]: %s\n",
+                 response->error_code.c_str(),
+                 response->error_message.c_str());
+    return 2;
+  }
+  auto doc = JsonValue::parse(response->report_json);
+  if (!doc.is_ok()) return fail(doc.status());
+  if (cli.bool_flag_or("json", false)) {
+    std::printf("%s\n", doc->to_string(/*pretty=*/true).c_str());
+    return 0;
+  }
+
+  auto u64 = [&](const char* section, std::string_view key) {
+    const JsonValue* group = doc->find(section);
+    const JsonValue* value = group == nullptr ? nullptr : group->find(key);
+    return value != nullptr && value->is_number() ? value->as_uint64() : 0;
+  };
+  auto num = [&](const char* section, std::string_view key) {
+    const JsonValue* group = doc->find(section);
+    const JsonValue* value = group == nullptr ? nullptr : group->find(key);
+    return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+  };
+  auto text = [&](const char* section, std::string_view key) {
+    const JsonValue* group = doc->find(section);
+    const JsonValue* value = group == nullptr ? nullptr : group->find(key);
+    return std::string(value != nullptr && value->is_string()
+                           ? value->as_string()
+                           : "?");
+  };
+
+  std::printf("build    %s (%s, %s, %s)\n", text("build", "version").c_str(),
+              text("build", "revision").c_str(),
+              text("build", "compiler").c_str(),
+              text("build", "build_type").c_str());
+  std::printf("queue    depth %llu/%llu, %llu in flight, %u workers%s\n",
+              static_cast<unsigned long long>(u64("queue", "depth")),
+              static_cast<unsigned long long>(u64("queue", "capacity")),
+              static_cast<unsigned long long>(u64("queue", "in_flight")),
+              static_cast<unsigned>(u64("queue", "workers")),
+              [&] {
+                const JsonValue* group = doc->find("queue");
+                const JsonValue* draining =
+                    group == nullptr ? nullptr : group->find("draining");
+                return draining != nullptr && draining->is_bool() &&
+                               draining->as_bool()
+                           ? " [draining]"
+                           : "";
+              }());
+  std::printf("jobs     %llu completed, %llu cache hits, %llu failed, "
+              "%llu tick-limit\n",
+              static_cast<unsigned long long>(u64("jobs", "completed")),
+              static_cast<unsigned long long>(u64("jobs", "cache_hit")),
+              static_cast<unsigned long long>(u64("jobs", "failed")),
+              static_cast<unsigned long long>(u64("jobs", "tick_limit")));
+  std::printf("rejected %llu backpressure, %llu draining, %llu deadline, "
+              "%llu malformed\n",
+              static_cast<unsigned long long>(
+                  u64("jobs", "rejected_backpressure")),
+              static_cast<unsigned long long>(
+                  u64("jobs", "rejected_draining")),
+              static_cast<unsigned long long>(
+                  u64("jobs", "rejected_deadline")),
+              static_cast<unsigned long long>(
+                  u64("jobs", "rejected_requests")));
+  std::printf("cache    %llu hits / %llu misses (%.0f%%), %llu entries, "
+              "%llu evictions, %llu bytes\n",
+              static_cast<unsigned long long>(u64("cache", "hits")),
+              static_cast<unsigned long long>(u64("cache", "misses")),
+              num("cache", "hit_rate") * 100.0,
+              static_cast<unsigned long long>(u64("cache", "entries")),
+              static_cast<unsigned long long>(u64("cache", "evictions")),
+              static_cast<unsigned long long>(u64("cache", "bytes")));
+  std::printf("latency  run p50 %.2f ms, p99 %.2f ms; queue p50 %.2f ms, "
+              "p99 %.2f ms (n=%llu)\n",
+              num("latency", "run_p50_ms"), num("latency", "run_p99_ms"),
+              num("latency", "queue_p50_ms"), num("latency", "queue_p99_ms"),
+              static_cast<unsigned long long>(u64("latency", "count")));
+  if (const JsonValue* phases = doc->find("phases");
+      phases != nullptr && phases->is_object() && !phases->keys().empty()) {
+    std::printf("phases\n");
+    for (std::string_view phase : phases->keys()) {
+      const JsonValue& snapshot = phases->get(phase);
+      const JsonValue* count = snapshot.find("count");
+      const JsonValue* p50 = snapshot.find("p50_ms");
+      const JsonValue* p99 = snapshot.find("p99_ms");
+      std::printf("  %-12s p50 %8.3f ms  p99 %8.3f ms  (n=%llu)\n",
+                  std::string(phase).c_str(),
+                  p50 != nullptr ? p50->as_number() : 0.0,
+                  p99 != nullptr ? p99->as_number() : 0.0,
+                  static_cast<unsigned long long>(
+                      count != nullptr ? count->as_uint64() : 0));
+    }
+  }
+  std::printf("trace    sample ratio %.3f, %llu dropped spans, flight "
+              "recorder %s\n",
+              num("trace", "sample_ratio"),
+              static_cast<unsigned long long>(
+                  u64("trace", "dropped_spans")),
+              [&] {
+                const JsonValue* group = doc->find("trace");
+                const JsonValue* fr =
+                    group == nullptr ? nullptr : group->find("flight_recorder");
+                return fr != nullptr && fr->is_bool() && fr->as_bool()
+                           ? "on"
+                           : "off";
+              }());
   return 0;
 }
 
