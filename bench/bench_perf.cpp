@@ -17,8 +17,7 @@ void BM_EmulateMp3ThreeSegments(benchmark::State& state) {
       *apps::mp3_platform(app, apps::mp3_allocation(3), 3, package);
   std::int64_t simulated_ps = 0;
   for (auto _ : state) {
-    auto engine = emu::Engine::create(app, platform);
-    auto result = engine->run();
+    auto result = emu::run_emulation(app, platform);
     simulated_ps += result->total_execution_time.count();
     benchmark::DoNotOptimize(result->ca.tct);
   }
@@ -32,8 +31,7 @@ void BM_EmulateMp3OneSegment(benchmark::State& state) {
   platform::PlatformModel platform =
       *apps::mp3_platform_one_segment(app);
   for (auto _ : state) {
-    auto engine = emu::Engine::create(app, platform);
-    auto result = engine->run();
+    auto result = emu::run_emulation(app, platform);
     benchmark::DoNotOptimize(result->ca.tct);
   }
 }
@@ -44,10 +42,13 @@ void BM_ParallelEngineMp3(benchmark::State& state) {
   psdf::PsdfModel app = *apps::mp3_decoder_psdf();
   platform::PlatformModel platform =
       *apps::mp3_platform_three_segments(app);
+  emu::BackendOptions backend;
+  backend.backend = emu::EngineBackend::kParallel;
+  backend.parallel_threads = threads;
   for (auto _ : state) {
-    auto engine = emu::ParallelEngine::create(
-        app, platform, emu::TimingModel::emulator(), {}, threads);
-    auto result = (*engine)->run();
+    auto result = emu::run_emulation(app, platform,
+                                     emu::TimingModel::emulator(), {},
+                                     backend);
     benchmark::DoNotOptimize(result->ca.tct);
   }
 }
@@ -58,8 +59,8 @@ void BM_EngineCreate(benchmark::State& state) {
   platform::PlatformModel platform =
       *apps::mp3_platform_three_segments(app);
   for (auto _ : state) {
-    auto engine = emu::Engine::create(app, platform);
-    benchmark::DoNotOptimize(engine.is_ok());
+    auto runner = emu::EngineRunner::create(app, platform);
+    benchmark::DoNotOptimize(runner.is_ok());
   }
 }
 BENCHMARK(BM_EngineCreate);

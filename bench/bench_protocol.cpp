@@ -26,9 +26,8 @@ emu::EmulationResult run_with(const psdf::PsdfModel& app,
   emu::TimingModel timing = emu::TimingModel::emulator();
   timing.circuit_switched = circuit;
   timing.master_blocking = blocking;
-  emu::Engine engine =
-      bench::unwrap(emu::Engine::create(app, platform, timing));
-  emu::EmulationResult result = bench::unwrap(engine.run());
+  emu::EmulationResult result =
+      bench::unwrap(emu::run_emulation(app, platform, timing));
   if (!result.completed) bench::die(internal_error("incomplete run"));
   return result;
 }

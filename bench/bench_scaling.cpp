@@ -28,8 +28,8 @@ emu::EmulationResult run_mapped(const psdf::PsdfModel& app,
     bench::unwrap(platform.add_segment(Frequency::from_mhz(100)));
   }
   bench::unwrap_status(place::apply_allocation(app, allocation, platform));
-  emu::Engine engine = bench::unwrap(emu::Engine::create(app, platform));
-  emu::EmulationResult result = bench::unwrap(engine.run());
+  emu::EmulationResult result =
+      bench::unwrap(emu::run_emulation(app, platform));
   if (!result.completed) bench::die(internal_error("incomplete run"));
   return result;
 }
@@ -92,9 +92,8 @@ int main() {
     for (std::uint32_t segments : {1u, 2u, 4u}) {
       auto platform = bench::unwrap(apps::h263_platform(
           app, apps::h263_allocation(segments), segments));
-      emu::Engine engine =
-          bench::unwrap(emu::Engine::create(app, platform));
-      emu::EmulationResult result = bench::unwrap(engine.run());
+      emu::EmulationResult result =
+          bench::unwrap(emu::run_emulation(app, platform));
       std::printf("%-12u %14s %12llu %12llu\n", segments,
                   format_us(result.total_execution_time).c_str(),
                   static_cast<unsigned long long>(result.ca.inter_requests),
@@ -137,9 +136,8 @@ int main() {
       bench::unwrap(platform.add_segment(Frequency::from_mhz(100)));
       bench::unwrap_status(
           place::apply_allocation(app, allocation, platform));
-      emu::Engine ref_engine = bench::unwrap(emu::Engine::create(
-          app, platform, emu::TimingModel::reference()));
-      emu::EmulationResult ref = bench::unwrap(ref_engine.run());
+      emu::EmulationResult ref = bench::unwrap(
+          emu::run_emulation(app, platform, emu::TimingModel::reference()));
       std::printf("%-12u %12.2f %12.2f %11.1f%% %14s\n", pairs,
                   est.bus[0].mean_wp(), ref.bus[0].mean_wp(),
                   100.0 * est.sa_utilization(1),

@@ -128,9 +128,8 @@ inline emu::EmulationResult run_mp3(std::uint32_t package_size,
   emu::EngineOptions options;
   options.record_activity = record_activity;
   options.record_metrics = true;
-  emu::Engine engine = unwrap(
-      emu::Engine::create(app, platform, timing, options));
-  emu::EmulationResult result = unwrap(engine.run());
+  emu::EmulationResult result =
+      unwrap(emu::run_emulation(app, platform, timing, options));
   if (!result.completed) die(internal_error("run did not complete"));
   span.close();
   telemetry.record_run(label, result);

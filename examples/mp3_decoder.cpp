@@ -6,7 +6,8 @@
 //   $ ./mp3_decoder --package 18            # the 18-item experiment
 //   $ ./mp3_decoder --move-p9               # the P9 -> segment 3 variant
 //   $ ./mp3_decoder --reference             # detailed ("actual") timing
-//   $ ./mp3_decoder --parallel --threads 4  # thread-parallel engine
+//   $ ./mp3_decoder --engine fast           # next-event-time engine
+//   $ ./mp3_decoder --engine parallel --threads 4  # thread-parallel engine
 //   $ ./mp3_decoder --activity              # Figure 11 activity graph
 //   $ ./mp3_decoder --telemetry DIR         # export Prometheus metrics and
 //                                           # a Perfetto-loadable trace
@@ -64,9 +65,23 @@ int main(int argc, char** argv) {
   core::SessionConfig config;
   config.timing = reference ? emu::TimingModel::reference()
                             : emu::TimingModel::emulator();
-  config.parallel = cli->bool_flag_or("parallel", false);
-  config.threads =
-      static_cast<unsigned>(cli->int_flag_or("threads", 0));
+  if (auto engine = cli->flag("engine")) {
+    if (auto backend = emu::parse_engine_backend(*engine)) {
+      config.backend.backend = *backend;
+    } else {
+      std::fprintf(stderr,
+                   "unknown --engine '%s' (want reference | parallel | "
+                   "fast)\n",
+                   engine->c_str());
+      return 1;
+    }
+  } else if (cli->bool_flag_or("parallel", false)) {
+    config.backend.backend = emu::EngineBackend::kParallel;
+  }
+  if (config.backend.backend == emu::EngineBackend::kParallel) {
+    config.backend.parallel_threads =
+        static_cast<unsigned>(cli->int_flag_or("threads", 0));
+  }
   config.engine.record_activity = activity;
   config.engine.record_metrics = true;
   // The Chrome trace export needs the protocol event stream.

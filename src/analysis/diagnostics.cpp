@@ -71,6 +71,9 @@ const std::vector<CatalogEntry>& catalog() {
        "same-tier opposite-direction paths share one segment (serialized)"},
       {"SB052", "path.reserve.crosstier", Severity::kNote,
        "head-on paths in different tiers (stage gate prevents concurrency)"},
+      // --- session / engine-backend configuration (core/session) ---------
+      {"SB060", "session.backend.threads", Severity::kError,
+       "worker thread count set with a non-parallel engine backend"},
   };
   return kCatalog;
 }

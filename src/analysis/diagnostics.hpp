@@ -11,6 +11,7 @@
 //   SB001..SB009  PSDF model (structure + lint)
 //   SB020..SB039  PSM platform structure, mapping and clock lint
 //   SB050..SB059  inter-segment path reservation (deadlock) analysis
+//   SB060..SB069  session / engine-backend configuration
 #pragma once
 
 #include <string_view>

@@ -9,10 +9,9 @@ Result<AccuracyReport> compare_accuracy(
   AccuracyReport report;
   {
     SEGBUS_ASSIGN_OR_RETURN(
-        emu::Engine engine,
-        emu::Engine::create(application, platform,
-                            emu::TimingModel::emulator(), options));
-    SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult result, engine.run());
+        emu::EmulationResult result,
+        emu::run_emulation(application, platform,
+                           emu::TimingModel::emulator(), options));
     if (!result.completed) {
       return internal_error("estimation run did not complete");
     }
@@ -20,10 +19,9 @@ Result<AccuracyReport> compare_accuracy(
   }
   {
     SEGBUS_ASSIGN_OR_RETURN(
-        emu::Engine engine,
-        emu::Engine::create(application, platform,
-                            emu::TimingModel::reference(), options));
-    SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult result, engine.run());
+        emu::EmulationResult result,
+        emu::run_emulation(application, platform,
+                           emu::TimingModel::reference(), options));
     if (!result.completed) {
       return internal_error("reference run did not complete");
     }

@@ -129,9 +129,9 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
           }
         }
         SEGBUS_ASSIGN_OR_RETURN(
-            emu::Engine engine,
-            emu::Engine::create(app, platform, timing.timing));
-        SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult result, engine.run());
+            emu::EmulationResult result,
+            emu::run_emulation(app, platform, timing.timing, {},
+                               spec.backend));
         if (!result.completed) {
           return internal_error(str_format(
               "grid cell (s=%u, %s, %s) did not complete", package,

@@ -44,6 +44,9 @@ struct GridSpec {
   Frequency ca_clock = Frequency::from_mhz(111.0);
   /// Also compute the closed-form lower bound / estimate per cell.
   bool analytic = true;
+  /// Engine backend each cell runs on (all backends are bit-identical;
+  /// kFast makes large sweeps practical).
+  emu::BackendOptions backend;
 };
 
 /// One grid cell's measurements.

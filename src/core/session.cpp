@@ -1,10 +1,11 @@
 #include "core/session.hpp"
 
 #include <optional>
+#include <string>
 
-#include "emu/parallel.hpp"
 #include "platform/platform_xml.hpp"
 #include "psdf/psdf_xml.hpp"
+#include "support/strings.hpp"
 #include "xml/parser.hpp"
 
 namespace segbus::core {
@@ -12,6 +13,22 @@ namespace segbus::core {
 Result<EmulationSession> EmulationSession::from_models(
     psdf::PsdfModel application, platform::PlatformModel platform,
     SessionConfig config) {
+  // Fold the deprecated backend selection into SessionConfig::backend so
+  // the rest of the library only ever consults one field. The pragmas keep
+  // the shim itself from tripping its own deprecation warning.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  if (config.parallel) {
+    config.backend.backend = emu::EngineBackend::kParallel;
+    config.parallel = false;
+  }
+  if (config.threads != 0) {
+    if (config.backend.parallel_threads == 0) {
+      config.backend.parallel_threads = config.threads;
+    }
+    config.threads = 0;
+  }
+#pragma GCC diagnostic pop
   analysis::AnalyzerOptions options;
   options.include_bounds = false;
   options.timing = config.timing;
@@ -20,6 +37,16 @@ Result<EmulationSession> EmulationSession::from_models(
   options.severity_overrides.emplace("SB050", Severity::kWarning);
   analysis::AnalysisReport analyzed =
       analysis::analyze_system(application, platform, options);
+  if (config.backend.parallel_threads != 0 &&
+      config.backend.backend != emu::EngineBackend::kParallel) {
+    analyzed.report.add(
+        Severity::kError, "SB060", "session.backend.threads",
+        str_format("parallel_threads = %u but the session backend is '%s'; "
+                   "worker threads apply only to the parallel backend",
+                   config.backend.parallel_threads,
+                   std::string(emu::to_string(config.backend.backend))
+                       .c_str()));
+  }
   if (!analyzed.ok()) {
     return validation_error("model analysis failed:\n" +
                             analysis::render_text(analyzed.report));
@@ -65,47 +92,27 @@ Result<emu::EmulationResult> EmulationSession::emulate(
     obs::PhaseProfiler* profiler) const {
   std::optional<obs::PhaseProfiler::Span> build_span;
   if (profiler != nullptr) build_span.emplace(profiler->span("engine-build"));
-  if (config_.parallel) {
-    SEGBUS_ASSIGN_OR_RETURN(
-        std::unique_ptr<emu::ParallelEngine> engine,
-        emu::ParallelEngine::create(application_, platform_, config_.timing,
-                                    config_.engine, config_.threads));
-    build_span.reset();
-    std::optional<obs::PhaseProfiler::Span> run_span;
-    if (profiler != nullptr) run_span.emplace(profiler->span("emulate"));
-    return engine->run();
-  }
   SEGBUS_ASSIGN_OR_RETURN(
-      emu::Engine engine,
-      emu::Engine::create(application_, platform_, config_.timing,
-                          config_.engine));
+      emu::EngineRunner runner,
+      emu::EngineRunner::create(application_, platform_, config_.timing,
+                                config_.engine, config_.backend));
   build_span.reset();
   std::optional<obs::PhaseProfiler::Span> run_span;
   if (profiler != nullptr) run_span.emplace(profiler->span("emulate"));
-  return engine.run();
+  return runner.run();
 }
 
 Result<emu::EmulationResult> EmulationSession::emulate(
     obs::Span& parent) const {
   obs::Span build = parent.child("engine-build");
-  if (config_.parallel) {
-    SEGBUS_ASSIGN_OR_RETURN(
-        std::unique_ptr<emu::ParallelEngine> engine,
-        emu::ParallelEngine::create(application_, platform_, config_.timing,
-                                    config_.engine, config_.threads));
-    build.end();
-    obs::Span run = parent.child("emulate");
-    run.set_attribute("engine", std::string_view("parallel"));
-    return engine->run();
-  }
   SEGBUS_ASSIGN_OR_RETURN(
-      emu::Engine engine,
-      emu::Engine::create(application_, platform_, config_.timing,
-                          config_.engine));
+      emu::EngineRunner runner,
+      emu::EngineRunner::create(application_, platform_, config_.timing,
+                                config_.engine, config_.backend));
   build.end();
   obs::Span run = parent.child("emulate");
-  run.set_attribute("engine", std::string_view("serial"));
-  return engine.run();
+  run.set_attribute("engine", emu::to_string(runner.backend()));
+  return runner.run();
 }
 
 }  // namespace segbus::core

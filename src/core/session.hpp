@@ -9,6 +9,7 @@
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "emu/backend.hpp"
 #include "emu/engine.hpp"
 #include "emu/stats.hpp"
 #include "emu/timing.hpp"
@@ -24,10 +25,31 @@ namespace segbus::core {
 struct SessionConfig {
   emu::TimingModel timing = emu::TimingModel::emulator();
   emu::EngineOptions engine;
-  /// Run on the thread-parallel engine (bit-identical results).
-  bool parallel = false;
-  /// Worker threads for the parallel engine (0 = hardware concurrency).
-  unsigned threads = 0;
+  /// Which engine executes the emulation (reference, parallel, or fast —
+  /// all bit-identical; see emu/backend.hpp) plus backend-specific knobs.
+  /// Backend/option combinations are validated when the session binds:
+  /// worker threads with a non-parallel backend are diagnosed as SB060.
+  emu::BackendOptions backend;
+  /// \deprecated Set `backend.backend = emu::EngineBackend::kParallel`
+  /// instead. Folded into `backend` when the session binds; removed next
+  /// release.
+  [[deprecated("use SessionConfig::backend")]] bool parallel = false;
+  /// \deprecated Set `backend.parallel_threads` instead. Folded into
+  /// `backend` when the session binds; removed next release.
+  [[deprecated("use SessionConfig::backend")]] unsigned threads = 0;
+
+  // Explicitly-defaulted special members so copying a config does not
+  // re-trigger the deprecation warnings — only user code naming the
+  // deprecated fields should warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  SessionConfig() = default;
+  SessionConfig(const SessionConfig&) = default;
+  SessionConfig(SessionConfig&&) = default;
+  SessionConfig& operator=(const SessionConfig&) = default;
+  SessionConfig& operator=(SessionConfig&&) = default;
+  ~SessionConfig() = default;
+#pragma GCC diagnostic pop
 };
 
 /// A bound (application, platform) pair ready to emulate.

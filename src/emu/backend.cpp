@@ -1,0 +1,79 @@
+#include "emu/backend.hpp"
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "emu/engine_fast.hpp"
+#include "emu/parallel.hpp"
+
+namespace segbus::emu {
+
+std::string_view to_string(EngineBackend backend) noexcept {
+  switch (backend) {
+    case EngineBackend::kReference:
+      return "reference";
+    case EngineBackend::kParallel:
+      return "parallel";
+    case EngineBackend::kFast:
+      return "fast";
+  }
+  return "reference";
+}
+
+std::optional<EngineBackend> parse_engine_backend(std::string_view name) {
+  if (name == "reference" || name == "serial") {
+    return EngineBackend::kReference;
+  }
+  if (name == "parallel") return EngineBackend::kParallel;
+  if (name == "fast") return EngineBackend::kFast;
+  return std::nullopt;
+}
+
+
+Result<EngineRunner> EngineRunner::create(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform, const TimingModel& timing,
+    const EngineOptions& options, const BackendOptions& backend) {
+  switch (backend.backend) {
+    case EngineBackend::kParallel: {
+      SEGBUS_ASSIGN_OR_RETURN(
+          std::unique_ptr<ParallelEngine> engine,
+          ParallelEngine::create(application, platform, timing, options,
+                                 backend.parallel_threads));
+      return EngineRunner(EngineBackend::kParallel, std::move(engine));
+    }
+    case EngineBackend::kFast: {
+      SEGBUS_ASSIGN_OR_RETURN(
+          FastEngine engine,
+          FastEngine::create(application, platform, timing, options));
+      return EngineRunner(EngineBackend::kFast,
+                          std::make_unique<FastEngine>(std::move(engine)));
+    }
+    case EngineBackend::kReference:
+      break;
+  }
+  SEGBUS_ASSIGN_OR_RETURN(
+      Engine engine, Engine::create(application, platform, timing, options));
+  return EngineRunner(EngineBackend::kReference,
+                      std::make_unique<Engine>(std::move(engine)));
+}
+
+Result<EmulationResult> EngineRunner::run() {
+  return std::visit(
+      [](auto& engine) -> Result<EmulationResult> { return engine->run(); },
+      engine_);
+}
+
+Result<EmulationResult> run_emulation(const psdf::PsdfModel& application,
+                                      const platform::PlatformModel& platform,
+                                      const TimingModel& timing,
+                                      const EngineOptions& options,
+                                      const BackendOptions& backend) {
+  SEGBUS_ASSIGN_OR_RETURN(
+      EngineRunner runner,
+      EngineRunner::create(application, platform, timing, options, backend));
+  return runner.run();
+}
+
+}  // namespace segbus::emu

@@ -1,0 +1,99 @@
+// Engine backend selection — the one entry point every caller shares.
+//
+// Three engines execute the same SegBus protocol kernel with bit-identical
+// results (asserted by the golden-equivalence tests and the scen oracle's
+// parallel/fast-equivalence invariants):
+//
+//   kReference  cycle-accurate sequential engine (engine.hpp) — ticks
+//               every domain every cycle; the semantic baseline.
+//   kParallel   thread-parallel driver (parallel.hpp) — same per-tick
+//               kernel on a worker pool; wins when several domains share
+//               tick instants.
+//   kFast       next-event-time engine (engine_fast.hpp) — skips provably
+//               dead cycles; orders of magnitude faster on idle-heavy and
+//               large-package scenarios. The default choice for searches,
+//               fuzz campaigns, and the estimation service.
+//
+// Callers outside src/emu select a backend through BackendOptions and
+// run_emulation() instead of constructing engines directly, so new
+// backends (and backend-specific options) stay contained here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <variant>
+
+#include "emu/engine.hpp"
+#include "emu/engine_fast.hpp"
+#include "emu/parallel.hpp"
+
+namespace segbus::emu {
+
+/// Which engine executes the emulation. All three produce bit-identical
+/// EmulationResults; they differ only in how fast they get there.
+enum class EngineBackend : std::uint8_t {
+  kReference,  ///< cycle-accurate sequential engine
+  kParallel,   ///< thread-parallel engine (worker pool)
+  kFast,       ///< next-event-time engine (dead-cycle skipping)
+};
+
+/// Backend choice plus backend-specific knobs.
+struct BackendOptions {
+  EngineBackend backend = EngineBackend::kReference;
+  /// Worker threads (kParallel only; 0 = hardware concurrency). Must be 0
+  /// for the other backends — core sessions diagnose violations as SB060.
+  unsigned parallel_threads = 0;
+};
+
+/// "reference" / "parallel" / "fast" — the wire and CLI spelling.
+std::string_view to_string(EngineBackend backend) noexcept;
+
+/// Parses the wire/CLI spelling ("reference" | "parallel" | "fast").
+/// Also accepts "serial" as an alias for the reference engine.
+std::optional<EngineBackend> parse_engine_backend(std::string_view name);
+
+/// A validated, ready-to-run engine of the selected backend. Splitting
+/// creation from execution lets callers (core sessions, benchmarks)
+/// profile the build and emulate phases separately; run_emulation() below
+/// is the one-shot convenience for everyone else.
+class EngineRunner {
+ public:
+  /// Validates the mapping and builds the selected backend's engine (same
+  /// model checks and errors regardless of backend).
+  static Result<EngineRunner> create(
+      const psdf::PsdfModel& application,
+      const platform::PlatformModel& platform,
+      const TimingModel& timing = TimingModel::emulator(),
+      const EngineOptions& options = {}, const BackendOptions& backend = {});
+
+  /// Runs the emulation to completion and returns the collected
+  /// statistics. May be called once.
+  Result<EmulationResult> run();
+
+  EngineBackend backend() const noexcept { return backend_; }
+
+ private:
+  // Engines live on the heap so the runner itself is pointer-sized and
+  // cheap to move through Result.
+  using Variant = std::variant<std::unique_ptr<Engine>,
+                               std::unique_ptr<ParallelEngine>,
+                               std::unique_ptr<FastEngine>>;
+  EngineRunner(EngineBackend backend, Variant engine)
+      : backend_(backend), engine_(std::move(engine)) {}
+
+  EngineBackend backend_;
+  Variant engine_;
+};
+
+/// Validates the models, builds the selected engine, and runs the
+/// emulation to completion. The single facade behind which Engine,
+/// ParallelEngine, and FastEngine share an entry point.
+Result<EmulationResult> run_emulation(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const TimingModel& timing = TimingModel::emulator(),
+    const EngineOptions& options = {}, const BackendOptions& backend = {});
+
+}  // namespace segbus::emu

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "emu/messages.hpp"
+#include "emu/protocol_state.hpp"
 #include "emu/stats.hpp"
 #include "emu/trace.hpp"
 #include "emu/timing.hpp"
@@ -60,146 +61,9 @@ struct EngineOptions {
   bool flight_recorder = false;
 };
 
-namespace detail {
-
-inline constexpr std::uint32_t kNone = 0xFFFFFFFFu;
-
-/// Static + dynamic state of one packet flow.
-struct FlowRuntime {
-  psdf::Flow flow;
-  std::uint32_t index = 0;
-  DomainId src_segment = 0;
-  DomainId dst_segment = 0;
-  std::uint64_t total_packages = 0;
-  bool local = true;
-  /// Dense rank of the flow's ordering number (0-based stage index); the
-  /// stage gate compares ranks so sparse T values cost nothing.
-  std::uint32_t stage = 0;
-  /// First TransferId of this flow's packages (global flows only).
-  TransferId transfer_base = 0;
-  // -- written by the source domain only --
-  std::uint64_t sent = 0;
-  // -- written by the destination domain only --
-  std::uint64_t delivered = 0;
-  Picoseconds first_delivery{0};
-  Picoseconds last_delivery{0};
-  std::int64_t min_latency_ps = 0;
-  std::int64_t max_latency_ps = 0;
-  std::int64_t total_latency_ps = 0;
-  std::vector<std::int64_t> latency_samples;  ///< when recording is enabled
-};
-
-/// One master interface (one per sending process).
-struct MasterState {
-  enum class Phase : std::uint8_t {
-    kIdle,          ///< looking for an eligible package to produce
-    kComputing,     ///< counting the flow's C ticks
-    kRequesting,    ///< asserting the request line (request_ticks)
-    kPendingLocal,  ///< request visible at the SA; awaiting local grant
-    kPendingGlobal, ///< request forwarded to the CA; awaiting path setup
-    kReadyGlobal,   ///< CA granted (pipelined mode); awaiting the local bus
-    kBusy,          ///< occupying the bus (local transfer or BU load)
-  };
-  psdf::ProcessId process = 0;
-  DomainId segment = 0;
-  std::vector<std::uint32_t> flows;  ///< this process's flow indices
-  std::size_t rr = 0;                ///< round-robin cursor over `flows`
-  Phase phase = Phase::kIdle;
-  std::uint32_t active_flow = kNone;
-  std::uint64_t countdown = 0;
-  /// When the current package's bus request became visible (latency base).
-  Picoseconds request_time{0};
-};
-
-/// One in-flight inter-segment package transfer (one package, one path).
-struct GlobalTransfer {
-  std::uint32_t flow = kNone;
-  std::uint32_t master = kNone;
-  std::uint64_t package_seq = 0;
-  std::vector<platform::PathHop> path;
-  /// Written by the source domain before the CA request is posted.
-  Picoseconds request_time{0};
-  // -- CA-owned bookkeeping --
-  enum class State : std::uint8_t {
-    kUnused, kRequested, kReserving, kActive, kDone
-  };
-  State state = State::kUnused;
-  std::uint32_t acks = 0;
-  std::uint32_t hops_done = 0;
-};
-
-/// A bus occupation in one segment.
-struct BusOp {
-  enum class Kind : std::uint8_t {
-    kLocal,          ///< master -> local slave
-    kGlobalLoad,     ///< source master -> exit BU
-    kGlobalForward,  ///< entry BU -> exit BU (intermediate hop)
-    kGlobalDeliver,  ///< entry BU -> target device
-  };
-  Kind kind = Kind::kLocal;
-  std::uint32_t flow = kNone;
-  TransferId transfer = kNone;
-  std::uint32_t master = kNone;    ///< local / global-load only
-  std::uint32_t entry_bu = kNone;  ///< BU being unloaded
-  std::uint32_t exit_bu = kNone;   ///< BU being loaded
-  std::uint64_t setup_left = 0;    ///< arbitration / grant / response ticks
-  std::uint64_t data_left = 0;     ///< one data item per tick
-  std::uint64_t teardown_left = 0; ///< grant reset ticks
-  bool delivered = false;          ///< data phase finished & accounted
-  Picoseconds request_time{0};     ///< latency base (local transfers)
-};
-
-/// A loaded BU waiting for this segment's grant to unload. Circuit mode
-/// holds at most one; the pipelined protocol queues them (FIFO order, which
-/// also preserves per-BU FIFO semantics).
-struct PendingUnload {
-  TransferId transfer = kNone;
-  std::uint32_t bu = kNone;
-  std::uint64_t wait_left = 0;  ///< grant turnaround (+ sync) still to pay
-};
-
-/// Reservation status of a segment's bus (CA circuit switching).
-enum class ReserveState : std::uint8_t { kFree, kPending, kReserved };
-
-/// Everything owned by one segment's clock domain.
-struct SegmentState {
-  DomainId id = 0;
-  std::vector<std::uint32_t> masters;  ///< indices into Engine::masters_
-  std::size_t sa_rr = 0;               ///< SA round-robin cursor
-  std::optional<BusOp> bus;
-  ReserveState reserve = ReserveState::kFree;
-  TransferId reserved_for = kNone;
-  bool start_load = false;
-  std::vector<PendingUnload> pending_unloads;
-  std::uint32_t t_open = 0;            ///< local copy of the stage gate
-  bool reported_busy = false;
-  std::int64_t tick = -1;              ///< current tick index
-  std::int64_t last_activity_tick = -1;
-  // statistics
-  SaStats sa;
-  SegmentTraffic traffic;
-};
-
-/// Everything owned by the CA's clock domain.
-struct CaState {
-  std::vector<TransferId> pending;     ///< requests awaiting a free path
-  std::vector<bool> segment_reserved;  ///< CA-side reservation table
-  std::vector<std::uint32_t> bu_in_use;  ///< reserved FIFO slots per BU
-  std::vector<bool> segment_busy;      ///< from IdleMsg heartbeats
-  std::uint64_t grant_cooldown = 0;    ///< ca_decision pacing
-  std::uint32_t t_open = 0;
-  std::uint32_t t_open_broadcast = 0;
-  std::vector<std::uint32_t> stage_remaining;  ///< flows left per stage rank
-  std::vector<Picoseconds> stage_open_time;    ///< when each rank opened
-  std::vector<Picoseconds> stage_close_time;   ///< last delivery per rank
-  std::uint64_t flows_remaining_total = 0;
-  std::uint32_t transfers_alive = 0;
-  std::int64_t tick = -1;
-  std::int64_t termination_tick = -1;
-  CaStats stats;
-};
-
-}  // namespace detail
+// The per-element protocol state (detail::FlowRuntime, MasterState,
+// BusOp, SegmentState, CaState, ...) lives in emu/protocol_state.hpp so
+// the reference, parallel, and fast engines share one definition.
 
 /// The sequential engine. See file comment for the model.
 class Engine {
@@ -251,6 +115,11 @@ class Engine {
 
  private:
   Engine() = default;
+
+  /// The next-event-time engine (engine_fast.cpp) drives the same kernel —
+  /// executing interesting ticks through step_domain and bulk-applying the
+  /// provably pure ticks in between — so it reads the private state here.
+  friend class FastEngine;
 
   // --- domain steps --------------------------------------------------------
   void step_segment(detail::SegmentState& seg, Picoseconds now);

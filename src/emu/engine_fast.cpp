@@ -1,0 +1,452 @@
+// Next-event-time scheduler over the reference kernel (see engine_fast.hpp
+// for the model and the equivalence argument).
+//
+// Correctness hinges on two properties of the reference engine:
+//
+//  1. Pure ticks. For each domain we derive, from its end-of-tick state,
+//     how many subsequent ticks are *pure* — they only decrement counters
+//     (compute/request countdowns, bus-op phase counters, BU grant
+//     turnaround waits, CA grant cooldown) and accrue per-tick statistics,
+//     without posting messages or changing any state visible to another
+//     element. The bounds below mirror Engine's step functions line by
+//     line; protocol_state.hpp documents the invariants they rely on.
+//
+//  2. Lazy catch-up. A message posted at time t is visible only at
+//     consumer ticks with time > t (Mailbox::take_visible), and the global
+//     loop processes wake instants in nondecreasing time order. A domain
+//     therefore bulk-applies its skipped ticks only when it actually wakes:
+//     any message that could have shortened the skip also bounds the wake
+//     time (earliest_pending), so no already-applied skip is ever
+//     invalidated.
+//
+// Statistics during a skip are replayed arithmetically: while a domain
+// skips, its busy status is constant (bus occupation, reservations, unload
+// queues and master phases only change on interesting ticks), so
+// busy-tick counters advance by the skip length and activity buckets are
+// filled per bucket run instead of per tick.
+
+#include "emu/engine_fast.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/flight_recorder.hpp"
+#include "support/log.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::emu {
+
+using detail::BusOp;
+using detail::FlowRuntime;
+using detail::GlobalTransfer;
+using detail::kNone;
+using detail::MasterState;
+using detail::PendingUnload;
+using detail::ReserveState;
+using detail::SegmentState;
+
+namespace {
+/// Sentinel wake time for "no local event; only a message can wake us".
+constexpr Picoseconds kNever{std::numeric_limits<std::int64_t>::max()};
+}  // namespace
+
+Result<FastEngine> FastEngine::create(const psdf::PsdfModel& application,
+                                      const platform::PlatformModel& platform,
+                                      const TimingModel& timing,
+                                      const EngineOptions& options) {
+  SEGBUS_ASSIGN_OR_RETURN(
+      Engine engine, Engine::create(application, platform, timing, options));
+  return FastEngine(std::move(engine));
+}
+
+// ---------------------------------------------------------------------------
+// Pure-tick analysis
+// ---------------------------------------------------------------------------
+
+std::uint64_t FastEngine::segment_pure_ticks(
+    const detail::SegmentState& seg) const {
+  const Engine& e = engine_;
+  std::uint64_t pure = kNoLocalEvent;
+
+  for (std::uint32_t mi : seg.masters) {
+    const MasterState& m = e.masters_[mi];
+    switch (m.phase) {
+      case MasterState::Phase::kIdle:
+        // An idle master with an open, unfinished flow starts computing on
+        // the very next tick (it can end a tick idle-but-eligible when a
+        // delivery in step_sa released it after step_masters ran).
+        for (std::uint32_t fi : m.flows) {
+          const FlowRuntime& fr = e.flows_[fi];
+          if (fr.stage <= seg.t_open && fr.sent < fr.total_packages) {
+            return 0;
+          }
+        }
+        break;
+      case MasterState::Phase::kComputing:
+      case MasterState::Phase::kRequesting:
+        // countdown >= 1 at end of tick (zero-tick phases fall through
+        // within the tick); the countdown-expiry tick transitions.
+        pure = std::min(pure, m.countdown - 1);
+        break;
+      case MasterState::Phase::kPendingLocal:
+      case MasterState::Phase::kPendingGlobal:
+      case MasterState::Phase::kReadyGlobal:
+      case MasterState::Phase::kBusy:
+        // No autonomous change; the SA/CA side decides (handled below /
+        // via messages).
+        break;
+    }
+  }
+
+  if (seg.bus) {
+    const BusOp& op = *seg.bus;
+    if (op.data_left > 0) {
+      // One phase counter per tick: setup ticks, then data ticks; the tick
+      // that drains data_left finishes the op (and may reset the bus).
+      pure = std::min(pure, op.setup_left + op.data_left - 1);
+    } else if (op.teardown_left > 0) {
+      pure = std::min(pure, op.teardown_left - 1);
+    } else {
+      return 0;  // defensive: a drained op resets within its final tick
+    }
+  } else {
+    // Bus idle: arbitration decisions fire on the next tick.
+    if (seg.reserve == ReserveState::kPending) return 0;
+    if (seg.reserve == ReserveState::kReserved) {
+      if (!seg.pending_unloads.empty()) {
+        if (seg.pending_unloads.front().wait_left == 0) return 0;
+      } else if (seg.start_load) {
+        return 0;
+      }
+    } else {
+      if (!e.timing_.circuit_switched) {
+        for (const PendingUnload& pu : seg.pending_unloads) {
+          if (pu.wait_left == 0) return 0;
+        }
+      }
+      for (std::uint32_t mi : seg.masters) {
+        const MasterState::Phase phase = e.masters_[mi].phase;
+        if (phase == MasterState::Phase::kPendingLocal ||
+            phase == MasterState::Phase::kReadyGlobal) {
+          return 0;
+        }
+      }
+    }
+  }
+
+  // A queued unload's grant-turnaround expiry tick may start the unload
+  // (and that tick double-accrues its waiting period), so it must execute.
+  for (const PendingUnload& pu : seg.pending_unloads) {
+    if (pu.wait_left > 0) pure = std::min(pure, pu.wait_left - 1);
+  }
+  return pure;
+}
+
+bool FastEngine::ca_would_grant() const {
+  const Engine& e = engine_;
+  // Read-only replica of ca_grant_scan's availability test over the
+  // pending list; any grantable request makes the next scan tick impure.
+  for (TransferId tid : e.ca_.pending) {
+    const GlobalTransfer& tr = e.transfers_[tid];
+    bool free = true;
+    for (const platform::PathHop& hop : tr.path) {
+      if (e.timing_.circuit_switched && e.ca_.segment_reserved[hop.segment]) {
+        free = false;
+        break;
+      }
+      if (hop.exit_bu) {
+        const std::uint32_t capacity =
+            e.timing_.circuit_switched
+                ? 1u
+                : e.bu_specs_[*hop.exit_bu].capacity_packages;
+        if (e.ca_.bu_in_use[*hop.exit_bu] >= capacity) {
+          free = false;
+          break;
+        }
+      }
+    }
+    if (free) return true;
+  }
+  return false;
+}
+
+bool FastEngine::ca_would_terminate() const {
+  const detail::CaState& ca = engine_.ca_;
+  if (ca.flows_remaining_total != 0) return false;
+  if (ca.transfers_alive != 0 || !ca.pending.empty()) return false;
+  for (bool busy : ca.segment_busy) {
+    if (busy) return false;
+  }
+  return true;
+}
+
+std::uint64_t FastEngine::ca_pure_ticks() const {
+  const Engine& e = engine_;
+  const detail::CaState& ca = e.ca_;
+  std::uint64_t pure = kNoLocalEvent;
+  if (ca.t_open != ca.t_open_broadcast) return 0;  // broadcast due
+  if (!ca.pending.empty() && ca_would_grant()) {
+    // Scan ticks are pure while the cooldown is still counting down; the
+    // first tick that enters the scan with cooldown 0 issues the grant.
+    pure = std::min(pure, ca.grant_cooldown);
+  }
+  if (ca_would_terminate()) {
+    // Quiescent: the next monitor poll tick terminates the run.
+    const auto poll = static_cast<std::uint64_t>(
+        std::max(1u, e.timing_.monitor_poll_ticks));
+    const auto cur = static_cast<std::uint64_t>(ca.tick);
+    const std::uint64_t next_poll = (cur / poll + 1) * poll;
+    pure = std::min(pure, next_poll - cur - 1);
+  }
+  return pure;
+}
+
+// ---------------------------------------------------------------------------
+// Bulk catch-up of skipped ticks
+// ---------------------------------------------------------------------------
+
+void FastEngine::record_busy_range(std::size_t series, std::size_t domain,
+                                   std::int64_t first_tick,
+                                   std::uint64_t count) {
+  Engine& e = engine_;
+  if (!e.options_.record_activity || count == 0) return;
+  const std::int64_t period = e.domains_[domain].period_ps();
+  const std::int64_t bucket_width = e.options_.activity_bucket.count();
+  auto& samples = e.activity_[series].busy_ticks_per_bucket;
+  std::int64_t k = first_tick;
+  const std::int64_t end = first_tick + static_cast<std::int64_t>(count);
+  while (k < end) {
+    const std::int64_t now = (k + 1) * period;  // tick k fires at (k+1)*T
+    const auto bucket = static_cast<std::size_t>(now / bucket_width);
+    // Last tick index whose fire time still lands in this bucket.
+    std::int64_t last =
+        ((static_cast<std::int64_t>(bucket) + 1) * bucket_width - 1) /
+            period -
+        1;
+    last = std::min(last, end - 1);
+    if (samples.size() <= bucket) samples.resize(bucket + 1, 0);
+    samples[bucket] += static_cast<std::uint32_t>(last - k + 1);
+    k = last + 1;
+  }
+}
+
+void FastEngine::skip_segment_ticks(detail::SegmentState& seg,
+                                    std::uint64_t count) {
+  if (count == 0) return;
+  Engine& e = engine_;
+  const std::int64_t first = seg.tick + 1;
+  seg.tick += static_cast<std::int64_t>(count);
+  skip_stats_.skipped_ticks += count;
+
+  // Master countdowns: one decrement per tick, never reaching zero inside
+  // a skip (segment_pure_ticks stops one tick short of every expiry).
+  for (std::uint32_t mi : seg.masters) {
+    MasterState& m = e.masters_[mi];
+    if (m.phase == MasterState::Phase::kComputing ||
+        m.phase == MasterState::Phase::kRequesting) {
+      m.countdown -= count;
+    }
+  }
+
+  if (seg.bus) {
+    BusOp& op = *seg.bus;
+    if (op.data_left > 0) {
+      const std::uint64_t setup = std::min(op.setup_left, count);
+      op.setup_left -= setup;
+      const std::uint64_t data = count - setup;
+      if (data > 0) {
+        op.data_left -= data;
+        // Per-tick BU occupancy accounting of the data ticks, exactly as
+        // advance_bus_op does it (load and unload side alike).
+        const std::int64_t data_first =
+            first + static_cast<std::int64_t>(setup);
+        if (op.exit_bu != kNone) {
+          BuStats& stats = e.bu_stats_[op.exit_bu];
+          stats.tct += data;
+          stats.up_ticks += data;
+          record_busy_range(e.bu_series(op.exit_bu), seg.id, data_first,
+                            data);
+        }
+        if (op.entry_bu != kNone) {
+          BuStats& stats = e.bu_stats_[op.entry_bu];
+          stats.tct += data;
+          stats.up_ticks += data;
+          record_busy_range(e.bu_series(op.entry_bu), seg.id, data_first,
+                            data);
+        }
+      }
+    } else {
+      op.teardown_left -= count;
+    }
+  }
+
+  // Every queued unload accrues one BU waiting-period tick per segment
+  // tick, whether still counting down its grant turnaround or already
+  // eligible but blocked (the two accrual loops in segment_step_sa).
+  for (PendingUnload& pu : seg.pending_unloads) {
+    pu.wait_left -= std::min(pu.wait_left, count);
+    BuStats& stats = e.bu_stats_[pu.bu];
+    stats.wp_ticks += count;
+    stats.tct += count;
+    record_busy_range(e.bu_series(pu.bu), seg.id, first, count);
+  }
+
+  // Busy status is constant across a skip, so the SA busy counters and the
+  // last-activity watermark advance wholesale. No idle transition can
+  // occur, so no IdleMsg is due.
+  if (e.segment_busy(seg)) {
+    seg.last_activity_tick = seg.tick;
+    seg.sa.busy_ticks += count;
+    record_busy_range(seg.id, seg.id, first, count);
+  }
+}
+
+void FastEngine::skip_ca_ticks(std::uint64_t count) {
+  if (count == 0) return;
+  Engine& e = engine_;
+  detail::CaState& ca = e.ca_;
+  const std::int64_t first = ca.tick + 1;
+  ca.tick += static_cast<std::int64_t>(count);
+  skip_stats_.skipped_ticks += count;
+  ca.grant_cooldown -= std::min(ca.grant_cooldown, count);
+  if (ca.transfers_alive > 0 || !ca.pending.empty()) {
+    ca.stats.busy_ticks += count;
+    record_busy_range(e.ca_series(), e.domains_.size() - 1, first, count);
+  }
+}
+
+void FastEngine::skip_domain_ticks(std::size_t domain_index,
+                                   std::uint64_t count) {
+  if (domain_index + 1 == engine_.domains_.size()) {
+    skip_ca_ticks(count);
+  } else {
+    skip_segment_ticks(engine_.segments_[domain_index], count);
+  }
+}
+
+void FastEngine::catch_up_to(std::size_t domain_index, Picoseconds t) {
+  // Ticks strictly before t: the tick at t itself is executed for real.
+  const std::int64_t target = engine_.domains_[domain_index].ticks_at(t) - 1;
+  const std::int64_t cur = engine_.domain_tick(domain_index);
+  if (target - 1 > cur) {
+    skip_domain_ticks(domain_index,
+                      static_cast<std::uint64_t>(target - 1 - cur));
+  }
+}
+
+void FastEngine::finish_all_domains(Picoseconds t) {
+  // The reference run loop stops having executed, in every domain, exactly
+  // the ticks with time <= t. Any domain still asleep here has wake > t,
+  // so all its outstanding ticks up to t are pure — apply them wholesale.
+  for (std::size_t i = 0; i < engine_.domains_.size(); ++i) {
+    const std::int64_t target = engine_.domains_[i].ticks_at(t) - 1;
+    const std::int64_t cur = engine_.domain_tick(i);
+    if (target > cur) {
+      skip_domain_ticks(i, static_cast<std::uint64_t>(target - cur));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+Picoseconds FastEngine::state_wake(std::size_t domain_index,
+                                   std::int64_t limit) const {
+  const Engine& e = engine_;
+  if (domain_index + 1 == e.domains_.size()) {
+    const std::int64_t cur = e.ca_.tick;
+    std::uint64_t pure = cur < 0 ? 0 : ca_pure_ticks();
+    // Tick-budget cap: the reference engine aborts right after the CA
+    // executes tick limit+1, so the CA never skips past it. This also
+    // keeps the CA's wake finite — it is the clock of last resort.
+    const std::uint64_t cap =
+        cur < limit ? static_cast<std::uint64_t>(limit - cur) : 0;
+    pure = std::min(pure, cap);
+    return e.domains_[domain_index].tick_time(
+        cur + 1 + static_cast<std::int64_t>(pure));
+  }
+  const SegmentState& seg = e.segments_[domain_index];
+  const std::uint64_t pure = segment_pure_ticks(seg);
+  if (pure == kNoLocalEvent) return kNever;
+  return e.domains_[domain_index].tick_time(
+      seg.tick + 1 + static_cast<std::int64_t>(pure));
+}
+
+Result<EmulationResult> FastEngine::run() {
+  if (started_) {
+    return failed_precondition_error("FastEngine::run may be called once");
+  }
+  started_ = true;
+  Engine& e = engine_;
+  e.started_ = true;
+  const auto limit = static_cast<std::int64_t>(e.options_.max_ticks_per_domain);
+  const std::size_t domain_count = e.domains_.size();
+
+  wake_.clear();
+  for (std::size_t i = 0; i < domain_count; ++i) {
+    wake_.push_back(e.domains_[i].tick_time(0));
+  }
+
+  std::vector<std::size_t> due;
+  std::int64_t last_note_epoch = std::numeric_limits<std::int64_t>::min();
+  while (!e.terminated_) {
+    Picoseconds t = wake_[0];
+    for (std::size_t i = 1; i < domain_count; ++i) t = std::min(t, wake_[i]);
+    due.clear();
+    for (std::size_t i = 0; i < domain_count; ++i) {
+      if (wake_[i] == t) due.push_back(i);
+    }
+    // Steps at one instant commute (mailbox visibility is strictly later),
+    // so executing the due domains in index order matches the reference.
+    for (std::size_t i : due) {
+      catch_up_to(i, t);
+      e.step_domain(i, t);
+      ++skip_stats_.executed_ticks;
+    }
+
+    if (e.options_.flight_recorder) {
+      // Coarse progress heartbeat, one note per ~1M simulated CA ticks
+      // (the reference notes exact multiples; skips jump over most).
+      const std::int64_t epoch = e.ca_.tick >> 20;
+      if (epoch != last_note_epoch) {
+        last_note_epoch = epoch;
+        obs::FlightRecorder::instance().note(
+            "engine-progress",
+            str_format("ca_tick=%lld", static_cast<long long>(e.ca_.tick)));
+      }
+    }
+    if (e.terminated_) {
+      finish_all_domains(t);
+      break;
+    }
+    if (e.ca_.tick > limit) {
+      SEGBUS_LOG(kWarn, "emu") << "tick limit reached; aborting emulation";
+      if (e.options_.flight_recorder) {
+        obs::FlightRecorder::instance().note(
+            "engine-tick-limit",
+            str_format("ca_tick=%lld limit=%lld",
+                       static_cast<long long>(e.ca_.tick),
+                       static_cast<long long>(limit)));
+      }
+      finish_all_domains(t);
+      break;
+    }
+
+    for (std::size_t i : due) wake_[i] = state_wake(i, limit);
+    // Messages bound every domain's skip: the first tick that can observe
+    // a pending message must execute. (Pending boxes shrink only when the
+    // owner steps, so re-applying the bound is idempotent.)
+    for (std::size_t i = 0; i < domain_count; ++i) {
+      if (auto earliest = e.inboxes_[i]->earliest_pending()) {
+        std::int64_t k = e.domains_[i].first_tick_at_or_after(
+            Picoseconds(earliest->count() + 1));
+        k = std::max(k, e.domain_tick(i) + 1);
+        wake_[i] = std::min(wake_[i], e.domains_[i].tick_time(k));
+      }
+    }
+  }
+  return e.collect_results();
+}
+
+}  // namespace segbus::emu

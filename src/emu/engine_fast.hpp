@@ -1,0 +1,112 @@
+// Next-event-time execution of the emulator (dead-cycle skipping).
+//
+// The reference engine ticks every clock domain on every cycle even when
+// nothing can change — a master burning a 10'000-tick compute countdown, a
+// bus streaming a large package, or an idle wait for a CA grant all cost
+// one step_domain call per tick. The fast engine instead computes, per
+// domain, the earliest tick at which that domain's state can next change
+// (countdown expiry, bus-op phase boundary, BU unload eligibility, CA
+// grant/monitor decision, or the first tick that can observe a pending
+// mailbox message), jumps the global clock straight to the minimum across
+// domains, and executes only those "interesting" ticks — through the very
+// same Engine::step_domain kernel the reference engine runs.
+//
+// The ticks in between are provably pure: each one would only decrement
+// counters and accrue per-tick statistics (SA/CA busy ticks, BU
+// useful/waiting-period ticks, activity buckets) without branching,
+// posting messages, or changing any state another element can observe.
+// Those ticks are bulk-applied arithmetically when the domain next wakes
+// (lazy catch-up — a message posted at time t is visible only at ticks
+// with time > t, so a skip decided before t can never be invalidated).
+// Because every interesting tick runs the unchanged reference kernel and
+// every skipped tick is replayed exactly, the EmulationResult — TCT,
+// per-flow stats, trace, metrics, activity series — is bit-identical to
+// the reference engine's; the scen oracle's fast-equivalence invariant
+// asserts this over randomized campaigns.
+//
+// Tick budgets keep their meaning: domain tick counters advance through
+// skips (skipped-tick-equivalents), so EngineOptions::max_ticks_per_domain
+// aborts at exactly the same simulated tick as the reference engine, and
+// the service's tick-budget cancellation is backend-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/engine.hpp"
+
+namespace segbus::emu {
+
+/// Event-driven engine over the reference kernel. See file comment.
+class FastEngine {
+ public:
+  /// Validates the mapping and builds a ready-to-run engine (same checks
+  /// and errors as Engine::create).
+  static Result<FastEngine> create(const psdf::PsdfModel& application,
+                                   const platform::PlatformModel& platform,
+                                   const TimingModel& timing =
+                                       TimingModel::emulator(),
+                                   const EngineOptions& options = {});
+
+  /// Takes ownership of a ready-to-run engine.
+  explicit FastEngine(Engine engine) : engine_(std::move(engine)) {}
+
+  FastEngine(FastEngine&&) noexcept = default;
+  FastEngine& operator=(FastEngine&&) noexcept = default;
+
+  /// Runs the emulation to completion (or the tick limit) and returns the
+  /// collected statistics — bit-identical to Engine::run(). May be called
+  /// once.
+  Result<EmulationResult> run();
+
+  /// How much work the event scheduler avoided: `executed_ticks` went
+  /// through the reference kernel, `skipped_ticks` were bulk-applied.
+  /// Their sum is the total simulated tick count across all domains.
+  struct SkipStats {
+    std::uint64_t executed_ticks = 0;
+    std::uint64_t skipped_ticks = 0;
+  };
+  const SkipStats& skip_stats() const noexcept { return skip_stats_; }
+
+ private:
+  // Earliest tick at which the domain's local state can change, counted in
+  // whole ticks after the domain's current tick minus one — i.e. the
+  // number of provably pure ticks ahead. kNoLocalEvent means "no local
+  // event ever" (only a message can wake the domain).
+  static constexpr std::uint64_t kNoLocalEvent = ~std::uint64_t{0};
+  std::uint64_t segment_pure_ticks(const detail::SegmentState& seg) const;
+  std::uint64_t ca_pure_ticks() const;
+  /// Read-only replica of ca_grant_scan's path-availability test: true if
+  /// a scan this instant would issue a grant (making the tick impure).
+  bool ca_would_grant() const;
+  /// True when the monitor's termination conditions currently hold.
+  bool ca_would_terminate() const;
+
+  // Bulk application of `count` pure ticks (tick indices
+  // seg.tick+1 .. seg.tick+count), replaying exactly the per-tick counter
+  // and statistics arithmetic of the reference step functions.
+  void skip_segment_ticks(detail::SegmentState& seg, std::uint64_t count);
+  void skip_ca_ticks(std::uint64_t count);
+  void skip_domain_ticks(std::size_t domain_index, std::uint64_t count);
+  /// record_busy() for `count` consecutive ticks starting at `first_tick`
+  /// of `domain`'s clock, applied per activity bucket.
+  void record_busy_range(std::size_t series, std::size_t domain,
+                         std::int64_t first_tick, std::uint64_t count);
+
+  /// Bulk-applies the domain's pure ticks strictly before time `t`.
+  void catch_up_to(std::size_t domain_index, Picoseconds t);
+  /// Bulk-applies every domain's remaining pure ticks with time <= `t`
+  /// (run end: the reference engine has executed exactly those ticks).
+  void finish_all_domains(Picoseconds t);
+
+  /// Time of the next tick this domain must execute, from its local state
+  /// (messages are folded in separately by the run loop).
+  Picoseconds state_wake(std::size_t domain_index, std::int64_t limit) const;
+
+  Engine engine_;
+  std::vector<Picoseconds> wake_;
+  SkipStats skip_stats_;
+  bool started_ = false;
+};
+
+}  // namespace segbus::emu

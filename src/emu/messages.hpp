@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <variant>
 #include <vector>
 
@@ -136,6 +137,20 @@ class Mailbox {
   bool empty() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return pending_.empty();
+  }
+
+  /// Post time of the earliest waiting message, if any. The fast engine
+  /// uses this to bound how far a consumer domain may skip ahead: a
+  /// message posted at time t becomes visible at the first tick with
+  /// time > t, so that tick must be executed rather than skipped.
+  std::optional<Picoseconds> earliest_pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) return std::nullopt;
+    Picoseconds earliest = pending_.front().time;
+    for (const Envelope& envelope : pending_) {
+      earliest = std::min(earliest, envelope.time);
+    }
+    return earliest;
   }
 
  private:

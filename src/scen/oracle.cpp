@@ -333,6 +333,7 @@ std::string_view invariant_name(Invariant invariant) noexcept {
     case Invariant::kFingerprintEquivalence: return "fingerprint-equivalence";
     case Invariant::kClockScaling: return "clock-scaling";
     case Invariant::kParallelEquivalence: return "parallel-equivalence";
+    case Invariant::kFastEquivalence: return "fast-equivalence";
   }
   return "unknown";
 }
@@ -353,6 +354,7 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
 
   core::SessionConfig config;
   config.timing = scenario.timing;
+  config.backend = options.backend;
 
   obs::Span bind_span = span_for("oracle:bind");
   auto session = core::EmulationSession::from_models(scenario.application,
@@ -493,8 +495,8 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
     ++outcome.invariants_checked;
     obs::Span span = span_for("oracle:parallel-equivalence");
     core::SessionConfig parallel_config = config;
-    parallel_config.parallel = true;
-    parallel_config.threads = options.parallel_threads;
+    parallel_config.backend.backend = emu::EngineBackend::kParallel;
+    parallel_config.backend.parallel_threads = options.parallel_threads;
     auto parallel_session = core::EmulationSession::from_models(
         scenario.application, scenario.platform, parallel_config);
     if (!parallel_session.is_ok()) {
@@ -510,6 +512,37 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
                  !diff.empty()) {
         violate(Invariant::kParallelEquivalence,
                 "parallel engine diverged: " + diff);
+      }
+    }
+  }
+
+  if (options.check_fast) {
+    ++outcome.invariants_checked;
+    obs::Span span = span_for("oracle:fast-equivalence");
+    // Compare against whichever of {reference, fast} the base run did not
+    // use, so the invariant stays fast-vs-reference regardless of the
+    // campaign's --engine choice.
+    core::SessionConfig fast_config = config;
+    fast_config.backend = {};
+    fast_config.backend.backend =
+        config.backend.backend == emu::EngineBackend::kFast
+            ? emu::EngineBackend::kReference
+            : emu::EngineBackend::kFast;
+    auto fast_session = core::EmulationSession::from_models(
+        scenario.application, scenario.platform, fast_config);
+    if (!fast_session.is_ok()) {
+      violate(Invariant::kFastEquivalence,
+              "fast-equivalence session failed to bind: " +
+                  fast_session.status().to_string());
+    } else {
+      auto fast_result = fast_session->emulate();
+      if (!fast_result.is_ok()) {
+        violate(Invariant::kFastEquivalence,
+                "fast-equivalence run failed: " +
+                    fast_result.status().to_string());
+      } else if (std::string diff = diff_results(*result, *fast_result);
+                 !diff.empty()) {
+        violate(Invariant::kFastEquivalence, "fast engine diverged: " + diff);
       }
     }
   }

@@ -26,6 +26,9 @@
 //                          every tick counter unchanged.
 //  * parallel-equiv      — the thread-parallel engine matches the serial
 //                          engine bit-for-bit.
+//  * fast-equiv          — the next-event-time fast engine matches the
+//                          reference engine bit-for-bit (dead-cycle
+//                          skipping changes nothing observable).
 //
 // A violation means scenario + invariant name + human-readable detail; the
 // shrinker minimizes scenarios against a fixed invariant.
@@ -35,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "emu/backend.hpp"
 #include "obs/trace.hpp"
 #include "scen/generator.hpp"
 #include "support/status.hpp"
@@ -50,9 +54,10 @@ enum class Invariant : std::uint8_t {
   kFingerprintEquivalence,
   kClockScaling,
   kParallelEquivalence,
+  kFastEquivalence,
 };
 
-inline constexpr std::size_t kInvariantCount = 7;
+inline constexpr std::size_t kInvariantCount = 8;
 
 /// Stable kebab-case name ("bounds-bracket") used in logs, metrics labels
 /// and corpus file stems.
@@ -72,6 +77,13 @@ struct OracleOptions {
   /// Costlier (spawns a thread pool per scenario); campaigns sample it.
   bool check_parallel = false;
   unsigned parallel_threads = 2;
+  /// Fast-engine equivalence: re-runs the scenario on whichever of
+  /// {reference, fast} the base run did NOT use and compares bit-for-bit.
+  /// Cheap (the fast engine skips dead cycles), so on by default.
+  bool check_fast = true;
+  /// Backend the base run (and its derived runs: fingerprint twin, clock
+  /// scaling) executes on. Equivalence invariants compare against this.
+  emu::BackendOptions backend;
   /// When set, each invariant check records a child span under `parent`
   /// (the campaign's per-scenario span with its seed-derived trace id).
   obs::Tracer* tracer = nullptr;

@@ -32,7 +32,9 @@ std::string encode_request(const JobRequest& request) {
   if (request.reference_timing) {
     doc.set("reference", JsonValue::boolean(true));
   }
-  if (request.parallel) doc.set("parallel", JsonValue::boolean(true));
+  if (!request.engine.empty()) {
+    doc.set("engine", JsonValue::string(request.engine));
+  }
   if (request.max_ticks != 0) {
     doc.set("max_ticks", JsonValue::unsigned_integer(request.max_ticks));
   }
@@ -62,7 +64,11 @@ Result<JobRequest> parse_request(std::string_view line) {
   request.package_size =
       static_cast<std::uint32_t>(doc.get("package_size").as_uint64());
   request.reference_timing = doc.get("reference").as_bool();
-  request.parallel = doc.get("parallel").as_bool();
+  request.engine = doc.get("engine").as_string();
+  // Legacy clients send a boolean instead of the engine name.
+  if (request.engine.empty() && doc.get("parallel").as_bool()) {
+    request.engine = "parallel";
+  }
   request.max_ticks = doc.get("max_ticks").as_uint64();
   request.trace_id = doc.get("trace_id").as_string();
   request.trace = doc.get("trace").as_bool();

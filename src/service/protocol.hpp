@@ -5,7 +5,7 @@
 //
 // Request (kind "submit" unless stated):
 //   {"id":"j1","psdf_xml":"<...>","psm_xml":"<...>","package_size":36,
-//    "reference":false,"parallel":false,"max_ticks":0}
+//    "reference":false,"engine":"fast","max_ticks":0}
 //   {"id":"s1","kind":"stats"}        server counters snapshot
 //   {"id":"p1","kind":"ping"}         liveness probe
 //
@@ -41,7 +41,10 @@ struct JobRequest {
   std::string psm_xml;       ///< PSM scheme document
   std::uint32_t package_size = 0;  ///< nonzero overrides both documents
   bool reference_timing = false;   ///< reference instead of emulator preset
-  bool parallel = false;           ///< run on the parallel engine
+  /// Engine backend: "reference" | "parallel" | "fast" ("" = server
+  /// default). The legacy boolean `"parallel": true` is still accepted on
+  /// the wire as an alias for "engine":"parallel".
+  std::string engine;
   std::uint64_t max_ticks = 0;     ///< per-job tick budget (0 = server default)
   std::string trace_id;  ///< 32-hex trace id to propagate ("" = server picks)
   bool trace = false;    ///< force-sample and return the span tree

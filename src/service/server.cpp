@@ -253,7 +253,21 @@ JobResponse JobServer::run_submit(const JobRequest& request,
   core::SessionConfig config;
   config.timing = request.reference_timing ? emu::TimingModel::reference()
                                            : emu::TimingModel::emulator();
-  config.parallel = request.parallel;
+  config.backend = config_.default_backend;
+  if (!request.engine.empty()) {
+    auto backend = emu::parse_engine_backend(request.engine);
+    if (!backend) {
+      count_outcome("failed");
+      return JobResponse::failure(
+          request.id, "validation",
+          "unknown engine '" + request.engine +
+              "' (want reference | parallel | fast)");
+    }
+    config.backend.backend = *backend;
+    if (*backend != emu::EngineBackend::kParallel) {
+      config.backend.parallel_threads = 0;
+    }
+  }
   // The request may tighten the tick budget but never exceed the server's.
   config.engine.max_ticks_per_domain =
       request.max_ticks != 0 ? std::min(request.max_ticks, config_.max_ticks)
@@ -386,6 +400,9 @@ void JobServer::stop(bool drain) {
 
 JsonValue JobServer::stats_json() const {
   JsonValue doc = JsonValue::object();
+  doc.set("engine",
+          JsonValue::string(std::string(
+              emu::to_string(config_.default_backend.backend))));
 
   JsonValue jobs = JsonValue::object();
   {

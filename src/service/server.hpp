@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "emu/backend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/cache.hpp"
@@ -56,8 +57,13 @@ struct ServerConfig {
   std::size_t cache_bytes = 0;
   /// Per-job engine tick budget; requests may lower but never raise it.
   /// Exhausting it aborts the emulation ("tick-limit") — the cooperative
-  /// per-job cancellation mechanism.
+  /// per-job cancellation mechanism. Tick budgets are backend-independent:
+  /// the fast engine counts skipped-tick-equivalents.
   std::uint64_t max_ticks = 20'000'000;
+  /// Engine backend jobs run on unless the request's "engine" field
+  /// overrides it. All backends are bit-identical and share one cache
+  /// (the fingerprint excludes the backend).
+  emu::BackendOptions default_backend;
   /// Queue-wait deadline; jobs older than this are rejected ("deadline")
   /// at dequeue instead of running against a client that gave up.
   std::int64_t queue_deadline_ms = 30'000;

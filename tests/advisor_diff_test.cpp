@@ -4,7 +4,7 @@
 #include "apps/mp3.hpp"
 #include "core/advisor.hpp"
 #include "core/diff.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 #include "support/strings.hpp"
 
 namespace segbus::core {
@@ -12,10 +12,8 @@ namespace {
 
 emu::EmulationResult run(const psdf::PsdfModel& app,
                          const platform::PlatformModel& platform) {
-  auto engine = emu::Engine::create(app, platform);
-  EXPECT_TRUE(engine.is_ok()) << engine.status().to_string();
-  auto result = engine->run();
-  EXPECT_TRUE(result.is_ok());
+  auto result = emu::run_emulation(app, platform);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
   return std::move(result).value();
 }
 

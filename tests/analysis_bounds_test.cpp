@@ -9,7 +9,7 @@
 #include "apps/mp3.hpp"
 #include "apps/synthetic.hpp"
 #include "core/analytic.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 
 namespace segbus::analysis {
 namespace {
@@ -18,9 +18,7 @@ Picoseconds emulate(const psdf::PsdfModel& app,
                     const platform::PlatformModel& platform,
                     const emu::TimingModel& timing =
                         emu::TimingModel::emulator()) {
-  auto engine = emu::Engine::create(app, platform, timing);
-  EXPECT_TRUE(engine.is_ok()) << engine.status().to_string();
-  auto result = engine->run();
+  auto result = emu::run_emulation(app, platform, timing);
   EXPECT_TRUE(result.is_ok());
   EXPECT_TRUE(result->completed);
   return result->total_execution_time;

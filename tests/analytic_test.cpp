@@ -7,7 +7,7 @@
 #include "apps/mp3.hpp"
 #include "apps/synthetic.hpp"
 #include "core/analytic.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 #include "place/apply.hpp"
 
 namespace segbus::core {
@@ -17,10 +17,8 @@ Picoseconds emulate(const psdf::PsdfModel& app,
                     const platform::PlatformModel& platform,
                     const emu::TimingModel& timing =
                         emu::TimingModel::emulator()) {
-  auto engine = emu::Engine::create(app, platform, timing);
-  EXPECT_TRUE(engine.is_ok()) << engine.status().to_string();
-  auto result = engine->run();
-  EXPECT_TRUE(result.is_ok());
+  auto result = emu::run_emulation(app, platform, timing);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
   EXPECT_TRUE(result->completed);
   return result->total_execution_time;
 }

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/mp3.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 #include "platform/constraints.hpp"
 #include "psdf/comm_matrix.hpp"
 #include "psdf/validate.hpp"
@@ -162,9 +162,7 @@ class Mp3ThreeSegments : public testing::Test {
     ASSERT_TRUE(app.is_ok());
     auto platform = mp3_platform_three_segments(*app);
     ASSERT_TRUE(platform.is_ok());
-    auto engine = emu::Engine::create(*app, *platform);
-    ASSERT_TRUE(engine.is_ok());
-    auto result = engine->run();
+    auto result = emu::run_emulation(*app, *platform);
     ASSERT_TRUE(result.is_ok());
     result_ = new emu::EmulationResult(std::move(result).value());
   }
@@ -281,9 +279,7 @@ double run_us(std::uint32_t package_size,
   EXPECT_TRUE(app.is_ok());
   auto platform = mp3_platform(*app, allocation, segments, package_size);
   EXPECT_TRUE(platform.is_ok());
-  auto engine = emu::Engine::create(*app, *platform);
-  EXPECT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(*app, *platform);
   EXPECT_TRUE(result.is_ok());
   EXPECT_TRUE(result->completed);
   return result->total_execution_time.microseconds();

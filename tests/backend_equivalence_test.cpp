@@ -1,0 +1,272 @@
+// Engine-backend equivalence: the reference, parallel, and fast engines
+// must be bit-identical on every scheme. Golden coverage pins the MP3
+// decoder configurations (1/2/3 segments x package sizes 36 and 18);
+// property coverage drives randomized layered graphs through all three
+// backends; the tick-budget test checks that the fast engine's
+// skipped-tick-equivalent accounting aborts exactly where the reference
+// engine does.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/mp3.hpp"
+#include "core/json_export.hpp"
+#include "core/session.hpp"
+#include "emu/backend.hpp"
+#include "psdf/validate.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace segbus {
+namespace {
+
+emu::BackendOptions backend_options(emu::EngineBackend backend,
+                                    unsigned threads = 0) {
+  emu::BackendOptions options;
+  options.backend = backend;
+  options.parallel_threads = threads;
+  return options;
+}
+
+/// Serializes every exported statistic of a run; two results with equal
+/// summaries are equal in everything the library reports.
+std::string summary_of(const emu::EmulationResult& result,
+                       const platform::PlatformModel& platform) {
+  std::string text = core::result_to_json(result, platform).to_string();
+  text += str_format("|completed=%d|trace=%zu|activity=%zu",
+                     result.completed ? 1 : 0, result.trace.size(),
+                     result.activity.size());
+  return text;
+}
+
+// --- golden equivalence: the paper's MP3 configurations ---------------------
+
+using GoldenParams =
+    std::tuple<std::uint32_t /*segments*/, std::uint32_t /*package*/>;
+
+class BackendGoldenTest : public testing::TestWithParam<GoldenParams> {};
+
+TEST_P(BackendGoldenTest, AllBackendsAgreeOnTheMp3Decoder) {
+  auto [segments, package] = GetParam();
+  auto app = apps::mp3_decoder_psdf(package);
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform(*app, apps::mp3_allocation(segments),
+                                     segments, package);
+  ASSERT_TRUE(platform.is_ok());
+
+  emu::EngineOptions options;
+  options.record_trace = true;
+  options.record_activity = true;
+
+  auto reference = emu::run_emulation(*app, *platform,
+                                      emu::TimingModel::emulator(), options);
+  ASSERT_TRUE(reference.is_ok()) << reference.status().to_string();
+  ASSERT_TRUE(reference->completed);
+  const std::string expected = summary_of(*reference, *platform);
+
+  for (emu::EngineBackend backend :
+       {emu::EngineBackend::kFast, emu::EngineBackend::kParallel}) {
+    auto result = emu::run_emulation(*app, *platform,
+                                     emu::TimingModel::emulator(), options,
+                                     backend_options(backend, 2));
+    ASSERT_TRUE(result.is_ok())
+        << emu::to_string(backend) << ": " << result.status().to_string();
+    EXPECT_EQ(result->total_execution_time,
+              reference->total_execution_time)
+        << emu::to_string(backend);
+    EXPECT_EQ(result->ca.tct, reference->ca.tct) << emu::to_string(backend);
+    EXPECT_EQ(summary_of(*result, *platform), expected)
+        << emu::to_string(backend);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mp3Configurations, BackendGoldenTest,
+    testing::Combine(testing::Values(1u, 2u, 3u), testing::Values(36u, 18u)),
+    [](const testing::TestParamInfo<GoldenParams>& params) {
+      return str_format("s%u_p%u", std::get<0>(params.param),
+                        std::get<1>(params.param));
+    });
+
+// The reference timing model must agree across backends too.
+TEST(BackendGolden, ReferenceTimingAgreesAcrossBackends) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto reference = emu::run_emulation(*app, *platform,
+                                      emu::TimingModel::reference());
+  ASSERT_TRUE(reference.is_ok());
+  auto fast = emu::run_emulation(
+      *app, *platform, emu::TimingModel::reference(), {},
+      backend_options(emu::EngineBackend::kFast));
+  ASSERT_TRUE(fast.is_ok());
+  EXPECT_EQ(summary_of(*fast, *platform), summary_of(*reference, *platform));
+}
+
+// --- property: random schemes through all three backends --------------------
+
+/// Random layered dataflow on a random multi-clock platform (stage
+/// ordering follows the layers, so every scheme is valid by
+/// construction).
+struct Scenario {
+  psdf::PsdfModel app{"seeded"};
+  platform::PlatformModel platform{"seeded"};
+};
+
+Scenario make_scenario(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::uint32_t package = rng.next_below(2) == 0 ? 36u : 18u;
+  const auto segments = static_cast<std::uint32_t>(rng.next_in(1, 3));
+  Scenario scenario;
+  EXPECT_TRUE(scenario.app.set_package_size(package).is_ok());
+  const auto layers = static_cast<std::uint32_t>(rng.next_in(2, 3));
+  std::vector<std::vector<psdf::ProcessId>> members(layers);
+  std::uint32_t counter = 0;
+  for (std::uint32_t layer = 0; layer < layers; ++layer) {
+    const auto width = static_cast<std::uint32_t>(rng.next_in(1, 3));
+    for (std::uint32_t i = 0; i < width; ++i) {
+      auto id = scenario.app.add_process(str_format("P%u", counter++));
+      EXPECT_TRUE(id.is_ok());
+      members[layer].push_back(*id);
+    }
+  }
+  for (std::uint32_t layer = 0; layer + 1 < layers; ++layer) {
+    for (psdf::ProcessId source : members[layer]) {
+      const auto& next = members[layer + 1];
+      psdf::ProcessId target = next[rng.next_below(next.size())];
+      (void)scenario.app.add_flow(
+          source, target, static_cast<std::uint64_t>(rng.next_in(1, 300)),
+          layer + 1, static_cast<std::uint64_t>(rng.next_in(0, 90)));
+    }
+  }
+  EXPECT_TRUE(scenario.platform.set_package_size(package).is_ok());
+  EXPECT_TRUE(scenario.platform
+                  .set_ca_clock(Frequency::from_mhz(
+                      static_cast<double>(rng.next_in(80, 160))))
+                  .is_ok());
+  for (std::uint32_t s = 0; s < segments; ++s) {
+    EXPECT_TRUE(scenario.platform
+                    .add_segment(Frequency::from_mhz(
+                        static_cast<double>(rng.next_in(60, 140))))
+                    .is_ok());
+  }
+  for (const psdf::Process& p : scenario.app.processes()) {
+    const auto segment =
+        p.id < segments
+            ? static_cast<std::uint32_t>(p.id)
+            : static_cast<std::uint32_t>(rng.next_below(segments));
+    EXPECT_TRUE(scenario.platform.map_process(p.name, segment).is_ok());
+  }
+  return scenario;
+}
+
+class BackendPropertyTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BackendPropertyTest, RandomSeedsRunIdenticallyOnEveryBackend) {
+  Scenario scenario = make_scenario(GetParam());
+  ASSERT_TRUE(psdf::validate_or_error(scenario.app).is_ok());
+
+  auto reference = emu::run_emulation(scenario.app, scenario.platform);
+  ASSERT_TRUE(reference.is_ok()) << reference.status().to_string();
+  const std::string expected =
+      summary_of(*reference, scenario.platform);
+
+  for (emu::EngineBackend backend :
+       {emu::EngineBackend::kFast, emu::EngineBackend::kParallel}) {
+    auto result =
+        emu::run_emulation(scenario.app, scenario.platform,
+                           emu::TimingModel::emulator(), {},
+                           backend_options(backend, 2));
+    ASSERT_TRUE(result.is_ok())
+        << emu::to_string(backend) << ": " << result.status().to_string();
+    EXPECT_EQ(summary_of(*result, scenario.platform), expected)
+        << emu::to_string(backend);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendPropertyTest,
+                         testing::Range<std::uint64_t>(1, 25));
+
+// --- tick-budget abort parity -----------------------------------------------
+
+TEST(BackendBudget, FastEngineAbortsAtTheSameBudgetAsReference) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+
+  // Far below the ~57k ticks the run needs: both engines must hit the
+  // budget, flag the run incomplete, and stop with identical partial
+  // statistics (the fast engine charges skipped ticks against the budget
+  // as if it had executed them).
+  emu::EngineOptions options;
+  options.max_ticks_per_domain = 5'000;
+
+  auto reference = emu::run_emulation(*app, *platform,
+                                      emu::TimingModel::emulator(), options);
+  ASSERT_TRUE(reference.is_ok());
+  EXPECT_FALSE(reference->completed);
+
+  auto fast = emu::run_emulation(*app, *platform,
+                                 emu::TimingModel::emulator(), options,
+                                 backend_options(emu::EngineBackend::kFast));
+  ASSERT_TRUE(fast.is_ok());
+  EXPECT_FALSE(fast->completed);
+  EXPECT_EQ(summary_of(*fast, *platform),
+            summary_of(*reference, *platform));
+}
+
+// --- session binding: SB060 and the deprecated shim --------------------------
+
+TEST(SessionBackend, ThreadsWithNonParallelBackendAreRejectedAsSb060) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+
+  for (emu::EngineBackend backend :
+       {emu::EngineBackend::kReference, emu::EngineBackend::kFast}) {
+    core::SessionConfig config;
+    config.backend = backend_options(backend, 4);
+    auto session =
+        core::EmulationSession::from_models(*app, *platform, config);
+    ASSERT_FALSE(session.is_ok()) << emu::to_string(backend);
+    EXPECT_EQ(session.status().code(), StatusCode::kValidationError);
+    EXPECT_NE(session.status().to_string().find("SB060"), std::string::npos)
+        << session.status().to_string();
+  }
+
+  // The same thread count is fine on the parallel backend.
+  core::SessionConfig config;
+  config.backend = backend_options(emu::EngineBackend::kParallel, 4);
+  EXPECT_TRUE(
+      core::EmulationSession::from_models(*app, *platform, config).is_ok());
+}
+
+TEST(SessionBackend, DeprecatedParallelFlagStillSelectsTheParallelEngine) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+
+  core::SessionConfig config;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  config.parallel = true;
+  config.threads = 2;
+#pragma GCC diagnostic pop
+  auto session = core::EmulationSession::from_models(*app, *platform, config);
+  ASSERT_TRUE(session.is_ok()) << session.status().to_string();
+  auto result = session->emulate();
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result->completed);
+
+  auto reference = emu::run_emulation(*app, *platform);
+  ASSERT_TRUE(reference.is_ok());
+  EXPECT_EQ(result->total_execution_time, reference->total_execution_time);
+}
+
+}  // namespace
+}  // namespace segbus

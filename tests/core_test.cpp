@@ -51,8 +51,8 @@ TEST(Session, RepeatedEmulationsAreDeterministic) {
 TEST(Session, ParallelConfigMatchesSequential) {
   psdf::PsdfModel app = mp3_app();
   SessionConfig config;
-  config.parallel = true;
-  config.threads = 2;
+  config.backend.backend = emu::EngineBackend::kParallel;
+  config.backend.parallel_threads = 2;
   auto parallel_session =
       EmulationSession::from_models(app, mp3_3seg(app), config);
   auto sequential_session = EmulationSession::from_models(app, mp3_3seg(app));

@@ -7,8 +7,7 @@
 #include <map>
 #include <tuple>
 
-#include "emu/engine.hpp"
-#include "emu/parallel.hpp"
+#include "emu/backend.hpp"
 #include "core/analytic.hpp"
 #include "psdf/comm_matrix.hpp"
 #include "psdf/validate.hpp"
@@ -101,9 +100,7 @@ TEST_P(EmuPropertyTest, InvariantsHold) {
   Scenario scenario = make_scenario(seed, segments, package);
   ASSERT_TRUE(psdf::validate_or_error(scenario.app).is_ok());
 
-  auto engine = Engine::create(scenario.app, scenario.platform);
-  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
-  auto result = engine->run();
+  auto result = run_emulation(scenario.app, scenario.platform);
   ASSERT_TRUE(result.is_ok()) << result.status().to_string();
 
   // Termination: every run completes (deadlock freedom).
@@ -179,9 +176,7 @@ TEST_P(EmuPropertyTest, DeterministicAcrossRuns) {
   auto [seed, segments, package] = GetParam();
   Scenario scenario = make_scenario(seed, segments, package);
   auto run_once = [&]() {
-    auto engine = Engine::create(scenario.app, scenario.platform);
-    EXPECT_TRUE(engine.is_ok());
-    auto result = engine->run();
+    auto result = run_emulation(scenario.app, scenario.platform);
     EXPECT_TRUE(result.is_ok());
     return std::move(result).value();
   };
@@ -198,16 +193,14 @@ TEST_P(EmuPropertyTest, DeterministicAcrossRuns) {
 TEST_P(EmuPropertyTest, ParallelEngineBitIdentical) {
   auto [seed, segments, package] = GetParam();
   Scenario scenario = make_scenario(seed, segments, package);
-  auto sequential = Engine::create(scenario.app, scenario.platform);
-  ASSERT_TRUE(sequential.is_ok());
-  auto expected = sequential->run();
+  auto expected = run_emulation(scenario.app, scenario.platform);
   ASSERT_TRUE(expected.is_ok());
 
-  auto parallel = ParallelEngine::create(scenario.app, scenario.platform,
-                                         TimingModel::emulator(), {},
-                                         /*num_threads=*/2);
-  ASSERT_TRUE(parallel.is_ok());
-  auto actual = (*parallel)->run();
+  BackendOptions parallel;
+  parallel.backend = EngineBackend::kParallel;
+  parallel.parallel_threads = 2;
+  auto actual = run_emulation(scenario.app, scenario.platform,
+                              TimingModel::emulator(), {}, parallel);
   ASSERT_TRUE(actual.is_ok());
 
   EXPECT_EQ(actual->total_execution_time, expected->total_execution_time);
@@ -239,9 +232,7 @@ TEST_P(EmuPropertyTest, PipelinedProtocolKeepsInvariants) {
   Scenario scenario = make_scenario(seed, segments, package);
   TimingModel timing = TimingModel::emulator();
   timing.circuit_switched = false;
-  auto engine = Engine::create(scenario.app, scenario.platform, timing);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = run_emulation(scenario.app, scenario.platform, timing);
   ASSERT_TRUE(result.is_ok());
   // Deadlock freedom and conservation hold under virtual cut-through.
   EXPECT_TRUE(result->completed);
@@ -261,10 +252,11 @@ TEST_P(EmuPropertyTest, PipelinedProtocolKeepsInvariants) {
   }
 
   // And the parallel engine stays bit-identical in this mode too.
-  auto parallel = ParallelEngine::create(scenario.app, scenario.platform,
-                                         timing, {}, /*num_threads=*/2);
-  ASSERT_TRUE(parallel.is_ok());
-  auto parallel_result = (*parallel)->run();
+  BackendOptions parallel;
+  parallel.backend = EngineBackend::kParallel;
+  parallel.parallel_threads = 2;
+  auto parallel_result = run_emulation(scenario.app, scenario.platform,
+                                       timing, {}, parallel);
   ASSERT_TRUE(parallel_result.is_ok());
   EXPECT_EQ(parallel_result->total_execution_time,
             result->total_execution_time);
@@ -274,14 +266,10 @@ TEST_P(EmuPropertyTest, PipelinedProtocolKeepsInvariants) {
 TEST_P(EmuPropertyTest, ReferenceTimingNeverFaster) {
   auto [seed, segments, package] = GetParam();
   Scenario scenario = make_scenario(seed, segments, package);
-  auto est = Engine::create(scenario.app, scenario.platform,
-                            TimingModel::emulator());
-  auto ref = Engine::create(scenario.app, scenario.platform,
-                            TimingModel::reference());
-  ASSERT_TRUE(est.is_ok());
-  ASSERT_TRUE(ref.is_ok());
-  auto est_result = est->run();
-  auto ref_result = ref->run();
+  auto est_result = run_emulation(scenario.app, scenario.platform,
+                                  TimingModel::emulator());
+  auto ref_result = run_emulation(scenario.app, scenario.platform,
+                                  TimingModel::reference());
   ASSERT_TRUE(est_result.is_ok());
   ASSERT_TRUE(ref_result.is_ok());
   EXPECT_LE(est_result->total_execution_time,

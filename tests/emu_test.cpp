@@ -3,8 +3,7 @@
 // useful/waiting periods, request counters, stage gating, termination.
 #include <gtest/gtest.h>
 
-#include "emu/engine.hpp"
-#include "emu/parallel.hpp"
+#include "emu/backend.hpp"
 #include "emu/timing.hpp"
 #include "platform/model.hpp"
 #include "psdf/model.hpp"
@@ -32,9 +31,7 @@ Result<EmulationResult> run(const psdf::PsdfModel& app,
                             const TimingModel& timing =
                                 TimingModel::emulator(),
                             const EngineOptions& options = {}) {
-  auto engine = Engine::create(app, platform, timing, options);
-  if (!engine.is_ok()) return engine.status();
-  return engine->run();
+  return run_emulation(app, platform, timing, options);
 }
 
 // --- timing model presets ----------------------------------------------------------
@@ -434,17 +431,17 @@ TEST(EmuLifecycle, UnmappedProcessRejectedAtCreate) {
   ASSERT_TRUE(app.add_flow("A", "B", 36, 1, 10).is_ok());
   auto platform = make_platform(1);
   ASSERT_TRUE(platform.map_process("A", 0).is_ok());
-  auto engine = Engine::create(app, platform);
-  ASSERT_FALSE(engine.is_ok());
-  EXPECT_EQ(engine.status().code(), StatusCode::kValidationError);
+  auto result = run_emulation(app, platform);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kValidationError);
 }
 
 TEST(EmuLifecycle, RunTwiceIsAnError) {
   TwoSegment fixture;
-  auto engine = Engine::create(fixture.app, fixture.platform);
-  ASSERT_TRUE(engine.is_ok());
-  ASSERT_TRUE(engine->run().is_ok());
-  auto second = engine->run();
+  auto runner = EngineRunner::create(fixture.app, fixture.platform);
+  ASSERT_TRUE(runner.is_ok());
+  ASSERT_TRUE(runner->run().is_ok());
+  auto second = runner->run();
   ASSERT_FALSE(second.is_ok());
   EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
 }
@@ -523,11 +520,11 @@ TEST(EmuParallel, MatchesSequentialBitForBit) {
   TwoSegment fixture;
   auto sequential = run(fixture.app, fixture.platform);
   ASSERT_TRUE(sequential.is_ok());
-  auto parallel =
-      ParallelEngine::create(fixture.app, fixture.platform,
-                             TimingModel::emulator(), {}, 3);
-  ASSERT_TRUE(parallel.is_ok());
-  auto result = (*parallel)->run();
+  BackendOptions backend;
+  backend.backend = EngineBackend::kParallel;
+  backend.parallel_threads = 3;
+  auto result = run_emulation(fixture.app, fixture.platform,
+                              TimingModel::emulator(), {}, backend);
   ASSERT_TRUE(result.is_ok());
   EXPECT_EQ(result->total_execution_time,
             sequential->total_execution_time);
@@ -570,11 +567,11 @@ TEST(EmuParallel, EqualClocksMaximizeBatchParallelism) {
   auto sequential = run(app, platform);
   ASSERT_TRUE(sequential.is_ok());
   for (unsigned threads : {2u, 4u, 8u}) {
-    auto parallel = ParallelEngine::create(app, platform,
-                                           TimingModel::emulator(), {},
-                                           threads);
-    ASSERT_TRUE(parallel.is_ok());
-    auto result = (*parallel)->run();
+    BackendOptions backend;
+    backend.backend = EngineBackend::kParallel;
+    backend.parallel_threads = threads;
+    auto result = run_emulation(app, platform, TimingModel::emulator(), {},
+                                backend);
     ASSERT_TRUE(result.is_ok());
     EXPECT_EQ(result->total_execution_time,
               sequential->total_execution_time)
@@ -589,10 +586,13 @@ TEST(EmuParallel, EqualClocksMaximizeBatchParallelism) {
 
 TEST(EmuParallel, RunTwiceIsAnError) {
   TwoSegment fixture;
-  auto parallel = ParallelEngine::create(fixture.app, fixture.platform);
-  ASSERT_TRUE(parallel.is_ok());
-  ASSERT_TRUE((*parallel)->run().is_ok());
-  EXPECT_FALSE((*parallel)->run().is_ok());
+  BackendOptions backend;
+  backend.backend = EngineBackend::kParallel;
+  auto runner = EngineRunner::create(fixture.app, fixture.platform,
+                                     TimingModel::emulator(), {}, backend);
+  ASSERT_TRUE(runner.is_ok());
+  ASSERT_TRUE(runner->run().is_ok());
+  EXPECT_FALSE(runner->run().is_ok());
 }
 
 }  // namespace

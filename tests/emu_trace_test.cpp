@@ -5,7 +5,7 @@
 #include <algorithm>
 
 #include "apps/mp3.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 #include "emu/trace.hpp"
 #include "emu/vcd.hpp"
 #include "support/strings.hpp"
@@ -36,10 +36,8 @@ struct Fixture {
     EngineOptions options;
     options.record_trace = record_trace;
     options.record_metrics = record_metrics;
-    auto engine =
-        Engine::create(app, platform, TimingModel::emulator(), options);
-    EXPECT_TRUE(engine.is_ok());
-    auto result = engine->run();
+    auto result =
+        run_emulation(app, platform, TimingModel::emulator(), options);
     EXPECT_TRUE(result.is_ok());
     EXPECT_TRUE(result->completed);
     return std::move(result).value();
@@ -331,9 +329,7 @@ TEST(FlowStatsTest, LocalFlowsAreCheaper) {
   ASSERT_TRUE(platform.map_process("A", 0).is_ok());
   ASSERT_TRUE(platform.map_process("B", 0).is_ok());
   ASSERT_TRUE(platform.map_process("C", 1).is_ok());
-  auto engine = Engine::create(app, platform);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = run_emulation(app, platform);
   ASSERT_TRUE(result.is_ok());
   ASSERT_EQ(result->flows.size(), 2u);
   EXPECT_FALSE(result->flows[0].inter_segment);
@@ -349,9 +345,7 @@ TEST(Utilization, BoundedAndConsistent) {
   ASSERT_TRUE(app.is_ok());
   auto platform = apps::mp3_platform_three_segments(*app);
   ASSERT_TRUE(platform.is_ok());
-  auto engine = Engine::create(*app, *platform);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = run_emulation(*app, *platform);
   ASSERT_TRUE(result.is_ok());
   for (std::size_t s = 0; s < result->sas.size(); ++s) {
     double u = result->sa_utilization(s);

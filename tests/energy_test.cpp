@@ -3,7 +3,7 @@
 
 #include "apps/mp3.hpp"
 #include "core/energy.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 
 namespace segbus::core {
 namespace {
@@ -23,9 +23,7 @@ Mp3Run run_mp3(std::uint32_t segments) {
       run.app, apps::mp3_allocation(segments), segments, 36);
   EXPECT_TRUE(platform.is_ok());
   run.platform = *platform;
-  auto engine = emu::Engine::create(run.app, run.platform);
-  EXPECT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(run.app, run.platform);
   EXPECT_TRUE(result.is_ok());
   run.result = std::move(result).value();
   return run;

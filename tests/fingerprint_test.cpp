@@ -190,8 +190,8 @@ TEST(Fingerprint, ParallelEngineDoesNotChangeTheDigest) {
   // The parallel engine is bit-identical to the serial one, so the
   // execution mode must not fragment the cache.
   core::SessionConfig parallel;
-  parallel.parallel = true;
-  parallel.threads = 4;
+  parallel.backend.backend = emu::EngineBackend::kParallel;
+  parallel.backend.parallel_threads = 4;
   EXPECT_EQ(digest_of(mp3_scheme()), digest_of(mp3_scheme(), parallel));
 }
 

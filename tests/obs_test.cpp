@@ -42,8 +42,10 @@ struct Fixture {
     core::SessionConfig config;
     config.engine.record_metrics = true;
     config.engine.record_trace = true;
-    config.parallel = parallel;
-    config.threads = parallel ? 2 : 0;
+    if (parallel) {
+      config.backend.backend = emu::EngineBackend::kParallel;
+      config.backend.parallel_threads = 2;
+    }
     auto session =
         core::EmulationSession::from_models(app, platform, config);
     EXPECT_TRUE(session.is_ok());

@@ -8,8 +8,7 @@
 
 #include "apps/mp3.hpp"
 #include "apps/synthetic.hpp"
-#include "emu/engine.hpp"
-#include "emu/parallel.hpp"
+#include "emu/backend.hpp"
 #include "place/apply.hpp"
 #include "support/strings.hpp"
 
@@ -25,9 +24,7 @@ TimingModel pipelined() {
 Result<EmulationResult> run(const psdf::PsdfModel& app,
                             const platform::PlatformModel& platform,
                             const TimingModel& timing) {
-  auto engine = Engine::create(app, platform, timing);
-  if (!engine.is_ok()) return engine.status();
-  return engine->run();
+  return run_emulation(app, platform, timing);
 }
 
 /// Builds an equal-clock platform and maps by the given allocation.
@@ -178,10 +175,10 @@ TEST(Pipelined, DeterministicAndParallelIdentical) {
   ASSERT_TRUE(platform.is_ok());
   auto sequential = run(*app, *platform, pipelined());
   ASSERT_TRUE(sequential.is_ok());
-  auto engine = ParallelEngine::create(*app, *platform, pipelined(), {},
-                                       /*num_threads=*/2);
-  ASSERT_TRUE(engine.is_ok());
-  auto parallel = (*engine)->run();
+  BackendOptions backend;
+  backend.backend = EngineBackend::kParallel;
+  backend.parallel_threads = 2;
+  auto parallel = run_emulation(*app, *platform, pipelined(), {}, backend);
   ASSERT_TRUE(parallel.is_ok());
   EXPECT_EQ(parallel->total_execution_time,
             sequential->total_execution_time);

@@ -7,7 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/mp3.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 
 namespace segbus {
 namespace {
@@ -19,9 +19,7 @@ emu::EmulationResult run_standard(std::uint32_t package,
   EXPECT_TRUE(app.is_ok());
   auto platform = apps::mp3_platform(*app, alloc, 3, package);
   EXPECT_TRUE(platform.is_ok());
-  auto engine = emu::Engine::create(*app, *platform, timing);
-  EXPECT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(*app, *platform, timing);
   EXPECT_TRUE(result.is_ok());
   EXPECT_TRUE(result->completed);
   return std::move(result).value();

@@ -122,7 +122,7 @@ TEST(Protocol, RequestRoundTrip) {
   request.psm_xml = "<b/>";
   request.package_size = 36;
   request.reference_timing = true;
-  request.parallel = true;
+  request.engine = "parallel";
   request.max_ticks = 777;
   auto parsed = service::parse_request(service::encode_request(request));
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
@@ -132,7 +132,7 @@ TEST(Protocol, RequestRoundTrip) {
   EXPECT_EQ(parsed->psm_xml, request.psm_xml);
   EXPECT_EQ(parsed->package_size, 36u);
   EXPECT_TRUE(parsed->reference_timing);
-  EXPECT_TRUE(parsed->parallel);
+  EXPECT_EQ(parsed->engine, "parallel");
   EXPECT_EQ(parsed->max_ticks, 777u);
 }
 
@@ -149,6 +149,23 @@ TEST(Protocol, ResponseRoundTripPreservesReportBytes) {
   EXPECT_TRUE(parsed->ok);
   EXPECT_EQ(parsed->report_json, response.report_json);  // bit-identical
   EXPECT_EQ(parsed->execution_time.count(), 489792303);
+}
+
+TEST(Protocol, LegacyParallelFieldMapsToTheEngineSelector) {
+  // Pre-engine clients sent {"parallel": true}; it must keep selecting
+  // the parallel backend for one release.
+  auto parsed = service::parse_request(
+      "{\"id\":\"x\",\"kind\":\"submit\",\"psdf_xml\":\"<a/>\","
+      "\"psm_xml\":\"<b/>\",\"parallel\":true}");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->engine, "parallel");
+
+  // An explicit engine wins over the legacy flag.
+  auto both = service::parse_request(
+      "{\"id\":\"x\",\"kind\":\"submit\",\"psdf_xml\":\"<a/>\","
+      "\"psm_xml\":\"<b/>\",\"parallel\":true,\"engine\":\"fast\"}");
+  ASSERT_TRUE(both.is_ok());
+  EXPECT_EQ(both->engine, "fast");
 }
 
 TEST(Protocol, MalformedRequestsAreRejected) {
@@ -244,6 +261,55 @@ TEST(JobServer, ReportsAreBitIdenticalToDirectRuns) {
     EXPECT_EQ(response.report_json, direct_report(segments))
         << segments << " segments";
   }
+}
+
+TEST(JobServer, CacheHitsAcrossEngineBackends) {
+  // The scheme fingerprint excludes the engine backend (all backends are
+  // bit-identical), so a result computed by one backend must serve
+  // submissions that ask for another.
+  service::JobServer server(make_config(2));
+  const SchemeXml scheme = mp3_scheme(2);
+
+  service::JobRequest reference = submit_request(scheme, "ref");
+  reference.engine = "reference";
+  service::JobResponse first = server.submit(std::move(reference));
+  ASSERT_TRUE(first.ok) << first.error_message;
+  EXPECT_FALSE(first.cache_hit);
+
+  service::JobRequest fast = submit_request(scheme, "fast");
+  fast.engine = "fast";
+  service::JobResponse second = server.submit(std::move(fast));
+  ASSERT_TRUE(second.ok) << second.error_message;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.digest, first.digest);
+  EXPECT_EQ(second.report_json, first.report_json);
+
+  service::JobRequest parallel = submit_request(scheme, "par");
+  parallel.engine = "parallel";
+  service::JobResponse third = server.submit(std::move(parallel));
+  ASSERT_TRUE(third.ok) << third.error_message;
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(third.digest, first.digest);
+}
+
+TEST(JobServer, FastEngineRunsProduceTheReferenceReport) {
+  service::JobServer server(make_config(1));
+  service::JobRequest request = submit_request(mp3_scheme(3), "fast3");
+  request.engine = "fast";
+  service::JobResponse response = server.submit(std::move(request));
+  ASSERT_TRUE(response.ok) << response.error_message;
+  EXPECT_EQ(response.report_json, direct_report(3));
+}
+
+TEST(JobServer, UnknownEngineIsRejectedBeforeRunning) {
+  service::JobServer server(make_config(1));
+  service::JobRequest request = submit_request(mp3_scheme(2), "warp");
+  request.engine = "warp";
+  service::JobResponse response = server.submit(std::move(request));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "validation");
+  JsonValue stats = server.stats_json();
+  EXPECT_EQ(stats.get("engine").as_string(), "reference");
 }
 
 TEST(JobServer, ValidationFailureIsReported) {

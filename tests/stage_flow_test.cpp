@@ -4,7 +4,7 @@
 #include "apps/mp3.hpp"
 #include "core/report.hpp"
 #include "core/session.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 
 namespace segbus {
 namespace {
@@ -14,9 +14,7 @@ emu::EmulationResult run_mp3() {
   EXPECT_TRUE(app.is_ok());
   auto platform = apps::mp3_platform_three_segments(*app);
   EXPECT_TRUE(platform.is_ok());
-  auto engine = emu::Engine::create(*app, *platform);
-  EXPECT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(*app, *platform);
   EXPECT_TRUE(result.is_ok());
   return std::move(result).value();
 }
@@ -68,9 +66,7 @@ TEST(StageStats, SingleStageApplication) {
   ASSERT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
   ASSERT_TRUE(platform.map_process("A", 0).is_ok());
   ASSERT_TRUE(platform.map_process("B", 0).is_ok());
-  auto engine = emu::Engine::create(app, platform);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(app, platform);
   ASSERT_TRUE(result.is_ok());
   ASSERT_EQ(result->stages.size(), 1u);
   EXPECT_EQ(result->stages[0].ordering, 7u);

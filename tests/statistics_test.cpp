@@ -6,7 +6,7 @@
 
 #include "apps/mp3.hpp"
 #include "core/report.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 #include "support/rng.hpp"
 #include "support/statistics.hpp"
 
@@ -137,10 +137,8 @@ TEST(LatencyRecording, SamplesMatchAggregates) {
   ASSERT_TRUE(platform.is_ok());
   emu::EngineOptions options;
   options.record_latencies = true;
-  auto engine = emu::Engine::create(*app, *platform,
-                                    emu::TimingModel::emulator(), options);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(*app, *platform,
+                                   emu::TimingModel::emulator(), options);
   ASSERT_TRUE(result.is_ok());
   for (const emu::FlowStats& flow : result->flows) {
     ASSERT_EQ(flow.latency_samples.size(), flow.packages);
@@ -163,9 +161,7 @@ TEST(LatencyRecording, DisabledByDefault) {
   ASSERT_TRUE(app.is_ok());
   auto platform = apps::mp3_platform_three_segments(*app);
   ASSERT_TRUE(platform.is_ok());
-  auto engine = emu::Engine::create(*app, *platform);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(*app, *platform);
   ASSERT_TRUE(result.is_ok());
   for (const emu::FlowStats& flow : result->flows) {
     EXPECT_TRUE(flow.latency_samples.empty());
@@ -179,10 +175,8 @@ TEST(LatencyRecording, HistogramRenderer) {
   ASSERT_TRUE(platform.is_ok());
   emu::EngineOptions options;
   options.record_latencies = true;
-  auto engine = emu::Engine::create(*app, *platform,
-                                    emu::TimingModel::emulator(), options);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(*app, *platform,
+                                   emu::TimingModel::emulator(), options);
   ASSERT_TRUE(result.is_ok());
   std::string text = core::render_latency_histogram(*result);
   EXPECT_NE(text.find("package latency over"), std::string::npos);

@@ -5,7 +5,7 @@
 #include "apps/h263.hpp"
 #include "apps/jpeg.hpp"
 #include "apps/synthetic.hpp"
-#include "emu/engine.hpp"
+#include "emu/backend.hpp"
 #include "place/apply.hpp"
 #include "psdf/validate.hpp"
 
@@ -25,9 +25,7 @@ emu::EmulationResult emulate_round_robin(const psdf::PsdfModel& app,
   for (const psdf::Process& p : app.processes()) {
     EXPECT_TRUE(platform.map_process(p.name, p.id % segments).is_ok());
   }
-  auto engine = emu::Engine::create(app, platform);
-  EXPECT_TRUE(engine.is_ok()) << engine.status().to_string();
-  auto result = engine->run();
+  auto result = emu::run_emulation(app, platform);
   EXPECT_TRUE(result.is_ok());
   EXPECT_TRUE(result->completed);
   return std::move(result).value();
@@ -130,9 +128,7 @@ TEST(SyntheticButterfly, CrossLaneTrafficCrossesSegments) {
     std::uint32_t lane = static_cast<std::uint32_t>(p.name.back() - '0');
     ASSERT_TRUE(platform.map_process(p.name, lane).is_ok());
   }
-  auto engine = emu::Engine::create(*model, platform);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(*model, platform);
   ASSERT_TRUE(result.is_ok());
   EXPECT_TRUE(result->completed);
   // Half the edges cross: 2 ranks x 2 lanes x 1 cross-edge x 4 packages.
@@ -203,9 +199,7 @@ TEST(JpegApp, TwoSegmentMappingValidatesAndRuns) {
   ASSERT_TRUE(model.is_ok());
   auto platform = jpeg_platform(*model, jpeg_allocation_two_segments(), 2);
   ASSERT_TRUE(platform.is_ok());
-  auto engine = emu::Engine::create(*model, *platform);
-  ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
-  auto result = engine->run();
+  auto result = emu::run_emulation(*model, *platform);
   ASSERT_TRUE(result.is_ok());
   EXPECT_TRUE(result->completed);
   // The HUF->MUX and luma/chroma handoffs cross segments.
@@ -247,9 +241,7 @@ TEST(H263App, AllMappingsValidateAndRun) {
     auto platform = h263_platform(*model, h263_allocation(segments),
                                   segments);
     ASSERT_TRUE(platform.is_ok()) << segments;
-    auto engine = emu::Engine::create(*model, *platform);
-    ASSERT_TRUE(engine.is_ok()) << engine.status().to_string();
-    auto result = engine->run();
+    auto result = emu::run_emulation(*model, *platform);
     ASSERT_TRUE(result.is_ok());
     EXPECT_TRUE(result->completed) << segments << " segments";
     // The packetizer receives the compressed band (6336/36 packages).
@@ -264,9 +256,7 @@ TEST(H263App, FourSegmentBandsBalanceWork) {
   ASSERT_TRUE(model.is_ok());
   auto platform = h263_platform(*model, h263_allocation(4), 4);
   ASSERT_TRUE(platform.is_ok());
-  auto engine = emu::Engine::create(*model, *platform);
-  ASSERT_TRUE(engine.is_ok());
-  auto result = engine->run();
+  auto result = emu::run_emulation(*model, *platform);
   ASSERT_TRUE(result.is_ok());
   // Every band's ME runs concurrently in stage 3: the four TQ processes
   // finish within a small window of each other.
@@ -290,9 +280,7 @@ TEST(H263App, FourSegmentsStayWithinBandOfSingleSegment) {
     auto platform = h263_platform(*model, h263_allocation(segments),
                                   segments);
     EXPECT_TRUE(platform.is_ok());
-    auto engine = emu::Engine::create(*model, *platform);
-    EXPECT_TRUE(engine.is_ok());
-    auto result = engine->run();
+    auto result = emu::run_emulation(*model, *platform);
     EXPECT_TRUE(result.is_ok());
     return result->total_execution_time;
   };

@@ -11,6 +11,10 @@
 //   --max-failures N    stop after N failing scenarios (default 8, 0 = all)
 //   --parallel-every N  run the parallel-equivalence check on every Nth
 //                       scenario (default 16, 0 = never)
+//   --engine NAME       backend for the oracle's base run: reference
+//                       (default) | parallel | fast. The fast-equivalence
+//                       invariant always compares against whichever of
+//                       {reference, fast} the base run did not use.
 //   --no-shrink         keep failing scenarios unshrunk
 //   --corpus DIR        archive shrunken repros as corpus entries
 //   --log FILE          JSONL campaign log (one line per failure + summary)
@@ -18,7 +22,7 @@
 //   --max-processes N / --max-segments N / --max-items N
 //                       generator distribution caps
 //   --no-bounds / --no-conservation / --no-fingerprint / --no-clock-scaling
-//                       disable individual oracle invariants
+//   / --no-fast         disable individual oracle invariants
 //   --trace             tag every scenario with its seed-derived trace id,
 //                       record per-check oracle spans, and archive the span
 //                       tree (<stem>.trace.json) plus a flight-recorder
@@ -38,6 +42,7 @@
 #include <optional>
 #include <string>
 
+#include "emu/backend.hpp"
 #include "obs/export.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
@@ -58,6 +63,17 @@ inline scen::OracleOptions fuzz_oracle_options(const CommandLine& cli) {
   oracle.check_conservation = cli.bool_flag_or("conservation", true);
   oracle.check_fingerprint = cli.bool_flag_or("fingerprint", true);
   oracle.check_clock_scaling = cli.bool_flag_or("clock-scaling", true);
+  oracle.check_fast = cli.bool_flag_or("fast", true);
+  if (auto engine = cli.flag("engine")) {
+    if (auto backend = emu::parse_engine_backend(*engine)) {
+      oracle.backend.backend = *backend;
+    } else {
+      std::fprintf(stderr,
+                   "warning: unknown --engine '%s' (want reference | "
+                   "parallel | fast); using reference\n",
+                   engine->c_str());
+    }
+  }
   return oracle;
 }
 

@@ -13,7 +13,8 @@
 //   generate --app mp3|jpeg --segments N [--package S] <outdir>
 //                                       run the M2T transformation
 //   emulate  <psdf.xml> <psm.xml> [--package S] [--reference]
-//            [--parallel [--threads N]] [--activity] [--trace [--trace-max N]]
+//            [--engine reference|parallel|fast [--threads N]] [--activity]
+//            [--trace [--trace-max N]]
 //            [--vcd out.vcd] [--json] [--metrics] [--telemetry DIR]
 //                                       emulate and report; --metrics records
 //                                       protocol counters/latency histograms,
@@ -36,7 +37,8 @@
 //                                       cache; SIGINT/SIGTERM drains
 //                                       gracefully (see docs/SERVICE.md)
 //   submit   <psdf.xml> <psm.xml> [--socket PATH | --tcp-port N]
-//            [--package S] [--reference] [--parallel] [--max-ticks N]
+//            [--package S] [--reference]
+//            [--engine reference|parallel|fast] [--max-ticks N]
 //            [--id ID] [--json] [--trace out.json] | --ping | --stats
 //                                       submit one job to a running server;
 //                                       --trace asks the server for its
@@ -184,8 +186,22 @@ int cmd_emulate(const CommandLine& cli) {
   if (cli.bool_flag_or("reference", false)) {
     config.timing = emu::TimingModel::reference();
   }
-  config.parallel = cli.bool_flag_or("parallel", false);
-  config.threads = static_cast<unsigned>(cli.int_flag_or("threads", 0));
+  if (auto engine = cli.flag("engine")) {
+    auto backend = emu::parse_engine_backend(*engine);
+    if (!backend) {
+      return fail(invalid_argument_error(
+          "unknown --engine '" + *engine +
+          "' (want reference | parallel | fast)"));
+    }
+    config.backend.backend = *backend;
+  } else if (cli.bool_flag_or("parallel", false)) {
+    // Legacy spelling of --engine parallel.
+    config.backend.backend = emu::EngineBackend::kParallel;
+  }
+  if (config.backend.backend == emu::EngineBackend::kParallel) {
+    config.backend.parallel_threads =
+        static_cast<unsigned>(cli.int_flag_or("threads", 0));
+  }
   config.engine.record_activity = cli.bool_flag_or("activity", false);
   const std::string vcd_path = cli.flag_or("vcd", "");
   const std::string telemetry_dir = cli.flag_or("telemetry", "");

@@ -4,11 +4,12 @@
 //
 //   serve  [--socket PATH] [--tcp [--port N]] [--workers N] [--queue N]
 //          [--cache-entries N] [--cache-bytes N] [--max-ticks N]
-//          [--deadline-ms N] [--metrics-out FILE]
-//          [--trace-sample R] [--flight-recorder [--flight-dir DIR]]
+//          [--engine reference|parallel|fast] [--deadline-ms N]
+//          [--metrics-out FILE] [--trace-sample R]
+//          [--flight-recorder [--flight-dir DIR]]
 //   submit <psdf.xml> <psm.xml> [--socket PATH | --tcp-port N]
-//          [--package S] [--reference] [--parallel] [--max-ticks N]
-//          [--id ID] [--json] [--trace out.json]
+//          [--package S] [--reference] [--engine reference|parallel|fast]
+//          [--max-ticks N] [--id ID] [--json] [--trace out.json]
 //   submit --ping|--stats [--socket PATH | --tcp-port N]
 //   stats  [--socket PATH | --tcp-port N] [--json]
 //
@@ -26,6 +27,7 @@
 
 #include <unistd.h>
 
+#include "emu/backend.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "service/client.hpp"
@@ -107,6 +109,17 @@ inline int run_serve(const CommandLine& cli) {
   config.trace_sample_ratio = cli.double_flag_or("trace-sample", 0.0);
   config.flight_recorder = cli.bool_flag_or("flight-recorder", false);
   config.flight_recorder_dir = cli.flag_or("flight-dir", ".");
+  if (auto engine = cli.flag("engine")) {
+    auto backend = emu::parse_engine_backend(*engine);
+    if (!backend) {
+      std::fprintf(stderr,
+                   "error: unknown --engine '%s' (want reference | "
+                   "parallel | fast)\n",
+                   engine->c_str());
+      return 1;
+    }
+    config.default_backend.backend = *backend;
+  }
 
   service::ListenConfig listen;
   listen.tcp = cli.bool_flag_or("tcp", false);
@@ -191,7 +204,8 @@ inline int run_submit(const CommandLine& cli) {
       std::fprintf(stderr,
                    "usage: segbus_cli submit <psdf.xml> <psm.xml> "
                    "[--socket PATH | --tcp-port N] [--package S] "
-                   "[--reference] [--parallel] [--max-ticks N] [--json]\n");
+                   "[--reference] [--engine reference|parallel|fast] "
+                   "[--max-ticks N] [--json]\n");
       return 1;
     }
     auto psdf = service_detail::read_text_file(cli.positional()[1]);
@@ -203,7 +217,11 @@ inline int run_submit(const CommandLine& cli) {
     request.package_size =
         static_cast<std::uint32_t>(cli.int_flag_or("package", 0));
     request.reference_timing = cli.bool_flag_or("reference", false);
-    request.parallel = cli.bool_flag_or("parallel", false);
+    request.engine = cli.flag_or("engine", "");
+    // --parallel is the legacy spelling of --engine parallel.
+    if (request.engine.empty() && cli.bool_flag_or("parallel", false)) {
+      request.engine = "parallel";
+    }
     request.max_ticks =
         static_cast<std::uint64_t>(cli.int_flag_or("max-ticks", 0));
   }
