@@ -41,10 +41,19 @@ AnalysisReport analyze_system(const psdf::PsdfModel& model,
 
   ValidationReport system = platform::validate_mapping(platform, model);
   system.merge(lint_platform(platform));
-  // The deadlock pass walks segment_of() paths, so it needs a complete
-  // mapping; with validation errors present its input would be garbage.
+  // The deadlock and occupancy passes walk segment_of() paths, so they
+  // need a complete mapping; with validation errors present their input
+  // would be garbage.
   if (application.ok() && system.ok()) {
     system.merge(analyze_paths(model, platform));
+    if (!platform.border_units().empty()) {
+      auto occupancy = compute_fifo_occupancy(model, platform,
+                                              options.timing);
+      if (occupancy.is_ok()) {
+        lint_occupancy(*occupancy, options.timing, system);
+        result.occupancy = std::move(occupancy).value();
+      }
+    }
   }
   system.stamp_file(options.psm_file);
 

@@ -3,7 +3,8 @@
 // Runs, in order: PSDF structural validation (SB001..SB006), model lint
 // (SB007..SB009), platform + mapping validation (SB020..SB034), clock lint
 // (SB035..SB036) and — once the mapping is complete — path-reservation
-// deadlock analysis (SB050..SB052) and the static performance bounds.
+// deadlock analysis (SB050..SB052), the FIFO occupancy bounds
+// (SB070..SB072) and the static performance bounds.
 // The result feeds three consumers: segbus_lint / `segbus_cli check`
 // (report + exit code), core::EmulationSession (hard errors abort before
 // emulation) and the JSON exporters.
@@ -15,6 +16,7 @@
 
 #include "analysis/bounds.hpp"
 #include "analysis/diagnostics.hpp"
+#include "analysis/occupancy.hpp"
 #include "emu/timing.hpp"
 #include "platform/model.hpp"
 #include "psdf/model.hpp"
@@ -45,6 +47,9 @@ struct AnalyzerOptions {
 struct AnalysisReport {
   ValidationReport report;
   std::optional<StaticBounds> bounds;
+  /// Per-BU FIFO occupancy bounds (filled whenever the mapping is
+  /// complete and the platform has border units).
+  std::optional<OccupancyReport> occupancy;
 
   /// True when no error-severity diagnostics are present.
   bool ok() const noexcept { return report.ok(); }

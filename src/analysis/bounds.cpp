@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/critical_path.hpp"
 #include "platform/constraints.hpp"
 #include "support/strings.hpp"
 
@@ -12,7 +13,7 @@ namespace {
 
 /// Conservative per-package tick slack covering cross-clock-domain edge
 /// rounding (every handshake can round up to one tick of the receiving
-/// domain) in the upper bound.
+/// domain) in the upper bounds.
 constexpr std::uint64_t kPackageSlackTicks = 24;
 
 /// Per-stage slack: stage-gate turnaround plus the end-of-run monitor poll.
@@ -23,7 +24,8 @@ constexpr std::uint64_t kStageSlackTicks = 16;
 std::string StaticBounds::to_string() const {
   return "lower bound = " + format_ps(lower) +
          ", upper bound = " + format_ps(upper) +
-         str_format(" (%zu stages)", stages.size());
+         " (v1: " + format_ps(lower_v1) + " .. " + format_ps(upper_v1) +
+         str_format("; %zu stages)", stages.size());
 }
 
 Result<StaticBounds> compute_static_bounds(
@@ -33,25 +35,43 @@ Result<StaticBounds> compute_static_bounds(
   SEGBUS_RETURN_IF_ERROR(
       platform::validate_mapping_or_error(platform, application));
 
+  // The engine rescales compute costs to the platform's package size
+  // before emulating (Engine::create); both bound generations must model
+  // the application the engine actually runs.
+  psdf::PsdfModel rescaled;
+  const psdf::PsdfModel* app = &application;
+  if (application.package_size() != platform.package_size()) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        rescaled,
+        application.rescaled_for_package_size(platform.package_size()));
+    app = &rescaled;
+  }
+
   const std::uint32_t s = platform.package_size();
 
   // Group flows by ordering tier — the engine serializes tiers globally.
   std::map<std::uint32_t, std::vector<psdf::Flow>> tiers;
-  for (const psdf::Flow& flow : application.scheduled_flows()) {
+  for (const psdf::Flow& flow : app->scheduled_flows()) {
     tiers[flow.ordering].push_back(flow);
   }
 
   std::vector<ClockDomain> domains;
-  std::int64_t slowest_period = platform.ca_clock().period_ps();
+  const std::int64_t ca_period = platform.ca_clock().period_ps();
+  std::int64_t slowest_period = ca_period;
   for (platform::SegmentId id = 0; id < platform.segment_count(); ++id) {
     domains.emplace_back(platform.segment(id).name,
                          platform.segment(id).clock);
     slowest_period = std::max(slowest_period, domains.back().period_ps());
   }
 
-  // Upper bound: tick budgets charged per package in the slowest domain.
-  // Every handshake of the timing model is included, plus slack for tick
-  // rounding at each clock-domain boundary.
+  // Upper bounds: tick budgets charged per package. Every handshake of
+  // the timing model is included, plus slack for tick rounding at each
+  // clock-domain boundary. v1 prices every overhead tick at the slowest
+  // domain of the whole platform; v2 prices it at the slowest domain the
+  // package actually involves (source + path segments + CA for
+  // inter-segment packages, the source segment alone for local ones) —
+  // an uninvolved domain only ever gates a package through the stage
+  // gate, which the per-stage slack covers at the global slowest clock.
   const std::uint64_t local_overhead_ticks =
       2 + timing.request_ticks + timing.sa_decision_ticks +
       timing.grant_set_ticks + timing.master_response_ticks +
@@ -62,22 +82,28 @@ Result<StaticBounds> compute_static_bounds(
       static_cast<std::uint64_t>(s) + timing.bu_grant_turnaround_ticks +
       timing.bu_sync_ticks + 6;
 
+  // v2 lower: the contention-aware critical path (same tier grouping, so
+  // its stages line up index-for-index with the v1 skeleton below).
+  SEGBUS_ASSIGN_OR_RETURN(CriticalPathResult critical,
+                          critical_path_lower_bound(*app, platform, timing));
+
   StaticBounds bounds;
   for (const auto& [ordering, flows] : tiers) {
     StageBounds stage;
     stage.ordering = ordering;
 
-    // Lower bound ingredients: per-master serial ticks and per-segment bus
-    // occupancy (the same skeleton as core::analytic_lower_bound, which
-    // delegates here — iteration order and tie-breaking must not change).
+    // v1 lower ingredients: per-master serial ticks and per-segment bus
+    // occupancy (the original coarse skeleton — unchanged so the two
+    // generations stay comparable release over release).
     std::map<psdf::ProcessId, std::uint64_t> master_ticks;
     std::map<platform::SegmentId, std::uint64_t> bus_ticks;
     std::map<psdf::ProcessId, platform::SegmentId> master_segment;
-    Picoseconds upper{0};
+    Picoseconds upper_v1{0};
+    Picoseconds upper_v2{0};
 
     for (const psdf::Flow& flow : flows) {
-      const std::string& src_name = application.process(flow.source).name;
-      const std::string& dst_name = application.process(flow.target).name;
+      const std::string& src_name = app->process(flow.source).name;
+      const std::string& dst_name = app->process(flow.target).name;
       SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId src,
                               platform.require_segment_of(src_name));
       SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId dst,
@@ -86,56 +112,82 @@ Result<StaticBounds> compute_static_bounds(
           psdf::packages_for(flow.data_items, platform.package_size());
       const std::uint32_t hops = platform.distance(src, dst);
 
-      // Lower: a master cannot finish a package in fewer than
+      // v1 lower: a master cannot finish a package in fewer than
       // C + 1 (request) + s (data phase) ticks of its own domain; a bus
       // cannot move one in fewer than s ticks.
       master_ticks[flow.source] += packages * (flow.compute_ticks + 1 + s);
       master_segment[flow.source] = src;
       SEGBUS_ASSIGN_OR_RETURN(std::vector<platform::PathHop> path,
                               platform.path(src, dst));
+      std::int64_t involved_period = domains[src].period_ps();
       for (const platform::PathHop& hop : path) {
         bus_ticks[hop.segment] += packages * s;
+        involved_period = std::max(involved_period,
+                                   domains[hop.segment].period_ps());
       }
 
       // Upper: full serialization — the platform does nothing but this
       // package. Compute + source data phase in the source domain; every
-      // handshake (and hop forwarding) in the slowest domain.
+      // handshake (and hop forwarding) in the slowest (v1) respectively
+      // slowest-involved (v2) domain.
       std::uint64_t overhead_ticks = local_overhead_ticks;
       if (hops > 0) {
         overhead_ticks += global_extra_ticks + hops * per_hop_ticks;
+        involved_period = std::max(involved_period, ca_period);
       }
-      const Picoseconds per_package =
-          domains[src].span(
-              static_cast<std::int64_t>(flow.compute_ticks + s)) +
-          Picoseconds(static_cast<std::int64_t>(overhead_ticks) *
-                      slowest_period);
-      upper += static_cast<std::int64_t>(packages) * per_package;
+      const Picoseconds compute_and_data = domains[src].span(
+          static_cast<std::int64_t>(flow.compute_ticks + s));
+      upper_v1 += static_cast<std::int64_t>(packages) *
+                  (compute_and_data +
+                   Picoseconds(static_cast<std::int64_t>(overhead_ticks) *
+                               slowest_period));
+      upper_v2 += static_cast<std::int64_t>(packages) *
+                  (compute_and_data +
+                   Picoseconds(static_cast<std::int64_t>(overhead_ticks) *
+                               involved_period));
     }
 
     for (const auto& [process, ticks] : master_ticks) {
       Picoseconds t = domains[master_segment[process]].span(
           static_cast<std::int64_t>(ticks));
-      if (t > stage.lower) {
-        stage.lower = t;
+      if (t > stage.lower_v1) {
+        stage.lower_v1 = t;
         stage.lower_binding =
-            "master " + application.process(process).name;
+            "master " + app->process(process).name;
       }
     }
     for (const auto& [segment, ticks] : bus_ticks) {
       Picoseconds t = domains[segment].span(static_cast<std::int64_t>(ticks));
-      if (t > stage.lower) {
-        stage.lower = t;
+      if (t > stage.lower_v1) {
+        stage.lower_v1 = t;
         stage.lower_binding =
             platform::PlatformModel::segment_display_name(segment);
       }
     }
 
-    stage.upper =
-        upper + Picoseconds(static_cast<std::int64_t>(
-                    kStageSlackTicks + timing.monitor_poll_ticks) *
-                slowest_period);
+    // Merge generations: the v2 lower starts from the v1 figure (so
+    // dominance holds by construction) and takes the critical-path
+    // component when it is strictly tighter.
+    stage.lower = stage.lower_v1;
+    const std::size_t index = bounds.stages.size();
+    if (index < critical.stages.size() &&
+        critical.stages[index].ordering == ordering &&
+        critical.stages[index].lower > stage.lower) {
+      stage.lower = critical.stages[index].lower;
+      stage.lower_binding = critical.stages[index].binding;
+    }
+
+    const Picoseconds stage_slack(
+        static_cast<std::int64_t>(kStageSlackTicks +
+                                  timing.monitor_poll_ticks) *
+        slowest_period);
+    stage.upper_v1 = upper_v1 + stage_slack;
+    stage.upper = std::min(stage.upper_v1, upper_v2 + stage_slack);
+
     bounds.lower += stage.lower;
     bounds.upper += stage.upper;
+    bounds.lower_v1 += stage.lower_v1;
+    bounds.upper_v1 += stage.upper_v1;
     bounds.stages.push_back(std::move(stage));
   }
   return bounds;
@@ -147,12 +199,16 @@ JsonValue bounds_to_json(const StaticBounds& bounds) {
            JsonValue::integer(bounds.lower.count()));
   root.set("upper_ps",
            JsonValue::integer(bounds.upper.count()));
+  root.set("lower_v1_ps", JsonValue::integer(bounds.lower_v1.count()));
+  root.set("upper_v1_ps", JsonValue::integer(bounds.upper_v1.count()));
   JsonValue stages = JsonValue::array();
   for (const StageBounds& stage : bounds.stages) {
     JsonValue entry = JsonValue::object();
     entry.set("ordering", JsonValue::unsigned_integer(stage.ordering));
     entry.set("lower_ps", JsonValue::integer(stage.lower.count()));
     entry.set("upper_ps", JsonValue::integer(stage.upper.count()));
+    entry.set("lower_v1_ps", JsonValue::integer(stage.lower_v1.count()));
+    entry.set("upper_v1_ps", JsonValue::integer(stage.upper_v1.count()));
     entry.set("lower_binding", JsonValue::string(stage.lower_binding));
     stages.push(std::move(entry));
   }

@@ -1,27 +1,33 @@
-// Static performance bounds — a bracket around the emulated execution time.
+// Static performance bounds — a two-generation bracket around the emulated
+// execution time.
 //
 // The paper validates its emulator against a real platform; this module
-// brackets the emulator itself with two closed-form figures that need no
-// event processing at all:
+// brackets the emulator itself with closed-form figures that need no event
+// processing at all. Two generations of each bound are computed and the
+// invariant lower_v1 <= lower <= emulated <= upper <= upper_v1 holds by
+// construction (scen oracle invariant 9 enforces it over fuzz campaigns):
 //
-//  * lower — a *provable* lower bound. Within one stage (ordering tier) it
-//    takes the maximum of each master's serial work
-//    (packages x (C + request + data) ticks of its segment clock) and each
-//    segment bus's raw data occupancy, then sums the stages (the schedule
-//    serializes tiers globally). Every optional handshake is dropped, so
-//    no schedule can beat it. Identical to core::analytic_lower_bound,
-//    which delegates here.
+//  * lower_v1 — the original coarse bound: per ordering tier, the larger
+//    of each master's serial compute+data work and each segment bus's raw
+//    data occupancy, tiers summed.
+//  * lower (v2) — the contention-aware critical-path bound: the v1
+//    skeleton tightened per tier with the master-chain, bus-occupancy,
+//    flow-pipeline and CA-grant-serialization components of
+//    analysis/critical_path.hpp. This is the prune oracle's figure.
+//  * upper_v1 — full serialization with every per-package overhead charged
+//    at the slowest clock in the whole platform.
+//  * upper (v2) — the same serialization argument, but each package's
+//    overhead is charged at the slowest clock actually involved in that
+//    package's life (its source segment, path segments and — for
+//    inter-segment packages — the CA) instead of the global slowest.
+//    Uninvolved domains can only gate a package through the stage gate,
+//    which the per-stage slack already covers at the global slowest clock.
 //
-//  * upper — a full-serialization upper bound. It charges every package as
-//    if the whole platform did nothing else: compute + data in the source
-//    domain, every handshake of the configured timing model (plus
-//    conservative slack for cross-domain tick rounding) in the *slowest*
-//    domain, and per-stage slack for the stage gate and end-of-run monitor
-//    poll. No concurrency is assumed anywhere, so the emulated figure
-//    cannot exceed it.
-//
-// Tests assert lower <= emulated TCT <= upper across the MP3 decoder
-// platforms; tools print the bracket next to the emulated figure.
+// `lower`/`upper` always carry the tightest (v2) figures, so existing
+// consumers (oracle bracket checks, lint output, the prune oracle)
+// tighten automatically. Unlike v1, both generations rescale the
+// application to the platform's package size first, exactly as the engine
+// does before emulating.
 #pragma once
 
 #include "emu/timing.hpp"
@@ -33,37 +39,58 @@
 
 namespace segbus::analysis {
 
-/// Bounds of one schedule stage (one ordering tier).
+/// Bounds of one schedule stage (one ordering tier), both generations.
 struct StageBounds {
   std::uint32_t ordering = 0;    ///< the stage's T value
-  Picoseconds lower{0};          ///< critical-path lower bound
-  Picoseconds upper{0};          ///< full-serialization upper bound
-  std::string lower_binding;     ///< what binds the lower bound:
-                                 ///< "master P3" or "Segment 1"
+  Picoseconds lower{0};          ///< v2 critical-path lower bound
+  Picoseconds upper{0};          ///< v2 involved-domain upper bound
+  Picoseconds lower_v1{0};       ///< original coarse lower bound
+  Picoseconds upper_v1{0};       ///< original slowest-domain upper bound
+  std::string lower_binding;     ///< what binds the v2 lower bound:
+                                 ///< "master P3", "Segment 1 bus", ...
 };
 
 /// The bracket for a whole mapped application.
 struct StaticBounds {
-  Picoseconds lower{0};
-  Picoseconds upper{0};
+  Picoseconds lower{0};          ///< tightest proven lower bound (v2)
+  Picoseconds upper{0};          ///< tightest proven upper bound (v2)
+  Picoseconds lower_v1{0};
+  Picoseconds upper_v1{0};
   std::vector<StageBounds> stages;
 
-  /// True when `t` falls inside the bracket (inclusive).
+  /// True when `t` falls inside the (v2) bracket (inclusive).
   bool brackets(Picoseconds t) const noexcept {
     return lower <= t && t <= upper;
+  }
+
+  /// True when the v1 bracket contains the v2 bracket (the dominance
+  /// chain the oracle checks, minus the emulated figure).
+  bool dominates_v1() const noexcept {
+    return lower_v1 <= lower && upper <= upper_v1;
+  }
+
+  /// lower / emulated in [0, 1] — how close the proven lower bound gets
+  /// to the measured figure (0 when `emulated` is not positive).
+  double tightness(Picoseconds emulated) const noexcept {
+    if (emulated.count() <= 0) return 0.0;
+    return static_cast<double>(lower.count()) /
+           static_cast<double>(emulated.count());
   }
 
   std::string to_string() const;
 };
 
-/// Computes the bracket. Fails with ValidationError when the mapping is
-/// incomplete (every process must be placed on a segment).
+/// Computes the two-generation bracket. Fails with ValidationError when
+/// the mapping is incomplete (every process must be placed on a segment).
 Result<StaticBounds> compute_static_bounds(
     const psdf::PsdfModel& application,
     const platform::PlatformModel& platform,
     const emu::TimingModel& timing = emu::TimingModel::emulator());
 
-/// Machine-readable rendering ({"lower_ps": ..., "upper_ps": ..., stages}).
+/// Machine-readable rendering:
+/// {lower_ps, upper_ps, lower_v1_ps, upper_v1_ps,
+///  stages: [{ordering, lower_ps, upper_ps, lower_v1_ps, upper_v1_ps,
+///            lower_binding}]}.
 JsonValue bounds_to_json(const StaticBounds& bounds);
 
 }  // namespace segbus::analysis

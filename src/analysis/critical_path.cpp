@@ -1,0 +1,192 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/bounds.hpp"
+#include "platform/constraints.hpp"
+
+namespace segbus::analysis {
+
+namespace {
+
+/// Exclusive bus holding of one segment within a tier, split so the final
+/// teardown can be excluded (it may complete after the tier's last
+/// delivery; every other charged tick provably precedes it).
+struct SegmentLoad {
+  std::uint64_t busy_ticks = 0;      ///< setup + data ticks
+  std::uint64_t teardown_ticks = 0;  ///< grant resets of local transfers
+};
+
+}  // namespace
+
+Result<CriticalPathResult> critical_path_lower_bound(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::TimingModel& timing) {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+
+  // The engine rescales compute costs to the platform's package size
+  // before emulating (see Engine::create); the bound must model the same
+  // application the engine runs.
+  psdf::PsdfModel rescaled;
+  const psdf::PsdfModel* app = &application;
+  if (application.package_size() != platform.package_size()) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        rescaled,
+        application.rescaled_for_package_size(platform.package_size()));
+    app = &rescaled;
+  }
+
+  const std::uint32_t s = platform.package_size();
+
+  std::map<std::uint32_t, std::vector<psdf::Flow>> tiers;
+  for (const psdf::Flow& flow : app->scheduled_flows()) {
+    tiers[flow.ordering].push_back(flow);
+  }
+
+  std::vector<ClockDomain> domains;
+  for (platform::SegmentId id = 0; id < platform.segment_count(); ++id) {
+    domains.emplace_back(platform.segment(id).name,
+                         platform.segment(id).clock);
+  }
+  const std::int64_t ca_period = platform.ca_clock().period_ps();
+
+  // Tick prices, straight from the engine's bus-operation state machine:
+  // a local transfer pays SA decision + grant set + master response as
+  // setup; a granted global load skips the SA decision (the CA decided);
+  // a forwarded package waits out the BU grant turnaround + synchronizer
+  // in each receiving segment before its data phase.
+  const std::uint64_t local_setup = timing.sa_decision_ticks +
+                                    timing.grant_set_ticks +
+                                    timing.master_response_ticks;
+  const std::uint64_t global_setup =
+      timing.grant_set_ticks + timing.master_response_ticks;
+  const std::uint64_t hop_wait =
+      timing.bu_grant_turnaround_ticks + timing.bu_sync_ticks;
+  // Consecutive CA grants are at least one decision cycle plus the
+  // post-grant cooldown apart (ca_grant_scan: one grant per cycle, then
+  // grant_cooldown = ca_decision + ca_signal).
+  const std::int64_t ca_spacing =
+      1 + timing.ca_decision_ticks + timing.ca_signal_ticks;
+
+  CriticalPathResult result;
+  for (const auto& [ordering, flows] : tiers) {
+    CriticalStage stage;
+    stage.ordering = ordering;
+
+    std::map<psdf::ProcessId, Picoseconds> chains;
+    std::map<platform::SegmentId, SegmentLoad> bus;
+    std::uint64_t global_packages = 0;
+    Picoseconds best_pipe{0};
+    std::string best_pipe_label;
+
+    for (const psdf::Flow& flow : flows) {
+      const std::string& src_name = app->process(flow.source).name;
+      const std::string& dst_name = app->process(flow.target).name;
+      SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId src,
+                              platform.require_segment_of(src_name));
+      SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId dst,
+                              platform.require_segment_of(dst_name));
+      const std::uint64_t n = psdf::packages_for(flow.data_items, s);
+      const std::int64_t p_src = domains[src].period_ps();
+
+      if (src == dst) {
+        const std::uint64_t per_package = flow.compute_ticks +
+                                          timing.request_ticks +
+                                          local_setup + s;
+        chains[flow.source] += Picoseconds(
+            static_cast<std::int64_t>(n * per_package) * p_src);
+        bus[src].busy_ticks += n * (local_setup + s);
+        bus[src].teardown_ticks += n * timing.grant_reset_ticks;
+        continue;
+      }
+
+      SEGBUS_ASSIGN_OR_RETURN(std::vector<platform::PathHop> path,
+                              platform.path(src, dst));
+      // One package's downstream traversal: BU wait + forward data in
+      // every segment after the source, each in that segment's domain.
+      // One tick is forgiven per crossing: the receiving domain's first
+      // tick after the package lands in the BU can fall arbitrarily soon
+      // after the landing edge, so only hop_wait + s - 1 full receiver
+      // periods are provable.
+      std::int64_t hop_ps = 0;
+      for (std::size_t i = 1; i < path.size(); ++i) {
+        hop_ps += static_cast<std::int64_t>(hop_wait + s - 1) *
+                  domains[path[i].segment].period_ps();
+        bus[path[i].segment].busy_ticks += n * s;
+      }
+      const std::uint64_t emit = flow.compute_ticks + timing.request_ticks +
+                                 global_setup + s;
+      Picoseconds chain(static_cast<std::int64_t>(n * emit) * p_src);
+      if (timing.master_blocking) {
+        // The master is only released once the package reaches the
+        // target, so every hop is on its serial chain.
+        chain += Picoseconds(static_cast<std::int64_t>(n) * hop_ps);
+      }
+      chains[flow.source] += chain;
+      bus[src].busy_ticks += n * (global_setup + s);
+      global_packages += n;
+
+      // Pipeline: the flow's last package leaves the source after n
+      // serial emissions, then still traverses the downstream hops —
+      // valid even when the master does not block.
+      Picoseconds pipe(static_cast<std::int64_t>(n * emit) * p_src +
+                       hop_ps);
+      if (pipe > best_pipe) {
+        best_pipe = pipe;
+        best_pipe_label =
+            "flow " + src_name + "->" + dst_name + " pipeline";
+      }
+    }
+
+    for (const auto& [process, t] : chains) {
+      if (t > stage.lower) {
+        stage.lower = t;
+        stage.binding = "master " + app->process(process).name + " chain";
+      }
+    }
+    for (const auto& [segment, load] : bus) {
+      std::uint64_t ticks = load.busy_ticks + load.teardown_ticks;
+      if (load.teardown_ticks > 0) {
+        ticks -= std::min<std::uint64_t>(load.teardown_ticks,
+                                         timing.grant_reset_ticks);
+      }
+      Picoseconds t =
+          domains[segment].span(static_cast<std::int64_t>(ticks));
+      if (t > stage.lower) {
+        stage.lower = t;
+        stage.binding =
+            platform::PlatformModel::segment_display_name(segment) + " bus";
+      }
+    }
+    if (best_pipe > stage.lower) {
+      stage.lower = best_pipe;
+      stage.binding = best_pipe_label;
+    }
+    if (global_packages > 0) {
+      Picoseconds t(
+          (static_cast<std::int64_t>(global_packages - 1) * ca_spacing + 1) *
+          ca_period);
+      if (t > stage.lower) {
+        stage.lower = t;
+        stage.binding = "CA grants";
+      }
+    }
+
+    result.lower += stage.lower;
+    result.stages.push_back(std::move(stage));
+  }
+  return result;
+}
+
+Result<Picoseconds> PruneOracle::lower_bound(
+    const platform::PlatformModel& platform) const {
+  SEGBUS_ASSIGN_OR_RETURN(
+      StaticBounds bounds,
+      compute_static_bounds(application_, platform, timing_));
+  return bounds.lower;
+}
+
+}  // namespace segbus::analysis

@@ -1,0 +1,105 @@
+// Second-generation (v2) static lower bound — a contention-aware
+// longest-path analysis over the segment-level event graph implied by the
+// PSDF schedule.
+//
+// The v1 bound (analysis/bounds.hpp) only charges each master's serial
+// compute+data work and each segment bus's raw data occupancy. This pass
+// derives four additional admissible components per ordering tier, each a
+// provable lower bound on the tier's span in the emulated protocol:
+//
+//  * master chain — a master's packages serialize through its phase
+//    machine: per package it pays C + request + grant setup + the data
+//    phase in its own domain; with a blocking master (the default
+//    protocol) a global package additionally holds the master until the
+//    package has crossed every downstream hop (BU grant turnaround +
+//    synchronizer + forward data, each in the hop's domain).
+//  * segment bus occupancy — a segment bus is exclusively held for the
+//    whole bus operation, setup and teardown included, not just the data
+//    ticks. One teardown per segment is excluded: the final grant reset
+//    may fall after the tier's last delivery.
+//  * flow pipeline — the last package of an inter-segment flow leaves the
+//    source only after all of the flow's packages were emitted serially,
+//    then still has to traverse every downstream hop. Valid whether or
+//    not the master blocks, so it is the binding global component in
+//    non-blocking ablations.
+//  * CA grant serialization — the Central Arbiter issues at most one
+//    inter-segment grant per CA cycle and then cools down for
+//    ca_decision + ca_signal cycles, so G global packages in one tier
+//    span at least (G-1) x (1 + cooldown) + 1 CA cycles.
+//
+// Tiers are summed: the stage gate starts tier k+1 strictly after tier
+// k's last delivery, and every charged tick of a tier completes by that
+// delivery. compute_static_bounds() merges these components with the v1
+// skeleton so lower_v1 <= lower_v2 holds by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emu/timing.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::analysis {
+
+/// One ordering tier's v2 lower bound and the component that binds it.
+struct CriticalStage {
+  std::uint32_t ordering = 0;  ///< the tier's T value
+  Picoseconds lower{0};
+  /// Which component binds: "master P3 chain", "Segment 1 bus",
+  /// "flow P1->P8 pipeline" or "CA grants".
+  std::string binding;
+};
+
+/// The per-tier breakdown and total of the v2 lower bound.
+struct CriticalPathResult {
+  Picoseconds lower{0};
+  std::vector<CriticalStage> stages;
+};
+
+/// Computes the v2 lower bound on its own (compute_static_bounds folds it
+/// into the two-generation bracket — prefer that for reports). When the
+/// application's package size differs from the platform's, the compute
+/// costs are rescaled exactly as the engine does before emulating.
+Result<CriticalPathResult> critical_path_lower_bound(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::TimingModel& timing = emu::TimingModel::emulator());
+
+/// Admissible prune oracle for design-space exploration (ROADMAP item 2).
+///
+/// Wraps the v2 lower bound for branch-and-bound loops: a candidate
+/// platform whose lower bound already exceeds the incumbent's *emulated*
+/// execution time cannot win, so the engine run can be skipped.
+/// Admissibility (lower_bound <= emulated TCT for every candidate) is what
+/// makes the pruned search return a bit-identical best result; it is
+/// enforced by scen oracle invariant 9 over fuzz campaigns.
+class PruneOracle {
+ public:
+  /// The oracle is bound to one application + timing model; candidates
+  /// vary the platform. `timing` must match what the engine will run
+  /// (e.g. SessionConfig::timing), otherwise the bound is meaningless.
+  explicit PruneOracle(psdf::PsdfModel application,
+                       emu::TimingModel timing = emu::TimingModel::emulator())
+      : application_(std::move(application)), timing_(timing) {}
+
+  /// The tightest proven lower bound (v2) for this candidate platform.
+  Result<Picoseconds> lower_bound(
+      const platform::PlatformModel& platform) const;
+
+  /// True when `candidate_lower` proves the candidate cannot beat the
+  /// incumbent (ties are kept: an equal bound could still realize an
+  /// equal execution time).
+  static bool prunable(Picoseconds candidate_lower,
+                       Picoseconds incumbent) noexcept {
+    return incumbent.count() > 0 && candidate_lower > incumbent;
+  }
+
+ private:
+  psdf::PsdfModel application_;
+  emu::TimingModel timing_;
+};
+
+}  // namespace segbus::analysis

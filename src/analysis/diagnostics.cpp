@@ -74,6 +74,14 @@ const std::vector<CatalogEntry>& catalog() {
       // --- session / engine-backend configuration (core/session) ---------
       {"SB060", "session.backend.threads", Severity::kError,
        "worker thread count set with a non-parallel engine backend"},
+      // --- FIFO occupancy analysis (analysis/occupancy) -------------------
+      {"SB070", "psm.bu.oversized", Severity::kNote,
+       "BU FIFO depth exceeds the provable peak occupancy (dead slots)"},
+      {"SB071", "psm.bu.serializing", Severity::kWarning,
+       "BU FIFO depth is below the tier's concurrent demand: the CA must "
+       "serialize grants through it"},
+      {"SB072", "psm.bu.unused", Severity::kNote,
+       "no scheduled flow crosses this border unit"},
   };
   return kCatalog;
 }

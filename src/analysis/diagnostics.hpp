@@ -12,6 +12,7 @@
 //   SB020..SB039  PSM platform structure, mapping and clock lint
 //   SB050..SB059  inter-segment path reservation (deadlock) analysis
 //   SB060..SB069  session / engine-backend configuration
+//   SB070..SB079  FIFO occupancy / buffer sizing (analysis/occupancy)
 #pragma once
 
 #include <string_view>

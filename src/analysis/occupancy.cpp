@@ -1,0 +1,171 @@
+#include "analysis/occupancy.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "platform/constraints.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace segbus::analysis {
+
+std::string OccupancyReport::render() const {
+  Table table;
+  table.set_header({"border unit", "depth", "admission", "peak demand",
+                    "occupancy bound", "packages", "flows", "recommended"});
+  table.set_column_alignment(0, Align::kLeft);
+  for (const BuOccupancy& bu : border_units) {
+    table.add_row(
+        {bu.name, str_format("%u", bu.capacity),
+         str_format("%u", bu.admission_limit),
+         str_format("%llu", static_cast<unsigned long long>(bu.peak_demand)),
+         str_format("%llu",
+                    static_cast<unsigned long long>(bu.occupancy_bound)),
+         str_format("%llu",
+                    static_cast<unsigned long long>(bu.total_packages)),
+         str_format("%u", bu.crossing_flows),
+         str_format("%u", bu.recommended_depth)});
+  }
+  return table.render();
+}
+
+Result<OccupancyReport> compute_fifo_occupancy(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::TimingModel& timing) {
+  SEGBUS_RETURN_IF_ERROR(
+      platform::validate_mapping_or_error(platform, application));
+
+  psdf::PsdfModel rescaled;
+  const psdf::PsdfModel* app = &application;
+  if (application.package_size() != platform.package_size()) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        rescaled,
+        application.rescaled_for_package_size(platform.package_size()));
+    app = &rescaled;
+  }
+
+  const std::uint32_t s = platform.package_size();
+  const std::size_t bu_count = platform.border_units().size();
+
+  OccupancyReport report;
+  report.border_units.resize(bu_count);
+  for (std::size_t i = 0; i < bu_count; ++i) {
+    BuOccupancy& bu = report.border_units[i];
+    const platform::BorderUnitSpec& spec = platform.border_units()[i];
+    bu.bu_index = i;
+    bu.name = spec.name();
+    bu.capacity = spec.capacity_packages;
+    bu.admission_limit =
+        timing.circuit_switched ? 1u : spec.capacity_packages;
+  }
+
+  // Per tier and BU: the packages the schedule could have in flight at
+  // once. A blocking master (the default) holds until delivery, so it
+  // contributes at most one concurrent package; a non-blocking master can
+  // pump every package of the tier back to back.
+  std::map<std::uint32_t, std::vector<std::uint64_t>> tier_packages;
+  std::map<std::uint32_t, std::vector<std::set<psdf::ProcessId>>>
+      tier_masters;
+
+  for (const psdf::Flow& flow : app->scheduled_flows()) {
+    const std::string& src_name = app->process(flow.source).name;
+    const std::string& dst_name = app->process(flow.target).name;
+    SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId src,
+                            platform.require_segment_of(src_name));
+    SEGBUS_ASSIGN_OR_RETURN(platform::SegmentId dst,
+                            platform.require_segment_of(dst_name));
+    if (src == dst) continue;
+    SEGBUS_ASSIGN_OR_RETURN(std::vector<platform::PathHop> path,
+                            platform.path(src, dst));
+    const std::uint64_t n = psdf::packages_for(flow.data_items, s);
+    auto& packages = tier_packages[flow.ordering];
+    auto& masters = tier_masters[flow.ordering];
+    packages.resize(bu_count, 0);
+    masters.resize(bu_count);
+    for (const platform::PathHop& hop : path) {
+      if (!hop.exit_bu) continue;
+      BuOccupancy& bu = report.border_units[*hop.exit_bu];
+      bu.total_packages += n;
+      ++bu.crossing_flows;
+      packages[*hop.exit_bu] += n;
+      masters[*hop.exit_bu].insert(flow.source);
+    }
+  }
+
+  for (const auto& [tier, packages] : tier_packages) {
+    const auto& masters = tier_masters[tier];
+    for (std::size_t i = 0; i < bu_count; ++i) {
+      const std::uint64_t demand =
+          timing.master_blocking ? masters[i].size() : packages[i];
+      report.border_units[i].peak_demand =
+          std::max(report.border_units[i].peak_demand, demand);
+    }
+  }
+
+  for (BuOccupancy& bu : report.border_units) {
+    bu.occupancy_bound = std::min<std::uint64_t>(bu.admission_limit,
+                                                 bu.peak_demand);
+    if (timing.circuit_switched || bu.peak_demand == 0) {
+      bu.recommended_depth = 1;
+    } else {
+      bu.recommended_depth = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(bu.peak_demand, 0xffffffffULL));
+    }
+  }
+  return report;
+}
+
+void lint_occupancy(const OccupancyReport& report,
+                    const emu::TimingModel& timing, ValidationReport& out) {
+  for (const BuOccupancy& bu : report.border_units) {
+    if (bu.total_packages == 0) {
+      out.add(Severity::kNote, "SB072", "psm.bu.unused",
+              bu.name + " is crossed by no scheduled flow");
+      continue;
+    }
+    if (bu.capacity > bu.occupancy_bound) {
+      out.add(
+          Severity::kNote, "SB070", "psm.bu.oversized",
+          str_format("%s FIFO depth %u exceeds the provable peak occupancy "
+                     "%llu — the extra slots can never fill",
+                     bu.name.c_str(), bu.capacity,
+                     static_cast<unsigned long long>(bu.occupancy_bound)));
+    }
+    if (!timing.circuit_switched && bu.peak_demand > bu.capacity) {
+      out.add(
+          Severity::kWarning, "SB071", "psm.bu.serializing",
+          str_format("%s FIFO depth %u is below the concurrent demand %llu "
+                     "— the CA must serialize grants through it (depth "
+                     "%u would admit the full tier)",
+                     bu.name.c_str(), bu.capacity,
+                     static_cast<unsigned long long>(bu.peak_demand),
+                     bu.recommended_depth));
+    }
+  }
+}
+
+JsonValue occupancy_to_json(const OccupancyReport& report) {
+  JsonValue array = JsonValue::array();
+  for (const BuOccupancy& bu : report.border_units) {
+    JsonValue entry = JsonValue::object();
+    entry.set("name", JsonValue::string(bu.name));
+    entry.set("capacity", JsonValue::unsigned_integer(bu.capacity));
+    entry.set("admission_limit",
+              JsonValue::unsigned_integer(bu.admission_limit));
+    entry.set("peak_demand", JsonValue::unsigned_integer(bu.peak_demand));
+    entry.set("occupancy_bound",
+              JsonValue::unsigned_integer(bu.occupancy_bound));
+    entry.set("total_packages",
+              JsonValue::unsigned_integer(bu.total_packages));
+    entry.set("crossing_flows",
+              JsonValue::unsigned_integer(bu.crossing_flows));
+    entry.set("recommended_depth",
+              JsonValue::unsigned_integer(bu.recommended_depth));
+    array.push(std::move(entry));
+  }
+  return array;
+}
+
+}  // namespace segbus::analysis

@@ -1,0 +1,78 @@
+// Static FIFO occupancy bounds for the Border Units — the buffer-sizing
+// side of the v2 analyzer.
+//
+// The CA only admits a package into an inter-segment path after reserving
+// a slot in every Border Unit it will cross (circuit switching reserves
+// the whole path, effectively depth 1; the pipelined discipline reserves
+// one credit per BU up to its FIFO depth). That makes peak occupancy
+// statically boundable per BU: it can never exceed the admission limit,
+// and it can never exceed what the schedule actually pushes through the
+// BU within one ordering tier.
+//
+// The report feeds three SB07x diagnostics (see docs/ANALYSIS.md):
+//   SB070 psm.bu.oversized  — FIFO slots beyond the provable peak can
+//                             never fill (wasted buffer area);
+//   SB071 psm.bu.serializing — a depth-limited BU admits fewer packages
+//                             than the tier concurrently offers, forcing
+//                             the CA to serialize grants through it;
+//   SB072 psm.bu.unused     — no scheduled flow ever crosses the BU.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "emu/timing.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "support/diag.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace segbus::analysis {
+
+/// Static occupancy bound of one Border Unit.
+struct BuOccupancy {
+  std::size_t bu_index = 0;          ///< index into platform.border_units()
+  std::string name;                  ///< paper-style "BU12"
+  std::uint32_t capacity = 0;        ///< configured FIFO depth (packages)
+  /// Admission limit the CA enforces: 1 under circuit switching,
+  /// the FIFO depth under the pipelined discipline.
+  std::uint32_t admission_limit = 0;
+  /// Worst single-tier concurrent demand: how many packages the schedule
+  /// can have in flight through this BU at once if the CA admitted them
+  /// all (blocking masters cap this at one per distinct sending master).
+  std::uint64_t peak_demand = 0;
+  /// Provable peak occupancy: min(admission_limit, peak_demand).
+  std::uint64_t occupancy_bound = 0;
+  std::uint64_t total_packages = 0;  ///< packages crossing over the run
+  std::uint32_t crossing_flows = 0;  ///< distinct flows crossing
+  /// FIFO depth that serves the schedule without forced serialization
+  /// and without dead slots (1 when the BU is unused or circuit-switched).
+  std::uint32_t recommended_depth = 1;
+};
+
+/// Occupancy bounds for every Border Unit of the platform.
+struct OccupancyReport {
+  std::vector<BuOccupancy> border_units;
+  /// Fixed-width buffer-sizing table for CLI output.
+  std::string render() const;
+};
+
+/// Computes the static occupancy bound per BU. Fails when the mapping is
+/// incomplete. Rescales the application to the platform's package size
+/// first, like the engine (only package counts matter here).
+Result<OccupancyReport> compute_fifo_occupancy(
+    const psdf::PsdfModel& application,
+    const platform::PlatformModel& platform,
+    const emu::TimingModel& timing = emu::TimingModel::emulator());
+
+/// Appends the SB070/SB071/SB072 diagnostics derived from the report.
+void lint_occupancy(const OccupancyReport& report,
+                    const emu::TimingModel& timing,
+                    ValidationReport& out);
+
+/// Machine-readable rendering (array of per-BU objects; schema in
+/// docs/ANALYSIS.md).
+JsonValue occupancy_to_json(const OccupancyReport& report);
+
+}  // namespace segbus::analysis

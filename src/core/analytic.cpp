@@ -91,12 +91,15 @@ Result<AnalyticResult> analyze(const psdf::PsdfModel& application,
 
 }  // namespace
 
+// Deprecated shim: the bound's contract lives in analysis/bounds.hpp
+// (one formula, shared with segbus_lint's static bounds); reshape its
+// per-stage breakdown into the analytic result type. The pragma keeps the
+// out-of-line definition of the deprecated declaration warning-free.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 Result<AnalyticResult> analytic_lower_bound(
     const psdf::PsdfModel& application,
     const platform::PlatformModel& platform) {
-  // The bound itself lives in the analysis library (one formula, shared
-  // with segbus_lint's static bounds); reshape its per-stage breakdown
-  // into the analytic result type.
   SEGBUS_ASSIGN_OR_RETURN(
       analysis::StaticBounds bounds,
       analysis::compute_static_bounds(application, platform));
@@ -108,6 +111,7 @@ Result<AnalyticResult> analytic_lower_bound(
   }
   return result;
 }
+#pragma GCC diagnostic pop
 
 Result<AnalyticResult> analytic_estimate(
     const psdf::PsdfModel& application,

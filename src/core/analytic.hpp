@@ -5,20 +5,18 @@
 // captures arbitration, contention and cross-clock effects that a formula
 // cannot. This module provides the formula side of that comparison:
 //
-//  * analytic_lower_bound() — a *provable* lower bound on the execution
-//    time. Within one stage (one ordering rank) it takes the maximum of
-//      - each master's serial work: packages x (C + request + data) ticks
-//        of its segment clock, and
-//      - each segment bus's raw occupancy: the data ticks of every package
-//        transferred on it,
-//    and sums stages (the schedule serializes stages globally). All
-//    optional handshake costs are omitted, so no schedule can beat it.
+//  * analytic_lower_bound() — \deprecated shim over
+//    analysis::compute_static_bounds, which owns the lower bound's
+//    contract and documentation (analysis/bounds.hpp); this reshapes its
+//    per-stage breakdown into the analytic result type and reports the
+//    tightest (v2) generation. Call the analysis library directly in new
+//    code; removed next release.
 //
 //  * analytic_estimate() — a calibrated point estimate that adds the
 //    emulator's per-package handshake costs (SA decision, CA round trip,
-//    per-hop forwarding) to the same skeleton. Not a bound; typically
-//    within ~10-20 % of the emulated figure for pipeline-style workloads
-//    and used as a sanity cross-check.
+//    per-hop forwarding) to the lower bound's per-stage skeleton. Not a
+//    bound; typically within ~10-20 % of the emulated figure for
+//    pipeline-style workloads and used as a sanity cross-check.
 #pragma once
 
 #include "emu/timing.hpp"
@@ -42,10 +40,14 @@ struct AnalyticResult {
   std::vector<AnalyticStage> stages;
 };
 
-/// Provable lower bound on the emulated execution time (see file comment).
-Result<AnalyticResult> analytic_lower_bound(
-    const psdf::PsdfModel& application,
-    const platform::PlatformModel& platform);
+/// \deprecated Call analysis::compute_static_bounds and read
+/// StaticBounds::lower — the single source of the lower bound's contract.
+/// This shim reshapes that result (same figures, v2 generation) and is
+/// removed next release.
+[[deprecated(
+    "use analysis::compute_static_bounds")]] Result<AnalyticResult>
+analytic_lower_bound(const psdf::PsdfModel& application,
+                     const platform::PlatformModel& platform);
 
 /// Calibrated point estimate using the given timing model's handshake
 /// costs.

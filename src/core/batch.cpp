@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/bounds.hpp"
+#include "analysis/critical_path.hpp"
 #include "core/analytic.hpp"
 #include "core/fingerprint.hpp"
 #include "place/apply.hpp"
@@ -21,7 +23,7 @@ std::string GridReport::render() const {
   for (const GridEntry& e : entries) {
     table.add_row(
         {str_format("%u", e.package_size), e.allocation, e.timing,
-         format_us(e.execution_time),
+         e.pruned ? "(pruned)" : format_us(e.execution_time),
          e.analytic_lower_bound.count() > 0
              ? format_us(e.analytic_lower_bound)
              : "-",
@@ -72,6 +74,7 @@ JsonValue GridReport::to_json() const {
     item.set("inter_segment_packages",
              JsonValue::unsigned_integer(e.inter_segment_packages));
     item.set("max_bu_mean_wp", JsonValue::number(e.max_bu_mean_wp));
+    item.set("pruned", JsonValue::boolean(e.pruned));
     array.push(std::move(item));
   }
   return array;
@@ -97,6 +100,8 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
   // duplicate (package, allocation, timing) combinations copy that entry's
   // measurements instead of re-running the engine.
   std::map<std::string, std::size_t, std::less<>> seen;
+  // Fastest emulated cell so far — the prune oracle's incumbent.
+  Picoseconds incumbent{0};
   for (std::uint32_t package : spec.package_sizes) {
     SEGBUS_ASSIGN_OR_RETURN(psdf::PsdfModel app, app_factory(package));
     for (const LabeledAllocation& allocation : spec.allocations) {
@@ -128,6 +133,35 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
             continue;
           }
         }
+        GridEntry entry;
+        entry.package_size = package;
+        entry.allocation = allocation.label;
+        entry.timing = timing.label;
+        // The closed-form figures come straight from the analysis
+        // library (the tightest v2 generation — core::analytic_lower_bound
+        // is a deprecated shim over the same call). They price the cell's
+        // own timing model, so the bound can drive pruning.
+        if (spec.analytic || spec.prune) {
+          SEGBUS_ASSIGN_OR_RETURN(
+              analysis::StaticBounds bounds,
+              analysis::compute_static_bounds(app, platform,
+                                              timing.timing));
+          entry.analytic_lower_bound = bounds.lower;
+          if (spec.analytic) {
+            SEGBUS_ASSIGN_OR_RETURN(
+                AnalyticResult estimate,
+                analytic_estimate(app, platform, timing.timing));
+            entry.analytic_estimate = estimate.total;
+          }
+          if (spec.prune &&
+              analysis::PruneOracle::prunable(entry.analytic_lower_bound,
+                                              incumbent)) {
+            entry.pruned = true;
+            report.entries.push_back(std::move(entry));
+            ++report.pruned_cells;
+            continue;
+          }
+        }
         SEGBUS_ASSIGN_OR_RETURN(
             emu::EmulationResult result,
             emu::run_emulation(app, platform, timing.timing, {},
@@ -137,10 +171,6 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
               "grid cell (s=%u, %s, %s) did not complete", package,
               allocation.label.c_str(), timing.label.c_str()));
         }
-        GridEntry entry;
-        entry.package_size = package;
-        entry.allocation = allocation.label;
-        entry.timing = timing.label;
         entry.execution_time = result.total_execution_time;
         entry.ca_tct = result.ca.tct;
         entry.inter_segment_packages = result.ca.inter_requests;
@@ -148,14 +178,9 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
           entry.max_bu_mean_wp =
               std::max(entry.max_bu_mean_wp, bu.mean_wp());
         }
-        if (spec.analytic) {
-          SEGBUS_ASSIGN_OR_RETURN(AnalyticResult lower_bound,
-                                  analytic_lower_bound(app, platform));
-          entry.analytic_lower_bound = lower_bound.total;
-          SEGBUS_ASSIGN_OR_RETURN(
-              AnalyticResult estimate,
-              analytic_estimate(app, platform, timing.timing));
-          entry.analytic_estimate = estimate.total;
+        if (incumbent.count() == 0 ||
+            result.total_execution_time < incumbent) {
+          incumbent = result.total_execution_time;
         }
         if (digest.is_ok()) seen.emplace(*digest, report.entries.size());
         report.entries.push_back(std::move(entry));

@@ -44,6 +44,13 @@ struct GridSpec {
   Frequency ca_clock = Frequency::from_mhz(111.0);
   /// Also compute the closed-form lower bound / estimate per cell.
   bool analytic = true;
+  /// Branch-and-bound pruning: skip the engine run for cells whose v2
+  /// static lower bound (analysis::PruneOracle) exceeds the fastest
+  /// emulated cell so far. Admissible, so the sweep's minimum is
+  /// bit-identical with pruning on or off; pruned cells report their
+  /// lower bound and no measurements. Implies per-cell bound computation
+  /// even when `analytic` is off.
+  bool prune = false;
   /// Engine backend each cell runs on (all backends are bit-identical;
   /// kFast makes large sweeps practical).
   emu::BackendOptions backend;
@@ -60,15 +67,20 @@ struct GridEntry {
   std::uint64_t ca_tct = 0;
   std::uint64_t inter_segment_packages = 0;
   double max_bu_mean_wp = 0.0;
+  /// True when the prune oracle skipped this cell's engine run (only its
+  /// analytic_lower_bound is meaningful then).
+  bool pruned = false;
 };
 
 /// The swept grid.
 struct GridReport {
   std::vector<GridEntry> entries;
   /// Cells that went through the engine vs. cells served from the in-run
-  /// content-addressed dedup (identical fingerprints emulate once).
+  /// content-addressed dedup (identical fingerprints emulate once) vs.
+  /// cells the static lower bound pruned before any engine run.
   std::size_t emulated_cells = 0;
   std::size_t deduplicated_cells = 0;
+  std::size_t pruned_cells = 0;
 
   /// Fixed-width table, one row per cell.
   std::string render() const;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 
+#include "analysis/critical_path.hpp"
 #include "core/fingerprint.hpp"
 #include "place/apply.hpp"
 #include "support/strings.hpp"
@@ -12,29 +14,85 @@ namespace segbus::core {
 
 std::string ExplorationReport::render() const {
   Table table;
-  table.set_header({"configuration", "execution time", "CA TCT",
+  table.set_header({"configuration", "execution time", "static LB", "CA TCT",
                     "inter-seg requests", "worst mean WP"});
   table.set_column_alignment(0, Align::kLeft);
   for (const ExplorationEntry& entry : entries) {
-    table.add_row({entry.label, format_us(entry.execution_time),
-                   str_format("%llu",
-                              static_cast<unsigned long long>(entry.ca_tct)),
-                   str_format("%llu", static_cast<unsigned long long>(
-                                          entry.inter_segment_requests)),
-                   str_format("%.2f", entry.max_bu_mean_wp)});
+    table.add_row(
+        {entry.label,
+         entry.pruned ? "(pruned)" : format_us(entry.execution_time),
+         entry.lower_bound.count() > 0 ? format_us(entry.lower_bound) : "-",
+         entry.pruned
+             ? "-"
+             : str_format("%llu",
+                          static_cast<unsigned long long>(entry.ca_tct)),
+         entry.pruned
+             ? "-"
+             : str_format("%llu", static_cast<unsigned long long>(
+                                      entry.inter_segment_requests)),
+         entry.pruned ? "-"
+                      : str_format("%.2f", entry.max_bu_mean_wp)});
   }
-  return table.render();
+  std::string out = table.render();
+  out += str_format(
+      "%zu emulated, %zu deduplicated, %zu pruned (prune rate %.1f%%)\n",
+      emulated, deduplicated, pruned, prune_rate() * 100.0);
+  return out;
+}
+
+JsonValue exploration_to_json(const ExplorationReport& report) {
+  JsonValue root = JsonValue::object();
+  JsonValue entries = JsonValue::array();
+  for (const ExplorationEntry& entry : report.entries) {
+    JsonValue item = JsonValue::object();
+    item.set("label", JsonValue::string(entry.label));
+    item.set("pruned", JsonValue::boolean(entry.pruned));
+    item.set("execution_time_ps",
+             JsonValue::integer(entry.execution_time.count()));
+    item.set("lower_bound_ps",
+             JsonValue::integer(entry.lower_bound.count()));
+    item.set("ca_tct", JsonValue::unsigned_integer(entry.ca_tct));
+    item.set("inter_segment_requests",
+             JsonValue::unsigned_integer(entry.inter_segment_requests));
+    item.set("max_bu_mean_wp", JsonValue::number(entry.max_bu_mean_wp));
+    entries.push(std::move(item));
+  }
+  root.set("entries", std::move(entries));
+  root.set("emulated",
+           JsonValue::unsigned_integer(report.emulated));
+  root.set("deduplicated",
+           JsonValue::unsigned_integer(report.deduplicated));
+  root.set("pruned", JsonValue::unsigned_integer(report.pruned));
+  root.set("prune_rate", JsonValue::number(report.prune_rate()));
+  return root;
 }
 
 Result<ExplorationReport> explore(const psdf::PsdfModel& application,
                                   std::vector<Candidate> candidates,
                                   const SessionConfig& config) {
+  ExploreOptions options;
+  options.session = config;
+  return explore(application, std::move(candidates), options);
+}
+
+Result<ExplorationReport> explore(const psdf::PsdfModel& application,
+                                  std::vector<Candidate> candidates,
+                                  const ExploreOptions& options) {
   ExplorationReport report;
+  // Branch-and-bound: the oracle's admissible lower bound proves some
+  // candidates cannot beat the best emulated figure so far, skipping
+  // their engine run entirely (ROADMAP item 2).
+  std::optional<analysis::PruneOracle> oracle;
+  if (options.prune) {
+    oracle.emplace(application, options.session.timing);
+  }
+  Picoseconds incumbent{0};
   // Content-addressed dedup: semantically identical candidates (same
   // fingerprint) emulate once and share measurements.
   std::map<std::string, std::size_t, std::less<>> seen;
   for (Candidate& candidate : candidates) {
-    auto digest = scheme_digest(application, candidate.platform, config);
+    auto digest =
+        scheme_digest(application, candidate.platform, options.session);
     if (digest.is_ok()) {
       if (auto hit = seen.find(*digest); hit != seen.end()) {
         ExplorationEntry entry = report.entries[hit->second];
@@ -44,11 +102,27 @@ Result<ExplorationReport> explore(const psdf::PsdfModel& application,
         continue;
       }
     }
+    Picoseconds lower_bound{0};
+    if (oracle) {
+      auto lower = oracle->lower_bound(candidate.platform);
+      if (lower.is_ok()) {
+        lower_bound = *lower;
+        if (analysis::PruneOracle::prunable(lower_bound, incumbent)) {
+          ExplorationEntry entry;
+          entry.label = candidate.label;
+          entry.lower_bound = lower_bound;
+          entry.pruned = true;
+          report.entries.push_back(std::move(entry));
+          ++report.pruned;
+          continue;
+        }
+      }
+    }
     SEGBUS_ASSIGN_OR_RETURN(
         EmulationSession session,
         EmulationSession::from_models(application,
                                       std::move(candidate.platform),
-                                      config));
+                                      options.session));
     SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult result, session.emulate());
     if (!result.completed) {
       return internal_error("emulation of configuration '" +
@@ -59,8 +133,12 @@ Result<ExplorationReport> explore(const psdf::PsdfModel& application,
     entry.execution_time = result.total_execution_time;
     entry.ca_tct = result.ca.tct;
     entry.inter_segment_requests = result.ca.inter_requests;
+    entry.lower_bound = lower_bound;
     for (const emu::BuStats& bu : result.bus) {
       entry.max_bu_mean_wp = std::max(entry.max_bu_mean_wp, bu.mean_wp());
+    }
+    if (incumbent.count() == 0 || result.total_execution_time < incumbent) {
+      incumbent = result.total_execution_time;
     }
     if (digest.is_ok()) seen.emplace(*digest, report.entries.size());
     report.entries.push_back(std::move(entry));
@@ -68,6 +146,7 @@ Result<ExplorationReport> explore(const psdf::PsdfModel& application,
   }
   std::stable_sort(report.entries.begin(), report.entries.end(),
                    [](const ExplorationEntry& a, const ExplorationEntry& b) {
+                     if (a.pruned != b.pruned) return b.pruned;
                      return a.execution_time < b.execution_time;
                    });
   return report;

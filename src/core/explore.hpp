@@ -10,6 +10,7 @@
 
 #include "core/session.hpp"
 #include "place/placer.hpp"
+#include "support/json.hpp"
 #include "support/status.hpp"
 
 namespace segbus::core {
@@ -20,6 +21,18 @@ struct Candidate {
   platform::PlatformModel platform;
 };
 
+/// Exploration knobs beyond the per-run session configuration.
+struct ExploreOptions {
+  SessionConfig session;
+  /// Branch-and-bound pruning: skip the engine run for any candidate
+  /// whose v2 static lower bound (analysis::PruneOracle) already exceeds
+  /// the incumbent's emulated execution time. The bound is admissible,
+  /// so the ranking's best entry is bit-identical with pruning on or off;
+  /// pruned candidates keep their lower bound in the report but are
+  /// ranked after every emulated one.
+  bool prune = false;
+};
+
 /// One evaluated configuration.
 struct ExplorationEntry {
   std::string label;
@@ -27,15 +40,28 @@ struct ExplorationEntry {
   std::uint64_t ca_tct = 0;
   std::uint64_t inter_segment_requests = 0;
   double max_bu_mean_wp = 0.0;  ///< worst BU congestion (mean WP)
+  /// The candidate's static lower bound (filled when pruning is on).
+  Picoseconds lower_bound{0};
+  /// True when the prune oracle skipped this candidate's engine run.
+  bool pruned = false;
 };
 
-/// Ranked outcome, fastest first.
+/// Ranked outcome, fastest first (pruned candidates last).
 struct ExplorationReport {
   std::vector<ExplorationEntry> entries;
   /// How many candidates actually went through the engine vs. were served
-  /// from the in-run content-addressed dedup (see core/fingerprint.hpp).
+  /// from the in-run content-addressed dedup (see core/fingerprint.hpp)
+  /// vs. were pruned by the static lower bound before any engine run.
   std::size_t emulated = 0;
   std::size_t deduplicated = 0;
+  std::size_t pruned = 0;
+  /// Fraction of candidates the oracle pruned (0 when there were none).
+  double prune_rate() const noexcept {
+    const std::size_t total = emulated + deduplicated + pruned;
+    return total == 0 ? 0.0
+                      : static_cast<double>(pruned) /
+                            static_cast<double>(total);
+  }
   std::string render() const;
 };
 
@@ -46,6 +72,20 @@ struct ExplorationReport {
 Result<ExplorationReport> explore(const psdf::PsdfModel& application,
                                   std::vector<Candidate> candidates,
                                   const SessionConfig& config = {});
+
+/// Same, with exploration options (pruning). The two-argument overload is
+/// explore(..., ExploreOptions{config, /*prune=*/false}).
+Result<ExplorationReport> explore(const psdf::PsdfModel& application,
+                                  std::vector<Candidate> candidates,
+                                  const ExploreOptions& options);
+
+/// JSON export of a ranked exploration:
+///   { "entries": [ { "label", "pruned", "execution_time_ps",
+///                    "lower_bound_ps", "ca_tct",
+///                    "inter_segment_requests", "max_bu_mean_wp" } ],
+///     "emulated": N, "deduplicated": N, "pruned": N, "prune_rate": R }
+/// Pruned entries carry execution_time_ps = 0 and zero counters.
+JsonValue exploration_to_json(const ExplorationReport& report);
 
 /// Builds a candidate from a placement search: `num_segments` segments with
 /// the given clocks (cycled), allocation from the annealing placer.

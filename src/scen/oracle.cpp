@@ -1,6 +1,7 @@
 #include "scen/oracle.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -334,6 +335,7 @@ std::string_view invariant_name(Invariant invariant) noexcept {
     case Invariant::kClockScaling: return "clock-scaling";
     case Invariant::kParallelEquivalence: return "parallel-equivalence";
     case Invariant::kFastEquivalence: return "fast-equivalence";
+    case Invariant::kBoundsDominance: return "bounds-dominance";
   }
   return "unknown";
 }
@@ -389,21 +391,63 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
   }
   outcome.total = result->total_execution_time;
 
-  if (options.check_bounds) {
+  // Bounds-bracket and bounds-dominance share one static analysis.
+  std::optional<analysis::StaticBounds> bounds;
+  if (options.check_bounds || options.check_dominance) {
+    auto computed = analysis::compute_static_bounds(
+        scenario.application, scenario.platform, scenario.timing);
+    if (computed.is_ok()) {
+      bounds = std::move(*computed);
+    } else if (options.check_bounds) {
+      ++outcome.invariants_checked;
+      violate(Invariant::kBoundsBracket,
+              "bounds computation failed: " + computed.status().to_string());
+    } else {
+      ++outcome.invariants_checked;
+      violate(Invariant::kBoundsDominance,
+              "bounds computation failed: " + computed.status().to_string());
+    }
+  }
+  // Returns the first broken link of the v1 >= v2 >= TCT nesting chain,
+  // or an empty string when lower_v1 <= lower <= t <= upper <= upper_v1.
+  auto dominance_breach = [&bounds](Picoseconds t) -> std::string {
+    const auto chain = {bounds->lower_v1, bounds->lower, t, bounds->upper,
+                        bounds->upper_v1};
+    const char* names[] = {"lower_v1", "lower_v2", "emulated", "upper_v2",
+                           "upper_v1"};
+    std::size_t i = 0;
+    Picoseconds prev{0};
+    for (Picoseconds link : chain) {
+      if (i > 0 && link < prev) {
+        return str_format("%s %lld ps < %s %lld ps", names[i],
+                          static_cast<long long>(link.count()), names[i - 1],
+                          static_cast<long long>(prev.count()));
+      }
+      prev = link;
+      ++i;
+    }
+    return {};
+  };
+
+  if (options.check_bounds && bounds) {
     ++outcome.invariants_checked;
     obs::Span span = span_for("oracle:bounds-bracket");
-    auto bounds = analysis::compute_static_bounds(
-        scenario.application, scenario.platform, scenario.timing);
-    if (!bounds.is_ok()) {
-      violate(Invariant::kBoundsBracket,
-              "bounds computation failed: " + bounds.status().to_string());
-    } else if (!bounds->brackets(result->total_execution_time)) {
+    if (!bounds->brackets(result->total_execution_time)) {
       violate(Invariant::kBoundsBracket,
               str_format("emulated %lld ps outside [%lld, %lld]",
                          static_cast<long long>(
                              result->total_execution_time.count()),
                          static_cast<long long>(bounds->lower.count()),
                          static_cast<long long>(bounds->upper.count())));
+    }
+  }
+
+  if (options.check_dominance && bounds) {
+    ++outcome.invariants_checked;
+    obs::Span span = span_for("oracle:bounds-dominance");
+    if (std::string breach = dominance_breach(result->total_execution_time);
+        !breach.empty()) {
+      violate(Invariant::kBoundsDominance, breach);
     }
   }
 
@@ -543,6 +587,17 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
       } else if (std::string diff = diff_results(*result, *fast_result);
                  !diff.empty()) {
         violate(Invariant::kFastEquivalence, "fast engine diverged: " + diff);
+      } else if (options.check_dominance && bounds) {
+        // The nesting chain must also hold on the cross-engine figure —
+        // a joint breach of both engines would slip past the base check
+        // only if equivalence were violated too, but a breach here with a
+        // clean base run pins the divergence on the other backend.
+        if (std::string breach =
+                dominance_breach(fast_result->total_execution_time);
+            !breach.empty()) {
+          violate(Invariant::kBoundsDominance,
+                  "cross-engine run: " + breach);
+        }
       }
     }
   }

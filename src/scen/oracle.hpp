@@ -29,6 +29,11 @@
 //  * fast-equiv          — the next-event-time fast engine matches the
 //                          reference engine bit-for-bit (dead-cycle
 //                          skipping changes nothing observable).
+//  * bounds-dominance    — the two bound generations nest: v1 lower <=
+//                          v2 lower <= emulated TCT <= v2 upper <= v1
+//                          upper, on the base run and on the fast-equiv
+//                          cross-engine run (the v2 refinement may only
+//                          tighten, never cross, the v1 envelope).
 //
 // A violation means scenario + invariant name + human-readable detail; the
 // shrinker minimizes scenarios against a fixed invariant.
@@ -55,9 +60,10 @@ enum class Invariant : std::uint8_t {
   kClockScaling,
   kParallelEquivalence,
   kFastEquivalence,
+  kBoundsDominance,
 };
 
-inline constexpr std::size_t kInvariantCount = 8;
+inline constexpr std::size_t kInvariantCount = 9;
 
 /// Stable kebab-case name ("bounds-bracket") used in logs, metrics labels
 /// and corpus file stems.
@@ -81,6 +87,10 @@ struct OracleOptions {
   /// {reference, fast} the base run did NOT use and compares bit-for-bit.
   /// Cheap (the fast engine skips dead cycles), so on by default.
   bool check_fast = true;
+  /// Bound-generation dominance: lower_v1 <= lower <= TCT <= upper <=
+  /// upper_v1, on the base run and the fast-equivalence cross-engine run.
+  /// Reuses the bounds-bracket computation, so effectively free.
+  bool check_dominance = true;
   /// Backend the base run (and its derived runs: fingerprint twin, clock
   /// scaling) executes on. Equivalence invariants compare against this.
   emu::BackendOptions backend;

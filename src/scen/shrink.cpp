@@ -171,6 +171,9 @@ OracleOptions narrowed(const OracleOptions& base, Invariant invariant) {
   options.check_fingerprint = invariant == Invariant::kFingerprintEquivalence;
   options.check_clock_scaling = invariant == Invariant::kClockScaling;
   options.check_parallel = invariant == Invariant::kParallelEquivalence;
+  // check_fast inherits from base: the cross-engine half of
+  // bounds-dominance needs the fast-equivalence run to exist.
+  options.check_dominance = invariant == Invariant::kBoundsDominance;
   return options;
 }
 

@@ -1,0 +1,135 @@
+// Tests of the static FIFO occupancy analysis: per-BU occupancy bounds,
+// buffer-sizing recommendations, and the SB070/SB071/SB072 diagnostics.
+#include <gtest/gtest.h>
+
+#include "analysis/occupancy.hpp"
+#include "apps/mp3.hpp"
+
+namespace segbus::analysis {
+namespace {
+
+/// A linear platform with `segments` segments at 100 MHz and the given
+/// BU FIFO depth; processes are mapped by the caller.
+platform::PlatformModel make_platform(std::uint32_t segments,
+                                      std::uint32_t package,
+                                      std::uint32_t bu_depth) {
+  platform::PlatformModel platform("occ");
+  EXPECT_TRUE(platform.set_package_size(package).is_ok());
+  EXPECT_TRUE(platform.set_ca_clock(Frequency::from_mhz(111)).is_ok());
+  for (std::uint32_t s = 0; s < segments; ++s) {
+    EXPECT_TRUE(platform.add_segment(Frequency::from_mhz(100)).is_ok());
+  }
+  if (segments > 1) {
+    EXPECT_TRUE(platform.set_bu_capacity(bu_depth).is_ok());
+  }
+  return platform;
+}
+
+TEST(Occupancy, Mp3ThreeSegmentsHasBoundedBus) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+  auto report = compute_fifo_occupancy(*app, *platform);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  ASSERT_EQ(report->border_units.size(), 2u);
+  for (const BuOccupancy& bu : report->border_units) {
+    // Circuit-switched default: at most one package in flight per BU.
+    EXPECT_EQ(bu.admission_limit, 1u);
+    EXPECT_GT(bu.total_packages, 0u);
+    EXPECT_GT(bu.crossing_flows, 0u);
+    EXPECT_LE(bu.occupancy_bound, bu.admission_limit);
+    EXPECT_EQ(bu.recommended_depth, 1u);
+  }
+  // The render and JSON faces carry every BU.
+  std::string text = report->render();
+  EXPECT_NE(text.find("BU12"), std::string::npos);
+  EXPECT_NE(text.find("occupancy bound"), std::string::npos);
+  std::string json = occupancy_to_json(*report).to_string();
+  EXPECT_NE(json.find("\"name\":\"BU12\""), std::string::npos);
+  EXPECT_NE(json.find("\"recommended_depth\":"), std::string::npos);
+}
+
+TEST(Occupancy, UnusedBuIsAnSb072Note) {
+  // Flows cross only BU12; segment 3 hosts a process no flow touches.
+  psdf::PsdfModel app("unused");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  ASSERT_TRUE(app.add_process("A").is_ok());
+  ASSERT_TRUE(app.add_process("B").is_ok());
+  ASSERT_TRUE(app.add_process("C").is_ok());
+  ASSERT_TRUE(app.add_flow("A", "B", 72, 1, 10).is_ok());
+  platform::PlatformModel platform = make_platform(3, 36, 1);
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 1).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 2).is_ok());
+  auto report = compute_fifo_occupancy(app, platform);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  ValidationReport lint;
+  lint_occupancy(*report, emu::TimingModel::emulator(), lint);
+  EXPECT_TRUE(lint.has_code("SB072"));
+  EXPECT_TRUE(lint.has("psm.bu.unused"));
+  EXPECT_TRUE(lint.ok());  // notes only
+}
+
+TEST(Occupancy, OversizedFifoIsAnSb070Note) {
+  // Circuit-switched arbitration admits one package per BU, so a depth-4
+  // FIFO can never fill.
+  psdf::PsdfModel app("oversized");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  ASSERT_TRUE(app.add_process("A").is_ok());
+  ASSERT_TRUE(app.add_process("B").is_ok());
+  ASSERT_TRUE(app.add_flow("A", "B", 144, 1, 10).is_ok());
+  platform::PlatformModel platform = make_platform(2, 36, 4);
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 1).is_ok());
+  auto report = compute_fifo_occupancy(app, platform);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->border_units.size(), 1u);
+  EXPECT_EQ(report->border_units[0].capacity, 4u);
+  EXPECT_EQ(report->border_units[0].admission_limit, 1u);
+  ValidationReport lint;
+  lint_occupancy(*report, emu::TimingModel::emulator(), lint);
+  EXPECT_TRUE(lint.has_code("SB070"));
+  EXPECT_TRUE(lint.has("psm.bu.oversized"));
+  EXPECT_FALSE(lint.has_code("SB071"));
+}
+
+TEST(Occupancy, UndersizedPipelinedFifoIsAnSb071Warning) {
+  // Pipelined (non-circuit) mode with three masters crossing the same
+  // depth-1 BU in one tier: concurrent demand 3 > capacity 1.
+  psdf::PsdfModel app("undersized");
+  ASSERT_TRUE(app.set_package_size(36).is_ok());
+  for (const char* name : {"A", "B", "C", "D"}) {
+    ASSERT_TRUE(app.add_process(name).is_ok());
+  }
+  ASSERT_TRUE(app.add_flow("A", "D", 72, 1, 10).is_ok());
+  ASSERT_TRUE(app.add_flow("B", "D", 72, 1, 10).is_ok());
+  ASSERT_TRUE(app.add_flow("C", "D", 72, 1, 10).is_ok());
+  platform::PlatformModel platform = make_platform(2, 36, 1);
+  ASSERT_TRUE(platform.map_process("A", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("B", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("C", 0).is_ok());
+  ASSERT_TRUE(platform.map_process("D", 1).is_ok());
+  emu::TimingModel timing = emu::TimingModel::emulator();
+  timing.circuit_switched = false;
+  auto report = compute_fifo_occupancy(app, platform, timing);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->border_units.size(), 1u);
+  EXPECT_EQ(report->border_units[0].peak_demand, 3u);
+  EXPECT_EQ(report->border_units[0].recommended_depth, 3u);
+  ValidationReport lint;
+  lint_occupancy(*report, timing, lint);
+  EXPECT_TRUE(lint.has_code("SB071"));
+  EXPECT_TRUE(lint.has("psm.bu.serializing"));
+  EXPECT_EQ(lint.warning_count(), 1u);
+}
+
+TEST(Occupancy, RejectsUnmappedSystems) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  platform::PlatformModel platform = make_platform(2, 36, 1);
+  EXPECT_FALSE(compute_fifo_occupancy(*app, platform).is_ok());
+}
+
+}  // namespace
+}  // namespace segbus::analysis

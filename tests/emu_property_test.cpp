@@ -7,6 +7,7 @@
 #include <map>
 #include <tuple>
 
+#include "analysis/bounds.hpp"
 #include "emu/backend.hpp"
 #include "core/analytic.hpp"
 #include "psdf/comm_matrix.hpp"
@@ -159,9 +160,10 @@ TEST_P(EmuPropertyTest, InvariantsHold) {
   EXPECT_EQ(result->ca.grants, expect_inter);
 
   // The closed-form lower bound can never exceed the emulated time.
-  auto bound = core::analytic_lower_bound(scenario.app, scenario.platform);
+  auto bound =
+      analysis::compute_static_bounds(scenario.app, scenario.platform);
   ASSERT_TRUE(bound.is_ok()) << bound.status().to_string();
-  EXPECT_LE(bound->total, result->total_execution_time);
+  EXPECT_LE(bound->lower, result->total_execution_time);
 
   // Accounting sanity.
   EXPECT_GE(result->total_execution_time, result->last_delivery_time);
@@ -274,6 +276,50 @@ TEST_P(EmuPropertyTest, ReferenceTimingNeverFaster) {
   ASSERT_TRUE(ref_result.is_ok());
   EXPECT_LE(est_result->total_execution_time,
             ref_result->total_execution_time);
+}
+
+TEST(BoundDominance, HundredSeedChainAcrossBackends) {
+  // 100 random scenarios, each emulated on all three engine backends: the
+  // two bound generations must nest around every backend's measurement
+  // (lower_v1 <= lower <= TCT <= upper <= upper_v1). This is the unit-test
+  // face of the fuzzing oracle's bounds-dominance invariant.
+  const std::uint32_t packages[] = {36u, 18u, 7u};
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    auto segments = static_cast<std::uint32_t>(1 + seed % 3);
+    const std::uint32_t package = packages[(seed / 3) % 3];
+    Scenario scenario = make_scenario(seed, segments, package);
+    // The generator only guarantees every segment is populated when the
+    // process count covers them; shrink and regenerate otherwise.
+    if (scenario.app.process_count() < segments) {
+      segments = static_cast<std::uint32_t>(scenario.app.process_count());
+      scenario = make_scenario(seed, segments, package);
+    }
+    auto bounds = analysis::compute_static_bounds(scenario.app,
+                                                  scenario.platform);
+    ASSERT_TRUE(bounds.is_ok())
+        << "seed " << seed << ": " << bounds.status().to_string();
+    EXPECT_TRUE(bounds->dominates_v1()) << "seed " << seed;
+    for (EngineBackend backend :
+         {EngineBackend::kReference, EngineBackend::kParallel,
+          EngineBackend::kFast}) {
+      BackendOptions options;
+      options.backend = backend;
+      if (backend == EngineBackend::kParallel) options.parallel_threads = 2;
+      auto result = run_emulation(scenario.app, scenario.platform,
+                                  TimingModel::emulator(), {}, options);
+      ASSERT_TRUE(result.is_ok()) << "seed " << seed;
+      ASSERT_TRUE(result->completed) << "seed " << seed;
+      const Picoseconds t = result->total_execution_time;
+      EXPECT_LE(bounds->lower_v1, bounds->lower) << "seed " << seed;
+      EXPECT_LE(bounds->lower, t)
+          << "seed " << seed << " backend "
+          << static_cast<int>(backend);
+      EXPECT_LE(t, bounds->upper)
+          << "seed " << seed << " backend "
+          << static_cast<int>(backend);
+      EXPECT_LE(bounds->upper, bounds->upper_v1) << "seed " << seed;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

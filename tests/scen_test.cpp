@@ -90,6 +90,21 @@ TEST(Oracle, HealthyScenariosPassEveryInvariant) {
   }
 }
 
+TEST(Oracle, BoundsDominanceIsItsOwnInvariant) {
+  EXPECT_EQ(invariant_name(Invariant::kBoundsDominance), "bounds-dominance");
+  auto scenario = generate_scenario(11);
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto with = run_oracle(*scenario);
+  ASSERT_TRUE(with.is_ok()) << with.status().to_string();
+  EXPECT_TRUE(with->passed());
+  OracleOptions no_dominance;
+  no_dominance.check_dominance = false;
+  auto without = run_oracle(*scenario, no_dominance);
+  ASSERT_TRUE(without.is_ok()) << without.status().to_string();
+  // Disabling it removes exactly one checked invariant.
+  EXPECT_EQ(with->invariants_checked, without->invariants_checked + 1);
+}
+
 TEST(Oracle, UnmappedProcessIsAGeneratorContractViolation) {
   auto scenario = generate_scenario(3);
   ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();

@@ -22,7 +22,8 @@
 //   --max-processes N / --max-segments N / --max-items N
 //                       generator distribution caps
 //   --no-bounds / --no-conservation / --no-fingerprint / --no-clock-scaling
-//   / --no-fast         disable individual oracle invariants
+//   / --no-fast / --no-dominance
+//                       disable individual oracle invariants
 //   --trace             tag every scenario with its seed-derived trace id,
 //                       record per-check oracle spans, and archive the span
 //                       tree (<stem>.trace.json) plus a flight-recorder
@@ -64,6 +65,7 @@ inline scen::OracleOptions fuzz_oracle_options(const CommandLine& cli) {
   oracle.check_fingerprint = cli.bool_flag_or("fingerprint", true);
   oracle.check_clock_scaling = cli.bool_flag_or("clock-scaling", true);
   oracle.check_fast = cli.bool_flag_or("fast", true);
+  oracle.check_dominance = cli.bool_flag_or("dominance", true);
   if (auto engine = cli.flag("engine")) {
     if (auto backend = emu::parse_engine_backend(*engine)) {
       oracle.backend.backend = *backend;

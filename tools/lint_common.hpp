@@ -12,6 +12,7 @@
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "emu/backend.hpp"
 #include "platform/platform_xml.hpp"
 #include "psdf/psdf_xml.hpp"
 #include "support/cli.hpp"
@@ -47,8 +48,8 @@ inline int run_lint(const CommandLine& cli, std::size_t arg_offset) {
   if (cli.positional().size() <= arg_offset) {
     std::fprintf(stderr,
                  "usage: ... <psdf.xml> [<psm.xml>] [--package S] "
-                 "[--reference] [--json] [--no-bounds] [--emulator-host] "
-                 "[--explain SBxxx]\n");
+                 "[--reference] [--json] [--no-bounds] [--emulate] "
+                 "[--emulator-host] [--explain SBxxx]\n");
     return 1;
   }
 
@@ -70,6 +71,10 @@ inline int run_lint(const CommandLine& cli, std::size_t arg_offset) {
   if (!app.is_ok()) return lint_fail(app.status());
 
   analysis::AnalysisReport result;
+  // --emulate: also run the scheme and report the v2 lower bound's
+  // tightness against the measured TCT (only meaningful with a platform).
+  Picoseconds emulated{0};
+  bool have_emulated = false;
   if (cli.positional().size() > arg_offset + 1) {
     options.psm_file = cli.positional()[arg_offset + 1];
     auto platform = platform::read_platform_file(options.psm_file);
@@ -81,6 +86,12 @@ inline int run_lint(const CommandLine& cli, std::size_t arg_offset) {
       }
     }
     result = analysis::analyze_system(*app, *platform, options);
+    if (cli.bool_flag_or("emulate", false)) {
+      auto run = emu::run_emulation(*app, *platform, options.timing);
+      if (!run.is_ok()) return lint_fail(run.status());
+      emulated = run->total_execution_time;
+      have_emulated = run->completed;
+    }
   } else {
     result = analysis::analyze_model(*app, options);
   }
@@ -89,12 +100,28 @@ inline int run_lint(const CommandLine& cli, std::size_t arg_offset) {
     JsonValue root = analysis::report_to_json(result.report);
     if (result.bounds) {
       root.set("bounds", analysis::bounds_to_json(*result.bounds));
+      if (have_emulated) {
+        root.set("emulated_ps", JsonValue::integer(emulated.count()));
+        root.set("tightness",
+                 JsonValue::number(result.bounds->tightness(emulated)));
+      }
+    }
+    if (result.occupancy) {
+      root.set("occupancy", analysis::occupancy_to_json(*result.occupancy));
     }
     std::printf("%s\n", root.to_string(/*pretty=*/true).c_str());
   } else {
     std::printf("%s", analysis::render_text(result.report).c_str());
     if (result.bounds) {
       std::printf("%s\n", result.bounds->to_string().c_str());
+      if (have_emulated) {
+        std::printf("emulated = %lld ps, lower-bound tightness = %.3f\n",
+                    static_cast<long long>(emulated.count()),
+                    result.bounds->tightness(emulated));
+      }
+    }
+    if (result.occupancy && !result.occupancy->border_units.empty()) {
+      std::printf("%s", result.occupancy->render().c_str());
     }
   }
   return result.ok() ? 0 : 2;

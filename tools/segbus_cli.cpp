@@ -25,7 +25,14 @@
 //   place    <psdf.xml> --segments N [--strategy greedy|anneal|exhaustive]
 //            [--seed K] [--iterations I] search a device allocation
 //   explore  <psdf.xml> [--segments 1,2,3] [--package S] [--seed K]
-//            [--iterations I]            rank annealed configurations
+//            [--iterations I] [--candidates N] [--prune] [--json]
+//                                       rank annealed configurations;
+//                                       --candidates anneals N placements
+//                                       per segment count (seeds K..K+N-1),
+//                                       --prune skips engine runs whose v2
+//                                       static lower bound already exceeds
+//                                       the incumbent (identical best;
+//                                       see docs/ANALYSIS.md)
 //   analyze  <psdf.xml> <psm.xml> [--package S] closed-form bounds &
 //            per-stage breakdown without emulating
 //   serve    [--socket PATH] [--tcp [--port N]] [--workers N] [--queue N]
@@ -340,6 +347,14 @@ int cmd_explore(const CommandLine& cli) {
   const auto package = static_cast<std::uint32_t>(
       cli.int_flag_or("package", app->package_size()));
 
+  // --candidates N runs the annealer N times per segment count with
+  // distinct seeds, widening the sweep so the prune oracle has real
+  // losers to cut.
+  const auto per_segment = static_cast<std::uint64_t>(
+      cli.int_flag_or("candidates", 1));
+  if (per_segment == 0) {
+    return fail(invalid_argument_error("--candidates must be positive"));
+  }
   std::vector<core::Candidate> candidates;
   const std::string segments_list = cli.flag_or("segments", "1,2,3");
   for (std::string_view part : split_skip_empty(segments_list, ',')) {
@@ -347,17 +362,33 @@ int cmd_explore(const CommandLine& cli) {
     if (!segments || *segments == 0) {
       return fail(invalid_argument_error("bad --segments list"));
     }
-    auto candidate = core::candidate_from_placement(
-        *app, static_cast<std::uint32_t>(*segments),
-        {Frequency::from_mhz(91), Frequency::from_mhz(98),
-         Frequency::from_mhz(89)},
-        Frequency::from_mhz(111), package, anneal);
-    if (!candidate.is_ok()) return fail(candidate.status());
-    candidates.push_back(std::move(*candidate));
+    for (std::uint64_t trial = 0; trial < per_segment; ++trial) {
+      place::AnnealOptions trial_anneal = anneal;
+      trial_anneal.seed = anneal.seed + trial;
+      auto candidate = core::candidate_from_placement(
+          *app, static_cast<std::uint32_t>(*segments),
+          {Frequency::from_mhz(91), Frequency::from_mhz(98),
+           Frequency::from_mhz(89)},
+          Frequency::from_mhz(111), package, trial_anneal);
+      if (!candidate.is_ok()) return fail(candidate.status());
+      if (per_segment > 1) {
+        candidate->label += str_format(" seed=%llu",
+                                       static_cast<unsigned long long>(
+                                           trial_anneal.seed));
+      }
+      candidates.push_back(std::move(*candidate));
+    }
   }
-  auto report = core::explore(*app, std::move(candidates));
+  core::ExploreOptions options;
+  options.prune = cli.bool_flag_or("prune", false);
+  auto report = core::explore(*app, std::move(candidates), options);
   if (!report.is_ok()) return fail(report.status());
-  std::printf("%s", report->render().c_str());
+  if (cli.bool_flag_or("json", false)) {
+    std::printf("%s\n",
+                core::exploration_to_json(*report).to_string(true).c_str());
+  } else {
+    std::printf("%s", report->render().c_str());
+  }
   return 0;
 }
 
@@ -375,27 +406,26 @@ int cmd_analyze(const CommandLine& cli) {
       return fail(status);
     }
   }
-  auto bound = core::analytic_lower_bound(*app, *platform);
-  if (!bound.is_ok()) return fail(bound.status());
-  auto estimate = core::analytic_estimate(*app, *platform);
+  const emu::TimingModel timing = cli.bool_flag_or("reference", false)
+                                      ? emu::TimingModel::reference()
+                                      : emu::TimingModel::emulator();
+  auto bounds = analysis::compute_static_bounds(*app, *platform, timing);
+  if (!bounds.is_ok()) return fail(bounds.status());
+  auto estimate = core::analytic_estimate(*app, *platform, timing);
   if (!estimate.is_ok()) return fail(estimate.status());
-  std::printf("analytic lower bound: %s\n",
-              format_us(bound->total).c_str());
+  std::printf("analytic lower bound: %s  (v1: %s)\n",
+              format_us(bounds->lower).c_str(),
+              format_us(bounds->lower_v1).c_str());
   std::printf("analytic estimate   : %s\n",
               format_us(estimate->total).c_str());
-  if (auto bracket = analysis::compute_static_bounds(
-          *app, *platform,
-          cli.bool_flag_or("reference", false)
-              ? emu::TimingModel::reference()
-              : emu::TimingModel::emulator());
-      bracket.is_ok()) {
-    std::printf("serialization upper : %s\n",
-                format_us(bracket->upper).c_str());
-  }
+  std::printf("serialization upper : %s  (v1: %s)\n",
+              format_us(bounds->upper).c_str(),
+              format_us(bounds->upper_v1).c_str());
   std::printf("\nper-stage lower bound breakdown:\n");
-  for (const core::AnalyticStage& stage : bound->stages) {
+  for (const analysis::StageBounds& stage : bounds->stages) {
     std::printf("  stage T=%u: %12s  (bound: %s)\n", stage.ordering,
-                format_us(stage.duration).c_str(), stage.binding.c_str());
+                format_us(stage.lower).c_str(),
+                stage.lower_binding.c_str());
   }
   return 0;
 }
