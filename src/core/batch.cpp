@@ -188,6 +188,17 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
       }
     }
   }
+  if (spec.metrics != nullptr) {
+    auto count = [&spec](const char* outcome, std::uint64_t value) {
+      spec.metrics
+          ->counter("segbus_grid_cells_total", {{"outcome", outcome}},
+                    "grid sweep cells by outcome")
+          .inc(value);
+    };
+    count("emulated", report.emulated_cells);
+    count("deduplicated", report.deduplicated_cells);
+    count("pruned", report.pruned_cells);
+  }
   return report;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
 #include "place/cost.hpp"
 #include "support/csv.hpp"
 #include "support/json.hpp"
@@ -54,6 +55,9 @@ struct GridSpec {
   /// Engine backend each cell runs on (all backends are bit-identical;
   /// kFast makes large sweeps practical).
   emu::BackendOptions backend;
+  /// Optional counters sink: the sweep's emulated/deduplicated/pruned
+  /// cell totals land in segbus_grid_cells_total{outcome=...}.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One grid cell's measurements.

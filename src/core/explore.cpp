@@ -149,6 +149,18 @@ Result<ExplorationReport> explore(const psdf::PsdfModel& application,
                      if (a.pruned != b.pruned) return b.pruned;
                      return a.execution_time < b.execution_time;
                    });
+  if (options.metrics != nullptr) {
+    auto count = [&options](const char* outcome, std::uint64_t value) {
+      options.metrics
+          ->counter("segbus_explore_candidates_total",
+                    {{"outcome", outcome}},
+                    "exploration candidates by outcome")
+          .inc(value);
+    };
+    count("emulated", report.emulated);
+    count("deduplicated", report.deduplicated);
+    count("pruned", report.pruned);
+  }
   return report;
 }
 

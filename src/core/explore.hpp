@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
 #include "place/placer.hpp"
 #include "support/json.hpp"
 #include "support/status.hpp"
@@ -31,6 +32,10 @@ struct ExploreOptions {
   /// pruned candidates keep their lower bound in the report but are
   /// ranked after every emulated one.
   bool prune = false;
+  /// Optional counters sink: the run's emulated/deduplicated/pruned
+  /// totals land in segbus_explore_candidates_total{outcome=...} so
+  /// Prometheus scrapes (and `segbus_cli stats`) show search efficiency.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One evaluated configuration.

@@ -1,0 +1,178 @@
+#include "search/bound.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace segbus::search {
+
+Result<PartialBoundOracle> PartialBoundOracle::create(
+    const psdf::PsdfModel& application,
+    const std::vector<Frequency>& segment_clocks, Frequency ca_clock,
+    std::uint32_t package_size, const emu::TimingModel& timing) {
+  if (segment_clocks.empty()) {
+    return invalid_argument_error(
+        "the partial-bound oracle needs at least one segment clock");
+  }
+  if (package_size == 0) {
+    return invalid_argument_error("package size must be positive");
+  }
+  SEGBUS_RETURN_IF_ERROR(validate_frequency(ca_clock, "CA clock"));
+  for (Frequency clock : segment_clocks) {
+    SEGBUS_RETURN_IF_ERROR(validate_frequency(clock, "segment clock"));
+  }
+
+  // The engine rescales compute costs to the platform's package size; the
+  // bound must model the application the engine will actually run.
+  psdf::PsdfModel rescaled;
+  const psdf::PsdfModel* app = &application;
+  if (application.package_size() != package_size) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        rescaled, application.rescaled_for_package_size(package_size));
+    app = &rescaled;
+  }
+
+  PartialBoundOracle oracle;
+  oracle.process_count_ = app->process_count();
+  oracle.package_size_ = package_size;
+  for (Frequency clock : segment_clocks) {
+    oracle.periods_.push_back(clock.period_ps());
+  }
+  oracle.min_period_ =
+      *std::min_element(oracle.periods_.begin(), oracle.periods_.end());
+  oracle.ca_period_ = ca_clock.period_ps();
+
+  // Tick prices, identical to analysis::critical_path_lower_bound.
+  oracle.local_setup_ = timing.sa_decision_ticks + timing.grant_set_ticks +
+                        timing.master_response_ticks;
+  oracle.global_setup_ =
+      timing.grant_set_ticks + timing.master_response_ticks;
+  oracle.hop_wait_ =
+      timing.bu_grant_turnaround_ticks + timing.bu_sync_ticks;
+  oracle.grant_reset_ = timing.grant_reset_ticks;
+  oracle.ca_spacing_ =
+      1 + static_cast<std::int64_t>(timing.ca_decision_ticks +
+                                    timing.ca_signal_ticks);
+  oracle.master_blocking_ = timing.master_blocking;
+
+  std::map<std::uint32_t, Tier> tiers;
+  for (const psdf::Flow& flow : app->scheduled_flows()) {
+    FlowData data;
+    data.source = flow.source;
+    data.target = flow.target;
+    data.packages = psdf::packages_for(flow.data_items, package_size);
+    const std::uint64_t base =
+        flow.compute_ticks + timing.request_ticks + package_size;
+    data.local_chain = base + oracle.local_setup_;
+    data.global_chain = base + oracle.global_setup_;
+    tiers[flow.ordering].flows.push_back(data);
+  }
+  for (auto& [ordering, tier] : tiers) {
+    oracle.tiers_.push_back(std::move(tier));
+  }
+
+  oracle.chain_scratch_.resize(oracle.process_count_);
+  oracle.busy_scratch_.resize(oracle.periods_.size());
+  oracle.teardown_scratch_.resize(oracle.periods_.size());
+  return oracle;
+}
+
+Picoseconds PartialBoundOracle::lower_bound(
+    const std::vector<std::uint32_t>& allocation) {
+  const std::uint32_t s = package_size_;
+  std::int64_t total = 0;
+  for (const Tier& tier : tiers_) {
+    std::fill(chain_scratch_.begin(), chain_scratch_.end(), 0);
+    std::fill(busy_scratch_.begin(), busy_scratch_.end(), 0);
+    std::fill(teardown_scratch_.begin(), teardown_scratch_.end(), 0);
+    std::uint64_t global_packages = 0;
+    std::int64_t best_pipe = 0;
+
+    for (const FlowData& flow : tier.flows) {
+      const std::uint32_t src = allocation[flow.source];
+      const std::uint32_t dst = allocation[flow.target];
+      const std::uint64_t n = flow.packages;
+
+      if (src == kUnassigned) {
+        // The source chain runs wherever the process lands — at best on
+        // the fastest clock, at best with the cheaper (global) setup.
+        chain_scratch_[flow.source] +=
+            static_cast<std::int64_t>(n * flow.global_chain) * min_period_;
+        if (dst != kUnassigned) {
+          // Local delivery or final hop: either way the target's bus
+          // carries the data phase.
+          busy_scratch_[dst] += n * s;
+        }
+        continue;
+      }
+      const std::int64_t p_src = periods_[src];
+      if (dst == kUnassigned) {
+        // Future unknown: charge the cheaper of the local/global paths.
+        chain_scratch_[flow.source] +=
+            static_cast<std::int64_t>(n * flow.global_chain) * p_src;
+        busy_scratch_[src] += n * (global_setup_ + s);
+        continue;
+      }
+
+      if (src == dst) {
+        chain_scratch_[flow.source] +=
+            static_cast<std::int64_t>(n * flow.local_chain) * p_src;
+        busy_scratch_[src] += n * (local_setup_ + s);
+        teardown_scratch_[src] += n * grant_reset_;
+        continue;
+      }
+
+      // Proven inter-segment: one package's downstream traversal pays
+      // hop_wait + s - 1 receiver periods per crossing (one tick forgiven
+      // per landing edge, as in the v2 bound).
+      std::int64_t hop_ps = 0;
+      const std::int64_t step = src < dst ? 1 : -1;
+      const auto last = static_cast<std::int64_t>(dst);
+      for (std::int64_t seg = static_cast<std::int64_t>(src) + step;;
+           seg += step) {
+        const auto hop = static_cast<std::size_t>(seg);
+        hop_ps += static_cast<std::int64_t>(hop_wait_ + s - 1) *
+                  periods_[hop];
+        busy_scratch_[hop] += n * s;
+        if (seg == last) break;
+      }
+      std::int64_t chain =
+          static_cast<std::int64_t>(n * flow.global_chain) * p_src;
+      if (master_blocking_) {
+        chain += static_cast<std::int64_t>(n) * hop_ps;
+      }
+      chain_scratch_[flow.source] += chain;
+      busy_scratch_[src] += n * (global_setup_ + s);
+      global_packages += n;
+
+      const std::int64_t pipe =
+          static_cast<std::int64_t>(n * flow.global_chain) * p_src + hop_ps;
+      best_pipe = std::max(best_pipe, pipe);
+    }
+
+    std::int64_t stage = 0;
+    for (const std::int64_t chain : chain_scratch_) {
+      stage = std::max(stage, chain);
+    }
+    for (std::size_t seg = 0; seg < periods_.size(); ++seg) {
+      std::uint64_t ticks = busy_scratch_[seg] + teardown_scratch_[seg];
+      if (teardown_scratch_[seg] > 0) {
+        ticks -= std::min<std::uint64_t>(teardown_scratch_[seg],
+                                         grant_reset_);
+      }
+      stage = std::max(stage,
+                       static_cast<std::int64_t>(ticks) * periods_[seg]);
+    }
+    stage = std::max(stage, best_pipe);
+    if (global_packages > 0) {
+      stage = std::max(
+          stage,
+          (static_cast<std::int64_t>(global_packages - 1) * ca_spacing_ +
+           1) *
+              ca_period_);
+    }
+    total += stage;
+  }
+  return Picoseconds(total);
+}
+
+}  // namespace segbus::search

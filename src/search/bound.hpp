@@ -1,0 +1,96 @@
+// Admissible lower bounds for *partial* placements — the pruning rule of
+// the branch-and-bound search.
+//
+// `analysis::critical_path_lower_bound` (the v2 static bound) needs a fully
+// placed platform. A branch-and-bound node is a prefix of a placement:
+// some processes have a segment, the rest are still free. This oracle
+// re-evaluates the exact same per-tier tick arithmetic as the v2 bound but
+// only charges work the partial placement already *proves*:
+//
+//   - a flow with both endpoints placed is charged exactly as the v2
+//     critical path charges it (local or global by segment equality);
+//   - a flow with a placed source but free target is charged the cheaper
+//     of its two futures: the global emission chain (global setup <= local
+//     setup) on the source's chain and bus;
+//   - a flow with a free source is charged its emission chain at the
+//     platform's fastest segment clock (every completion runs it at that
+//     period or slower); a placed target still proves one data pass
+//     (`s` ticks) on the target's bus;
+//   - CA grant spacing and hop pipelines are only charged for flows that
+//     are provably inter-segment.
+//
+// Every charge is a lower bound on what any completion of the prefix must
+// pay, so the node bound never exceeds the v2 bound of any completed leaf
+// under it — pruning on `bound > incumbent` keeps the optimum reachable,
+// and the search's winner is bit-identical with exhaustive enumeration.
+// For a complete allocation the oracle reproduces
+// `critical_path_lower_bound` exactly (tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/timing.hpp"
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::search {
+
+/// Marker for a process the partial placement has not assigned yet.
+inline constexpr std::uint32_t kUnassigned = 0xFFFFFFFFu;
+
+/// Bound evaluator for one (application, segment clocks, CA clock,
+/// package size, timing) search context. Not thread-safe: lower_bound()
+/// reuses internal scratch buffers (the branch-and-bound loop is
+/// single-threaded by design — only emulation waves fan out).
+class PartialBoundOracle {
+ public:
+  /// Rescales the application to `package_size` (as the engine does) and
+  /// precomputes the per-tier flow data the bound arithmetic walks.
+  static Result<PartialBoundOracle> create(
+      const psdf::PsdfModel& application,
+      const std::vector<Frequency>& segment_clocks, Frequency ca_clock,
+      std::uint32_t package_size,
+      const emu::TimingModel& timing = emu::TimingModel::emulator());
+
+  /// Lower bound of every completion of `allocation` (process-id indexed;
+  /// kUnassigned marks free processes). Precondition: allocation.size()
+  /// == process_count().
+  Picoseconds lower_bound(const std::vector<std::uint32_t>& allocation);
+
+  std::size_t process_count() const noexcept { return process_count_; }
+  std::size_t segment_count() const noexcept { return periods_.size(); }
+
+ private:
+  struct FlowData {
+    std::uint32_t source = 0;
+    std::uint32_t target = 0;
+    std::uint64_t packages = 0;    ///< at the context's package size
+    std::uint64_t local_chain = 0;   ///< ticks: C + request + local setup + s
+    std::uint64_t global_chain = 0;  ///< ticks: C + request + global setup + s
+  };
+  struct Tier {
+    std::vector<FlowData> flows;
+  };
+
+  std::size_t process_count_ = 0;
+  std::vector<Tier> tiers_;             ///< ascending flow ordering
+  std::vector<std::int64_t> periods_;   ///< per-segment clock period (ps)
+  std::int64_t min_period_ = 0;
+  std::int64_t ca_period_ = 0;
+  std::uint32_t package_size_ = 0;
+  std::uint64_t local_setup_ = 0;
+  std::uint64_t global_setup_ = 0;
+  std::uint64_t hop_wait_ = 0;
+  std::uint64_t grant_reset_ = 0;
+  std::int64_t ca_spacing_ = 0;
+  bool master_blocking_ = false;
+
+  // lower_bound() scratch (sized once in create()).
+  std::vector<std::int64_t> chain_scratch_;     ///< per process, ps
+  std::vector<std::uint64_t> busy_scratch_;     ///< per segment, ticks
+  std::vector<std::uint64_t> teardown_scratch_; ///< per segment, ticks
+};
+
+}  // namespace segbus::search

@@ -1,0 +1,220 @@
+#include "search/evaluator.hpp"
+
+#include <future>
+#include <utility>
+
+#include "core/fingerprint.hpp"
+#include "emu/stats.hpp"
+#include "place/apply.hpp"
+#include "platform/platform_xml.hpp"
+#include "psdf/psdf_xml.hpp"
+#include "support/strings.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::search {
+
+namespace {
+
+/// Compact single-line XML for the wire (no indentation, no declaration
+/// needed — the parser accepts both, and waves ship many documents).
+xml::WriteOptions wire_options() {
+  xml::WriteOptions options;
+  options.indent.clear();
+  options.emit_declaration = false;
+  return options;
+}
+
+}  // namespace
+
+std::string candidate_label(const SearchCandidate& candidate) {
+  std::string alloc;
+  for (std::size_t i = 0; i < candidate.allocation.size(); ++i) {
+    if (i > 0) alloc += ' ';
+    alloc += str_format("%u", candidate.allocation[i]);
+  }
+  return str_format("s%u/p%u [%s]", candidate.segments,
+                    candidate.package_size, alloc.c_str());
+}
+
+Result<CandidateEvaluator> CandidateEvaluator::create(
+    service::JobServer& server, const psdf::PsdfModel& application,
+    EvaluatorContext context) {
+  if (context.segment_clocks.empty()) {
+    return invalid_argument_error(
+        "the evaluator needs at least one segment clock");
+  }
+  CandidateEvaluator evaluator(server, std::move(context));
+  evaluator.application_ = &application;
+  evaluator.psdf_xml_ =
+      xml::write_document(psdf::to_xml(application), wire_options());
+  // The session configuration the server derives for these submissions —
+  // used locally only to fingerprint candidates identically.
+  evaluator.session_.timing = evaluator.context_.reference_timing
+                                  ? emu::TimingModel::reference()
+                                  : emu::TimingModel::emulator();
+  return evaluator;
+}
+
+Result<platform::PlatformModel> CandidateEvaluator::build_platform(
+    const SearchCandidate& candidate) const {
+  if (candidate.segments == 0) {
+    return invalid_argument_error("a candidate needs at least one segment");
+  }
+  platform::PlatformModel platform(
+      str_format("search-%useg", candidate.segments));
+  SEGBUS_RETURN_IF_ERROR(platform.set_package_size(candidate.package_size));
+  SEGBUS_RETURN_IF_ERROR(platform.set_ca_clock(context_.ca_clock));
+  for (std::uint32_t seg = 0; seg < candidate.segments; ++seg) {
+    auto added = platform.add_segment(
+        context_.segment_clocks[seg % context_.segment_clocks.size()]);
+    if (!added.is_ok()) return added.status();
+  }
+  SEGBUS_RETURN_IF_ERROR(place::apply_allocation(
+      *application_, candidate.allocation, platform));
+  return platform;
+}
+
+Result<std::string> CandidateEvaluator::fingerprint(
+    const platform::PlatformModel& platform) {
+  return core::scheme_digest(*application_, platform, session_);
+}
+
+Result<const psdf::PsdfModel*> CandidateEvaluator::app_for_package(
+    std::uint32_t package_size) {
+  if (package_size == application_->package_size()) return application_;
+  auto it = rescaled_.find(package_size);
+  if (it == rescaled_.end()) {
+    SEGBUS_ASSIGN_OR_RETURN(
+        psdf::PsdfModel rescaled,
+        application_->rescaled_for_package_size(package_size));
+    it = rescaled_.emplace(package_size, std::move(rescaled)).first;
+  }
+  return &it->second;
+}
+
+Result<MeasuredCandidate> CandidateEvaluator::measure(
+    const SearchCandidate& candidate,
+    const platform::PlatformModel& platform, std::string digest,
+    const service::JobResponse& response) {
+  if (!response.ok) {
+    return internal_error("search candidate '" + candidate_label(candidate) +
+                          "' failed: [" + response.error_code + "] " +
+                          response.error_message);
+  }
+  SEGBUS_ASSIGN_OR_RETURN(JsonValue report,
+                          JsonValue::parse(response.report_json));
+
+  // Rebuild the counters the energy model charges from the report; the
+  // report is the engine's own serialization, so this stays bit-faithful
+  // to an in-process run.
+  emu::EmulationResult result;
+  result.completed = true;
+  result.total_execution_time = response.execution_time;
+  const JsonValue& sas = report.get("segment_arbiters");
+  for (std::size_t i = 0; i < sas.size(); ++i) {
+    emu::SaStats sa;
+    sa.intra_requests = sas.at(i).get("intra_requests").as_uint64();
+    sa.inter_requests = sas.at(i).get("inter_requests").as_uint64();
+    sa.busy_ticks = sas.at(i).get("busy_ticks").as_uint64();
+    result.sas.push_back(sa);
+  }
+  std::uint64_t bu_transfers = 0;
+  const JsonValue& bus = report.get("border_units");
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    emu::BuStats bu;
+    bu.transfers = bus.at(i).get("transfers").as_uint64();
+    bu_transfers += bu.transfers;
+    result.bus.push_back(bu);
+  }
+  result.ca.grants = report.get("central_arbiter").get("grants").as_uint64();
+  result.ca.busy_ticks =
+      report.get("central_arbiter").get("busy_ticks").as_uint64();
+
+  SEGBUS_ASSIGN_OR_RETURN(const psdf::PsdfModel* app,
+                          app_for_package(candidate.package_size));
+  SEGBUS_ASSIGN_OR_RETURN(
+      core::EnergyBreakdown energy,
+      core::estimate_energy(*app, platform, result, context_.energy));
+
+  MeasuredCandidate measured;
+  measured.candidate = candidate;
+  measured.objectives.execution_time = response.execution_time;
+  measured.objectives.bu_transfers = bu_transfers;
+  measured.objectives.energy_pj = energy.total_pj();
+  measured.digest = std::move(digest);
+  measured.label = candidate_label(candidate);
+  return measured;
+}
+
+Result<std::vector<MeasuredCandidate>> CandidateEvaluator::evaluate(
+    const std::vector<SearchCandidate>& wave) {
+  std::vector<MeasuredCandidate> results(wave.size());
+  std::vector<platform::PlatformModel> platforms(wave.size());
+  std::vector<std::string> digests(wave.size());
+  // Wave indices that own a submission, in wave order; duplicates within
+  // the wave resolve against the owner afterwards.
+  std::vector<std::size_t> submissions;
+  std::map<std::string, std::size_t, std::less<>> owner_of;
+  std::vector<bool> duplicate(wave.size(), false);
+
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    SEGBUS_ASSIGN_OR_RETURN(platforms[i], build_platform(wave[i]));
+    SEGBUS_ASSIGN_OR_RETURN(digests[i], fingerprint(platforms[i]));
+    if (seen_.find(digests[i]) != seen_.end() ||
+        owner_of.find(digests[i]) != owner_of.end()) {
+      duplicate[i] = true;
+      continue;
+    }
+    owner_of.emplace(digests[i], i);
+    submissions.push_back(i);
+  }
+
+  // Fan out through the server, at most one queue-depth worth in flight;
+  // collect in submission order so results and counters are independent
+  // of worker scheduling.
+  const std::size_t chunk = std::max<std::size_t>(
+      std::size_t{1}, server_->config().queue_depth);
+  for (std::size_t begin = 0; begin < submissions.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, submissions.size());
+    std::vector<std::future<service::JobResponse>> futures;
+    futures.reserve(end - begin);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = submissions[k];
+      service::JobRequest request;
+      request.id = str_format("search-%llu",
+                              static_cast<unsigned long long>(next_id_++));
+      request.psdf_xml = psdf_xml_;
+      request.psm_xml =
+          xml::write_document(platform::to_xml(platforms[i]), wire_options());
+      request.engine = context_.engine;
+      request.reference_timing = context_.reference_timing;
+      request.peer = "search";
+      futures.push_back(server_->submit_async(std::move(request)));
+    }
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = submissions[k];
+      const service::JobResponse response = futures[k - begin].get();
+      SEGBUS_ASSIGN_OR_RETURN(
+          results[i], measure(wave[i], platforms[i], digests[i], response));
+      seen_.emplace(digests[i], results[i]);
+      ++emulated_;
+    }
+  }
+
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    if (!duplicate[i]) continue;
+    auto hit = seen_.find(digests[i]);
+    if (hit == seen_.end()) {
+      return internal_error("deduplicated candidate lost its measurement");
+    }
+    MeasuredCandidate measured = hit->second;
+    measured.candidate = wave[i];
+    measured.label = candidate_label(wave[i]);
+    measured.deduplicated = true;
+    results[i] = std::move(measured);
+    ++deduplicated_;
+  }
+  return results;
+}
+
+}  // namespace segbus::search

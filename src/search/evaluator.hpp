@@ -1,0 +1,107 @@
+// Candidate evaluation: waves of placements fanned out through a
+// service::JobServer and turned into objective vectors.
+//
+// The evaluator is the only part of the search that touches the engine.
+// Determinism contract: candidates are deduplicated by the
+// content-addressed scheme fingerprint *before* submission (so the server
+// cache never decides what gets emulated), submitted in wave order, and
+// collected in submission order — the worker count changes wall-clock
+// time, never results or counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/energy.hpp"
+#include "core/session.hpp"
+#include "place/cost.hpp"
+#include "platform/model.hpp"
+#include "psdf/model.hpp"
+#include "search/pareto.hpp"
+#include "service/server.hpp"
+#include "support/status.hpp"
+
+namespace segbus::search {
+
+/// One configuration the search wants scored.
+struct SearchCandidate {
+  std::uint32_t segments = 0;
+  std::uint32_t package_size = 0;
+  place::Allocation allocation;  ///< process -> segment, process-id order
+  std::string origin;            ///< "greedy" | "anneal#k" | "beam#k" | "bnb" | ...
+};
+
+/// A scored configuration.
+struct MeasuredCandidate {
+  SearchCandidate candidate;
+  Objectives objectives;
+  std::string digest;
+  std::string label;         ///< "s2/p36 [0 1 0 ...]"
+  bool deduplicated = false; ///< served by the in-run fingerprint dedup
+};
+
+/// Shared context of one search run (fixed across candidates).
+struct EvaluatorContext {
+  std::vector<Frequency> segment_clocks;  ///< cycled over segment indices
+  Frequency ca_clock = Frequency::from_mhz(100.0);
+  std::string engine = "fast";   ///< backend candidates are scored on
+  bool reference_timing = false;
+  core::EnergyModel energy;
+};
+
+class CandidateEvaluator {
+ public:
+  /// Serializes the application once; per-candidate platforms go on the
+  /// wire per wave.
+  static Result<CandidateEvaluator> create(service::JobServer& server,
+                                           const psdf::PsdfModel& application,
+                                           EvaluatorContext context);
+
+  /// Scores a wave: dedups by fingerprint, fans the rest out through the
+  /// server (chunked to its queue depth), and returns results in wave
+  /// order. A failed job fails the whole wave (searches must not silently
+  /// lose candidates).
+  Result<std::vector<MeasuredCandidate>> evaluate(
+      const std::vector<SearchCandidate>& wave);
+
+  /// The platform a candidate denotes (clocks cycled from the context).
+  Result<platform::PlatformModel> build_platform(
+      const SearchCandidate& candidate) const;
+
+  /// The candidate's fingerprint (identical to the digest the server
+  /// reports for its submission).
+  Result<std::string> fingerprint(const platform::PlatformModel& platform);
+
+  std::uint64_t emulated() const noexcept { return emulated_; }
+  std::uint64_t deduplicated() const noexcept { return deduplicated_; }
+
+ private:
+  CandidateEvaluator(service::JobServer& server, EvaluatorContext context)
+      : server_(&server), context_(std::move(context)) {}
+
+  Result<MeasuredCandidate> measure(const SearchCandidate& candidate,
+                                    const platform::PlatformModel& platform,
+                                    std::string digest,
+                                    const service::JobResponse& response);
+  Result<const psdf::PsdfModel*> app_for_package(std::uint32_t package_size);
+
+  service::JobServer* server_;
+  EvaluatorContext context_;
+  const psdf::PsdfModel* application_ = nullptr;
+  std::string psdf_xml_;
+  core::SessionConfig session_;  ///< fingerprint/timing configuration
+  /// digest -> measured objectives of the first occurrence.
+  std::map<std::string, MeasuredCandidate, std::less<>> seen_;
+  /// Rescaled applications keyed by package size (for the energy model).
+  std::map<std::uint32_t, psdf::PsdfModel> rescaled_;
+  std::uint64_t emulated_ = 0;
+  std::uint64_t deduplicated_ = 0;
+  std::uint64_t next_id_ = 0;
+};
+
+/// "s2/p36 [0 1 0 1]" rendering used by reports and Pareto points.
+std::string candidate_label(const SearchCandidate& candidate);
+
+}  // namespace segbus::search

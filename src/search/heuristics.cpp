@@ -1,0 +1,156 @@
+#include "search/heuristics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "place/placer.hpp"
+#include "support/rng.hpp"
+
+namespace segbus::search {
+
+namespace {
+
+/// Traffic x hop-distance the prefix already commits to: every decided
+/// pair pays its package count times the segment distance. Lower is
+/// better; the final score is place-cost-correlated but much cheaper.
+std::uint64_t partial_score(const psdf::CommMatrix& matrix,
+                            const std::vector<std::uint32_t>& order,
+                            const place::Allocation& partial,
+                            std::size_t depth, std::uint32_t package_size) {
+  std::uint64_t score = 0;
+  for (std::size_t a = 0; a < depth; ++a) {
+    for (std::size_t b = 0; b < depth; ++b) {
+      const std::uint32_t pa = order[a];
+      const std::uint32_t pb = order[b];
+      const std::uint64_t packages =
+          matrix.packages_at(pa, pb, package_size);
+      if (packages == 0) continue;
+      const std::uint32_t da = partial[pa];
+      const std::uint32_t db = partial[pb];
+      score += packages * (da > db ? da - db : db - da);
+    }
+  }
+  return score;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> traffic_descending_order(
+    const psdf::CommMatrix& matrix) {
+  std::vector<std::uint32_t> order(matrix.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&matrix](std::uint32_t a, std::uint32_t b) {
+                     const std::uint64_t ta =
+                         matrix.row_sum(a) + matrix.column_sum(a);
+                     const std::uint64_t tb =
+                         matrix.row_sum(b) + matrix.column_sum(b);
+                     if (ta != tb) return ta > tb;
+                     return a < b;
+                   });
+  return order;
+}
+
+Result<std::vector<place::Allocation>> beam_allocations(
+    const psdf::CommMatrix& matrix, std::uint32_t num_segments,
+    std::uint32_t package_size, std::uint32_t beam_width) {
+  const std::size_t n = matrix.size();
+  if (n == 0) return invalid_argument_error("empty communication matrix");
+  if (num_segments == 0) {
+    return invalid_argument_error("at least one segment is required");
+  }
+  if (n < num_segments) {
+    return invalid_argument_error(
+        "fewer processes than segments: no feasible placement");
+  }
+  if (beam_width == 0) beam_width = 1;
+
+  const std::vector<std::uint32_t> order = traffic_descending_order(matrix);
+
+  struct Partial {
+    place::Allocation allocation;       ///< process-id indexed
+    std::vector<std::uint32_t> counts;  ///< processes per segment
+    std::uint64_t score = 0;
+  };
+  std::vector<Partial> beam(1);
+  beam[0].allocation.assign(n, 0);
+  beam[0].counts.assign(num_segments, 0);
+
+  for (std::size_t depth = 0; depth < n; ++depth) {
+    const std::uint32_t process = order[depth];
+    std::vector<Partial> expanded;
+    expanded.reserve(beam.size() * num_segments);
+    for (const Partial& parent : beam) {
+      for (std::uint32_t seg = 0; seg < num_segments; ++seg) {
+        Partial child = parent;
+        child.allocation[process] = seg;
+        ++child.counts[seg];
+        // Feasibility: the processes still unplaced must be able to
+        // populate every still-empty segment.
+        const std::size_t remaining = n - depth - 1;
+        const std::size_t empty = static_cast<std::size_t>(std::count(
+            child.counts.begin(), child.counts.end(), 0u));
+        if (empty > remaining) continue;
+        child.score = partial_score(matrix, order, child.allocation,
+                                    depth + 1, package_size);
+        expanded.push_back(std::move(child));
+      }
+    }
+    // Keep the best `beam_width`, ties broken by the allocation bytes so
+    // the beam is a pure function of its inputs.
+    std::stable_sort(expanded.begin(), expanded.end(),
+                     [](const Partial& a, const Partial& b) {
+                       if (a.score != b.score) return a.score < b.score;
+                       return a.allocation < b.allocation;
+                     });
+    if (expanded.size() > beam_width) expanded.resize(beam_width);
+    beam = std::move(expanded);
+  }
+
+  std::vector<place::Allocation> out;
+  out.reserve(beam.size());
+  for (Partial& partial : beam) out.push_back(std::move(partial.allocation));
+  return out;
+}
+
+Result<std::vector<place::Allocation>> heuristic_allocations(
+    const psdf::CommMatrix& matrix, std::uint32_t num_segments,
+    const HeuristicOptions& options) {
+  place::CostModel cost;
+  cost.package_size = options.package_size;
+
+  std::vector<place::Allocation> out;
+  std::set<place::Allocation> seen;
+  auto keep = [&out, &seen](place::Allocation allocation) {
+    if (seen.insert(allocation).second) out.push_back(std::move(allocation));
+  };
+
+  SEGBUS_ASSIGN_OR_RETURN(place::PlacementResult greedy,
+                          place::greedy_place(matrix, num_segments, cost));
+  keep(std::move(greedy.allocation));
+
+  // Restarts on independent substreams: restart k's stream depends only
+  // on (seed, k), never on evaluation order.
+  const std::uint64_t anneal_seed = derive_seed(options.seed, "search/anneal");
+  for (std::uint32_t k = 0; k < options.anneal_restarts; ++k) {
+    place::AnnealOptions anneal;
+    anneal.seed = derive_seed(anneal_seed, static_cast<std::uint64_t>(k));
+    anneal.iterations = options.anneal_iterations;
+    SEGBUS_ASSIGN_OR_RETURN(
+        place::PlacementResult annealed,
+        place::anneal_place(matrix, num_segments, cost, anneal));
+    keep(std::move(annealed.allocation));
+  }
+
+  SEGBUS_ASSIGN_OR_RETURN(
+      std::vector<place::Allocation> beam,
+      beam_allocations(matrix, num_segments, options.package_size,
+                       options.beam_width));
+  for (place::Allocation& allocation : beam) keep(std::move(allocation));
+  return out;
+}
+
+}  // namespace segbus::search

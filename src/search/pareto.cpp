@@ -1,0 +1,66 @@
+#include "search/pareto.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace segbus::search {
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  if (a.execution_time > b.execution_time) return false;
+  if (a.bu_transfers > b.bu_transfers) return false;
+  if (a.energy_pj > b.energy_pj) return false;
+  return a.execution_time < b.execution_time ||
+         a.bu_transfers < b.bu_transfers || a.energy_pj < b.energy_pj;
+}
+
+bool pareto_less(const ParetoPoint& a, const ParetoPoint& b) {
+  return std::tie(a.objectives.execution_time, a.objectives.bu_transfers,
+                  a.objectives.energy_pj, a.digest) <
+         std::tie(b.objectives.execution_time, b.objectives.bu_transfers,
+                  b.objectives.energy_pj, b.digest);
+}
+
+bool ParetoFront::offer(ParetoPoint point) {
+  for (const ParetoPoint& existing : points_) {
+    if (dominates(existing.objectives, point.objectives)) return false;
+    if (existing.digest == point.digest) return false;
+    // Objective ties are kept: a point equal on every axis is not
+    // dominated (no strict improvement), so distinct schemes with
+    // identical measurements coexist on the front.
+  }
+  std::erase_if(points_, [&point](const ParetoPoint& existing) {
+    return dominates(point.objectives, existing.objectives);
+  });
+  auto at = std::lower_bound(points_.begin(), points_.end(), point,
+                             pareto_less);
+  points_.insert(at, std::move(point));
+  return true;
+}
+
+JsonValue ParetoFront::to_json() const {
+  JsonValue root = JsonValue::object();
+  JsonValue points = JsonValue::array();
+  for (const ParetoPoint& point : points_) {
+    JsonValue item = JsonValue::object();
+    item.set("execution_time_ps",
+             JsonValue::integer(point.objectives.execution_time.count()));
+    item.set("bu_transfers",
+             JsonValue::unsigned_integer(point.objectives.bu_transfers));
+    item.set("energy_pj", JsonValue::number(point.objectives.energy_pj));
+    item.set("label", JsonValue::string(point.label));
+    item.set("digest", JsonValue::string(point.digest));
+    item.set("segments", JsonValue::unsigned_integer(point.segments));
+    item.set("package_size",
+             JsonValue::unsigned_integer(point.package_size));
+    JsonValue allocation = JsonValue::array();
+    for (std::uint32_t segment : point.allocation) {
+      allocation.push(JsonValue::unsigned_integer(segment));
+    }
+    item.set("allocation", std::move(allocation));
+    points.push(std::move(item));
+  }
+  root.set("points", std::move(points));
+  return root;
+}
+
+}  // namespace segbus::search

@@ -1,0 +1,70 @@
+// Pareto front over the three objectives a configuration trades off:
+// execution time (the paper's estimate), border-unit traffic (the
+// congestion the paper's WP analysis worries about), and energy
+// (core/energy's activity model). All three are minimized.
+//
+// The front is canonical: points are kept sorted by (execution time, BU
+// transfers, energy, digest), so two searches that evaluate the same set
+// of configurations — in any order, on any worker count — serialize
+// byte-identical fronts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "place/cost.hpp"
+#include "support/json.hpp"
+#include "support/time.hpp"
+
+namespace segbus::search {
+
+/// The minimized objective vector of one evaluated configuration.
+struct Objectives {
+  Picoseconds execution_time{0};   ///< emulated total execution time
+  std::uint64_t bu_transfers = 0;  ///< packages that crossed any BU
+  double energy_pj = 0.0;          ///< activity-model total energy
+
+  friend bool operator==(const Objectives&, const Objectives&) = default;
+};
+
+/// True when `a` is at least as good as `b` in every objective and
+/// strictly better in at least one (the standard Pareto order).
+bool dominates(const Objectives& a, const Objectives& b);
+
+/// One non-dominated configuration.
+struct ParetoPoint {
+  Objectives objectives;
+  std::string label;       ///< human-readable configuration label
+  std::string digest;      ///< content-addressed scheme fingerprint
+  std::uint32_t segments = 0;
+  std::uint32_t package_size = 0;
+  place::Allocation allocation;  ///< process -> segment, process-id order
+};
+
+/// Deterministic Pareto front: offer() keeps only non-dominated points and
+/// stores them in canonical order regardless of insertion order.
+class ParetoFront {
+ public:
+  /// Inserts `point` unless an existing point dominates it (or duplicates
+  /// its digest); drops every existing point the newcomer dominates.
+  /// Returns true when the point entered the front.
+  bool offer(ParetoPoint point);
+
+  const std::vector<ParetoPoint>& points() const noexcept { return points_; }
+  std::size_t size() const noexcept { return points_.size(); }
+  bool empty() const noexcept { return points_.empty(); }
+
+  /// { "points": [ { "execution_time_ps", "bu_transfers", "energy_pj",
+  ///                 "label", "digest", "segments", "package_size",
+  ///                 "allocation": [...] } ] }
+  JsonValue to_json() const;
+
+ private:
+  std::vector<ParetoPoint> points_;  ///< canonical order (see header)
+};
+
+/// Canonical order of front points: (time, BU transfers, energy, digest).
+bool pareto_less(const ParetoPoint& a, const ParetoPoint& b);
+
+}  // namespace segbus::search

@@ -1,0 +1,668 @@
+#include "search/search.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "analysis/critical_path.hpp"
+#include "psdf/comm_matrix.hpp"
+#include "search/bound.hpp"
+#include "search/heuristics.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace segbus::search {
+
+namespace {
+
+/// Exhaustive enumeration above this space requires an explicit emulation
+/// budget — otherwise a typo'd segment count burns hours of engine time.
+constexpr double kExhaustiveGuard = 5e6;
+
+/// Feasible completions of a partial placement: `remaining` free processes
+/// onto `segments` segments of which `empty` are still unpopulated. The
+/// free processes may land anywhere but must jointly cover every empty
+/// segment — inclusion-exclusion over the empty set:
+///   sum_{k=0}^{e} (-1)^k C(e,k) (S-k)^r
+/// Evaluated in doubles (the 3-segment 50-process space overflows u64);
+/// powers by iterated multiplication so the value is bit-reproducible.
+double feasible_completions(std::uint64_t remaining, std::uint32_t segments,
+                            std::uint32_t empty) {
+  double total = 0.0;
+  double binom = 1.0;  // C(empty, k), updated incrementally
+  for (std::uint32_t k = 0; k <= empty; ++k) {
+    double power = 1.0;
+    for (std::uint64_t i = 0; i < remaining; ++i) {
+      power *= static_cast<double>(segments - k);
+    }
+    total += (k % 2 == 0 ? 1.0 : -1.0) * binom * power;
+    binom = binom * static_cast<double>(empty - k) /
+            static_cast<double>(k + 1);
+  }
+  return total;
+}
+
+/// The winner order: identical to the Pareto front's canonical order, so
+/// the guided winner matches the exhaustive front head bit-for-bit.
+bool measured_less(const MeasuredCandidate& a, const MeasuredCandidate& b) {
+  if (a.objectives.execution_time.count() !=
+      b.objectives.execution_time.count()) {
+    return a.objectives.execution_time.count() <
+           b.objectives.execution_time.count();
+  }
+  if (a.objectives.bu_transfers != b.objectives.bu_transfers) {
+    return a.objectives.bu_transfers < b.objectives.bu_transfers;
+  }
+  if (a.objectives.energy_pj != b.objectives.energy_pj) {
+    return a.objectives.energy_pj < b.objectives.energy_pj;
+  }
+  return a.digest < b.digest;
+}
+
+ParetoPoint to_point(const MeasuredCandidate& measured) {
+  ParetoPoint point;
+  point.objectives = measured.objectives;
+  point.label = measured.label;
+  point.digest = measured.digest;
+  point.segments = measured.candidate.segments;
+  point.package_size = measured.candidate.package_size;
+  point.allocation = measured.candidate.allocation;
+  return point;
+}
+
+/// One branch-and-bound open node: a prefix (in traffic order) of a
+/// placement. `allocation` is process-id indexed with kUnassigned holes.
+struct Node {
+  std::vector<std::uint32_t> allocation;
+  std::uint32_t depth = 0;  ///< processes placed (prefix of the order)
+  Picoseconds bound{0};
+  std::uint32_t empty_segments = 0;
+};
+
+/// Pop order: tightest bound first (best-first), then deepest (drive to
+/// leaves, keeping the open set small), then allocation bytes — a total
+/// order, so the expansion sequence is a pure function of the inputs.
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound.count() != b.bound.count()) {
+      return a.bound.count() > b.bound.count();
+    }
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.allocation > b.allocation;
+  }
+};
+
+/// Search-wide mutable state shared by the per-combo runs.
+struct RunState {
+  CandidateEvaluator* evaluator = nullptr;
+  const analysis::PruneOracle* oracle = nullptr;
+  SearchReport* report = nullptr;
+  const SearchSpec* spec = nullptr;
+  std::uint64_t nodes_total = 0;
+  bool budget_exhausted = false;
+
+  bool node_budget_left() const {
+    return spec->max_nodes == 0 || nodes_total < spec->max_nodes;
+  }
+  bool emulation_budget_left() const {
+    return spec->max_emulations == 0 ||
+           evaluator->emulated() < spec->max_emulations;
+  }
+};
+
+/// Offers a wave's results to the front / winner / incumbent. The
+/// incumbent only moves here — between waves — so the prune sequence never
+/// depends on the order workers finished individual candidates.
+void absorb_results(const std::vector<MeasuredCandidate>& results,
+                    RunState& state, ComboReport& combo,
+                    Picoseconds& incumbent) {
+  for (const MeasuredCandidate& measured : results) {
+    state.report->front.offer(to_point(measured));
+    if (!combo.has_best || measured_less(measured, combo.best)) {
+      combo.best = measured;
+      combo.has_best = true;
+    }
+    if (!state.report->has_winner ||
+        measured_less(measured, state.report->winner)) {
+      state.report->winner = measured;
+      state.report->has_winner = true;
+    }
+    if (incumbent.count() == 0 ||
+        measured.objectives.execution_time < incumbent) {
+      incumbent = measured.objectives.execution_time;
+    }
+  }
+}
+
+/// How a wave participates in the coverage accounting.
+enum class WaveMode : std::uint8_t {
+  kSeed,        ///< heuristic seeds: no filter, outside the space accounting
+  kLeaf,        ///< branch-and-bound leaves: oracle filter + covered
+  kExhaustive,  ///< exhaustive cells: no filter (it is the baseline), covered
+};
+
+/// Scores a batch of candidates. In kLeaf mode each leaf is re-checked
+/// against the *current* incumbent with the authoritative
+/// analysis::PruneOracle bound on its fully built platform — earlier waves
+/// may have tightened the incumbent past leaves buffered before them.
+Status flush_wave(std::vector<SearchCandidate>& wave, RunState& state,
+                  ComboReport& combo, Picoseconds& incumbent, WaveMode mode) {
+  if (wave.empty()) return Status::ok();
+  std::vector<SearchCandidate> survivors;
+  survivors.reserve(wave.size());
+  for (SearchCandidate& candidate : wave) {
+    if (mode == WaveMode::kLeaf && incumbent.count() > 0) {
+      SEGBUS_ASSIGN_OR_RETURN(platform::PlatformModel platform,
+                              state.evaluator->build_platform(candidate));
+      SEGBUS_ASSIGN_OR_RETURN(Picoseconds lower,
+                              state.oracle->lower_bound(platform));
+      if (analysis::PruneOracle::prunable(lower, incumbent)) {
+        ++combo.oracle_pruned;
+        combo.covered += 1.0;
+        continue;
+      }
+    }
+    survivors.push_back(std::move(candidate));
+  }
+  wave.clear();
+  if (survivors.empty()) return Status::ok();
+  SEGBUS_ASSIGN_OR_RETURN(std::vector<MeasuredCandidate> results,
+                          state.evaluator->evaluate(survivors));
+  if (mode != WaveMode::kSeed) {
+    combo.covered += static_cast<double>(results.size());
+  }
+  absorb_results(results, state, combo, incumbent);
+  return Status::ok();
+}
+
+/// The guided per-combo search: heuristic seeding, then best-first
+/// branch-and-bound with wave-batched leaf emulation.
+Status run_guided_combo(const psdf::PsdfModel& app,
+                        const psdf::CommMatrix& matrix, RunState& state,
+                        ComboReport& combo) {
+  const SearchSpec& spec = *state.spec;
+  const std::size_t n = matrix.size();
+  const std::uint32_t segments = combo.segments;
+  Picoseconds incumbent{0};
+
+  // Heuristic seeds establish the incumbent before any node expands —
+  // without it the bound cannot prune at all.
+  HeuristicOptions heuristics;
+  heuristics.seed = derive_seed(
+      derive_seed(spec.seed, static_cast<std::uint64_t>(segments)),
+      static_cast<std::uint64_t>(combo.package_size));
+  heuristics.anneal_restarts = spec.anneal_restarts;
+  heuristics.anneal_iterations = spec.anneal_iterations;
+  heuristics.beam_width = spec.beam_width;
+  heuristics.package_size = combo.package_size;
+  SEGBUS_ASSIGN_OR_RETURN(std::vector<place::Allocation> seeds,
+                          heuristic_allocations(matrix, segments, heuristics));
+  std::vector<SearchCandidate> seed_wave;
+  seed_wave.reserve(seeds.size());
+  for (place::Allocation& allocation : seeds) {
+    SearchCandidate candidate;
+    candidate.segments = segments;
+    candidate.package_size = combo.package_size;
+    candidate.allocation = std::move(allocation);
+    candidate.origin = "heuristic";
+    seed_wave.push_back(std::move(candidate));
+  }
+  // Seeds are re-visited by the branch-and-bound as ordinary leaves (and
+  // deduplicated there), so they stay out of the coverage accounting.
+  SEGBUS_RETURN_IF_ERROR(
+      flush_wave(seed_wave, state, combo, incumbent, WaveMode::kSeed));
+
+  SEGBUS_ASSIGN_OR_RETURN(
+      PartialBoundOracle bound,
+      PartialBoundOracle::create(
+          app,
+          [&] {
+            std::vector<Frequency> clocks;
+            clocks.reserve(segments);
+            for (std::uint32_t seg = 0; seg < segments; ++seg) {
+              clocks.push_back(spec.segment_clocks[seg %
+                                                   spec.segment_clocks.size()]);
+            }
+            return clocks;
+          }(),
+          spec.ca_clock, combo.package_size,
+          spec.reference_timing ? emu::TimingModel::reference()
+                                : emu::TimingModel::emulator()));
+
+  const std::vector<std::uint32_t> order = traffic_descending_order(matrix);
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+  {
+    Node root;
+    root.allocation.assign(n, kUnassigned);
+    root.empty_segments = segments;
+    root.bound = bound.lower_bound(root.allocation);
+    open.push(std::move(root));
+  }
+
+  std::vector<SearchCandidate> wave;
+  wave.reserve(spec.wave_size + segments);
+  while (!open.empty()) {
+    if (!state.node_budget_left() || !state.emulation_budget_left()) {
+      state.budget_exhausted = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    // The incumbent may have tightened since this node was pushed.
+    if (analysis::PruneOracle::prunable(node.bound, incumbent)) {
+      ++combo.bound_pruned;
+      const double leaves = feasible_completions(
+          n - node.depth, segments, node.empty_segments);
+      combo.leaves_pruned += leaves;
+      combo.covered += leaves;
+      continue;
+    }
+    ++combo.nodes_expanded;
+    ++state.nodes_total;
+
+    const std::uint32_t process = order[node.depth];
+    const std::uint64_t remaining = n - node.depth - 1;
+    for (std::uint32_t seg = 0; seg < segments; ++seg) {
+      Node child;
+      child.allocation = node.allocation;
+      child.allocation[process] = seg;
+      child.depth = node.depth + 1;
+      std::uint32_t empty = node.empty_segments;
+      bool fills = true;
+      for (std::size_t i = 0; i < n && fills; ++i) {
+        fills = child.allocation[i] != seg || i == process;
+      }
+      if (fills) --empty;
+      child.empty_segments = empty;
+      // Feasibility: the free processes must still be able to populate
+      // every empty segment. Infeasible assignments are outside the
+      // space, so skipping them is not a prune.
+      if (empty > remaining) continue;
+      child.bound = bound.lower_bound(child.allocation);
+      if (analysis::PruneOracle::prunable(child.bound, incumbent)) {
+        ++combo.bound_pruned;
+        const double leaves =
+            feasible_completions(remaining, segments, empty);
+        combo.leaves_pruned += leaves;
+        combo.covered += leaves;
+        continue;
+      }
+      if (child.depth == n) {
+        SearchCandidate candidate;
+        candidate.segments = segments;
+        candidate.package_size = combo.package_size;
+        candidate.allocation = std::move(child.allocation);
+        candidate.origin = "bnb";
+        wave.push_back(std::move(candidate));
+      } else {
+        open.push(std::move(child));
+      }
+    }
+    if (wave.size() >= spec.wave_size) {
+      SEGBUS_RETURN_IF_ERROR(
+          flush_wave(wave, state, combo, incumbent, WaveMode::kLeaf));
+    }
+  }
+  SEGBUS_RETURN_IF_ERROR(
+      flush_wave(wave, state, combo, incumbent, WaveMode::kLeaf));
+  combo.proven_optimal = !state.budget_exhausted;
+  return Status::ok();
+}
+
+/// Exhaustive enumeration in allocation-lexicographic order, same
+/// evaluator and accounting — the oracle the guided strategy must match.
+/// No bounds, no heuristics: every feasible allocation is scored.
+Status run_exhaustive_combo(const psdf::PsdfModel& app, RunState& state,
+                            ComboReport& combo) {
+  const SearchSpec& spec = *state.spec;
+  const std::size_t n = app.process_count();
+  const std::uint32_t segments = combo.segments;
+  Picoseconds incumbent{0};
+
+  if (combo.space > kExhaustiveGuard && spec.max_emulations == 0) {
+    return invalid_argument_error(str_format(
+        "exhaustive space for %u segments is %.0f candidates; set "
+        "max_emulations to cap the run (or use the guided strategy)",
+        segments, combo.space));
+  }
+
+  std::vector<std::uint32_t> digits(n, 0);
+  std::vector<SearchCandidate> wave;
+  wave.reserve(spec.wave_size);
+  bool done = false;
+  while (!done) {
+    if (!state.emulation_budget_left()) {
+      state.budget_exhausted = true;
+      break;
+    }
+    // Feasibility: every segment populated (the allocation is surjective).
+    std::uint32_t populated = 0;
+    {
+      std::vector<bool> seen(segments, false);
+      for (const std::uint32_t seg : digits) {
+        if (!seen[seg]) {
+          seen[seg] = true;
+          ++populated;
+        }
+      }
+    }
+    if (populated == segments) {
+      SearchCandidate candidate;
+      candidate.segments = segments;
+      candidate.package_size = combo.package_size;
+      candidate.allocation = digits;
+      candidate.origin = "exhaustive";
+      wave.push_back(std::move(candidate));
+      if (wave.size() >= spec.wave_size) {
+        SEGBUS_RETURN_IF_ERROR(flush_wave(wave, state, combo, incumbent,
+                                          WaveMode::kExhaustive));
+      }
+    }
+    // Odometer increment, most-significant digit first => allocations in
+    // ascending lexicographic (process-id) order.
+    done = true;
+    for (std::size_t i = n; i-- > 0;) {
+      if (++digits[i] < segments) {
+        done = false;
+        break;
+      }
+      digits[i] = 0;
+    }
+  }
+  SEGBUS_RETURN_IF_ERROR(
+      flush_wave(wave, state, combo, incumbent, WaveMode::kExhaustive));
+  combo.proven_optimal = !state.budget_exhausted;
+  return Status::ok();
+}
+
+}  // namespace
+
+const char* to_string(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kGuided:
+      return "guided";
+    case Strategy::kExhaustive:
+      return "exhaustive";
+  }
+  return "guided";
+}
+
+Result<Strategy> parse_strategy(std::string_view name) {
+  if (name == "guided") return Strategy::kGuided;
+  if (name == "exhaustive") return Strategy::kExhaustive;
+  return invalid_argument_error("unknown search strategy '" +
+                                std::string(name) +
+                                "' (expected guided|exhaustive)");
+}
+
+double feasible_space(std::uint32_t processes, std::uint32_t segments) {
+  if (segments == 0 || processes < segments) return 0.0;
+  return feasible_completions(processes, segments, segments);
+}
+
+Result<SearchReport> run_search(const psdf::PsdfModel& application,
+                                const SearchSpec& spec) {
+  const std::size_t n = application.process_count();
+  if (n == 0) {
+    return invalid_argument_error("cannot search an empty application");
+  }
+  if (spec.segment_counts.empty()) {
+    return invalid_argument_error("at least one segment count is required");
+  }
+  if (spec.segment_clocks.empty()) {
+    return invalid_argument_error("at least one segment clock is required");
+  }
+  for (const std::uint32_t segments : spec.segment_counts) {
+    if (segments == 0) {
+      return invalid_argument_error("segment counts must be positive");
+    }
+  }
+  SearchSpec cfg = spec;
+  cfg.wave_size = std::max<std::size_t>(cfg.wave_size, 1);
+  cfg.workers = std::max(cfg.workers, 1u);
+  std::vector<std::uint32_t> packages = cfg.package_sizes;
+  if (packages.empty()) packages.push_back(application.package_size());
+  for (const std::uint32_t package : packages) {
+    if (package == 0) {
+      return invalid_argument_error("package sizes must be positive");
+    }
+  }
+
+  // A dedicated server for the candidate fan-out. The evaluator dedups by
+  // fingerprint before submitting, so the result cache adds nothing — keep
+  // it minimal instead of re-hashing every wave into a dead LRU.
+  service::ServerConfig server_config;
+  server_config.workers = cfg.workers;
+  server_config.queue_depth =
+      std::max<std::size_t>(cfg.wave_size, cfg.workers);
+  server_config.cache_entries = 16;
+  server_config.max_ticks = cfg.max_ticks;
+  service::JobServer server(server_config);
+
+  EvaluatorContext context;
+  context.segment_clocks = cfg.segment_clocks;
+  context.ca_clock = cfg.ca_clock;
+  context.engine = cfg.engine;
+  context.reference_timing = cfg.reference_timing;
+  context.energy = cfg.energy;
+  SEGBUS_ASSIGN_OR_RETURN(
+      CandidateEvaluator evaluator,
+      CandidateEvaluator::create(server, application, std::move(context)));
+
+  const emu::TimingModel timing = cfg.reference_timing
+                                      ? emu::TimingModel::reference()
+                                      : emu::TimingModel::emulator();
+  const analysis::PruneOracle oracle(application, timing);
+  const psdf::CommMatrix matrix = psdf::CommMatrix::from_model(application);
+
+  SearchReport report;
+  report.strategy = cfg.strategy;
+  report.seed = cfg.seed;
+  report.engine = cfg.engine;
+  report.reference_timing = cfg.reference_timing;
+
+  RunState state;
+  state.evaluator = &evaluator;
+  state.oracle = &oracle;
+  state.report = &report;
+  state.spec = &cfg;
+
+  for (const std::uint32_t segments : cfg.segment_counts) {
+    for (const std::uint32_t package : packages) {
+      ComboReport combo;
+      combo.segments = segments;
+      combo.package_size = package;
+      if (n < segments) {
+        // No surjective placement exists: the combo's space is empty and
+        // therefore trivially proven.
+        combo.proven_optimal = true;
+        report.combos.push_back(std::move(combo));
+        continue;
+      }
+      combo.space = feasible_space(static_cast<std::uint32_t>(n), segments);
+      const std::uint64_t emulated_before = evaluator.emulated();
+      const std::uint64_t deduplicated_before = evaluator.deduplicated();
+      if (state.budget_exhausted) {
+        report.combos.push_back(std::move(combo));
+        continue;
+      }
+      if (segments == 1) {
+        // One feasible placement; strategy is irrelevant.
+        Picoseconds incumbent{0};
+        std::vector<SearchCandidate> wave(1);
+        wave[0].segments = segments;
+        wave[0].package_size = package;
+        wave[0].allocation.assign(n, 0);
+        wave[0].origin = "exhaustive";
+        SEGBUS_RETURN_IF_ERROR(flush_wave(wave, state, combo, incumbent,
+                                          WaveMode::kExhaustive));
+        combo.proven_optimal = true;
+      } else if (cfg.strategy == Strategy::kGuided) {
+        SEGBUS_RETURN_IF_ERROR(
+            run_guided_combo(application, matrix, state, combo));
+      } else {
+        SEGBUS_RETURN_IF_ERROR(
+            run_exhaustive_combo(application, state, combo));
+      }
+      combo.emulated = evaluator.emulated() - emulated_before;
+      combo.deduplicated = evaluator.deduplicated() - deduplicated_before;
+      report.combos.push_back(std::move(combo));
+    }
+  }
+
+  report.emulated = evaluator.emulated();
+  report.deduplicated = evaluator.deduplicated();
+  report.nodes_expanded = state.nodes_total;
+  report.proven_optimal = true;
+  std::uint64_t bound_pruned = 0;
+  std::uint64_t oracle_pruned = 0;
+  for (const ComboReport& combo : report.combos) {
+    report.space_total += combo.space;
+    bound_pruned += combo.bound_pruned;
+    oracle_pruned += combo.oracle_pruned;
+    report.proven_optimal = report.proven_optimal && combo.proven_optimal;
+  }
+
+  if (cfg.metrics != nullptr) {
+    auto count = [&cfg](std::string_view outcome, std::uint64_t value) {
+      cfg.metrics
+          ->counter("segbus_search_candidates_total",
+                    {{"outcome", std::string(outcome)}},
+                    "guided-search candidates by outcome")
+          .inc(value);
+    };
+    count("emulated", report.emulated);
+    count("deduplicated", report.deduplicated);
+    count("bound_pruned", bound_pruned);
+    count("oracle_pruned", oracle_pruned);
+    cfg.metrics
+        ->counter("segbus_search_nodes_total", {},
+                  "branch-and-bound nodes expanded")
+        .inc(report.nodes_expanded);
+    cfg.metrics
+        ->gauge("segbus_search_front_size", {},
+                "Pareto-front size of the last search")
+        .set(static_cast<double>(report.front.size()));
+  }
+  return report;
+}
+
+namespace {
+
+JsonValue measured_to_json(const MeasuredCandidate& measured) {
+  JsonValue item = JsonValue::object();
+  item.set("label", JsonValue::string(measured.label));
+  item.set("digest", JsonValue::string(measured.digest));
+  item.set("segments",
+           JsonValue::unsigned_integer(measured.candidate.segments));
+  item.set("package_size",
+           JsonValue::unsigned_integer(measured.candidate.package_size));
+  JsonValue allocation = JsonValue::array();
+  for (const std::uint32_t seg : measured.candidate.allocation) {
+    allocation.push(JsonValue::unsigned_integer(seg));
+  }
+  item.set("allocation", std::move(allocation));
+  item.set("origin", JsonValue::string(measured.candidate.origin));
+  item.set("execution_time_ps",
+           JsonValue::integer(measured.objectives.execution_time.count()));
+  item.set("bu_transfers",
+           JsonValue::unsigned_integer(measured.objectives.bu_transfers));
+  item.set("energy_pj", JsonValue::number(measured.objectives.energy_pj));
+  return item;
+}
+
+}  // namespace
+
+JsonValue search_to_json(const SearchReport& report) {
+  JsonValue root = JsonValue::object();
+  root.set("schema", JsonValue::string("segbus-search/1"));
+  root.set("strategy", JsonValue::string(to_string(report.strategy)));
+  root.set("seed", JsonValue::unsigned_integer(report.seed));
+  root.set("engine", JsonValue::string(report.engine));
+  root.set("reference_timing", JsonValue::boolean(report.reference_timing));
+
+  JsonValue combos = JsonValue::array();
+  for (const ComboReport& combo : report.combos) {
+    JsonValue item = JsonValue::object();
+    item.set("segments", JsonValue::unsigned_integer(combo.segments));
+    item.set("package_size",
+             JsonValue::unsigned_integer(combo.package_size));
+    item.set("space", JsonValue::number(combo.space));
+    item.set("nodes_expanded",
+             JsonValue::unsigned_integer(combo.nodes_expanded));
+    item.set("bound_pruned", JsonValue::unsigned_integer(combo.bound_pruned));
+    item.set("leaves_pruned", JsonValue::number(combo.leaves_pruned));
+    item.set("oracle_pruned",
+             JsonValue::unsigned_integer(combo.oracle_pruned));
+    item.set("emulated", JsonValue::unsigned_integer(combo.emulated));
+    item.set("deduplicated",
+             JsonValue::unsigned_integer(combo.deduplicated));
+    item.set("covered", JsonValue::number(combo.covered));
+    item.set("proven_optimal", JsonValue::boolean(combo.proven_optimal));
+    item.set("best", combo.has_best ? measured_to_json(combo.best)
+                                    : JsonValue::null());
+    combos.push(std::move(item));
+  }
+  root.set("combos", std::move(combos));
+  root.set("front", report.front.to_json());
+  root.set("winner", report.has_winner ? measured_to_json(report.winner)
+                                       : JsonValue::null());
+
+  JsonValue totals = JsonValue::object();
+  totals.set("space", JsonValue::number(report.space_total));
+  totals.set("emulated", JsonValue::unsigned_integer(report.emulated));
+  totals.set("deduplicated",
+             JsonValue::unsigned_integer(report.deduplicated));
+  totals.set("nodes_expanded",
+             JsonValue::unsigned_integer(report.nodes_expanded));
+  totals.set("emulated_fraction",
+             JsonValue::number(report.emulated_fraction()));
+  root.set("totals", std::move(totals));
+  root.set("proven_optimal", JsonValue::boolean(report.proven_optimal));
+  return root;
+}
+
+std::string SearchReport::render() const {
+  std::string out = str_format(
+      "Design-space search (%s, seed %llu, engine %s%s)\n",
+      search::to_string(strategy), static_cast<unsigned long long>(seed),
+      engine.c_str(), reference_timing ? ", reference timing" : "");
+  out += str_format(
+      "  space %.0f candidates | emulated %llu (%.2f%%) | deduplicated "
+      "%llu | nodes %llu\n",
+      space_total, static_cast<unsigned long long>(emulated),
+      100.0 * emulated_fraction(),
+      static_cast<unsigned long long>(deduplicated),
+      static_cast<unsigned long long>(nodes_expanded));
+  for (const ComboReport& combo : combos) {
+    out += str_format(
+        "  s%u/p%u: space %.0f, emulated %llu, pruned %.0f leaves "
+        "(%llu bound + %llu oracle cuts)%s",
+        combo.segments, combo.package_size, combo.space,
+        static_cast<unsigned long long>(combo.emulated),
+        combo.leaves_pruned + static_cast<double>(combo.oracle_pruned),
+        static_cast<unsigned long long>(combo.bound_pruned),
+        static_cast<unsigned long long>(combo.oracle_pruned),
+        combo.proven_optimal ? "" : " [budget exhausted]");
+    if (combo.has_best) {
+      out += str_format(" -> best %s: %lld ps", combo.best.label.c_str(),
+                        static_cast<long long>(
+                            combo.best.objectives.execution_time.count()));
+    }
+    out += '\n';
+  }
+  if (has_winner) {
+    out += str_format(
+        "  winner %s: %lld ps, %llu BU transfers, %.1f pJ%s\n",
+        winner.label.c_str(),
+        static_cast<long long>(winner.objectives.execution_time.count()),
+        static_cast<unsigned long long>(winner.objectives.bu_transfers),
+        winner.objectives.energy_pj,
+        proven_optimal ? " (proven optimal)" : "");
+  }
+  out += str_format("  Pareto front: %zu point%s\n", front.size(),
+                    front.size() == 1 ? "" : "s");
+  return out;
+}
+
+}  // namespace segbus::search

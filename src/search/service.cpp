@@ -1,0 +1,118 @@
+#include "search/service.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "psdf/psdf_xml.hpp"
+#include "search/search.hpp"
+#include "support/strings.hpp"
+#include "xml/parser.hpp"
+
+namespace segbus::search {
+
+namespace {
+
+/// Parses a comma-separated list of positive integers ("2,3" -> {2, 3}).
+Result<std::vector<std::uint32_t>> parse_u32_list(std::string_view text,
+                                                  std::string_view what) {
+  std::vector<std::uint32_t> values;
+  for (const std::string_view item : split_skip_empty(text, ',')) {
+    const std::optional<std::uint64_t> value = parse_uint(item);
+    if (!value.has_value() || *value == 0 || *value > 0xFFFFFFFFull) {
+      return invalid_argument_error("invalid " + std::string(what) +
+                                    " list entry '" + std::string(item) +
+                                    "'");
+    }
+    values.push_back(static_cast<std::uint32_t>(*value));
+  }
+  if (values.empty()) {
+    return invalid_argument_error("empty " + std::string(what) + " list");
+  }
+  return values;
+}
+
+Result<service::JobResponse> run_search_request(
+    const service::JobRequest& request, service::JobServer& server,
+    obs::Span& span) {
+  SEGBUS_ASSIGN_OR_RETURN(xml::Document psdf_doc,
+                          xml::parse_document(request.psdf_xml));
+  SEGBUS_ASSIGN_OR_RETURN(psdf::PsdfModel application,
+                          psdf::from_xml(psdf_doc));
+
+  const service::SearchParams& params = request.search;
+  SearchSpec spec;
+  SEGBUS_ASSIGN_OR_RETURN(spec.segment_counts,
+                          parse_u32_list(params.segments, "segments"));
+  if (!params.packages.empty()) {
+    SEGBUS_ASSIGN_OR_RETURN(spec.package_sizes,
+                            parse_u32_list(params.packages, "packages"));
+  } else if (request.package_size != 0) {
+    spec.package_sizes.push_back(request.package_size);
+  }
+  SEGBUS_ASSIGN_OR_RETURN(spec.strategy, parse_strategy(params.strategy));
+  spec.seed = params.seed;
+  spec.max_emulations = params.max_emulations;
+  spec.max_nodes = params.max_nodes;
+  spec.beam_width = params.beam_width;
+  spec.anneal_restarts = params.anneal_restarts;
+  spec.anneal_iterations = params.anneal_iterations;
+  spec.reference_timing = request.reference_timing;
+  if (!request.engine.empty()) spec.engine = request.engine;
+  // Mirror submit semantics: a request may lower the tick budget, never
+  // raise it past the serving configuration.
+  spec.max_ticks = server.config().max_ticks;
+  if (request.max_ticks != 0) {
+    spec.max_ticks = std::min(spec.max_ticks, request.max_ticks);
+  }
+  spec.workers = std::max(1u, server.config().workers);
+
+  obs::Span run_span = span.child("search/run");
+  SEGBUS_ASSIGN_OR_RETURN(SearchReport report,
+                          run_search(application, spec));
+  run_span.set_attribute("emulated", report.emulated);
+  run_span.set_attribute("nodes", report.nodes_expanded);
+  run_span.set_attribute("front", static_cast<std::uint64_t>(
+                                      report.front.size()));
+
+  // Surface search efficiency on the *serving* server's counters (the
+  // inner fan-out server dies with this request).
+  std::uint64_t bound_pruned = 0;
+  std::uint64_t oracle_pruned = 0;
+  for (const ComboReport& combo : report.combos) {
+    bound_pruned += combo.bound_pruned;
+    oracle_pruned += combo.oracle_pruned;
+  }
+  server.count_search("emulated", report.emulated);
+  server.count_search("deduplicated", report.deduplicated);
+  server.count_search("bound_pruned", bound_pruned);
+  server.count_search("oracle_pruned", oracle_pruned);
+
+  service::JobResponse response;
+  response.id = request.id;
+  response.ok = true;
+  response.report_json = search_to_json(report).to_string();
+  if (report.has_winner) {
+    response.execution_time = report.winner.objectives.execution_time;
+    response.digest = report.winner.digest;
+  }
+  return response;
+}
+
+}  // namespace
+
+service::JobResponse service_search_handler(
+    const service::JobRequest& request, service::JobServer& server,
+    obs::Span& span) {
+  Result<service::JobResponse> result =
+      run_search_request(request, server, span);
+  if (result.is_ok()) return std::move(result).value();
+  const Status& status = result.status();
+  const std::string code =
+      status.code() == StatusCode::kInvalidArgument ? "validation"
+                                                    : "internal";
+  return service::JobResponse::failure(request.id, code,
+                                       std::string(status.message()));
+}
+
+}  // namespace segbus::search

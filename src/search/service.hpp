@@ -1,0 +1,26 @@
+// The `"search"` wire-request handler.
+//
+// The search subsystem orchestrates waves of jobs *through* a
+// service::JobServer, so the service layer cannot link against it without
+// a cycle; instead ServerConfig carries a search_handler hook and
+// embedding binaries (tools/service_common.hpp) install this function.
+// The handler runs on the serving worker thread, spins up its own inner
+// JobServer for the candidate fan-out (sized from the serving config),
+// and reports candidate outcomes into the serving server's
+// segbus_search_candidates_total counters.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace segbus::search {
+
+/// Runs a guided (or exhaustive) search described by `request.search` and
+/// answers with the deterministic search report JSON; `execution_time`
+/// and `digest` echo the winner. Install as ServerConfig::search_handler.
+service::JobResponse service_search_handler(
+    const service::JobRequest& request, service::JobServer& server,
+    obs::Span& span);
+
+}  // namespace segbus::search

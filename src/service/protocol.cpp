@@ -42,6 +42,27 @@ std::string encode_request(const JobRequest& request) {
     doc.set("trace_id", JsonValue::string(request.trace_id));
   }
   if (request.trace) doc.set("trace", JsonValue::boolean(true));
+  if (request.kind == "search") {
+    const SearchParams& search = request.search;
+    doc.set("segments", JsonValue::string(search.segments));
+    if (!search.packages.empty()) {
+      doc.set("packages", JsonValue::string(search.packages));
+    }
+    doc.set("strategy", JsonValue::string(search.strategy));
+    doc.set("seed", JsonValue::unsigned_integer(search.seed));
+    if (search.max_emulations != 0) {
+      doc.set("max_emulations",
+              JsonValue::unsigned_integer(search.max_emulations));
+    }
+    if (search.max_nodes != 0) {
+      doc.set("max_nodes", JsonValue::unsigned_integer(search.max_nodes));
+    }
+    doc.set("beam_width", JsonValue::unsigned_integer(search.beam_width));
+    doc.set("anneal_restarts",
+            JsonValue::unsigned_integer(search.anneal_restarts));
+    doc.set("anneal_iterations",
+            JsonValue::unsigned_integer(search.anneal_iterations));
+  }
   return doc.to_string();
 }
 
@@ -55,7 +76,7 @@ Result<JobRequest> parse_request(std::string_view line) {
   const std::string& kind = doc.get("kind").as_string();
   if (!kind.empty()) request.kind = kind;
   if (request.kind != "submit" && request.kind != "stats" &&
-      request.kind != "ping") {
+      request.kind != "ping" && request.kind != "search") {
     return invalid_argument_error("unknown request kind '" + request.kind +
                                   "'");
   }
@@ -65,13 +86,39 @@ Result<JobRequest> parse_request(std::string_view line) {
       static_cast<std::uint32_t>(doc.get("package_size").as_uint64());
   request.reference_timing = doc.get("reference").as_bool();
   request.engine = doc.get("engine").as_string();
-  // Legacy clients send a boolean instead of the engine name.
-  if (request.engine.empty() && doc.get("parallel").as_bool()) {
-    request.engine = "parallel";
-  }
+  // The pre-engine boolean alias ({"parallel": true} meaning
+  // "engine":"parallel") was removed after its deprecation release; the
+  // server answers such requests with a validation diagnostic instead of
+  // silently guessing (see JobServer::run_submit).
+  request.legacy_parallel = doc.find("parallel") != nullptr;
   request.max_ticks = doc.get("max_ticks").as_uint64();
   request.trace_id = doc.get("trace_id").as_string();
   request.trace = doc.get("trace").as_bool();
+  if (request.kind == "search") {
+    SearchParams& search = request.search;
+    if (const JsonValue* v = doc.find("segments")) {
+      search.segments = v->as_string();
+    }
+    search.packages = doc.get("packages").as_string();
+    if (const JsonValue* v = doc.find("strategy")) {
+      search.strategy = v->as_string();
+    }
+    if (const JsonValue* v = doc.find("seed")) search.seed = v->as_uint64();
+    search.max_emulations = doc.get("max_emulations").as_uint64();
+    search.max_nodes = doc.get("max_nodes").as_uint64();
+    if (const JsonValue* v = doc.find("beam_width")) {
+      search.beam_width = static_cast<std::uint32_t>(v->as_uint64());
+    }
+    if (const JsonValue* v = doc.find("anneal_restarts")) {
+      search.anneal_restarts = static_cast<std::uint32_t>(v->as_uint64());
+    }
+    if (const JsonValue* v = doc.find("anneal_iterations")) {
+      search.anneal_iterations = v->as_uint64();
+    }
+    if (request.psdf_xml.empty()) {
+      return invalid_argument_error("search requests need psdf_xml");
+    }
+  }
   if (request.kind == "submit" &&
       (request.psdf_xml.empty() || request.psm_xml.empty())) {
     return invalid_argument_error(

@@ -8,6 +8,8 @@
 //    "reference":false,"engine":"fast","max_ticks":0}
 //   {"id":"s1","kind":"stats"}        server counters snapshot
 //   {"id":"p1","kind":"ping"}         liveness probe
+//   {"id":"q1","kind":"search","psdf_xml":"<...>","segments":"2,3",
+//    "packages":"36,18","strategy":"guided","seed":1}   guided search
 //
 // Response:
 //   {"id":"j1","ok":true,"cache_hit":false,"digest":"<sha256>",
@@ -33,21 +35,41 @@
 
 namespace segbus::service {
 
+/// Parameters of a `"search"` request (kind == "search") — a guided
+/// design-space search over placements, platform sizes and package sizes
+/// (see docs/SEARCH.md). List-valued fields are comma-separated strings.
+struct SearchParams {
+  std::string segments = "1,2,3";   ///< platform sizes to explore
+  std::string packages;             ///< package sizes ("" = the scheme's)
+  std::string strategy = "guided";  ///< "guided" | "exhaustive"
+  std::uint64_t seed = 1;            ///< heuristic substream seed
+  std::uint64_t max_emulations = 0;  ///< engine-run budget (0 = unlimited)
+  std::uint64_t max_nodes = 0;       ///< node-expansion budget (0 = unlimited)
+  std::uint32_t beam_width = 8;
+  std::uint32_t anneal_restarts = 4;
+  std::uint64_t anneal_iterations = 20000;
+};
+
 /// One estimation job (or control request) as submitted by a client.
 struct JobRequest {
   std::string id;            ///< client correlation id, echoed back
-  std::string kind = "submit";  ///< "submit" | "stats" | "ping"
+  std::string kind = "submit";  ///< "submit" | "stats" | "ping" | "search"
   std::string psdf_xml;      ///< PSDF scheme document
   std::string psm_xml;       ///< PSM scheme document
   std::uint32_t package_size = 0;  ///< nonzero overrides both documents
   bool reference_timing = false;   ///< reference instead of emulator preset
   /// Engine backend: "reference" | "parallel" | "fast" ("" = server
-  /// default). The legacy boolean `"parallel": true` is still accepted on
-  /// the wire as an alias for "engine":"parallel".
+  /// default). The pre-engine boolean `"parallel": true` alias was
+  /// removed; requests still sending it are rejected (legacy_parallel).
   std::string engine;
   std::uint64_t max_ticks = 0;     ///< per-job tick budget (0 = server default)
   std::string trace_id;  ///< 32-hex trace id to propagate ("" = server picks)
   bool trace = false;    ///< force-sample and return the span tree
+  SearchParams search;   ///< meaningful when kind == "search"
+  /// True when the request line carried the removed legacy "parallel"
+  /// key; the server answers a "validation" diagnostic pointing at the
+  /// "engine" field instead of running the job.
+  bool legacy_parallel = false;
 
   // Not on the wire — filled by the transport for the server's spans.
   std::string peer;      ///< client address ("pipe" for in-process calls)

@@ -45,6 +45,11 @@ constexpr const char* kOutcomes[] = {
 constexpr const char* kPhases[] = {"parse",     "queue-wait", "cache-lookup",
                                    "analyze",   "emulation",  "serialize"};
 
+/// The guided-search candidate outcomes stats_json reports (count_search
+/// records; the search handler feeds them).
+constexpr const char* kSearchOutcomes[] = {"emulated", "deduplicated",
+                                           "bound_pruned", "oracle_pruned"};
+
 obs::Tracer::Config tracer_config(const ServerConfig& config) {
   obs::Tracer::Config out;
   out.sample_ratio = config.trace_sample_ratio;
@@ -104,6 +109,16 @@ void JobServer::count_rejected_request() {
       .inc();
 }
 
+void JobServer::count_search(std::string_view outcome, std::uint64_t delta) {
+  if (delta == 0) return;
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_
+      .counter("segbus_search_candidates_total",
+               {{"outcome", std::string(outcome)}},
+               "guided-search candidates by evaluation outcome")
+      .inc(delta);
+}
+
 void JobServer::observe_phase(std::string_view phase, double ms) {
   std::lock_guard<std::mutex> lock(metrics_mutex_);
   metrics_
@@ -115,6 +130,10 @@ void JobServer::observe_phase(std::string_view phase, double ms) {
 }
 
 JobResponse JobServer::submit(JobRequest request) {
+  return submit_async(std::move(request)).get();
+}
+
+std::future<JobResponse> JobServer::submit_async(JobRequest request) {
   std::string id = request.id;
   auto job = std::make_shared<Job>();
   job->request = std::move(request);
@@ -124,20 +143,22 @@ JobResponse JobServer::submit(JobRequest request) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_ || draining_) {
       count_outcome("rejected_draining");
-      return JobResponse::failure(
+      job->promise.set_value(JobResponse::failure(
           std::move(id), "draining",
-          "server is draining and not accepting new jobs");
+          "server is draining and not accepting new jobs"));
+      return done;
     }
     if (queue_.size() >= config_.queue_depth) {
       count_outcome("rejected_backpressure");
-      return JobResponse::failure(
+      job->promise.set_value(JobResponse::failure(
           std::move(id), "backpressure",
-          str_format("job queue is full (depth %zu)", config_.queue_depth));
+          str_format("job queue is full (depth %zu)", config_.queue_depth)));
+      return done;
     }
     queue_.push_back(std::move(job));
   }
   queue_cv_.notify_one();
-  return done.get();
+  return done;
 }
 
 void JobServer::worker_loop() {
@@ -243,6 +264,27 @@ JobResponse JobServer::process(const JobRequest& request,
     response.id = request.id;
     response.ok = true;
     response.report_json = stats_json().to_string();
+    return response;
+  }
+  if (request.legacy_parallel) {
+    // The {"parallel": true} alias had its deprecation release (the
+    // "engine" field shipped alongside it); silently honoring *or*
+    // ignoring it now would mask a stale client, so reject loudly.
+    count_outcome("failed");
+    return JobResponse::failure(
+        request.id, "validation",
+        "the legacy \"parallel\" field was removed; select the backend "
+        "with \"engine\":\"parallel\" instead");
+  }
+  if (request.kind == "search") {
+    if (!config_.search_handler) {
+      count_outcome("failed");
+      return JobResponse::failure(
+          request.id, "validation",
+          "this server has no search handler installed");
+    }
+    JobResponse response = config_.search_handler(request, *this, job_span);
+    count_outcome(response.ok ? "completed" : "failed");
     return response;
   }
   return run_submit(request, job_span);
@@ -472,6 +514,19 @@ JsonValue JobServer::stats_json() const {
     }
   }
   doc.set("phases", std::move(phases));
+
+  JsonValue search = JsonValue::object();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const char* outcome : kSearchOutcomes) {
+      const obs::Metric* metric = metrics_.find(
+          "segbus_search_candidates_total", {{"outcome", outcome}});
+      search.set(outcome,
+                 JsonValue::unsigned_integer(
+                     metric == nullptr ? 0 : metric->counter_value));
+    }
+  }
+  doc.set("search", std::move(search));
 
   JsonValue trace = JsonValue::object();
   trace.set("sample_ratio", JsonValue::number(config_.trace_sample_ratio));

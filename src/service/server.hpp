@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +45,8 @@
 #include "support/status.hpp"
 
 namespace segbus::service {
+
+class JobServer;
 
 /// Worker-pool / queue / cache sizing and job budgets.
 struct ServerConfig {
@@ -82,6 +85,14 @@ struct ServerConfig {
   /// Directory for tick-limit flight dumps ("" = no dump on tick-limit);
   /// files are named flightrec-<trace_id>.jsonl.
   std::string flight_recorder_dir;
+  /// Handler for `"search"` requests. The guided-search subsystem
+  /// (src/search) sits *above* the service layer — it fans its candidate
+  /// waves out through a JobServer — so the dependency cannot point the
+  /// other way; embedding binaries install search::service_search_handler
+  /// here (see tools/service_common.hpp). Unset, "search" requests fail
+  /// with a "validation" diagnostic.
+  std::function<JobResponse(const JobRequest&, JobServer&, obs::Span&)>
+      search_handler;
 };
 
 /// The in-process job server. Thread-safe; submit() may be called from any
@@ -100,6 +111,13 @@ class JobServer {
   /// draining ("draining").
   JobResponse submit(JobRequest request);
 
+  /// Enqueues without blocking and returns the response future; rejections
+  /// ("backpressure"/"draining") resolve the future immediately. The
+  /// search subsystem fans whole candidate waves out through this and
+  /// collects them in submission order, so results stay deterministic
+  /// regardless of worker count.
+  std::future<JobResponse> submit_async(JobRequest request);
+
   /// Starts a graceful drain: new submissions are rejected, queued and
   /// in-flight jobs keep running. Idempotent.
   void begin_drain();
@@ -117,6 +135,12 @@ class JobServer {
   /// Counts one transport-level rejection (malformed request line) into
   /// segbus_service_requests_rejected_total.
   void count_rejected_request();
+
+  /// Accumulates guided-search candidate counters (outcome = "emulated" |
+  /// "deduplicated" | "bound_pruned" | "oracle_pruned") into
+  /// segbus_search_candidates_total; surfaced by stats_json() and the
+  /// Prometheus snapshot. Called by the installed search handler.
+  void count_search(std::string_view outcome, std::uint64_t delta = 1);
 
   /// Point-in-time counters: jobs by outcome, queue depth, latency
   /// quantiles, cache stats.

@@ -151,21 +151,34 @@ TEST(Protocol, ResponseRoundTripPreservesReportBytes) {
   EXPECT_EQ(parsed->execution_time.count(), 489792303);
 }
 
-TEST(Protocol, LegacyParallelFieldMapsToTheEngineSelector) {
-  // Pre-engine clients sent {"parallel": true}; it must keep selecting
-  // the parallel backend for one release.
+TEST(Protocol, LegacyParallelFieldIsFlaggedForRejection) {
+  // Pre-engine clients sent {"parallel": true}. The alias is gone: the
+  // parser still accepts the document (so the server can answer with a
+  // diagnostic instead of a parse error) but records the violation
+  // instead of selecting a backend.
   auto parsed = service::parse_request(
       "{\"id\":\"x\",\"kind\":\"submit\",\"psdf_xml\":\"<a/>\","
       "\"psm_xml\":\"<b/>\",\"parallel\":true}");
   ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
-  EXPECT_EQ(parsed->engine, "parallel");
+  EXPECT_TRUE(parsed->legacy_parallel);
+  EXPECT_EQ(parsed->engine, "");
 
-  // An explicit engine wins over the legacy flag.
+  // Even alongside an explicit engine the stale key is still flagged —
+  // the client must drop it, not rely on precedence.
   auto both = service::parse_request(
       "{\"id\":\"x\",\"kind\":\"submit\",\"psdf_xml\":\"<a/>\","
       "\"psm_xml\":\"<b/>\",\"parallel\":true,\"engine\":\"fast\"}");
   ASSERT_TRUE(both.is_ok());
+  EXPECT_TRUE(both->legacy_parallel);
   EXPECT_EQ(both->engine, "fast");
+
+  // {"parallel": false} is equally stale; the field itself is what the
+  // server diagnoses.
+  auto off = service::parse_request(
+      "{\"id\":\"x\",\"kind\":\"submit\",\"psdf_xml\":\"<a/>\","
+      "\"psm_xml\":\"<b/>\",\"parallel\":false}");
+  ASSERT_TRUE(off.is_ok());
+  EXPECT_TRUE(off->legacy_parallel);
 }
 
 TEST(Protocol, MalformedRequestsAreRejected) {
@@ -299,6 +312,18 @@ TEST(JobServer, FastEngineRunsProduceTheReferenceReport) {
   service::JobResponse response = server.submit(std::move(request));
   ASSERT_TRUE(response.ok) << response.error_message;
   EXPECT_EQ(response.report_json, direct_report(3));
+}
+
+TEST(JobServer, LegacyParallelRequestsAreRejectedWithGuidance) {
+  service::JobServer server(make_config(1));
+  service::JobRequest request = submit_request(mp3_scheme(2), "stale");
+  request.legacy_parallel = true;
+  service::JobResponse response = server.submit(std::move(request));
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.error_code, "validation");
+  // The diagnostic must point the stale client at the replacement field.
+  EXPECT_NE(response.error_message.find("\"engine\""), std::string::npos)
+      << response.error_message;
 }
 
 TEST(JobServer, UnknownEngineIsRejectedBeforeRunning) {

@@ -26,6 +26,7 @@
 //            [--seed K] [--iterations I] search a device allocation
 //   explore  <psdf.xml> [--segments 1,2,3] [--package S] [--seed K]
 //            [--iterations I] [--candidates N] [--prune] [--json]
+//            [--metrics-out FILE]
 //                                       rank annealed configurations;
 //                                       --candidates anneals N placements
 //                                       per segment count (seeds K..K+N-1),
@@ -35,6 +36,21 @@
 //                                       see docs/ANALYSIS.md)
 //   analyze  <psdf.xml> <psm.xml> [--package S] closed-form bounds &
 //            per-stage breakdown without emulating
+//   search   <psdf.xml> | --app mp3|jpeg|h263 | --synthetic N
+//            [--segments 1,2,3] [--packages 36,18] [--strategy
+//            guided|exhaustive] [--seed K] [--budget N] [--nodes N]
+//            [--beam W] [--restarts R] [--iterations I] [--wave W]
+//            [--workers N] [--engine E] [--reference] [--json]
+//            [--metrics-out FILE] [--socket PATH | --tcp-port N]
+//                                       guided design-space search:
+//                                       branch-and-bound over placements
+//                                       with admissible v2 bounds, seeded
+//                                       by annealing + beam heuristics,
+//                                       reported as a Pareto front over
+//                                       time/BU traffic/energy (see
+//                                       docs/SEARCH.md); with --socket or
+//                                       --tcp-port the search runs on a
+//                                       server as a "search" wire request
 //   serve    [--socket PATH] [--tcp [--port N]] [--workers N] [--queue N]
 //            [--cache-entries N] [--cache-bytes N] [--max-ticks N]
 //            [--deadline-ms N] [--metrics-out FILE]
@@ -85,6 +101,7 @@
 
 #include "fuzz_common.hpp"
 #include "lint_common.hpp"
+#include "search_common.hpp"
 #include "service_common.hpp"
 
 using namespace segbus;
@@ -100,7 +117,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: segbus_cli "
                "<validate|check|matrix|generate|emulate|place|explore|"
-               "analyze|serve|submit|stats|fuzz> "
+               "search|analyze|serve|submit|stats|fuzz> "
                "...\n       segbus_cli --version\n"
                "(see the header comment of tools/segbus_cli.cpp)\n");
   return 1;
@@ -381,6 +398,9 @@ int cmd_explore(const CommandLine& cli) {
   }
   core::ExploreOptions options;
   options.prune = cli.bool_flag_or("prune", false);
+  obs::MetricsRegistry metrics;
+  const std::string metrics_out = cli.flag_or("metrics-out", "");
+  if (!metrics_out.empty()) options.metrics = &metrics;
   auto report = core::explore(*app, std::move(candidates), options);
   if (!report.is_ok()) return fail(report.status());
   if (cli.bool_flag_or("json", false)) {
@@ -388,6 +408,12 @@ int cmd_explore(const CommandLine& cli) {
                 core::exploration_to_json(*report).to_string(true).c_str());
   } else {
     std::printf("%s", report->render().c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out, std::ios::binary);
+    out << obs::to_prometheus(metrics);
+    if (!out) return fail(internal_error("cannot write " + metrics_out));
+    std::fprintf(stderr, "metrics written to %s\n", metrics_out.c_str());
   }
   return 0;
 }
@@ -448,6 +474,7 @@ int main(int argc, char** argv) {
   if (command == "emulate") return cmd_emulate(*cli);
   if (command == "place") return cmd_place(*cli);
   if (command == "explore") return cmd_explore(*cli);
+  if (command == "search") return tools::run_search_cmd(*cli);
   if (command == "analyze") return cmd_analyze(*cli);
   if (command == "serve") return tools::run_serve(*cli);
   if (command == "submit") return tools::run_submit(*cli);

@@ -30,6 +30,7 @@
 #include "emu/backend.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
+#include "search/service.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 #include "support/build_info.hpp"
@@ -109,6 +110,9 @@ inline int run_serve(const CommandLine& cli) {
   config.trace_sample_ratio = cli.double_flag_or("trace-sample", 0.0);
   config.flight_recorder = cli.bool_flag_or("flight-recorder", false);
   config.flight_recorder_dir = cli.flag_or("flight-dir", ".");
+  // The search subsystem sits above the service layer; the hook breaks
+  // the dependency cycle (see ServerConfig::search_handler).
+  config.search_handler = search::service_search_handler;
   if (auto engine = cli.flag("engine")) {
     auto backend = emu::parse_engine_backend(*engine);
     if (!backend) {
@@ -395,6 +399,18 @@ inline int run_stats(const CommandLine& cli) {
                   static_cast<unsigned long long>(
                       count != nullptr ? count->as_uint64() : 0));
     }
+  }
+  if (const JsonValue* search = doc->find("search");
+      search != nullptr && search->is_object()) {
+    std::printf("search   %llu emulated, %llu deduplicated, %llu "
+                "bound-pruned, %llu oracle-pruned\n",
+                static_cast<unsigned long long>(u64("search", "emulated")),
+                static_cast<unsigned long long>(
+                    u64("search", "deduplicated")),
+                static_cast<unsigned long long>(
+                    u64("search", "bound_pruned")),
+                static_cast<unsigned long long>(
+                    u64("search", "oracle_pruned")));
   }
   std::printf("trace    sample ratio %.3f, %llu dropped spans, flight "
               "recorder %s\n",
