@@ -1,0 +1,314 @@
+// EX9 — stochastic-workload estimation costs (docs/WORKLOADS.md). Four
+// measurements:
+//
+//   1. replication throughput — a fixed 32-replication MP3 estimate
+//      through the job server at 1/2/4/8 workers; the reports must be
+//      byte-identical (the estimator's determinism contract), and the
+//      interesting numbers are replications/s and the pool speedup;
+//   2. half-width convergence — the heavy-tailed Pareto estimate at
+//      N = 8..128 replications: how fast the relative half-width
+//      shrinks, and where the CI starts bracketing the mean-valued
+//      model (the 1/sqrt(N) law made concrete);
+//   3. multi-mode chaining overhead — a 16-entry single-mode schedule
+//      against 16 standalone sessions of the same scheme: the per-mode
+//      cost of extraction, platform pruning and session re-analysis
+//      (the totals must agree exactly — chaining is exact);
+//   4. Schwambach-style speedup bounds — the multi-segment scaling
+//      study under workload jitter: per segment count the mean TCT
+//      with its CI, and the speedup over the 1-segment baseline as an
+//      interval (lower = ci_low(1)/ci_high(n), upper =
+//      ci_high(1)/ci_low(n)) instead of a bare point estimate.
+//
+// `--json` emits the rows committed as BENCH_stoch.json; `--quick`
+// caps the convergence sweep at 32 replications.
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "psdf/modes.hpp"
+#include "service/server.hpp"
+#include "stoch/estimator.hpp"
+#include "stoch/multimode.hpp"
+
+using namespace segbus;
+
+namespace {
+
+struct Timed {
+  stoch::Estimate estimate;
+  double ms = 0.0;
+};
+
+Timed run_estimate(const psdf::PsdfModel& app,
+                   const platform::PlatformModel& psm,
+                   const stoch::EstimatorOptions& options,
+                   unsigned workers) {
+  service::ServerConfig config;
+  config.workers = workers;
+  config.queue_depth =
+      std::max<std::size_t>(16, options.max_replications);
+  service::JobServer pool(config);
+  stoch::Estimator estimator(pool);
+  const auto start = std::chrono::steady_clock::now();
+  Timed timed;
+  timed.estimate = bench::unwrap(estimator.run(app, psm, options));
+  timed.ms = std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - start)
+                 .count();
+  return timed;
+}
+
+stoch::Distribution dist(const std::string& spec) {
+  return bench::unwrap(stoch::Distribution::parse(spec));
+}
+
+platform::PlatformModel mp3_psm(const psdf::PsdfModel& app,
+                                std::uint32_t segments) {
+  return bench::unwrap(apps::mp3_platform(
+      app, apps::mp3_allocation(segments), segments, 36));
+}
+
+std::vector<std::string> g_json_rows;
+
+void emit(const std::string& row) { g_json_rows.push_back(row); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const psdf::PsdfModel mp3 = bench::unwrap(apps::mp3_decoder_psdf());
+  const platform::PlatformModel psm3 = mp3_psm(mp3, 3);
+  char buffer[512];
+
+  // 1. Replication throughput vs worker count. The reference engine
+  // gives each job real work so the pool scaling is visible; the
+  // reports must stay byte-identical regardless of the worker count.
+  if (!json) {
+    bench::banner(
+        "replicated estimation — pool throughput vs worker count");
+    std::printf("%-10s %10s %16s %10s\n", "workers", "time",
+                "replications/s", "speedup");
+  }
+  {
+    stoch::EstimatorOptions options;
+    options.spec.compute_scale = dist("uniform:0.8,1.2");
+    options.seed = 11;
+    options.min_replications = options.max_replications =
+        options.round_replications = 32;
+    options.engine = "reference";
+    std::string baseline_report;
+    double base_ms = 0.0;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+      Timed timed = run_estimate(mp3, psm3, options, workers);
+      const std::string report = timed.estimate.to_json().to_string();
+      if (baseline_report.empty()) {
+        baseline_report = report;
+        base_ms = timed.ms;
+      } else if (report != baseline_report) {
+        bench::die(internal_error(
+            "estimate report differs across worker counts"));
+      }
+      const double per_second =
+          32.0 / (timed.ms / 1000.0);
+      if (json) {
+        std::snprintf(buffer, sizeof buffer,
+                      "{\"section\": \"throughput\", \"workers\": %u, "
+                      "\"replications\": 32, \"wall_ms\": %.3f, "
+                      "\"replications_per_s\": %.1f, \"speedup\": %.2f}",
+                      workers, timed.ms, per_second, base_ms / timed.ms);
+        emit(buffer);
+      } else {
+        std::printf("%-10u %9.2fms %16.1f %9.2fx\n", workers, timed.ms,
+                    per_second, base_ms / timed.ms);
+      }
+    }
+  }
+
+  // 2. CI half-width vs replication count, heavy-tailed compute jitter
+  // (the acceptance-criterion workload: pareto:3,0.667 on MP3/3 seg).
+  if (!json) {
+    bench::banner(
+        "CI half-width vs replications — pareto:3,0.667 compute scale");
+    std::printf("%-6s %8s %12s %12s %10s %10s %10s\n", "N", "unique",
+                "mean us", "halfw us", "rel hw", "brackets", "wall ms");
+  }
+  {
+    stoch::EstimatorOptions options;
+    options.spec.compute_scale = dist("pareto:3,0.667");
+    options.seed = 7;
+    options.engine = "fast";
+    std::vector<std::uint32_t> counts = {8, 16, 32, 64, 128};
+    if (quick) counts = {8, 16, 32};
+    for (std::uint32_t n : counts) {
+      options.min_replications = options.max_replications =
+          options.round_replications = n;
+      Timed timed = run_estimate(mp3, psm3, options, 4);
+      const stoch::Estimate& e = timed.estimate;
+      if (json) {
+        std::snprintf(
+            buffer, sizeof buffer,
+            "{\"section\": \"convergence\", \"replications\": %u, "
+            "\"unique_runs\": %llu, \"mean_ps\": %.1f, "
+            "\"half_width_ps\": %.1f, \"relative_half_width\": %.4f, "
+            "\"ci_contains_mean_model\": %s, \"wall_ms\": %.3f}",
+            n, static_cast<unsigned long long>(e.unique_runs), e.mean_ps,
+            e.half_width_ps, e.relative_half_width,
+            e.ci_contains_mean_model ? "true" : "false", timed.ms);
+        emit(buffer);
+      } else {
+        std::printf("%-6u %8llu %12.3f %12.3f %9.2f%% %10s %10.2f\n", n,
+                    static_cast<unsigned long long>(e.unique_runs),
+                    e.mean_ps / 1e6, e.half_width_ps / 1e6,
+                    e.relative_half_width * 100.0,
+                    e.ci_contains_mean_model ? "yes" : "no", timed.ms);
+      }
+    }
+  }
+
+  // 3. Multi-mode chaining overhead: a schedule of identical full-flow
+  // modes with zero transition delay must total exactly that many
+  // standalone sessions; the wall-clock difference is the per-mode
+  // extraction + pruning + re-analysis cost.
+  if (!json) {
+    bench::banner("multi-mode chaining overhead — chained schedule vs "
+                  "standalone sessions");
+  }
+  {
+    psdf::ModeTable table;
+    table.set_control_process(mp3.processes().front().name);
+    psdf::Mode all;
+    all.name = "all";
+    for (std::size_t i = 0; i < mp3.flows().size(); ++i) {
+      all.flow_indices.push_back(i);
+    }
+    bench::unwrap(table.add_mode(all));
+
+    core::SessionConfig config;
+    config.backend.backend = emu::EngineBackend::kFast;
+    constexpr int kScheduleLen = 16;
+    constexpr int kRepeats = 5;  // best-of to shed scheduler noise
+
+    double static_ms = 0.0;
+    Picoseconds static_total{0};
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      Picoseconds total{0};
+      for (int i = 0; i < kScheduleLen; ++i) {
+        auto session = bench::unwrap(
+            core::EmulationSession::from_models(mp3, psm3, config));
+        auto result = bench::unwrap(session.emulate());
+        total += result.total_execution_time;
+      }
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (rep == 0 || ms < static_ms) static_ms = ms;
+      static_total = total;
+    }
+
+    const std::vector<std::size_t> schedule(kScheduleLen, 0);
+    double chained_ms = 0.0;
+    stoch::MultiModeResult chained;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      chained = bench::unwrap(
+          stoch::run_multimode(mp3, psm3, table, schedule, config));
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (rep == 0 || ms < chained_ms) chained_ms = ms;
+    }
+    if (chained.total_time != static_total) {
+      bench::die(internal_error(
+          "chained schedule total differs from standalone sessions"));
+    }
+    const double overhead =
+        static_ms > 0.0 ? (chained_ms - static_ms) / static_ms : 0.0;
+    if (json) {
+      std::snprintf(
+          buffer, sizeof buffer,
+          "{\"section\": \"multimode_overhead\", \"schedule_len\": %d, "
+          "\"total_ps\": %lld, \"static_ms\": %.3f, "
+          "\"chained_ms\": %.3f, \"overhead\": %.3f}",
+          kScheduleLen,
+          static_cast<long long>(chained.total_time.count()), static_ms,
+          chained_ms, overhead);
+      emit(buffer);
+    } else {
+      std::printf("total %lld ps over %d entries (chained == standalone)\n",
+                  static_cast<long long>(chained.total_time.count()), kScheduleLen);
+      std::printf("standalone : %8.2f ms\nchained    : %8.2f ms  "
+                  "(%+.1f%% overhead)\n",
+                  static_ms, chained_ms, overhead * 100.0);
+    }
+  }
+
+  // 4. Schwambach-style speedup bounds: the multi-segment scaling
+  // study under workload jitter reports speedup over the 1-segment
+  // baseline as an interval derived from the CIs, not a point.
+  if (!json) {
+    bench::banner(
+        "speedup bounds across segment counts — uniform:0.8,1.2 jitter");
+    std::printf("%-10s %12s %24s %10s %18s\n", "segments", "mean us",
+                "95% CI us", "speedup", "speedup bounds");
+  }
+  {
+    stoch::EstimatorOptions options;
+    options.spec.compute_scale = dist("uniform:0.8,1.2");
+    options.seed = 5;
+    options.min_replications = options.max_replications =
+        options.round_replications = 32;
+    options.engine = "fast";
+    double base_mean = 0.0, base_low = 0.0, base_high = 0.0;
+    for (std::uint32_t segments : {1u, 2u, 3u}) {
+      const platform::PlatformModel psm = mp3_psm(mp3, segments);
+      Timed timed = run_estimate(mp3, psm, options, 4);
+      const stoch::Estimate& e = timed.estimate;
+      if (segments == 1) {
+        base_mean = e.mean_ps;
+        base_low = e.ci_low_ps;
+        base_high = e.ci_high_ps;
+      }
+      const double speedup = base_mean / e.mean_ps;
+      const double lo = base_low / e.ci_high_ps;
+      const double hi = base_high / e.ci_low_ps;
+      if (json) {
+        std::snprintf(
+            buffer, sizeof buffer,
+            "{\"section\": \"speedup_bounds\", \"segments\": %u, "
+            "\"mean_ps\": %.1f, \"ci_low_ps\": %.1f, "
+            "\"ci_high_ps\": %.1f, \"speedup\": %.3f, "
+            "\"speedup_low\": %.3f, \"speedup_high\": %.3f}",
+            segments, e.mean_ps, e.ci_low_ps, e.ci_high_ps, speedup, lo,
+            hi);
+        emit(buffer);
+      } else {
+        std::printf("%-10u %12.3f [%10.3f, %9.3f] %9.3fx [%.3f, %.3f]x\n",
+                    segments, e.mean_ps / 1e6, e.ci_low_ps / 1e6,
+                    e.ci_high_ps / 1e6, speedup, lo, hi);
+      }
+    }
+  }
+
+  if (json) {
+    std::printf("[\n");
+    for (std::size_t i = 0; i < g_json_rows.size(); ++i) {
+      std::printf("%s  %s", i == 0 ? "" : ",\n", g_json_rows[i].c_str());
+    }
+    std::printf("\n]\n");
+  } else {
+    std::printf(
+        "\n(reports are byte-identical across worker counts; chained "
+        "multi-mode totals\nmatch standalone sessions exactly — see "
+        "docs/WORKLOADS.md)\n");
+  }
+  return 0;
+}

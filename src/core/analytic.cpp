@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <map>
 
-#include "analysis/bounds.hpp"
 #include "platform/constraints.hpp"
 #include "support/strings.hpp"
 
@@ -90,28 +89,6 @@ Result<AnalyticResult> analyze(const psdf::PsdfModel& application,
 }
 
 }  // namespace
-
-// Deprecated shim: the bound's contract lives in analysis/bounds.hpp
-// (one formula, shared with segbus_lint's static bounds); reshape its
-// per-stage breakdown into the analytic result type. The pragma keeps the
-// out-of-line definition of the deprecated declaration warning-free.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Result<AnalyticResult> analytic_lower_bound(
-    const psdf::PsdfModel& application,
-    const platform::PlatformModel& platform) {
-  SEGBUS_ASSIGN_OR_RETURN(
-      analysis::StaticBounds bounds,
-      analysis::compute_static_bounds(application, platform));
-  AnalyticResult result;
-  result.total = bounds.lower;
-  for (analysis::StageBounds& stage : bounds.stages) {
-    result.stages.push_back({stage.ordering, stage.lower,
-                             std::move(stage.lower_binding)});
-  }
-  return result;
-}
-#pragma GCC diagnostic pop
 
 Result<AnalyticResult> analytic_estimate(
     const psdf::PsdfModel& application,

@@ -5,13 +5,6 @@
 // captures arbitration, contention and cross-clock effects that a formula
 // cannot. This module provides the formula side of that comparison:
 //
-//  * analytic_lower_bound() — \deprecated shim over
-//    analysis::compute_static_bounds, which owns the lower bound's
-//    contract and documentation (analysis/bounds.hpp); this reshapes its
-//    per-stage breakdown into the analytic result type and reports the
-//    tightest (v2) generation. Call the analysis library directly in new
-//    code; removed next release.
-//
 //  * analytic_estimate() — a calibrated point estimate that adds the
 //    emulator's per-package handshake costs (SA decision, CA round trip,
 //    per-hop forwarding) to the lower bound's per-stage skeleton. Not a
@@ -39,15 +32,6 @@ struct AnalyticResult {
   Picoseconds total{0};
   std::vector<AnalyticStage> stages;
 };
-
-/// \deprecated Call analysis::compute_static_bounds and read
-/// StaticBounds::lower — the single source of the lower bound's contract.
-/// This shim reshapes that result (same figures, v2 generation) and is
-/// removed next release.
-[[deprecated(
-    "use analysis::compute_static_bounds")]] Result<AnalyticResult>
-analytic_lower_bound(const psdf::PsdfModel& application,
-                     const platform::PlatformModel& platform);
 
 /// Calibrated point estimate using the given timing model's handshake
 /// costs.

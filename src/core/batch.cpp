@@ -138,8 +138,7 @@ Result<GridReport> run_grid(const AppFactory& app_factory,
         entry.allocation = allocation.label;
         entry.timing = timing.label;
         // The closed-form figures come straight from the analysis
-        // library (the tightest v2 generation — core::analytic_lower_bound
-        // is a deprecated shim over the same call). They price the cell's
+        // library (the tightest v2 generation). They price the cell's
         // own timing model, so the bound can drive pruning.
         if (spec.analytic || spec.prune) {
           SEGBUS_ASSIGN_OR_RETURN(

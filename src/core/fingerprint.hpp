@@ -45,7 +45,8 @@ Result<std::string> scheme_digest(const psdf::PsdfModel& application,
                                   const emu::EngineOptions& engine = {});
 
 /// SessionConfig convenience: digests the config's timing and engine
-/// options; `parallel`/`threads` never affect the key.
+/// options; the backend selection never affects the key (all backends
+/// are bit-identical).
 Result<std::string> scheme_digest(const psdf::PsdfModel& application,
                                   const platform::PlatformModel& platform,
                                   const SessionConfig& config);

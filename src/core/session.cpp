@@ -13,22 +13,6 @@ namespace segbus::core {
 Result<EmulationSession> EmulationSession::from_models(
     psdf::PsdfModel application, platform::PlatformModel platform,
     SessionConfig config) {
-  // Fold the deprecated backend selection into SessionConfig::backend so
-  // the rest of the library only ever consults one field. The pragmas keep
-  // the shim itself from tripping its own deprecation warning.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  if (config.parallel) {
-    config.backend.backend = emu::EngineBackend::kParallel;
-    config.parallel = false;
-  }
-  if (config.threads != 0) {
-    if (config.backend.parallel_threads == 0) {
-      config.backend.parallel_threads = config.threads;
-    }
-    config.threads = 0;
-  }
-#pragma GCC diagnostic pop
   analysis::AnalyzerOptions options;
   options.include_bounds = false;
   options.timing = config.timing;

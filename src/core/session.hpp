@@ -30,26 +30,6 @@ struct SessionConfig {
   /// Backend/option combinations are validated when the session binds:
   /// worker threads with a non-parallel backend are diagnosed as SB060.
   emu::BackendOptions backend;
-  /// \deprecated Set `backend.backend = emu::EngineBackend::kParallel`
-  /// instead. Folded into `backend` when the session binds; removed next
-  /// release.
-  [[deprecated("use SessionConfig::backend")]] bool parallel = false;
-  /// \deprecated Set `backend.parallel_threads` instead. Folded into
-  /// `backend` when the session binds; removed next release.
-  [[deprecated("use SessionConfig::backend")]] unsigned threads = 0;
-
-  // Explicitly-defaulted special members so copying a config does not
-  // re-trigger the deprecation warnings — only user code naming the
-  // deprecated fields should warn.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  SessionConfig() = default;
-  SessionConfig(const SessionConfig&) = default;
-  SessionConfig(SessionConfig&&) = default;
-  SessionConfig& operator=(const SessionConfig&) = default;
-  SessionConfig& operator=(SessionConfig&&) = default;
-  ~SessionConfig() = default;
-#pragma GCC diagnostic pop
 };
 
 /// A bound (application, platform) pair ready to emulate.

@@ -1,0 +1,239 @@
+#include "psdf/modes.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace segbus::psdf {
+
+Result<std::size_t> ModeTable::add_mode(Mode mode) {
+  if (mode.name.empty()) {
+    return invalid_argument_error("mode name must be non-empty");
+  }
+  if (find_mode(mode.name).has_value()) {
+    return already_exists_error("duplicate mode name '" + mode.name + "'");
+  }
+  if (mode.flow_indices.empty()) {
+    return invalid_argument_error("mode '" + mode.name +
+                                  "' selects no flows");
+  }
+  std::set<std::size_t> unique(mode.flow_indices.begin(),
+                              mode.flow_indices.end());
+  if (unique.size() != mode.flow_indices.size()) {
+    return invalid_argument_error("mode '" + mode.name +
+                                  "' selects a flow more than once");
+  }
+  modes_.push_back(std::move(mode));
+  return modes_.size() - 1;
+}
+
+std::optional<std::size_t> ModeTable::find_mode(std::string_view name) const {
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    if (modes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Status ModeTable::validate(const PsdfModel& model) const {
+  if (modes_.empty()) {
+    return validation_error("mode table has no modes");
+  }
+  if (control_.empty()) {
+    return validation_error("mode table has no control process");
+  }
+  if (!model.find_process(control_).has_value()) {
+    return validation_error("mode-control process '" + control_ +
+                            "' does not exist in application '" +
+                            model.name() + "'");
+  }
+  if (transition_delay_.count() < 0) {
+    return validation_error("mode-transition delay must be >= 0");
+  }
+  for (const Mode& mode : modes_) {
+    for (std::size_t index : mode.flow_indices) {
+      if (index >= model.flows().size()) {
+        return validation_error(str_format(
+            "mode '%s' selects flow %zu but application '%s' has %zu flows",
+            mode.name.c_str(), index, model.name().c_str(),
+            model.flows().size()));
+      }
+    }
+    for (const FlowOverride& override : mode.overrides) {
+      const bool selected =
+          std::find(mode.flow_indices.begin(), mode.flow_indices.end(),
+                    override.flow_index) != mode.flow_indices.end();
+      if (!selected) {
+        return validation_error(str_format(
+            "mode '%s' overrides flow %zu which it does not select",
+            mode.name.c_str(), override.flow_index));
+      }
+      if (override.data_items.has_value() && *override.data_items == 0) {
+        return validation_error(str_format(
+            "mode '%s' overrides flow %zu with zero data items",
+            mode.name.c_str(), override.flow_index));
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Result<PsdfModel> ModeTable::mode_model(const PsdfModel& model,
+                                        std::size_t index) const {
+  if (index >= modes_.size()) {
+    return invalid_argument_error(
+        str_format("mode index %zu out of range (%zu modes)", index,
+                   modes_.size()));
+  }
+  SEGBUS_RETURN_IF_ERROR(validate(model));
+  const Mode& mode = modes_[index];
+
+  // Selected flows in parent insertion order, with overrides applied.
+  std::vector<std::size_t> selected = mode.flow_indices;
+  std::sort(selected.begin(), selected.end());
+  std::vector<Flow> flows;
+  flows.reserve(selected.size());
+  for (std::size_t flow_index : selected) {
+    Flow flow = model.flows()[flow_index];
+    for (const FlowOverride& override : mode.overrides) {
+      if (override.flow_index != flow_index) continue;
+      if (override.data_items.has_value()) flow.data_items = *override.data_items;
+      if (override.compute_ticks.has_value()) {
+        flow.compute_ticks = *override.compute_ticks;
+      }
+    }
+    flows.push_back(flow);
+  }
+
+  // Keep exactly the processes the subset touches, in original id order —
+  // contiguous renumbering preserves the arbiters' round-robin order.
+  std::vector<bool> keep(model.process_count(), false);
+  for (const Flow& flow : flows) {
+    keep[flow.source] = true;
+    keep[flow.target] = true;
+  }
+  PsdfModel result(model.name() + ":" + mode.name);
+  SEGBUS_RETURN_IF_ERROR(result.set_package_size(model.package_size()));
+  std::vector<ProcessId> remap(model.process_count(), kInvalidProcess);
+  for (std::size_t p = 0; p < model.process_count(); ++p) {
+    if (!keep[p]) continue;
+    SEGBUS_ASSIGN_OR_RETURN(
+        ProcessId id,
+        result.add_process(model.process(static_cast<ProcessId>(p)).name));
+    remap[p] = id;
+  }
+  for (const Flow& flow : flows) {
+    SEGBUS_RETURN_IF_ERROR(result.add_flow(remap[flow.source],
+                                           remap[flow.target], flow.data_items,
+                                           flow.ordering, flow.compute_ticks));
+  }
+  return result;
+}
+
+std::vector<std::size_t> ModeTable::generate_schedule(
+    std::uint64_t seed, std::size_t length) const {
+  std::vector<std::size_t> schedule;
+  if (modes_.empty()) return schedule;
+  Xoshiro256 rng = substream(seed, "modes/schedule");
+  schedule.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    schedule.push_back(
+        static_cast<std::size_t>(rng.next_below(modes_.size())));
+  }
+  return schedule;
+}
+
+std::string modes_to_xml(const ModeTable& table) {
+  xml::Document document;
+  xml::Element& root = document.root();
+  root.set_name("modes");
+  root.set_attribute("control", table.control_process());
+  root.set_attribute(
+      "transition_delay_ps",
+      str_format("%lld",
+                 static_cast<long long>(table.transition_delay().count())));
+  for (const Mode& mode : table.modes()) {
+    xml::Element& mode_element = root.add_child("mode");
+    mode_element.set_attribute("name", mode.name);
+    for (std::size_t flow_index : mode.flow_indices) {
+      xml::Element& flow_element = mode_element.add_child("flow");
+      flow_element.set_attribute("index", str_format("%zu", flow_index));
+      for (const FlowOverride& override : mode.overrides) {
+        if (override.flow_index != flow_index) continue;
+        if (override.data_items.has_value()) {
+          flow_element.set_attribute(
+              "items",
+              str_format("%llu",
+                         static_cast<unsigned long long>(*override.data_items)));
+        }
+        if (override.compute_ticks.has_value()) {
+          flow_element.set_attribute(
+              "compute",
+              str_format(
+                  "%llu",
+                  static_cast<unsigned long long>(*override.compute_ticks)));
+        }
+      }
+    }
+  }
+  return xml::write_document(document);
+}
+
+Result<ModeTable> modes_from_xml(std::string_view xml_text) {
+  SEGBUS_ASSIGN_OR_RETURN(xml::Document document,
+                          xml::parse_document(xml_text));
+  const xml::Element& root = document.root();
+  if (root.local_name() != "modes") {
+    return parse_error("mode table root element must be <modes>, got <" +
+                       root.name() + ">");
+  }
+  ModeTable table;
+  table.set_control_process(root.attribute_or("control", ""));
+  SEGBUS_ASSIGN_OR_RETURN(std::string delay_text,
+                          root.require_attribute("transition_delay_ps"));
+  SEGBUS_ASSIGN_OR_RETURN(
+      std::int64_t delay,
+      parse_int_or_error(delay_text, "mode-transition delay"));
+  table.set_transition_delay(Picoseconds(delay));
+  for (const xml::Element* mode_element : root.children_local("mode")) {
+    Mode mode;
+    SEGBUS_ASSIGN_OR_RETURN(mode.name,
+                            mode_element->require_attribute("name"));
+    for (const xml::Element* flow_element :
+         mode_element->children_local("flow")) {
+      SEGBUS_ASSIGN_OR_RETURN(std::string index_text,
+                              flow_element->require_attribute("index"));
+      SEGBUS_ASSIGN_OR_RETURN(
+          std::uint64_t index,
+          parse_uint_or_error(index_text, "mode flow index"));
+      mode.flow_indices.push_back(static_cast<std::size_t>(index));
+      FlowOverride override;
+      override.flow_index = static_cast<std::size_t>(index);
+      bool has_override = false;
+      if (auto items = flow_element->attribute("items"); items.has_value()) {
+        SEGBUS_ASSIGN_OR_RETURN(
+            std::uint64_t value,
+            parse_uint_or_error(*items, "mode flow items override"));
+        override.data_items = value;
+        has_override = true;
+      }
+      if (auto compute = flow_element->attribute("compute");
+          compute.has_value()) {
+        SEGBUS_ASSIGN_OR_RETURN(
+            std::uint64_t value,
+            parse_uint_or_error(*compute, "mode flow compute override"));
+        override.compute_ticks = value;
+        has_override = true;
+      }
+      if (has_override) mode.overrides.push_back(override);
+    }
+    SEGBUS_RETURN_IF_ERROR(table.add_mode(std::move(mode)).status());
+  }
+  return table;
+}
+
+}  // namespace segbus::psdf

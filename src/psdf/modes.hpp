@@ -1,0 +1,115 @@
+// Multi-mode PSDF applications — ROADMAP item 4a, after Jung/Oh/Ha's
+// multi-mode dataflow graphs with mode-transition delay (PAPERS.md).
+//
+// A ModeTable augments a PSDF application with named operating modes. Each
+// mode selects a subset of the application's flows (by index into
+// PsdfModel::flows(), i.e. insertion order) and may override the selected
+// flows' D (data items) and C (compute ticks) values — e.g. an MP3 player
+// whose "seek" mode moves fewer frames per flow than "play". A designated
+// mode-control process models the actor that decides switches at runtime;
+// the emulator charges a configurable transition delay between consecutive
+// modes of a schedule.
+//
+// Estimation runs a *mode schedule* (a seeded sequence of mode indices) as
+// chained engine sessions: each mode's flow subset is extracted into a
+// standalone PSDF model (mode_model), emulated on a platform pruned to the
+// processes that mode uses, and the per-mode TCTs plus transition delays
+// sum to the schedule's total (stoch/multimode.hpp).
+//
+// Validity: any mode whose flow subset is non-empty yields a valid model —
+// SB003 (outgoing after incoming ordering) and SB004 (acyclicity) are
+// universally quantified over flows, so they survive taking subsets, and
+// processes untouched by the subset are dropped so SB005 stays clean.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "psdf/model.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::psdf {
+
+/// Per-mode override of one selected flow's workload parameters. The flow
+/// keeps its endpoints and ordering; only the scalars change.
+struct FlowOverride {
+  std::size_t flow_index = 0;  ///< index into the parent model's flows()
+  std::optional<std::uint64_t> data_items;     ///< D override (> 0)
+  std::optional<std::uint64_t> compute_ticks;  ///< C override
+
+  friend bool operator==(const FlowOverride&, const FlowOverride&) = default;
+};
+
+/// One named operating mode: a flow subset plus optional overrides.
+struct Mode {
+  std::string name;
+  std::vector<std::size_t> flow_indices;  ///< subset of parent flows
+  std::vector<FlowOverride> overrides;    ///< each must target a member of
+                                          ///< flow_indices
+
+  friend bool operator==(const Mode&, const Mode&) = default;
+};
+
+/// The mode table attached to an application.
+class ModeTable {
+ public:
+  /// Process (by name) that decides mode switches at runtime. Purely
+  /// declarative for estimation — schedules are drawn up front — but
+  /// validated to exist so models stay honest.
+  const std::string& control_process() const noexcept { return control_; }
+  void set_control_process(std::string name) { control_ = std::move(name); }
+
+  /// Delay charged between consecutive schedule entries (mode flush +
+  /// reconfiguration, cf. Jung/Oh/Ha's transition delay).
+  Picoseconds transition_delay() const noexcept { return transition_delay_; }
+  void set_transition_delay(Picoseconds delay) { transition_delay_ = delay; }
+
+  /// Adds a mode; names must be unique non-empty, flow subset non-empty.
+  /// Structural checks against a concrete model happen in validate().
+  Result<std::size_t> add_mode(Mode mode);
+
+  const std::vector<Mode>& modes() const noexcept { return modes_; }
+  const Mode& mode(std::size_t index) const { return modes_.at(index); }
+  std::optional<std::size_t> find_mode(std::string_view name) const;
+
+  /// Checks the table against its application: at least one mode, control
+  /// process exists, every flow index in range, overrides target selected
+  /// flows with D > 0, transition delay >= 0.
+  Status validate(const PsdfModel& model) const;
+
+  /// Extracts mode `index` of `model` as a standalone valid PSDF model:
+  /// the selected flows (with overrides applied) plus exactly the
+  /// processes they touch, renumbered contiguously. The result's name is
+  /// "<model>:<mode>".
+  Result<PsdfModel> mode_model(const PsdfModel& model,
+                               std::size_t index) const;
+
+  /// Seeded mode-switch schedule of `length` entries drawn uniformly over
+  /// the modes via the "modes/schedule" substream — deterministic for a
+  /// fixed (seed, length, mode count). Empty when the table has no modes.
+  std::vector<std::size_t> generate_schedule(std::uint64_t seed,
+                                             std::size_t length) const;
+
+  friend bool operator==(const ModeTable&, const ModeTable&) = default;
+
+ private:
+  std::string control_;
+  Picoseconds transition_delay_{0};
+  std::vector<Mode> modes_;
+};
+
+/// XML codec, mirroring psdf_xml.hpp's scheme style:
+///   <modes control="P0" transition_delay_ps="1000">
+///      <mode name="play">
+///         <flow index="0"/>
+///         <flow index="2" items="576" compute="250"/>
+///      </mode>
+///   </modes>
+std::string modes_to_xml(const ModeTable& table);
+Result<ModeTable> modes_from_xml(std::string_view xml_text);
+
+}  // namespace segbus::psdf

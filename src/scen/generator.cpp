@@ -79,14 +79,23 @@ std::string_view topology_name(Topology topology) noexcept {
 }
 
 std::string Scenario::describe() const {
+  std::string extras;
+  if (!stochastic.is_identity()) {
+    extras += str_format(" stoch=%s/%s",
+                         stochastic.compute_scale.spec().c_str(),
+                         stochastic.items_scale.spec().c_str());
+  }
+  if (has_modes) {
+    extras += str_format(" modes=%zu", modes.modes().size());
+  }
   return str_format(
-      "seed=%llu %s p=%zu f=%zu seg=%zu pkg=%u %s%s",
+      "seed=%llu %s p=%zu f=%zu seg=%zu pkg=%u %s%s%s",
       static_cast<unsigned long long>(seed),
       std::string(topology_name(topology)).c_str(),
       application.process_count(), application.flows().size(),
       platform.segment_count(), platform.package_size(),
       timing == emu::TimingModel::reference() ? "ref" : "emu",
-      timing.circuit_switched ? "" : " pipelined");
+      timing.circuit_switched ? "" : " pipelined", extras.c_str());
 }
 
 Result<Scenario> generate_scenario(std::uint64_t seed,
@@ -266,6 +275,96 @@ Result<Scenario> generate_scenario(std::uint64_t seed,
                         : emu::TimingModel::emulator();
   if (timing_rng.next_bool(options.pipelined_probability)) {
     scenario.timing.circuit_switched = false;
+  }
+
+  // --- workload classes --------------------------------------------------
+  // Own substreams so the classic static scenario of this (options, seed)
+  // never shifts when the stochastic/multi-mode knobs are toggled. Every
+  // drawn distribution has mean ~= 1 so the realized workloads stay near
+  // the deterministic scale.
+  Xoshiro256 stoch_rng = substream(seed, "stoch");
+  if (stoch_rng.next_bool(options.stochastic_probability)) {
+    auto draw_distribution = [&stoch_rng] {
+      const std::uint64_t kind = stoch_rng.next_below(4);
+      // Fixed two parameter draws per distribution, whichever kind, so a
+      // later draw never depends on an earlier kind choice.
+      const double u1 = stoch_rng.next_double();
+      const double u2 = stoch_rng.next_double();
+      switch (kind) {
+        case 0:
+          return stoch::Distribution::uniform(0.5 + 0.5 * u1, 1.0 + u2);
+        case 1:
+          return stoch::Distribution::normal(1.0, 0.05 + 0.35 * u1);
+        case 2: {
+          const double sigma = 0.1 + 0.5 * u1;
+          return stoch::Distribution::lognormal(-0.5 * sigma * sigma, sigma);
+        }
+        default: {
+          const double alpha = 2.5 + 1.5 * u1;
+          return stoch::Distribution::pareto(alpha, (alpha - 1.0) / alpha);
+        }
+      }
+    };
+    scenario.stochastic.compute_scale = draw_distribution();
+    if (stoch_rng.next_bool(0.5)) {
+      scenario.stochastic.items_scale = draw_distribution();
+    }
+  }
+
+  Xoshiro256 modes_rng = substream(seed, "modes");
+  if (application.flows().size() >= 2 &&
+      modes_rng.next_bool(options.multimode_probability)) {
+    const std::size_t flow_count = application.flows().size();
+    psdf::ModeTable table;
+    table.set_control_process(
+        application.process(static_cast<psdf::ProcessId>(
+                                modes_rng.next_below(n)))
+            .name);
+    table.set_transition_delay(Picoseconds(modes_rng.next_in(0, 100000)));
+    const std::size_t mode_count = 2 + modes_rng.next_below(2);
+    for (std::size_t m = 0; m < mode_count; ++m) {
+      psdf::Mode mode;
+      mode.name = str_format("mode%zu", m);
+      if (modes_rng.next_bool(0.6)) {
+        for (std::size_t f = 0; f < flow_count; ++f) {
+          if (modes_rng.next_bool(0.7)) mode.flow_indices.push_back(f);
+        }
+      } else {
+        for (std::size_t f = 0; f < flow_count; ++f) {
+          mode.flow_indices.push_back(f);
+        }
+      }
+      if (mode.flow_indices.empty()) {
+        mode.flow_indices.push_back(modes_rng.next_below(flow_count));
+      }
+      for (std::size_t f : mode.flow_indices) {
+        if (!modes_rng.next_bool(0.3)) continue;
+        psdf::FlowOverride override;
+        override.flow_index = f;
+        if (modes_rng.next_bool(0.5)) {
+          override.data_items = static_cast<std::uint64_t>(modes_rng.next_in(
+              static_cast<std::int64_t>(options.min_items),
+              static_cast<std::int64_t>(options.max_items)));
+        } else {
+          override.compute_ticks = static_cast<std::uint64_t>(
+              modes_rng.next_in(
+                  static_cast<std::int64_t>(options.min_compute),
+                  static_cast<std::int64_t>(options.max_compute)));
+        }
+        mode.overrides.push_back(override);
+      }
+      auto added = table.add_mode(std::move(mode));
+      if (!added.is_ok()) return added.status();
+    }
+    if (Status status = table.validate(application); !status.is_ok()) {
+      return internal_error("generator produced an invalid mode table (" +
+                            scenario.describe() + "): " +
+                            std::string(status.message()));
+    }
+    scenario.mode_schedule =
+        table.generate_schedule(seed, 2 + modes_rng.next_below(3));
+    scenario.modes = std::move(table);
+    scenario.has_modes = true;
   }
 
   scenario.application = std::move(application);

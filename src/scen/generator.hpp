@@ -6,7 +6,10 @@
 // "placer"), so a scenario is reproducible from its seed alone and the
 // streams stay independent: changing how the platform is drawn never
 // perturbs the application, and the annealing placer (when used) consumes
-// its own stream.
+// its own stream. Stochastic workload specs and multi-mode tables draw
+// from the "stoch" and "modes" substreams (registry: DESIGN.md), so the
+// classic static scenarios of an (options, seed) pair never shift when
+// the new workload classes are toggled.
 //
 // Generated applications are layered DAGs (chains and fork/joins are the
 // width-1 and width-n special cases): every flow goes from layer a to a
@@ -25,6 +28,8 @@
 #include "emu/timing.hpp"
 #include "platform/model.hpp"
 #include "psdf/model.hpp"
+#include "psdf/modes.hpp"
+#include "stoch/workload.hpp"
 #include "support/status.hpp"
 
 namespace segbus::scen {
@@ -70,6 +75,16 @@ struct GeneratorOptions {
   /// Probability of the pipelined (virtual-cut-through) path discipline
   /// instead of the paper's circuit switching.
   double pipelined_probability = 0.25;
+
+  // --- workload classes (ROADMAP item 4) --------------------------------
+  /// Probability the scenario carries a non-degenerate stochastic spec
+  /// (drawn from the "stoch" substream); otherwise the spec is the
+  /// identity (point:1 scales) and the scenario is exactly the classic
+  /// deterministic workload.
+  double stochastic_probability = 0.35;
+  /// Probability the scenario carries a mode table + seeded schedule
+  /// (drawn from the "modes" substream); requires >= 2 flows.
+  double multimode_probability = 0.3;
 };
 
 /// One generated workload: everything the oracle needs to emulate it.
@@ -79,6 +94,17 @@ struct Scenario {
   psdf::PsdfModel application;
   platform::PlatformModel platform;
   emu::TimingModel timing;
+
+  /// Stochastic scaling of the application's C and D values. Identity
+  /// (point:1 on both) for classic deterministic scenarios; the oracle's
+  /// degenerate-replication invariant relies on that identity being
+  /// bit-preserving.
+  stoch::StochasticSpec stochastic;
+  /// Multi-mode extension: when `has_modes`, `modes` selects flow subsets
+  /// and `mode_schedule` is the seeded execution order.
+  bool has_modes = false;
+  psdf::ModeTable modes;
+  std::vector<std::size_t> mode_schedule;
 
   /// "seed=7 layered p=6 f=9 seg=3 pkg=18 ref" one-liner for logs.
   std::string describe() const;

@@ -9,7 +9,10 @@
 #include "core/fingerprint.hpp"
 #include "core/session.hpp"
 #include "platform/platform_xml.hpp"
+#include "psdf/modes.hpp"
 #include "psdf/psdf_xml.hpp"
+#include "stoch/multimode.hpp"
+#include "stoch/workload.hpp"
 #include "support/strings.hpp"
 #include "xml/writer.hpp"
 
@@ -336,6 +339,9 @@ std::string_view invariant_name(Invariant invariant) noexcept {
     case Invariant::kParallelEquivalence: return "parallel-equivalence";
     case Invariant::kFastEquivalence: return "fast-equivalence";
     case Invariant::kBoundsDominance: return "bounds-dominance";
+    case Invariant::kStochDegenerate: return "stoch-degenerate";
+    case Invariant::kModeChaining: return "mode-chaining";
+    case Invariant::kReplicationBounds: return "replication-bounds";
   }
   return "unknown";
 }
@@ -597,6 +603,186 @@ Result<OracleOutcome> run_oracle(const Scenario& scenario,
             !breach.empty()) {
           violate(Invariant::kBoundsDominance,
                   "cross-engine run: " + breach);
+        }
+      }
+    }
+  }
+
+  if (options.check_stoch_degenerate) {
+    ++outcome.invariants_checked;
+    obs::Span span = span_for("oracle:stoch-degenerate");
+    // The identity spec still walks the whole realization path (derive the
+    // replication substream, draw per flow, apply the scale) — only the
+    // final scale application must collapse to a no-op.
+    stoch::StochasticSpec identity;
+    auto realized =
+        stoch::realize(scenario.application, identity, scenario.seed, 0);
+    if (!realized.is_ok()) {
+      violate(Invariant::kStochDegenerate,
+              "identity realization failed: " + realized.status().to_string());
+    } else {
+      auto degenerate_session = core::EmulationSession::from_models(
+          *realized, scenario.platform, config);
+      if (!degenerate_session.is_ok()) {
+        violate(Invariant::kStochDegenerate,
+                "realized model failed to bind: " +
+                    degenerate_session.status().to_string());
+      } else {
+        auto degenerate_result = degenerate_session->emulate();
+        if (!degenerate_result.is_ok()) {
+          violate(Invariant::kStochDegenerate,
+                  "realized run failed: " +
+                      degenerate_result.status().to_string());
+        } else if (std::string diff = diff_results(*result, *degenerate_result);
+                   !diff.empty()) {
+          violate(Invariant::kStochDegenerate,
+                  "identity realization diverged: " + diff);
+        }
+      }
+    }
+  }
+
+  if (options.check_mode_chaining) {
+    ++outcome.invariants_checked;
+    obs::Span span = span_for("oracle:mode-chaining");
+    // An identity mode table: one mode selecting every flow, no overrides,
+    // zero transition delay. Chaining it twice must behave exactly like
+    // two back-to-back static runs.
+    psdf::ModeTable identity_table;
+    identity_table.set_control_process(scenario.application.process(0).name);
+    psdf::Mode all;
+    all.name = "all";
+    for (std::size_t f = 0; f < scenario.application.flows().size(); ++f) {
+      all.flow_indices.push_back(f);
+    }
+    auto added = identity_table.add_mode(std::move(all));
+    if (!added.is_ok()) {
+      violate(Invariant::kModeChaining,
+              "identity table rejected: " + added.status().to_string());
+    } else {
+      auto chained = stoch::run_multimode(scenario.application,
+                                          scenario.platform, identity_table,
+                                          {0, 0}, config);
+      if (!chained.is_ok()) {
+        violate(Invariant::kModeChaining,
+                "identity schedule failed: " + chained.status().to_string());
+      } else if (!chained->completed) {
+        violate(Invariant::kModeChaining,
+                "identity schedule hit the tick limit");
+      } else {
+        for (const stoch::ModeRun& run : chained->runs) {
+          if (run.execution_time != result->total_execution_time) {
+            violate(Invariant::kModeChaining,
+                    str_format("identity mode TCT %lld ps != static %lld ps",
+                               static_cast<long long>(
+                                   run.execution_time.count()),
+                               static_cast<long long>(
+                                   result->total_execution_time.count())));
+            break;
+          }
+        }
+        if (chained->total_time != 2 * result->total_execution_time) {
+          violate(Invariant::kModeChaining,
+                  str_format("identity schedule total %lld ps != 2 x %lld ps",
+                             static_cast<long long>(
+                                 chained->total_time.count()),
+                             static_cast<long long>(
+                                 result->total_execution_time.count())));
+        }
+      }
+    }
+    // Scenarios carrying a real mode table: the schedule's per-mode TCTs
+    // must be engine-independent (the backends are bit-identical, so the
+    // chained totals are too).
+    if (scenario.has_modes && !scenario.mode_schedule.empty()) {
+      auto base = stoch::run_multimode(scenario.application, scenario.platform,
+                                       scenario.modes, scenario.mode_schedule,
+                                       config);
+      core::SessionConfig cross_config = config;
+      cross_config.backend = {};
+      cross_config.backend.backend =
+          config.backend.backend == emu::EngineBackend::kFast
+              ? emu::EngineBackend::kReference
+              : emu::EngineBackend::kFast;
+      auto cross = stoch::run_multimode(scenario.application,
+                                        scenario.platform, scenario.modes,
+                                        scenario.mode_schedule, cross_config);
+      if (!base.is_ok() || !cross.is_ok()) {
+        violate(Invariant::kModeChaining,
+                "scenario mode schedule failed: " +
+                    (base.is_ok() ? cross.status() : base.status())
+                        .to_string());
+      } else {
+        if (base->total_time != cross->total_time ||
+            base->completed != cross->completed) {
+          violate(Invariant::kModeChaining,
+                  str_format("mode schedule total %lld ps != cross-engine "
+                             "%lld ps",
+                             static_cast<long long>(base->total_time.count()),
+                             static_cast<long long>(
+                                 cross->total_time.count())));
+        }
+        for (std::size_t i = 0; i < base->runs.size(); ++i) {
+          if (base->runs[i].execution_time != cross->runs[i].execution_time) {
+            violate(Invariant::kModeChaining,
+                    str_format("mode schedule entry %zu diverged across "
+                               "engines", i));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  if (options.check_replication_bounds) {
+    if (scenario.stochastic.is_identity() ||
+        options.replication_samples == 0) {
+      ++outcome.invariants_skipped;
+    } else {
+      ++outcome.invariants_checked;
+      obs::Span span = span_for("oracle:replication-bounds");
+      for (std::uint32_t rep = 0; rep < options.replication_samples; ++rep) {
+        auto realized = stoch::realize(scenario.application,
+                                       scenario.stochastic, scenario.seed,
+                                       rep);
+        if (!realized.is_ok()) {
+          violate(Invariant::kReplicationBounds,
+                  str_format("replication %u failed to realize: ", rep) +
+                      realized.status().to_string());
+          break;
+        }
+        auto rep_session = core::EmulationSession::from_models(
+            *realized, scenario.platform, config);
+        if (!rep_session.is_ok()) {
+          violate(Invariant::kReplicationBounds,
+                  str_format("replication %u failed to bind: ", rep) +
+                      rep_session.status().to_string());
+          break;
+        }
+        auto rep_result = rep_session->emulate();
+        if (!rep_result.is_ok() || !rep_result->completed) {
+          violate(Invariant::kReplicationBounds,
+                  str_format("replication %u failed to complete", rep));
+          break;
+        }
+        auto rep_bounds = analysis::compute_static_bounds(
+            *realized, scenario.platform, scenario.timing);
+        if (!rep_bounds.is_ok()) {
+          violate(Invariant::kReplicationBounds,
+                  str_format("replication %u bounds failed: ", rep) +
+                      rep_bounds.status().to_string());
+          break;
+        }
+        if (!rep_bounds->brackets(rep_result->total_execution_time)) {
+          violate(Invariant::kReplicationBounds,
+                  str_format("replication %u emulated %lld ps outside "
+                             "[%lld, %lld]",
+                             rep,
+                             static_cast<long long>(
+                                 rep_result->total_execution_time.count()),
+                             static_cast<long long>(rep_bounds->lower.count()),
+                             static_cast<long long>(
+                                 rep_bounds->upper.count())));
         }
       }
     }

@@ -34,6 +34,22 @@
 //                          upper, on the base run and on the fast-equiv
 //                          cross-engine run (the v2 refinement may only
 //                          tighten, never cross, the v1 envelope).
+//  * stoch-degenerate    — realizing the application through the identity
+//                          stochastic spec (point:1 scales, replication 0)
+//                          must reproduce the deterministic run
+//                          bit-for-bit (the scale path may not perturb a
+//                          degenerate draw).
+//  * mode-chaining       — an identity mode table (every flow, zero
+//                          transition delay) run over a length-2 schedule
+//                          must give each mode exactly the static TCT and
+//                          a total of exactly 2x; scenarios that carry a
+//                          real mode table additionally re-run their
+//                          schedule on the other engine and must match
+//                          per-mode bit-for-bit.
+//  * replication-bounds  — each stochastic replication's emulated TCT
+//                          must sit inside the v2 static bounds of its
+//                          *realized* model (the deterministic analysis
+//                          brackets every sample, not just the mean).
 //
 // A violation means scenario + invariant name + human-readable detail; the
 // shrinker minimizes scenarios against a fixed invariant.
@@ -61,9 +77,12 @@ enum class Invariant : std::uint8_t {
   kParallelEquivalence,
   kFastEquivalence,
   kBoundsDominance,
+  kStochDegenerate,
+  kModeChaining,
+  kReplicationBounds,
 };
 
-inline constexpr std::size_t kInvariantCount = 9;
+inline constexpr std::size_t kInvariantCount = 12;
 
 /// Stable kebab-case name ("bounds-bracket") used in logs, metrics labels
 /// and corpus file stems.
@@ -91,6 +110,19 @@ struct OracleOptions {
   /// upper_v1, on the base run and the fast-equivalence cross-engine run.
   /// Reuses the bounds-bracket computation, so effectively free.
   bool check_dominance = true;
+  /// Identity-spec realization reproduces the base run bit-for-bit. One
+  /// extra emulation, always applicable.
+  bool check_stoch_degenerate = true;
+  /// Identity mode table over a length-2 schedule == 2x the static run;
+  /// scenarios carrying a real mode table also cross-engine compare their
+  /// schedule. Two-plus extra (small) emulations.
+  bool check_mode_chaining = true;
+  /// Each of `replication_samples` stochastic replications sits inside the
+  /// v2 static bounds of its realized model. Skipped (not violated) for
+  /// scenarios with an identity spec — there it degenerates to
+  /// bounds-bracket. Costs one bounds analysis + emulation per sample.
+  bool check_replication_bounds = true;
+  std::uint32_t replication_samples = 3;
   /// Backend the base run (and its derived runs: fingerprint twin, clock
   /// scaling) executes on. Equivalence invariants compare against this.
   emu::BackendOptions backend;

@@ -37,6 +37,11 @@ struct Spec {
   std::vector<Proc> processes;
   std::vector<Edge> edges;
   emu::TimingModel timing;
+  /// Carried verbatim (never shrunk) so stochastic invariants still
+  /// reproduce on the reduced model. Mode tables are NOT carried: their
+  /// flow indices would dangle as edges are removed, and the mode-chaining
+  /// identity check does not need them.
+  stoch::StochasticSpec stochastic;
 };
 
 Result<Spec> spec_from_scenario(const Scenario& scenario) {
@@ -53,6 +58,7 @@ Result<Spec> spec_from_scenario(const Scenario& scenario) {
           ? 1
           : scenario.platform.border_units().front().capacity_packages;
   spec.timing = scenario.timing;
+  spec.stochastic = scenario.stochastic;
 
   const psdf::PsdfModel& app = scenario.application;
   for (std::size_t p = 0; p < app.process_count(); ++p) {
@@ -128,6 +134,7 @@ Result<Scenario> scenario_from_spec(const Spec& spec) {
   scenario.seed = spec.seed;
   scenario.topology = spec.topology;
   scenario.timing = spec.timing;
+  scenario.stochastic = spec.stochastic;
 
   psdf::PsdfModel app(
       str_format("shrunk%llu", static_cast<unsigned long long>(spec.seed)));
@@ -174,6 +181,10 @@ OracleOptions narrowed(const OracleOptions& base, Invariant invariant) {
   // check_fast inherits from base: the cross-engine half of
   // bounds-dominance needs the fast-equivalence run to exist.
   options.check_dominance = invariant == Invariant::kBoundsDominance;
+  options.check_stoch_degenerate = invariant == Invariant::kStochDegenerate;
+  options.check_mode_chaining = invariant == Invariant::kModeChaining;
+  options.check_replication_bounds =
+      invariant == Invariant::kReplicationBounds;
   return options;
 }
 

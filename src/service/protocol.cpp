@@ -63,6 +63,27 @@ std::string encode_request(const JobRequest& request) {
     doc.set("anneal_iterations",
             JsonValue::unsigned_integer(search.anneal_iterations));
   }
+  if (request.kind == "estimate") {
+    const EstimateParams& estimate = request.estimate;
+    doc.set("compute", JsonValue::string(estimate.compute));
+    doc.set("items", JsonValue::string(estimate.items));
+    doc.set("seed", JsonValue::unsigned_integer(estimate.seed));
+    doc.set("min_replications",
+            JsonValue::unsigned_integer(estimate.min_replications));
+    doc.set("replications",
+            JsonValue::unsigned_integer(estimate.max_replications));
+    doc.set("round_replications",
+            JsonValue::unsigned_integer(estimate.round_replications));
+    doc.set("confidence", JsonValue::number(estimate.confidence));
+    if (estimate.target_relative_half_width != 0.0) {
+      doc.set("rhw", JsonValue::number(estimate.target_relative_half_width));
+    }
+    if (!estimate.modes_xml.empty()) {
+      doc.set("modes_xml", JsonValue::string(estimate.modes_xml));
+      doc.set("schedule_length",
+              JsonValue::unsigned_integer(estimate.schedule_length));
+    }
+  }
   return doc.to_string();
 }
 
@@ -76,7 +97,8 @@ Result<JobRequest> parse_request(std::string_view line) {
   const std::string& kind = doc.get("kind").as_string();
   if (!kind.empty()) request.kind = kind;
   if (request.kind != "submit" && request.kind != "stats" &&
-      request.kind != "ping" && request.kind != "search") {
+      request.kind != "ping" && request.kind != "search" &&
+      request.kind != "estimate") {
     return invalid_argument_error("unknown request kind '" + request.kind +
                                   "'");
   }
@@ -117,6 +139,39 @@ Result<JobRequest> parse_request(std::string_view line) {
     }
     if (request.psdf_xml.empty()) {
       return invalid_argument_error("search requests need psdf_xml");
+    }
+  }
+  if (request.kind == "estimate") {
+    EstimateParams& estimate = request.estimate;
+    if (const JsonValue* v = doc.find("compute")) {
+      estimate.compute = v->as_string();
+    }
+    if (const JsonValue* v = doc.find("items")) {
+      estimate.items = v->as_string();
+    }
+    if (const JsonValue* v = doc.find("seed")) estimate.seed = v->as_uint64();
+    if (const JsonValue* v = doc.find("min_replications")) {
+      estimate.min_replications = static_cast<std::uint32_t>(v->as_uint64());
+    }
+    if (const JsonValue* v = doc.find("replications")) {
+      estimate.max_replications = static_cast<std::uint32_t>(v->as_uint64());
+    }
+    if (const JsonValue* v = doc.find("round_replications")) {
+      estimate.round_replications = static_cast<std::uint32_t>(v->as_uint64());
+    }
+    if (const JsonValue* v = doc.find("confidence")) {
+      estimate.confidence = v->as_number();
+    }
+    if (const JsonValue* v = doc.find("rhw")) {
+      estimate.target_relative_half_width = v->as_number();
+    }
+    estimate.modes_xml = doc.get("modes_xml").as_string();
+    if (const JsonValue* v = doc.find("schedule_length")) {
+      estimate.schedule_length = static_cast<std::uint32_t>(v->as_uint64());
+    }
+    if (request.psdf_xml.empty() || request.psm_xml.empty()) {
+      return invalid_argument_error(
+          "estimate requests need psdf_xml and psm_xml");
     }
   }
   if (request.kind == "submit" &&

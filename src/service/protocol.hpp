@@ -10,6 +10,9 @@
 //   {"id":"p1","kind":"ping"}         liveness probe
 //   {"id":"q1","kind":"search","psdf_xml":"<...>","segments":"2,3",
 //    "packages":"36,18","strategy":"guided","seed":1}   guided search
+//   {"id":"e1","kind":"estimate","psdf_xml":"<...>","psm_xml":"<...>",
+//    "compute":"pareto:3,0.667","replications":64,"rhw":0.05,"seed":1}
+//                                     replicated-run confidence estimation
 //
 // Response:
 //   {"id":"j1","ok":true,"cache_hit":false,"digest":"<sha256>",
@@ -50,10 +53,31 @@ struct SearchParams {
   std::uint64_t anneal_iterations = 20000;
 };
 
+/// Parameters of an `"estimate"` request (kind == "estimate") — a
+/// replicated-run estimation over a stochastic workload spec, optionally
+/// multi-mode (see docs/WORKLOADS.md). Distribution fields use the
+/// stoch::Distribution spec-string grammar ("pareto:3,0.667").
+struct EstimateParams {
+  std::string compute = "point:1";  ///< compute-scale distribution
+  std::string items = "point:1";    ///< item-count-scale distribution
+  std::uint64_t seed = 1;           ///< replication/schedule substream seed
+  std::uint32_t min_replications = 8;
+  std::uint32_t max_replications = 64;
+  std::uint32_t round_replications = 8;
+  double confidence = 0.95;
+  /// Stopping target for half_width / mean (0 = run max_replications).
+  double target_relative_half_width = 0.0;
+  /// Mode table document (psdf::modes_to_xml); "" = static estimation.
+  std::string modes_xml;
+  /// Seeded mode-schedule length (modes_xml only).
+  std::uint32_t schedule_length = 4;
+};
+
 /// One estimation job (or control request) as submitted by a client.
 struct JobRequest {
   std::string id;            ///< client correlation id, echoed back
-  std::string kind = "submit";  ///< "submit" | "stats" | "ping" | "search"
+  /// "submit" | "stats" | "ping" | "search" | "estimate"
+  std::string kind = "submit";
   std::string psdf_xml;      ///< PSDF scheme document
   std::string psm_xml;       ///< PSM scheme document
   std::uint32_t package_size = 0;  ///< nonzero overrides both documents
@@ -66,6 +90,7 @@ struct JobRequest {
   std::string trace_id;  ///< 32-hex trace id to propagate ("" = server picks)
   bool trace = false;    ///< force-sample and return the span tree
   SearchParams search;   ///< meaningful when kind == "search"
+  EstimateParams estimate;  ///< meaningful when kind == "estimate"
   /// True when the request line carried the removed legacy "parallel"
   /// key; the server answers a "validation" diagnostic pointing at the
   /// "engine" field instead of running the job.

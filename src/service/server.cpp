@@ -50,6 +50,10 @@ constexpr const char* kPhases[] = {"parse",     "queue-wait", "cache-lookup",
 constexpr const char* kSearchOutcomes[] = {"emulated", "deduplicated",
                                            "bound_pruned", "oracle_pruned"};
 
+/// The replicated-estimation outcomes stats_json reports (count_estimate
+/// records; the estimate handler feeds them).
+constexpr const char* kEstimateOutcomes[] = {"emulated", "deduplicated"};
+
 obs::Tracer::Config tracer_config(const ServerConfig& config) {
   obs::Tracer::Config out;
   out.sample_ratio = config.trace_sample_ratio;
@@ -116,6 +120,17 @@ void JobServer::count_search(std::string_view outcome, std::uint64_t delta) {
       .counter("segbus_search_candidates_total",
                {{"outcome", std::string(outcome)}},
                "guided-search candidates by evaluation outcome")
+      .inc(delta);
+}
+
+void JobServer::count_estimate(std::string_view outcome,
+                               std::uint64_t delta) {
+  if (delta == 0) return;
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_
+      .counter("segbus_estimate_replications_total",
+               {{"outcome", std::string(outcome)}},
+               "replicated-estimation replications by resolution outcome")
       .inc(delta);
 }
 
@@ -284,6 +299,17 @@ JobResponse JobServer::process(const JobRequest& request,
           "this server has no search handler installed");
     }
     JobResponse response = config_.search_handler(request, *this, job_span);
+    count_outcome(response.ok ? "completed" : "failed");
+    return response;
+  }
+  if (request.kind == "estimate") {
+    if (!config_.estimate_handler) {
+      count_outcome("failed");
+      return JobResponse::failure(
+          request.id, "validation",
+          "this server has no estimate handler installed");
+    }
+    JobResponse response = config_.estimate_handler(request, *this, job_span);
     count_outcome(response.ok ? "completed" : "failed");
     return response;
   }
@@ -527,6 +553,19 @@ JsonValue JobServer::stats_json() const {
     }
   }
   doc.set("search", std::move(search));
+
+  JsonValue estimate = JsonValue::object();
+  {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    for (const char* outcome : kEstimateOutcomes) {
+      const obs::Metric* metric = metrics_.find(
+          "segbus_estimate_replications_total", {{"outcome", outcome}});
+      estimate.set(outcome,
+                   JsonValue::unsigned_integer(
+                       metric == nullptr ? 0 : metric->counter_value));
+    }
+  }
+  doc.set("estimate", std::move(estimate));
 
   JsonValue trace = JsonValue::object();
   trace.set("sample_ratio", JsonValue::number(config_.trace_sample_ratio));

@@ -93,6 +93,13 @@ struct ServerConfig {
   /// with a "validation" diagnostic.
   std::function<JobResponse(const JobRequest&, JobServer&, obs::Span&)>
       search_handler;
+  /// Handler for `"estimate"` requests — the replicated-run confidence
+  /// estimator (src/stoch), which, like search, fans jobs *through* a
+  /// JobServer and therefore sits above the service layer. Embedding
+  /// binaries install stoch::service_estimate_handler. Unset, "estimate"
+  /// requests fail with a "validation" diagnostic.
+  std::function<JobResponse(const JobRequest&, JobServer&, obs::Span&)>
+      estimate_handler;
 };
 
 /// The in-process job server. Thread-safe; submit() may be called from any
@@ -141,6 +148,12 @@ class JobServer {
   /// segbus_search_candidates_total; surfaced by stats_json() and the
   /// Prometheus snapshot. Called by the installed search handler.
   void count_search(std::string_view outcome, std::uint64_t delta = 1);
+
+  /// Accumulates replicated-estimation counters (outcome = "emulated" |
+  /// "deduplicated") into segbus_estimate_replications_total; surfaced by
+  /// stats_json() and the Prometheus snapshot. Called by the installed
+  /// estimate handler.
+  void count_estimate(std::string_view outcome, std::uint64_t delta = 1);
 
   /// Point-in-time counters: jobs by outcome, queue depth, latency
   /// quantiles, cache stats.

@@ -1,0 +1,245 @@
+#include "stoch/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace segbus::stoch {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Standard normal draw via Box-Muller; always consumes exactly two
+/// generator values.
+double standard_normal(Xoshiro256& rng) noexcept {
+  // 1 - u in (0, 1] keeps the log argument away from zero.
+  const double u1 = 1.0 - rng.next_double();
+  const double u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+}  // namespace
+
+std::string_view to_string(DistributionKind kind) noexcept {
+  switch (kind) {
+    case DistributionKind::kPoint:
+      return "point";
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kNormal:
+      return "normal";
+    case DistributionKind::kLognormal:
+      return "lognormal";
+    case DistributionKind::kPareto:
+      return "pareto";
+  }
+  return "point";
+}
+
+bool Distribution::is_point() const noexcept {
+  switch (kind) {
+    case DistributionKind::kPoint:
+      return true;
+    case DistributionKind::kUniform:
+      return a == b;
+    case DistributionKind::kNormal:
+    case DistributionKind::kLognormal:
+      return b == 0.0;
+    case DistributionKind::kPareto:
+      return false;
+  }
+  return false;
+}
+
+double Distribution::mean() const noexcept {
+  switch (kind) {
+    case DistributionKind::kPoint:
+      return a;
+    case DistributionKind::kUniform:
+      return 0.5 * (a + b);
+    case DistributionKind::kNormal:
+      return a;
+    case DistributionKind::kLognormal:
+      return std::exp(a + 0.5 * b * b);
+    case DistributionKind::kPareto:
+      if (a <= 1.0) return std::numeric_limits<double>::infinity();
+      return a * b / (a - 1.0);
+  }
+  return a;
+}
+
+double Distribution::variance() const noexcept {
+  switch (kind) {
+    case DistributionKind::kPoint:
+      return 0.0;
+    case DistributionKind::kUniform: {
+      const double width = b - a;
+      return width * width / 12.0;
+    }
+    case DistributionKind::kNormal:
+      return b * b;
+    case DistributionKind::kLognormal: {
+      const double s2 = b * b;
+      return (std::exp(s2) - 1.0) * std::exp(2.0 * a + s2);
+    }
+    case DistributionKind::kPareto: {
+      if (a <= 2.0) return std::numeric_limits<double>::infinity();
+      const double am1 = a - 1.0;
+      return b * b * a / (am1 * am1 * (a - 2.0));
+    }
+  }
+  return 0.0;
+}
+
+double Distribution::sample(Xoshiro256& rng) const noexcept {
+  switch (kind) {
+    case DistributionKind::kPoint:
+      return a;
+    case DistributionKind::kUniform:
+      return a + (b - a) * rng.next_double();
+    case DistributionKind::kNormal:
+      return std::max(0.0, a + b * standard_normal(rng));
+    case DistributionKind::kLognormal:
+      return std::exp(a + b * standard_normal(rng));
+    case DistributionKind::kPareto: {
+      const double u = 1.0 - rng.next_double();  // (0, 1]
+      return b * std::pow(u, -1.0 / a);
+    }
+  }
+  return a;
+}
+
+Status Distribution::validate() const {
+  if (!std::isfinite(a) || !std::isfinite(b)) {
+    return invalid_argument_error("distribution parameters must be finite");
+  }
+  switch (kind) {
+    case DistributionKind::kPoint:
+      if (a < 0.0) {
+        return invalid_argument_error("point distribution value must be >= 0");
+      }
+      break;
+    case DistributionKind::kUniform:
+      if (a < 0.0 || b < a) {
+        return invalid_argument_error(
+            "uniform distribution requires 0 <= lo <= hi, got " + spec());
+      }
+      break;
+    case DistributionKind::kNormal:
+      if (a < 0.0 || b < 0.0) {
+        return invalid_argument_error(
+            "normal distribution requires mean >= 0 and sd >= 0, got " +
+            spec());
+      }
+      break;
+    case DistributionKind::kLognormal:
+      if (b < 0.0) {
+        return invalid_argument_error(
+            "lognormal distribution requires sigma >= 0, got " + spec());
+      }
+      break;
+    case DistributionKind::kPareto:
+      if (a <= 0.0 || b <= 0.0) {
+        return invalid_argument_error(
+            "pareto distribution requires alpha > 0 and xm > 0, got " +
+            spec());
+      }
+      break;
+  }
+  return Status::ok();
+}
+
+std::string Distribution::spec() const {
+  if (kind == DistributionKind::kPoint) {
+    return str_format("point:%g", a);
+  }
+  return str_format("%s:%g,%g", std::string(to_string(kind)).c_str(), a, b);
+}
+
+Result<Distribution> Distribution::parse(std::string_view text) {
+  const std::size_t colon = text.find(':');
+  const std::string_view name = text.substr(0, colon);
+  Distribution distribution;
+  bool needs_b = true;
+  if (name == "point") {
+    distribution.kind = DistributionKind::kPoint;
+    needs_b = false;
+  } else if (name == "uniform") {
+    distribution.kind = DistributionKind::kUniform;
+  } else if (name == "normal") {
+    distribution.kind = DistributionKind::kNormal;
+  } else if (name == "lognormal") {
+    distribution.kind = DistributionKind::kLognormal;
+  } else if (name == "pareto") {
+    distribution.kind = DistributionKind::kPareto;
+  } else {
+    return parse_error("unknown distribution kind '" + std::string(name) +
+                       "' (expected point|uniform|normal|lognormal|pareto)");
+  }
+  if (colon == std::string_view::npos) {
+    return parse_error("distribution spec '" + std::string(text) +
+                       "' is missing parameters (expected kind:a[,b])");
+  }
+  const std::string_view params = text.substr(colon + 1);
+  const std::vector<std::string_view> parts = split(params, ',');
+  const std::size_t expected = needs_b ? 2 : 1;
+  if (parts.size() != expected) {
+    return parse_error(str_format(
+        "distribution '%s' expects %zu parameter(s), got %zu in '%s'",
+        std::string(name).c_str(), expected, parts.size(),
+        std::string(text).c_str()));
+  }
+  const std::optional<double> a_value = parse_double(trim(parts[0]));
+  if (!a_value.has_value()) {
+    return parse_error("malformed distribution parameter '" +
+                       std::string(parts[0]) + "'");
+  }
+  distribution.a = *a_value;
+  if (needs_b) {
+    const std::optional<double> b_value = parse_double(trim(parts[1]));
+    if (!b_value.has_value()) {
+      return parse_error("malformed distribution parameter '" +
+                         std::string(parts[1]) + "'");
+    }
+    distribution.b = *b_value;
+  }
+  SEGBUS_RETURN_IF_ERROR(distribution.validate());
+  return distribution;
+}
+
+JsonValue Distribution::to_json() const {
+  JsonValue object = JsonValue::object();
+  object.set("kind", JsonValue::string(to_string(kind)));
+  object.set("a", JsonValue::number(a));
+  if (kind != DistributionKind::kPoint) {
+    object.set("b", JsonValue::number(b));
+  }
+  return object;
+}
+
+Result<Distribution> Distribution::from_json(const JsonValue& value) {
+  if (!value.is_object()) {
+    return parse_error("distribution JSON must be an object");
+  }
+  const JsonValue* kind = value.find("kind");
+  if (kind == nullptr || !kind->is_string()) {
+    return parse_error("distribution JSON is missing string field 'kind'");
+  }
+  std::string spec = kind->as_string();
+  const JsonValue* a = value.find("a");
+  if (a == nullptr || !a->is_number()) {
+    return parse_error("distribution JSON is missing numeric field 'a'");
+  }
+  spec += ":" + str_format("%.17g", a->as_number());
+  if (const JsonValue* b = value.find("b"); b != nullptr && b->is_number()) {
+    spec += "," + str_format("%.17g", b->as_number());
+  } else if (kind->as_string() != "point") {
+    return parse_error("distribution JSON is missing numeric field 'b'");
+  }
+  return parse(spec);
+}
+
+}  // namespace segbus::stoch

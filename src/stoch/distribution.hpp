@@ -1,0 +1,94 @@
+// Seeded timing distributions for stochastic workloads — ROADMAP item 4b.
+//
+// A Distribution describes a multiplicative scale factor drawn per flow:
+// realized C_f = max(1, round(C_f * draw)) and likewise for item counts
+// (see stoch/workload.hpp). The catalogue covers the workload classes of
+// the Stochastic Automata Network SoC-communication study (PAPERS.md):
+// deterministic point, bounded uniform jitter, normal (truncated at zero),
+// and the heavy-tailed lognormal / Pareto service times of bursty traffic.
+//
+// Everything is deterministic given a Xoshiro256 stream: sampling uses a
+// fixed number of generator draws per kind, so replication k of seed s is
+// reproducible on any platform, any thread count, any backend.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/json.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace segbus::stoch {
+
+/// The distribution families the estimator understands.
+enum class DistributionKind : std::uint8_t {
+  kPoint,      ///< degenerate: always `a`
+  kUniform,    ///< uniform on [a, b]
+  kNormal,     ///< normal(mean = a, sd = b), truncated below at 0
+  kLognormal,  ///< exp(normal(mu = a, sigma = b))
+  kPareto,     ///< Pareto(alpha = a, xm = b): xm * U^(-1/alpha)
+};
+
+std::string_view to_string(DistributionKind kind) noexcept;
+
+/// One scale-factor distribution. `a`/`b` are the family's two parameters
+/// (see DistributionKind); kPoint uses only `a`.
+struct Distribution {
+  DistributionKind kind = DistributionKind::kPoint;
+  double a = 1.0;
+  double b = 0.0;
+
+  static Distribution point(double value) {
+    return {DistributionKind::kPoint, value, 0.0};
+  }
+  static Distribution uniform(double lo, double hi) {
+    return {DistributionKind::kUniform, lo, hi};
+  }
+  static Distribution normal(double mean, double sd) {
+    return {DistributionKind::kNormal, mean, sd};
+  }
+  static Distribution lognormal(double mu, double sigma) {
+    return {DistributionKind::kLognormal, mu, sigma};
+  }
+  static Distribution pareto(double alpha, double xm) {
+    return {DistributionKind::kPareto, alpha, xm};
+  }
+
+  /// True when every draw returns the same value (the degenerate cases:
+  /// kPoint, zero-width uniform, zero-sd normal/lognormal).
+  bool is_point() const noexcept;
+
+  /// Analytic mean of the *untruncated* family. The zero-truncation of
+  /// kNormal biases realized draws upward when mean < ~3 sd; the catalogue
+  /// documents this in docs/WORKLOADS.md. Pareto with alpha <= 1 has an
+  /// infinite mean (returned as +inf).
+  double mean() const noexcept;
+
+  /// Analytic variance (untruncated; +inf for Pareto with alpha <= 2).
+  double variance() const noexcept;
+
+  /// Draws one value. Consumes a fixed number of rng values per kind
+  /// (1 for point/uniform/pareto, 2 for normal/lognormal) so downstream
+  /// draws never shift when a parameter changes.
+  double sample(Xoshiro256& rng) const noexcept;
+
+  /// Parameter sanity: finite values, uniform lo <= hi with lo >= 0,
+  /// sd/sigma >= 0, Pareto alpha > 0 and xm > 0, point/normal >= 0.
+  Status validate() const;
+
+  /// Compact spec string, e.g. "pareto:3,0.667" or "point:1".
+  std::string spec() const;
+
+  /// Parses a spec string ("kind:a[,b]"); inverse of spec().
+  static Result<Distribution> parse(std::string_view spec);
+
+  /// JSON form: {"kind": "...", "a": ..., "b": ...}.
+  JsonValue to_json() const;
+  static Result<Distribution> from_json(const JsonValue& value);
+
+  friend bool operator==(const Distribution&, const Distribution&) = default;
+};
+
+}  // namespace segbus::stoch

@@ -1,0 +1,111 @@
+#include "stoch/multimode.hpp"
+
+#include <set>
+#include <utility>
+
+#include "support/strings.hpp"
+
+namespace segbus::stoch {
+
+JsonValue MultiModeResult::to_json() const {
+  JsonValue object = JsonValue::object();
+  JsonValue mode_array = JsonValue::array();
+  for (const ModeRun& run : runs) {
+    JsonValue entry = JsonValue::object();
+    entry.set("mode", JsonValue::string(run.mode_name));
+    entry.set("index", JsonValue::unsigned_integer(run.mode_index));
+    entry.set("execution_time_ps",
+              JsonValue::integer(run.execution_time.count()));
+    entry.set("completed", JsonValue::boolean(run.completed));
+    mode_array.push(std::move(entry));
+  }
+  object.set("runs", std::move(mode_array));
+  object.set("transition_total_ps", JsonValue::integer(transition_total.count()));
+  object.set("total_time_ps", JsonValue::integer(total_time.count()));
+  object.set("completed", JsonValue::boolean(completed));
+  return object;
+}
+
+Result<MultiModeResult> run_multimode(const psdf::PsdfModel& application,
+                                      const platform::PlatformModel& platform,
+                                      const psdf::ModeTable& table,
+                                      const std::vector<std::size_t>& schedule,
+                                      const core::SessionConfig& config) {
+  SEGBUS_RETURN_IF_ERROR(table.validate(application));
+  if (schedule.empty()) {
+    return invalid_argument_error("mode schedule is empty");
+  }
+  for (std::size_t entry : schedule) {
+    if (entry >= table.modes().size()) {
+      return invalid_argument_error(
+          str_format("schedule entry %zu out of range (%zu modes)", entry,
+                     table.modes().size()));
+    }
+  }
+
+  // Extract + bind each distinct mode once; schedules repeat modes and
+  // a bound session can emulate repeatedly.
+  const std::set<std::size_t> distinct(schedule.begin(), schedule.end());
+  std::vector<std::unique_ptr<core::EmulationSession>> sessions(
+      table.modes().size());
+  for (std::size_t index : distinct) {
+    SEGBUS_ASSIGN_OR_RETURN(psdf::PsdfModel mode_model,
+                            table.mode_model(application, index));
+    // Rebuild the platform with only the functional units this mode's
+    // model still has, dropping segments that end up empty — a mode whose
+    // flow subset vacates a whole segment must not trip the every-segment-
+    // hosts-an-FU validation (SB024) of the full platform.
+    platform::PlatformModel pruned(platform.name() + ":" +
+                                   table.mode(index).name);
+    SEGBUS_RETURN_IF_ERROR(pruned.set_package_size(platform.package_size()));
+    SEGBUS_RETURN_IF_ERROR(pruned.set_ca_clock(platform.ca_clock()));
+    for (platform::SegmentId s = 0; s < platform.segment_count(); ++s) {
+      const platform::Segment& segment = platform.segment(s);
+      std::vector<const platform::FunctionalUnit*> kept;
+      for (const platform::FunctionalUnit& fu : segment.fus) {
+        if (mode_model.find_process(fu.process).has_value()) {
+          kept.push_back(&fu);
+        }
+      }
+      if (kept.empty()) continue;
+      auto added = pruned.add_segment(segment.clock);
+      if (!added.is_ok()) return added.status();
+      for (const platform::FunctionalUnit* fu : kept) {
+        SEGBUS_RETURN_IF_ERROR(pruned.map_process(fu->process, *added,
+                                                  fu->masters, fu->slaves));
+      }
+    }
+    if (pruned.segment_count() > 1 && !platform.border_units().empty()) {
+      SEGBUS_RETURN_IF_ERROR(pruned.set_bu_capacity(
+          platform.border_units().front().capacity_packages));
+    }
+    SEGBUS_ASSIGN_OR_RETURN(
+        core::EmulationSession session,
+        core::EmulationSession::from_models(std::move(mode_model),
+                                            std::move(pruned), config));
+    sessions[index] =
+        std::make_unique<core::EmulationSession>(std::move(session));
+  }
+
+  MultiModeResult result;
+  result.completed = true;
+  for (std::size_t entry : schedule) {
+    SEGBUS_ASSIGN_OR_RETURN(emu::EmulationResult mode_result,
+                            sessions[entry]->emulate());
+    ModeRun run;
+    run.mode_index = entry;
+    run.mode_name = table.mode(entry).name;
+    run.execution_time = mode_result.total_execution_time;
+    run.completed = mode_result.completed;
+    result.completed = result.completed && run.completed;
+    result.total_time += run.execution_time;
+    result.runs.push_back(std::move(run));
+  }
+  result.transition_total =
+      table.transition_delay() *
+      static_cast<std::int64_t>(schedule.size() - 1);
+  result.total_time += result.transition_total;
+  return result;
+}
+
+}  // namespace segbus::stoch

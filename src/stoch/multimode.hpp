@@ -1,0 +1,60 @@
+// Multi-mode emulation: runs a seeded mode schedule as chained engine
+// sessions and reports per-mode plus total execution time.
+//
+// Each schedule entry extracts its mode's flow subset as a standalone PSDF
+// model (psdf::ModeTable::mode_model), prunes the platform to the
+// processes that mode uses, and emulates it through the selected backend
+// (reference/parallel/fast — bit-identical, so multi-mode totals are too;
+// asserted by the oracle's mode-chaining invariant). Between consecutive
+// schedule entries the table's transition delay is charged once:
+//
+//   total = sum(mode TCT_i) + transition_delay * (len(schedule) - 1)
+//
+// This is the "sequential mode execution" model of Jung/Oh/Ha: one mode
+// drains completely (PSDF flows are finite) before the switch begins, so
+// chaining independent sessions is exact, not an approximation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "psdf/modes.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+#include "support/time.hpp"
+
+namespace segbus::stoch {
+
+/// One executed schedule entry.
+struct ModeRun {
+  std::size_t mode_index = 0;
+  std::string mode_name;
+  Picoseconds execution_time{0};  ///< this mode's TCT (paper formula)
+  bool completed = false;
+};
+
+/// The outcome of running a whole mode schedule.
+struct MultiModeResult {
+  std::vector<ModeRun> runs;          ///< schedule order
+  Picoseconds transition_total{0};    ///< delay * (runs - 1)
+  Picoseconds total_time{0};          ///< sum of runs + transition_total
+  bool completed = false;             ///< all modes completed
+
+  JsonValue to_json() const;
+};
+
+/// Runs `schedule` (entries are mode indices) of `table` over the
+/// application/platform pair. The platform is pruned per mode: mappings
+/// of processes absent from the mode's model are dropped, and segments
+/// left without any functional unit are removed entirely (clocks, BU
+/// capacities and package size of what remains are kept). Fails on an
+/// invalid table, an out-of-range schedule entry, or an empty schedule.
+Result<MultiModeResult> run_multimode(const psdf::PsdfModel& application,
+                                      const platform::PlatformModel& platform,
+                                      const psdf::ModeTable& table,
+                                      const std::vector<std::size_t>& schedule,
+                                      const core::SessionConfig& config = {});
+
+}  // namespace segbus::stoch

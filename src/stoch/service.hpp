@@ -1,0 +1,28 @@
+// The `"estimate"` wire-request handler.
+//
+// Like guided search, the replicated-run estimator fans jobs *through* a
+// service::JobServer, so the service layer cannot link against src/stoch
+// without a cycle; ServerConfig carries an estimate_handler hook and
+// embedding binaries (tools/service_common.hpp) install this function.
+// The handler runs on the serving worker thread and spins up its own
+// inner JobServer for the replication fan-out (sized from the serving
+// config) — submitting back into the serving pool from one of its own
+// workers could deadlock it. Replication outcomes are reported into the
+// serving server's segbus_estimate_replications_total counters.
+#pragma once
+
+#include "obs/trace.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace segbus::stoch {
+
+/// Runs the replicated estimation described by `request.estimate` and
+/// answers with the deterministic estimate report JSON; `execution_time`
+/// carries the rounded mean and `digest` fingerprints the base scheme.
+/// Install as ServerConfig::estimate_handler.
+service::JobResponse service_estimate_handler(
+    const service::JobRequest& request, service::JobServer& server,
+    obs::Span& span);
+
+}  // namespace segbus::stoch

@@ -1,0 +1,111 @@
+#include "stoch/workload.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace segbus::stoch {
+
+namespace {
+
+/// Largest realized value we allow; keeps C * draw inside uint64 (and the
+/// engine's tick budget honest) even for extreme heavy-tail draws.
+constexpr double kMaxScaled = 1e15;
+
+/// Applies one multiplicative draw. A draw of exactly 1.0 is the identity
+/// (bit-preserving — the degenerate-spec oracle invariant depends on it);
+/// otherwise round-to-nearest clamped to [minimum, kMaxScaled].
+std::uint64_t scale_value(std::uint64_t value, double draw,
+                          std::uint64_t minimum) noexcept {
+  if (draw == 1.0) return value;
+  double scaled = static_cast<double>(value) * draw;
+  if (!(scaled >= 0.0)) scaled = 0.0;  // NaN / negative guard
+  if (scaled > kMaxScaled) scaled = kMaxScaled;
+  const auto rounded = static_cast<std::uint64_t>(std::llround(scaled));
+  return rounded < minimum ? minimum : rounded;
+}
+
+}  // namespace
+
+Status StochasticSpec::validate() const {
+  SEGBUS_RETURN_IF_ERROR(compute_scale.validate());
+  SEGBUS_RETURN_IF_ERROR(items_scale.validate());
+  return Status::ok();
+}
+
+JsonValue StochasticSpec::to_json() const {
+  JsonValue object = JsonValue::object();
+  object.set("compute", compute_scale.to_json());
+  object.set("items", items_scale.to_json());
+  return object;
+}
+
+Result<StochasticSpec> StochasticSpec::from_json(const JsonValue& value) {
+  if (!value.is_object()) {
+    return parse_error("stochastic spec JSON must be an object");
+  }
+  StochasticSpec spec;
+  if (const JsonValue* compute = value.find("compute"); compute != nullptr) {
+    SEGBUS_ASSIGN_OR_RETURN(spec.compute_scale,
+                            Distribution::from_json(*compute));
+  }
+  if (const JsonValue* items = value.find("items"); items != nullptr) {
+    SEGBUS_ASSIGN_OR_RETURN(spec.items_scale, Distribution::from_json(*items));
+  }
+  return spec;
+}
+
+Result<psdf::PsdfModel> realize(const psdf::PsdfModel& model,
+                                const StochasticSpec& spec,
+                                std::uint64_t seed,
+                                std::uint64_t replication) {
+  SEGBUS_RETURN_IF_ERROR(spec.validate());
+  Xoshiro256 rng(
+      derive_seed(derive_seed(seed, kReplicationSubstream), replication));
+
+  psdf::PsdfModel realized(model.name());
+  SEGBUS_RETURN_IF_ERROR(realized.set_package_size(model.package_size()));
+  for (const psdf::Process& process : model.processes()) {
+    SEGBUS_RETURN_IF_ERROR(realized.add_process(process.name).status());
+  }
+  for (const psdf::Flow& flow : model.flows()) {
+    // Fixed draw order per flow: compute first, then items.
+    const double compute_draw = spec.compute_scale.sample(rng);
+    const double items_draw = spec.items_scale.sample(rng);
+    const std::uint64_t compute =
+        scale_value(flow.compute_ticks, compute_draw,
+                    flow.compute_ticks > 0 ? 1 : 0);
+    const std::uint64_t items = scale_value(flow.data_items, items_draw, 1);
+    SEGBUS_RETURN_IF_ERROR(realized.add_flow(flow.source, flow.target, items,
+                                             flow.ordering, compute));
+  }
+  return realized;
+}
+
+Result<psdf::PsdfModel> mean_model(const psdf::PsdfModel& model,
+                                   const StochasticSpec& spec) {
+  SEGBUS_RETURN_IF_ERROR(spec.validate());
+  const double compute_mean = spec.compute_scale.mean();
+  const double items_mean = spec.items_scale.mean();
+  if (!std::isfinite(compute_mean) || !std::isfinite(items_mean)) {
+    return failed_precondition_error(
+        "mean-valued model undefined: a scale distribution has an infinite "
+        "mean (Pareto with alpha <= 1)");
+  }
+  psdf::PsdfModel scaled(model.name());
+  SEGBUS_RETURN_IF_ERROR(scaled.set_package_size(model.package_size()));
+  for (const psdf::Process& process : model.processes()) {
+    SEGBUS_RETURN_IF_ERROR(scaled.add_process(process.name).status());
+  }
+  for (const psdf::Flow& flow : model.flows()) {
+    const std::uint64_t compute =
+        scale_value(flow.compute_ticks, compute_mean,
+                    flow.compute_ticks > 0 ? 1 : 0);
+    const std::uint64_t items = scale_value(flow.data_items, items_mean, 1);
+    SEGBUS_RETURN_IF_ERROR(scaled.add_flow(flow.source, flow.target, items,
+                                           flow.ordering, compute));
+  }
+  return scaled;
+}
+
+}  // namespace segbus::stoch

@@ -1,0 +1,66 @@
+// Stochastic workload specs: per-flow scale distributions on compute times
+// and item counts, realized into concrete PSDF models per replication.
+//
+// Determinism contract (load-bearing for the oracle and the estimator):
+//   - replication k of master seed s draws from
+//     Xoshiro256(derive_seed(derive_seed(s, "stoch/replication"), k)),
+//     one (compute, items) draw pair per flow in insertion order;
+//   - a draw of exactly 1.0 preserves the flow's value bit-identically,
+//     so a degenerate spec (point:1) realizes the input model unchanged
+//     and the whole stochastic path collapses to the deterministic one.
+#pragma once
+
+#include <cstdint>
+
+#include "psdf/model.hpp"
+#include "stoch/distribution.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace segbus::stoch {
+
+/// Substream label the per-replication draws derive from (registry:
+/// DESIGN.md "Seed substream registry").
+inline constexpr std::string_view kReplicationSubstream = "stoch/replication";
+
+/// What varies between replications. Scales are multiplicative per flow:
+/// realized C = round(C * draw) (min 1 when C > 0), realized D =
+/// max(1, round(D * draw)).
+struct StochasticSpec {
+  Distribution compute_scale = Distribution::point(1.0);
+  Distribution items_scale = Distribution::point(1.0);
+
+  /// True when every replication realizes the identical model (both
+  /// scales degenerate at exactly 1.0; a degenerate distribution's mean
+  /// is its constant).
+  bool is_identity() const noexcept {
+    return compute_scale.is_point() && compute_scale.mean() == 1.0 &&
+           items_scale.is_point() && items_scale.mean() == 1.0;
+  }
+
+  Status validate() const;
+
+  /// JSON form: {"compute": {...}, "items": {...}}.
+  JsonValue to_json() const;
+  static Result<StochasticSpec> from_json(const JsonValue& value);
+
+  friend bool operator==(const StochasticSpec&,
+                         const StochasticSpec&) = default;
+};
+
+/// Realizes replication `replication` of `spec` over `model` (see the
+/// determinism contract above). The realized model keeps the name,
+/// package size, and process set; only flow D/C values change.
+Result<psdf::PsdfModel> realize(const psdf::PsdfModel& model,
+                                const StochasticSpec& spec,
+                                std::uint64_t seed,
+                                std::uint64_t replication);
+
+/// The mean-valued deterministic model: every flow scaled by the analytic
+/// distribution means (the classical "plug in the expectation" estimate
+/// the confidence interval is compared against). Fails when a scale's
+/// mean is infinite (Pareto alpha <= 1).
+Result<psdf::PsdfModel> mean_model(const psdf::PsdfModel& model,
+                                   const StochasticSpec& spec);
+
+}  // namespace segbus::stoch

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "support/strings.hpp"
 
@@ -130,6 +132,137 @@ std::string Histogram::render(std::size_t bar_width) const {
                       static_cast<unsigned long long>(overflow_));
   }
   return out;
+}
+
+double inverse_normal_cdf(double p) {
+  if (std::isnan(p) || p < 0.0 || p > 1.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (p == 0.0) return -std::numeric_limits<double>::infinity();
+  if (p == 1.0) return std::numeric_limits<double>::infinity();
+
+  // Acklam's rational approximation: a central rational function plus
+  // tail expansions in sqrt(-2 ln p).
+  static constexpr double kA[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                  -2.759285104469687e+02, 1.383577518672690e+02,
+                                  -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double kB[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                  -1.556989798598866e+02, 6.680131188771972e+01,
+                                  -1.328068155288572e+01};
+  static constexpr double kC[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                  -2.400758277161838e+00, -2.549732539343734e+00,
+                                  4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double kD[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                  2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double kLow = 0.02425;
+
+  if (p < kLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+            kC[5]) /
+           ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  if (p > 1.0 - kLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((kC[0] * q + kC[1]) * q + kC[2]) * q + kC[3]) * q + kC[4]) * q +
+             kC[5]) /
+           ((((kD[0] * q + kD[1]) * q + kD[2]) * q + kD[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((kA[0] * r + kA[1]) * r + kA[2]) * r + kA[3]) * r + kA[4]) * r +
+          kA[5]) *
+         q /
+         (((((kB[0] * r + kB[1]) * r + kB[2]) * r + kB[3]) * r + kB[4]) * r +
+          1.0);
+}
+
+namespace {
+
+/// Regularized incomplete beta I_x(a, b) via Lentz's modified continued
+/// fraction (Numerical Recipes betacf form), with the symmetry flip for
+/// x past the bulk of the distribution.
+double regularized_incomplete_beta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) -
+                           std::lgamma(b) + a * std::log(x) +
+                           b * std::log1p(-x);
+  const bool flip = x >= (a + 1.0) / (a + b + 2.0);
+  if (flip) {
+    std::swap(a, b);
+    x = 1.0 - x;
+  }
+  constexpr double kTiny = 1e-300;
+  constexpr double kEps = 1e-14;
+  double c = 1.0;
+  double d = 1.0 - (a + b) * x / (a + 1.0);
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= 300; ++m) {
+    const double dm = static_cast<double>(m);
+    double numerator = dm * (b - dm) * x / ((a + 2.0 * dm - 1.0) * (a + 2.0 * dm));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    numerator = -(a + dm) * (a + b + dm) * x /
+                ((a + 2.0 * dm) * (a + 2.0 * dm + 1.0));
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEps) break;
+  }
+  const double value = std::exp(log_front) * h / a;
+  return flip ? 1.0 - value : value;
+}
+
+}  // namespace
+
+double student_t_cdf(double t, std::uint64_t dof) {
+  const double nu = static_cast<double>(dof);
+  if (t == 0.0) return 0.5;
+  const double x = nu / (nu + t * t);
+  const double tail = 0.5 * regularized_incomplete_beta(nu / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_critical(std::uint64_t dof, double confidence) {
+  // P(|T| <= t) = confidence  <=>  F(t) = (1 + confidence) / 2.
+  const double target = 0.5 * (1.0 + confidence);
+  // Seed the bracket from the normal quantile; dof = 1 (Cauchy) has the
+  // fattest tails, so grow the upper edge until it crosses.
+  double lo = 0.0;
+  double hi = std::max(2.0, 4.0 * inverse_normal_cdf(target));
+  while (student_t_cdf(hi, dof) < target && hi < 1e12) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, dof) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double sample_quantile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double h = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= samples.size()) return samples.back();
+  const double frac = h - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
 }
 
 }  // namespace segbus

@@ -1,6 +1,9 @@
-// Streaming statistics: numerically stable running moments (Welford) and a
-// fixed-bin histogram with quantile estimation. Used for package-latency
-// distributions and the perf harness.
+// Streaming statistics: numerically stable running moments (Welford), a
+// fixed-bin histogram with quantile estimation, and the small-sample
+// inference helpers (normal/Student-t quantiles, exact order statistics)
+// used by the replicated-run estimator. Used for package-latency
+// distributions, stoch::Estimator confidence intervals, and the perf
+// harness.
 #pragma once
 
 #include <cstdint>
@@ -71,5 +74,27 @@ class Histogram {
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
 };
+
+/// Standard normal quantile function Φ⁻¹(p) for p in (0, 1) (Acklam's
+/// rational approximation, |relative error| < 1.15e-9). Returns ±infinity
+/// at p = 0 / p = 1 and NaN outside [0, 1].
+double inverse_normal_cdf(double p);
+
+/// CDF of Student's t distribution with `dof` degrees of freedom,
+/// evaluated via the regularized incomplete beta function (Lentz's
+/// continued fraction). Precondition: dof >= 1.
+double student_t_cdf(double t, std::uint64_t dof);
+
+/// Two-sided Student-t critical value: the t such that
+/// P(|T_dof| <= t) = confidence, i.e. the half-width multiplier of a
+/// `confidence`-level interval for a mean estimated from dof + 1 samples.
+/// Computed by bisection on student_t_cdf — exact for every dof, unlike
+/// the usual 26.7.5 series which degrades below ~5 degrees of freedom.
+/// Preconditions: dof >= 1, 0 < confidence < 1.
+double student_t_critical(std::uint64_t dof, double confidence);
+
+/// Exact sample quantile by linear interpolation between order statistics
+/// (R type-7: h = (n-1)q). Sorts a copy; returns 0 when empty.
+double sample_quantile(std::vector<double> samples, double q);
 
 }  // namespace segbus

@@ -180,29 +180,6 @@ TEST(StaticBounds, StageSumsMatchTotals) {
   EXPECT_EQ(upper, bounds->upper);
 }
 
-TEST(StaticBounds, AgreesWithCoreAnalyticLowerBound) {
-  auto app = apps::mp3_decoder_psdf();
-  ASSERT_TRUE(app.is_ok());
-  auto platform = apps::mp3_platform_three_segments(*app);
-  ASSERT_TRUE(platform.is_ok());
-  auto bounds = compute_static_bounds(*app, *platform);
-  ASSERT_TRUE(bounds.is_ok());
-  // Deliberately exercises the deprecated shim: its delegation contract is
-  // exactly what this test pins down.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  auto analytic = core::analytic_lower_bound(*app, *platform);
-#pragma GCC diagnostic pop
-  ASSERT_TRUE(analytic.is_ok());
-  EXPECT_EQ(bounds->lower, analytic->total);
-  ASSERT_EQ(bounds->stages.size(), analytic->stages.size());
-  for (std::size_t i = 0; i < bounds->stages.size(); ++i) {
-    EXPECT_EQ(bounds->stages[i].lower, analytic->stages[i].duration);
-    EXPECT_EQ(bounds->stages[i].lower_binding,
-              analytic->stages[i].binding);
-  }
-}
-
 TEST(StaticBounds, RejectsUnmappedSystems) {
   auto app = apps::mp3_decoder_psdf();
   ASSERT_TRUE(app.is_ok());

@@ -6,15 +6,10 @@
 #include "apps/jpeg.hpp"
 #include "apps/mp3.hpp"
 #include "apps/synthetic.hpp"
+#include "analysis/bounds.hpp"
 #include "core/analytic.hpp"
 #include "emu/backend.hpp"
 #include "place/apply.hpp"
-
-// This file is the deprecated shim's own coverage: analytic_lower_bound
-// must keep delegating to analysis::compute_static_bounds until it is
-// removed. Silence the deprecation it exists to test.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace segbus::core {
 namespace {
@@ -37,14 +32,14 @@ TEST(AnalyticLowerBound, HoldsForMp3AllConfigurations) {
       auto platform = apps::mp3_platform(
           *app, apps::mp3_allocation(segments), segments, package);
       ASSERT_TRUE(platform.is_ok());
-      auto bound = analytic_lower_bound(*app, *platform);
+      auto bound = analysis::compute_static_bounds(*app, *platform);
       ASSERT_TRUE(bound.is_ok()) << bound.status().to_string();
       Picoseconds emulated = emulate(*app, *platform);
-      EXPECT_LE(bound->total, emulated)
+      EXPECT_LE(bound->lower, emulated)
           << segments << " segments, s=" << package;
       // The bound is not vacuous: at least 75 % of the emulated figure
       // for this compute-dominated workload.
-      EXPECT_GT(bound->total.count(),
+      EXPECT_GT(bound->lower.count(),
                 3 * emulated.count() / 4);
     }
   }
@@ -55,9 +50,9 @@ TEST(AnalyticLowerBound, HoldsUnderReferenceTiming) {
   ASSERT_TRUE(app.is_ok());
   auto platform = apps::mp3_platform_three_segments(*app);
   ASSERT_TRUE(platform.is_ok());
-  auto bound = analytic_lower_bound(*app, *platform);
+  auto bound = analysis::compute_static_bounds(*app, *platform);
   ASSERT_TRUE(bound.is_ok());
-  EXPECT_LE(bound->total,
+  EXPECT_LE(bound->lower,
             emulate(*app, *platform, emu::TimingModel::reference()));
 }
 
@@ -106,9 +101,9 @@ TEST(AnalyticLowerBound, HoldsForJpegAndSynthetics) {
     }
     ASSERT_TRUE(
         place::apply_allocation(c.app, c.allocation, platform).is_ok());
-    auto bound = analytic_lower_bound(c.app, platform);
+    auto bound = analysis::compute_static_bounds(c.app, platform);
     ASSERT_TRUE(bound.is_ok());
-    EXPECT_LE(bound->total, emulate(c.app, platform)) << c.app.name();
+    EXPECT_LE(bound->lower, emulate(c.app, platform)) << c.app.name();
   }
 }
 
@@ -146,18 +141,18 @@ TEST(AnalyticStages, BreakdownCoversEveryStage) {
   ASSERT_TRUE(app.is_ok());
   auto platform = apps::mp3_platform_three_segments(*app);
   ASSERT_TRUE(platform.is_ok());
-  auto bound = analytic_lower_bound(*app, *platform);
+  auto bound = analysis::compute_static_bounds(*app, *platform);
   ASSERT_TRUE(bound.is_ok());
   EXPECT_EQ(bound->stages.size(), 10u);  // orderings 1..10
   Picoseconds sum{0};
-  for (const AnalyticStage& stage : bound->stages) {
-    EXPECT_GT(stage.duration.count(), 0);
-    EXPECT_FALSE(stage.binding.empty());
-    sum += stage.duration;
+  for (const analysis::StageBounds& stage : bound->stages) {
+    EXPECT_GT(stage.lower.count(), 0);
+    EXPECT_FALSE(stage.lower_binding.empty());
+    sum += stage.lower;
   }
-  EXPECT_EQ(sum, bound->total);
+  EXPECT_EQ(sum, bound->lower);
   // Stage 1 (P0's serial fan-out) binds on the P0 master's v2 chain.
-  EXPECT_EQ(bound->stages[0].binding, "master P0 chain");
+  EXPECT_EQ(bound->stages[0].lower_binding, "master P0 chain");
 }
 
 TEST(Analytic, RejectsUnmappedApplications) {
@@ -166,11 +161,9 @@ TEST(Analytic, RejectsUnmappedApplications) {
   platform::PlatformModel empty("E");
   ASSERT_TRUE(empty.set_ca_clock(Frequency::from_mhz(100)).is_ok());
   ASSERT_TRUE(empty.add_segment(Frequency::from_mhz(100)).is_ok());
-  EXPECT_FALSE(analytic_lower_bound(*app, empty).is_ok());
+  EXPECT_FALSE(analysis::compute_static_bounds(*app, empty).is_ok());
   EXPECT_FALSE(analytic_estimate(*app, empty).is_ok());
 }
 
 }  // namespace
 }  // namespace segbus::core
-
-#pragma GCC diagnostic pop

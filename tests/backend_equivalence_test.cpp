@@ -218,7 +218,7 @@ TEST(BackendBudget, FastEngineAbortsAtTheSameBudgetAsReference) {
             summary_of(*reference, *platform));
 }
 
-// --- session binding: SB060 and the deprecated shim --------------------------
+// --- session binding: SB060 --------------------------------------------------
 
 TEST(SessionBackend, ThreadsWithNonParallelBackendAreRejectedAsSb060) {
   auto app = apps::mp3_decoder_psdf();
@@ -243,29 +243,6 @@ TEST(SessionBackend, ThreadsWithNonParallelBackendAreRejectedAsSb060) {
   config.backend = backend_options(emu::EngineBackend::kParallel, 4);
   EXPECT_TRUE(
       core::EmulationSession::from_models(*app, *platform, config).is_ok());
-}
-
-TEST(SessionBackend, DeprecatedParallelFlagStillSelectsTheParallelEngine) {
-  auto app = apps::mp3_decoder_psdf();
-  ASSERT_TRUE(app.is_ok());
-  auto platform = apps::mp3_platform_three_segments(*app);
-  ASSERT_TRUE(platform.is_ok());
-
-  core::SessionConfig config;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  config.parallel = true;
-  config.threads = 2;
-#pragma GCC diagnostic pop
-  auto session = core::EmulationSession::from_models(*app, *platform, config);
-  ASSERT_TRUE(session.is_ok()) << session.status().to_string();
-  auto result = session->emulate();
-  ASSERT_TRUE(result.is_ok());
-  EXPECT_TRUE(result->completed);
-
-  auto reference = emu::run_emulation(*app, *platform);
-  ASSERT_TRUE(reference.is_ok());
-  EXPECT_EQ(result->total_execution_time, reference->total_execution_time);
 }
 
 }  // namespace

@@ -1,0 +1,242 @@
+// Multi-mode dataflow: mode-table validation and XML round trip,
+// standalone mode-model extraction, seeded schedules, chained multimode
+// emulation (totals, transition delays, backend equivalence), and the
+// platform-pruning regression where a mode empties a whole segment.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/mp3.hpp"
+#include "core/session.hpp"
+#include "emu/backend.hpp"
+#include "psdf/modes.hpp"
+#include "psdf/validate.hpp"
+#include "stoch/multimode.hpp"
+#include "support/strings.hpp"
+
+namespace segbus {
+namespace {
+
+/// P0 -> P1 -> P2 pipeline: flow 0 carries stage T=1, flow 1 stage T=2.
+Result<psdf::PsdfModel> pipeline_app() {
+  psdf::PsdfModel app("pipeline");
+  SEGBUS_RETURN_IF_ERROR(app.set_package_size(16));
+  SEGBUS_ASSIGN_OR_RETURN(psdf::ProcessId p0, app.add_process("P0"));
+  SEGBUS_ASSIGN_OR_RETURN(psdf::ProcessId p1, app.add_process("P1"));
+  SEGBUS_ASSIGN_OR_RETURN(psdf::ProcessId p2, app.add_process("P2"));
+  SEGBUS_RETURN_IF_ERROR(app.add_flow(p0, p1, 64, 1, 10));
+  SEGBUS_RETURN_IF_ERROR(app.add_flow(p1, p2, 32, 2, 20));
+  return app;
+}
+
+/// Two segments: P0/P1 on segment 0, P2 on segment 1.
+Result<platform::PlatformModel> pipeline_platform() {
+  platform::PlatformModel platform("pipeline-psm");
+  SEGBUS_RETURN_IF_ERROR(platform.set_package_size(16));
+  SEGBUS_RETURN_IF_ERROR(platform.set_ca_clock(Frequency::from_mhz(100)));
+  SEGBUS_RETURN_IF_ERROR(
+      platform.add_segment(Frequency::from_mhz(100)).status());
+  SEGBUS_RETURN_IF_ERROR(
+      platform.add_segment(Frequency::from_mhz(80)).status());
+  SEGBUS_RETURN_IF_ERROR(platform.map_process("P0", 0));
+  SEGBUS_RETURN_IF_ERROR(platform.map_process("P1", 0));
+  SEGBUS_RETURN_IF_ERROR(platform.map_process("P2", 1));
+  return platform;
+}
+
+psdf::ModeTable play_seek_table() {
+  psdf::ModeTable table;
+  table.set_control_process("P0");
+  table.set_transition_delay(Picoseconds(5'000));
+  psdf::Mode play;
+  play.name = "play";
+  play.flow_indices = {0, 1};
+  psdf::Mode seek;
+  seek.name = "seek";
+  seek.flow_indices = {0};
+  psdf::FlowOverride override_items;
+  override_items.flow_index = 0;
+  override_items.data_items = 16;
+  seek.overrides.push_back(override_items);
+  EXPECT_TRUE(table.add_mode(std::move(play)).is_ok());
+  EXPECT_TRUE(table.add_mode(std::move(seek)).is_ok());
+  return table;
+}
+
+// --- table validation and codec ----------------------------------------------
+
+TEST(ModeTable, ValidatesAgainstItsApplication) {
+  auto app = pipeline_app();
+  ASSERT_TRUE(app.is_ok());
+  psdf::ModeTable table = play_seek_table();
+  EXPECT_TRUE(table.validate(*app).is_ok());
+
+  psdf::ModeTable unknown_control = play_seek_table();
+  unknown_control.set_control_process("nope");
+  EXPECT_FALSE(unknown_control.validate(*app).is_ok());
+
+  psdf::ModeTable out_of_range = play_seek_table();
+  psdf::Mode bad;
+  bad.name = "bad";
+  bad.flow_indices = {7};
+  EXPECT_TRUE(out_of_range.add_mode(std::move(bad)).is_ok());
+  EXPECT_FALSE(out_of_range.validate(*app).is_ok());
+}
+
+TEST(ModeTable, RejectsDuplicateOrEmptyModes) {
+  psdf::ModeTable table = play_seek_table();
+  psdf::Mode duplicate;
+  duplicate.name = "play";
+  duplicate.flow_indices = {0};
+  EXPECT_FALSE(table.add_mode(std::move(duplicate)).is_ok());
+  psdf::Mode empty;
+  empty.name = "empty";
+  EXPECT_FALSE(table.add_mode(std::move(empty)).is_ok());
+}
+
+TEST(ModeTable, XmlRoundTripPreservesTheTable) {
+  psdf::ModeTable table = play_seek_table();
+  const std::string xml_text = psdf::modes_to_xml(table);
+  auto parsed = psdf::modes_from_xml(xml_text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(*parsed, table);
+}
+
+// --- mode-model extraction ---------------------------------------------------
+
+TEST(ModeModel, ExtractsTheSubsetWithOverridesApplied) {
+  auto app = pipeline_app();
+  ASSERT_TRUE(app.is_ok());
+  psdf::ModeTable table = play_seek_table();
+
+  auto seek = table.mode_model(*app, 1);
+  ASSERT_TRUE(seek.is_ok()) << seek.status().to_string();
+  EXPECT_EQ(seek->name(), "pipeline:seek");
+  // Only P0 and P1 survive, renumbered contiguously.
+  EXPECT_EQ(seek->processes().size(), 2u);
+  ASSERT_EQ(seek->flows().size(), 1u);
+  EXPECT_EQ(seek->flows()[0].data_items, 16u);   // the override
+  EXPECT_EQ(seek->flows()[0].compute_ticks, 10u);
+  EXPECT_TRUE(psdf::validate_or_error(*seek).is_ok());
+
+  auto play = table.mode_model(*app, 0);
+  ASSERT_TRUE(play.is_ok());
+  EXPECT_EQ(play->processes().size(), 3u);
+  EXPECT_EQ(play->flows().size(), 2u);
+}
+
+TEST(ModeModel, SeededSchedulesAreDeterministic) {
+  psdf::ModeTable table = play_seek_table();
+  const std::vector<std::size_t> schedule = table.generate_schedule(9, 12);
+  EXPECT_EQ(schedule.size(), 12u);
+  EXPECT_EQ(table.generate_schedule(9, 12), schedule);
+  EXPECT_NE(table.generate_schedule(10, 12), schedule);
+  for (std::size_t entry : schedule) EXPECT_LT(entry, 2u);
+}
+
+// --- chained multimode emulation ---------------------------------------------
+
+TEST(MultiMode, ChainedTotalsMatchStandaloneSessions) {
+  auto app = pipeline_app();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = pipeline_platform();
+  ASSERT_TRUE(platform.is_ok());
+  psdf::ModeTable table = play_seek_table();
+
+  const std::vector<std::size_t> schedule = {0, 1, 0};
+  auto result = stoch::run_multimode(*app, *platform, table, schedule);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_TRUE(result->completed);
+  ASSERT_EQ(result->runs.size(), 3u);
+  EXPECT_EQ(result->runs[0].mode_name, "play");
+  EXPECT_EQ(result->runs[1].mode_name, "seek");
+  EXPECT_EQ(result->transition_total, Picoseconds(2 * 5'000));
+
+  Picoseconds expected_total = result->transition_total;
+  for (const stoch::ModeRun& run : result->runs) {
+    expected_total += run.execution_time;
+  }
+  EXPECT_EQ(result->total_time, expected_total);
+
+  // The two "play" entries are the same scheme: identical TCTs.
+  EXPECT_EQ(result->runs[0].execution_time, result->runs[2].execution_time);
+}
+
+TEST(MultiMode, TotalsAgreeAcrossEngineBackends) {
+  auto app = apps::mp3_decoder_psdf();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = apps::mp3_platform_three_segments(*app);
+  ASSERT_TRUE(platform.is_ok());
+
+  psdf::ModeTable table;
+  table.set_control_process(app->process(0).name);
+  table.set_transition_delay(Picoseconds(1'000));
+  psdf::Mode all;
+  all.name = "all";
+  for (std::size_t i = 0; i < app->flows().size(); ++i) {
+    all.flow_indices.push_back(i);
+  }
+  psdf::Mode front;
+  front.name = "front";
+  front.flow_indices = {0, 1, 2, 3};
+  ASSERT_TRUE(table.add_mode(std::move(all)).is_ok());
+  ASSERT_TRUE(table.add_mode(std::move(front)).is_ok());
+
+  const std::vector<std::size_t> schedule = {0, 1, 0};
+  std::vector<stoch::MultiModeResult> results;
+  for (emu::EngineBackend backend :
+       {emu::EngineBackend::kReference, emu::EngineBackend::kParallel,
+        emu::EngineBackend::kFast}) {
+    core::SessionConfig config;
+    config.backend.backend = backend;
+    auto result =
+        stoch::run_multimode(*app, *platform, table, schedule, config);
+    ASSERT_TRUE(result.is_ok())
+        << emu::to_string(backend) << ": " << result.status().to_string();
+    EXPECT_TRUE(result->completed) << emu::to_string(backend);
+    results.push_back(std::move(*result));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].total_time, results[0].total_time);
+    ASSERT_EQ(results[i].runs.size(), results[0].runs.size());
+    for (std::size_t r = 0; r < results[i].runs.size(); ++r) {
+      EXPECT_EQ(results[i].runs[r].execution_time,
+                results[0].runs[r].execution_time);
+    }
+  }
+}
+
+TEST(MultiMode, RejectsBadSchedules) {
+  auto app = pipeline_app();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = pipeline_platform();
+  ASSERT_TRUE(platform.is_ok());
+  psdf::ModeTable table = play_seek_table();
+  EXPECT_FALSE(stoch::run_multimode(*app, *platform, table, {}).is_ok());
+  EXPECT_FALSE(stoch::run_multimode(*app, *platform, table, {5}).is_ok());
+}
+
+// Regression: a mode whose processes all live on a strict subset of the
+// segments used to leave the other segments mapped-but-empty, tripping
+// SB024 ("segment hosts no functional units") at session bind. The pruner
+// must drop empty segments entirely.
+TEST(MultiMode, ModesThatEmptyASegmentStillEmulate) {
+  auto app = pipeline_app();
+  ASSERT_TRUE(app.is_ok());
+  auto platform = pipeline_platform();
+  ASSERT_TRUE(platform.is_ok());
+  psdf::ModeTable table = play_seek_table();
+
+  // "seek" uses only P0/P1 — both on segment 0; segment 1 goes empty.
+  auto result = stoch::run_multimode(*app, *platform, table, {1});
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_TRUE(result->completed);
+  EXPECT_EQ(result->runs[0].mode_name, "seek");
+  EXPECT_GT(result->runs[0].execution_time, Picoseconds(0));
+  // A single-entry schedule charges no transition delay.
+  EXPECT_EQ(result->transition_total, Picoseconds(0));
+}
+
+}  // namespace
+}  // namespace segbus

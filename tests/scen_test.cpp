@@ -105,6 +105,59 @@ TEST(Oracle, BoundsDominanceIsItsOwnInvariant) {
   EXPECT_EQ(with->invariants_checked, without->invariants_checked + 1);
 }
 
+TEST(Oracle, WorkloadInvariantsAreNamedAndToggleable) {
+  EXPECT_EQ(invariant_name(Invariant::kStochDegenerate), "stoch-degenerate");
+  EXPECT_EQ(invariant_name(Invariant::kModeChaining), "mode-chaining");
+  EXPECT_EQ(invariant_name(Invariant::kReplicationBounds),
+            "replication-bounds");
+  auto scenario = generate_scenario(11);
+  ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+  auto with = run_oracle(*scenario);
+  ASSERT_TRUE(with.is_ok()) << with.status().to_string();
+  EXPECT_TRUE(with->passed());
+  OracleOptions none;
+  none.check_stoch_degenerate = false;
+  none.check_mode_chaining = false;
+  none.check_replication_bounds = false;
+  auto without = run_oracle(*scenario, none);
+  ASSERT_TRUE(without.is_ok()) << without.status().to_string();
+  // Disabling the workload invariants removes their checks (replication
+  // bounds may already be skipped when the scenario draws an identity
+  // spec, so "without" checks at least two fewer).
+  EXPECT_LT(without->invariants_checked, with->invariants_checked);
+}
+
+TEST(Oracle, StochasticScenariosAreGenerated) {
+  // With the class probabilities forced to 1, every scenario carries a
+  // non-identity spec, and multi-flow ones carry a mode table + schedule.
+  GeneratorOptions options;
+  options.stochastic_probability = 1.0;
+  options.multimode_probability = 1.0;
+  bool saw_modes = false;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto scenario = generate_scenario(seed, options);
+    ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();
+    EXPECT_FALSE(scenario->stochastic.is_identity()) << seed;
+    if (scenario->has_modes) {
+      saw_modes = true;
+      EXPECT_FALSE(scenario->mode_schedule.empty()) << seed;
+      EXPECT_TRUE(scenario->modes.validate(scenario->application).is_ok())
+          << seed;
+    }
+  }
+  EXPECT_TRUE(saw_modes);
+
+  // ...and with them forced to 0, scenarios stay classical — the new
+  // substreams never shift the deterministic draws.
+  GeneratorOptions classic;
+  classic.stochastic_probability = 0.0;
+  classic.multimode_probability = 0.0;
+  auto scenario = generate_scenario(4, classic);
+  ASSERT_TRUE(scenario.is_ok());
+  EXPECT_TRUE(scenario->stochastic.is_identity());
+  EXPECT_FALSE(scenario->has_modes);
+}
+
 TEST(Oracle, UnmappedProcessIsAGeneratorContractViolation) {
   auto scenario = generate_scenario(3);
   ASSERT_TRUE(scenario.is_ok()) << scenario.status().to_string();

@@ -1,0 +1,87 @@
+// Seed substream registry (DESIGN.md §5): every named substream used
+// across scen/search/stoch/psdf must derive a distinct seed from any base
+// seed, so adding a consumer never aliases — and therefore never
+// correlates — with an existing one. The label list here mirrors the
+// registry table in DESIGN.md; extend both together.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "stoch/workload.hpp"
+#include "support/rng.hpp"
+
+namespace segbus {
+namespace {
+
+/// The registry: one entry per named substream in the codebase.
+const std::vector<std::string_view>& registry_labels() {
+  static const std::vector<std::string_view> labels = {
+      "topology",          // scen: graph shape
+      "application",       // scen: flow endpoints, D/T/C
+      "platform",          // scen: segments, clocks, package size
+      "placer",            // scen: annealing seed
+      "timing",            // scen: timing-model perturbations
+      "stoch",             // scen: stochastic workload class
+      "modes",             // scen: multi-mode workload class
+      "search/anneal",     // search: per-candidate annealing seeds
+      "stoch/replication", // stoch::realize per-replication draws
+      "modes/schedule",    // psdf::ModeTable::generate_schedule
+  };
+  return labels;
+}
+
+TEST(SeedRegistry, AllNamedSubstreamsDeriveDistinctSeeds) {
+  for (std::uint64_t base : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL,
+                             0xFFFFFFFFFFFFFFFFULL}) {
+    std::map<std::uint64_t, std::string_view> seen;
+    for (std::string_view label : registry_labels()) {
+      const std::uint64_t derived = derive_seed(base, label);
+      auto [it, inserted] = seen.emplace(derived, label);
+      EXPECT_TRUE(inserted)
+          << "base seed " << base << ": substream '" << label
+          << "' collides with '" << it->second << "' (both derive "
+          << derived << ")";
+      // A substream must also differ from the base seed itself —
+      // otherwise the consumer would replay the parent's draws.
+      EXPECT_NE(derived, base) << "substream '" << label
+                               << "' is an identity map at base " << base;
+    }
+  }
+}
+
+TEST(SeedRegistry, ReplicationSubstreamConstantMatchesTheRegistry) {
+  // stoch::realize derives through this constant; keep it in the table.
+  EXPECT_EQ(stoch::kReplicationSubstream, "stoch/replication");
+  const auto& labels = registry_labels();
+  EXPECT_NE(std::find(labels.begin(), labels.end(),
+                      stoch::kReplicationSubstream),
+            labels.end());
+}
+
+TEST(SeedRegistry, IndexedSecondLevelDerivationsAreDistinct) {
+  // Indexed consumers (replications, campaign scenarios, anneal
+  // candidates) derive a second numeric level; the first few indices must
+  // not collide with each other or with any first-level substream.
+  const std::uint64_t base = 7;
+  std::set<std::uint64_t> seen;
+  for (std::string_view label : registry_labels()) {
+    seen.insert(derive_seed(base, label));
+  }
+  const std::uint64_t replication_base =
+      derive_seed(base, stoch::kReplicationSubstream);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    EXPECT_TRUE(seen.insert(derive_seed(replication_base, k)).second)
+        << "replication index " << k << " collides";
+  }
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_TRUE(seen.insert(derive_seed(base, i)).second)
+        << "campaign scenario index " << i << " collides";
+  }
+}
+
+}  // namespace
+}  // namespace segbus

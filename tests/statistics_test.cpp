@@ -187,5 +187,47 @@ TEST(LatencyRecording, HistogramRenderer) {
             std::string::npos);
 }
 
+// --- t distribution and quantiles -------------------------------------------
+
+TEST(StudentT, CriticalValuesMatchTheTables) {
+  // Classic two-sided 95 % table entries (Abramowitz & Stegun 26.7).
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 0.01);
+  EXPECT_NEAR(student_t_critical(2, 0.95), 4.303, 0.005);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 0.005);
+  EXPECT_NEAR(student_t_critical(30, 0.95), 2.042, 0.005);
+  // 99 % level and a high-dof case approaching the normal 1.96 / 2.576.
+  EXPECT_NEAR(student_t_critical(10, 0.99), 3.169, 0.005);
+  EXPECT_NEAR(student_t_critical(1000, 0.95), 1.962, 0.005);
+}
+
+TEST(StudentT, CdfIsSymmetricAndMonotone) {
+  for (std::uint64_t dof : {1ULL, 5ULL, 50ULL}) {
+    EXPECT_NEAR(student_t_cdf(0.0, dof), 0.5, 1e-12);
+    EXPECT_NEAR(student_t_cdf(2.0, dof) + student_t_cdf(-2.0, dof), 1.0,
+                1e-9);
+    EXPECT_LT(student_t_cdf(1.0, dof), student_t_cdf(2.0, dof));
+  }
+}
+
+TEST(InverseNormal, RoundTripsTheStandardQuantiles) {
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.95996, 1e-4);
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.025), -1.95996, 1e-4);
+  EXPECT_TRUE(std::isinf(inverse_normal_cdf(1.0)));
+  EXPECT_TRUE(std::isnan(inverse_normal_cdf(1.5)));
+}
+
+TEST(SampleQuantile, InterpolatesOrderStatistics) {
+  // R type-7 on {1..5}: q(0.5) = 3, q(0.25) = 2, q(0.9) = 4.6.
+  std::vector<double> samples = {5, 3, 1, 4, 2};
+  EXPECT_DOUBLE_EQ(sample_quantile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sample_quantile(samples, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(sample_quantile(samples, 0.25), 2.0);
+  EXPECT_NEAR(sample_quantile(samples, 0.9), 4.6, 1e-12);
+  EXPECT_DOUBLE_EQ(sample_quantile(samples, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(sample_quantile({7.0}, 0.9), 7.0);
+}
+
 }  // namespace
 }  // namespace segbus

@@ -22,8 +22,15 @@
 //   --max-processes N / --max-segments N / --max-items N
 //                       generator distribution caps
 //   --no-bounds / --no-conservation / --no-fingerprint / --no-clock-scaling
-//   / --no-fast / --no-dominance
+//   / --no-fast / --no-dominance / --no-stoch-degenerate
+//   / --no-mode-chaining / --no-replication-bounds
 //                       disable individual oracle invariants
+//   --replication-samples N
+//                       stochastic replications checked per scenario by the
+//                       replication-bounds invariant (default 3)
+//   --stoch-prob P / --modes-prob P
+//                       generator probability of a stochastic spec /
+//                       a mode table per scenario (defaults 0.35 / 0.3)
 //   --trace             tag every scenario with its seed-derived trace id,
 //                       record per-check oracle spans, and archive the span
 //                       tree (<stem>.trace.json) plus a flight-recorder
@@ -66,6 +73,12 @@ inline scen::OracleOptions fuzz_oracle_options(const CommandLine& cli) {
   oracle.check_clock_scaling = cli.bool_flag_or("clock-scaling", true);
   oracle.check_fast = cli.bool_flag_or("fast", true);
   oracle.check_dominance = cli.bool_flag_or("dominance", true);
+  oracle.check_stoch_degenerate = cli.bool_flag_or("stoch-degenerate", true);
+  oracle.check_mode_chaining = cli.bool_flag_or("mode-chaining", true);
+  oracle.check_replication_bounds =
+      cli.bool_flag_or("replication-bounds", true);
+  oracle.replication_samples = static_cast<std::uint32_t>(
+      cli.int_flag_or("replication-samples", 3));
   if (auto engine = cli.flag("engine")) {
     if (auto backend = emu::parse_engine_backend(*engine)) {
       oracle.backend.backend = *backend;
@@ -147,6 +160,10 @@ inline int run_fuzz(const CommandLine& cli) {
   options.generator.max_items = static_cast<std::uint64_t>(
       cli.int_flag_or("max-items",
                       static_cast<std::int64_t>(options.generator.max_items)));
+  options.generator.stochastic_probability = cli.double_flag_or(
+      "stoch-prob", options.generator.stochastic_probability);
+  options.generator.multimode_probability = cli.double_flag_or(
+      "modes-prob", options.generator.multimode_probability);
   std::optional<obs::Tracer> tracer;
   if (cli.bool_flag_or("trace", false)) {
     obs::FlightRecorder::instance().enable();

@@ -51,6 +51,22 @@
 //                                       docs/SEARCH.md); with --socket or
 //                                       --tcp-port the search runs on a
 //                                       server as a "search" wire request
+//   estimate <psdf.xml> <psm.xml> | --app mp3|jpeg|h263 [--segments N]
+//            [--compute-dist SPEC] [--items-dist SPEC] [--seed K]
+//            [--replications N] [--min-replications N] [--round N]
+//            [--confidence C] [--rhw TARGET] [--engine E] [--reference]
+//            [--modes modes.xml [--schedule-len N]] [--workers N]
+//            [--json] [--socket PATH | --tcp-port N]
+//                                       replicated-run confidence
+//                                       estimation under stochastic
+//                                       workload scales (and optional
+//                                       multi-mode schedules): mean/
+//                                       p50/p95/p99 with a Student-t CI
+//                                       and a relative-half-width stopping
+//                                       rule (docs/WORKLOADS.md); with
+//                                       --socket/--tcp-port the run ships
+//                                       to a server as an "estimate" wire
+//                                       request
 //   serve    [--socket PATH] [--tcp [--port N]] [--workers N] [--queue N]
 //            [--cache-entries N] [--cache-bytes N] [--max-ticks N]
 //            [--deadline-ms N] [--metrics-out FILE]
@@ -99,6 +115,7 @@
 #include "support/cli.hpp"
 #include "support/strings.hpp"
 
+#include "estimate_common.hpp"
 #include "fuzz_common.hpp"
 #include "lint_common.hpp"
 #include "search_common.hpp"
@@ -117,7 +134,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: segbus_cli "
                "<validate|check|matrix|generate|emulate|place|explore|"
-               "search|analyze|serve|submit|stats|fuzz> "
+               "search|analyze|estimate|serve|submit|stats|fuzz> "
                "...\n       segbus_cli --version\n"
                "(see the header comment of tools/segbus_cli.cpp)\n");
   return 1;
@@ -476,6 +493,7 @@ int main(int argc, char** argv) {
   if (command == "explore") return cmd_explore(*cli);
   if (command == "search") return tools::run_search_cmd(*cli);
   if (command == "analyze") return cmd_analyze(*cli);
+  if (command == "estimate") return tools::run_estimate_cmd(*cli);
   if (command == "serve") return tools::run_serve(*cli);
   if (command == "submit") return tools::run_submit(*cli);
   if (command == "stats") return tools::run_stats(*cli);

@@ -33,6 +33,7 @@
 #include "search/service.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
+#include "stoch/service.hpp"
 #include "support/build_info.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
@@ -110,9 +111,11 @@ inline int run_serve(const CommandLine& cli) {
   config.trace_sample_ratio = cli.double_flag_or("trace-sample", 0.0);
   config.flight_recorder = cli.bool_flag_or("flight-recorder", false);
   config.flight_recorder_dir = cli.flag_or("flight-dir", ".");
-  // The search subsystem sits above the service layer; the hook breaks
-  // the dependency cycle (see ServerConfig::search_handler).
+  // The search and stoch subsystems sit above the service layer; the
+  // hooks break the dependency cycle (see ServerConfig::search_handler
+  // and ServerConfig::estimate_handler).
   config.search_handler = search::service_search_handler;
+  config.estimate_handler = stoch::service_estimate_handler;
   if (auto engine = cli.flag("engine")) {
     auto backend = emu::parse_engine_backend(*engine);
     if (!backend) {
@@ -411,6 +414,14 @@ inline int run_stats(const CommandLine& cli) {
                     u64("search", "bound_pruned")),
                 static_cast<unsigned long long>(
                     u64("search", "oracle_pruned")));
+  }
+  if (const JsonValue* estimate = doc->find("estimate");
+      estimate != nullptr && estimate->is_object()) {
+    std::printf("estimate %llu replications emulated, %llu deduplicated\n",
+                static_cast<unsigned long long>(
+                    u64("estimate", "emulated")),
+                static_cast<unsigned long long>(
+                    u64("estimate", "deduplicated")));
   }
   std::printf("trace    sample ratio %.3f, %llu dropped spans, flight "
               "recorder %s\n",
